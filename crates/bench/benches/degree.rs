@@ -1,0 +1,40 @@
+//! Figure 11 in microbenchmark form: server work per join+leave pair as a
+//! function of the key tree degree. The paper: "the optimal key tree
+//! degree is around four" — the d=4 row should be the minimum (modulo
+//! noise between 3 and 6; d=2 and d=16 should be clearly worse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_core::ids::UserId;
+use kg_core::rekey::Strategy;
+use kg_server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
+
+fn bench_degree(c: &mut Criterion) {
+    let n = 1024u64;
+    let mut g = c.benchmark_group("degree/join+leave");
+    g.sample_size(20);
+    for degree in [2usize, 4, 8, 16] {
+        let config = ServerConfig {
+            degree,
+            strategy: Strategy::GroupOriented,
+            auth: AuthPolicy::None,
+            ..ServerConfig::default()
+        };
+        let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
+        for i in 0..n {
+            server.handle_join(UserId(i)).unwrap();
+        }
+        let mut next = 1_000_000u64;
+        g.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, _| {
+            b.iter(|| {
+                let u = UserId(next);
+                next += 1;
+                server.handle_join(u).unwrap();
+                server.handle_leave(u).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_degree);
+criterion_main!(benches);

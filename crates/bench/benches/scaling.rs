@@ -1,0 +1,38 @@
+//! Figure 10 in microbenchmark form: server work per join+leave pair as a
+//! function of group size. The paper's claim — and this bench's expected
+//! shape — is growth linear in log n, i.e. tiny absolute increases per 8×
+//! group-size step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_core::ids::UserId;
+use kg_core::rekey::Strategy;
+use kg_server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/join+leave");
+    g.sample_size(20);
+    for n in [64u64, 512, 4096] {
+        let config = ServerConfig {
+            strategy: Strategy::GroupOriented,
+            auth: AuthPolicy::None,
+            ..ServerConfig::default()
+        };
+        let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
+        for i in 0..n {
+            server.handle_join(UserId(i)).unwrap();
+        }
+        let mut next = 1_000_000u64;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let u = UserId(next);
+                next += 1;
+                server.handle_join(u).unwrap();
+                server.handle_leave(u).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

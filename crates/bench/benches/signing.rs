@@ -1,0 +1,44 @@
+//! Table 4 in microbenchmark form: per-message signing vs the Section 4
+//! batch (Merkle) technique vs no signing, for a join+leave pair on a
+//! populated server using key-oriented rekeying (the strategy with many
+//! messages per request, where the technique matters most).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_core::ids::UserId;
+use kg_core::rekey::Strategy;
+use kg_server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
+
+fn server_with(auth: AuthPolicy, n: u64) -> GroupKeyServer {
+    let config = ServerConfig { auth, strategy: Strategy::KeyOriented, ..ServerConfig::default() };
+    let mut s = GroupKeyServer::new(config, AccessControl::AllowAll);
+    for i in 0..n {
+        s.handle_join(UserId(i)).unwrap();
+    }
+    s
+}
+
+fn bench_signing(c: &mut Criterion) {
+    let n = 1024;
+    let mut g = c.benchmark_group("signing/join+leave");
+    g.sample_size(20);
+    for (auth, name) in [
+        (AuthPolicy::None, "none"),
+        (AuthPolicy::SignEach, "per-message"),
+        (AuthPolicy::SignBatch, "batch-merkle"),
+    ] {
+        let mut server = server_with(auth, n);
+        let mut next = 1_000_000u64;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                let u = UserId(next);
+                next += 1;
+                server.handle_join(u).unwrap();
+                server.handle_leave(u).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_signing);
+criterion_main!(benches);

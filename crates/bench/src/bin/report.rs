@@ -1,0 +1,568 @@
+//! Regenerate the paper's evaluation tables and figures.
+//!
+//! ```text
+//! report [--quick] <artifact>...
+//! artifacts: table1 table2 table3 table4 table5 table6
+//!            fig10 fig11 fig12 iolus all
+//! ```
+//!
+//! `--quick` shrinks group sizes / request counts for a fast smoke run.
+//! Absolute times differ from the paper's 1998 SGI Origin 200 numbers; the
+//! comparisons (strategy ordering, O(log n) scaling, optimal degree ≈ 4,
+//! the ~10× Merkle-signing win) are the reproduction targets. See
+//! EXPERIMENTS.md for the side-by-side reading.
+
+use kg_bench::{run, ExperimentConfig, TextTable, SEEDS};
+use kg_core::cost::{self, GraphClass};
+use kg_core::ids::UserId;
+use kg_core::rekey::{KeyCipher, Strategy};
+use kg_crypto::drbg::HmacDrbg;
+use kg_crypto::KeySource;
+use kg_iolus::IolusSystem;
+use kg_server::AuthPolicy;
+
+struct Opts {
+    quick: bool,
+    artifacts: Vec<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut quick = false;
+    let mut artifacts = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: report [--quick] <artifact>...\n\
+                     artifacts: table1 table2 table3 table4 table5 table6 \
+                     fig10 fig11 fig12 iolus hybrid all"
+                );
+                std::process::exit(0);
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".to_string());
+    }
+    Opts { quick, artifacts }
+}
+
+fn main() {
+    let opts = parse_args();
+    let all = opts.artifacts.iter().any(|a| a == "all");
+    let want = |name: &str| all || opts.artifacts.iter().any(|a| a == name);
+
+    println!("# Key-graphs reproduction report");
+    println!(
+        "# mode: {}  (paper: n=8192, 1000 requests, 3 seeds, DES-CBC/MD5/RSA-512)\n",
+        if opts.quick { "quick" } else { "full" }
+    );
+
+    if want("table1") {
+        table1(&opts);
+    }
+    if want("table2") {
+        table2(&opts);
+    }
+    if want("table3") {
+        table3(&opts);
+    }
+    if want("table4") {
+        table4(&opts);
+    }
+    if want("fig10") {
+        fig10(&opts);
+    }
+    if want("fig11") {
+        fig11(&opts);
+    }
+    if want("table5") {
+        table5(&opts);
+    }
+    if want("table6") {
+        table6(&opts);
+    }
+    if want("fig12") {
+        fig12(&opts);
+    }
+    if want("iolus") {
+        iolus(&opts);
+    }
+    if want("hybrid") {
+        hybrid(&opts);
+    }
+}
+
+fn f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Table 1: number of keys held by the server and by each user.
+fn table1(opts: &Opts) {
+    println!("## Table 1 — number of keys (analytical formulas vs live structures)\n");
+    let n: u64 = if opts.quick { 64 } else { 256 };
+    let d = 4u64;
+    // Measure a live tree.
+    let mut src = HmacDrbg::from_seed(1);
+    let mut tree = kg_core::tree::KeyTree::new(d as usize, 8, &mut src);
+    for i in 0..n {
+        let ik = src.generate_key(8);
+        tree.join(UserId(i), ik, &mut src).unwrap();
+    }
+    // And a live complete graph (small).
+    let nc = 8u64;
+    let mut complete = kg_core::complete::CompleteGroup::new(8);
+    for i in 0..nc {
+        complete.join(UserId(i), &mut src).unwrap();
+    }
+
+    let mut t = TextTable::new(&[
+        "class",
+        "total keys (formula)",
+        "total keys (measured)",
+        "keys/user (formula)",
+        "keys/user (measured)",
+    ]);
+    t.row(vec![
+        format!("star (n={n})"),
+        (n + 1).to_string(),
+        (n + 1).to_string(),
+        "2".into(),
+        "2".into(),
+    ]);
+    t.row(vec![
+        format!("tree (n={n}, d={d})"),
+        cost::server_total_keys(GraphClass::Tree, n, d).to_string(),
+        tree.key_count().to_string(),
+        cost::keys_per_user(GraphClass::Tree, n, d).to_string(),
+        tree.height().to_string(),
+    ]);
+    t.row(vec![
+        format!("complete (n={nc})"),
+        cost::server_total_keys(GraphClass::Complete, nc, 0).to_string(),
+        complete.key_count().to_string(),
+        cost::keys_per_user(GraphClass::Complete, nc, 0).to_string(),
+        complete.keys_held_by(UserId(0)).to_string(),
+    ]);
+    println!("{}", t.render());
+}
+
+/// Table 2: cost of a join/leave operation (server column measured live).
+fn table2(opts: &Opts) {
+    println!("## Table 2 — cost of a join/leave (encryptions; formulas vs measured)\n");
+    let n: u64 = if opts.quick { 64 } else { 256 };
+    let d = 4u64;
+    let cfg = ExperimentConfig {
+        n: n as usize,
+        degree: d as usize,
+        strategy: Strategy::GroupOriented,
+        auth: AuthPolicy::None,
+        ops: if opts.quick { 100 } else { 400 },
+        seeds: vec![SEEDS[0]],
+    };
+    let r = run(&cfg);
+    let h = cost::tree_height(n, d);
+    let mut t = TextTable::new(&["quantity", "star", "tree formula", "tree measured", "complete"]);
+    t.row(vec![
+        "server/join".into(),
+        cost::join_cost_server(GraphClass::Star, n, d).to_string(),
+        format!("2(h-1) = {}", cost::join_cost_server(GraphClass::Tree, n, d)),
+        f(r.join.encryptions_ave),
+        format!("2^(n+1), n=8: {}", cost::join_cost_server(GraphClass::Complete, 8, 0)),
+    ]);
+    t.row(vec![
+        "server/leave".into(),
+        cost::leave_cost_server(GraphClass::Star, n, d).to_string(),
+        format!("d(h-1) = {}", cost::leave_cost_server(GraphClass::Tree, n, d)),
+        f(r.leave.encryptions_ave),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "requester/join (decryptions)".into(),
+        "1".into(),
+        format!("h-1 = {}", h - 1),
+        format!("{}", h - 1),
+        "2^n".into(),
+    ]);
+    t.row(vec![
+        "non-requester (decryptions)".into(),
+        "1".into(),
+        format!("d/(d-1) = {}", f(cost::join_cost_nonrequester(GraphClass::Tree, n, d))),
+        f(r.client_all.key_changes_per_request),
+        "2^(n-1) join / 0 leave".into(),
+    ]);
+    println!("{}", t.render());
+    println!("(tree measured uses group-oriented rekeying; the measured join cost includes the joiner's unicast copy, per the Figure 7 protocol)\n");
+}
+
+/// Table 3: average cost per operation.
+fn table3(opts: &Opts) {
+    println!("## Table 3 — average cost per operation (joins:leaves = 1:1)\n");
+    let n: u64 = if opts.quick { 64 } else { 8192 };
+    let d = 4u64;
+    let cfg = ExperimentConfig {
+        n: n as usize,
+        degree: d as usize,
+        strategy: Strategy::GroupOriented,
+        auth: AuthPolicy::None,
+        ops: if opts.quick { 100 } else { 1000 },
+        seeds: vec![SEEDS[0]],
+    };
+    let r = run(&cfg);
+    let mut t = TextTable::new(&["cost", "star", "tree formula", "tree measured", "complete (n=8)"]);
+    t.row(vec![
+        "server".into(),
+        f(cost::avg_cost_server(GraphClass::Star, n, d)),
+        format!("(d+2)(h-1)/2 = {}", f(cost::avg_cost_server(GraphClass::Tree, n, d))),
+        f(r.all.encryptions_ave),
+        f(cost::avg_cost_server(GraphClass::Complete, 8, 0)),
+    ]);
+    t.row(vec![
+        "a user".into(),
+        "1".into(),
+        format!("d/(d-1) = {}", f(cost::avg_cost_user(GraphClass::Tree, n, d))),
+        f(r.client_all.key_changes_per_request),
+        f(cost::avg_cost_user(GraphClass::Complete, 8, 0)),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "(optimal degree by the continuous model: {} — the paper's \"around four\")\n",
+        cost::optimal_degree(n)
+    );
+}
+
+/// Table 4: signing technique comparison.
+fn table4(opts: &Opts) {
+    let n = if opts.quick { 512 } else { 8192 };
+    println!("## Table 4 — one signature per message vs one per batch (n={n}, d=4)\n");
+    let ops = if opts.quick { 60 } else { 200 };
+    let seeds = if opts.quick { vec![SEEDS[0]] } else { SEEDS[..2].to_vec() };
+    let mut t = TextTable::new(&[
+        "strategy",
+        "signing",
+        "msg size join",
+        "msg size leave",
+        "proc ms join",
+        "proc ms leave",
+        "proc ms ave",
+    ]);
+    for strategy in Strategy::ALL {
+        for (auth, name) in
+            [(AuthPolicy::SignEach, "per-message"), (AuthPolicy::SignBatch, "batch (Merkle)")]
+        {
+            let r = run(&ExperimentConfig { n, degree: 4, strategy, auth, ops, seeds: seeds.clone() });
+            t.row(vec![
+                strategy.name().into(),
+                name.into(),
+                f(r.join.msg_size_ave),
+                f(r.leave.msg_size_ave),
+                f(r.join.proc_ms_ave),
+                f(r.leave.proc_ms_ave),
+                f((r.join.proc_ms_ave + r.leave.proc_ms_ave) / 2.0),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("(paper, n=8192: key-oriented 140.1 ms per-message vs 14.5 ms batch — a ~10x reduction; group-oriented unaffected at 11.9 ms)\n");
+}
+
+/// Figure 10: server processing time vs group size.
+fn fig10(opts: &Opts) {
+    println!("## Figure 10 — server processing time per request vs group size (d=4)\n");
+    let sizes: Vec<usize> =
+        if opts.quick { vec![32, 128, 512] } else { vec![32, 128, 512, 2048, 8192] };
+    let ops = if opts.quick { 100 } else { 300 };
+    let seeds = if opts.quick { vec![SEEDS[0]] } else { SEEDS[..2].to_vec() };
+    for (auth, label) in [
+        (AuthPolicy::None, "encryption only"),
+        (AuthPolicy::SignBatch, "encryption + MD5 + RSA-512 (batch signing)"),
+    ] {
+        println!("### {label}\n");
+        let mut t = TextTable::new(&["n", "user (ms)", "key (ms)", "group (ms)"]);
+        for &n in &sizes {
+            let mut cells = vec![n.to_string()];
+            for strategy in Strategy::ALL {
+                let r =
+                    run(&ExperimentConfig { n, degree: 4, strategy, auth, ops, seeds: seeds.clone() });
+                cells.push(f(r.all.proc_ms_ave));
+            }
+            t.row(cells);
+        }
+        println!("{}", t.render());
+    }
+    println!("(expected shape: each column grows ~linearly in log n; group <= key <= user)\n");
+}
+
+/// Figure 11: server processing time vs key tree degree.
+fn fig11(opts: &Opts) {
+    println!("## Figure 11 — server processing time vs key tree degree\n");
+    let n = if opts.quick { 512 } else { 8192 };
+    let ops = if opts.quick { 100 } else { 200 };
+    let seeds = vec![SEEDS[0]];
+    let degrees = [2usize, 3, 4, 6, 8, 16];
+    for (auth, label) in [
+        (AuthPolicy::None, "encryption only"),
+        (AuthPolicy::SignBatch, "encryption + MD5 + RSA-512 (batch signing)"),
+    ] {
+        println!("### {label} (n={n})\n");
+        let mut t = TextTable::new(&["d", "user (ms)", "key (ms)", "group (ms)", "enc/op (group)"]);
+        for &degree in &degrees {
+            let mut cells = vec![degree.to_string()];
+            let mut group_enc = 0.0;
+            for strategy in Strategy::ALL {
+                let r = run(&ExperimentConfig {
+                    n,
+                    degree,
+                    strategy,
+                    auth,
+                    ops,
+                    seeds: seeds.clone(),
+                });
+                cells.push(f(r.all.proc_ms_ave));
+                if strategy == Strategy::GroupOriented {
+                    group_enc = r.all.encryptions_ave;
+                }
+            }
+            cells.push(f(group_enc));
+            t.row(cells);
+        }
+        println!("{}", t.render());
+    }
+    println!("(expected shape: encryption cost minimized around d=4; group <= key <= user)\n");
+}
+
+/// Table 5: rekey messages sent by the server.
+fn table5(opts: &Opts) {
+    println!("## Table 5 — rekey messages sent by the server (with batch signing)\n");
+    let n = if opts.quick { 512 } else { 8192 };
+    let ops = if opts.quick { 100 } else { 250 };
+    let seeds = vec![SEEDS[0]];
+    for degree in [4usize, 8, 16] {
+        println!("### degree {degree} (n={n})\n");
+        let mut t = TextTable::new(&[
+            "strategy",
+            "join size ave",
+            "join min",
+            "join max",
+            "leave size ave",
+            "leave min",
+            "leave max",
+            "msgs/join",
+            "msgs/leave",
+        ]);
+        for strategy in Strategy::ALL {
+            let r = run(&ExperimentConfig {
+                n,
+                degree,
+                strategy,
+                auth: AuthPolicy::SignBatch,
+                ops,
+                seeds: seeds.clone(),
+            });
+            t.row(vec![
+                strategy.name().into(),
+                f(r.join.msg_size_ave),
+                r.join.msg_size_min.to_string(),
+                r.join.msg_size_max.to_string(),
+                f(r.leave.msg_size_ave),
+                r.leave.msg_size_min.to_string(),
+                r.leave.msg_size_max.to_string(),
+                f(r.join.msgs_per_op),
+                f(r.leave.msgs_per_op),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("(paper shape at d=4: user/key = 7 msgs/join, 19 msgs/leave; group = 1 and 1, with the group-oriented leave message ~d x the join message)\n");
+}
+
+/// Table 6: rekey messages received by a client.
+fn table6(opts: &Opts) {
+    println!("## Table 6 — rekey messages received by a client (with batch signing)\n");
+    let n = if opts.quick { 512 } else { 8192 };
+    let ops = if opts.quick { 100 } else { 250 };
+    let seeds = vec![SEEDS[0]];
+    for degree in [4usize, 8, 16] {
+        println!("### degree {degree} (n={n})\n");
+        let mut t =
+            TextTable::new(&["strategy", "join size ave", "leave size ave", "msgs/request"]);
+        for strategy in Strategy::ALL {
+            let r = run(&ExperimentConfig {
+                n,
+                degree,
+                strategy,
+                auth: AuthPolicy::SignBatch,
+                ops,
+                seeds: seeds.clone(),
+            });
+            t.row(vec![
+                strategy.name().into(),
+                f(r.client_join.msg_size_ave),
+                f(r.client_leave.msg_size_ave),
+                f(r.client_all.msgs_per_request),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("(paper shape: every client receives exactly one message per request; user <= key <= group in received size; group-oriented leave messages grow with d)\n");
+}
+
+/// Figure 12: average key changes by a client per request.
+fn fig12(opts: &Opts) {
+    println!("## Figure 12 — key changes by a client per request\n");
+    let ops = if opts.quick { 100 } else { 200 };
+    let seeds = vec![SEEDS[0]];
+
+    let n = if opts.quick { 512 } else { 8192 };
+    println!("### vs key tree degree (n={n})\n");
+    let mut t = TextTable::new(&["d", "measured", "d/(d-1)"]);
+    for degree in [2usize, 3, 4, 6, 8, 12, 16] {
+        let r = run(&ExperimentConfig {
+            n,
+            degree,
+            strategy: Strategy::GroupOriented,
+            auth: AuthPolicy::None,
+            ops,
+            seeds: seeds.clone(),
+        });
+        t.row(vec![
+            degree.to_string(),
+            f(r.client_all.key_changes_per_request),
+            f(degree as f64 / (degree as f64 - 1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("### vs initial group size (d=4)\n");
+    let sizes: Vec<usize> =
+        if opts.quick { vec![32, 128, 512] } else { vec![32, 128, 512, 2048, 8192] };
+    let mut t = TextTable::new(&["n", "measured", "d/(d-1)"]);
+    for nn in sizes {
+        let r = run(&ExperimentConfig {
+            n: nn,
+            degree: 4,
+            strategy: Strategy::GroupOriented,
+            auth: AuthPolicy::None,
+            ops,
+            seeds: seeds.clone(),
+        });
+        t.row(vec![nn.to_string(), f(r.client_all.key_changes_per_request), f(4.0 / 3.0)]);
+    }
+    println!("{}", t.render());
+    println!("(expected: flat in n, approaching d/(d-1) — the Table 3 user cost)\n");
+}
+
+/// Section 7 extension: the hybrid strategy, compared to key- and
+/// group-oriented rekeying on messages, bytes, and multicast addresses.
+fn hybrid(opts: &Opts) {
+    use kg_core::rekey::Rekeyer;
+    use kg_core::tree::KeyTree;
+
+    println!("## Section 7 extension — hybrid rekeying (one multicast address per root child)\n");
+    let n = if opts.quick { 256u64 } else { 4096 };
+    let d = 4usize;
+    let mut src = HmacDrbg::from_seed(0x42);
+    let mut tree = KeyTree::new(d, 8, &mut src);
+    for i in 0..n {
+        let ik = src.generate_key(8);
+        tree.join(UserId(i), ik, &mut src).unwrap();
+    }
+    // One leave measured under each packaging.
+    let ev = tree.leave(UserId(n / 2), &mut src).unwrap();
+    let roots = tree.root_children();
+    let mut ivs = HmacDrbg::from_seed(0x43);
+    let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+    let key = rk.leave(&ev, Strategy::KeyOriented);
+    let group = rk.leave(&ev, Strategy::GroupOriented);
+    let hyb = rk.leave_hybrid(&ev, &roots);
+
+    let keys_of = |out: &kg_core::rekey::RekeyOutput| {
+        out.messages.iter().map(|m| m.key_count()).sum::<usize>()
+    };
+    let mut t = TextTable::new(&[
+        "packaging", "messages", "total keys shipped", "encryptions", "mcast addresses needed",
+    ]);
+    t.row(vec![
+        "key-oriented".into(),
+        key.messages.len().to_string(),
+        keys_of(&key).to_string(),
+        key.ops.key_encryptions.to_string(),
+        "one per k-node (~n·d/(d-1))".into(),
+    ]);
+    t.row(vec![
+        "group-oriented".into(),
+        group.messages.len().to_string(),
+        keys_of(&group).to_string(),
+        group.ops.key_encryptions.to_string(),
+        "1 (whole group)".into(),
+    ]);
+    t.row(vec![
+        "hybrid (§7)".into(),
+        hyb.messages.len().to_string(),
+        keys_of(&hyb).to_string(),
+        hyb.ops.key_encryptions.to_string(),
+        format!("{} (root children)", roots.len()),
+    ]);
+    println!("{}", t.render());
+    println!("(hybrid keeps group-oriented's O(1) message count and encryption cost while only flooding the affected top-level subtree with the large message)\n");
+}
+
+/// Section 6: Iolus comparison.
+fn iolus(opts: &Opts) {
+    println!("## Section 6 — key graphs vs Iolus (membership-time vs send-time work)\n");
+    let n = if opts.quick { 256 } else { 4096 };
+    // Key-graph side: measured server encryptions per request.
+    let kg = run(&ExperimentConfig {
+        n,
+        degree: 4,
+        strategy: Strategy::GroupOriented,
+        auth: AuthPolicy::None,
+        ops: if opts.quick { 100 } else { 400 },
+        seeds: vec![SEEDS[0]],
+    });
+    // Iolus side: a 3-level agent hierarchy sized for n clients.
+    let mut src = HmacDrbg::from_seed(4);
+    let fanout = 8usize;
+    let capacity = n / (fanout * fanout) + 1;
+    let mut sys = IolusSystem::new(3, fanout, capacity, KeyCipher::des_cbc(), &mut src);
+    for i in 0..n as u64 {
+        sys.join(UserId(i), &mut src).unwrap();
+    }
+    // Measure Iolus join/leave/send costs.
+    let jops = sys.join(UserId(900_000), &mut src).unwrap();
+    let lops = sys.leave(UserId(0), &mut src).unwrap();
+    let msg = sys.send_to_group(UserId(1), b"payload", &mut src).unwrap();
+
+    let mut t = TextTable::new(&["quantity", "key graphs (d=4)", "iolus (8x8 agents)"]);
+    t.row(vec![
+        "encryptions per join".into(),
+        f(kg.join.encryptions_ave),
+        jops.encryptions.to_string(),
+    ]);
+    t.row(vec![
+        "encryptions per leave".into(),
+        f(kg.leave.encryptions_ave),
+        lops.encryptions.to_string(),
+    ]);
+    t.row(vec![
+        "extra work per group message".into(),
+        "0 (shared group key)".into(),
+        format!(
+            "{} agent decrypts + {} re-encrypts",
+            msg.ops.agent_decryptions, msg.ops.encryptions
+        ),
+    ]);
+    t.row(vec![
+        "trusted entities".into(),
+        "1 (the key server)".into(),
+        sys.agent_count().to_string(),
+    ]);
+    println!("{}", t.render());
+    println!("(the paper's point: both are O(log n)-ish at membership time, but Iolus moves the '1 affects n' work onto every data message and multiplies the trust surface)\n");
+}

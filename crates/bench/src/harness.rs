@@ -1,0 +1,383 @@
+//! The experiment harness: run a configuration over the paper's workload
+//! and collect both server-side and client-side statistics.
+//!
+//! Server-side numbers (processing time, message counts/sizes, encryption
+//! counts) come straight from [`kg_server::ServerStats`]. Client-side
+//! numbers (Table 6, Figure 12) are computed *analytically from the
+//! packets and the tree*: a member receives exactly the packets whose
+//! recipient set contains it, and installs exactly the new keys on its own
+//! path. The `kg-client` tests verify, with real clients, that actual
+//! processing produces these exact counts; the harness uses the closed
+//! form so that 8192-client experiments don't require 8192 live decrypting
+//! state machines per run.
+
+use crate::workload::{Request, Workload, SEEDS};
+use kg_core::rekey::{Recipients, Strategy};
+use kg_server::{AccessControl, Aggregate, AuthPolicy, GroupKeyServer, ServerConfig};
+use kg_wire::OpKind;
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Initial group size n.
+    pub n: usize,
+    /// Key tree degree d.
+    pub degree: usize,
+    /// Rekeying strategy.
+    pub strategy: Strategy,
+    /// Authentication policy.
+    pub auth: AuthPolicy,
+    /// Number of measured join/leave requests.
+    pub ops: usize,
+    /// Workload seeds (averaged over; the paper used three).
+    pub seeds: Vec<u64>,
+}
+
+impl ExperimentConfig {
+    /// The paper's baseline configuration for a given (n, strategy).
+    pub fn paper(n: usize, strategy: Strategy, auth: AuthPolicy) -> Self {
+        ExperimentConfig { n, degree: 4, strategy, auth, ops: 1000, seeds: SEEDS.to_vec() }
+    }
+}
+
+/// Client-side aggregates for one op kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientSide {
+    /// Mean rekey-message bytes received by a client, per request.
+    pub msg_size_ave: f64,
+    /// Mean number of rekey messages received by a client, per request.
+    pub msgs_per_request: f64,
+    /// Mean key changes per client per request (Figure 12).
+    pub key_changes_per_request: f64,
+}
+
+/// Everything one experiment produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The configuration that was run.
+    pub config: ExperimentConfig,
+    /// Server aggregate over joins only.
+    pub join: Aggregate,
+    /// Server aggregate over leaves only.
+    pub leave: Aggregate,
+    /// Server aggregate over all requests.
+    pub all: Aggregate,
+    /// Client-side aggregates for joins.
+    pub client_join: ClientSide,
+    /// Client-side aggregates for leaves.
+    pub client_leave: ClientSide,
+    /// Client-side aggregates over all requests.
+    pub client_all: ClientSide,
+}
+
+/// Run one experiment (averaging over the config's seeds).
+pub fn run(config: &ExperimentConfig) -> ExperimentResult {
+    let mut join_aggs = Vec::new();
+    let mut leave_aggs = Vec::new();
+    let mut all_aggs = Vec::new();
+    let mut cj = Vec::new();
+    let mut cl = Vec::new();
+    let mut ca = Vec::new();
+    for &seed in &config.seeds {
+        let (server_stats, client) = run_once(config, seed);
+        if let Some(a) = server_stats.0 {
+            join_aggs.push(a);
+        }
+        if let Some(a) = server_stats.1 {
+            leave_aggs.push(a);
+        }
+        if let Some(a) = server_stats.2 {
+            all_aggs.push(a);
+        }
+        cj.push(client.0);
+        cl.push(client.1);
+        ca.push(client.2);
+    }
+    ExperimentResult {
+        config: config.clone(),
+        join: mean_agg(&join_aggs),
+        leave: mean_agg(&leave_aggs),
+        all: mean_agg(&all_aggs),
+        client_join: mean_client(&cj),
+        client_leave: mean_client(&cl),
+        client_all: mean_client(&ca),
+    }
+}
+
+type SeedServerStats = (Option<Aggregate>, Option<Aggregate>, Option<Aggregate>);
+
+fn run_once(config: &ExperimentConfig, seed: u64) -> (SeedServerStats, (ClientSide, ClientSide, ClientSide)) {
+    let workload = Workload::generate(config.n, config.ops, seed);
+    let server_config = ServerConfig {
+        degree: config.degree,
+        strategy: config.strategy,
+        auth: config.auth,
+        seed,
+        ..ServerConfig::default()
+    };
+    let mut server = GroupKeyServer::new(server_config, AccessControl::AllowAll);
+    // Build the initial tree with authentication off — the paper's tables
+    // exclude the n initial joins, and signing them would only slow the
+    // sweep down (the RSA keypair is still generated above when needed).
+    server.set_auth(AuthPolicy::None);
+    for &u in &workload.initial {
+        server.handle_join(u).expect("initial join");
+    }
+    server.set_auth(config.auth);
+    server.reset_stats();
+
+    // Client-side accumulators.
+    let mut acc = [ClientAccum::default(); 2]; // [join, leave]
+    for req in &workload.requests {
+        let (op, kind) = match *req {
+            Request::Join(u) => (server.handle_join(u).expect("join"), 0usize),
+            Request::Leave(u) => (server.handle_leave(u).expect("leave"), 1usize),
+        };
+        let members = server.group_size() as f64;
+        if members == 0.0 {
+            continue;
+        }
+        let a = &mut acc[kind];
+        a.requests += 1.0;
+        a.members += members;
+        for (p, bytes) in op.packets.iter().zip(&op.encoded) {
+            let recipients = match &p.message.recipients {
+                Recipients::User(u) => usize::from(server.is_member(*u)),
+                Recipients::Subgroup(l) => server.tree().userset(*l).len(),
+                Recipients::SubgroupExcept { include, exclude } => {
+                    server.tree().userset_except(*include, *exclude).len()
+                }
+                Recipients::Group => server.group_size(),
+            } as f64;
+            a.msgs_received += recipients;
+            a.bytes_received += recipients * bytes.len() as f64;
+        }
+        // Exact key-change count: every member below a changed node
+        // installs that node's new key. The changed nodes' labels are the
+        // targets of the op's bundles; dedupe and count usersets.
+        let mut labels = std::collections::BTreeSet::new();
+        for p in &op.packets {
+            for b in &p.message.bundles {
+                for t in &b.targets {
+                    labels.insert(t.label);
+                }
+            }
+        }
+        for l in labels {
+            a.key_changes += server.tree().userset(l).len() as f64;
+        }
+    }
+    let join_stats = server.stats().aggregate(Some(OpKind::Join));
+    let leave_stats = server.stats().aggregate(Some(OpKind::Leave));
+    let all_stats = server.stats().aggregate(None);
+    let client_join = acc[0].finish();
+    let client_leave = acc[1].finish();
+    let client_all = ClientAccum {
+        requests: acc[0].requests + acc[1].requests,
+        members: acc[0].members + acc[1].members,
+        msgs_received: acc[0].msgs_received + acc[1].msgs_received,
+        bytes_received: acc[0].bytes_received + acc[1].bytes_received,
+        key_changes: acc[0].key_changes + acc[1].key_changes,
+    }
+    .finish();
+    ((join_stats, leave_stats, all_stats), (client_join, client_leave, client_all))
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientAccum {
+    requests: f64,
+    members: f64,
+    msgs_received: f64,
+    bytes_received: f64,
+    key_changes: f64,
+}
+
+impl ClientAccum {
+    fn finish(self) -> ClientSide {
+        if self.requests == 0.0 || self.msgs_received == 0.0 {
+            return ClientSide::default();
+        }
+        let avg_members = self.members / self.requests;
+        ClientSide {
+            msg_size_ave: self.bytes_received / self.msgs_received,
+            msgs_per_request: self.msgs_received / self.requests / avg_members,
+            key_changes_per_request: self.key_changes / self.requests / avg_members,
+        }
+    }
+}
+
+fn mean_agg(aggs: &[Aggregate]) -> Aggregate {
+    if aggs.is_empty() {
+        return Aggregate {
+            ops: 0,
+            msg_size_ave: 0.0,
+            msg_size_min: 0,
+            msg_size_max: 0,
+            msgs_per_op: 0.0,
+            proc_ms_ave: 0.0,
+            encryptions_ave: 0.0,
+            signatures_ave: 0.0,
+        };
+    }
+    let n = aggs.len() as f64;
+    Aggregate {
+        ops: aggs.iter().map(|a| a.ops).sum(),
+        msg_size_ave: aggs.iter().map(|a| a.msg_size_ave).sum::<f64>() / n,
+        msg_size_min: aggs.iter().map(|a| a.msg_size_min).min().unwrap_or(0),
+        msg_size_max: aggs.iter().map(|a| a.msg_size_max).max().unwrap_or(0),
+        msgs_per_op: aggs.iter().map(|a| a.msgs_per_op).sum::<f64>() / n,
+        proc_ms_ave: aggs.iter().map(|a| a.proc_ms_ave).sum::<f64>() / n,
+        encryptions_ave: aggs.iter().map(|a| a.encryptions_ave).sum::<f64>() / n,
+        signatures_ave: aggs.iter().map(|a| a.signatures_ave).sum::<f64>() / n,
+    }
+}
+
+fn mean_client(cs: &[ClientSide]) -> ClientSide {
+    if cs.is_empty() {
+        return ClientSide::default();
+    }
+    let n = cs.len() as f64;
+    ClientSide {
+        msg_size_ave: cs.iter().map(|c| c.msg_size_ave).sum::<f64>() / n,
+        msgs_per_request: cs.iter().map(|c| c.msgs_per_request).sum::<f64>() / n,
+        key_changes_per_request: cs.iter().map(|c| c.key_changes_per_request).sum::<f64>() / n,
+    }
+}
+
+/// Simple fixed-width text table builder for the report binary.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_experiment_runs() {
+        let cfg = ExperimentConfig {
+            n: 32,
+            degree: 4,
+            strategy: Strategy::GroupOriented,
+            auth: AuthPolicy::None,
+            ops: 50,
+            seeds: vec![1],
+        };
+        let r = run(&cfg);
+        assert_eq!(r.all.ops, 50);
+        assert!(r.all.msg_size_ave > 0.0);
+        assert!(r.all.proc_ms_ave >= 0.0);
+        // Each client receives exactly one rekey message per request under
+        // group-oriented rekeying (Table 6).
+        assert!((r.client_all.msgs_per_request - 1.0).abs() < 0.2);
+        // Key changes per request ≈ d/(d−1) = 1.33 (Figure 12).
+        assert!(
+            (r.client_all.key_changes_per_request - 4.0 / 3.0).abs() < 0.5,
+            "got {}",
+            r.client_all.key_changes_per_request
+        );
+    }
+
+    #[test]
+    fn strategies_have_expected_server_ordering() {
+        // User-oriented does the most encryptions; group/key the least.
+        let mk = |strategy| {
+            run(&ExperimentConfig {
+                n: 64,
+                degree: 4,
+                strategy,
+                auth: AuthPolicy::None,
+                ops: 60,
+                seeds: vec![5],
+            })
+        };
+        let user = mk(Strategy::UserOriented);
+        let key = mk(Strategy::KeyOriented);
+        let group = mk(Strategy::GroupOriented);
+        assert!(user.leave.encryptions_ave > key.leave.encryptions_ave);
+        assert!((key.leave.encryptions_ave - group.leave.encryptions_ave).abs() < 1e-9);
+        // Group-oriented sends exactly 1 leave message; the others many.
+        assert!((group.leave.msgs_per_op - 1.0).abs() < 1e-9);
+        assert!(key.leave.msgs_per_op > 5.0);
+    }
+
+    #[test]
+    fn client_side_message_counts_match_table6() {
+        for strategy in Strategy::ALL {
+            let r = run(&ExperimentConfig {
+                n: 64,
+                degree: 4,
+                strategy,
+                auth: AuthPolicy::None,
+                ops: 40,
+                seeds: vec![9],
+            });
+            // Table 6: every client gets exactly one rekey message per
+            // request under all three strategies.
+            assert!(
+                (r.client_all.msgs_per_request - 1.0).abs() < 0.25,
+                "{strategy:?}: {}",
+                r.client_all.msgs_per_request
+            );
+        }
+    }
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn text_table_rejects_bad_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

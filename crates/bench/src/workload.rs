@@ -1,0 +1,134 @@
+//! Workload generation, faithful to Section 5.
+//!
+//! "For each experiment with an initial group size n, the client-simulator
+//! first sent n join requests, and the server built a key tree. Then the
+//! client-simulator sent 1000 join/leave requests. The sequence of 1000
+//! join/leave requests was generated randomly according to a given ratio
+//! (the ratio was 1:1 in all our experiments). Each experiment was
+//! performed with three different sequences … the same three sequences
+//! were used for a given group size" — hence [`Workload::generate`] is
+//! seeded, and [`SEEDS`] pins the paper's three sequences.
+
+use kg_core::ids::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three request sequences used for every configuration (the paper
+/// reused the same three per group size for fair comparison).
+pub const SEEDS: [u64; 3] = [101, 202, 303];
+
+/// One membership request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// A new user joins.
+    Join(UserId),
+    /// An existing member leaves.
+    Leave(UserId),
+}
+
+/// A complete experiment workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The initial members (n join requests building the tree).
+    pub initial: Vec<UserId>,
+    /// The measured join/leave request sequence.
+    pub requests: Vec<Request>,
+}
+
+impl Workload {
+    /// Generate: `n` initial joins, then `ops` requests at a 1:1
+    /// join/leave ratio, using `seed`.
+    ///
+    /// Leaves target a uniformly random current member; joins introduce a
+    /// fresh user id. A leave is converted to a join when the group has
+    /// only one member left (the experiment must keep a populated tree).
+    pub fn generate(n: usize, ops: usize, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial: Vec<UserId> = (0..n as u64).map(UserId).collect();
+        let mut present: Vec<UserId> = initial.clone();
+        let mut next_id = n as u64;
+        let mut requests = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let join = rng.gen_bool(0.5) || present.len() <= 1;
+            if join {
+                let u = UserId(next_id);
+                next_id += 1;
+                present.push(u);
+                requests.push(Request::Join(u));
+            } else {
+                let idx = rng.gen_range(0..present.len());
+                let u = present.swap_remove(idx);
+                requests.push(Request::Leave(u));
+            }
+        }
+        Workload { initial, requests }
+    }
+
+    /// Number of join requests in the measured phase.
+    pub fn join_count(&self) -> usize {
+        self.requests.iter().filter(|r| matches!(r, Request::Join(_))).count()
+    }
+
+    /// Number of leave requests in the measured phase.
+    pub fn leave_count(&self) -> usize {
+        self.requests.len() - self.join_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::generate(100, 500, 7);
+        let b = Workload::generate(100, 500, 7);
+        assert_eq!(a.requests, b.requests);
+        let c = Workload::generate(100, 500, 8);
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn ratio_is_roughly_one_to_one() {
+        let w = Workload::generate(1000, 2000, SEEDS[0]);
+        let joins = w.join_count();
+        assert!((800..=1200).contains(&joins), "got {joins} joins of 2000");
+    }
+
+    #[test]
+    fn requests_are_valid_against_membership() {
+        let w = Workload::generate(50, 1000, SEEDS[1]);
+        let mut present: BTreeSet<UserId> = w.initial.iter().copied().collect();
+        for r in &w.requests {
+            match r {
+                Request::Join(u) => assert!(present.insert(*u), "{u} double join"),
+                Request::Leave(u) => assert!(present.remove(u), "{u} phantom leave"),
+            }
+        }
+    }
+
+    #[test]
+    fn never_empties_the_group() {
+        let w = Workload::generate(2, 500, SEEDS[2]);
+        let mut size = w.initial.len() as i64;
+        for r in &w.requests {
+            size += match r {
+                Request::Join(_) => 1,
+                Request::Leave(_) => -1,
+            };
+            assert!(size >= 1);
+        }
+    }
+
+    #[test]
+    fn join_ids_are_fresh() {
+        let w = Workload::generate(10, 200, 3);
+        let mut seen: BTreeSet<UserId> = w.initial.iter().copied().collect();
+        for r in &w.requests {
+            if let Request::Join(u) = r {
+                assert!(seen.insert(*u), "{u} reused");
+            }
+        }
+    }
+}

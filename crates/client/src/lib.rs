@@ -1,0 +1,518 @@
+//! # kg-client — the client layer
+//!
+//! Each group member runs this state machine: it holds the member's keyset
+//! (individual key, subgroup keys, group key — the keys on its key-tree
+//! path), processes rekey packets from the server under any of the three
+//! strategies, verifies digests / signatures / Merkle authentication paths,
+//! and counts the client-side quantities of the paper's evaluation
+//! (Table 6 message sizes, Figure 12 key changes per request).
+//!
+//! A client doesn't know the tree shape — only labels. Rekey bundles name
+//! the (label, version) they are encrypted under and the (label, version)s
+//! they deliver; the client decrypts what it can, looping to a fixed point
+//! because group-oriented leave messages chain new keys under newer keys.
+//!
+//! ```
+//! use kg_client::{Client, VerifyPolicy};
+//! use kg_server::{GroupKeyServer, ServerConfig, AccessControl};
+//! use kg_core::ids::UserId;
+//!
+//! let mut server = GroupKeyServer::new(ServerConfig::default(), AccessControl::AllowAll);
+//! let op = server.handle_join(UserId(1)).unwrap();
+//! let grant = op.join_grant.unwrap();
+//!
+//! let mut client = Client::new(UserId(1), server.config().cipher, VerifyPolicy::Opportunistic);
+//! client.install_grant(grant.individual_key, grant.leaf_label, &grant.path_labels);
+//! for bytes in &op.encoded {
+//!     client.process_rekey(bytes).unwrap();
+//! }
+//! assert_eq!(client.group_key().unwrap().1, server.tree().group_key().1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+
+use kg_core::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
+use kg_core::merkle;
+use kg_core::rekey::KeyCipher;
+use kg_crypto::rsa::{HashAlg, RsaPublicKey};
+use kg_crypto::SymmetricKey;
+use kg_wire::{AuthTag, RekeyPacket, WireError};
+use std::collections::BTreeMap;
+
+/// How strictly the client checks rekey message authenticity.
+#[derive(Debug, Clone)]
+pub enum VerifyPolicy {
+    /// Verify whatever tag is present, require none (experiment mode
+    /// matching the paper's "encryption only" runs).
+    Opportunistic,
+    /// Require at least a digest.
+    RequireDigest(HashAlg),
+    /// Require a signature (per-message or Merkle) from this server key —
+    /// "if users cannot be trusted, then each rekey message should be
+    /// digitally signed by the server" (§4).
+    RequireSignature {
+        /// Digest algorithm used by the server.
+        alg: HashAlg,
+        /// The server's public key.
+        key: RsaPublicKey,
+    },
+}
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The packet failed to decode.
+    Wire(WireError),
+    /// The packet's authenticity tag was missing or invalid.
+    AuthFailed,
+    /// A bundle addressed to us failed to decrypt (stale keyset — should
+    /// not happen under reliable delivery).
+    DecryptFailed(KeyRef),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::AuthFailed => write!(f, "rekey message failed authenticity check"),
+            ClientError::DecryptFailed(r) => write!(f, "could not decrypt bundle under {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// What one rekey packet did to this client's keyset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessSummary {
+    /// Keys installed or replaced (Figure 12's "key changes").
+    pub keys_installed: u64,
+    /// Bundles this client decrypted.
+    pub bundles_decrypted: u64,
+    /// Bundles not addressed to this client (normal in group-oriented
+    /// rekeying, where one packet carries every subgroup's keys).
+    pub bundles_skipped: u64,
+}
+
+/// Lifetime counters for Table 6 / Figure 12.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Rekey packets processed.
+    pub rekey_msgs: u64,
+    /// Total bytes of those packets.
+    pub rekey_bytes: u64,
+    /// Total keys installed (= keys decrypted).
+    pub key_changes: u64,
+    /// Signature / Merkle-path verifications performed.
+    pub verifications: u64,
+}
+
+/// A group member's key state machine.
+#[derive(Debug, Clone)]
+pub struct Client {
+    user: UserId,
+    cipher: KeyCipher,
+    verify: VerifyPolicy,
+    /// label → (version, key); the member's current keyset.
+    keys: BTreeMap<KeyLabel, (KeyVersion, SymmetricKey)>,
+    /// The root (group key) label, learned from the join grant.
+    root_label: Option<KeyLabel>,
+    /// Our individual-key leaf label.
+    leaf_label: Option<KeyLabel>,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// Create a client for `user`.
+    pub fn new(user: UserId, cipher: KeyCipher, verify: VerifyPolicy) -> Self {
+        Client {
+            user,
+            cipher,
+            verify,
+            keys: BTreeMap::new(),
+            root_label: None,
+            leaf_label: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// This client's user id.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Install the outcome of the (simulated) authentication exchange plus
+    /// the join-ack: our individual key, our leaf label, and the root
+    /// label.
+    pub fn install_grant(
+        &mut self,
+        individual_key: SymmetricKey,
+        leaf_label: KeyLabel,
+        path_labels: &[KeyLabel],
+    ) {
+        self.keys.insert(leaf_label, (KeyVersion::default(), individual_key));
+        self.leaf_label = Some(leaf_label);
+        self.root_label = path_labels.first().copied();
+    }
+
+    /// The current group key, if known.
+    pub fn group_key(&self) -> Option<(KeyRef, SymmetricKey)> {
+        let root = self.root_label?;
+        let (v, k) = self.keys.get(&root)?;
+        Some((KeyRef::new(root, *v), k.clone()))
+    }
+
+    /// The member's individual key.
+    pub fn individual_key(&self) -> Option<SymmetricKey> {
+        let leaf = self.leaf_label?;
+        self.keys.get(&leaf).map(|(_, k)| k.clone())
+    }
+
+    /// Number of keys currently held (≈ tree height, Table 1's `h`).
+    pub fn keys_held(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// A snapshot of the full keyset (secrecy audits in tests).
+    pub fn keyset(&self) -> Vec<(KeyRef, SymmetricKey)> {
+        self.keys
+            .iter()
+            .map(|(&l, (v, k))| (KeyRef::new(l, *v), k.clone()))
+            .collect()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Process one encoded rekey packet.
+    pub fn process_rekey(&mut self, bytes: &[u8]) -> Result<ProcessSummary, ClientError> {
+        let (packet, body_len) = RekeyPacket::decode(bytes)?;
+        self.verify_auth(&packet, &bytes[..body_len])?;
+        self.stats.rekey_msgs += 1;
+        self.stats.rekey_bytes += bytes.len() as u64;
+
+        let mut summary = ProcessSummary::default();
+        let mut done = vec![false; packet.message.bundles.len()];
+        // Fixed point: a bundle may be decryptable only after another
+        // installs the key it is encrypted under (group-oriented leave).
+        loop {
+            let mut progress = false;
+            for (i, bundle) in packet.message.bundles.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let Some((version, key)) = self.keys.get(&bundle.encrypted_with.label) else {
+                    continue;
+                };
+                if *version != bundle.encrypted_with.version {
+                    continue;
+                }
+                let key = key.clone();
+                let plain = self
+                    .cipher
+                    .decrypt(&key, &bundle.iv, &bundle.ciphertext)
+                    .map_err(|_| ClientError::DecryptFailed(bundle.encrypted_with))?;
+                let key_len = self.cipher.key_len();
+                if plain.len() != bundle.targets.len() * key_len {
+                    return Err(ClientError::DecryptFailed(bundle.encrypted_with));
+                }
+                for (j, target) in bundle.targets.iter().enumerate() {
+                    let material = &plain[j * key_len..(j + 1) * key_len];
+                    let newer = self
+                        .keys
+                        .get(&target.label)
+                        .map_or(true, |(v, _)| target.version > *v);
+                    if newer {
+                        self.keys.insert(
+                            target.label,
+                            (target.version, SymmetricKey::from_bytes(material)),
+                        );
+                        summary.keys_installed += 1;
+                    }
+                }
+                summary.bundles_decrypted += 1;
+                done[i] = true;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+        summary.bundles_skipped = done.iter().filter(|&&d| !d).count() as u64;
+        self.stats.key_changes += summary.keys_installed;
+        Ok(summary)
+    }
+
+    fn verify_auth(&mut self, packet: &RekeyPacket, body: &[u8]) -> Result<(), ClientError> {
+        match (&self.verify, &packet.auth) {
+            (VerifyPolicy::Opportunistic, AuthTag::None) => Ok(()),
+            (VerifyPolicy::Opportunistic | VerifyPolicy::RequireDigest(_), AuthTag::Digest(d)) => {
+                // The digest algorithm is inferred from its length.
+                let alg = match d.len() {
+                    16 => HashAlg::Md5,
+                    20 => HashAlg::Sha1,
+                    32 => HashAlg::Sha256,
+                    _ => return Err(ClientError::AuthFailed),
+                };
+                if alg.hash(body) == *d {
+                    Ok(())
+                } else {
+                    Err(ClientError::AuthFailed)
+                }
+            }
+            (VerifyPolicy::RequireDigest(_), AuthTag::None) => Err(ClientError::AuthFailed),
+            (
+                VerifyPolicy::RequireSignature { alg, key },
+                AuthTag::Signed { signature },
+            ) => {
+                self.stats.verifications += 1;
+                key.verify(*alg, body, signature).map_err(|_| ClientError::AuthFailed)
+            }
+            (
+                VerifyPolicy::RequireSignature { alg, key },
+                AuthTag::MerkleSigned { root_signature, path },
+            ) => {
+                self.stats.verifications += 1;
+                merkle::verify_message(key, *alg, body, path, root_signature)
+                    .map_err(|_| ClientError::AuthFailed)
+            }
+            (VerifyPolicy::RequireSignature { .. }, _) => Err(ClientError::AuthFailed),
+            // Opportunistic accepts signed packets it cannot check (no key).
+            (VerifyPolicy::Opportunistic, _) => Ok(()),
+            (VerifyPolicy::RequireDigest(_), _) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::rekey::Strategy;
+    use kg_server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
+
+    /// Build a server + synchronized clients, delivering every packet to
+    /// every client (group-oriented style over-delivery is harmless: a
+    /// client skips bundles it cannot open).
+    fn build(strategy: Strategy, auth: AuthPolicy, n: u64) -> (GroupKeyServer, Vec<Client>) {
+        let config = ServerConfig { strategy, auth, ..ServerConfig::default() };
+        let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
+        let mut clients = Vec::new();
+        for i in 0..n {
+            join_one(&mut server, &mut clients, UserId(i));
+        }
+        (server, clients)
+    }
+
+    fn verify_policy(server: &GroupKeyServer) -> VerifyPolicy {
+        match server.public_key() {
+            Some(pk) => VerifyPolicy::RequireSignature {
+                alg: server.config().digest,
+                key: pk.clone(),
+            },
+            None => VerifyPolicy::Opportunistic,
+        }
+    }
+
+    fn join_one(server: &mut GroupKeyServer, clients: &mut Vec<Client>, user: UserId) {
+        let op = server.handle_join(user).unwrap();
+        let grant = op.join_grant.clone().unwrap();
+        let mut c = Client::new(user, server.config().cipher, verify_policy(server));
+        c.install_grant(grant.individual_key, grant.leaf_label, &grant.path_labels);
+        clients.push(c);
+        deliver_all(server, clients, &op.encoded);
+    }
+
+    fn deliver_all(server: &GroupKeyServer, clients: &mut [Client], encoded: &[Vec<u8>]) -> u64 {
+        let _ = server;
+        let mut installed = 0;
+        for bytes in encoded {
+            for c in clients.iter_mut() {
+                installed += c.process_rekey(bytes).unwrap().keys_installed;
+            }
+        }
+        installed
+    }
+
+    #[test]
+    fn all_members_track_the_group_key() {
+        for strategy in Strategy::ALL {
+            let (server, clients) = build(strategy, AuthPolicy::None, 17);
+            let (gk_ref, gk) = server.tree().group_key();
+            for c in &clients {
+                let (r, k) = c.group_key().expect("client knows group key");
+                assert_eq!(r, gk_ref, "strategy {strategy:?} user {:?}", c.user());
+                assert_eq!(k, gk);
+            }
+        }
+    }
+
+    #[test]
+    fn leave_rotates_key_for_survivors_only() {
+        for strategy in Strategy::ALL {
+            let (mut server, mut clients) = build(strategy, AuthPolicy::None, 9);
+            let op = server.handle_leave(UserId(4)).unwrap();
+            let leaver = clients.remove(4);
+            deliver_all(&server, &mut clients, &op.encoded);
+            let (gk_ref, gk) = server.tree().group_key();
+            for c in &clients {
+                let (r, k) = c.group_key().unwrap();
+                assert_eq!(r, gk_ref, "strategy {strategy:?}");
+                assert_eq!(k, gk);
+            }
+            // The leaver's stale keyset must not contain the new group key.
+            for (_, k) in leaver.keyset() {
+                assert_ne!(k, gk, "strategy {strategy:?}: leaver holds new group key");
+            }
+        }
+    }
+
+    #[test]
+    fn leaver_cannot_decrypt_rekey_traffic() {
+        for strategy in Strategy::ALL {
+            let (mut server, mut clients) = build(strategy, AuthPolicy::None, 9);
+            let op = server.handle_leave(UserId(4)).unwrap();
+            let mut leaver = clients.remove(4);
+            // Even if the leaver intercepts every packet, it installs no
+            // new keys: every bundle is under a key it lacks or a replaced
+            // version.
+            for bytes in &op.encoded {
+                let s = leaver.process_rekey(bytes).unwrap();
+                assert_eq!(s.keys_installed, 0, "strategy {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn joiner_cannot_read_pre_join_traffic() {
+        let (mut server, mut clients) = build(Strategy::GroupOriented, AuthPolicy::None, 8);
+        // Capture pre-join rekey traffic (from user 7's leave).
+        let old_op = server.handle_leave(UserId(7)).unwrap();
+        clients.remove(7);
+        deliver_all(&server, &mut clients, &old_op.encoded);
+        let (_, old_gk) = server.tree().group_key();
+        // New member joins.
+        join_one(&mut server, &mut clients, UserId(100));
+        let newcomer = clients.last().unwrap().clone();
+        // The newcomer holds the *new* group key, not the old one, and
+        // replaying old packets installs nothing.
+        let (_, new_gk) = server.tree().group_key();
+        assert_eq!(newcomer.group_key().unwrap().1, new_gk);
+        for (_, k) in newcomer.keyset() {
+            assert_ne!(k, old_gk);
+        }
+        let mut replayer = newcomer.clone();
+        for bytes in &old_op.encoded {
+            let s = replayer.process_rekey(bytes).unwrap();
+            assert_eq!(s.keys_installed, 0);
+        }
+    }
+
+    #[test]
+    fn key_changes_match_paper_average() {
+        // Figure 12: average key changes per request ≈ d/(d−1) for
+        // non-requesting users.
+        let (mut server, mut clients) = build(Strategy::GroupOriented, AuthPolicy::None, 64);
+        let requests = 40u64;
+        let mut installed = 0u64;
+        for i in 0..requests {
+            let op = server.handle_leave(UserId(i)).unwrap();
+            clients.retain(|c| c.user() != UserId(i));
+            installed += deliver_all(&server, &mut clients, &op.encoded);
+            // Count the join's rekey installs too (join_one delivers
+            // internally, so replicate its steps here to capture the tally).
+            let op = server.handle_join(UserId(1000 + i)).unwrap();
+            let grant = op.join_grant.clone().unwrap();
+            let mut c = Client::new(UserId(1000 + i), server.config().cipher, verify_policy(&server));
+            c.install_grant(grant.individual_key, grant.leaf_label, &grant.path_labels);
+            clients.push(c);
+            installed += deliver_all(&server, &mut clients, &op.encoded);
+        }
+        // 2 requests per iteration; ~64 clients.
+        let per_client_per_request =
+            installed as f64 / (2.0 * requests as f64) / clients.len() as f64;
+        let expected = 4.0 / 3.0; // d/(d−1) at d=4
+        assert!(
+            (per_client_per_request - expected).abs() < 0.5,
+            "measured {per_client_per_request}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn signed_packets_verify_and_tampering_detected() {
+        let (mut server, mut clients) = build(Strategy::KeyOriented, AuthPolicy::SignBatch, 16);
+        let op = server.handle_leave(UserId(3)).unwrap();
+        clients.remove(3);
+        // Valid packets process fine.
+        for bytes in &op.encoded {
+            for c in clients.iter_mut() {
+                c.process_rekey(bytes).unwrap();
+            }
+        }
+        // A tampered body fails verification.
+        let mut bad = op.encoded[0].clone();
+        bad[10] ^= 1;
+        assert_eq!(clients[0].process_rekey(&bad).unwrap_err(), ClientError::AuthFailed);
+    }
+
+    #[test]
+    fn require_signature_rejects_unsigned() {
+        let (server, _) = build(Strategy::GroupOriented, AuthPolicy::SignBatch, 2);
+        let mut strict = Client::new(
+            UserId(50),
+            server.config().cipher,
+            VerifyPolicy::RequireSignature {
+                alg: server.config().digest,
+                key: server.public_key().unwrap().clone(),
+            },
+        );
+        // Forge an unsigned packet.
+        let pkt = kg_wire::RekeyPacket {
+            seq: 0,
+            op: kg_wire::OpKind::Join,
+            timestamp_ms: 0,
+            message: kg_core::rekey::RekeyMessage {
+                recipients: kg_core::rekey::Recipients::Group,
+                bundles: vec![],
+            },
+            auth: AuthTag::None,
+        };
+        assert_eq!(strict.process_rekey(&pkt.encode()).unwrap_err(), ClientError::AuthFailed);
+    }
+
+    #[test]
+    fn digest_mismatch_detected() {
+        let (mut server, mut clients) = build(Strategy::GroupOriented, AuthPolicy::Digest, 4);
+        let op = server.handle_join(UserId(99)).unwrap();
+        let mut bytes = op.encoded[0].clone();
+        bytes[9] ^= 0x80; // flip a body bit; digest no longer matches
+        assert_eq!(clients[0].process_rekey(&bytes).unwrap_err(), ClientError::AuthFailed);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut server, mut clients) = build(Strategy::GroupOriented, AuthPolicy::None, 8);
+        let op = server.handle_join(UserId(50)).unwrap();
+        deliver_all(&server, &mut clients, &op.encoded[..1]); // group packet only
+        let st = clients[0].stats();
+        assert!(st.rekey_msgs >= 1);
+        assert!(st.rekey_bytes > 0);
+        assert!(st.key_changes >= 1);
+    }
+
+    #[test]
+    fn garbage_packet_is_wire_error() {
+        let mut c = Client::new(UserId(1), KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
+        assert!(matches!(c.process_rekey(&[1, 2, 3]), Err(ClientError::Wire(_))));
+    }
+}

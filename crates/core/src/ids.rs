@@ -1,0 +1,112 @@
+//! Identifier newtypes shared across the key-graph machinery.
+
+use std::fmt;
+
+/// Identifies a user (a u-node of the key graph).
+///
+/// In the prototype, user ids are assigned by the server at admission time
+/// and echoed in protocol messages; they are opaque to the protocol logic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A stable label for a k-node (a key position in the graph).
+///
+/// Labels are assigned once at node creation and never reused, so clients
+/// can refer to "the key at position L" across rekeys; the *contents* of a
+/// k-node change over time and are tracked by [`KeyVersion`]. This is the
+/// "subgroup label" the paper says rekey messages carry alongside each
+/// encrypted key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyLabel(pub u64);
+
+impl fmt::Debug for KeyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for KeyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Version counter for the key held at a k-node; bumped on every rekey of
+/// that node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct KeyVersion(pub u64);
+
+impl KeyVersion {
+    /// The next version.
+    pub fn next(self) -> KeyVersion {
+        KeyVersion(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for KeyVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A (label, version) pair uniquely identifying one concrete key value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyRef {
+    /// Which k-node.
+    pub label: KeyLabel,
+    /// Which generation of that node's key.
+    pub version: KeyVersion,
+}
+
+impl KeyRef {
+    /// Construct a reference.
+    pub fn new(label: KeyLabel, version: KeyVersion) -> Self {
+        KeyRef { label, version }
+    }
+}
+
+impl fmt::Debug for KeyRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{:?}", self.label, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_increments() {
+        let v = KeyVersion::default();
+        assert_eq!(v.next(), KeyVersion(1));
+        assert_eq!(v.next().next(), KeyVersion(2));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", UserId(4)), "u4");
+        assert_eq!(format!("{:?}", KeyLabel(7)), "k7");
+        assert_eq!(
+            format!("{:?}", KeyRef::new(KeyLabel(7), KeyVersion(2))),
+            "k7@v2"
+        );
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(UserId(1) < UserId(2));
+        assert!(KeyLabel(3) < KeyLabel(10));
+    }
+}

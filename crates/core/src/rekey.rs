@@ -1,0 +1,694 @@
+//! Rekey message construction — the three strategies of Section 3.
+//!
+//! After a join or leave mutates the key tree, the server must deliver the
+//! new path keys to exactly the users entitled to them. The paper proposes
+//! three ways to package that delivery:
+//!
+//! * **User-oriented** (§3.3/§3.4): one message per user class, containing
+//!   *precisely* the new keys that class needs, all encrypted under one key
+//!   the class already holds. Most messages, most server encryptions,
+//!   smallest messages per client.
+//! * **Key-oriented** (Figures 6 and 8): each new key encrypted
+//!   individually under its node's old key (join) or under each surviving
+//!   child key (leave); ciphertexts are *stored and reused* across the
+//!   per-subgroup messages, which is what brings the leave cost down from
+//!   `(d−1)h(h−1)/2` to `d(h−1)` encryptions.
+//! * **Group-oriented** (Figures 7 and 9): one rekey message carrying all
+//!   new keys, multicast to the whole group; each client picks out what it
+//!   can decrypt. Fewest messages and fewest server encryptions, but the
+//!   biggest message on every client's wire.
+//!
+//! Plans are *materialized*: each [`KeyBundle`] carries a real ciphertext
+//! produced by the configured cipher (DES-CBC in the paper), and an
+//! [`OpCounts`] tally is returned so tests can check the Table 2 formulas
+//! against reality.
+
+use crate::ids::{KeyLabel, KeyRef, UserId};
+use crate::tree::{JoinEvent, LeaveEvent};
+use kg_crypto::cbc::CbcCipher;
+use kg_crypto::des::{Des, TripleDes};
+use kg_crypto::{BlockCipher, CryptoError, KeySource, SymmetricKey};
+
+/// The three rekeying strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// One tailored message per user class (§3.3 "user-oriented").
+    UserOriented,
+    /// Per-key ciphertexts with reuse (Figures 6/8).
+    KeyOriented,
+    /// One message for the whole group (Figures 7/9).
+    GroupOriented,
+}
+
+impl Strategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [Strategy; 3] =
+        [Strategy::UserOriented, Strategy::KeyOriented, Strategy::GroupOriented];
+
+    /// Short name used in reports ("user" / "key" / "group", as in the
+    /// paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::UserOriented => "user",
+            Strategy::KeyOriented => "key",
+            Strategy::GroupOriented => "group",
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "user" | "user-oriented" => Ok(Strategy::UserOriented),
+            "key" | "key-oriented" => Ok(Strategy::KeyOriented),
+            "group" | "group-oriented" => Ok(Strategy::GroupOriented),
+            other => Err(format!("unknown strategy {other:?}")),
+        }
+    }
+}
+
+/// Whom a rekey message is addressed to. The server resolves these against
+/// the key tree when sending (subgroup multicast in the paper; the
+/// simulated network does the same).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recipients {
+    /// A single user (unicast).
+    User(UserId),
+    /// Every user holding the key at this label.
+    Subgroup(KeyLabel),
+    /// Users holding `include`'s key but not `exclude`'s — the
+    /// `userset(K_i) − userset(K_{i+1})` sets of the join protocols.
+    SubgroupExcept {
+        /// Users must hold this key…
+        include: KeyLabel,
+        /// …and must not hold this one.
+        exclude: KeyLabel,
+    },
+    /// The entire group.
+    Group,
+}
+
+/// One ciphertext inside a rekey message: `targets` new keys (in order)
+/// encrypted under `encrypted_with`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyBundle {
+    /// References of the new keys inside the ciphertext, in plaintext order.
+    pub targets: Vec<KeyRef>,
+    /// Reference of the key the bundle is encrypted under.
+    pub encrypted_with: KeyRef,
+    /// CBC initialization vector.
+    pub iv: Vec<u8>,
+    /// The ciphertext (length = padded concatenation of target keys).
+    pub ciphertext: Vec<u8>,
+}
+
+/// A rekey message: recipients plus one or more key bundles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RekeyMessage {
+    /// Delivery scope.
+    pub recipients: Recipients,
+    /// Encrypted new keys.
+    pub bundles: Vec<KeyBundle>,
+}
+
+impl RekeyMessage {
+    /// Total number of encrypted keys carried (for cost accounting).
+    pub fn key_count(&self) -> usize {
+        self.bundles.iter().map(|b| b.targets.len()).sum()
+    }
+}
+
+/// Cryptographic operation counts for one rekey operation, in the units of
+/// the paper's cost model: `key_encryptions` counts *keys encrypted*, so a
+/// bundle packing three keys into one ciphertext costs three.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Keys encrypted by the server.
+    pub key_encryptions: u64,
+    /// Fresh keys generated.
+    pub keys_generated: u64,
+}
+
+/// Output of a rekey operation: the messages to send and the cost tally.
+#[derive(Debug, Clone)]
+pub struct RekeyOutput {
+    /// Messages to deliver (the joiner's unicast, when present, is the one
+    /// with `Recipients::User`).
+    pub messages: Vec<RekeyMessage>,
+    /// Server-side operation counts.
+    pub ops: OpCounts,
+}
+
+/// Key-encryption engine used to materialize bundles.
+///
+/// The paper's prototype used DES-CBC; [`KeyCipher::des_cbc`] is the
+/// default. The trait-object-free enum keeps the hot path monomorphic
+/// while still letting the benchmark harness ablate the cipher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyCipher {
+    /// DES in CBC mode (the paper's configuration).
+    DesCbc,
+    /// Triple-DES EDE3 in CBC mode (ablation option).
+    TripleDesCbc,
+}
+
+impl KeyCipher {
+    /// The paper's configuration.
+    pub fn des_cbc() -> Self {
+        KeyCipher::DesCbc
+    }
+
+    /// Bytes of key material each encryption key must supply.
+    pub fn key_len(self) -> usize {
+        match self {
+            KeyCipher::DesCbc => Des::KEY_SIZE,
+            KeyCipher::TripleDesCbc => TripleDes::KEY_SIZE,
+        }
+    }
+
+    /// Cipher block size (8 for both DES variants).
+    pub fn block_len(self) -> usize {
+        match self {
+            KeyCipher::DesCbc => Des::BLOCK_SIZE,
+            KeyCipher::TripleDesCbc => TripleDes::BLOCK_SIZE,
+        }
+    }
+
+    /// Ciphertext size for a plaintext of `plain` bytes.
+    pub fn ciphertext_len(self, plain: usize) -> usize {
+        (plain / self.block_len() + 1) * self.block_len()
+    }
+
+    /// Encrypt `plaintext` under `key` with the given IV.
+    pub fn encrypt(self, key: &SymmetricKey, iv: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        match self {
+            KeyCipher::DesCbc => {
+                let c = CbcCipher::new(Des::new(key.material()).expect("checked key length"));
+                c.encrypt(plaintext, iv)
+            }
+            KeyCipher::TripleDesCbc => {
+                let c =
+                    CbcCipher::new(TripleDes::new(key.material()).expect("checked key length"));
+                c.encrypt(plaintext, iv)
+            }
+        }
+    }
+
+    /// Decrypt a bundle ciphertext.
+    pub fn decrypt(
+        self,
+        key: &SymmetricKey,
+        iv: &[u8],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        match self {
+            KeyCipher::DesCbc => {
+                let c = CbcCipher::new(Des::new(key.material())?);
+                c.decrypt(ciphertext, iv)
+            }
+            KeyCipher::TripleDesCbc => {
+                let c = CbcCipher::new(TripleDes::new(key.material())?);
+                c.decrypt(ciphertext, iv)
+            }
+        }
+    }
+}
+
+/// Context for materializing rekey messages: cipher choice plus the IV
+/// source.
+pub struct Rekeyer<'a> {
+    cipher: KeyCipher,
+    ivs: &'a mut dyn KeySource,
+}
+
+impl<'a> Rekeyer<'a> {
+    /// Create a rekeyer.
+    pub fn new(cipher: KeyCipher, ivs: &'a mut dyn KeySource) -> Self {
+        Rekeyer { cipher, ivs }
+    }
+
+    /// The cipher in use.
+    pub fn cipher(&self) -> KeyCipher {
+        self.cipher
+    }
+
+    fn bundle(
+        &mut self,
+        ops: &mut OpCounts,
+        encrypting_ref: KeyRef,
+        encrypting_key: &SymmetricKey,
+        targets: &[(KeyRef, &SymmetricKey)],
+    ) -> KeyBundle {
+        let mut plaintext = Vec::with_capacity(targets.len() * 8);
+        for (_, key) in targets {
+            plaintext.extend_from_slice(key.material());
+        }
+        let iv = self.ivs.generate(self.cipher.block_len());
+        let ciphertext = self.cipher.encrypt(encrypting_key, &iv, &plaintext);
+        ops.key_encryptions += targets.len() as u64;
+        KeyBundle {
+            targets: targets.iter().map(|(r, _)| *r).collect(),
+            encrypted_with: encrypting_ref,
+            iv,
+            ciphertext,
+        }
+    }
+
+    /// Construct the rekey messages for a join under `strategy`.
+    pub fn join(&mut self, ev: &JoinEvent, strategy: Strategy) -> RekeyOutput {
+        let mut ops = OpCounts { keys_generated: ev.path.len() as u64, ..OpCounts::default() };
+        let mut messages = Vec::new();
+        let path = &ev.path; // root-first: x_0 … x_j
+        let j = path.len() - 1;
+
+        match strategy {
+            Strategy::UserOriented => {
+                // For each x_i: the users holding old K_i but not K_{i+1}
+                // get {K'_0 … K'_i} under old K_i.
+                for i in 0..=j {
+                    let targets: Vec<(KeyRef, &SymmetricKey)> =
+                        path[..=i].iter().map(|p| (p.new_ref, &p.new_key)).collect();
+                    let b = self.bundle(&mut ops, path[i].old_ref, &path[i].old_key, &targets);
+                    messages.push(RekeyMessage {
+                        recipients: Recipients::SubgroupExcept {
+                            include: path[i].label,
+                            exclude: ev.path_child[i],
+                        },
+                        bundles: vec![b],
+                    });
+                }
+            }
+            Strategy::KeyOriented => {
+                // Each new key encrypted once under its old key; the
+                // ciphertexts are shared across the per-class messages
+                // (Figure 6's combined form).
+                let singles: Vec<KeyBundle> = path
+                    .iter()
+                    .map(|p| {
+                        self.bundle_dedup_count(&mut ops, p.old_ref, &p.old_key, p.new_ref, &p.new_key)
+                    })
+                    .collect();
+                // Message for class i carries {K'_0}_{K_0} … {K'_i}_{K_i}.
+                for i in 0..=j {
+                    messages.push(RekeyMessage {
+                        recipients: Recipients::SubgroupExcept {
+                            include: path[i].label,
+                            exclude: ev.path_child[i],
+                        },
+                        bundles: singles[..=i].to_vec(),
+                    });
+                }
+            }
+            Strategy::GroupOriented => {
+                // One multicast with every {K'_i}_{K_i}.
+                let bundles: Vec<KeyBundle> = path
+                    .iter()
+                    .map(|p| {
+                        let t = [(p.new_ref, &p.new_key)];
+                        self.bundle(&mut ops, p.old_ref, &p.old_key, &t)
+                    })
+                    .collect();
+                messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
+            }
+        }
+
+        // All strategies unicast the full new path to the joiner under its
+        // individual key.
+        let joiner_targets: Vec<(KeyRef, &SymmetricKey)> =
+            path.iter().map(|p| (p.new_ref, &p.new_key)).collect();
+        let b = self.bundle(&mut ops, ev.leaf_ref, &ev.leaf_key, &joiner_targets);
+        messages.push(RekeyMessage { recipients: Recipients::User(ev.user), bundles: vec![b] });
+
+        RekeyOutput { messages, ops }
+    }
+
+    /// Crate-internal bundle constructor for strategy extensions (the §7
+    /// hybrid in [`crate::hybrid`]).
+    pub(crate) fn bundle_for(
+        &mut self,
+        ops: &mut OpCounts,
+        encrypting_ref: KeyRef,
+        encrypting_key: &SymmetricKey,
+        targets: &[(KeyRef, &SymmetricKey)],
+    ) -> KeyBundle {
+        self.bundle(ops, encrypting_ref, encrypting_key, targets)
+    }
+
+    /// Like [`Self::bundle`] for a single target, used where the paper
+    /// counts each stored ciphertext exactly once.
+    fn bundle_dedup_count(
+        &mut self,
+        ops: &mut OpCounts,
+        encrypting_ref: KeyRef,
+        encrypting_key: &SymmetricKey,
+        target_ref: KeyRef,
+        target_key: &SymmetricKey,
+    ) -> KeyBundle {
+        let t = [(target_ref, target_key)];
+        self.bundle(ops, encrypting_ref, encrypting_key, &t)
+    }
+
+    /// Construct the rekey messages for a leave under `strategy`.
+    ///
+    /// Returns an empty output when the group became empty (no recipients).
+    pub fn leave(&mut self, ev: &LeaveEvent, strategy: Strategy) -> RekeyOutput {
+        let mut ops = OpCounts { keys_generated: ev.path.len() as u64, ..OpCounts::default() };
+        let mut messages = Vec::new();
+        if ev.path.is_empty() {
+            return RekeyOutput { messages, ops };
+        }
+        let path = &ev.path; // root-first: x_0 … x_j
+        let j = path.len() - 1;
+
+        match strategy {
+            Strategy::UserOriented => {
+                // For each x_i and each unchanged child y of x_i: a message
+                // {K'_i, K'_{i-1} … K'_0} under y's key, to userset(y).
+                for i in 0..=j {
+                    // New keys of x_i and all its ancestors, node-first.
+                    let targets: Vec<(KeyRef, &SymmetricKey)> = (0..=i)
+                        .rev()
+                        .map(|l| (path[l].new_ref, &path[l].new_key))
+                        .collect();
+                    for sib in &ev.siblings[i] {
+                        let b = self.bundle(&mut ops, sib.key_ref, &sib.key, &targets);
+                        messages.push(RekeyMessage {
+                            recipients: Recipients::Subgroup(sib.label),
+                            bundles: vec![b],
+                        });
+                    }
+                }
+            }
+            Strategy::KeyOriented => {
+                // Stored chain ciphertexts {K'_{i-1}}_{K'_i} computed once.
+                let chain: Vec<KeyBundle> = (1..=j)
+                    .map(|i| {
+                        self.bundle_dedup_count(
+                            &mut ops,
+                            path[i].new_ref,
+                            &path[i].new_key,
+                            path[i - 1].new_ref,
+                            &path[i - 1].new_key,
+                        )
+                    })
+                    .collect();
+                // For each x_i, each unchanged child y: M = {K'_i}_K,
+                // {K'_{i-1}}_{K'_i}, …, {K'_0}_{K'_1}.
+                for i in 0..=j {
+                    for sib in &ev.siblings[i] {
+                        let head = self.bundle_dedup_count(
+                            &mut ops,
+                            sib.key_ref,
+                            &sib.key,
+                            path[i].new_ref,
+                            &path[i].new_key,
+                        );
+                        let mut bundles = vec![head];
+                        // chain[i-1] is {K'_{i-1}}_{K'_i}; walk down to
+                        // {K'_0}_{K'_1}.
+                        for l in (0..i).rev() {
+                            bundles.push(chain[l].clone());
+                        }
+                        messages.push(RekeyMessage {
+                            recipients: Recipients::Subgroup(sib.label),
+                            bundles,
+                        });
+                    }
+                }
+            }
+            Strategy::GroupOriented => {
+                // L_i = {K'_i} under each child key of x_i; children on the
+                // path use their *new* keys.
+                let mut bundles = Vec::new();
+                for i in 0..=j {
+                    for sib in &ev.siblings[i] {
+                        bundles.push(self.bundle_dedup_count(
+                            &mut ops,
+                            sib.key_ref,
+                            &sib.key,
+                            path[i].new_ref,
+                            &path[i].new_key,
+                        ));
+                    }
+                    if i < j {
+                        // The path child x_{i+1} holds its fresh key K'_{i+1}.
+                        bundles.push(self.bundle_dedup_count(
+                            &mut ops,
+                            path[i + 1].new_ref,
+                            &path[i + 1].new_key,
+                            path[i].new_ref,
+                            &path[i].new_key,
+                        ));
+                    }
+                }
+                messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
+            }
+        }
+        RekeyOutput { messages, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::KeyTree;
+    use kg_crypto::drbg::HmacDrbg;
+
+    /// Build the Figure 5 tree: degree 3, users u1..u8 (then u9 joins).
+    fn figure5_tree() -> (KeyTree, HmacDrbg) {
+        let mut src = HmacDrbg::from_seed(55);
+        let mut tree = KeyTree::new(3, 8, &mut src);
+        for i in 1..=8 {
+            let ik = src.generate_key(8);
+            tree.join(UserId(i), ik, &mut src).unwrap();
+        }
+        (tree, src)
+    }
+
+    fn h(tree: &KeyTree) -> usize {
+        tree.height()
+    }
+
+    #[test]
+    fn join_message_counts_match_paper() {
+        // Figure 5 join: user-oriented → h msgs (incl. joiner), key-oriented
+        // → h msgs, group-oriented → 2 msgs.
+        let (mut tree, mut src) = figure5_tree();
+        let ik = src.generate_key(8);
+        let ev = tree.join(UserId(9), ik, &mut src).unwrap();
+        let height = h(&tree);
+        assert_eq!(height, 3);
+        for (strategy, expected_msgs) in [
+            (Strategy::UserOriented, height),      // h−1 classes + joiner
+            (Strategy::KeyOriented, height),       // same recipient classes
+            (Strategy::GroupOriented, 2),          // one multicast + joiner
+        ] {
+            let mut ivs = HmacDrbg::from_seed(1);
+            let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.join(&ev, strategy);
+            assert_eq!(out.messages.len(), expected_msgs, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn join_encryption_costs_match_table2() {
+        let (mut tree, mut src) = figure5_tree();
+        let ik = src.generate_key(8);
+        let ev = tree.join(UserId(9), ik, &mut src).unwrap();
+        let height = h(&tree) as u64; // 3
+        let cases = [
+            // user-oriented: h(h+1)/2 − 1
+            (Strategy::UserOriented, height * (height + 1) / 2 - 1),
+            // key-oriented and group-oriented: 2(h−1)
+            (Strategy::KeyOriented, 2 * (height - 1)),
+            (Strategy::GroupOriented, 2 * (height - 1)),
+        ];
+        for (strategy, expected) in cases {
+            let mut ivs = HmacDrbg::from_seed(2);
+            let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.join(&ev, strategy);
+            assert_eq!(out.ops.key_encryptions, expected, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn leave_message_counts_match_paper() {
+        // Figure 5 leave of u9 from the 9-user tree: (d−1)(h−1) messages for
+        // user/key-oriented, 1 for group-oriented.
+        let (mut tree, mut src) = figure5_tree();
+        let ik = src.generate_key(8);
+        tree.join(UserId(9), ik, &mut src).unwrap();
+        let d = tree.degree() as u64;
+        let height = h(&tree) as u64;
+        let ev = tree.leave(UserId(9), &mut src).unwrap();
+        for (strategy, expected) in [
+            (Strategy::UserOriented, ((d - 1) * (height - 1)) as usize),
+            (Strategy::KeyOriented, ((d - 1) * (height - 1)) as usize),
+            (Strategy::GroupOriented, 1),
+        ] {
+            let mut ivs = HmacDrbg::from_seed(3);
+            let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.leave(&ev, strategy);
+            assert_eq!(out.messages.len(), expected, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn leave_encryption_costs_match_table2() {
+        let (mut tree, mut src) = figure5_tree();
+        let ik = src.generate_key(8);
+        tree.join(UserId(9), ik, &mut src).unwrap();
+        let d = tree.degree() as u64;
+        let height = h(&tree) as u64;
+        let ev = tree.leave(UserId(9), &mut src).unwrap();
+        // The paper's own Figure 5 example: key-oriented sends
+        // {k1-8}k123, {k1-8}k456, {k1-8}k78, {k78}k7, {k78}k8 — five
+        // encryptions. Table 2's d(h−1) rounds the leaving level up to d
+        // children; the exact count on a full tree is (d−1) + d(h−2).
+        let exact_key_group = (d - 1) + d * (height - 2);
+        for (strategy, expected) in [
+            // user-oriented: (d−1)·h(h−1)/2 (exact here: every level has
+            // d−1 unchanged children).
+            (Strategy::UserOriented, (d - 1) * height * (height - 1) / 2),
+            (Strategy::KeyOriented, exact_key_group),
+            (Strategy::GroupOriented, exact_key_group),
+        ] {
+            let mut ivs = HmacDrbg::from_seed(4);
+            let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.leave(&ev, strategy);
+            assert_eq!(out.ops.key_encryptions, expected, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn joiner_always_gets_full_path() {
+        let (mut tree, mut src) = figure5_tree();
+        let ik = src.generate_key(8);
+        let ev = tree.join(UserId(9), ik.clone(), &mut src).unwrap();
+        for strategy in Strategy::ALL {
+            let mut ivs = HmacDrbg::from_seed(5);
+            let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.join(&ev, strategy);
+            let joiner_msg = out
+                .messages
+                .iter()
+                .find(|m| m.recipients == Recipients::User(UserId(9)))
+                .expect("joiner unicast");
+            assert_eq!(joiner_msg.key_count(), ev.path.len());
+            // The joiner can decrypt it with its individual key.
+            let bundle = &joiner_msg.bundles[0];
+            assert_eq!(bundle.encrypted_with, ev.leaf_ref);
+            let plain = KeyCipher::des_cbc()
+                .decrypt(&ik, &bundle.iv, &bundle.ciphertext)
+                .unwrap();
+            assert_eq!(plain.len(), ev.path.len() * 8);
+            // Each 8-byte slice is the corresponding new key.
+            for (i, p) in ev.path.iter().enumerate() {
+                assert_eq!(&plain[i * 8..(i + 1) * 8], p.new_key.material());
+            }
+        }
+    }
+
+    #[test]
+    fn bundles_decrypt_under_declared_keys() {
+        let (mut tree, mut src) = figure5_tree();
+        // Capture old keys before the leave.
+        let ik9 = src.generate_key(8);
+        tree.join(UserId(9), ik9, &mut src).unwrap();
+        let ev = tree.leave(UserId(9), &mut src).unwrap();
+        // key-oriented: the head bundle of each message decrypts under the
+        // sibling's key, yielding that level's new key.
+        let mut ivs = HmacDrbg::from_seed(6);
+        let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+        let out = rk.leave(&ev, Strategy::KeyOriented);
+        let mut checked = 0;
+        for msg in &out.messages {
+            let head = &msg.bundles[0];
+            for level in ev.siblings.iter().flatten() {
+                if level.key_ref == head.encrypted_with {
+                    let plain = KeyCipher::des_cbc()
+                        .decrypt(&level.key, &head.iv, &head.ciphertext)
+                        .unwrap();
+                    let target = head.targets[0];
+                    let p = ev.path.iter().find(|p| p.new_ref == target).unwrap();
+                    assert_eq!(plain, p.new_key.material());
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn group_oriented_leave_single_message_size_grows_with_d() {
+        // Paper: the leave rekey message is about d times bigger than the
+        // join one. Check the key-count ratio on a full tree.
+        let mut src = HmacDrbg::from_seed(7);
+        let mut tree = KeyTree::new(4, 8, &mut src);
+        for i in 0..64 {
+            let ik = src.generate_key(8);
+            tree.join(UserId(i), ik, &mut src).unwrap();
+        }
+        let ik = src.generate_key(8);
+        let jev = tree.join(UserId(100), ik, &mut src).unwrap();
+        let mut ivs = HmacDrbg::from_seed(8);
+        let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+        let join_keys = rk.join(&jev, Strategy::GroupOriented).messages[0].key_count();
+        let lev = tree.leave(UserId(100), &mut src).unwrap();
+        let leave_keys = rk.leave(&lev, Strategy::GroupOriented).messages[0].key_count();
+        assert!(
+            leave_keys >= 3 * join_keys,
+            "leave msg ({leave_keys} keys) should dwarf join msg ({join_keys} keys) at d=4"
+        );
+    }
+
+    #[test]
+    fn empty_group_leave_produces_no_messages() {
+        let mut src = HmacDrbg::from_seed(9);
+        let mut tree = KeyTree::new(4, 8, &mut src);
+        let ik = src.generate_key(8);
+        tree.join(UserId(1), ik, &mut src).unwrap();
+        let ev = tree.leave(UserId(1), &mut src).unwrap();
+        for strategy in Strategy::ALL {
+            let mut ivs = HmacDrbg::from_seed(10);
+            let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.leave(&ev, strategy);
+            assert!(out.messages.is_empty(), "strategy {strategy:?}");
+            assert_eq!(out.ops.key_encryptions, 0);
+        }
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!("user".parse::<Strategy>().unwrap(), Strategy::UserOriented);
+        assert_eq!("key-oriented".parse::<Strategy>().unwrap(), Strategy::KeyOriented);
+        assert_eq!("group".parse::<Strategy>().unwrap(), Strategy::GroupOriented);
+        assert!("bogus".parse::<Strategy>().is_err());
+        assert_eq!(Strategy::GroupOriented.name(), "group");
+    }
+
+    #[test]
+    fn triple_des_cipher_works_end_to_end() {
+        let mut src = HmacDrbg::from_seed(11);
+        let mut tree = KeyTree::new(4, 24, &mut src);
+        for i in 0..5 {
+            let ik = src.generate_key(24);
+            tree.join(UserId(i), ik, &mut src).unwrap();
+        }
+        let ik = src.generate_key(24);
+        let ev = tree.join(UserId(9), ik.clone(), &mut src).unwrap();
+        let mut ivs = HmacDrbg::from_seed(12);
+        let mut rk = Rekeyer::new(KeyCipher::TripleDesCbc, &mut ivs);
+        let out = rk.join(&ev, Strategy::GroupOriented);
+        let joiner_msg = out
+            .messages
+            .iter()
+            .find(|m| matches!(m.recipients, Recipients::User(_)))
+            .unwrap();
+        let b = &joiner_msg.bundles[0];
+        let plain = KeyCipher::TripleDesCbc.decrypt(&ik, &b.iv, &b.ciphertext).unwrap();
+        assert_eq!(plain.len(), ev.path.len() * 24);
+    }
+}

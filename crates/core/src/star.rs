@@ -1,0 +1,298 @@
+//! Star key graphs — the conventional baseline (§3.1, §3.2).
+//!
+//! In a star, every user holds exactly two keys: its individual key and the
+//! group key. Joins are cheap (Figure 2: one encryption under the old group
+//! key, one under the joiner's key), but a **leave costs n−1 encryptions**
+//! (Figure 4: the new group key must be unicast to every remaining member
+//! under its individual key). This linear leave cost is the scalability
+//! problem the key tree solves; the star is implemented both as the
+//! baseline for the benchmarks and because it *is* a degree-∞ key tree —
+//! the figures' formulas degenerate to it.
+
+use crate::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
+use crate::rekey::{KeyBundle, KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput};
+use crate::tree::TreeError;
+use kg_crypto::{KeySource, SymmetricKey};
+use std::collections::BTreeMap;
+
+/// A star key graph with its rekeying protocols.
+#[derive(Debug, Clone)]
+pub struct StarGroup {
+    group_label: KeyLabel,
+    group_version: KeyVersion,
+    group_key: SymmetricKey,
+    members: BTreeMap<UserId, (KeyLabel, SymmetricKey)>,
+    next_label: u64,
+    key_len: usize,
+    cipher: KeyCipher,
+}
+
+impl StarGroup {
+    /// Create an empty star group.
+    pub fn new(key_len: usize, cipher: KeyCipher, source: &mut dyn KeySource) -> Self {
+        StarGroup {
+            group_label: KeyLabel(0),
+            group_version: KeyVersion::default(),
+            group_key: source.generate_key(key_len),
+            members: BTreeMap::new(),
+            next_label: 1,
+            key_len,
+            cipher,
+        }
+    }
+
+    /// Number of members.
+    pub fn user_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `u` is a member.
+    pub fn is_member(&self, u: UserId) -> bool {
+        self.members.contains_key(&u)
+    }
+
+    /// Current group key.
+    pub fn group_key(&self) -> (KeyRef, SymmetricKey) {
+        (KeyRef::new(self.group_label, self.group_version), self.group_key.clone())
+    }
+
+    /// A member's individual key (test/simulation support).
+    pub fn individual_key(&self, u: UserId) -> Option<(KeyRef, SymmetricKey)> {
+        self.members
+            .get(&u)
+            .map(|(label, key)| (KeyRef::new(*label, KeyVersion::default()), key.clone()))
+    }
+
+    /// Figure 2: admit `u`, rotate the group key, return the two rekey
+    /// messages (multicast under the old group key; unicast to the joiner).
+    pub fn join(
+        &mut self,
+        u: UserId,
+        individual_key: SymmetricKey,
+        source: &mut dyn KeySource,
+        ivs: &mut dyn KeySource,
+    ) -> Result<RekeyOutput, TreeError> {
+        if self.members.contains_key(&u) {
+            return Err(TreeError::AlreadyMember(u));
+        }
+        let leaf_label = KeyLabel(self.next_label);
+        self.next_label += 1;
+
+        let old_ref = KeyRef::new(self.group_label, self.group_version);
+        let old_key = self.group_key.clone();
+        self.group_version = self.group_version.next();
+        self.group_key = source.generate_key(self.key_len);
+        let new_ref = KeyRef::new(self.group_label, self.group_version);
+
+        let mut ops = OpCounts { keys_generated: 1, ..OpCounts::default() };
+        let mut messages = Vec::new();
+        // Multicast to the existing group (skip when the group was empty).
+        if !self.members.is_empty() {
+            let iv = ivs.generate(self.cipher.block_len());
+            let ct = self.cipher.encrypt(&old_key, &iv, self.group_key.material());
+            ops.key_encryptions += 1;
+            messages.push(RekeyMessage {
+                recipients: Recipients::Group,
+                bundles: vec![KeyBundle {
+                    targets: vec![new_ref],
+                    encrypted_with: old_ref,
+                    iv,
+                    ciphertext: ct,
+                }],
+            });
+        }
+        // Unicast to the joiner.
+        let iv = ivs.generate(self.cipher.block_len());
+        let ct = self.cipher.encrypt(&individual_key, &iv, self.group_key.material());
+        ops.key_encryptions += 1;
+        messages.push(RekeyMessage {
+            recipients: Recipients::User(u),
+            bundles: vec![KeyBundle {
+                targets: vec![new_ref],
+                encrypted_with: KeyRef::new(leaf_label, KeyVersion::default()),
+                iv,
+                ciphertext: ct,
+            }],
+        });
+        self.members.insert(u, (leaf_label, individual_key));
+        Ok(RekeyOutput { messages, ops })
+    }
+
+    /// Figure 4: remove `u`, rotate the group key, unicast it to every
+    /// remaining member under its individual key — the Θ(n) step.
+    pub fn leave(
+        &mut self,
+        u: UserId,
+        source: &mut dyn KeySource,
+        ivs: &mut dyn KeySource,
+    ) -> Result<RekeyOutput, TreeError> {
+        if self.members.remove(&u).is_none() {
+            return Err(TreeError::NotAMember(u));
+        }
+        self.group_version = self.group_version.next();
+        self.group_key = source.generate_key(self.key_len);
+        let new_ref = KeyRef::new(self.group_label, self.group_version);
+
+        let mut ops = OpCounts { keys_generated: 1, ..OpCounts::default() };
+        let mut messages = Vec::with_capacity(self.members.len());
+        for (&v, (leaf_label, ik)) in &self.members {
+            let iv = ivs.generate(self.cipher.block_len());
+            let ct = self.cipher.encrypt(ik, &iv, self.group_key.material());
+            ops.key_encryptions += 1;
+            messages.push(RekeyMessage {
+                recipients: Recipients::User(v),
+                bundles: vec![KeyBundle {
+                    targets: vec![new_ref],
+                    encrypted_with: KeyRef::new(*leaf_label, KeyVersion::default()),
+                    iv,
+                    ciphertext: ct,
+                }],
+            });
+        }
+        Ok(RekeyOutput { messages, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_crypto::drbg::HmacDrbg;
+
+    fn setup(n: u64) -> (StarGroup, HmacDrbg, Vec<SymmetricKey>) {
+        let mut src = HmacDrbg::from_seed(21);
+        let mut ivs = HmacDrbg::from_seed(22);
+        let mut star = StarGroup::new(8, KeyCipher::des_cbc(), &mut src);
+        let mut iks = Vec::new();
+        for i in 0..n {
+            let ik = src.generate_key(8);
+            iks.push(ik.clone());
+            star.join(UserId(i), ik, &mut src, &mut ivs).unwrap();
+        }
+        (star, src, iks)
+    }
+
+    #[test]
+    fn join_costs_table2() {
+        let (mut star, mut src, _) = setup(5);
+        let mut ivs = HmacDrbg::from_seed(23);
+        let ik = src.generate_key(8);
+        let out = star.join(UserId(100), ik, &mut src, &mut ivs).unwrap();
+        // Server join cost for a star: 2 encryptions, 2 messages.
+        assert_eq!(out.ops.key_encryptions, 2);
+        assert_eq!(out.messages.len(), 2);
+    }
+
+    #[test]
+    fn leave_costs_table2() {
+        let n = 8;
+        let (mut star, mut src, _) = setup(n);
+        let mut ivs = HmacDrbg::from_seed(24);
+        let out = star.leave(UserId(0), &mut src, &mut ivs).unwrap();
+        // Server leave cost: n−1 encryptions, n−1 unicasts.
+        assert_eq!(out.ops.key_encryptions, n - 1);
+        assert_eq!(out.messages.len(), (n - 1) as usize);
+    }
+
+    #[test]
+    fn members_can_decrypt_new_group_key_after_join() {
+        let (mut star, mut src, iks) = setup(3);
+        let mut ivs = HmacDrbg::from_seed(25);
+        let (old_ref, old_gk) = star.group_key();
+        let ik = src.generate_key(8);
+        let out = star.join(UserId(100), ik.clone(), &mut src, &mut ivs).unwrap();
+        let (_, new_gk) = star.group_key();
+        // Existing members decrypt the multicast with the old group key.
+        let mc = out
+            .messages
+            .iter()
+            .find(|m| m.recipients == Recipients::Group)
+            .unwrap();
+        assert_eq!(mc.bundles[0].encrypted_with, old_ref);
+        let plain = KeyCipher::des_cbc()
+            .decrypt(&old_gk, &mc.bundles[0].iv, &mc.bundles[0].ciphertext)
+            .unwrap();
+        assert_eq!(plain, new_gk.material());
+        // The joiner decrypts its unicast with its individual key.
+        let uc = out
+            .messages
+            .iter()
+            .find(|m| m.recipients == Recipients::User(UserId(100)))
+            .unwrap();
+        let plain = KeyCipher::des_cbc()
+            .decrypt(&ik, &uc.bundles[0].iv, &uc.bundles[0].ciphertext)
+            .unwrap();
+        assert_eq!(plain, new_gk.material());
+        let _ = iks;
+    }
+
+    #[test]
+    fn leaver_cannot_decrypt_new_group_key() {
+        let (mut star, mut src, iks) = setup(4);
+        let mut ivs = HmacDrbg::from_seed(26);
+        let (_, old_gk) = star.group_key();
+        let out = star.leave(UserId(0), &mut src, &mut ivs).unwrap();
+        let (_, new_gk) = star.group_key();
+        // The leaver holds old_gk and iks[0]; neither opens any bundle.
+        for msg in &out.messages {
+            let b = &msg.bundles[0];
+            for k in [&old_gk, &iks[0]] {
+                match KeyCipher::des_cbc().decrypt(k, &b.iv, &b.ciphertext) {
+                    Ok(plain) => assert_ne!(plain, new_gk.material()),
+                    Err(_) => {}
+                }
+            }
+        }
+        // Remaining members each have exactly one message they can open.
+        for i in 1..4u64 {
+            let msg = out
+                .messages
+                .iter()
+                .find(|m| m.recipients == Recipients::User(UserId(i)))
+                .unwrap();
+            let plain = KeyCipher::des_cbc()
+                .decrypt(&iks[i as usize], &msg.bundles[0].iv, &msg.bundles[0].ciphertext)
+                .unwrap();
+            assert_eq!(plain, new_gk.material());
+        }
+    }
+
+    #[test]
+    fn first_join_has_no_multicast() {
+        let mut src = HmacDrbg::from_seed(27);
+        let mut ivs = HmacDrbg::from_seed(28);
+        let mut star = StarGroup::new(8, KeyCipher::des_cbc(), &mut src);
+        let ik = src.generate_key(8);
+        let out = star.join(UserId(1), ik, &mut src, &mut ivs).unwrap();
+        assert_eq!(out.messages.len(), 1);
+        assert!(matches!(out.messages[0].recipients, Recipients::User(_)));
+    }
+
+    #[test]
+    fn membership_errors() {
+        let (mut star, mut src, _) = setup(2);
+        let mut ivs = HmacDrbg::from_seed(29);
+        let ik = src.generate_key(8);
+        assert!(star.join(UserId(0), ik, &mut src, &mut ivs).is_err());
+        assert!(star.leave(UserId(42), &mut src, &mut ivs).is_err());
+        assert_eq!(star.user_count(), 2);
+        assert!(star.is_member(UserId(1)));
+        assert!(star.individual_key(UserId(1)).is_some());
+        assert!(star.individual_key(UserId(42)).is_none());
+    }
+
+    #[test]
+    fn group_key_rotates_every_operation() {
+        let (mut star, mut src, _) = setup(3);
+        let mut ivs = HmacDrbg::from_seed(30);
+        let (r0, k0) = star.group_key();
+        let ik = src.generate_key(8);
+        star.join(UserId(50), ik, &mut src, &mut ivs).unwrap();
+        let (r1, k1) = star.group_key();
+        assert!(r1.version > r0.version);
+        assert_ne!(k0, k1);
+        star.leave(UserId(50), &mut src, &mut ivs).unwrap();
+        let (r2, k2) = star.group_key();
+        assert!(r2.version > r1.version);
+        assert_ne!(k1, k2);
+    }
+}

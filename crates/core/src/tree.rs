@@ -1,0 +1,1051 @@
+//! Key trees — the paper's scalable special class of key graphs.
+//!
+//! A key tree is a single-root tree of k-nodes: the root holds the group
+//! key, leaves hold individual keys (one per user), and interior nodes hold
+//! subgroup keys. Joins attach a new individual-key leaf at a *joining
+//! point*; leaves remove one and rekey from the *leaving point*; in both
+//! cases every key on the path to the root is replaced (backward secrecy on
+//! join, forward secrecy on leave).
+//!
+//! The server in the paper "employs a heuristic that attempts to build and
+//! maintain a key tree that is full and balanced". Ours:
+//!
+//! * **Join:** attach at the shallowest interior node with fewer than `d`
+//!   children (ties broken by smaller subtree). If every interior node is
+//!   full, *split* the shallowest leaf: a fresh interior node takes the
+//!   leaf's place and adopts both the displaced leaf and the newcomer.
+//! * **Leave:** remove the leaf; if the leaving point drops to a single
+//!   child (and is not the root), splice that child into the grandparent so
+//!   degenerate chains never accumulate.
+//!
+//! Every mutation returns an event ([`JoinEvent`] / [`LeaveEvent`])
+//! carrying the old and new keys along the changed path — exactly the
+//! information the three rekeying strategies in [`crate::rekey`] need to
+//! construct rekey messages.
+
+use crate::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
+use kg_crypto::{KeySource, SymmetricKey};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Arena index of a node.
+type NodeId = usize;
+
+/// Errors from key-tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The user is already a member.
+    AlreadyMember(UserId),
+    /// The user is not a member.
+    NotAMember(UserId),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::AlreadyMember(u) => write!(f, "{u} is already a group member"),
+            TreeError::NotAMember(u) => write!(f, "{u} is not a group member"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[derive(Debug, Clone)]
+struct Node {
+    label: KeyLabel,
+    version: KeyVersion,
+    key: SymmetricKey,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// `Some(u)` iff this is the individual-key leaf of user `u`.
+    user: Option<UserId>,
+    /// Number of users in this node's subtree (cached for heuristics).
+    size: usize,
+}
+
+/// One changed k-node on the rekey path.
+///
+/// `old` is the key the node held *before* the operation — the key under
+/// which the new key may safely be encrypted for the node's previous
+/// holders. For a node freshly created by a leaf split there is no previous
+/// key; the displaced user's individual key plays that role (its holders —
+/// just the displaced user — are exactly the node's previous userset).
+#[derive(Debug, Clone)]
+pub struct PathNode {
+    /// The k-node's stable label.
+    pub label: KeyLabel,
+    /// Reference (label + version) of the replacement key.
+    pub new_ref: KeyRef,
+    /// The replacement key material.
+    pub new_key: SymmetricKey,
+    /// Reference of the pre-operation key used to protect the new one.
+    pub old_ref: KeyRef,
+    /// The pre-operation key material.
+    pub old_key: SymmetricKey,
+}
+
+/// A sibling subtree that survives a leave unchanged: the rekey strategies
+/// encrypt the leaving path's new keys under these children's keys.
+#[derive(Debug, Clone)]
+pub struct SiblingChild {
+    /// The child k-node's label.
+    pub label: KeyLabel,
+    /// Its (unchanged) key reference.
+    pub key_ref: KeyRef,
+    /// Its key material.
+    pub key: SymmetricKey,
+}
+
+/// Result of a successful join.
+#[derive(Debug, Clone)]
+pub struct JoinEvent {
+    /// The joining user.
+    pub user: UserId,
+    /// Label of the new individual-key leaf.
+    pub leaf_label: KeyLabel,
+    /// Reference of the joiner's individual key.
+    pub leaf_ref: KeyRef,
+    /// The joiner's individual key (established by the authentication
+    /// exchange; carried here so the server can encrypt the joiner's copy
+    /// of the new path keys).
+    pub leaf_key: SymmetricKey,
+    /// Changed k-nodes ordered root-first (x_0 … x_j in Figure 6); the last
+    /// entry is the joining point.
+    pub path: Vec<PathNode>,
+    /// For each path node x_i, the label of x_{i+1} — the child on the path
+    /// (for x_j this is the joiner's leaf). Used to address
+    /// "userset(K_i) − userset(K_{i+1})" rekey messages.
+    pub path_child: Vec<KeyLabel>,
+    /// `Some(w)` when the join split w's leaf (w gained an ancestor).
+    pub displaced: Option<UserId>,
+}
+
+/// Result of a successful leave.
+#[derive(Debug, Clone)]
+pub struct LeaveEvent {
+    /// The departing user.
+    pub user: UserId,
+    /// Label of the removed individual-key leaf.
+    pub removed_leaf: KeyLabel,
+    /// Changed k-nodes ordered root-first (x_0 … x_j in Figure 8); the last
+    /// entry is the leaving point. Empty iff the group became empty.
+    pub path: Vec<PathNode>,
+    /// For each path node x_i, its children *other than* x_{i+1} (all
+    /// children, for the leaving point), with their unchanged keys.
+    pub siblings: Vec<Vec<SiblingChild>>,
+}
+
+/// Where new members are attached — the paper's server "employs a
+/// heuristic that attempts to build and maintain a key tree that is full
+/// and balanced"; this enum lets the benchmark harness ablate that choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinPolicy {
+    /// Shallowest interior node with room (ties to the smaller subtree);
+    /// split the shallowest leaf when full. The default, and the paper's
+    /// intent.
+    #[default]
+    Balanced,
+    /// First interior node with room in depth-first order; split the first
+    /// leaf found when full. Cheap to compute but lets the tree go lopsided
+    /// — the ablation benchmark quantifies the height (and therefore
+    /// rekey-cost) penalty.
+    FirstFit,
+}
+
+/// A key tree of degree `d`.
+#[derive(Debug, Clone)]
+pub struct KeyTree {
+    degree: usize,
+    key_len: usize,
+    policy: JoinPolicy,
+    nodes: Vec<Option<Node>>,
+    free: Vec<NodeId>,
+    root: NodeId,
+    users: BTreeMap<UserId, NodeId>,
+    next_label: u64,
+}
+
+impl KeyTree {
+    /// Create an empty tree of the given degree with `key_len`-byte keys
+    /// and the balanced join heuristic.
+    ///
+    /// # Panics
+    /// Panics if `degree < 2` (a unary "tree" cannot host subgroups) or
+    /// `key_len == 0`.
+    pub fn new(degree: usize, key_len: usize, source: &mut dyn KeySource) -> Self {
+        Self::with_policy(degree, key_len, JoinPolicy::Balanced, source)
+    }
+
+    /// Create a tree with an explicit join-point policy (ablations).
+    pub fn with_policy(
+        degree: usize,
+        key_len: usize,
+        policy: JoinPolicy,
+        source: &mut dyn KeySource,
+    ) -> Self {
+        assert!(degree >= 2, "key tree degree must be at least 2");
+        assert!(key_len > 0, "key length must be positive");
+        let mut tree = KeyTree {
+            degree,
+            key_len,
+            policy,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            users: BTreeMap::new(),
+            next_label: 0,
+        };
+        let root = tree.alloc(source, None, None);
+        tree.root = root;
+        tree
+    }
+
+    /// The tree's degree parameter `d`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Key length in bytes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Number of users (members).
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// All current members.
+    pub fn members(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.users.keys().copied()
+    }
+
+    /// Whether `u` is a member.
+    pub fn is_member(&self, u: UserId) -> bool {
+        self.users.contains_key(&u)
+    }
+
+    /// Number of k-nodes in the tree.
+    pub fn key_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// The current group key (root key) reference and material.
+    pub fn group_key(&self) -> (KeyRef, SymmetricKey) {
+        let root = self.node(self.root);
+        (KeyRef::new(root.label, root.version), root.key.clone())
+    }
+
+    /// Tree height `h` — the number of edges on the longest root-to-user
+    /// path, counting the user's edge to its individual-key leaf. This is
+    /// the `h` of the paper's cost formulas; a user holds at most `h` keys.
+    pub fn height(&self) -> usize {
+        // A root-to-user path crosses every k-node from the user's leaf to
+        // the root plus the final u-node edge, so the edge count equals the
+        // number of k-nodes on the path (h = 2 for a star: leaf + root).
+        self.users
+            .values()
+            .map(|&leaf| self.depth_knodes(leaf))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Number of k-nodes on the path from `node` to the root, inclusive.
+    fn depth_knodes(&self, node: NodeId) -> usize {
+        let mut d = 1;
+        let mut cur = node;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The keys held by a member, leaf-first (individual key, …, group
+    /// key). Returns `None` for non-members.
+    pub fn keyset(&self, u: UserId) -> Option<Vec<(KeyRef, SymmetricKey)>> {
+        let &leaf = self.users.get(&u)?;
+        let mut out = Vec::new();
+        let mut cur = Some(leaf);
+        while let Some(id) = cur {
+            let n = self.node(id);
+            out.push((KeyRef::new(n.label, n.version), n.key.clone()));
+            cur = n.parent;
+        }
+        Some(out)
+    }
+
+    /// The users holding the key at `label` (the subtree's members).
+    pub fn userset(&self, label: KeyLabel) -> Vec<UserId> {
+        match self.find_label(label) {
+            None => Vec::new(),
+            Some(id) => self.users_below(id),
+        }
+    }
+
+    /// Users holding `include`'s key but not `exclude`'s — the recipient
+    /// set "userset(K_i) − userset(K_{i+1})" of the join protocols.
+    pub fn userset_except(&self, include: KeyLabel, exclude: KeyLabel) -> Vec<UserId> {
+        let excluded: std::collections::BTreeSet<UserId> =
+            self.userset(exclude).into_iter().collect();
+        self.userset(include)
+            .into_iter()
+            .filter(|u| !excluded.contains(u))
+            .collect()
+    }
+
+    /// The root's children with their current keys — the top-level
+    /// subtrees. The §7 hybrid strategy allocates one multicast address
+    /// per entry and addresses all rekey traffic at this granularity.
+    pub fn root_children(&self) -> Vec<SiblingChild> {
+        self.node(self.root)
+            .children
+            .iter()
+            .map(|&c| {
+                let n = self.node(c);
+                SiblingChild {
+                    label: n.label,
+                    key_ref: KeyRef::new(n.label, n.version),
+                    key: n.key.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of the tree as a general [`crate::keygraph::KeyGraph`]
+    /// (used by multi-group merging and by tests cross-checking the (U,K,R)
+    /// semantics).
+    pub fn to_key_graph(&self) -> crate::keygraph::KeyGraph {
+        let mut g = crate::keygraph::KeyGraph::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            g.add_key(node.label);
+            if let Some(p) = node.parent {
+                g.add_key_edge(node.label, self.node(p).label);
+            }
+            if let Some(u) = node.user {
+                g.add_user_edge(u, node.label);
+            }
+            let _ = id;
+        }
+        g
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    /// Admit `u` with the given individual key (from the authentication
+    /// exchange); rekey the path from the joining point to the root.
+    pub fn join(
+        &mut self,
+        u: UserId,
+        individual_key: SymmetricKey,
+        source: &mut dyn KeySource,
+    ) -> Result<JoinEvent, TreeError> {
+        if self.users.contains_key(&u) {
+            return Err(TreeError::AlreadyMember(u));
+        }
+        // Locate the joining point, splitting a leaf if the tree is full.
+        let (joining_point, fresh_old): (NodeId, Option<(KeyRef, SymmetricKey)>) =
+            match self.find_join_slot() {
+                JoinSlot::Interior(id) => (id, None),
+                JoinSlot::SplitLeaf(leaf_id) => {
+                    let displaced_ref;
+                    let displaced_key;
+                    {
+                        let leaf = self.node(leaf_id);
+                        displaced_ref = KeyRef::new(leaf.label, leaf.version);
+                        displaced_key = leaf.key.clone();
+                    }
+                    let parent = self.node(leaf_id).parent;
+                    let fresh = self.alloc(source, parent, None);
+                    // Swap fresh into the displaced leaf's position.
+                    if let Some(p) = parent {
+                        let pos = self
+                            .node(p)
+                            .children
+                            .iter()
+                            .position(|&c| c == leaf_id)
+                            .expect("child link");
+                        self.node_mut(p).children[pos] = fresh;
+                    } else {
+                        unreachable!("a leaf always has a parent (the root is never a user leaf)");
+                    }
+                    self.node_mut(fresh).children.push(leaf_id);
+                    self.node_mut(leaf_id).parent = Some(fresh);
+                    let displaced_size = self.node(leaf_id).size;
+                    self.node_mut(fresh).size = displaced_size;
+                    (fresh, Some((displaced_ref, displaced_key)))
+                }
+            };
+        let displaced = fresh_old
+            .is_some()
+            .then(|| self.node(self.node(joining_point).children[0]).user)
+            .flatten();
+
+        // Attach the new individual-key leaf.
+        let leaf = self.alloc(source, Some(joining_point), Some(u));
+        self.node_mut(leaf).key = individual_key.clone();
+        self.node_mut(joining_point).children.push(leaf);
+        self.users.insert(u, leaf);
+        for anc in self.ancestors_inclusive(joining_point) {
+            self.node_mut(anc).size += 1;
+        }
+
+        // Rekey the path joining point → root. The joining point's "old
+        // key" is the displaced leaf's key when the node is fresh.
+        let mut path = Vec::new();
+        let mut path_child = Vec::new();
+        let mut child_label = {
+            let n = self.node(leaf);
+            n.label
+        };
+        let mut cur = Some(joining_point);
+        let mut fresh_old = fresh_old;
+        while let Some(id) = cur {
+            let (old_ref, old_key) = match (id == joining_point, fresh_old.take()) {
+                (true, Some(old)) => old,
+                _ => {
+                    let n = self.node(id);
+                    (KeyRef::new(n.label, n.version), n.key.clone())
+                }
+            };
+            let new_key = source.generate_key(self.key_len);
+            let node = self.node_mut(id);
+            node.version = node.version.next();
+            node.key = new_key.clone();
+            path.push(PathNode {
+                label: node.label,
+                new_ref: KeyRef::new(node.label, node.version),
+                new_key,
+                old_ref,
+                old_key,
+            });
+            path_child.push(child_label);
+            child_label = self.node(id).label;
+            cur = self.node(id).parent;
+        }
+        // We built leaf-first; the protocols index root-first.
+        path.reverse();
+        path_child.reverse();
+
+        let leaf_node = self.node(leaf);
+        Ok(JoinEvent {
+            user: u,
+            leaf_label: leaf_node.label,
+            leaf_ref: KeyRef::new(leaf_node.label, leaf_node.version),
+            leaf_key: individual_key,
+            path,
+            path_child,
+            displaced,
+        })
+    }
+
+    /// Remove `u`; rekey the path from the leaving point to the root.
+    pub fn leave(&mut self, u: UserId, source: &mut dyn KeySource) -> Result<LeaveEvent, TreeError> {
+        let leaf = self.users.remove(&u).ok_or(TreeError::NotAMember(u))?;
+        let removed_leaf = self.node(leaf).label;
+        let parent = self.node(leaf).parent.expect("user leaf has a parent");
+        // Unlink and free the leaf.
+        let pos = self
+            .node(parent)
+            .children
+            .iter()
+            .position(|&c| c == leaf)
+            .expect("child link");
+        self.node_mut(parent).children.remove(pos);
+        self.dealloc(leaf);
+        for anc in self.ancestors_inclusive(parent) {
+            self.node_mut(anc).size -= 1;
+        }
+
+        // Contract a now-unary, non-root leaving point: splice its single
+        // child into the grandparent. The departing user never held the
+        // child's key, so the child's subtree needs no rekey; the rekey
+        // path then starts at the grandparent.
+        let mut leaving_point = parent;
+        if self.node(parent).children.len() == 1 && parent != self.root {
+            let only_child = self.node(parent).children[0];
+            let grand = self.node(parent).parent.expect("non-root");
+            let pos = self
+                .node(grand)
+                .children
+                .iter()
+                .position(|&c| c == parent)
+                .expect("child link");
+            self.node_mut(grand).children[pos] = only_child;
+            self.node_mut(only_child).parent = Some(grand);
+            self.dealloc(parent);
+            leaving_point = grand;
+        }
+
+        if self.users.is_empty() {
+            // Last member gone: refresh the root key (no recipients).
+            let new_key = source.generate_key(self.key_len);
+            let root = self.node_mut(self.root);
+            root.version = root.version.next();
+            root.key = new_key;
+            return Ok(LeaveEvent { user: u, removed_leaf, path: Vec::new(), siblings: Vec::new() });
+        }
+
+        // Rekey leaving point → root, capturing sibling children at each
+        // level. Built leaf-first, then reversed to root-first. The
+        // "sibling children" at x_i exclude x_{i+1}, i.e. exclude the node
+        // we processed in the previous iteration.
+        let mut path = Vec::new();
+        let mut siblings = Vec::new();
+        let mut prev: Option<NodeId> = None;
+        let mut cur = Some(leaving_point);
+        while let Some(id) = cur {
+            let sibs: Vec<SiblingChild> = self
+                .node(id)
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| Some(c) != prev)
+                .map(|c| {
+                    let n = self.node(c);
+                    SiblingChild {
+                        label: n.label,
+                        key_ref: KeyRef::new(n.label, n.version),
+                        key: n.key.clone(),
+                    }
+                })
+                .collect();
+            let (old_ref, old_key) = {
+                let n = self.node(id);
+                (KeyRef::new(n.label, n.version), n.key.clone())
+            };
+            let new_key = source.generate_key(self.key_len);
+            let node = self.node_mut(id);
+            node.version = node.version.next();
+            node.key = new_key.clone();
+            path.push(PathNode {
+                label: node.label,
+                new_ref: KeyRef::new(node.label, node.version),
+                new_key,
+                old_ref,
+                old_key,
+            });
+            siblings.push(sibs);
+            prev = Some(id);
+            cur = self.node(id).parent;
+        }
+        path.reverse();
+        siblings.reverse();
+        Ok(LeaveEvent { user: u, removed_leaf, path, siblings })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id].as_mut().expect("live node")
+    }
+
+    fn alloc(&mut self, source: &mut dyn KeySource, parent: Option<NodeId>, user: Option<UserId>) -> NodeId {
+        let node = Node {
+            label: KeyLabel(self.next_label),
+            version: KeyVersion::default(),
+            key: source.generate_key(self.key_len),
+            parent,
+            children: Vec::new(),
+            user,
+            size: user.map_or(0, |_| 1),
+        };
+        self.next_label += 1;
+        match self.free.pop() {
+            Some(id) => {
+                self.nodes[id] = Some(node);
+                id
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn dealloc(&mut self, id: NodeId) {
+        self.nodes[id] = None;
+        self.free.push(id);
+    }
+
+    fn ancestors_inclusive(&self, from: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = Some(from);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.node(id).parent;
+        }
+        out
+    }
+
+    fn users_below(&self, id: NodeId) -> Vec<UserId> {
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(n) = queue.pop_front() {
+            let node = self.node(n);
+            if let Some(u) = node.user {
+                out.push(u);
+            }
+            queue.extend(node.children.iter().copied());
+        }
+        out
+    }
+
+    fn find_label(&self, label: KeyLabel) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.as_ref().is_some_and(|n| n.label == label))
+    }
+
+    fn find_join_slot(&self) -> JoinSlot {
+        match self.policy {
+            JoinPolicy::Balanced => self.find_join_slot_balanced(),
+            JoinPolicy::FirstFit => self.find_join_slot_first_fit(),
+        }
+    }
+
+    /// Depth-first first-fit: the ablation baseline.
+    fn find_join_slot_first_fit(&self) -> JoinSlot {
+        let mut stack = vec![self.root];
+        let mut first_leaf = None;
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if node.user.is_some() {
+                first_leaf.get_or_insert(id);
+                continue;
+            }
+            if node.children.len() < self.degree {
+                return JoinSlot::Interior(id);
+            }
+            stack.extend(node.children.iter().rev().copied());
+        }
+        JoinSlot::SplitLeaf(first_leaf.expect("full tree has leaves"))
+    }
+
+    /// BFS for the shallowest interior node with room; if the interior of
+    /// the tree is full, pick the shallowest user leaf to split.
+    fn find_join_slot_balanced(&self) -> JoinSlot {
+        let mut queue = VecDeque::from([self.root]);
+        let mut best_interior: Option<(usize, usize, NodeId)> = None; // (depth, size, id)
+        let mut best_leaf: Option<(usize, NodeId)> = None;
+        let mut depths: Vec<usize> = vec![0; self.nodes.len()];
+        while let Some(id) = queue.pop_front() {
+            let node = self.node(id);
+            let depth = depths[id];
+            if node.user.is_some() {
+                if best_leaf.map_or(true, |(d, _)| depth < d) {
+                    best_leaf = Some((depth, id));
+                }
+                continue;
+            }
+            if node.children.len() < self.degree {
+                let cand = (depth, node.size, id);
+                if best_interior.map_or(true, |(d, s, _)| (depth, node.size) < (d, s)) {
+                    best_interior = Some(cand);
+                }
+            }
+            for &c in &node.children {
+                depths[c] = depth + 1;
+                queue.push_back(c);
+            }
+        }
+        match best_interior {
+            Some((_, _, id)) => JoinSlot::Interior(id),
+            None => JoinSlot::SplitLeaf(best_leaf.expect("full tree has leaves").1),
+        }
+    }
+
+    /// Structural invariants, asserted by tests after every mutation.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut seen_labels = std::collections::BTreeSet::new();
+        let mut user_leaves = 0usize;
+        for (id, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            assert!(seen_labels.insert(node.label), "duplicate label {:?}", node.label);
+            assert!(node.children.len() <= self.degree, "degree bound violated");
+            for &c in &node.children {
+                assert_eq!(self.node(c).parent, Some(id), "parent link broken");
+            }
+            if let Some(u) = node.user {
+                assert!(node.children.is_empty(), "user leaf with children");
+                assert_eq!(self.users.get(&u), Some(&id), "user map out of sync");
+                user_leaves += 1;
+            }
+            assert_eq!(
+                node.size,
+                self.users_below(id).len(),
+                "size cache wrong at {:?}",
+                node.label
+            );
+            // No unary interior nodes except the root.
+            if node.user.is_none() && id != self.root {
+                assert!(node.children.len() >= 2, "unary interior node {:?}", node.label);
+            }
+        }
+        assert_eq!(user_leaves, self.users.len(), "member count mismatch");
+        assert!(self.nodes[self.root].is_some(), "root freed");
+        assert!(self.node(self.root).parent.is_none(), "root has a parent");
+    }
+}
+
+enum JoinSlot {
+    Interior(NodeId),
+    SplitLeaf(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_crypto::drbg::HmacDrbg;
+
+    fn setup(degree: usize) -> (KeyTree, HmacDrbg) {
+        let mut src = HmacDrbg::from_seed(0xBEEF);
+        let tree = KeyTree::new(degree, 8, &mut src);
+        (tree, src)
+    }
+
+    fn join(tree: &mut KeyTree, src: &mut HmacDrbg, id: u64) -> JoinEvent {
+        let ik = src.generate_key(8);
+        let ev = tree.join(UserId(id), ik, src).unwrap();
+        tree.check_invariants();
+        ev
+    }
+
+    #[test]
+    fn empty_tree_shape() {
+        let (tree, _) = setup(3);
+        assert_eq!(tree.user_count(), 0);
+        assert_eq!(tree.key_count(), 1); // just the root
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn first_join_attaches_to_root() {
+        let (mut tree, mut src) = setup(3);
+        let ev = join(&mut tree, &mut src, 1);
+        assert_eq!(tree.user_count(), 1);
+        assert_eq!(ev.path.len(), 1); // only the root changed
+        assert_eq!(ev.displaced, None);
+        assert_eq!(tree.height(), 2); // u -> k_u -> root
+        let ks = tree.keyset(UserId(1)).unwrap();
+        assert_eq!(ks.len(), 2);
+    }
+
+    #[test]
+    fn join_rekeys_whole_path_and_bumps_versions() {
+        let (mut tree, mut src) = setup(2);
+        for i in 1..=4 {
+            join(&mut tree, &mut src, i);
+        }
+        let (root_ref_before, root_key_before) = tree.group_key();
+        let ev = join(&mut tree, &mut src, 5);
+        let (root_ref_after, root_key_after) = tree.group_key();
+        assert_eq!(root_ref_after.label, root_ref_before.label);
+        assert!(root_ref_after.version > root_ref_before.version);
+        assert_ne!(root_key_after, root_key_before);
+        // The path's first element is the root; old key matches pre-state.
+        assert_eq!(ev.path[0].old_ref, root_ref_before);
+        assert_eq!(ev.path[0].old_key, root_key_before);
+        assert_eq!(ev.path[0].new_key, root_key_after);
+    }
+
+    #[test]
+    fn figure5_join_shape() {
+        // Degree-3 tree with 8 users grouped (3,3,2): joining u9 should
+        // attach at the 2-user subgroup and change exactly that subgroup
+        // key and the root (two path nodes), as in Figure 5.
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=8 {
+            join(&mut tree, &mut src, i);
+        }
+        assert_eq!(tree.height(), 3);
+        let ev = join(&mut tree, &mut src, 9);
+        assert_eq!(ev.path.len(), 2, "root + joining point");
+        assert_eq!(tree.height(), 3);
+        // Everyone holds 3 keys now (full balanced 3-ary tree of 9).
+        for i in 1..=9 {
+            assert_eq!(tree.keyset(UserId(i)).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn join_splits_leaf_when_full() {
+        // Degree 2: after 2 users the root is full; the third join splits.
+        let (mut tree, mut src) = setup(2);
+        join(&mut tree, &mut src, 1);
+        join(&mut tree, &mut src, 2);
+        let ev = join(&mut tree, &mut src, 3);
+        assert!(ev.displaced.is_some());
+        let w = ev.displaced.unwrap();
+        assert!(w == UserId(1) || w == UserId(2));
+        // The displaced user now holds 3 keys; the other old user only 2.
+        let other = if w == UserId(1) { UserId(2) } else { UserId(1) };
+        assert_eq!(tree.keyset(w).unwrap().len(), 3);
+        assert_eq!(tree.keyset(other).unwrap().len(), 2);
+        // The joining point (fresh node) old key = displaced individual key.
+        let jp = ev.path.last().unwrap();
+        let w_leaf = tree.keyset(w).unwrap()[0].clone();
+        assert_eq!(jp.old_ref.label, w_leaf.0.label);
+    }
+
+    #[test]
+    fn leave_rekeys_path_and_removes_leaf() {
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=9 {
+            join(&mut tree, &mut src, i);
+        }
+        let (gk_before, _) = tree.group_key();
+        let ev = tree.leave(UserId(9), &mut src).unwrap();
+        tree.check_invariants();
+        assert_eq!(tree.user_count(), 8);
+        assert!(!tree.is_member(UserId(9)));
+        let (gk_after, _) = tree.group_key();
+        assert!(gk_after.version > gk_before.version);
+        // Path root-first; last entry is the leaving point.
+        assert!(!ev.path.is_empty());
+        assert_eq!(ev.path[0].label, gk_after.label);
+        // Siblings per level are nonempty (there are survivors).
+        for level in &ev.siblings {
+            assert!(!level.is_empty());
+        }
+    }
+
+    #[test]
+    fn leave_contracts_unary_interior() {
+        // Degree 2, three users: u3 under a split node with u-something.
+        let (mut tree, mut src) = setup(2);
+        for i in 1..=3 {
+            join(&mut tree, &mut src, i);
+        }
+        // Leaving one member of the 2-subgroup must contract the subgroup
+        // node away: everyone back to 2 keys.
+        let three_key_user = (1..=3)
+            .map(UserId)
+            .find(|&u| tree.keyset(u).unwrap().len() == 3)
+            .unwrap();
+        tree.leave(three_key_user, &mut src).unwrap();
+        tree.check_invariants();
+        for u in (1..=3).map(UserId).filter(|&u| tree.is_member(u)) {
+            assert_eq!(tree.keyset(u).unwrap().len(), 2);
+        }
+        assert_eq!(tree.key_count(), 3); // root + 2 leaves
+    }
+
+    #[test]
+    fn last_leave_empties_tree_but_keeps_root() {
+        let (mut tree, mut src) = setup(4);
+        join(&mut tree, &mut src, 1);
+        let (gk_before, _) = tree.group_key();
+        let ev = tree.leave(UserId(1), &mut src).unwrap();
+        tree.check_invariants();
+        assert!(ev.path.is_empty());
+        assert_eq!(tree.user_count(), 0);
+        assert_eq!(tree.key_count(), 1);
+        let (gk_after, _) = tree.group_key();
+        assert!(gk_after.version > gk_before.version, "root key must still rotate");
+    }
+
+    #[test]
+    fn duplicate_join_and_phantom_leave_rejected() {
+        let (mut tree, mut src) = setup(4);
+        join(&mut tree, &mut src, 1);
+        let ik = src.generate_key(8);
+        assert_eq!(
+            tree.join(UserId(1), ik, &mut src).unwrap_err(),
+            TreeError::AlreadyMember(UserId(1))
+        );
+        assert_eq!(
+            tree.leave(UserId(99), &mut src).unwrap_err(),
+            TreeError::NotAMember(UserId(99))
+        );
+    }
+
+    #[test]
+    fn height_tracks_log_d() {
+        for d in [2usize, 4, 8] {
+            let (mut tree, mut src) = setup(d);
+            let n = 64;
+            for i in 0..n {
+                join(&mut tree, &mut src, i);
+            }
+            let h = tree.height();
+            let ideal = 1 + (n as f64).log(d as f64).ceil() as usize;
+            assert!(
+                h <= ideal + 1,
+                "degree {d}: height {h} too far above ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_count_close_to_paper_formula() {
+        // Table 1: a full balanced tree holds about d/(d-1) * n keys.
+        let d = 4usize;
+        let (mut tree, mut src) = setup(d);
+        let n = 256;
+        for i in 0..n {
+            join(&mut tree, &mut src, i);
+        }
+        let expected = (d as f64) / (d as f64 - 1.0) * n as f64;
+        let actual = tree.key_count() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.15,
+            "key count {actual} vs formula {expected}"
+        );
+    }
+
+    #[test]
+    fn userset_and_userset_except() {
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=9 {
+            join(&mut tree, &mut src, i);
+        }
+        let (gk, _) = tree.group_key();
+        let mut all = tree.userset(gk.label);
+        all.sort();
+        assert_eq!(all, (1..=9).map(UserId).collect::<Vec<_>>());
+        // Excluding a subgroup leaves the complement.
+        let u5_path = tree.keyset(UserId(5)).unwrap();
+        let subgroup_label = u5_path[1].0.label; // u5's subgroup key
+        let rest = tree.userset_except(gk.label, subgroup_label);
+        assert!(!rest.contains(&UserId(5)));
+        assert_eq!(rest.len(), 9 - tree.userset(subgroup_label).len());
+    }
+
+    #[test]
+    fn to_key_graph_matches_tree_semantics() {
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=7 {
+            join(&mut tree, &mut src, i);
+        }
+        let g = tree.to_key_graph();
+        assert_eq!(g.user_count(), 7);
+        assert_eq!(g.key_count(), tree.key_count());
+        for u in tree.members().collect::<Vec<_>>() {
+            let tree_ks: std::collections::BTreeSet<KeyLabel> =
+                tree.keyset(u).unwrap().into_iter().map(|(r, _)| r.label).collect();
+            assert_eq!(g.keyset(u), tree_ks);
+        }
+        let (gk, _) = tree.group_key();
+        assert_eq!(g.roots(), vec![gk.label]);
+    }
+
+    #[test]
+    fn join_path_child_alignment() {
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=8 {
+            join(&mut tree, &mut src, i);
+        }
+        let ev = join(&mut tree, &mut src, 9);
+        assert_eq!(ev.path.len(), ev.path_child.len());
+        // The last path_child is the joiner's leaf.
+        assert_eq!(*ev.path_child.last().unwrap(), ev.leaf_label);
+        // Each path_child[i] is the label of path[i+1] for i < last.
+        for i in 0..ev.path.len() - 1 {
+            assert_eq!(ev.path_child[i], ev.path[i + 1].label);
+        }
+    }
+
+    #[test]
+    fn first_fit_policy_valid_but_less_balanced() {
+        // Under heavy churn the first-fit heuristic must stay structurally
+        // valid, and the balanced heuristic should never end up taller.
+        let mut src = HmacDrbg::from_seed(0xAB1E);
+        let mut balanced = KeyTree::new(3, 8, &mut src);
+        let mut firstfit = KeyTree::with_policy(3, 8, JoinPolicy::FirstFit, &mut src);
+        let mut present = Vec::new();
+        for i in 0..300u64 {
+            if i % 5 == 4 && present.len() > 1 {
+                let u: u64 = present.remove((i as usize * 31) % present.len());
+                balanced.leave(UserId(u), &mut src).unwrap();
+                firstfit.leave(UserId(u), &mut src).unwrap();
+            } else {
+                let ik1 = src.generate_key(8);
+                let ik2 = src.generate_key(8);
+                balanced.join(UserId(i), ik1, &mut src).unwrap();
+                firstfit.join(UserId(i), ik2, &mut src).unwrap();
+                present.push(i);
+            }
+            balanced.check_invariants();
+            firstfit.check_invariants();
+        }
+        assert!(
+            balanced.height() <= firstfit.height(),
+            "balanced {} vs first-fit {}",
+            balanced.height(),
+            firstfit.height()
+        );
+    }
+
+    #[test]
+    fn churn_preserves_invariants() {
+        let (mut tree, mut src) = setup(4);
+        let mut present: Vec<u64> = Vec::new();
+        for i in 0..200u64 {
+            if i % 3 == 2 && !present.is_empty() {
+                let idx = (i as usize * 7) % present.len();
+                let u = present.remove(idx);
+                tree.leave(UserId(u), &mut src).unwrap();
+            } else {
+                let ik = src.generate_key(8);
+                tree.join(UserId(i), ik, &mut src).unwrap();
+                present.push(i);
+            }
+            tree.check_invariants();
+        }
+        assert_eq!(tree.user_count(), present.len());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_churn_invariants(ops in proptest::collection::vec((0u8..2, 0u64..32), 1..100), degree in 2usize..6) {
+            let mut src = HmacDrbg::from_seed(1);
+            let mut tree = KeyTree::new(degree, 8, &mut src);
+            for (op, uid) in ops {
+                let u = UserId(uid);
+                if op == 0 {
+                    if !tree.is_member(u) {
+                        let ik = src.generate_key(8);
+                        tree.join(u, ik, &mut src).unwrap();
+                    }
+                } else if tree.is_member(u) {
+                    tree.leave(u, &mut src).unwrap();
+                }
+                tree.check_invariants();
+            }
+        }
+
+        /// After any churn, each member's keyset ends at the group key and
+        /// starts at its individual key.
+        #[test]
+        fn keysets_well_formed(joins in 1usize..40, leaves in 0usize..20) {
+            let mut src = HmacDrbg::from_seed(2);
+            let mut tree = KeyTree::new(4, 8, &mut src);
+            for i in 0..joins {
+                let ik = src.generate_key(8);
+                tree.join(UserId(i as u64), ik, &mut src).unwrap();
+            }
+            for i in 0..leaves.min(joins.saturating_sub(1)) {
+                tree.leave(UserId(i as u64), &mut src).unwrap();
+            }
+            let (gk, gkey) = tree.group_key();
+            for u in tree.members().collect::<Vec<_>>() {
+                let ks = tree.keyset(u).unwrap();
+                let (last_ref, last_key) = ks.last().unwrap();
+                proptest::prop_assert_eq!(*last_ref, gk);
+                proptest::prop_assert_eq!(last_key, &gkey);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic and OS-seeded key sources.
+//!
+//! The experiments in Section 5 of the paper replay *the same three
+//! join/leave request sequences* across every strategy, degree and group
+//! size "for fair comparisons". Determinism therefore matters end to end:
+//! [`HmacDrbg`] is an HMAC-SHA-256 DRBG (modelled on NIST SP 800-90A) that
+//! makes key generation reproducible given a seed, while [`OsKeySource`]
+//! wraps `rand`'s thread RNG for non-experiment use.
+
+use crate::hmac::hmac;
+use crate::sha256::Sha256;
+use crate::KeySource;
+use rand::RngCore;
+
+const DIGEST_LEN: usize = 32;
+
+/// HMAC-SHA-256 deterministic random bit generator.
+///
+/// Follows the Update/Generate skeleton of NIST SP 800-90A HMAC_DRBG
+/// (without the personalization/reseed machinery, which experiments don't
+/// need). Two instances with the same seed produce identical key streams.
+#[derive(Clone)]
+pub struct HmacDrbg {
+    k: Vec<u8>,
+    v: Vec<u8>,
+}
+
+impl HmacDrbg {
+    /// Instantiate from arbitrary seed material.
+    pub fn new(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg { k: vec![0u8; DIGEST_LEN], v: vec![1u8; DIGEST_LEN] };
+        drbg.update(Some(seed));
+        drbg
+    }
+
+    /// Instantiate from a `u64` seed (convenience for experiment configs).
+    pub fn from_seed(seed: u64) -> Self {
+        HmacDrbg::new(&seed.to_be_bytes())
+    }
+
+    fn update(&mut self, provided: Option<&[u8]>) {
+        let mut material = self.v.clone();
+        material.push(0x00);
+        if let Some(p) = provided {
+            material.extend_from_slice(p);
+        }
+        self.k = hmac::<Sha256>(&self.k, &material);
+        self.v = hmac::<Sha256>(&self.k, &self.v);
+        if let Some(p) = provided {
+            let mut material = self.v.clone();
+            material.push(0x01);
+            material.extend_from_slice(p);
+            self.k = hmac::<Sha256>(&self.k, &material);
+            self.v = hmac::<Sha256>(&self.k, &self.v);
+        }
+    }
+
+    /// Fill `out` with deterministic pseudorandom bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        let mut written = 0;
+        while written < out.len() {
+            self.v = hmac::<Sha256>(&self.k, &self.v);
+            let take = (out.len() - written).min(DIGEST_LEN);
+            out[written..written + take].copy_from_slice(&self.v[..take]);
+            written += take;
+        }
+        self.update(None);
+    }
+}
+
+impl KeySource for HmacDrbg {
+    fn generate(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.fill(&mut out);
+        out
+    }
+}
+
+impl RngCore for HmacDrbg {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.fill(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill(dest);
+        Ok(())
+    }
+}
+
+/// Key source backed by the OS RNG (via `rand::rngs::OsRng`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsKeySource;
+
+impl KeySource for OsKeySource {
+    fn generate(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        rand::rngs::OsRng.fill_bytes(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = HmacDrbg::from_seed(7);
+        let mut b = HmacDrbg::from_seed(7);
+        assert_eq!(a.generate(64), b.generate(64));
+        assert_eq!(a.generate(13), b.generate(13));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = HmacDrbg::from_seed(1);
+        let mut b = HmacDrbg::from_seed(2);
+        assert_ne!(a.generate(32), b.generate(32));
+    }
+
+    #[test]
+    fn successive_outputs_differ() {
+        let mut d = HmacDrbg::from_seed(3);
+        let x = d.generate(16);
+        let y = d.generate(16);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn generate_key_has_requested_length() {
+        let mut d = HmacDrbg::from_seed(4);
+        use crate::KeySource;
+        assert_eq!(d.generate_key(8).len(), 8);
+        assert_eq!(d.generate_key(24).len(), 24);
+    }
+
+    #[test]
+    fn long_fill_crosses_block_boundaries() {
+        let mut a = HmacDrbg::from_seed(5);
+        let mut b = HmacDrbg::from_seed(5);
+        let long = a.generate(100);
+        // Same stream consumed in one go vs. not chunked differently —
+        // HMAC-DRBG regenerates per request, so request sizes matter; the
+        // invariant we rely on is *whole-request* determinism:
+        assert_eq!(long, b.generate(100));
+        assert_eq!(long.len(), 100);
+    }
+
+    #[test]
+    fn rng_core_interface() {
+        let mut d = HmacDrbg::from_seed(6);
+        let a = d.next_u64();
+        let b = d.next_u64();
+        assert_ne!(a, b);
+        let mut buf = [0u8; 7];
+        d.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 7]);
+    }
+
+    #[test]
+    fn os_key_source_produces_distinct_keys() {
+        let mut s = OsKeySource;
+        use crate::KeySource;
+        assert_ne!(s.generate(16), s.generate(16));
+    }
+
+    #[test]
+    fn byte_distribution_sanity() {
+        // Crude sanity check: over 64 KiB, every byte value should appear.
+        let mut d = HmacDrbg::from_seed(8);
+        let data = d.generate(65536);
+        let mut seen = [false; 256];
+        for &b in &data {
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the cryptographic primitives.
+
+use std::fmt;
+
+/// Errors raised by the primitives in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A key had the wrong length for the requested algorithm.
+    InvalidKeyLength {
+        /// Length the algorithm expected, in bytes.
+        expected: usize,
+        /// Length that was provided.
+        actual: usize,
+    },
+    /// Ciphertext length is not a multiple of the cipher block size.
+    InvalidCiphertextLength {
+        /// The cipher's block size in bytes.
+        block_size: usize,
+        /// The offending ciphertext length.
+        actual: usize,
+    },
+    /// Padding bytes recovered at decryption time are malformed.
+    ///
+    /// In the rekeying protocols this is the signal that a ciphertext was
+    /// decrypted with the *wrong* key — e.g. an evicted member replaying its
+    /// stale keyset against fresh rekey messages.
+    BadPadding,
+    /// An initialization vector had the wrong length.
+    InvalidIvLength {
+        /// Expected IV length (= block size).
+        expected: usize,
+        /// Provided IV length.
+        actual: usize,
+    },
+    /// A signature failed verification.
+    SignatureMismatch,
+    /// Input to a signature operation exceeds what the modulus can absorb.
+    MessageTooLong,
+    /// The encoded value is not a valid signature/ciphertext for the key
+    /// (e.g. the integer is not smaller than the modulus).
+    ValueOutOfRange,
+    /// RSA key generation failed to find primes within the attempt budget.
+    KeyGenerationFailed,
+    /// A malformed or truncated encoding was encountered.
+    MalformedEncoding(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength { expected, actual } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::InvalidCiphertextLength { block_size, actual } => write!(
+                f,
+                "ciphertext length {actual} is not a multiple of the {block_size}-byte block size"
+            ),
+            CryptoError::BadPadding => write!(f, "bad padding (likely wrong decryption key)"),
+            CryptoError::InvalidIvLength { expected, actual } => {
+                write!(f, "invalid IV length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::SignatureMismatch => write!(f, "signature verification failed"),
+            CryptoError::MessageTooLong => write!(f, "message too long for modulus"),
+            CryptoError::ValueOutOfRange => write!(f, "value out of range for key"),
+            CryptoError::KeyGenerationFailed => write!(f, "key generation failed"),
+            CryptoError::MalformedEncoding(what) => write!(f, "malformed encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CryptoError::InvalidKeyLength { expected: 8, actual: 7 };
+        assert!(e.to_string().contains("expected 8"));
+        assert!(e.to_string().contains("got 7"));
+        let e = CryptoError::InvalidCiphertextLength { block_size: 8, actual: 13 };
+        assert!(e.to_string().contains("13"));
+        assert!(CryptoError::BadPadding.to_string().contains("padding"));
+        assert!(CryptoError::SignatureMismatch.to_string().contains("verification"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CryptoError::BadPadding, CryptoError::BadPadding);
+        assert_ne!(
+            CryptoError::BadPadding,
+            CryptoError::MalformedEncoding("x")
+        );
+    }
+}

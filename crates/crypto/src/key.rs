@@ -1,0 +1,110 @@
+//! Symmetric key material with best-effort wiping on drop.
+//!
+//! In the paper every k-node of the key graph holds one symmetric key; the
+//! server replaces these keys on every join/leave. This type is the unit of
+//! key material flowing through the whole system: individual keys, subgroup
+//! keys, and the group key are all `SymmetricKey`s.
+
+use std::fmt;
+
+/// A symmetric key (e.g. a DES key).
+///
+/// * The raw bytes are zeroed on drop (best-effort — the compiler may elide
+///   this in theory; `std::hint::black_box` is used to discourage that).
+/// * `Debug` prints a short fingerprint rather than the key bytes so keys
+///   never leak into logs or panics.
+/// * Equality is byte-wise; keys are small (8–24 bytes) and compared only in
+///   tests and table maintenance, so constant-time comparison is not needed
+///   on the hot path.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SymmetricKey {
+    bytes: Vec<u8>,
+}
+
+impl SymmetricKey {
+    /// Wrap raw key material.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        SymmetricKey { bytes }
+    }
+
+    /// Copy key material from a slice.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        SymmetricKey { bytes: bytes.to_vec() }
+    }
+
+    /// Borrow the raw key material.
+    pub fn material(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the key is empty (never true for keys from a [`crate::KeySource`]).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// A short, non-sensitive fingerprint of this key (first 4 bytes of its
+    /// MD5), used for subgroup labels in debugging output.
+    pub fn fingerprint(&self) -> u32 {
+        let d = crate::md5::Md5::oneshot(&self.bytes);
+        u32::from_be_bytes([d[0], d[1], d[2], d[3]])
+    }
+}
+
+impl fmt::Debug for SymmetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymmetricKey({} bytes, fp={:08x})", self.bytes.len(), self.fingerprint())
+    }
+}
+
+impl Drop for SymmetricKey {
+    fn drop(&mut self) {
+        for b in self.bytes.iter_mut() {
+            *b = 0;
+        }
+        // Discourage the optimizer from removing the wipe.
+        std::hint::black_box(&self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let k = SymmetricKey::from_bytes(&[1, 2, 3, 4]);
+        assert_eq!(k.material(), &[1, 2, 3, 4]);
+        assert_eq!(k.len(), 4);
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn debug_does_not_leak_material() {
+        let k = SymmetricKey::from_bytes(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("de"), "debug output must not contain raw bytes: {s}");
+        assert!(s.contains("8 bytes"));
+    }
+
+    #[test]
+    fn equality_is_bytewise() {
+        let a = SymmetricKey::from_bytes(&[9; 8]);
+        let b = SymmetricKey::from_bytes(&[9; 8]);
+        let c = SymmetricKey::from_bytes(&[8; 8]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishing() {
+        let a = SymmetricKey::from_bytes(&[1; 8]);
+        let b = SymmetricKey::from_bytes(&[2; 8]);
+        assert_eq!(a.fingerprint(), SymmetricKey::from_bytes(&[1; 8]).fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

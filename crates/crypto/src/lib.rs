@@ -1,0 +1,120 @@
+//! # kg-crypto — cryptographic substrate for the key-graphs reproduction
+//!
+//! The paper ("Secure Group Communications Using Key Graphs", Wong, Gouda,
+//! Lam; SIGCOMM '98) built its prototype on CryptoLib with **DES-CBC**
+//! encryption, **MD5** message digests, and **RSA-512** digital signatures.
+//! This crate reimplements those exact primitives from scratch so that the
+//! reproduction is self-contained and every cryptographic operation the
+//! benchmarks count is auditable:
+//!
+//! * [`des`] — the DES block cipher (FIPS 46-3) and Triple-DES (EDE3).
+//! * [`cbc`] — CBC mode with PKCS#5-style padding over any [`BlockCipher`].
+//! * [`md5`], [`sha1`], [`sha256`] — message digests ([`md5`] is the paper's
+//!   choice; the SHA family is provided for ablation benchmarks).
+//! * [`hmac`] — HMAC over any [`Digest`] implementation.
+//! * [`bigint`] — arbitrary-precision unsigned integers (the arithmetic
+//!   substrate for RSA): schoolbook/Karatsuba multiplication, Knuth
+//!   Algorithm D division, Miller–Rabin primality, modular exponentiation.
+//! * [`rsa`] — RSA key generation and PKCS#1 v1.5 signatures (512-bit
+//!   modulus by default, matching the paper).
+//! * [`drbg`] — a deterministic HMAC-based generator so experiments are
+//!   reproducible across runs, plus an OS-seeded key source.
+//!
+//! ## Security stance
+//!
+//! DES, MD5 and RSA-512 are **historical** algorithms: they are implemented
+//! here because the paper used them and the reproduction must perform the
+//! same work per operation. They must not be used to protect real data. The
+//! crate's API is generic over [`BlockCipher`], [`Digest`] and signature
+//! traits, and modern-ish parameter choices (3DES, SHA-256, larger RSA
+//! moduli) are available for ablations.
+//!
+//! ## Example
+//!
+//! ```
+//! use kg_crypto::{des::Des, cbc::CbcCipher, BlockCipher, SymmetricKey};
+//!
+//! let key = SymmetricKey::from_bytes(&[0x13, 0x34, 0x57, 0x79, 0x9b, 0xbc, 0xdf, 0xf1]);
+//! let cipher = CbcCipher::new(Des::new(key.material()).unwrap());
+//! let ct = cipher.encrypt(b"attack at dawn", &[0u8; 8]);
+//! let pt = cipher.decrypt(&ct, &[0u8; 8]).unwrap();
+//! assert_eq!(pt, b"attack at dawn");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod cbc;
+pub mod des;
+pub mod drbg;
+pub mod error;
+pub mod hmac;
+pub mod key;
+pub mod md5;
+pub mod prime;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+
+pub use cbc::CbcCipher;
+pub use error::CryptoError;
+pub use key::SymmetricKey;
+
+/// A block cipher operating on fixed-size blocks.
+///
+/// The paper's prototype encrypts each new key with DES-CBC; the rekeying
+/// engine in `kg-core` is generic over this trait so that ablation
+/// benchmarks can swap ciphers without touching protocol logic.
+pub trait BlockCipher {
+    /// Block size in bytes (8 for DES/3DES).
+    const BLOCK_SIZE: usize;
+
+    /// Encrypt exactly one block in place.
+    fn encrypt_block(&self, block: &mut [u8]);
+
+    /// Decrypt exactly one block in place.
+    fn decrypt_block(&self, block: &mut [u8]);
+}
+
+/// An incremental message digest (MD5, SHA-1, SHA-256, ...).
+///
+/// Section 4 of the paper signs a *tree of digests* over all rekey messages
+/// of a join/leave with a single RSA operation; this trait is what that
+/// Merkle construction hashes with.
+pub trait Digest: Clone {
+    /// Digest output length in bytes (16 for MD5, 20 for SHA-1, 32 for SHA-256).
+    const OUTPUT_SIZE: usize;
+
+    /// Create a fresh hasher state.
+    fn new() -> Self;
+
+    /// Absorb `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consume the state and produce the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// Convenience: hash a single buffer.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// A source of fresh symmetric keys.
+///
+/// The group server "randomly generates" a new key for every k-node whose
+/// key changes (Figures 6–9 of the paper). Experiments use the
+/// deterministic [`drbg::HmacDrbg`]-backed source so that runs are
+/// reproducible; production use would take the OS-entropy source.
+pub trait KeySource {
+    /// Generate `len` bytes of fresh key material.
+    fn generate(&mut self, len: usize) -> Vec<u8>;
+
+    /// Generate a [`SymmetricKey`] of `len` bytes.
+    fn generate_key(&mut self, len: usize) -> SymmetricKey {
+        SymmetricKey::new(self.generate(len))
+    }
+}

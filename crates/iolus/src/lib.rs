@@ -1,0 +1,413 @@
+//! # kg-iolus — a simplified Iolus baseline
+//!
+//! Iolus (Mittra, SIGCOMM '97) is the system the paper compares against in
+//! Section 6. It scales group key management with a hierarchy of *group
+//! security agents* (GSAs) instead of a hierarchy of keys:
+//!
+//! * Clients attach to leaf agents; each agent shares a **subgroup key**
+//!   with its children (clients, or lower-level agents). There is **no
+//!   global group key**.
+//! * A join/leave rekeys only the affected subgroup — O(subgroup size)
+//!   work at one agent, nothing anywhere else.
+//! * The price is paid on the **data path**: to send confidentially to the
+//!   whole group, a client generates a *message key*, encrypts it under
+//!   its subgroup key, and every agent along the distribution tree
+//!   decrypts it with one subgroup key and re-encrypts it with each
+//!   adjacent subgroup key. Every agent is a trusted entity.
+//!
+//! This implementation is faithful to that architecture with real keys and
+//! real (DES-CBC) encryption, so the benchmark harness can measure both
+//! sides of the paper's trade-off — "work when membership changes" (LKH)
+//! versus "work when messages flow" (Iolus) — and the trust/reliability
+//! comparison (#trusted entities) falls out of [`IolusSystem::agent_count`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kg_core::ids::UserId;
+use kg_core::rekey::KeyCipher;
+use kg_crypto::{KeySource, SymmetricKey};
+use std::collections::BTreeMap;
+
+/// Operation counts for an Iolus action (same unit as the paper: keys
+/// encrypted/decrypted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IolusOps {
+    /// Symmetric encryptions performed (by an agent or the sender).
+    pub encryptions: u64,
+    /// Symmetric decryptions performed by agents.
+    pub agent_decryptions: u64,
+    /// Agents that did work for this action.
+    pub agents_touched: u64,
+}
+
+/// Identifies an agent in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(usize);
+
+#[derive(Debug)]
+struct Agent {
+    parent: Option<AgentId>,
+    children: Vec<AgentId>,
+    /// Key shared by this agent and its *children* (clients for leaf
+    /// agents, lower agents otherwise).
+    subgroup_key: SymmetricKey,
+    /// Clients attached here (leaf agents only) and their individual keys.
+    clients: BTreeMap<UserId, SymmetricKey>,
+}
+
+/// A confidential message in flight: the payload under the message key,
+/// plus the message key wrapped for one subgroup.
+#[derive(Debug, Clone)]
+pub struct IolusMessage {
+    /// Sender.
+    pub from: UserId,
+    /// Payload encrypted under the message key.
+    pub payload_ct: Vec<u8>,
+    /// IV for the payload.
+    pub payload_iv: Vec<u8>,
+    /// Per-subgroup wrapped copies of the message key, keyed by the agent
+    /// whose subgroup key wraps it.
+    pub wrapped_keys: BTreeMap<AgentId, (Vec<u8>, Vec<u8>)>, // (iv, ct)
+    /// Relay cost incurred delivering this message.
+    pub ops: IolusOps,
+}
+
+/// The Iolus system: an agent hierarchy plus attached clients.
+pub struct IolusSystem {
+    cipher: KeyCipher,
+    agents: Vec<Agent>,
+    /// Maximum clients per leaf agent before the next agent is preferred.
+    capacity: usize,
+    user_home: BTreeMap<UserId, AgentId>,
+}
+
+impl IolusSystem {
+    /// Build a hierarchy: `levels` levels of agents with `fanout` children
+    /// per interior agent; clients attach to the leaf agents, `capacity`
+    /// per leaf before spilling to the next.
+    ///
+    /// # Panics
+    /// Panics if `levels == 0` or `fanout == 0` or `capacity == 0`.
+    pub fn new(
+        levels: usize,
+        fanout: usize,
+        capacity: usize,
+        cipher: KeyCipher,
+        source: &mut dyn KeySource,
+    ) -> Self {
+        assert!(levels > 0 && fanout > 0 && capacity > 0);
+        let mut agents = Vec::new();
+        agents.push(Agent {
+            parent: None,
+            children: Vec::new(),
+            subgroup_key: source.generate_key(cipher.key_len()),
+            clients: BTreeMap::new(),
+        });
+        let mut frontier = vec![AgentId(0)];
+        for _ in 1..levels {
+            let mut next = Vec::new();
+            for &parent in &frontier {
+                for _ in 0..fanout {
+                    let id = AgentId(agents.len());
+                    agents.push(Agent {
+                        parent: Some(parent),
+                        children: Vec::new(),
+                        subgroup_key: source.generate_key(cipher.key_len()),
+                        clients: BTreeMap::new(),
+                    });
+                    agents[parent.0].children.push(id);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+        IolusSystem { cipher, agents, capacity, user_home: BTreeMap::new() }
+    }
+
+    /// Total number of agents — each is a *trusted entity* (the Section 6
+    /// trust comparison; the key-graph approach needs exactly one).
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Number of attached clients.
+    pub fn user_count(&self) -> usize {
+        self.user_home.len()
+    }
+
+    /// Leaf agents (no agent children).
+    fn leaf_agents(&self) -> Vec<AgentId> {
+        (0..self.agents.len())
+            .map(AgentId)
+            .filter(|a| self.agents[a.0].children.is_empty())
+            .collect()
+    }
+
+    /// The agent a user is attached to.
+    pub fn home_agent(&self, user: UserId) -> Option<AgentId> {
+        self.user_home.get(&user).copied()
+    }
+
+    /// Attach a new client to the least-loaded leaf agent (capacity
+    /// permitting; spills over the soft cap when all leaves are full).
+    ///
+    /// Rekeys only that subgroup: the new subgroup key is sent to existing
+    /// members under the old subgroup key (1 encryption) and to the joiner
+    /// under its individual key (1 encryption). Nothing else changes —
+    /// Iolus's headline advantage.
+    pub fn join(&mut self, user: UserId, source: &mut dyn KeySource) -> Option<IolusOps> {
+        if self.user_home.contains_key(&user) {
+            return None;
+        }
+        let leaves = self.leaf_agents();
+        let home = leaves
+            .iter()
+            .copied()
+            .min_by_key(|a| {
+                let load = self.agents[a.0].clients.len();
+                // Prefer under-capacity leaves; among them the emptiest.
+                (load >= self.capacity, load)
+            })
+            .expect("hierarchy has leaves");
+        let individual = source.generate_key(self.cipher.key_len());
+        let agent = &mut self.agents[home.0];
+        let had_members = !agent.clients.is_empty();
+        agent.clients.insert(user, individual);
+        agent.subgroup_key = source.generate_key(self.cipher.key_len());
+        self.user_home.insert(user, home);
+        Some(IolusOps {
+            encryptions: if had_members { 2 } else { 1 },
+            agent_decryptions: 0,
+            agents_touched: 1,
+        })
+    }
+
+    /// Detach a client. The home subgroup's key is replaced and unicast to
+    /// each remaining member under its individual key — O(subgroup size),
+    /// like a star, but bounded by the subgroup capacity rather than n.
+    pub fn leave(&mut self, user: UserId, source: &mut dyn KeySource) -> Option<IolusOps> {
+        let home = self.user_home.remove(&user)?;
+        let agent = &mut self.agents[home.0];
+        agent.clients.remove(&user)?;
+        agent.subgroup_key = source.generate_key(self.cipher.key_len());
+        Some(IolusOps {
+            encryptions: agent.clients.len() as u64,
+            agent_decryptions: 0,
+            agents_touched: 1,
+        })
+    }
+
+    /// Send `plaintext` confidentially to the entire group, relaying the
+    /// message key through the agent hierarchy. Returns the delivered
+    /// message with relay costs — this is where Iolus pays for the
+    /// "1 affects n" problem.
+    pub fn send_to_group(
+        &self,
+        from: UserId,
+        plaintext: &[u8],
+        source: &mut dyn KeySource,
+    ) -> Option<IolusMessage> {
+        let home = self.user_home.get(&from)?;
+        let mk = source.generate_key(self.cipher.key_len());
+        let payload_iv = source.generate(self.cipher.block_len());
+        let payload_ct = self.cipher.encrypt(&mk, &payload_iv, plaintext);
+        let mut ops = IolusOps { encryptions: 1, ..IolusOps::default() }; // sender wraps MK once
+        let mut wrapped: BTreeMap<AgentId, (Vec<u8>, Vec<u8>)> = BTreeMap::new();
+
+        // Sender wraps MK for its home subgroup.
+        let iv = source.generate(self.cipher.block_len());
+        let ct = self.cipher.encrypt(&self.agents[home.0].subgroup_key, &iv, mk.material());
+        wrapped.insert(*home, (iv, ct));
+
+        // BFS over the agent graph: whenever an agent's subgroup has the
+        // wrapped MK, that agent decrypts it and re-wraps it for each
+        // adjacent subgroup that lacks it.
+        let mut queue = std::collections::VecDeque::from([*home]);
+        while let Some(a) = queue.pop_front() {
+            let (iv, ct) = wrapped.get(&a).expect("reached with key").clone();
+            let mk_again = self
+                .cipher
+                .decrypt(&self.agents[a.0].subgroup_key, &iv, &ct)
+                .expect("agent holds its subgroup key");
+            ops.agent_decryptions += 1;
+            ops.agents_touched += 1;
+            let mut neighbours: Vec<AgentId> = self.agents[a.0].children.clone();
+            if let Some(p) = self.agents[a.0].parent {
+                // The parent's subgroup key is shared between the parent
+                // agent and its children (including `a`), so `a` can wrap
+                // into it directly.
+                neighbours.push(p);
+            }
+            for nb in neighbours {
+                if wrapped.contains_key(&nb) {
+                    continue;
+                }
+                let iv = source.generate(self.cipher.block_len());
+                let ct = self.cipher.encrypt(&self.agents[nb.0].subgroup_key, &iv, &mk_again);
+                ops.encryptions += 1;
+                wrapped.insert(nb, (iv, ct));
+                queue.push_back(nb);
+            }
+        }
+        Some(IolusMessage { from, payload_ct, payload_iv, wrapped_keys: wrapped, ops })
+    }
+
+    /// Client-side receive: a member recovers the plaintext using its home
+    /// subgroup's wrapped message key. Returns `None` for non-members or
+    /// when decryption fails (e.g. a departed member with a stale key).
+    pub fn receive(&self, user: UserId, msg: &IolusMessage) -> Option<Vec<u8>> {
+        let home = self.user_home.get(&user)?;
+        let (iv, ct) = msg.wrapped_keys.get(home)?;
+        let mk = self.cipher.decrypt(&self.agents[home.0].subgroup_key, iv, ct).ok()?;
+        self.cipher
+            .decrypt(&SymmetricKey::new(mk), &msg.payload_iv, &msg.payload_ct)
+            .ok()
+    }
+
+    /// Simulate a departed member attempting to read `msg` with the
+    /// subgroup key it held before leaving (secrecy audits in tests).
+    pub fn receive_with_stale_key(
+        &self,
+        old_home: AgentId,
+        stale_subgroup_key: &SymmetricKey,
+        msg: &IolusMessage,
+    ) -> Option<Vec<u8>> {
+        let (iv, ct) = msg.wrapped_keys.get(&old_home)?;
+        let mk = self.cipher.decrypt(stale_subgroup_key, iv, ct).ok()?;
+        self.cipher
+            .decrypt(&SymmetricKey::new(mk), &msg.payload_iv, &msg.payload_ct)
+            .ok()
+    }
+
+    /// The current subgroup key of an agent (for secrecy audits).
+    pub fn subgroup_key(&self, agent: AgentId) -> SymmetricKey {
+        self.agents[agent.0].subgroup_key.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_crypto::drbg::HmacDrbg;
+
+    fn system(levels: usize, fanout: usize, cap: usize) -> (IolusSystem, HmacDrbg) {
+        let mut src = HmacDrbg::from_seed(77);
+        let sys = IolusSystem::new(levels, fanout, cap, KeyCipher::des_cbc(), &mut src);
+        (sys, src)
+    }
+
+    #[test]
+    fn hierarchy_shape() {
+        let (sys, _) = system(3, 3, 8);
+        // 1 + 3 + 9 agents.
+        assert_eq!(sys.agent_count(), 13);
+        assert_eq!(sys.leaf_agents().len(), 9);
+    }
+
+    #[test]
+    fn join_cost_is_constant() {
+        let (mut sys, mut src) = system(2, 4, 16);
+        let first = sys.join(UserId(0), &mut src).unwrap();
+        assert_eq!(first.encryptions, 1); // no prior members in that subgroup
+        // Fill so some subgroup gets a second member.
+        for i in 1..=4 {
+            sys.join(UserId(i), &mut src).unwrap();
+        }
+        let later = sys.join(UserId(99), &mut src).unwrap();
+        assert_eq!(later.encryptions, 2);
+        assert_eq!(later.agents_touched, 1);
+    }
+
+    #[test]
+    fn leave_cost_bounded_by_subgroup() {
+        let (mut sys, mut src) = system(2, 2, 32);
+        for i in 0..20 {
+            sys.join(UserId(i), &mut src).unwrap();
+        }
+        let ops = sys.leave(UserId(3), &mut src).unwrap();
+        // Subgroup has ~10 members; cost is within the subgroup, not 19.
+        assert!(ops.encryptions <= 10, "got {}", ops.encryptions);
+        assert_eq!(ops.agents_touched, 1);
+    }
+
+    #[test]
+    fn message_reaches_every_member() {
+        let (mut sys, mut src) = system(3, 2, 4);
+        for i in 0..16 {
+            sys.join(UserId(i), &mut src).unwrap();
+        }
+        let msg = sys.send_to_group(UserId(5), b"state update", &mut src).unwrap();
+        for i in 0..16 {
+            assert_eq!(
+                sys.receive(UserId(i), &msg).as_deref(),
+                Some(b"state update".as_slice()),
+                "user {i}"
+            );
+        }
+        // Every agent relayed: decryptions = #agents (1+2+4 = 7).
+        assert_eq!(msg.ops.agent_decryptions, 7);
+    }
+
+    #[test]
+    fn relay_cost_scales_with_agents_not_members() {
+        let (mut sys, mut src) = system(2, 2, 1000);
+        for i in 0..200 {
+            sys.join(UserId(i), &mut src).unwrap();
+        }
+        let msg = sys.send_to_group(UserId(0), b"x", &mut src).unwrap();
+        // 3 agents total; ~1 wrap per subgroup edge regardless of the 200
+        // members.
+        assert!(msg.ops.encryptions <= 4, "got {}", msg.ops.encryptions);
+    }
+
+    #[test]
+    fn departed_member_cannot_read_new_messages() {
+        let (mut sys, mut src) = system(2, 2, 8);
+        for i in 0..8 {
+            sys.join(UserId(i), &mut src).unwrap();
+        }
+        let home = sys.home_agent(UserId(2)).unwrap();
+        let stale_key = sys.subgroup_key(home);
+        sys.leave(UserId(2), &mut src).unwrap();
+        let msg = sys.send_to_group(UserId(0), b"secret", &mut src).unwrap();
+        // Stale subgroup key no longer opens the wrapped message key.
+        let leak = sys.receive_with_stale_key(home, &stale_key, &msg);
+        assert_ne!(leak.as_deref(), Some(b"secret".as_slice()));
+        assert!(sys.receive(UserId(2), &msg).is_none(), "non-member gets nothing");
+    }
+
+    #[test]
+    fn nonmember_cannot_send() {
+        let (sys, mut src) = system(2, 2, 8);
+        assert!(sys.send_to_group(UserId(1), b"x", &mut src).is_none());
+    }
+
+    #[test]
+    fn duplicate_join_and_phantom_leave() {
+        let (mut sys, mut src) = system(2, 2, 8);
+        sys.join(UserId(1), &mut src).unwrap();
+        assert!(sys.join(UserId(1), &mut src).is_none());
+        assert!(sys.leave(UserId(9), &mut src).is_none());
+    }
+
+    #[test]
+    fn clients_balance_across_leaves() {
+        let (mut sys, mut src) = system(2, 4, 100);
+        for i in 0..40 {
+            sys.join(UserId(i), &mut src).unwrap();
+        }
+        let leaves = sys.leaf_agents();
+        let loads: Vec<usize> = leaves.iter().map(|a| sys.agents[a.0].clients.len()).collect();
+        let min = *loads.iter().min().unwrap();
+        let max = *loads.iter().max().unwrap();
+        assert!(max - min <= 1, "unbalanced: {loads:?}");
+    }
+
+    #[test]
+    fn trust_surface_is_the_agent_count() {
+        let (sys, _) = system(4, 2, 8);
+        // 1 + 2 + 4 + 8 trusted entities, versus 1 for the key-graph server.
+        assert_eq!(sys.agent_count(), 15);
+    }
+}

@@ -1,0 +1,510 @@
+//! The simulated datagram network.
+//!
+//! A single-threaded, event-driven model of the paper's testbed: endpoints
+//! exchange datagrams via unicast or multicast groups; a virtual clock in
+//! microseconds orders deliveries; a seeded RNG drives latency jitter,
+//! loss, and duplication so that every run is exactly reproducible.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+/// Identifies an endpoint ("socket") on the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u32);
+
+/// A multicast group address. The paper assumes subgroup multicast is
+/// available (one address per subtree, or the routing-label scheme of
+/// [13]); here groups are cheap and the server allocates them per k-node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MulticastAddr(pub u32);
+
+/// Network behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Minimum one-way latency in microseconds.
+    pub latency_min_us: u64,
+    /// Maximum one-way latency (uniform jitter between min and max; jitter
+    /// produces reordering, as UDP permits).
+    pub latency_max_us: u64,
+    /// Probability a datagram copy is silently dropped.
+    pub loss_probability: f64,
+    /// Probability a datagram copy is delivered twice.
+    pub duplicate_probability: f64,
+    /// RNG seed for all of the above.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    /// A benign LAN: 50–200 µs latency, no loss, no duplication —
+    /// equivalent to the paper's lightly loaded 100 Mbps Ethernet.
+    fn default() -> Self {
+        NetConfig {
+            latency_min_us: 50,
+            latency_max_us: 200,
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A lossy configuration for failure-injection tests.
+    pub fn lossy(loss: f64, seed: u64) -> Self {
+        NetConfig { loss_probability: loss, seed, ..NetConfig::default() }
+    }
+}
+
+/// A received datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sending endpoint.
+    pub from: EndpointId,
+    /// Destination the sender used (unicast or a multicast group).
+    pub to: Destination,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Datagram destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// A single endpoint.
+    Unicast(EndpointId),
+    /// All members of a multicast group.
+    Multicast(MulticastAddr),
+}
+
+/// Per-endpoint traffic counters (Tables 5/6 raw material).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Datagrams handed to the network by this endpoint. A multicast send
+    /// counts once (the paper counts rekey *messages*, not copies).
+    pub datagrams_sent: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Datagrams delivered to this endpoint's inbox.
+    pub datagrams_received: u64,
+    /// Payload bytes delivered.
+    pub bytes_received: u64,
+}
+
+#[derive(Debug)]
+struct Endpoint {
+    inbox: VecDeque<Datagram>,
+    stats: TrafficStats,
+}
+
+/// An in-flight datagram copy, ordered by delivery time then sequence so
+/// the heap pops deterministically.
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: u64,
+    seq: u64,
+    dest: EndpointId,
+    datagram: Datagram,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct SimNetwork {
+    config: NetConfig,
+    rng: StdRng,
+    clock_us: u64,
+    next_endpoint: u32,
+    next_mcast: u32,
+    next_seq: u64,
+    endpoints: BTreeMap<EndpointId, Endpoint>,
+    groups: BTreeMap<MulticastAddr, BTreeSet<EndpointId>>,
+    in_flight: BinaryHeap<InFlight>,
+}
+
+impl SimNetwork {
+    /// Create a network with the given behaviour.
+    pub fn new(config: NetConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SimNetwork {
+            config,
+            rng,
+            clock_us: 0,
+            next_endpoint: 0,
+            next_mcast: 0,
+            next_seq: 0,
+            endpoints: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            in_flight: BinaryHeap::new(),
+        }
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Allocate a new endpoint.
+    pub fn endpoint(&mut self) -> EndpointId {
+        let id = EndpointId(self.next_endpoint);
+        self.next_endpoint += 1;
+        self.endpoints.insert(id, Endpoint { inbox: VecDeque::new(), stats: TrafficStats::default() });
+        id
+    }
+
+    /// Remove an endpoint; undelivered traffic to it is dropped.
+    pub fn close(&mut self, ep: EndpointId) {
+        self.endpoints.remove(&ep);
+        for members in self.groups.values_mut() {
+            members.remove(&ep);
+        }
+    }
+
+    /// Allocate a multicast group address.
+    pub fn multicast_group(&mut self) -> MulticastAddr {
+        let addr = MulticastAddr(self.next_mcast);
+        self.next_mcast += 1;
+        self.groups.insert(addr, BTreeSet::new());
+        addr
+    }
+
+    /// Subscribe `ep` to `group`.
+    pub fn join_group(&mut self, group: MulticastAddr, ep: EndpointId) {
+        self.groups.entry(group).or_default().insert(ep);
+    }
+
+    /// Unsubscribe `ep` from `group`.
+    pub fn leave_group(&mut self, group: MulticastAddr, ep: EndpointId) {
+        if let Some(members) = self.groups.get_mut(&group) {
+            members.remove(&ep);
+        }
+    }
+
+    /// Current membership of a group.
+    pub fn group_members(&self, group: MulticastAddr) -> Vec<EndpointId> {
+        self.groups.get(&group).map(|m| m.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Send a unicast datagram. Counted once in the sender's stats.
+    pub fn send_unicast(&mut self, from: EndpointId, to: EndpointId, payload: Bytes) {
+        self.record_send(from, payload.len());
+        let dg = Datagram { from, to: Destination::Unicast(to), payload };
+        self.enqueue_copy(to, dg);
+    }
+
+    /// Send to every member of a multicast group (the sender is not
+    /// excluded; the server never subscribes to its own groups). Counted
+    /// once in the sender's stats regardless of fan-out, matching how the
+    /// paper counts rekey messages.
+    pub fn send_multicast(&mut self, from: EndpointId, group: MulticastAddr, payload: Bytes) {
+        self.record_send(from, payload.len());
+        let members: Vec<EndpointId> = self.group_members(group);
+        for dest in members {
+            let dg = Datagram { from, to: Destination::Multicast(group), payload: payload.clone() };
+            self.enqueue_copy(dest, dg);
+        }
+    }
+
+    /// Deliver a payload to an explicit set of endpoints as one logical
+    /// message (the "subgroup multicast via unicast" fallback of §7 —
+    /// recorded as one send, `targets.len()` physical copies).
+    pub fn send_to_set(&mut self, from: EndpointId, targets: &[EndpointId], payload: Bytes) {
+        self.record_send(from, payload.len());
+        for &dest in targets {
+            let dg = Datagram { from, to: Destination::Unicast(dest), payload: payload.clone() };
+            self.enqueue_copy(dest, dg);
+        }
+    }
+
+    fn record_send(&mut self, from: EndpointId, len: usize) {
+        if let Some(e) = self.endpoints.get_mut(&from) {
+            e.stats.datagrams_sent += 1;
+            e.stats.bytes_sent += len as u64;
+        }
+    }
+
+    fn enqueue_copy(&mut self, dest: EndpointId, datagram: Datagram) {
+        if self.rng.gen_bool(self.config.loss_probability) {
+            return;
+        }
+        let copies = if self.rng.gen_bool(self.config.duplicate_probability) { 2 } else { 1 };
+        for _ in 0..copies {
+            let jitter = if self.config.latency_max_us > self.config.latency_min_us {
+                self.rng.gen_range(self.config.latency_min_us..=self.config.latency_max_us)
+            } else {
+                self.config.latency_min_us
+            };
+            self.in_flight.push(InFlight {
+                deliver_at: self.clock_us + jitter,
+                seq: self.next_seq,
+                dest,
+                datagram: datagram.clone(),
+            });
+            self.next_seq += 1;
+        }
+    }
+
+    /// Advance the clock by `us` microseconds, delivering everything due.
+    pub fn advance(&mut self, us: u64) {
+        self.clock_us += us;
+        while let Some(top) = self.in_flight.peek() {
+            if top.deliver_at > self.clock_us {
+                break;
+            }
+            let item = self.in_flight.pop().expect("peeked");
+            if let Some(ep) = self.endpoints.get_mut(&item.dest) {
+                ep.stats.datagrams_received += 1;
+                ep.stats.bytes_received += item.datagram.payload.len() as u64;
+                ep.inbox.push_back(item.datagram);
+            }
+        }
+    }
+
+    /// Advance until no datagrams are in flight (delivers everything that
+    /// loss didn't eat). Returns the final virtual time.
+    pub fn run_until_quiet(&mut self) -> u64 {
+        while let Some(top) = self.in_flight.peek() {
+            let t = top.deliver_at - self.clock_us;
+            self.advance(t.max(1));
+        }
+        self.clock_us
+    }
+
+    /// Pop the next datagram from `ep`'s inbox.
+    pub fn recv(&mut self, ep: EndpointId) -> Option<Datagram> {
+        self.endpoints.get_mut(&ep)?.inbox.pop_front()
+    }
+
+    /// Number of datagrams waiting at `ep`.
+    pub fn pending(&self, ep: EndpointId) -> usize {
+        self.endpoints.get(&ep).map_or(0, |e| e.inbox.len())
+    }
+
+    /// Total datagrams waiting across all inboxes plus in flight.
+    pub fn pending_total(&self) -> usize {
+        self.endpoints.values().map(|e| e.inbox.len()).sum::<usize>() + self.in_flight.len()
+    }
+
+    /// Traffic counters for `ep`.
+    pub fn stats(&self, ep: EndpointId) -> TrafficStats {
+        self.endpoints.get(&ep).map(|e| e.stats).unwrap_or_default()
+    }
+
+    /// Reset all endpoints' traffic counters (used between experiment
+    /// phases: the paper excludes the initial n joins from its tables).
+    pub fn reset_stats(&mut self) {
+        for e in self.endpoints.values_mut() {
+            e.stats = TrafficStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_net() -> SimNetwork {
+        SimNetwork::new(NetConfig::default())
+    }
+
+    #[test]
+    fn unicast_delivery() {
+        let mut net = quiet_net();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        net.send_unicast(a, b, Bytes::from_static(b"hello"));
+        assert_eq!(net.pending(b), 0, "nothing delivered before time passes");
+        net.run_until_quiet();
+        let dg = net.recv(b).unwrap();
+        assert_eq!(dg.from, a);
+        assert_eq!(&dg.payload[..], b"hello");
+        assert!(net.recv(b).is_none());
+        assert!(net.recv(a).is_none(), "sender gets nothing");
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_only() {
+        let mut net = quiet_net();
+        let server = net.endpoint();
+        let members: Vec<EndpointId> = (0..5).map(|_| net.endpoint()).collect();
+        let outsider = net.endpoint();
+        let g = net.multicast_group();
+        for &m in &members {
+            net.join_group(g, m);
+        }
+        net.send_multicast(server, g, Bytes::from_static(b"rekey"));
+        net.run_until_quiet();
+        for &m in &members {
+            assert_eq!(net.pending(m), 1);
+        }
+        assert_eq!(net.pending(outsider), 0);
+        // One logical send regardless of fan-out.
+        assert_eq!(net.stats(server).datagrams_sent, 1);
+        assert_eq!(net.stats(server).bytes_sent, 5);
+    }
+
+    #[test]
+    fn leave_group_stops_delivery() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let m = net.endpoint();
+        let g = net.multicast_group();
+        net.join_group(g, m);
+        net.leave_group(g, m);
+        net.send_multicast(s, g, Bytes::from_static(b"x"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(m), 0);
+    }
+
+    #[test]
+    fn send_to_set_counts_once() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        net.send_to_set(s, &[a, b], Bytes::from_static(b"subgroup"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(a), 1);
+        assert_eq!(net.pending(b), 1);
+        assert_eq!(net.stats(s).datagrams_sent, 1);
+    }
+
+    #[test]
+    fn receiver_stats_track_bytes() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let r = net.endpoint();
+        net.send_unicast(s, r, Bytes::from_static(b"12345678"));
+        net.send_unicast(s, r, Bytes::from_static(b"abc"));
+        net.run_until_quiet();
+        let st = net.stats(r);
+        assert_eq!(st.datagrams_received, 2);
+        assert_eq!(st.bytes_received, 11);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = SimNetwork::new(NetConfig {
+                loss_probability: 0.3,
+                duplicate_probability: 0.1,
+                seed,
+                ..NetConfig::default()
+            });
+            let s = net.endpoint();
+            let r = net.endpoint();
+            for i in 0..100u8 {
+                net.send_unicast(s, r, Bytes::copy_from_slice(&[i]));
+            }
+            net.run_until_quiet();
+            let mut got = Vec::new();
+            while let Some(d) = net.recv(r) {
+                got.push(d.payload[0]);
+            }
+            got
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let mut net = SimNetwork::new(NetConfig::lossy(0.5, 42));
+        let s = net.endpoint();
+        let r = net.endpoint();
+        for _ in 0..1000 {
+            net.send_unicast(s, r, Bytes::from_static(b"x"));
+        }
+        net.run_until_quiet();
+        let got = net.stats(r).datagrams_received;
+        assert!((350..=650).contains(&got), "got {got} of 1000 at 50% loss");
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut net = SimNetwork::new(NetConfig {
+            duplicate_probability: 1.0,
+            ..NetConfig::default()
+        });
+        let s = net.endpoint();
+        let r = net.endpoint();
+        net.send_unicast(s, r, Bytes::from_static(b"x"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(r), 2);
+    }
+
+    #[test]
+    fn latency_jitter_reorders() {
+        let mut net = SimNetwork::new(NetConfig {
+            latency_min_us: 1,
+            latency_max_us: 10_000,
+            seed: 3,
+            ..NetConfig::default()
+        });
+        let s = net.endpoint();
+        let r = net.endpoint();
+        for i in 0..50u8 {
+            net.send_unicast(s, r, Bytes::copy_from_slice(&[i]));
+        }
+        net.run_until_quiet();
+        let mut got = Vec::new();
+        while let Some(d) = net.recv(r) {
+            got.push(d.payload[0]);
+        }
+        assert_eq!(got.len(), 50);
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_ne!(got, sorted, "jitter should reorder at least one pair");
+    }
+
+    #[test]
+    fn closed_endpoint_discards_traffic() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let r = net.endpoint();
+        net.send_unicast(s, r, Bytes::from_static(b"x"));
+        net.close(r);
+        net.run_until_quiet();
+        assert_eq!(net.pending(r), 0);
+        assert!(net.recv(r).is_none());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut net = quiet_net();
+        assert_eq!(net.now_us(), 0);
+        net.advance(100);
+        assert_eq!(net.now_us(), 100);
+        net.advance(0);
+        assert_eq!(net.now_us(), 100);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let r = net.endpoint();
+        net.send_unicast(s, r, Bytes::from_static(b"x"));
+        net.run_until_quiet();
+        net.reset_stats();
+        assert_eq!(net.stats(s), TrafficStats::default());
+        assert_eq!(net.stats(r), TrafficStats::default());
+    }
+}

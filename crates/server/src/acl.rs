@@ -1,0 +1,89 @@
+//! Group access control.
+//!
+//! "We assume that group access control is performed by server s using an
+//! access control list provided by the initiator of the secure group"
+//! (§3). The list can be open (any authenticated user), a whitelist, or a
+//! whitelist with explicit revocations.
+
+use kg_core::ids::UserId;
+use std::collections::BTreeSet;
+
+/// The server's admission policy.
+#[derive(Debug, Clone)]
+pub enum AccessControl {
+    /// Admit anyone (the configuration the measurements use — the paper
+    /// excludes authentication/authorization time from its numbers).
+    AllowAll,
+    /// Admit exactly the listed users.
+    AllowList(BTreeSet<UserId>),
+}
+
+impl AccessControl {
+    /// Build a whitelist policy.
+    pub fn allow_list(users: impl IntoIterator<Item = UserId>) -> Self {
+        AccessControl::AllowList(users.into_iter().collect())
+    }
+
+    /// Whether `u` may join.
+    pub fn permits(&self, u: UserId) -> bool {
+        match self {
+            AccessControl::AllowAll => true,
+            AccessControl::AllowList(set) => set.contains(&u),
+        }
+    }
+
+    /// Add `u` to the whitelist (no-op for [`AccessControl::AllowAll`]).
+    pub fn grant(&mut self, u: UserId) {
+        if let AccessControl::AllowList(set) = self {
+            set.insert(u);
+        }
+    }
+
+    /// Revoke `u`'s admission right (converts AllowAll into a complement
+    /// we cannot represent, so it panics there — revocation only makes
+    /// sense against a list).
+    pub fn revoke(&mut self, u: UserId) {
+        match self {
+            AccessControl::AllowAll => {
+                panic!("cannot revoke from AllowAll; use an explicit allow list")
+            }
+            AccessControl::AllowList(set) => {
+                set.remove(&u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_all_permits_everyone() {
+        let acl = AccessControl::AllowAll;
+        assert!(acl.permits(UserId(0)));
+        assert!(acl.permits(UserId(u64::MAX)));
+    }
+
+    #[test]
+    fn allow_list_is_exact() {
+        let acl = AccessControl::allow_list([UserId(1), UserId(2)]);
+        assert!(acl.permits(UserId(1)));
+        assert!(!acl.permits(UserId(3)));
+    }
+
+    #[test]
+    fn grant_and_revoke() {
+        let mut acl = AccessControl::allow_list([UserId(1)]);
+        acl.grant(UserId(5));
+        assert!(acl.permits(UserId(5)));
+        acl.revoke(UserId(5));
+        assert!(!acl.permits(UserId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "AllowAll")]
+    fn revoke_from_allow_all_panics() {
+        AccessControl::AllowAll.revoke(UserId(1));
+    }
+}

@@ -1,0 +1,299 @@
+//! Server configuration, including the paper-style specification file.
+//!
+//! "The server is initialized from a specification file which determines
+//! the initial group size, the rekeying strategy, the key tree degree, the
+//! encryption algorithm, the message digest algorithm, the digital
+//! signature algorithm, etc." (§5). [`ServerConfig::from_spec`] parses a
+//! simple `key = value` format with exactly those knobs.
+
+use kg_core::rekey::{KeyCipher, Strategy};
+use kg_crypto::rsa::HashAlg;
+use std::fmt;
+
+/// How rekey messages are authenticated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthPolicy {
+    /// Encryption only (the left panels of Figures 10/11).
+    None,
+    /// MD5 (or chosen digest) over each message — integrity only.
+    Digest,
+    /// One RSA signature per rekey message (Table 4's expensive baseline).
+    SignEach,
+    /// One RSA signature for all of an operation's rekey messages, via the
+    /// Section 4 digest tree.
+    SignBatch,
+}
+
+impl AuthPolicy {
+    /// Whether this policy requires an RSA keypair.
+    pub fn needs_signature_key(self) -> bool {
+        matches!(self, AuthPolicy::SignEach | AuthPolicy::SignBatch)
+    }
+}
+
+impl std::str::FromStr for AuthPolicy {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(AuthPolicy::None),
+            "digest" => Ok(AuthPolicy::Digest),
+            "sign-each" => Ok(AuthPolicy::SignEach),
+            "sign-batch" => Ok(AuthPolicy::SignBatch),
+            other => Err(ConfigError::BadValue { key: "auth", value: other.to_string() }),
+        }
+    }
+}
+
+/// Group key server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Key tree degree `d` (the paper's optimum is 4).
+    pub degree: usize,
+    /// Rekeying strategy.
+    pub strategy: Strategy,
+    /// Symmetric cipher for key encryption.
+    pub cipher: KeyCipher,
+    /// Digest algorithm for integrity/signing.
+    pub digest: HashAlg,
+    /// Authentication policy for rekey messages.
+    pub auth: AuthPolicy,
+    /// RSA modulus size in bits (512 in the paper).
+    pub rsa_bits: usize,
+    /// Seed for deterministic key generation.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    /// The paper's canonical configuration: degree-4 key tree,
+    /// group-oriented rekeying, DES-CBC, MD5, RSA-512, no signing.
+    fn default() -> Self {
+        ServerConfig {
+            degree: 4,
+            strategy: Strategy::GroupOriented,
+            cipher: KeyCipher::des_cbc(),
+            digest: HashAlg::Md5,
+            auth: AuthPolicy::None,
+            rsa_bits: 512,
+            seed: 0,
+        }
+    }
+}
+
+/// Spec-file parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A line was not `key = value`.
+    BadLine(String),
+    /// Unknown configuration key.
+    UnknownKey(String),
+    /// Unparseable value for a known key.
+    BadValue {
+        /// The key whose value failed to parse.
+        key: &'static str,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadLine(l) => write!(f, "malformed spec line: {l:?}"),
+            ConfigError::UnknownKey(k) => write!(f, "unknown spec key: {k:?}"),
+            ConfigError::BadValue { key, value } => {
+                write!(f, "bad value {value:?} for spec key {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ServerConfig {
+    /// Parse a specification file. Recognized keys:
+    ///
+    /// ```text
+    /// # comment
+    /// degree   = 4
+    /// strategy = group        # user | key | group
+    /// cipher   = des-cbc      # des-cbc | 3des-cbc
+    /// digest   = md5          # md5 | sha1 | sha256
+    /// auth     = sign-batch   # none | digest | sign-each | sign-batch
+    /// rsa-bits = 512
+    /// seed     = 42
+    /// ```
+    pub fn from_spec(spec: &str) -> Result<Self, ConfigError> {
+        let mut cfg = ServerConfig::default();
+        for raw in spec.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| ConfigError::BadLine(raw.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "degree" => {
+                    cfg.degree = value.parse().map_err(|_| ConfigError::BadValue {
+                        key: "degree",
+                        value: value.to_string(),
+                    })?;
+                    if cfg.degree < 2 {
+                        return Err(ConfigError::BadValue { key: "degree", value: value.to_string() });
+                    }
+                }
+                "strategy" => {
+                    cfg.strategy = value.parse().map_err(|_| ConfigError::BadValue {
+                        key: "strategy",
+                        value: value.to_string(),
+                    })?;
+                }
+                "cipher" => {
+                    cfg.cipher = match value {
+                        "des-cbc" => KeyCipher::DesCbc,
+                        "3des-cbc" => KeyCipher::TripleDesCbc,
+                        _ => {
+                            return Err(ConfigError::BadValue {
+                                key: "cipher",
+                                value: value.to_string(),
+                            })
+                        }
+                    };
+                }
+                "digest" => {
+                    cfg.digest = match value {
+                        "md5" => HashAlg::Md5,
+                        "sha1" => HashAlg::Sha1,
+                        "sha256" => HashAlg::Sha256,
+                        _ => {
+                            return Err(ConfigError::BadValue {
+                                key: "digest",
+                                value: value.to_string(),
+                            })
+                        }
+                    };
+                }
+                "auth" => cfg.auth = value.parse()?,
+                "rsa-bits" => {
+                    cfg.rsa_bits = value.parse().map_err(|_| ConfigError::BadValue {
+                        key: "rsa-bits",
+                        value: value.to_string(),
+                    })?;
+                }
+                "seed" => {
+                    cfg.seed = value.parse().map_err(|_| ConfigError::BadValue {
+                        key: "seed",
+                        value: value.to_string(),
+                    })?;
+                }
+                other => return Err(ConfigError::UnknownKey(other.to_string())),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Symmetric key length implied by the cipher.
+    pub fn key_len(&self) -> usize {
+        self.cipher.key_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_canonical() {
+        let c = ServerConfig::default();
+        assert_eq!(c.degree, 4);
+        assert_eq!(c.strategy, Strategy::GroupOriented);
+        assert_eq!(c.cipher, KeyCipher::DesCbc);
+        assert_eq!(c.digest, HashAlg::Md5);
+        assert_eq!(c.auth, AuthPolicy::None);
+        assert_eq!(c.rsa_bits, 512);
+        assert_eq!(c.key_len(), 8);
+    }
+
+    #[test]
+    fn full_spec_parses() {
+        let spec = r"
+            # experiment E1
+            degree   = 8
+            strategy = key
+            cipher   = 3des-cbc
+            digest   = sha256
+            auth     = sign-batch
+            rsa-bits = 1024
+            seed     = 99
+        ";
+        let c = ServerConfig::from_spec(spec).unwrap();
+        assert_eq!(c.degree, 8);
+        assert_eq!(c.strategy, Strategy::KeyOriented);
+        assert_eq!(c.cipher, KeyCipher::TripleDesCbc);
+        assert_eq!(c.digest, HashAlg::Sha256);
+        assert_eq!(c.auth, AuthPolicy::SignBatch);
+        assert_eq!(c.rsa_bits, 1024);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.key_len(), 24);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = ServerConfig::from_spec("\n# all defaults\n\n").unwrap();
+        assert_eq!(c.degree, 4);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            ServerConfig::from_spec("degree"),
+            Err(ConfigError::BadLine(_))
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("mystery = 1"),
+            Err(ConfigError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("degree = banana"),
+            Err(ConfigError::BadValue { key: "degree", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("degree = 1"),
+            Err(ConfigError::BadValue { key: "degree", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("auth = sometimes"),
+            Err(ConfigError::BadValue { key: "auth", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("strategy = quantum"),
+            Err(ConfigError::BadValue { key: "strategy", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("cipher = rot13"),
+            Err(ConfigError::BadValue { key: "cipher", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("digest = crc32"),
+            Err(ConfigError::BadValue { key: "digest", .. })
+        ));
+    }
+
+    #[test]
+    fn auth_policy_signature_key_requirement() {
+        assert!(!AuthPolicy::None.needs_signature_key());
+        assert!(!AuthPolicy::Digest.needs_signature_key());
+        assert!(AuthPolicy::SignEach.needs_signature_key());
+        assert!(AuthPolicy::SignBatch.needs_signature_key());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConfigError::BadValue { key: "degree", value: "x".into() };
+        assert!(e.to_string().contains("degree"));
+        assert!(ConfigError::UnknownKey("z".into()).to_string().contains('z'));
+        assert!(ConfigError::BadLine("q".into()).to_string().contains('q'));
+    }
+}

@@ -1,0 +1,318 @@
+//! The group key server attached to the simulated network.
+//!
+//! [`NetServer`] owns a [`GroupKeyServer`] plus an endpoint on a
+//! [`SimNetwork`]: it parses inbound `join`/`leave` control datagrams,
+//! authenticates leave requests (HMAC under the member's individual key,
+//! standing in for the paper's `{leave-request}_{k_u}`), runs the key
+//! management, and dispatches the resulting rekey packets — group
+//! multicast for `Recipients::Group`, subgroup delivery for the
+//! subtree-scoped messages, unicast for the joiner.
+
+use crate::{GroupKeyServer, JoinGrant, RequestError};
+use bytes::Bytes;
+use kg_core::ids::UserId;
+use kg_core::rekey::Recipients;
+use kg_crypto::hmac::{hmac, verify_mac};
+use kg_crypto::md5::Md5;
+use kg_net::{EndpointId, MulticastAddr, SimNetwork};
+use kg_wire::ControlMessage;
+use std::collections::BTreeMap;
+
+/// Events surfaced to the driver after a poll step.
+#[derive(Debug)]
+pub enum ServerEvent {
+    /// A join was granted; the grant carries the individual key that the
+    /// (simulated) authentication exchange delivers to the new member.
+    Joined(JoinGrant),
+    /// A leave was granted.
+    Left(UserId),
+    /// A request was rejected.
+    Rejected(UserId, RequestError),
+}
+
+/// The networked server.
+pub struct NetServer {
+    inner: GroupKeyServer,
+    endpoint: EndpointId,
+    group_addr: MulticastAddr,
+    members: BTreeMap<UserId, EndpointId>,
+}
+
+impl NetServer {
+    /// Attach `server` to the network.
+    pub fn new(server: GroupKeyServer, net: &mut SimNetwork) -> Self {
+        let endpoint = net.endpoint();
+        let group_addr = net.multicast_group();
+        NetServer { inner: server, endpoint, group_addr, members: BTreeMap::new() }
+    }
+
+    /// The server's network endpoint (clients send requests here).
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// The all-members multicast address.
+    pub fn group_addr(&self) -> MulticastAddr {
+        self.group_addr
+    }
+
+    /// The wrapped server.
+    pub fn inner(&self) -> &GroupKeyServer {
+        &self.inner
+    }
+
+    /// Mutable access (stats reset between experiment phases).
+    pub fn inner_mut(&mut self) -> &mut GroupKeyServer {
+        &mut self.inner
+    }
+
+    /// Drain the server's inbox, process every request, send responses and
+    /// rekey traffic. Returns the processed events in order.
+    pub fn poll(&mut self, net: &mut SimNetwork) -> Vec<ServerEvent> {
+        let mut events = Vec::new();
+        while let Some(dg) = net.recv(self.endpoint) {
+            let Ok(msg) = ControlMessage::decode(&dg.payload) else {
+                continue; // garbage datagram: drop, as a UDP server would
+            };
+            match msg {
+                ControlMessage::JoinRequest { user } => {
+                    events.push(self.process_join(net, user, dg.from));
+                }
+                ControlMessage::LeaveRequest { user, auth } => {
+                    events.push(self.process_leave(net, user, dg.from, &auth));
+                }
+                _ => {} // server-to-client messages are ignored if echoed back
+            }
+        }
+        events
+    }
+
+    fn process_join(&mut self, net: &mut SimNetwork, user: UserId, from: EndpointId) -> ServerEvent {
+        match self.inner.handle_join(user) {
+            Err(e) => {
+                let deny = ControlMessage::JoinDenied { user }.encode();
+                net.send_unicast(self.endpoint, from, Bytes::from(deny));
+                ServerEvent::Rejected(user, e)
+            }
+            Ok(op) => {
+                let grant = op.join_grant.clone().expect("join produces a grant");
+                self.members.insert(user, from);
+                net.join_group(self.group_addr, from);
+                let ack = ControlMessage::JoinGranted {
+                    user,
+                    leaf_label: grant.leaf_label,
+                    path_labels: grant.path_labels.clone(),
+                }
+                .encode();
+                net.send_unicast(self.endpoint, from, Bytes::from(ack));
+                self.dispatch(net, &op.packets, &op.encoded);
+                ServerEvent::Joined(grant)
+            }
+        }
+    }
+
+    fn process_leave(
+        &mut self,
+        net: &mut SimNetwork,
+        user: UserId,
+        from: EndpointId,
+        auth: &[u8],
+    ) -> ServerEvent {
+        // Verify {leave-request}_{k_u}: HMAC-MD5 of the user id under the
+        // member's individual key (the leaf key in the tree).
+        let authentic = self
+            .inner
+            .tree()
+            .keyset(user)
+            .and_then(|ks| ks.first().cloned())
+            .map(|(_, ik)| verify_mac(&hmac::<Md5>(ik.material(), &user.0.to_be_bytes()), auth))
+            .unwrap_or(false);
+        if !authentic {
+            let deny = ControlMessage::LeaveDenied { user }.encode();
+            net.send_unicast(self.endpoint, from, Bytes::from(deny));
+            return ServerEvent::Rejected(
+                user,
+                RequestError::Tree(kg_core::tree::TreeError::NotAMember(user)),
+            );
+        }
+        match self.inner.handle_leave(user) {
+            Err(e) => {
+                let deny = ControlMessage::LeaveDenied { user }.encode();
+                net.send_unicast(self.endpoint, from, Bytes::from(deny));
+                ServerEvent::Rejected(user, e)
+            }
+            Ok(op) => {
+                // Evict from delivery structures *before* sending rekeys so
+                // the departed member receives none of them.
+                if let Some(ep) = self.members.remove(&user) {
+                    net.leave_group(self.group_addr, ep);
+                }
+                let ack = ControlMessage::LeaveGranted { user }.encode();
+                net.send_unicast(self.endpoint, from, Bytes::from(ack));
+                self.dispatch(net, &op.packets, &op.encoded);
+                ServerEvent::Left(user)
+            }
+        }
+    }
+
+    /// Resolve recipients and send each encoded rekey packet.
+    fn dispatch(&mut self, net: &mut SimNetwork, packets: &[kg_wire::RekeyPacket], encoded: &[Vec<u8>]) {
+        for (p, bytes) in packets.iter().zip(encoded) {
+            let payload = Bytes::copy_from_slice(bytes);
+            match &p.message.recipients {
+                Recipients::Group => {
+                    net.send_multicast(self.endpoint, self.group_addr, payload);
+                }
+                Recipients::User(u) => {
+                    if let Some(&ep) = self.members.get(u) {
+                        net.send_unicast(self.endpoint, ep, payload);
+                    }
+                }
+                Recipients::Subgroup(label) => {
+                    let eps = self.resolve(self.inner.tree().userset(*label));
+                    net.send_to_set(self.endpoint, &eps, payload);
+                }
+                Recipients::SubgroupExcept { include, exclude } => {
+                    let eps = self.resolve(self.inner.tree().userset_except(*include, *exclude));
+                    net.send_to_set(self.endpoint, &eps, payload);
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, users: Vec<UserId>) -> Vec<EndpointId> {
+        users.iter().filter_map(|u| self.members.get(u).copied()).collect()
+    }
+}
+
+/// Compute the leave-request authenticator a member sends: HMAC-MD5 of its
+/// user id under its individual key (client side of
+/// `{leave-request}_{k_u}`).
+pub fn leave_authenticator(user: UserId, individual_key: &[u8]) -> Vec<u8> {
+    hmac::<Md5>(individual_key, &user.0.to_be_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessControl, ServerConfig};
+    use kg_net::NetConfig;
+
+    fn setup() -> (SimNetwork, NetServer) {
+        let mut net = SimNetwork::new(NetConfig::default());
+        let server = GroupKeyServer::new(ServerConfig::default(), AccessControl::AllowAll);
+        let ns = NetServer::new(server, &mut net);
+        (net, ns)
+    }
+
+    fn join(net: &mut SimNetwork, ns: &mut NetServer, user: UserId) -> (EndpointId, JoinGrant) {
+        let ep = net.endpoint();
+        let req = ControlMessage::JoinRequest { user }.encode();
+        net.send_unicast(ep, ns.endpoint(), Bytes::from(req));
+        net.run_until_quiet();
+        let events = ns.poll(net);
+        net.run_until_quiet();
+        match events.into_iter().next().expect("one event") {
+            ServerEvent::Joined(grant) => (ep, grant),
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_over_network_delivers_ack_and_rekeys() {
+        let (mut net, mut ns) = setup();
+        let (ep1, _) = join(&mut net, &mut ns, UserId(1));
+        // Client 1 got: JoinGranted + its unicast rekey packet.
+        assert!(net.pending(ep1) >= 2);
+        let (ep2, _) = join(&mut net, &mut ns, UserId(2));
+        // Client 1 additionally got the group rekey for user 2's join.
+        assert!(net.pending(ep1) >= 3);
+        assert!(net.pending(ep2) >= 2);
+        assert_eq!(ns.inner().group_size(), 2);
+    }
+
+    #[test]
+    fn leave_with_valid_authenticator() {
+        let (mut net, mut ns) = setup();
+        let (ep1, grant1) = join(&mut net, &mut ns, UserId(1));
+        let (_ep2, _) = join(&mut net, &mut ns, UserId(2));
+        let auth = leave_authenticator(UserId(1), grant1.individual_key.material());
+        let req = ControlMessage::LeaveRequest { user: UserId(1), auth }.encode();
+        net.send_unicast(ep1, ns.endpoint(), Bytes::from(req));
+        net.run_until_quiet();
+        let events = ns.poll(&mut net);
+        assert!(matches!(events[0], ServerEvent::Left(UserId(1))));
+        assert_eq!(ns.inner().group_size(), 1);
+    }
+
+    #[test]
+    fn leave_with_bad_authenticator_denied() {
+        let (mut net, mut ns) = setup();
+        let (ep1, _) = join(&mut net, &mut ns, UserId(1));
+        let req = ControlMessage::LeaveRequest { user: UserId(1), auth: vec![0; 16] }.encode();
+        net.send_unicast(ep1, ns.endpoint(), Bytes::from(req));
+        net.run_until_quiet();
+        let events = ns.poll(&mut net);
+        assert!(matches!(events[0], ServerEvent::Rejected(UserId(1), _)));
+        assert_eq!(ns.inner().group_size(), 1, "member not evicted");
+    }
+
+    #[test]
+    fn departed_member_receives_no_rekey_traffic() {
+        let (mut net, mut ns) = setup();
+        let (ep1, grant1) = join(&mut net, &mut ns, UserId(1));
+        let (_ep2, _) = join(&mut net, &mut ns, UserId(2));
+        let (_ep3, _) = join(&mut net, &mut ns, UserId(3));
+        net.run_until_quiet();
+        // Drain ep1's inbox, then have user 1 leave.
+        while net.recv(ep1).is_some() {}
+        let auth = leave_authenticator(UserId(1), grant1.individual_key.material());
+        let req = ControlMessage::LeaveRequest { user: UserId(1), auth }.encode();
+        net.send_unicast(ep1, ns.endpoint(), Bytes::from(req));
+        net.run_until_quiet();
+        ns.poll(&mut net);
+        net.run_until_quiet();
+        // ep1 gets exactly the LeaveGranted ack — no rekey packets.
+        let mut got = Vec::new();
+        while let Some(d) = net.recv(ep1) {
+            got.push(d.payload);
+        }
+        assert_eq!(got.len(), 1);
+        assert!(matches!(
+            ControlMessage::decode(&got[0]),
+            Ok(ControlMessage::LeaveGranted { user: UserId(1) })
+        ));
+    }
+
+    #[test]
+    fn garbage_datagrams_ignored() {
+        let (mut net, mut ns) = setup();
+        let ep = net.endpoint();
+        net.send_unicast(ep, ns.endpoint(), Bytes::from_static(b"\xff\xff\xff"));
+        net.run_until_quiet();
+        let events = ns.poll(&mut net);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn denied_join_gets_deny_message() {
+        let mut net = SimNetwork::new(NetConfig::default());
+        let server = GroupKeyServer::new(
+            ServerConfig::default(),
+            AccessControl::allow_list([UserId(42)]),
+        );
+        let mut ns = NetServer::new(server, &mut net);
+        let ep = net.endpoint();
+        let req = ControlMessage::JoinRequest { user: UserId(7) }.encode();
+        net.send_unicast(ep, ns.endpoint(), Bytes::from(req));
+        net.run_until_quiet();
+        let events = ns.poll(&mut net);
+        assert!(matches!(events[0], ServerEvent::Rejected(UserId(7), _)));
+        net.run_until_quiet();
+        let dg = net.recv(ep).unwrap();
+        assert!(matches!(
+            ControlMessage::decode(&dg.payload),
+            Ok(ControlMessage::JoinDenied { user: UserId(7) })
+        ));
+    }
+}

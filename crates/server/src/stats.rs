@@ -1,0 +1,164 @@
+//! Per-request server statistics.
+//!
+//! Everything the paper's evaluation tables need: processing time per
+//! request (Figures 10/11, Table 4), number and size of rekey messages
+//! sent (Tables 4/5), and encryption counts (validating Table 2/3).
+//! Records are kept per operation so min/ave/max columns can be derived.
+
+use kg_wire::OpKind;
+
+/// One processed join/leave.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Join or leave.
+    pub kind: OpKind,
+    /// Wire size of every rekey message sent for this operation.
+    pub msg_sizes: Vec<u32>,
+    /// Server processing time in nanoseconds (parse → update tree →
+    /// encrypt → digest/sign → encode).
+    pub proc_ns: u64,
+    /// Keys encrypted (the paper's cost unit).
+    pub encryptions: u64,
+    /// Digital signature operations performed.
+    pub signatures: u64,
+}
+
+impl OpRecord {
+    /// Total bytes sent for this operation.
+    pub fn total_bytes(&self) -> u64 {
+        self.msg_sizes.iter().map(|&s| s as u64).sum()
+    }
+}
+
+/// Aggregated view over a set of records (one Table 5-style row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Number of operations aggregated.
+    pub ops: u64,
+    /// Mean rekey-message size in bytes.
+    pub msg_size_ave: f64,
+    /// Smallest rekey message seen.
+    pub msg_size_min: u32,
+    /// Largest rekey message seen.
+    pub msg_size_max: u32,
+    /// Mean number of rekey messages per operation.
+    pub msgs_per_op: f64,
+    /// Mean processing time per operation, in milliseconds.
+    pub proc_ms_ave: f64,
+    /// Mean keys-encrypted per operation.
+    pub encryptions_ave: f64,
+    /// Mean signature operations per operation.
+    pub signatures_ave: f64,
+}
+
+/// Statistics sink held by the server.
+#[derive(Debug, Default, Clone)]
+pub struct ServerStats {
+    records: Vec<OpRecord>,
+}
+
+impl ServerStats {
+    /// Append a record.
+    pub fn push(&mut self, rec: OpRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Drop everything (e.g. after the initial-population phase, which the
+    /// paper excludes from its tables).
+    pub fn reset(&mut self) {
+        self.records.clear();
+    }
+
+    /// Aggregate over all records of the given kind (`None` = both kinds).
+    pub fn aggregate(&self, kind: Option<OpKind>) -> Option<Aggregate> {
+        let recs: Vec<&OpRecord> = self
+            .records
+            .iter()
+            .filter(|r| kind.map_or(true, |k| r.kind == k))
+            .collect();
+        if recs.is_empty() {
+            return None;
+        }
+        let ops = recs.len() as u64;
+        let all_sizes: Vec<u32> = recs.iter().flat_map(|r| r.msg_sizes.iter().copied()).collect();
+        let total_msgs = all_sizes.len() as f64;
+        let (min, max, sum) = all_sizes.iter().fold((u32::MAX, 0u32, 0u64), |(mn, mx, s), &v| {
+            (mn.min(v), mx.max(v), s + v as u64)
+        });
+        Some(Aggregate {
+            ops,
+            msg_size_ave: if total_msgs > 0.0 { sum as f64 / total_msgs } else { 0.0 },
+            msg_size_min: if all_sizes.is_empty() { 0 } else { min },
+            msg_size_max: max,
+            msgs_per_op: total_msgs / ops as f64,
+            proc_ms_ave: recs.iter().map(|r| r.proc_ns as f64).sum::<f64>() / ops as f64 / 1e6,
+            encryptions_ave: recs.iter().map(|r| r.encryptions as f64).sum::<f64>() / ops as f64,
+            signatures_ave: recs.iter().map(|r| r.signatures as f64).sum::<f64>() / ops as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: OpKind, sizes: &[u32], ns: u64, enc: u64) -> OpRecord {
+        OpRecord { kind, msg_sizes: sizes.to_vec(), proc_ns: ns, encryptions: enc, signatures: 0 }
+    }
+
+    #[test]
+    fn empty_stats_aggregate_to_none() {
+        let s = ServerStats::default();
+        assert!(s.aggregate(None).is_none());
+        assert!(s.aggregate(Some(OpKind::Join)).is_none());
+    }
+
+    #[test]
+    fn aggregate_by_kind() {
+        let mut s = ServerStats::default();
+        s.push(rec(OpKind::Join, &[100, 200], 2_000_000, 4));
+        s.push(rec(OpKind::Leave, &[300], 4_000_000, 8));
+        let j = s.aggregate(Some(OpKind::Join)).unwrap();
+        assert_eq!(j.ops, 1);
+        assert_eq!(j.msg_size_ave, 150.0);
+        assert_eq!(j.msg_size_min, 100);
+        assert_eq!(j.msg_size_max, 200);
+        assert_eq!(j.msgs_per_op, 2.0);
+        assert_eq!(j.proc_ms_ave, 2.0);
+        assert_eq!(j.encryptions_ave, 4.0);
+        let both = s.aggregate(None).unwrap();
+        assert_eq!(both.ops, 2);
+        assert_eq!(both.msg_size_ave, 200.0);
+        assert_eq!(both.proc_ms_ave, 3.0);
+    }
+
+    #[test]
+    fn total_bytes() {
+        let r = rec(OpKind::Join, &[10, 20, 30], 0, 0);
+        assert_eq!(r.total_bytes(), 60);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = ServerStats::default();
+        s.push(rec(OpKind::Join, &[1], 1, 1));
+        s.reset();
+        assert!(s.records().is_empty());
+    }
+
+    #[test]
+    fn op_with_no_messages_is_representable() {
+        // A leave that empties the group sends nothing.
+        let mut s = ServerStats::default();
+        s.push(rec(OpKind::Leave, &[], 500, 0));
+        let a = s.aggregate(None).unwrap();
+        assert_eq!(a.msgs_per_op, 0.0);
+        assert_eq!(a.msg_size_ave, 0.0);
+        assert_eq!(a.msg_size_min, 0);
+    }
+}

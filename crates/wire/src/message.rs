@@ -1,0 +1,515 @@
+//! Protocol messages and their binary encoding.
+//!
+//! The paper's prototype exchanges `join`, `join-ack`, `leave`, `leave-ack`
+//! and rekey messages over UDP; rekey messages additionally carry "subgroup
+//! labels for new keys, server digital signature, message integrity check,
+//! timestamp, etc." (§3.1). This module defines those messages and a
+//! deterministic binary codec, so that the byte counts the benchmark
+//! harness reports are real wire sizes, not estimates.
+
+use crate::codec::{get_bytes, get_count, get_u32, get_u64, get_u8, put_bytes};
+use crate::WireError;
+use bytes::BufMut;
+use kg_core::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
+use kg_core::merkle::{AuthPath, Side};
+use kg_core::rekey::{KeyBundle, Recipients, RekeyMessage};
+
+/// Whether a rekey was triggered by a join or a leave (carried for client
+/// statistics; the decryption logic does not depend on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Triggered by a join.
+    Join,
+    /// Triggered by a leave.
+    Leave,
+}
+
+/// Authentication attached to a rekey message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthTag {
+    /// No integrity protection (the paper's "encryption only" runs).
+    None,
+    /// A message digest over the body (MD5 in the paper).
+    Digest(Vec<u8>),
+    /// One digital signature per message (the expensive baseline of
+    /// Table 4's left half).
+    Signed {
+        /// RSA signature over the body digest.
+        signature: Vec<u8>,
+    },
+    /// Section 4's technique: the root signature of a digest tree over all
+    /// rekey messages of this operation, plus this message's
+    /// authentication path.
+    MerkleSigned {
+        /// Signature over the batch's root digest.
+        root_signature: Vec<u8>,
+        /// This message's path to the root.
+        path: AuthPath,
+    },
+}
+
+/// A rekey packet as delivered to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RekeyPacket {
+    /// Server-assigned sequence number of the triggering operation.
+    pub seq: u64,
+    /// Join or leave.
+    pub op: OpKind,
+    /// Server timestamp (milliseconds since an arbitrary epoch; the paper's
+    /// format reserves a timestamp field for replay detection).
+    pub timestamp_ms: u64,
+    /// The rekey content (recipients + encrypted key bundles).
+    pub message: RekeyMessage,
+    /// Integrity/authenticity tag.
+    pub auth: AuthTag,
+}
+
+impl RekeyPacket {
+    /// Serialize the *body* (everything the digest/signature covers).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.put_u64(self.seq);
+        out.put_u8(match self.op {
+            OpKind::Join => 0,
+            OpKind::Leave => 1,
+        });
+        out.put_u64(self.timestamp_ms);
+        encode_recipients(&mut out, &self.message.recipients);
+        out.put_u32(self.message.bundles.len() as u32);
+        for b in &self.message.bundles {
+            encode_bundle(&mut out, b);
+        }
+        out
+    }
+
+    /// Serialize body + auth tag (the full datagram payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.encode_body();
+        encode_auth(&mut out, &self.auth);
+        out
+    }
+
+    /// Total wire length.
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decode a packet, returning it together with the length of its body
+    /// prefix (callers re-digest `bytes[..body_len]` to verify the tag).
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let mut buf = bytes;
+        let seq = get_u64(&mut buf)?;
+        let op = match get_u8(&mut buf)? {
+            0 => OpKind::Join,
+            1 => OpKind::Leave,
+            t => return Err(WireError::BadTag { context: "op kind", tag: t }),
+        };
+        let timestamp_ms = get_u64(&mut buf)?;
+        let recipients = decode_recipients(&mut buf)?;
+        let n = get_count(&mut buf)?;
+        let mut bundles = Vec::with_capacity(n);
+        for _ in 0..n {
+            bundles.push(decode_bundle(&mut buf)?);
+        }
+        let body_len = bytes.len() - buf.len();
+        let auth = decode_auth(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireError::TrailingBytes(buf.len()));
+        }
+        Ok((
+            RekeyPacket { seq, op, timestamp_ms, message: RekeyMessage { recipients, bundles }, auth },
+            body_len,
+        ))
+    }
+}
+
+/// Control-plane messages between clients and the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// A user asks to join the group.
+    JoinRequest {
+        /// The requester.
+        user: UserId,
+    },
+    /// Server grants a join: tells the user its leaf label and the labels
+    /// of the path keys it is about to receive.
+    JoinGranted {
+        /// The admitted user.
+        user: UserId,
+        /// Label of the user's individual-key leaf.
+        leaf_label: KeyLabel,
+        /// Labels of the path keys, root-first.
+        path_labels: Vec<KeyLabel>,
+    },
+    /// Server denies a join (access control).
+    JoinDenied {
+        /// The rejected user.
+        user: UserId,
+    },
+    /// A user asks to leave; authenticated with an HMAC under the user's
+    /// individual key (standing in for the paper's `{leave-request}_{k_u}`).
+    LeaveRequest {
+        /// The requester.
+        user: UserId,
+        /// HMAC-MD5 over `user` under the individual key.
+        auth: Vec<u8>,
+    },
+    /// Server confirms a leave.
+    LeaveGranted {
+        /// The departed user.
+        user: UserId,
+    },
+    /// Server refuses a leave (unknown member or bad authenticator).
+    LeaveDenied {
+        /// The refused user.
+        user: UserId,
+    },
+}
+
+impl ControlMessage {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            ControlMessage::JoinRequest { user } => {
+                out.put_u8(0);
+                out.put_u64(user.0);
+            }
+            ControlMessage::JoinGranted { user, leaf_label, path_labels } => {
+                out.put_u8(1);
+                out.put_u64(user.0);
+                out.put_u64(leaf_label.0);
+                out.put_u32(path_labels.len() as u32);
+                for l in path_labels {
+                    out.put_u64(l.0);
+                }
+            }
+            ControlMessage::JoinDenied { user } => {
+                out.put_u8(2);
+                out.put_u64(user.0);
+            }
+            ControlMessage::LeaveRequest { user, auth } => {
+                out.put_u8(3);
+                out.put_u64(user.0);
+                put_bytes(&mut out, auth);
+            }
+            ControlMessage::LeaveGranted { user } => {
+                out.put_u8(4);
+                out.put_u64(user.0);
+            }
+            ControlMessage::LeaveDenied { user } => {
+                out.put_u8(5);
+                out.put_u64(user.0);
+            }
+        }
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut buf = bytes;
+        let tag = get_u8(&mut buf)?;
+        let msg = match tag {
+            0 => ControlMessage::JoinRequest { user: UserId(get_u64(&mut buf)?) },
+            1 => {
+                let user = UserId(get_u64(&mut buf)?);
+                let leaf_label = KeyLabel(get_u64(&mut buf)?);
+                let n = get_count(&mut buf)?;
+                let mut path_labels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    path_labels.push(KeyLabel(get_u64(&mut buf)?));
+                }
+                ControlMessage::JoinGranted { user, leaf_label, path_labels }
+            }
+            2 => ControlMessage::JoinDenied { user: UserId(get_u64(&mut buf)?) },
+            3 => {
+                let user = UserId(get_u64(&mut buf)?);
+                let auth = get_bytes(&mut buf)?;
+                ControlMessage::LeaveRequest { user, auth }
+            }
+            4 => ControlMessage::LeaveGranted { user: UserId(get_u64(&mut buf)?) },
+            5 => ControlMessage::LeaveDenied { user: UserId(get_u64(&mut buf)?) },
+            t => return Err(WireError::BadTag { context: "control message", tag: t }),
+        };
+        if !buf.is_empty() {
+            return Err(WireError::TrailingBytes(buf.len()));
+        }
+        Ok(msg)
+    }
+}
+
+fn encode_keyref(out: &mut Vec<u8>, r: &KeyRef) {
+    out.put_u64(r.label.0);
+    out.put_u64(r.version.0);
+}
+
+fn decode_keyref(buf: &mut &[u8]) -> Result<KeyRef, WireError> {
+    Ok(KeyRef::new(KeyLabel(get_u64(buf)?), KeyVersion(get_u64(buf)?)))
+}
+
+fn encode_recipients(out: &mut Vec<u8>, r: &Recipients) {
+    match r {
+        Recipients::User(u) => {
+            out.put_u8(0);
+            out.put_u64(u.0);
+        }
+        Recipients::Subgroup(k) => {
+            out.put_u8(1);
+            out.put_u64(k.0);
+        }
+        Recipients::SubgroupExcept { include, exclude } => {
+            out.put_u8(2);
+            out.put_u64(include.0);
+            out.put_u64(exclude.0);
+        }
+        Recipients::Group => out.put_u8(3),
+    }
+}
+
+fn decode_recipients(buf: &mut &[u8]) -> Result<Recipients, WireError> {
+    Ok(match get_u8(buf)? {
+        0 => Recipients::User(UserId(get_u64(buf)?)),
+        1 => Recipients::Subgroup(KeyLabel(get_u64(buf)?)),
+        2 => Recipients::SubgroupExcept {
+            include: KeyLabel(get_u64(buf)?),
+            exclude: KeyLabel(get_u64(buf)?),
+        },
+        3 => Recipients::Group,
+        t => return Err(WireError::BadTag { context: "recipients", tag: t }),
+    })
+}
+
+fn encode_bundle(out: &mut Vec<u8>, b: &KeyBundle) {
+    out.put_u32(b.targets.len() as u32);
+    for t in &b.targets {
+        encode_keyref(out, t);
+    }
+    encode_keyref(out, &b.encrypted_with);
+    put_bytes(out, &b.iv);
+    put_bytes(out, &b.ciphertext);
+}
+
+fn decode_bundle(buf: &mut &[u8]) -> Result<KeyBundle, WireError> {
+    let n = get_count(buf)?;
+    let mut targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        targets.push(decode_keyref(buf)?);
+    }
+    let encrypted_with = decode_keyref(buf)?;
+    let iv = get_bytes(buf)?;
+    let ciphertext = get_bytes(buf)?;
+    Ok(KeyBundle { targets, encrypted_with, iv, ciphertext })
+}
+
+fn encode_auth(out: &mut Vec<u8>, auth: &AuthTag) {
+    match auth {
+        AuthTag::None => out.put_u8(0),
+        AuthTag::Digest(d) => {
+            out.put_u8(1);
+            put_bytes(out, d);
+        }
+        AuthTag::Signed { signature } => {
+            out.put_u8(2);
+            put_bytes(out, signature);
+        }
+        AuthTag::MerkleSigned { root_signature, path } => {
+            out.put_u8(3);
+            put_bytes(out, root_signature);
+            out.put_u32(path.index);
+            out.put_u32(path.siblings.len() as u32);
+            for (side, digest) in &path.siblings {
+                out.put_u8(match side {
+                    Side::Left => 0,
+                    Side::Right => 1,
+                });
+                put_bytes(out, digest);
+            }
+        }
+    }
+}
+
+fn decode_auth(buf: &mut &[u8]) -> Result<AuthTag, WireError> {
+    Ok(match get_u8(buf)? {
+        0 => AuthTag::None,
+        1 => AuthTag::Digest(get_bytes(buf)?),
+        2 => AuthTag::Signed { signature: get_bytes(buf)? },
+        3 => {
+            let root_signature = get_bytes(buf)?;
+            let index = get_u32(buf)?;
+            let n = get_count(buf)?;
+            let mut siblings = Vec::with_capacity(n);
+            for _ in 0..n {
+                let side = match get_u8(buf)? {
+                    0 => Side::Left,
+                    1 => Side::Right,
+                    t => return Err(WireError::BadTag { context: "merkle side", tag: t }),
+                };
+                siblings.push((side, get_bytes(buf)?));
+            }
+            AuthTag::MerkleSigned { root_signature, path: AuthPath { index, siblings } }
+        }
+        t => return Err(WireError::BadTag { context: "auth tag", tag: t }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bundle() -> KeyBundle {
+        KeyBundle {
+            targets: vec![
+                KeyRef::new(KeyLabel(1), KeyVersion(3)),
+                KeyRef::new(KeyLabel(2), KeyVersion(0)),
+            ],
+            encrypted_with: KeyRef::new(KeyLabel(9), KeyVersion(7)),
+            iv: vec![0; 8],
+            ciphertext: vec![0xAB; 24],
+        }
+    }
+
+    fn sample_packet(auth: AuthTag) -> RekeyPacket {
+        RekeyPacket {
+            seq: 42,
+            op: OpKind::Leave,
+            timestamp_ms: 1_000_000,
+            message: RekeyMessage {
+                recipients: Recipients::SubgroupExcept {
+                    include: KeyLabel(5),
+                    exclude: KeyLabel(6),
+                },
+                bundles: vec![sample_bundle(), sample_bundle()],
+            },
+            auth,
+        }
+    }
+
+    #[test]
+    fn rekey_roundtrip_all_auth_variants() {
+        let variants = [
+            AuthTag::None,
+            AuthTag::Digest(vec![0x11; 16]),
+            AuthTag::Signed { signature: vec![0x22; 64] },
+            AuthTag::MerkleSigned {
+                root_signature: vec![0x33; 64],
+                path: AuthPath {
+                    index: 2,
+                    siblings: vec![(Side::Left, vec![0x44; 16]), (Side::Right, vec![0x55; 16])],
+                },
+            },
+        ];
+        for auth in variants {
+            let pkt = sample_packet(auth);
+            let bytes = pkt.encode();
+            let (decoded, body_len) = RekeyPacket::decode(&bytes).unwrap();
+            assert_eq!(decoded, pkt);
+            assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+        }
+    }
+
+    #[test]
+    fn control_roundtrip_all_variants() {
+        let msgs = [
+            ControlMessage::JoinRequest { user: UserId(7) },
+            ControlMessage::JoinGranted {
+                user: UserId(7),
+                leaf_label: KeyLabel(30),
+                path_labels: vec![KeyLabel(0), KeyLabel(12)],
+            },
+            ControlMessage::JoinDenied { user: UserId(8) },
+            ControlMessage::LeaveRequest { user: UserId(7), auth: vec![1, 2, 3] },
+            ControlMessage::LeaveGranted { user: UserId(7) },
+            ControlMessage::LeaveDenied { user: UserId(9) },
+        ];
+        for m in msgs {
+            assert_eq!(ControlMessage::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut bytes = sample_packet(AuthTag::None).encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 99; // auth tag byte
+        assert!(matches!(
+            RekeyPacket::decode(&bytes),
+            Err(WireError::BadTag { context: "auth tag", .. })
+        ));
+        assert!(matches!(
+            ControlMessage::decode(&[200]),
+            Err(WireError::BadTag { context: "control message", .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample_packet(AuthTag::Digest(vec![0; 16])).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                RekeyPacket::decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_packet(AuthTag::None).encode();
+        bytes.push(0);
+        assert!(matches!(RekeyPacket::decode(&bytes), Err(WireError::TrailingBytes(1))));
+        let mut c = ControlMessage::JoinRequest { user: UserId(1) }.encode();
+        c.push(7);
+        assert!(matches!(ControlMessage::decode(&c), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        let pkt = sample_packet(AuthTag::Signed { signature: vec![0; 64] });
+        assert_eq!(pkt.wire_len(), pkt.encode().len());
+    }
+
+    #[test]
+    fn body_excludes_auth() {
+        let p1 = sample_packet(AuthTag::None);
+        let p2 = sample_packet(AuthTag::Signed { signature: vec![9; 64] });
+        assert_eq!(p1.encode_body(), p2.encode_body());
+        assert_ne!(p1.encode(), p2.encode());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn rekey_roundtrip_random(
+            seq: u64,
+            ts: u64,
+            nbundles in 0usize..5,
+            ctlen in 1usize..64,
+        ) {
+            let bundles: Vec<KeyBundle> = (0..nbundles)
+                .map(|i| KeyBundle {
+                    targets: vec![KeyRef::new(KeyLabel(i as u64), KeyVersion(seq % 5))],
+                    encrypted_with: KeyRef::new(KeyLabel(100 + i as u64), KeyVersion(0)),
+                    iv: vec![i as u8; 8],
+                    ciphertext: vec![0x5A; ctlen],
+                })
+                .collect();
+            let pkt = RekeyPacket {
+                seq,
+                op: if seq % 2 == 0 { OpKind::Join } else { OpKind::Leave },
+                timestamp_ms: ts,
+                message: RekeyMessage { recipients: Recipients::Group, bundles },
+                auth: AuthTag::None,
+            };
+            let (decoded, _) = RekeyPacket::decode(&pkt.encode()).unwrap();
+            proptest::prop_assert_eq!(decoded, pkt);
+        }
+
+        /// Random garbage either fails to decode or re-encodes to itself
+        /// (no silent misparses).
+        #[test]
+        fn garbage_never_misparses(data in proptest::collection::vec(0u8.., 0..128)) {
+            if let Ok((pkt, _)) = RekeyPacket::decode(&data) {
+                proptest::prop_assert_eq!(pkt.encode(), data);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Key graphs vs Iolus, side by side (Section 6).
+//!
+//! Both approaches turn the O(n) rekeying problem into an O(log n)-ish
+//! one, but they put the work in different places:
+//!
+//! * **Key graphs**: every join/leave rekeys a root path (server does
+//!   O(log n) encryptions); sending to the group costs nothing extra —
+//!   everyone shares the group key.
+//! * **Iolus**: a join/leave rekeys one subgroup (an agent does
+//!   O(subgroup) encryptions); but *every data message* must have its
+//!   message key relayed — decrypted and re-encrypted — by every agent,
+//!   and every agent is a trusted entity.
+//!
+//! ```text
+//! cargo run --release --example iolus_compare
+//! ```
+
+use keygraphs::core::ids::UserId;
+use keygraphs::core::rekey::{KeyCipher, Strategy};
+use keygraphs::crypto::drbg::HmacDrbg;
+use keygraphs::iolus::IolusSystem;
+use keygraphs::server::{AccessControl, GroupKeyServer, ServerConfig};
+
+fn main() {
+    println!("== key graphs vs Iolus (Section 6) ==\n");
+    let n = 1024u64;
+
+    // --- Key-graph side -------------------------------------------------
+    let config = ServerConfig { strategy: Strategy::GroupOriented, ..ServerConfig::default() };
+    let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
+    for i in 0..n {
+        server.handle_join(UserId(i)).unwrap();
+    }
+    server.reset_stats();
+    // A churn burst: 50 leaves + 50 joins.
+    for i in 0..50u64 {
+        server.handle_leave(UserId(i)).unwrap();
+        server.handle_join(UserId(n + i)).unwrap();
+    }
+    let kg = server.stats().aggregate(None).unwrap();
+
+    // --- Iolus side -----------------------------------------------------
+    let mut src = HmacDrbg::from_seed(9);
+    // 1 + 8 + 64 agents; ~16 clients per leaf at n=1024.
+    let mut sys = IolusSystem::new(3, 8, 16, KeyCipher::des_cbc(), &mut src);
+    for i in 0..n {
+        sys.join(UserId(i), &mut src).unwrap();
+    }
+    let mut iolus_rekey_encryptions = 0u64;
+    for i in 0..50u64 {
+        iolus_rekey_encryptions += sys.leave(UserId(i), &mut src).unwrap().encryptions;
+        iolus_rekey_encryptions += sys.join(UserId(n + i), &mut src).unwrap().encryptions;
+    }
+    let iolus_rekey_avg = iolus_rekey_encryptions as f64 / 100.0;
+
+    println!("membership churn (100 requests at n={n}):");
+    println!("  key graphs : {:>6.2} encryptions/request at ONE trusted server", kg.encryptions_ave);
+    println!("  iolus      : {iolus_rekey_avg:>6.2} encryptions/request across {} trusted agents", sys.agent_count());
+
+    // --- Data path -------------------------------------------------------
+    // Key graphs: a sender encrypts once with the shared group key; no
+    // intermediary touches the message.
+    let (_, gk) = server.tree().group_key();
+    let ct = KeyCipher::des_cbc().encrypt(&gk, &[0u8; 8], b"market data tick");
+    println!("\ndata path, per group message:");
+    println!("  key graphs : 1 sender encryption ({} B ct), 0 relay operations", ct.len());
+
+    // Iolus: the message key is relayed through every agent.
+    let msg = sys.send_to_group(UserId(100), b"market data tick", &mut src).unwrap();
+    println!(
+        "  iolus      : 1 sender encryption, then {} agent decryptions + {} re-encryptions",
+        msg.ops.agent_decryptions, msg.ops.encryptions
+    );
+    // All members can still read it.
+    let sample = sys.receive(UserId(500), &msg).unwrap();
+    assert_eq!(sample, b"market data tick");
+
+    println!("\ntrade-off summary (the paper's Section 6):");
+    println!("  key graphs pay at membership-change time; Iolus pays on every message");
+    println!("  key graphs trust 1 entity; Iolus trusts {}", sys.agent_count());
+    println!("  for {} messages between churn events, iolus does {} extra crypto ops",
+        1000,
+        1000 * (msg.ops.agent_decryptions + msg.ops.encryptions),
+    );
+}

@@ -1,0 +1,83 @@
+//! Multiple secure groups over one user population (§7 / Keystone).
+//!
+//! "We are constructing a group key management service for applications
+//! that require the formation of multiple secure groups over a population
+//! of users and a user can join several secure groups. For these
+//! applications, the key trees of different group keys are merged to form
+//! a key graph."
+//!
+//! This example runs two group key servers (a "video" group and a "chat"
+//! group), merges their key trees into one key graph, and demonstrates
+//! graph-level queries: per-user keysets spanning groups, usersets, and
+//! the key-covering problem for a cross-group broadcast.
+//!
+//! ```text
+//! cargo run --example multi_group
+//! ```
+
+use keygraphs::core::ids::UserId;
+use keygraphs::core::keygraph::KeyGraph;
+use keygraphs::server::{AccessControl, GroupKeyServer, ServerConfig};
+use std::collections::BTreeSet;
+
+fn main() {
+    println!("== multiple groups, one key graph ==\n");
+
+    // Group A (video): users 1..=6. Group B (chat): users 4..=9.
+    // Users 4, 5, 6 are in both.
+    let mut video = GroupKeyServer::new(
+        ServerConfig { seed: 1, ..ServerConfig::default() },
+        AccessControl::AllowAll,
+    );
+    let mut chat = GroupKeyServer::new(
+        ServerConfig { seed: 2, ..ServerConfig::default() },
+        AccessControl::AllowAll,
+    );
+    for i in 1..=6u64 {
+        video.handle_join(UserId(i)).unwrap();
+    }
+    for i in 4..=9u64 {
+        chat.handle_join(UserId(i)).unwrap();
+    }
+
+    // Merge the two key trees into a single key graph. Labels collide
+    // across independent servers, so namespace them first.
+    let mut graph = KeyGraph::new();
+    let video_graph = video.tree().to_key_graph().relabeled(1_000_000);
+    let chat_graph = chat.tree().to_key_graph().relabeled(2_000_000);
+    graph.merge(&video_graph);
+    graph.merge(&chat_graph);
+
+    println!("merged key graph: {} users, {} keys, {} roots", graph.user_count(), graph.key_count(), graph.roots().len());
+    assert_eq!(graph.user_count(), 9);
+    assert_eq!(graph.roots().len(), 2, "one root (group key) per group");
+
+    // A dual-member holds keys in both trees; single-group members don't.
+    let u5 = graph.keyset(UserId(5));
+    let u1 = graph.keyset(UserId(1));
+    let u9 = graph.keyset(UserId(9));
+    println!("u5 (both groups) holds {} keys; u1 (video only) {}; u9 (chat only) {}", u5.len(), u1.len(), u9.len());
+    assert!(u5.len() > u1.len());
+
+    let roots = graph.roots();
+    let video_root = roots.iter().find(|r| r.0 < 2_000_000).unwrap();
+    let chat_root = roots.iter().find(|r| r.0 >= 2_000_000).unwrap();
+    assert!(u1.contains(video_root) && !u1.contains(chat_root));
+    assert!(u9.contains(chat_root) && !u9.contains(video_root));
+    assert!(u5.contains(video_root) && u5.contains(chat_root));
+
+    // Key cover: address exactly the union of both groups minus user 4 —
+    // the NP-hard Section 2 problem, solved greedily over the graph.
+    let target: BTreeSet<UserId> = (1..=9).map(UserId).filter(|u| u.0 != 4).collect();
+    let cover = graph.key_cover_greedy(&target).expect("coverable");
+    println!(
+        "covering all users except u4 needs {} keys (vs {} unicasts): {:?}",
+        cover.len(),
+        target.len(),
+        cover
+    );
+    assert_eq!(graph.userset_of(&cover), target);
+    assert!(cover.len() < target.len(), "subgroup keys beat per-user unicast");
+
+    println!("\nmulti-group key graph behaves per Section 7: per-group roots, shared users, graph-level key covering.");
+}

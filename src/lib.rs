@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the key-graphs workspace for examples and
+//! integration tests. See `kg-core` for the main API.
+#![forbid(unsafe_code)]
+
+pub use kg_client as client;
+pub use kg_core as core;
+pub use kg_crypto as crypto;
+pub use kg_iolus as iolus;
+pub use kg_net as net;
+pub use kg_server as server;
+pub use kg_wire as wire;

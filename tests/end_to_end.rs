@@ -1,0 +1,166 @@
+//! End-to-end integration: server + clients + simulated network, across
+//! all three rekeying strategies and all authentication policies.
+
+use keygraphs::client::fleet::ClientFleet;
+use keygraphs::client::VerifyPolicy;
+use keygraphs::core::ids::UserId;
+use keygraphs::core::rekey::{KeyCipher, Strategy};
+use keygraphs::net::{NetConfig, SimNetwork};
+use keygraphs::server::net::{NetServer, ServerEvent};
+use keygraphs::server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
+
+fn settle(net: &mut SimNetwork, ns: &mut NetServer, fleet: &mut ClientFleet) {
+    for _ in 0..12 {
+        net.run_until_quiet();
+        for ev in ns.poll(net) {
+            if let ServerEvent::Joined(g) = ev {
+                fleet.apply_grant(g.user, g.individual_key.clone(), g.leaf_label, &g.path_labels);
+            }
+        }
+        net.run_until_quiet();
+        let events = fleet.pump(net);
+        if events.is_empty() && net.pending_total() == 0 {
+            break;
+        }
+    }
+}
+
+fn policy_for(server: &GroupKeyServer) -> VerifyPolicy {
+    match server.public_key() {
+        Some(pk) => VerifyPolicy::RequireSignature { alg: server.config().digest, key: pk.clone() },
+        None => VerifyPolicy::Opportunistic,
+    }
+}
+
+fn churn_scenario(strategy: Strategy, auth: AuthPolicy) {
+    let mut net = SimNetwork::new(NetConfig::default());
+    let config = ServerConfig { strategy, auth, ..ServerConfig::default() };
+    let server = GroupKeyServer::new(config, AccessControl::AllowAll);
+    let verify = policy_for(&server);
+    let mut ns = NetServer::new(server, &mut net);
+    let mut fleet = ClientFleet::new(KeyCipher::des_cbc(), verify);
+
+    let mut present: Vec<u64> = Vec::new();
+    for step in 0..40u64 {
+        if step % 4 == 3 && present.len() > 2 {
+            let u = present.remove((step as usize * 11) % present.len());
+            fleet.send_leave_request(&mut net, ns.endpoint(), UserId(u));
+            settle(&mut net, &mut ns, &mut fleet);
+            fleet.remove(&mut net, UserId(u));
+        } else {
+            fleet.send_join_request(&mut net, ns.endpoint(), UserId(step));
+            settle(&mut net, &mut ns, &mut fleet);
+            present.push(step);
+        }
+        // Invariant: every client's group key equals the server's.
+        let (_, server_gk) = ns.inner().tree().group_key();
+        assert_eq!(
+            fleet.group_key_consensus().as_ref(),
+            Some(&server_gk),
+            "{strategy:?}/{auth:?}: divergence at step {step}"
+        );
+        assert_eq!(ns.inner().group_size(), present.len());
+    }
+}
+
+#[test]
+fn user_oriented_no_auth() {
+    churn_scenario(Strategy::UserOriented, AuthPolicy::None);
+}
+
+#[test]
+fn key_oriented_no_auth() {
+    churn_scenario(Strategy::KeyOriented, AuthPolicy::None);
+}
+
+#[test]
+fn group_oriented_no_auth() {
+    churn_scenario(Strategy::GroupOriented, AuthPolicy::None);
+}
+
+#[test]
+fn user_oriented_digest() {
+    churn_scenario(Strategy::UserOriented, AuthPolicy::Digest);
+}
+
+#[test]
+fn key_oriented_batch_signed() {
+    churn_scenario(Strategy::KeyOriented, AuthPolicy::SignBatch);
+}
+
+#[test]
+fn group_oriented_batch_signed() {
+    churn_scenario(Strategy::GroupOriented, AuthPolicy::SignBatch);
+}
+
+#[test]
+fn user_oriented_sign_each() {
+    churn_scenario(Strategy::UserOriented, AuthPolicy::SignEach);
+}
+
+#[test]
+fn clients_hold_exactly_their_path_keys() {
+    // After churn, every client's key count matches the server tree's
+    // height for that member (Table 1: a user holds at most h keys).
+    let mut net = SimNetwork::new(NetConfig::default());
+    let server = GroupKeyServer::new(ServerConfig::default(), AccessControl::AllowAll);
+    let mut ns = NetServer::new(server, &mut net);
+    let mut fleet = ClientFleet::new(KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
+    for i in 0..20u64 {
+        fleet.send_join_request(&mut net, ns.endpoint(), UserId(i));
+        settle(&mut net, &mut ns, &mut fleet);
+    }
+    for c in fleet.clients() {
+        let server_path = ns.inner().tree().keyset(c.user()).unwrap();
+        assert_eq!(c.keys_held(), server_path.len(), "user {:?}", c.user());
+        // And the key *values* agree, label by label.
+        let client_keys: std::collections::BTreeMap<_, _> = c
+            .keyset()
+            .into_iter()
+            .map(|(r, k)| (r.label, (r.version, k)))
+            .collect();
+        for (r, k) in server_path {
+            let (cv, ck) = client_keys.get(&r.label).expect("client holds path label");
+            assert_eq!(*cv, r.version);
+            assert_eq!(ck, &k);
+        }
+    }
+}
+
+#[test]
+fn group_traffic_confidential_across_rekeys() {
+    // Encrypt application data under successive group keys; only the
+    // members current at encryption time can decrypt each snapshot.
+    let mut net = SimNetwork::new(NetConfig::default());
+    let server = GroupKeyServer::new(ServerConfig::default(), AccessControl::AllowAll);
+    let mut ns = NetServer::new(server, &mut net);
+    let mut fleet = ClientFleet::new(KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
+    for i in 0..8u64 {
+        fleet.send_join_request(&mut net, ns.endpoint(), UserId(i));
+        settle(&mut net, &mut ns, &mut fleet);
+    }
+    let (_, gk1) = ns.inner().tree().group_key();
+    let ct1 = KeyCipher::des_cbc().encrypt(&gk1, &[0u8; 8], b"epoch one");
+
+    fleet.send_leave_request(&mut net, ns.endpoint(), UserId(3));
+    settle(&mut net, &mut ns, &mut fleet);
+    let departed = fleet.remove(&mut net, UserId(3)).unwrap();
+
+    let (_, gk2) = ns.inner().tree().group_key();
+    let ct2 = KeyCipher::des_cbc().encrypt(&gk2, &[0u8; 8], b"epoch two");
+    assert_ne!(gk1, gk2);
+
+    // Remaining members read epoch two; the departed member cannot.
+    for c in fleet.clients() {
+        let (_, k) = c.group_key().unwrap();
+        assert_eq!(KeyCipher::des_cbc().decrypt(&k, &[0u8; 8], &ct2).unwrap(), b"epoch two");
+    }
+    for (_, k) in departed.keyset() {
+        if let Ok(pt) = KeyCipher::des_cbc().decrypt(&k, &[0u8; 8], &ct2) {
+            assert_ne!(pt, b"epoch two");
+        }
+    }
+    // But the departed member could read epoch one (it was a member then).
+    let (_, old_gk) = departed.group_key().unwrap();
+    assert_eq!(KeyCipher::des_cbc().decrypt(&old_gk, &[0u8; 8], &ct1).unwrap(), b"epoch one");
+}

@@ -1,0 +1,226 @@
+//! Security-invariant integration tests: forward secrecy, backward
+//! secrecy, and completeness of rekeying, across strategies and random
+//! churn (property-based).
+//!
+//! These drive the server and real decrypting clients directly (no
+//! network) so the invariants are checked against actual ciphertext, not
+//! bookkeeping.
+
+use keygraphs::client::{Client, VerifyPolicy};
+use keygraphs::core::ids::UserId;
+use keygraphs::core::rekey::{KeyCipher, Strategy};
+use keygraphs::server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+struct World {
+    server: GroupKeyServer,
+    clients: BTreeMap<UserId, Client>,
+    /// Full rekey traffic log (what a wiretapper records).
+    traffic: Vec<Vec<u8>>,
+    /// Keysets of departed members at the moment they left.
+    ghosts: Vec<(UserId, Client)>,
+}
+
+impl World {
+    fn new(strategy: Strategy, seed: u64) -> World {
+        let config = ServerConfig { strategy, auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+        World {
+            server: GroupKeyServer::new(config, AccessControl::AllowAll),
+            clients: BTreeMap::new(),
+            traffic: Vec::new(),
+            ghosts: Vec::new(),
+        }
+    }
+
+    fn join(&mut self, u: UserId) {
+        let op = self.server.handle_join(u).unwrap();
+        let grant = op.join_grant.clone().unwrap();
+        let mut c = Client::new(u, KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
+        c.install_grant(grant.individual_key, grant.leaf_label, &grant.path_labels);
+        self.clients.insert(u, c);
+        self.deliver(&op.encoded);
+    }
+
+    fn leave(&mut self, u: UserId) {
+        let op = self.server.handle_leave(u).unwrap();
+        let ghost = self.clients.remove(&u).unwrap();
+        self.ghosts.push((u, ghost));
+        self.deliver(&op.encoded);
+    }
+
+    fn deliver(&mut self, encoded: &[Vec<u8>]) {
+        for bytes in encoded {
+            self.traffic.push(bytes.clone());
+            for c in self.clients.values_mut() {
+                c.process_rekey(bytes).unwrap();
+            }
+        }
+    }
+
+    /// Completeness: every member tracks the server's group key.
+    fn assert_completeness(&self) {
+        let (gk_ref, gk) = self.server.tree().group_key();
+        for (u, c) in &self.clients {
+            let (r, k) = c.group_key().unwrap_or_else(|| panic!("{u} lost the group key"));
+            assert_eq!(r, gk_ref, "{u} stale ref");
+            assert_eq!(k, gk, "{u} stale key");
+        }
+    }
+
+    /// Forward secrecy: no ghost's final keyset contains the current group
+    /// key, and replaying all recorded traffic into a ghost installs
+    /// nothing it didn't already have.
+    fn assert_forward_secrecy(&self) {
+        let (_, gk) = self.server.tree().group_key();
+        for (u, ghost) in &self.ghosts {
+            for (_, k) in ghost.keyset() {
+                assert_ne!(k, gk, "{u} retains the live group key");
+            }
+            let mut replay = ghost.clone();
+            let mut installed = 0;
+            for bytes in &self.traffic {
+                if let Ok(s) = replay.process_rekey(bytes) {
+                    installed += s.keys_installed;
+                }
+            }
+            // A ghost may decrypt traffic from *before* it left (it was
+            // entitled to those keys). What it must never obtain is the
+            // current group key.
+            let _ = installed;
+            if let Some((_, k)) = replay.group_key() {
+                assert_ne!(k, gk, "{u} recovered the live group key by replay");
+            }
+        }
+    }
+}
+
+fn churn(strategy: Strategy, ops: &[(u8, u64)]) {
+    let mut w = World::new(strategy, 1234);
+    for i in 0..6u64 {
+        w.join(UserId(1_000 + i));
+    }
+    for &(kind, uid) in ops {
+        let u = UserId(uid);
+        if kind == 0 {
+            if !w.server.is_member(u) {
+                w.join(u);
+            }
+        } else if w.server.is_member(u) && w.server.group_size() > 1 {
+            w.leave(u);
+        }
+        w.assert_completeness();
+    }
+    w.assert_forward_secrecy();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn user_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        churn(Strategy::UserOriented, &ops);
+    }
+
+    #[test]
+    fn key_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        churn(Strategy::KeyOriented, &ops);
+    }
+
+    #[test]
+    fn group_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        churn(Strategy::GroupOriented, &ops);
+    }
+}
+
+#[test]
+fn backward_secrecy_newcomer_cannot_read_history() {
+    for strategy in Strategy::ALL {
+        let mut w = World::new(strategy, 99);
+        for i in 0..9u64 {
+            w.join(UserId(i));
+        }
+        // Record an epoch's group key and some churn traffic.
+        let (_, old_gk) = w.server.tree().group_key();
+        let secret = KeyCipher::des_cbc().encrypt(&old_gk, &[0u8; 8], b"before the join");
+        w.leave(UserId(2));
+        w.join(UserId(50));
+        // The newcomer replays the wiretap: must not recover old_gk nor
+        // decrypt the old epoch's traffic.
+        let newcomer = w.clients.get(&UserId(50)).unwrap().clone();
+        for (_, k) in newcomer.keyset() {
+            assert_ne!(k, old_gk, "{strategy:?}: newcomer holds an old group key");
+            if let Ok(pt) = KeyCipher::des_cbc().decrypt(&k, &[0u8; 8], &secret) {
+                assert_ne!(pt, b"before the join", "{strategy:?}: backward secrecy broken");
+            }
+        }
+        let mut replayer = newcomer;
+        for bytes in w.traffic.clone() {
+            let _ = replayer.process_rekey(&bytes);
+        }
+        for (_, k) in replayer.keyset() {
+            if let Ok(pt) = KeyCipher::des_cbc().decrypt(&k, &[0u8; 8], &secret) {
+                assert_ne!(pt, b"before the join", "{strategy:?}: replay broke backward secrecy");
+            }
+        }
+    }
+}
+
+#[test]
+fn eviction_is_immediate() {
+    // The very first rekey after a leave already locks the leaver out.
+    let mut w = World::new(Strategy::GroupOriented, 7);
+    for i in 0..16u64 {
+        w.join(UserId(i));
+    }
+    let victim = UserId(5);
+    let ghost_keys: Vec<_> = w
+        .server
+        .tree()
+        .keyset(victim)
+        .unwrap()
+        .into_iter()
+        .map(|(_, k)| k)
+        .collect();
+    w.leave(victim);
+    let (_, gk) = w.server.tree().group_key();
+    for k in ghost_keys {
+        assert_ne!(k, gk);
+    }
+    w.assert_completeness();
+}
+
+#[test]
+fn two_departures_cannot_collude() {
+    // Two leavers pooling their stale keysets still cannot reach the
+    // current group key (their shared ancestors were rekeyed after each
+    // departure).
+    let mut w = World::new(Strategy::KeyOriented, 11);
+    for i in 0..12u64 {
+        w.join(UserId(i));
+    }
+    w.leave(UserId(3));
+    w.leave(UserId(4));
+    let (_, gk) = w.server.tree().group_key();
+    let mut pooled: Vec<_> = Vec::new();
+    for (_, ghost) in &w.ghosts {
+        pooled.extend(ghost.keyset().into_iter().map(|(_, k)| k));
+    }
+    for k in &pooled {
+        assert_ne!(*k, gk);
+    }
+    // Pooled replay of all traffic (fixed point over both keysets) — model
+    // by running both ghosts' clients over traffic repeatedly.
+    for _ in 0..3 {
+        for (_, ghost) in w.ghosts.iter_mut() {
+            for bytes in &w.traffic {
+                let _ = ghost.process_rekey(bytes);
+            }
+        }
+    }
+    for (_, ghost) in &w.ghosts {
+        if let Some((_, k)) = ghost.group_key() {
+            assert_ne!(k, gk, "collusion recovered the group key");
+        }
+    }
+}
