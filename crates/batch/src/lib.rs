@@ -1,0 +1,42 @@
+//! # kg-batch — batched (periodic) rekeying
+//!
+//! The paper's protocols (Sections 3 and 5) rekey once per join or leave,
+//! so a group under heavy churn pays O(churn × log n) multicasts — the
+//! known scalability ceiling of LKH. The standard fix from the follow-on
+//! literature (CKCS; Chan et al.) aggregates every membership change in a
+//! *rekey interval* into one batched tree update, replacing each key on
+//! the union of the changed paths exactly once.
+//!
+//! This crate builds on [`kg_core::batch`]'s marking algorithm
+//! ([`kg_core::tree::KeyTree::apply_batch`]) and provides:
+//!
+//! * [`BatchRekeyer`] — turns one interval's [`BatchEvent`] into a
+//!   consolidated rekey message set under each of the paper's three
+//!   strategies (user-, key-, group-oriented), with real ciphertexts and
+//!   the same [`OpCounts`] cost accounting as the per-operation
+//!   [`kg_core::rekey::Rekeyer`].
+//! * [`BatchScheduler`] — queues join/leave requests and decides when to
+//!   flush: on a configurable interval or when the queue reaches a depth
+//!   threshold, whichever comes first.
+//!
+//! The message construction is the natural batched generalization of the
+//! paper's leave protocol: for every marked node `x` and every child `y`
+//! that is not a freshly joined leaf, the new key `K'_x` is distributed
+//! encrypted under `y`'s post-batch key (`y`'s *new* key when `y` is
+//! itself marked — clients resolve the resulting decryption order with
+//! their usual fixed-point pass). Joiners receive their entire new key
+//! path in one unicast under their individual key, exactly as in the
+//! per-operation join.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rekeyer;
+pub mod scheduler;
+
+pub use rekeyer::BatchRekeyer;
+pub use scheduler::{BatchPolicy, BatchScheduler, PendingBatch};
+
+// Re-export the core batch event types so server code can depend on
+// kg-batch alone for the batched path.
+pub use kg_core::batch::{BatchChild, BatchEvent, BatchJoin, MarkedNode};

@@ -1,0 +1,468 @@
+//! Consolidated rekey-message construction for one batch interval.
+
+use kg_core::batch::BatchEvent;
+use kg_core::ids::{KeyLabel, KeyRef};
+use kg_core::rekey::{
+    KeyBundle, KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput, Strategy,
+};
+use kg_crypto::{KeySource, SymmetricKey};
+use std::collections::BTreeMap;
+
+/// Builds the interval's rekey messages from a [`BatchEvent`].
+///
+/// Mirrors [`kg_core::rekey::Rekeyer`] (same cipher enum, same IV source,
+/// same cost accounting) but consumes a whole interval's marked set at
+/// once instead of a single operation's path.
+pub struct BatchRekeyer<'a> {
+    cipher: KeyCipher,
+    ivs: &'a mut dyn KeySource,
+}
+
+impl<'a> BatchRekeyer<'a> {
+    /// Create a batch rekeyer.
+    pub fn new(cipher: KeyCipher, ivs: &'a mut dyn KeySource) -> Self {
+        BatchRekeyer { cipher, ivs }
+    }
+
+    /// The cipher in use.
+    pub fn cipher(&self) -> KeyCipher {
+        self.cipher
+    }
+
+    fn bundle(
+        &mut self,
+        ops: &mut OpCounts,
+        encrypting_ref: KeyRef,
+        encrypting_key: &SymmetricKey,
+        targets: &[(KeyRef, &SymmetricKey)],
+    ) -> KeyBundle {
+        let mut plaintext = Vec::with_capacity(targets.len() * 8);
+        for (_, key) in targets {
+            plaintext.extend_from_slice(key.material());
+        }
+        let iv = self.ivs.generate(self.cipher.block_len());
+        let ciphertext = self.cipher.encrypt(encrypting_key, &iv, &plaintext);
+        ops.key_encryptions += targets.len() as u64;
+        KeyBundle {
+            targets: targets.iter().map(|(r, _)| *r).collect(),
+            encrypted_with: encrypting_ref,
+            iv,
+            ciphertext,
+        }
+    }
+
+    /// Construct the interval's rekey messages under `strategy`.
+    ///
+    /// Every current member learns exactly the new keys on its path;
+    /// departed members can decrypt none of them (each ciphertext is
+    /// keyed by a surviving child's key); joiners learn only post-batch
+    /// keys, via their unicast.
+    pub fn rekey(&mut self, ev: &BatchEvent, strategy: Strategy) -> RekeyOutput {
+        let mut ops = OpCounts {
+            keys_generated: ev.marked.len() as u64,
+            ..OpCounts::default()
+        };
+        let mut messages = Vec::new();
+        if ev.marked.is_empty() {
+            // Group emptied (or nothing happened): nothing to distribute.
+            return RekeyOutput { messages, ops };
+        }
+
+        // Parent links among marked nodes, from the children lists:
+        // `parent_of[y] = x` iff marked y is a child of marked x. Walking
+        // parent_of from any marked node reaches the root (index 0).
+        let by_label: BTreeMap<KeyLabel, usize> =
+            ev.marked.iter().enumerate().map(|(i, m)| (m.label, i)).collect();
+        let mut parent_of: BTreeMap<KeyLabel, KeyLabel> = BTreeMap::new();
+        for m in &ev.marked {
+            for c in &m.children {
+                if c.marked {
+                    parent_of.insert(c.label, m.label);
+                }
+            }
+        }
+
+        match strategy {
+            Strategy::GroupOriented => {
+                // One multicast carrying {K'_x}_{K_y} for every marked x
+                // and every non-joiner child y (new K_y when y is marked).
+                let mut bundles = Vec::new();
+                for m in &ev.marked {
+                    for c in &m.children {
+                        if c.joiner.is_none() {
+                            bundles.push(self.bundle(
+                                &mut ops,
+                                c.key_ref,
+                                &c.key,
+                                &[(m.new_ref, &m.new_key)],
+                            ));
+                        }
+                    }
+                }
+                messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
+            }
+            Strategy::KeyOriented => {
+                // Stored chain ciphertexts {K'_x}_{K'_y} for marked child
+                // y of marked x, computed (and counted) once, then reused
+                // across the per-subgroup messages — the batched analogue
+                // of Figure 8's stored-ciphertext optimization.
+                let mut chain: BTreeMap<KeyLabel, KeyBundle> = BTreeMap::new();
+                for m in &ev.marked {
+                    for c in &m.children {
+                        if c.marked {
+                            let b = self.bundle(
+                                &mut ops,
+                                c.key_ref,
+                                &c.key,
+                                &[(m.new_ref, &m.new_key)],
+                            );
+                            chain.insert(c.label, b);
+                        }
+                    }
+                }
+                // For each unmarked, non-joiner child y of marked x:
+                // M = {K'_x}_{K_y}, {K'_p(x)}_{K'_x}, … up to the root.
+                for m in &ev.marked {
+                    for c in &m.children {
+                        if c.marked || c.joiner.is_some() {
+                            continue;
+                        }
+                        let head =
+                            self.bundle(&mut ops, c.key_ref, &c.key, &[(m.new_ref, &m.new_key)]);
+                        let mut bundles = vec![head];
+                        let mut cur = m.label;
+                        while let Some(b) = chain.get(&cur) {
+                            bundles.push(b.clone());
+                            cur = parent_of[&cur];
+                        }
+                        messages.push(RekeyMessage {
+                            recipients: Recipients::Subgroup(c.label),
+                            bundles,
+                        });
+                    }
+                }
+            }
+            Strategy::UserOriented => {
+                // For each unmarked, non-joiner child y of marked x: one
+                // tailored message carrying every new key on x's path to
+                // the root in a single bundle under K_y — smallest
+                // per-client payload, most server encryptions.
+                for m in &ev.marked {
+                    for c in &m.children {
+                        if c.marked || c.joiner.is_some() {
+                            continue;
+                        }
+                        let mut targets: Vec<(KeyRef, &SymmetricKey)> = Vec::new();
+                        let mut cur = Some(m.label);
+                        while let Some(label) = cur {
+                            let node = &ev.marked[by_label[&label]];
+                            targets.push((node.new_ref, &node.new_key));
+                            cur = parent_of.get(&label).copied();
+                        }
+                        let b = self.bundle(&mut ops, c.key_ref, &c.key, &targets);
+                        messages.push(RekeyMessage {
+                            recipients: Recipients::Subgroup(c.label),
+                            bundles: vec![b],
+                        });
+                    }
+                }
+            }
+        }
+
+        // All strategies: each joiner gets its full new path in one
+        // unicast under its individual key.
+        for j in &ev.joins {
+            let targets: Vec<(KeyRef, &SymmetricKey)> =
+                j.path.iter().map(|(r, k)| (*r, k)).collect();
+            let b = self.bundle(&mut ops, j.leaf_ref, &j.leaf_key, &targets);
+            messages
+                .push(RekeyMessage { recipients: Recipients::User(j.user), bundles: vec![b] });
+        }
+
+        RekeyOutput { messages, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::ids::{KeyLabel, KeyVersion, UserId};
+    use kg_core::rekey::Rekeyer;
+    use kg_core::tree::KeyTree;
+    use kg_crypto::drbg::HmacDrbg;
+    use std::collections::BTreeMap as Map;
+
+    fn setup(degree: usize, n: u64) -> (KeyTree, HmacDrbg) {
+        let mut src = HmacDrbg::from_seed(0xBEE5);
+        let mut tree = KeyTree::new(degree, 8, &mut src);
+        for i in 0..n {
+            let ik = src.generate_key(8);
+            tree.join(UserId(i), ik, &mut src).unwrap();
+        }
+        (tree, src)
+    }
+
+    /// A minimal client model: a key store driven to fixed point over the
+    /// interval's messages, mirroring what `kg-client` does on the wire.
+    struct MiniClient {
+        keys: Map<KeyLabel, (KeyVersion, SymmetricKey)>,
+    }
+
+    impl MiniClient {
+        fn from_keyset(ks: Vec<(KeyRef, SymmetricKey)>) -> Self {
+            MiniClient {
+                keys: ks.into_iter().map(|(r, k)| (r.label, (r.version, k))).collect(),
+            }
+        }
+
+        fn holds(&self, r: KeyRef) -> Option<&SymmetricKey> {
+            self.keys
+                .get(&r.label)
+                .and_then(|(v, k)| (*v == r.version).then_some(k))
+        }
+
+        /// Decrypt every reachable bundle until no progress.
+        fn absorb(&mut self, cipher: KeyCipher, messages: &[&RekeyMessage]) {
+            loop {
+                let mut progressed = false;
+                for msg in messages {
+                    for b in &msg.bundles {
+                        let Some(key) = self.holds(b.encrypted_with) else { continue };
+                        let plain = cipher.decrypt(key, &b.iv, &b.ciphertext).unwrap();
+                        for (i, t) in b.targets.iter().enumerate() {
+                            let material = plain[i * 8..(i + 1) * 8].to_vec();
+                            let cur = self.keys.get(&t.label);
+                            if cur.is_none_or(|(v, _)| *v < t.version) {
+                                self.keys
+                                    .insert(t.label, (t.version, SymmetricKey::new(material)));
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Deliverability check for one batch under one strategy: survivors
+    /// recover exactly their new keysets, departed users recover none of
+    /// the new keys, joiners recover exactly their unicast path.
+    fn check_batch(
+        tree: &KeyTree,
+        degree_note: &str,
+        joins: &[(UserId, SymmetricKey)],
+        leaves: &[UserId],
+        strategy: Strategy,
+        src: &mut HmacDrbg,
+    ) {
+        let mut tree = tree.clone();
+        let pre_keysets: Map<UserId, Vec<(KeyRef, SymmetricKey)>> =
+            tree.members().map(|u| (u, tree.keyset(u).unwrap())).collect();
+        let ev = tree.apply_batch(joins, leaves, src).unwrap();
+        let mut ivs = HmacDrbg::from_seed(0x1117);
+        let mut rk = BatchRekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+        let out = rk.rekey(&ev, strategy);
+        let joiner_set: std::collections::BTreeSet<UserId> =
+            joins.iter().map(|&(u, _)| u).collect();
+
+        // Map each user to the messages addressed to it (post-batch tree).
+        let deliverable = |u: UserId, include_multicast: bool| -> Vec<&RekeyMessage> {
+            out.messages
+                .iter()
+                .filter(|m| match &m.recipients {
+                    Recipients::User(t) => *t == u,
+                    Recipients::Subgroup(l) => {
+                        include_multicast && tree.userset(*l).contains(&u)
+                    }
+                    Recipients::SubgroupExcept { include, exclude } => {
+                        include_multicast
+                            && tree.userset(*include).contains(&u)
+                            && !tree.userset(*exclude).contains(&u)
+                    }
+                    Recipients::Group => include_multicast,
+                })
+                .collect()
+        };
+
+        // Survivors (and joiners) end up with exactly their new keysets.
+        for u in tree.members().collect::<Vec<_>>() {
+            let mut client = if joiner_set.contains(&u) {
+                MiniClient { keys: Map::new() }
+            } else {
+                MiniClient::from_keyset(pre_keysets[&u].clone())
+            };
+            if let Some((_, ik)) = joins.iter().find(|&&(ju, _)| ju == u) {
+                let leaf = tree.keyset(u).unwrap()[0].clone();
+                client.keys.insert(leaf.0.label, (leaf.0.version, ik.clone()));
+            }
+            client.absorb(KeyCipher::des_cbc(), &deliverable(u, true));
+            for (r, k) in tree.keyset(u).unwrap() {
+                assert_eq!(
+                    client.holds(r),
+                    Some(&k),
+                    "{degree_note} {strategy:?}: member {u:?} missing {r:?}"
+                );
+            }
+        }
+
+        // Departed users, replaying *all* multicast traffic with their old
+        // keys, must recover no marked key.
+        for &u in leaves {
+            if tree.is_member(u) {
+                continue; // left and rejoined in the same interval
+            }
+            let mut ghost = MiniClient::from_keyset(pre_keysets[&u].clone());
+            let all: Vec<&RekeyMessage> = out.messages.iter().collect();
+            ghost.absorb(KeyCipher::des_cbc(), &all);
+            for m in &ev.marked {
+                assert!(
+                    ghost.holds(m.new_ref).is_none(),
+                    "{degree_note} {strategy:?}: departed {u:?} decrypted {:?}",
+                    m.new_ref
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_join_batches_deliver_for_all_strategies() {
+        for degree in [2usize, 3, 4] {
+            let (tree, mut src) = setup(degree, 14);
+            let joins: Vec<(UserId, SymmetricKey)> =
+                (100..106).map(|i| (UserId(i), src.generate_key(8))).collect();
+            for strategy in Strategy::ALL {
+                check_batch(&tree, "pure-join", &joins, &[], strategy, &mut src);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_leave_batches_deliver_for_all_strategies() {
+        for degree in [2usize, 3, 4] {
+            let (tree, mut src) = setup(degree, 27);
+            let leaves: Vec<UserId> = [1u64, 7, 13, 25].map(UserId).to_vec();
+            for strategy in Strategy::ALL {
+                check_batch(&tree, "pure-leave", &[], &leaves, strategy, &mut src);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batches_deliver_for_all_strategies() {
+        for degree in [2usize, 3, 4] {
+            let (tree, mut src) = setup(degree, 20);
+            let joins: Vec<(UserId, SymmetricKey)> =
+                (200..205).map(|i| (UserId(i), src.generate_key(8))).collect();
+            let leaves: Vec<UserId> = [0u64, 4, 9, 19].map(UserId).to_vec();
+            for strategy in Strategy::ALL {
+                check_batch(&tree, "mixed", &joins, &leaves, strategy, &mut src);
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_within_interval_delivers() {
+        let (tree, mut src) = setup(3, 9);
+        let joins = vec![(UserId(4), src.generate_key(8))];
+        let leaves = vec![UserId(4)];
+        for strategy in Strategy::ALL {
+            check_batch(&tree, "rejoin", &joins, &leaves, strategy, &mut src);
+        }
+    }
+
+    #[test]
+    fn empty_event_produces_no_messages() {
+        let (mut tree, mut src) = setup(3, 4);
+        let leaves: Vec<UserId> = (0..4).map(UserId).collect();
+        let ev = tree.apply_batch(&[], &leaves, &mut src).unwrap();
+        for strategy in Strategy::ALL {
+            let mut ivs = HmacDrbg::from_seed(1);
+            let mut rk = BatchRekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.rekey(&ev, strategy);
+            assert!(out.messages.is_empty());
+            assert_eq!(out.ops.key_encryptions, 0);
+        }
+    }
+
+    #[test]
+    fn group_oriented_sends_exactly_one_multicast() {
+        let (tree, mut src) = setup(4, 64);
+        let mut t = tree.clone();
+        let joins: Vec<(UserId, SymmetricKey)> =
+            (100..104).map(|i| (UserId(i), src.generate_key(8))).collect();
+        let leaves: Vec<UserId> = [3u64, 30, 60].map(UserId).to_vec();
+        let ev = t.apply_batch(&joins, &leaves, &mut src).unwrap();
+        let mut ivs = HmacDrbg::from_seed(2);
+        let mut rk = BatchRekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+        let out = rk.rekey(&ev, Strategy::GroupOriented);
+        let multicasts = out
+            .messages
+            .iter()
+            .filter(|m| !matches!(m.recipients, Recipients::User(_)))
+            .count();
+        assert_eq!(multicasts, 1);
+        let unicasts = out.messages.len() - multicasts;
+        assert_eq!(unicasts, joins.len());
+    }
+
+    #[test]
+    fn batched_costs_less_than_per_op_for_mixed_interval() {
+        // The headline claim: one batched interval beats replaying the
+        // same requests one at a time, in both encryptions and multicasts.
+        let (tree, mut src) = setup(4, 256);
+        let joins: Vec<(UserId, SymmetricKey)> =
+            (1000..1016).map(|i| (UserId(i), src.generate_key(8))).collect();
+        let leaves: Vec<UserId> = (0..16).map(|i| UserId(i * 13)).collect();
+        for strategy in Strategy::ALL {
+            let mut per_op_tree = tree.clone();
+            let mut per_op_enc = 0u64;
+            let mut per_op_multi = 0usize;
+            let mut ivs = HmacDrbg::from_seed(3);
+            for &u in &leaves {
+                let ev = per_op_tree.leave(u, &mut src).unwrap();
+                let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+                let out = rk.leave(&ev, strategy);
+                per_op_enc += out.ops.key_encryptions;
+                per_op_multi += out
+                    .messages
+                    .iter()
+                    .filter(|m| !matches!(m.recipients, Recipients::User(_)))
+                    .count();
+            }
+            for (u, ik) in &joins {
+                let ev = per_op_tree.join(*u, ik.clone(), &mut src).unwrap();
+                let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+                let out = rk.join(&ev, strategy);
+                per_op_enc += out.ops.key_encryptions;
+                per_op_multi += out
+                    .messages
+                    .iter()
+                    .filter(|m| !matches!(m.recipients, Recipients::User(_)))
+                    .count();
+            }
+
+            let mut batch_tree = tree.clone();
+            let ev = batch_tree.apply_batch(&joins, &leaves, &mut src).unwrap();
+            let mut ivs = HmacDrbg::from_seed(4);
+            let mut rk = BatchRekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+            let out = rk.rekey(&ev, strategy);
+            let batch_multi = out
+                .messages
+                .iter()
+                .filter(|m| !matches!(m.recipients, Recipients::User(_)))
+                .count();
+            assert!(
+                out.ops.key_encryptions < per_op_enc,
+                "{strategy:?}: batched {} vs per-op {per_op_enc} encryptions",
+                out.ops.key_encryptions
+            );
+            assert!(
+                batch_multi < per_op_multi,
+                "{strategy:?}: batched {batch_multi} vs per-op {per_op_multi} multicasts"
+            );
+        }
+    }
+}

@@ -210,6 +210,7 @@ fn mean_agg(aggs: &[Aggregate]) -> Aggregate {
     if aggs.is_empty() {
         return Aggregate {
             ops: 0,
+            requests: 0,
             msg_size_ave: 0.0,
             msg_size_min: 0,
             msg_size_max: 0,
@@ -222,6 +223,7 @@ fn mean_agg(aggs: &[Aggregate]) -> Aggregate {
     let n = aggs.len() as f64;
     Aggregate {
         ops: aggs.iter().map(|a| a.ops).sum(),
+        requests: aggs.iter().map(|a| a.requests).sum(),
         msg_size_ave: aggs.iter().map(|a| a.msg_size_ave).sum::<f64>() / n,
         msg_size_min: aggs.iter().map(|a| a.msg_size_min).min().unwrap_or(0),
         msg_size_max: aggs.iter().map(|a| a.msg_size_max).max().unwrap_or(0),
@@ -242,6 +244,201 @@ fn mean_client(cs: &[ClientSide]) -> ClientSide {
         msgs_per_request: cs.iter().map(|c| c.msgs_per_request).sum::<f64>() / n,
         key_changes_per_request: cs.iter().map(|c| c.key_changes_per_request).sum::<f64>() / n,
     }
+}
+
+/// One batched-vs-per-operation experiment configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Initial group size n.
+    pub n: usize,
+    /// Key tree degree d.
+    pub degree: usize,
+    /// Rekeying strategy.
+    pub strategy: Strategy,
+    /// Requests collected per rekey interval (1 = flush on every request).
+    pub batch_size: usize,
+    /// Number of measured join/leave requests.
+    pub ops: usize,
+    /// Mean Poisson inter-arrival time in milliseconds (churn intensity).
+    pub mean_interarrival_ms: f64,
+    /// Workload seeds (averaged over).
+    pub seeds: Vec<u64>,
+}
+
+impl BatchConfig {
+    /// The batch experiment baseline for a given (n, batch size).
+    pub fn baseline(n: usize, batch_size: usize) -> Self {
+        BatchConfig {
+            n,
+            degree: 4,
+            strategy: Strategy::GroupOriented,
+            batch_size,
+            ops: 400,
+            mean_interarrival_ms: 10.0,
+            seeds: SEEDS.to_vec(),
+        }
+    }
+}
+
+/// Totals over one measured phase, for one rekeying mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RekeyCosts {
+    /// Keys encrypted (the paper's cost unit).
+    pub encryptions: f64,
+    /// Rekey packets addressed to more than one member (group or subgroup
+    /// delivery — each consumes a multicast send).
+    pub multicasts: f64,
+    /// Rekey packets addressed to a single member.
+    pub unicasts: f64,
+    /// Rekey operations performed: requests for per-op mode, flushed
+    /// intervals for batched mode.
+    pub flushes: f64,
+    /// Total rekey bytes put on the wire.
+    pub bytes: f64,
+}
+
+impl RekeyCosts {
+    fn add_packets<'a, I>(&mut self, packets: I)
+    where
+        I: Iterator<Item = (&'a Recipients, usize)>,
+    {
+        for (recipients, len) in packets {
+            match recipients {
+                Recipients::User(_) => self.unicasts += 1.0,
+                _ => self.multicasts += 1.0,
+            }
+            self.bytes += len as f64;
+        }
+    }
+}
+
+/// Result of one batched-vs-per-operation comparison.
+#[derive(Debug, Clone)]
+pub struct BatchComparison {
+    /// The configuration that was run.
+    pub config: BatchConfig,
+    /// Costs of rekeying after every request (the paper's base protocol).
+    pub per_op: RekeyCosts,
+    /// Costs of periodic batch rekeying at the configured batch size.
+    pub batched: RekeyCosts,
+}
+
+/// Run one batched-vs-per-op comparison: the same Poisson churn workload
+/// is replayed through an immediate-mode server and through a batched
+/// server that flushes every `batch_size` requests, and the total rekey
+/// costs of the measured phase are compared (averaged over seeds).
+pub fn run_batch_comparison(config: &BatchConfig) -> BatchComparison {
+    let mut per_op = RekeyCosts::default();
+    let mut batched = RekeyCosts::default();
+    for &seed in &config.seeds {
+        let workload =
+            crate::workload::ChurnWorkload::generate(config.n, config.ops, config.mean_interarrival_ms, seed);
+        let (p, b) = (per_op_costs(config, &workload, seed), batched_costs(config, &workload, seed));
+        per_op.encryptions += p.encryptions;
+        per_op.multicasts += p.multicasts;
+        per_op.unicasts += p.unicasts;
+        per_op.flushes += p.flushes;
+        per_op.bytes += p.bytes;
+        batched.encryptions += b.encryptions;
+        batched.multicasts += b.multicasts;
+        batched.unicasts += b.unicasts;
+        batched.flushes += b.flushes;
+        batched.bytes += b.bytes;
+    }
+    let k = config.seeds.len().max(1) as f64;
+    for c in [&mut per_op, &mut batched] {
+        c.encryptions /= k;
+        c.multicasts /= k;
+        c.unicasts /= k;
+        c.flushes /= k;
+        c.bytes /= k;
+    }
+    BatchComparison { config: config.clone(), per_op, batched }
+}
+
+fn per_op_costs(
+    config: &BatchConfig,
+    workload: &crate::workload::ChurnWorkload,
+    seed: u64,
+) -> RekeyCosts {
+    let server_config = ServerConfig {
+        degree: config.degree,
+        strategy: config.strategy,
+        auth: AuthPolicy::None,
+        seed,
+        ..ServerConfig::default()
+    };
+    let mut server = GroupKeyServer::new(server_config, AccessControl::AllowAll);
+    for &u in &workload.initial {
+        server.handle_join(u).expect("initial join");
+    }
+    server.reset_stats();
+    let mut costs = RekeyCosts::default();
+    for t in &workload.arrivals {
+        let op = match t.request {
+            Request::Join(u) => server.handle_join(u).expect("join"),
+            Request::Leave(u) => server.handle_leave(u).expect("leave"),
+        };
+        costs.add_packets(
+            op.packets.iter().zip(&op.encoded).map(|(p, e)| (&p.message.recipients, e.len())),
+        );
+        costs.flushes += 1.0;
+    }
+    costs.encryptions = server.stats().records().iter().map(|r| r.encryptions as f64).sum();
+    costs
+}
+
+fn batched_costs(
+    config: &BatchConfig,
+    workload: &crate::workload::ChurnWorkload,
+    seed: u64,
+) -> RekeyCosts {
+    let server_config = ServerConfig {
+        degree: config.degree,
+        strategy: config.strategy,
+        auth: AuthPolicy::None,
+        seed,
+        // Depth-triggered flushing: the queue drains every `batch_size`
+        // requests, making the batch size exact. The Poisson clock still
+        // drives `tick`, so interval-triggered flushing is exercised when
+        // the configured interval elapses first.
+        rekey: kg_server::RekeyPolicy::Batched {
+            interval_ms: u64::MAX / 4,
+            max_pending: config.batch_size,
+        },
+        ..ServerConfig::default()
+    };
+    let mut server = GroupKeyServer::new(server_config, AccessControl::AllowAll);
+    for &u in &workload.initial {
+        server.enqueue_join(u).expect("initial enqueue");
+    }
+    server.flush(0).expect("initial flush");
+    server.reset_stats();
+    let mut costs = RekeyCosts::default();
+    let absorb = |costs: &mut RekeyCosts, batch: kg_server::ProcessedBatch| {
+        costs.add_packets(
+            batch
+                .packets
+                .iter()
+                .zip(&batch.encoded)
+                .map(|(p, e)| (&p.message.recipients, e.len())),
+        );
+        costs.flushes += 1.0;
+    };
+    for t in &workload.arrivals {
+        match t.request {
+            Request::Join(u) => server.enqueue_join(u).expect("enqueue join"),
+            Request::Leave(u) => server.enqueue_leave(u).expect("enqueue leave"),
+        }
+        if let Some(batch) = server.tick(t.at_ms).expect("tick") {
+            absorb(&mut costs, batch);
+        }
+    }
+    if let Some(batch) = server.flush(workload.end_ms() + 1).expect("final flush") {
+        absorb(&mut costs, batch);
+    }
+    costs.encryptions = server.stats().records().iter().map(|r| r.encryptions as f64).sum();
+    costs
 }
 
 /// Simple fixed-width text table builder for the report binary.
@@ -361,6 +558,55 @@ mod tests {
                 (r.client_all.msgs_per_request - 1.0).abs() < 0.25,
                 "{strategy:?}: {}",
                 r.client_all.msgs_per_request
+            );
+        }
+    }
+
+    #[test]
+    fn batch_comparison_runs_and_counts_intervals() {
+        let cfg = BatchConfig {
+            n: 64,
+            degree: 4,
+            strategy: Strategy::GroupOriented,
+            batch_size: 8,
+            ops: 64,
+            mean_interarrival_ms: 10.0,
+            seeds: vec![1],
+        };
+        let r = run_batch_comparison(&cfg);
+        assert_eq!(r.per_op.flushes, 64.0, "per-op rekeys once per request");
+        assert!(r.batched.flushes <= 64.0 / 8.0 + 1.0, "depth-8 queue flushes ~ops/8 times");
+        assert!(r.per_op.encryptions > 0.0 && r.batched.encryptions > 0.0);
+        assert!(r.per_op.multicasts > 0.0 && r.batched.multicasts > 0.0);
+    }
+
+    /// The ISSUE's acceptance bar: at n = 4096, d = 4, every batch size
+    /// ≥ 4 must send strictly fewer encryptions AND strictly fewer
+    /// multicasts than per-operation rekeying over the same workload.
+    #[test]
+    fn batched_beats_per_op_at_n4096() {
+        for batch_size in [4usize, 16, 64] {
+            let cfg = BatchConfig {
+                n: 4096,
+                degree: 4,
+                strategy: Strategy::GroupOriented,
+                batch_size,
+                ops: 128,
+                mean_interarrival_ms: 5.0,
+                seeds: vec![SEEDS[0]],
+            };
+            let r = run_batch_comparison(&cfg);
+            assert!(
+                r.batched.encryptions < r.per_op.encryptions,
+                "batch={batch_size}: encryptions {} !< {}",
+                r.batched.encryptions,
+                r.per_op.encryptions
+            );
+            assert!(
+                r.batched.multicasts < r.per_op.multicasts,
+                "batch={batch_size}: multicasts {} !< {}",
+                r.batched.multicasts,
+                r.per_op.multicasts
             );
         }
     }

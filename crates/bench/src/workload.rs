@@ -75,6 +75,69 @@ impl Workload {
     }
 }
 
+/// One membership request with its (simulated) arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedRequest {
+    /// Arrival time in milliseconds since the start of the measured phase.
+    pub at_ms: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// A churn workload for the batch-rekeying experiments: join/leave
+/// requests arriving as a Poisson process (exponential inter-arrival
+/// times), so a periodic rekey interval sees a random mix of requests.
+///
+/// `mean_interarrival_ms` configures churn intensity: a smaller value
+/// means more requests accumulate per rekey interval.
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    /// The initial members (populated before measurement starts).
+    pub initial: Vec<UserId>,
+    /// Timed requests, in nondecreasing arrival order.
+    pub arrivals: Vec<TimedRequest>,
+}
+
+impl ChurnWorkload {
+    /// Generate `ops` Poisson arrivals at a 1:1 join/leave ratio over an
+    /// initial group of `n`, using `seed`.
+    ///
+    /// Request validity follows [`Workload::generate`]: leaves target a
+    /// current (or arriving) member, joins use fresh ids, and the group is
+    /// never emptied.
+    pub fn generate(n: usize, ops: usize, mean_interarrival_ms: f64, seed: u64) -> ChurnWorkload {
+        assert!(mean_interarrival_ms > 0.0, "inter-arrival mean must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial: Vec<UserId> = (0..n as u64).map(UserId).collect();
+        let mut present: Vec<UserId> = initial.clone();
+        let mut next_id = n as u64;
+        let mut clock = 0.0f64;
+        let mut arrivals = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            // Exponential inter-arrival: -mean * ln(1 - U), U ∈ [0, 1).
+            let u: f64 = rng.gen();
+            clock += -mean_interarrival_ms * (1.0 - u).ln();
+            let join = rng.gen_bool(0.5) || present.len() <= 1;
+            let request = if join {
+                let u = UserId(next_id);
+                next_id += 1;
+                present.push(u);
+                Request::Join(u)
+            } else {
+                let idx = rng.gen_range(0..present.len());
+                Request::Leave(present.swap_remove(idx))
+            };
+            arrivals.push(TimedRequest { at_ms: clock as u64, request });
+        }
+        ChurnWorkload { initial, arrivals }
+    }
+
+    /// Arrival time of the last request (0 for an empty workload).
+    pub fn end_ms(&self) -> u64 {
+        self.arrivals.last().map_or(0, |t| t.at_ms)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +181,36 @@ mod tests {
                 Request::Leave(_) => -1,
             };
             assert!(size >= 1);
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_time_ordered() {
+        let a = ChurnWorkload::generate(64, 300, 10.0, 7);
+        let b = ChurnWorkload::generate(64, 300, 10.0, 7);
+        assert_eq!(a.arrivals, b.arrivals);
+        for w in a.arrivals.windows(2) {
+            assert!(w[0].at_ms <= w[1].at_ms, "arrivals out of order");
+        }
+    }
+
+    #[test]
+    fn churn_interarrival_mean_is_roughly_configured() {
+        let w = ChurnWorkload::generate(64, 4000, 25.0, SEEDS[0]);
+        let mean = w.end_ms() as f64 / w.arrivals.len() as f64;
+        assert!((15.0..=35.0).contains(&mean), "mean inter-arrival {mean} far from 25");
+    }
+
+    #[test]
+    fn churn_requests_are_valid_against_membership() {
+        let w = ChurnWorkload::generate(50, 1000, 5.0, SEEDS[1]);
+        let mut present: BTreeSet<UserId> = w.initial.iter().copied().collect();
+        for t in &w.arrivals {
+            match t.request {
+                Request::Join(u) => assert!(present.insert(u), "{u} double join"),
+                Request::Leave(u) => assert!(present.remove(&u), "{u} phantom leave"),
+            }
+            assert!(!present.is_empty());
         }
     }
 

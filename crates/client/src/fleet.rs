@@ -133,6 +133,13 @@ impl ClientFleet {
         let mut events = Vec::new();
         for (&user, m) in self.members.iter_mut() {
             while let Some(dg) = net.recv(m.endpoint) {
+                if kg_wire::BatchRekeyPacket::sniff(&dg.payload) {
+                    match m.client.process_batch_rekey(&dg.payload) {
+                        Ok(s) => events.push(FleetEvent::Rekeyed(user, s)),
+                        Err(e) => events.push(FleetEvent::RekeyFailed(user, e)),
+                    }
+                    continue;
+                }
                 if let Ok(ctrl) = ControlMessage::decode(&dg.payload) {
                     match ctrl {
                         ControlMessage::JoinGranted { user: u, .. } => {
@@ -261,6 +268,90 @@ mod tests {
                 server_gk,
                 "divergence at step {step}"
             );
+        }
+    }
+
+    /// Batched-mode analogue of `settle`: requests queue server-side and
+    /// only take effect when the clock reaches a rekey interval.
+    fn tick_settle(
+        net: &mut SimNetwork,
+        ns: &mut NetServer,
+        fleet: &mut ClientFleet,
+        now_ms: u64,
+    ) -> Vec<FleetEvent> {
+        let mut all = Vec::new();
+        for _ in 0..10 {
+            net.run_until_quiet();
+            let server_events = ns.tick(net, now_ms);
+            for ev in server_events {
+                if let ServerEvent::Joined(grant) = ev {
+                    fleet.apply_grant(
+                        grant.user,
+                        grant.individual_key.clone(),
+                        grant.leaf_label,
+                        &grant.path_labels,
+                    );
+                }
+            }
+            net.run_until_quiet();
+            let evs = fleet.pump(net);
+            let quiet = evs.is_empty() && net.pending_total() == 0;
+            all.extend(evs);
+            if quiet {
+                break;
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn batched_churn_converges_at_each_interval() {
+        let mut net = SimNetwork::new(NetConfig::default());
+        let config = ServerConfig {
+            rekey: kg_server::RekeyPolicy::Batched { interval_ms: 100, max_pending: 1000 },
+            ..ServerConfig::default()
+        };
+        let server = GroupKeyServer::new(config, AccessControl::AllowAll);
+        let mut ns = NetServer::new(server, &mut net);
+        let mut fleet = ClientFleet::new(KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
+
+        // Interval 1: twelve joins accumulate, nothing happens mid-interval.
+        for i in 0..12 {
+            fleet.send_join_request(&mut net, ns.endpoint(), UserId(i));
+        }
+        net.run_until_quiet();
+        ns.tick(&mut net, 50);
+        assert_eq!(ns.inner().group_size(), 0);
+        assert_eq!(ns.inner().pending_requests(), 12);
+        let evs = tick_settle(&mut net, &mut ns, &mut fleet, 100);
+        assert!(evs.iter().any(|e| matches!(e, FleetEvent::JoinAcked(_))));
+        assert_eq!(ns.inner().group_size(), 12);
+        let (_, server_gk) = ns.inner().tree().group_key();
+        assert_eq!(fleet.group_key_consensus().unwrap(), server_gk);
+
+        // Interval 2: mixed churn — three leaves and two joins collapse
+        // into one flush.
+        for u in [2u64, 7, 11] {
+            fleet.send_leave_request(&mut net, ns.endpoint(), UserId(u));
+        }
+        for u in [20u64, 21] {
+            fleet.send_join_request(&mut net, ns.endpoint(), UserId(u));
+        }
+        let evs = tick_settle(&mut net, &mut ns, &mut fleet, 200);
+        for u in [2u64, 7, 11] {
+            assert!(evs.contains(&FleetEvent::LeaveAcked(UserId(u))));
+            fleet.remove(&mut net, UserId(u));
+        }
+        assert_eq!(ns.inner().group_size(), 11);
+        let (_, server_gk) = ns.inner().tree().group_key();
+        assert_eq!(fleet.group_key_consensus().unwrap(), server_gk);
+        for c in fleet.clients() {
+            assert_eq!(c.last_interval(), 2, "user {:?}", c.user());
+        }
+
+        // Departed members never learned the post-eviction group key.
+        for u in [2u64, 7, 11] {
+            assert!(fleet.client(UserId(u)).is_none());
         }
     }
 

@@ -39,7 +39,7 @@ use kg_core::merkle;
 use kg_core::rekey::KeyCipher;
 use kg_crypto::rsa::{HashAlg, RsaPublicKey};
 use kg_crypto::SymmetricKey;
-use kg_wire::{AuthTag, RekeyPacket, WireError};
+use kg_wire::{AuthTag, BatchRekeyPacket, RekeyPacket, WireError};
 use std::collections::BTreeMap;
 
 /// How strictly the client checks rekey message authenticity.
@@ -71,6 +71,14 @@ pub enum ClientError {
     /// A bundle addressed to us failed to decrypt (stale keyset — should
     /// not happen under reliable delivery).
     DecryptFailed(KeyRef),
+    /// A batch rekey packet from an interval older than one already
+    /// applied; applying it would roll keys back.
+    StaleInterval {
+        /// The interval the packet carries.
+        packet: u64,
+        /// The newest interval this client has applied.
+        current: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -79,6 +87,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
             ClientError::AuthFailed => write!(f, "rekey message failed authenticity check"),
             ClientError::DecryptFailed(r) => write!(f, "could not decrypt bundle under {r:?}"),
+            ClientError::StaleInterval { packet, current } => {
+                write!(f, "stale batch interval {packet} (already at {current})")
+            }
         }
     }
 }
@@ -128,6 +139,8 @@ pub struct Client {
     root_label: Option<KeyLabel>,
     /// Our individual-key leaf label.
     leaf_label: Option<KeyLabel>,
+    /// Newest batch rekey interval applied (0 = none yet).
+    last_interval: u64,
     stats: ClientStats,
 }
 
@@ -141,6 +154,7 @@ impl Client {
             keys: BTreeMap::new(),
             root_label: None,
             leaf_label: None,
+            last_interval: 0,
             stats: ClientStats::default(),
         }
     }
@@ -198,7 +212,7 @@ impl Client {
     /// Process one encoded rekey packet.
     pub fn process_rekey(&mut self, bytes: &[u8]) -> Result<ProcessSummary, ClientError> {
         let (packet, body_len) = RekeyPacket::decode(bytes)?;
-        self.verify_auth(&packet, &bytes[..body_len])?;
+        self.verify_auth(&packet.auth, &bytes[..body_len])?;
         self.stats.rekey_msgs += 1;
         self.stats.rekey_bytes += bytes.len() as u64;
 
@@ -232,7 +246,7 @@ impl Client {
                     let newer = self
                         .keys
                         .get(&target.label)
-                        .map_or(true, |(v, _)| target.version > *v);
+                        .is_none_or(|(v, _)| target.version > *v);
                     if newer {
                         self.keys.insert(
                             target.label,
@@ -254,8 +268,93 @@ impl Client {
         Ok(summary)
     }
 
-    fn verify_auth(&mut self, packet: &RekeyPacket, body: &[u8]) -> Result<(), ClientError> {
-        match (&self.verify, &packet.auth) {
+    /// Newest batch rekey interval applied (0 before any batch).
+    pub fn last_interval(&self) -> u64 {
+        self.last_interval
+    }
+
+    /// Process one encoded **batch** rekey packet, atomically.
+    ///
+    /// The whole packet is applied all-or-nothing: new keys are staged in
+    /// a side map while decrypting to a fixed point, and only merged into
+    /// the key store once every reachable bundle decrypted cleanly. A
+    /// decryption failure (or bad authenticity tag, or a stale interval —
+    /// older than one already applied) leaves the client's keyset and
+    /// rekey counters untouched. Bundles not addressed to this client are
+    /// skipped, as in [`Self::process_rekey`].
+    pub fn process_batch_rekey(&mut self, bytes: &[u8]) -> Result<ProcessSummary, ClientError> {
+        let (packet, body_len) = BatchRekeyPacket::decode(bytes)?;
+        self.verify_auth(&packet.auth, &bytes[..body_len])?;
+        if packet.interval < self.last_interval {
+            return Err(ClientError::StaleInterval {
+                packet: packet.interval,
+                current: self.last_interval,
+            });
+        }
+
+        let mut staged: BTreeMap<KeyLabel, (KeyVersion, SymmetricKey)> = BTreeMap::new();
+        let mut summary = ProcessSummary::default();
+        let mut done = vec![false; packet.message.bundles.len()];
+        // Fixed point over the staged view: a bundle may be decryptable
+        // only under a key another bundle of this interval delivers.
+        loop {
+            let mut progress = false;
+            for (i, bundle) in packet.message.bundles.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let holder = staged
+                    .get(&bundle.encrypted_with.label)
+                    .or_else(|| self.keys.get(&bundle.encrypted_with.label));
+                let Some((version, key)) = holder else { continue };
+                if *version != bundle.encrypted_with.version {
+                    continue;
+                }
+                let plain = self
+                    .cipher
+                    .decrypt(key, &bundle.iv, &bundle.ciphertext)
+                    .map_err(|_| ClientError::DecryptFailed(bundle.encrypted_with))?;
+                let key_len = self.cipher.key_len();
+                if plain.len() != bundle.targets.len() * key_len {
+                    return Err(ClientError::DecryptFailed(bundle.encrypted_with));
+                }
+                for (j, target) in bundle.targets.iter().enumerate() {
+                    let material = &plain[j * key_len..(j + 1) * key_len];
+                    let newer = staged
+                        .get(&target.label)
+                        .or_else(|| self.keys.get(&target.label))
+                        .is_none_or(|(v, _)| target.version > *v);
+                    if newer {
+                        staged.insert(
+                            target.label,
+                            (target.version, SymmetricKey::from_bytes(material)),
+                        );
+                        summary.keys_installed += 1;
+                    }
+                }
+                summary.bundles_decrypted += 1;
+                done[i] = true;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        // Commit: every bundle we could reach decrypted cleanly.
+        for (label, entry) in staged {
+            self.keys.insert(label, entry);
+        }
+        self.last_interval = packet.interval;
+        summary.bundles_skipped = done.iter().filter(|&&d| !d).count() as u64;
+        self.stats.rekey_msgs += 1;
+        self.stats.rekey_bytes += bytes.len() as u64;
+        self.stats.key_changes += summary.keys_installed;
+        Ok(summary)
+    }
+
+    fn verify_auth(&mut self, auth: &AuthTag, body: &[u8]) -> Result<(), ClientError> {
+        match (&self.verify, auth) {
             (VerifyPolicy::Opportunistic, AuthTag::None) => Ok(()),
             (VerifyPolicy::Opportunistic | VerifyPolicy::RequireDigest(_), AuthTag::Digest(d)) => {
                 // The digest algorithm is inferred from its length.
@@ -514,5 +613,178 @@ mod tests {
     fn garbage_packet_is_wire_error() {
         let mut c = Client::new(UserId(1), KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
         assert!(matches!(c.process_rekey(&[1, 2, 3]), Err(ClientError::Wire(_))));
+        assert!(matches!(c.process_batch_rekey(&[0xB5, 0, 1]), Err(ClientError::Wire(_))));
+    }
+
+    /// Build a *batched* server with `n` members admitted in one seed
+    /// interval, all clients synchronized through batch packets.
+    fn build_batched(
+        strategy: Strategy,
+        auth: AuthPolicy,
+        n: u64,
+    ) -> (GroupKeyServer, Vec<Client>, Vec<Vec<u8>>) {
+        let config = ServerConfig {
+            strategy,
+            auth,
+            rekey: kg_server::RekeyPolicy::Batched { interval_ms: 10, max_pending: 100_000 },
+            ..ServerConfig::default()
+        };
+        let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
+        for i in 0..n {
+            server.enqueue_join(UserId(i)).unwrap();
+        }
+        let batch = server.flush(0).unwrap().unwrap();
+        let mut clients = Vec::new();
+        for g in &batch.grants {
+            let mut c = Client::new(g.user, server.config().cipher, verify_policy(&server));
+            c.install_grant(g.individual_key.clone(), g.leaf_label, &g.path_labels);
+            clients.push(c);
+        }
+        for bytes in &batch.encoded {
+            for c in clients.iter_mut() {
+                c.process_batch_rekey(bytes).unwrap();
+            }
+        }
+        (server, clients, batch.encoded)
+    }
+
+    #[test]
+    fn batched_interval_synchronizes_all_strategies() {
+        for strategy in Strategy::ALL {
+            let (mut server, mut clients, _) = build_batched(strategy, AuthPolicy::None, 20);
+            for u in [1u64, 5, 9] {
+                server.enqueue_leave(UserId(u)).unwrap();
+            }
+            for u in 100..104u64 {
+                server.enqueue_join(UserId(u)).unwrap();
+            }
+            let batch = server.tick(10).unwrap().expect("interval elapsed");
+            assert_eq!(batch.interval, 2);
+            // Separate the departed; admit the joiners.
+            let mut departed: Vec<Client> = Vec::new();
+            clients.retain_mut(|c| {
+                if batch.departed.contains(&c.user()) {
+                    departed.push(c.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            for g in &batch.grants {
+                let mut c = Client::new(g.user, server.config().cipher, verify_policy(&server));
+                c.install_grant(g.individual_key.clone(), g.leaf_label, &g.path_labels);
+                clients.push(c);
+            }
+            // Over-deliver every packet to every member (clients skip what
+            // they cannot open).
+            for bytes in &batch.encoded {
+                for c in clients.iter_mut() {
+                    c.process_batch_rekey(bytes).unwrap();
+                }
+            }
+            let (gk_ref, gk) = server.tree().group_key();
+            for c in &clients {
+                let (r, k) = c.group_key().expect("member has group key");
+                assert_eq!(r, gk_ref, "{strategy:?} user {:?}", c.user());
+                assert_eq!(k, gk);
+                assert_eq!(c.last_interval(), 2);
+            }
+            // Departed members, replaying the whole interval, install
+            // nothing and never learn the new group key.
+            for d in departed.iter_mut() {
+                for bytes in &batch.encoded {
+                    let s = d.process_batch_rekey(bytes).unwrap();
+                    assert_eq!(s.keys_installed, 0, "{strategy:?}");
+                }
+                for (_, k) in d.keyset() {
+                    assert_ne!(k, gk, "{strategy:?}: departed holds new group key");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_batch_interval_rejected() {
+        let (mut server, mut clients, seed_encoded) =
+            build_batched(Strategy::GroupOriented, AuthPolicy::None, 8);
+        server.enqueue_leave(UserId(0)).unwrap();
+        let batch = server.flush(10).unwrap().unwrap();
+        clients.retain(|c| c.user() != UserId(0));
+        for bytes in &batch.encoded {
+            for c in clients.iter_mut() {
+                c.process_batch_rekey(bytes).unwrap();
+            }
+        }
+        assert_eq!(clients[0].last_interval(), 2);
+        let before = clients[0].keyset();
+        // Replaying the seed interval (1 < 2) must be refused untouched.
+        let err = clients[0].process_batch_rekey(&seed_encoded[0]).unwrap_err();
+        assert_eq!(err, ClientError::StaleInterval { packet: 1, current: 2 });
+        assert_eq!(clients[0].keyset(), before);
+        // Re-delivery of the *current* interval is an idempotent no-op.
+        let s = clients[0].process_batch_rekey(&batch.encoded[0]).unwrap();
+        assert_eq!(s.keys_installed, 0);
+    }
+
+    #[test]
+    fn corrupt_batch_packet_rejected_atomically() {
+        let (mut server, mut clients, _) =
+            build_batched(Strategy::GroupOriented, AuthPolicy::None, 9);
+        server.enqueue_leave(UserId(4)).unwrap();
+        let batch = server.flush(10).unwrap().unwrap();
+        clients.retain(|c| c.user() != UserId(4));
+        // Corrupt a bundle some survivor can open directly (bundles under
+        // other *new* keys would just be skipped) so its ciphertext is no
+        // longer a whole number of cipher blocks: decryption fails
+        // mid-interval.
+        let (mut pkt, _) = kg_wire::BatchRekeyPacket::decode(&batch.encoded[0]).unwrap();
+        let (bundle_idx, victim_idx) = pkt
+            .message
+            .bundles
+            .iter()
+            .enumerate()
+            .find_map(|(bi, b)| {
+                clients
+                    .iter()
+                    .position(|c| c.keyset().iter().any(|(r, _)| *r == b.encrypted_with))
+                    .map(|ci| (bi, ci))
+            })
+            .expect("some survivor holds some encrypting key");
+        pkt.message.bundles[bundle_idx].ciphertext.push(0xEE);
+        let bad = pkt.encode();
+        let victim = &mut clients[victim_idx];
+        let before_keys = victim.keyset();
+        let before_stats = victim.stats();
+        let err = victim.process_batch_rekey(&bad).unwrap_err();
+        assert!(matches!(err, ClientError::DecryptFailed(_)));
+        // All-or-nothing: nothing was committed, counters unchanged.
+        assert_eq!(victim.keyset(), before_keys);
+        assert_eq!(victim.stats(), before_stats);
+        assert_eq!(victim.last_interval(), 1);
+        // The intact packet still applies cleanly afterwards.
+        victim.process_batch_rekey(&batch.encoded[0]).unwrap();
+        assert_eq!(victim.last_interval(), 2);
+    }
+
+    #[test]
+    fn batch_auth_is_verified() {
+        let (mut server, mut clients, _) =
+            build_batched(Strategy::GroupOriented, AuthPolicy::SignBatch, 8);
+        server.enqueue_leave(UserId(2)).unwrap();
+        let batch = server.flush(10).unwrap().unwrap();
+        clients.retain(|c| c.user() != UserId(2));
+        for bytes in &batch.encoded {
+            for c in clients.iter_mut() {
+                c.process_batch_rekey(bytes).unwrap();
+            }
+        }
+        assert_eq!(clients[0].group_key().unwrap().1, server.tree().group_key().1);
+        // Tampering with the body breaks the Merkle-signed tag.
+        let mut bad = batch.encoded[0].clone();
+        bad[12] ^= 1;
+        assert_eq!(
+            clients[0].process_batch_rekey(&bad).unwrap_err(),
+            ClientError::AuthFailed
+        );
     }
 }

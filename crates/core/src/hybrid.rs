@@ -189,7 +189,7 @@ mod tests {
                     let plain = KeyCipher::des_cbc().decrypt(&key, &b.iv, &b.ciphertext).ok()?;
                     for (i, t) in b.targets.iter().enumerate() {
                         let material = &plain[i * 8..(i + 1) * 8];
-                        let newer = held.get(&t.label).map_or(true, |(v, _)| t.version > *v);
+                        let newer = held.get(&t.label).is_none_or(|(v, _)| t.version > *v);
                         if newer {
                             held.insert(t.label, (t.version, SymmetricKey::from_bytes(material)));
                             progress = true;

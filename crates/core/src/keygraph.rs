@@ -116,7 +116,7 @@ impl KeyGraph {
         self.keys
             .iter()
             .copied()
-            .filter(|k| self.key_edges.get(k).map_or(true, |p| p.is_empty()))
+            .filter(|k| self.key_edges.get(k).is_none_or(|p| p.is_empty()))
             .collect()
     }
 

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod complete;
 pub mod cost;
 pub mod hybrid;
@@ -59,6 +60,7 @@ pub mod tree;
 
 /// Convenient re-exports of the types most callers need.
 pub mod prelude {
+    pub use crate::batch::{BatchChild, BatchEvent, BatchJoin, MarkedNode};
     pub use crate::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
     pub use crate::keygraph::KeyGraph;
     pub use crate::rekey::{

@@ -396,8 +396,8 @@ impl<'a> Rekeyer<'a> {
                     .collect();
                 // For each x_i, each unchanged child y: M = {K'_i}_K,
                 // {K'_{i-1}}_{K'_i}, …, {K'_0}_{K'_1}.
-                for i in 0..=j {
-                    for sib in &ev.siblings[i] {
+                for (i, sibs) in ev.siblings.iter().enumerate().take(j + 1) {
+                    for sib in sibs {
                         let head = self.bundle_dedup_count(
                             &mut ops,
                             sib.key_ref,
@@ -422,8 +422,8 @@ impl<'a> Rekeyer<'a> {
                 // L_i = {K'_i} under each child key of x_i; children on the
                 // path use their *new* keys.
                 let mut bundles = Vec::new();
-                for i in 0..=j {
-                    for sib in &ev.siblings[i] {
+                for (i, sibs) in ev.siblings.iter().enumerate().take(j + 1) {
+                    for sib in sibs {
                         bundles.push(self.bundle_dedup_count(
                             &mut ops,
                             sib.key_ref,

@@ -236,10 +236,7 @@ mod tests {
         for msg in &out.messages {
             let b = &msg.bundles[0];
             for k in [&old_gk, &iks[0]] {
-                match KeyCipher::des_cbc().decrypt(k, &b.iv, &b.ciphertext) {
-                    Ok(plain) => assert_ne!(plain, new_gk.material()),
-                    Err(_) => {}
-                }
+                if let Ok(plain) = KeyCipher::des_cbc().decrypt(k, &b.iv, &b.ciphertext) { assert_ne!(plain, new_gk.material()) }
             }
         }
         // Remaining members each have exactly one message they can open.

@@ -28,7 +28,7 @@ use kg_crypto::{KeySource, SymmetricKey};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Arena index of a node.
-type NodeId = usize;
+pub(crate) type NodeId = usize;
 
 /// Errors from key-tree operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,16 +51,16 @@ impl std::fmt::Display for TreeError {
 impl std::error::Error for TreeError {}
 
 #[derive(Debug, Clone)]
-struct Node {
-    label: KeyLabel,
-    version: KeyVersion,
-    key: SymmetricKey,
-    parent: Option<NodeId>,
-    children: Vec<NodeId>,
+pub(crate) struct Node {
+    pub(crate) label: KeyLabel,
+    pub(crate) version: KeyVersion,
+    pub(crate) key: SymmetricKey,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
     /// `Some(u)` iff this is the individual-key leaf of user `u`.
-    user: Option<UserId>,
+    pub(crate) user: Option<UserId>,
     /// Number of users in this node's subtree (cached for heuristics).
-    size: usize,
+    pub(crate) size: usize,
 }
 
 /// One changed k-node on the rekey path.
@@ -155,14 +155,14 @@ pub enum JoinPolicy {
 /// A key tree of degree `d`.
 #[derive(Debug, Clone)]
 pub struct KeyTree {
-    degree: usize,
-    key_len: usize,
-    policy: JoinPolicy,
-    nodes: Vec<Option<Node>>,
-    free: Vec<NodeId>,
-    root: NodeId,
-    users: BTreeMap<UserId, NodeId>,
-    next_label: u64,
+    pub(crate) degree: usize,
+    pub(crate) key_len: usize,
+    pub(crate) policy: JoinPolicy,
+    pub(crate) nodes: Vec<Option<Node>>,
+    pub(crate) free: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    pub(crate) users: BTreeMap<UserId, NodeId>,
+    pub(crate) next_label: u64,
 }
 
 impl KeyTree {
@@ -251,7 +251,7 @@ impl KeyTree {
     }
 
     /// Number of k-nodes on the path from `node` to the root, inclusive.
-    fn depth_knodes(&self, node: NodeId) -> usize {
+    pub(crate) fn depth_knodes(&self, node: NodeId) -> usize {
         let mut d = 1;
         let mut cur = node;
         while let Some(p) = self.node(cur).parent {
@@ -541,15 +541,20 @@ impl KeyTree {
     // Internals
     // ------------------------------------------------------------------
 
-    fn node(&self, id: NodeId) -> &Node {
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
         self.nodes[id].as_ref().expect("live node")
     }
 
-    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
         self.nodes[id].as_mut().expect("live node")
     }
 
-    fn alloc(&mut self, source: &mut dyn KeySource, parent: Option<NodeId>, user: Option<UserId>) -> NodeId {
+    pub(crate) fn alloc(
+        &mut self,
+        source: &mut dyn KeySource,
+        parent: Option<NodeId>,
+        user: Option<UserId>,
+    ) -> NodeId {
         let node = Node {
             label: KeyLabel(self.next_label),
             version: KeyVersion::default(),
@@ -572,12 +577,12 @@ impl KeyTree {
         }
     }
 
-    fn dealloc(&mut self, id: NodeId) {
+    pub(crate) fn dealloc(&mut self, id: NodeId) {
         self.nodes[id] = None;
         self.free.push(id);
     }
 
-    fn ancestors_inclusive(&self, from: NodeId) -> Vec<NodeId> {
+    pub(crate) fn ancestors_inclusive(&self, from: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
         let mut cur = Some(from);
         while let Some(id) = cur {
@@ -606,7 +611,7 @@ impl KeyTree {
             .position(|n| n.as_ref().is_some_and(|n| n.label == label))
     }
 
-    fn find_join_slot(&self) -> JoinSlot {
+    pub(crate) fn find_join_slot(&self) -> JoinSlot {
         match self.policy {
             JoinPolicy::Balanced => self.find_join_slot_balanced(),
             JoinPolicy::FirstFit => self.find_join_slot_first_fit(),
@@ -642,14 +647,14 @@ impl KeyTree {
             let node = self.node(id);
             let depth = depths[id];
             if node.user.is_some() {
-                if best_leaf.map_or(true, |(d, _)| depth < d) {
+                if best_leaf.is_none_or(|(d, _)| depth < d) {
                     best_leaf = Some((depth, id));
                 }
                 continue;
             }
             if node.children.len() < self.degree {
                 let cand = (depth, node.size, id);
-                if best_interior.map_or(true, |(d, s, _)| (depth, node.size) < (d, s)) {
+                if best_interior.is_none_or(|(d, s, _)| (depth, node.size) < (d, s)) {
                     best_interior = Some(cand);
                 }
             }
@@ -698,7 +703,7 @@ impl KeyTree {
     }
 }
 
-enum JoinSlot {
+pub(crate) enum JoinSlot {
     Interior(NodeId),
     SplitLeaf(NodeId),
 }

@@ -41,7 +41,7 @@ impl<C: BlockCipher> CbcCipher<C> {
         let pad = bs - plaintext.len() % bs;
         let mut data = Vec::with_capacity(plaintext.len() + pad);
         data.extend_from_slice(plaintext);
-        data.extend(std::iter::repeat(pad as u8).take(pad));
+        data.extend(std::iter::repeat_n(pad as u8, pad));
 
         let mut prev = iv.to_vec();
         for chunk in data.chunks_mut(bs) {
@@ -65,7 +65,7 @@ impl<C: BlockCipher> CbcCipher<C> {
         if iv.len() != bs {
             return Err(CryptoError::InvalidIvLength { expected: bs, actual: iv.len() });
         }
-        if ciphertext.is_empty() || ciphertext.len() % bs != 0 {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(bs) {
             return Err(CryptoError::InvalidCiphertextLength { block_size: bs, actual: ciphertext.len() });
         }
         let mut data = ciphertext.to_vec();

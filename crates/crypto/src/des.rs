@@ -145,11 +145,11 @@ fn key_schedule(key64: u64) -> [u64; 16] {
 fn feistel(r: u32, subkey: u64) -> u32 {
     let x = permute(r as u64, &E, 32) ^ subkey;
     let mut out = 0u32;
-    for box_idx in 0..8 {
+    for (box_idx, sbox) in SBOXES.iter().enumerate() {
         let six = ((x >> (42 - 6 * box_idx)) & 0x3F) as usize;
         let row = ((six >> 4) & 0b10) | (six & 1);
         let col = (six >> 1) & 0xF;
-        out = (out << 4) | SBOXES[box_idx][row][col] as u32;
+        out = (out << 4) | sbox[row][col] as u32;
     }
     permute(out as u64, &P, 32) as u32
 }

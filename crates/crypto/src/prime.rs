@@ -65,7 +65,7 @@ pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut dyn RngCore) -> boo
 pub fn random_below(bound: &BigUint, rng: &mut dyn RngCore) -> BigUint {
     assert!(!bound.is_zero(), "random_below with zero bound");
     let bits = bound.bit_len();
-    let bytes = (bits + 7) / 8;
+    let bytes = bits.div_ceil(8);
     loop {
         let mut buf = vec![0u8; bytes];
         rng.fill_bytes(&mut buf);
@@ -85,7 +85,7 @@ pub fn random_below(bound: &BigUint, rng: &mut dyn RngCore) -> BigUint {
 /// 1 (odd). Panics if `bits < 8`.
 pub fn generate_prime(bits: usize, rng: &mut dyn RngCore) -> BigUint {
     assert!(bits >= 8, "prime size too small: {bits} bits");
-    let bytes = (bits + 7) / 8;
+    let bytes = bits.div_ceil(8);
     loop {
         let mut buf = vec![0u8; bytes];
         rng.fill_bytes(&mut buf);

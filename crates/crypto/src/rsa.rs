@@ -100,7 +100,7 @@ impl RsaKeyPair {
     /// Generate a keypair with a modulus of `modulus_bits` bits (the paper
     /// used 512). `modulus_bits` must be even and ≥ 256.
     pub fn generate(modulus_bits: usize, rng: &mut dyn RngCore) -> Result<Self, CryptoError> {
-        assert!(modulus_bits >= 256 && modulus_bits % 2 == 0, "unsupported modulus size");
+        assert!(modulus_bits >= 256 && modulus_bits.is_multiple_of(2), "unsupported modulus size");
         let e = BigUint::from_u64(65537);
         let one = BigUint::one();
         for _attempt in 0..64 {
@@ -155,7 +155,7 @@ impl RsaKeyPair {
 impl RsaPublicKey {
     /// Modulus length in bytes (64 for RSA-512).
     pub fn modulus_len(&self) -> usize {
-        (self.n.bit_len() + 7) / 8
+        self.n.bit_len().div_ceil(8)
     }
 
     /// Verify a PKCS#1 v1.5 signature over `message` hashed with `alg`.
@@ -255,7 +255,7 @@ fn emsa_pkcs1_v15(alg: HashAlg, digest: &[u8], k: usize) -> Result<Vec<u8>, Cryp
     let mut em = Vec::with_capacity(k);
     em.push(0x00);
     em.push(0x01);
-    em.extend(std::iter::repeat(0xFF).take(k - t_len - 3));
+    em.extend(std::iter::repeat_n(0xFF, k - t_len - 3));
     em.push(0x00);
     em.extend_from_slice(alg.prefix());
     em.extend_from_slice(digest);

@@ -8,6 +8,26 @@
 use kg_core::ids::UserId;
 use std::collections::BTreeSet;
 
+/// Errors from mutating an access-control list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclError {
+    /// Revocation was attempted against [`AccessControl::AllowAll`], whose
+    /// complement ("everyone except u") this type cannot represent.
+    RevokeFromAllowAll(UserId),
+}
+
+impl std::fmt::Display for AclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AclError::RevokeFromAllowAll(u) => {
+                write!(f, "cannot revoke {u} from AllowAll; use an explicit allow list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AclError {}
+
 /// The server's admission policy.
 #[derive(Debug, Clone)]
 pub enum AccessControl {
@@ -39,16 +59,16 @@ impl AccessControl {
         }
     }
 
-    /// Revoke `u`'s admission right (converts AllowAll into a complement
-    /// we cannot represent, so it panics there — revocation only makes
-    /// sense against a list).
-    pub fn revoke(&mut self, u: UserId) {
+    /// Revoke `u`'s admission right. Revocation only makes sense against a
+    /// list: for [`AccessControl::AllowAll`] the result would be a
+    /// complement set this type cannot represent, so that case is an
+    /// error rather than a silent no-op.
+    pub fn revoke(&mut self, u: UserId) -> Result<(), AclError> {
         match self {
-            AccessControl::AllowAll => {
-                panic!("cannot revoke from AllowAll; use an explicit allow list")
-            }
+            AccessControl::AllowAll => Err(AclError::RevokeFromAllowAll(u)),
             AccessControl::AllowList(set) => {
                 set.remove(&u);
+                Ok(())
             }
         }
     }
@@ -77,13 +97,18 @@ mod tests {
         let mut acl = AccessControl::allow_list([UserId(1)]);
         acl.grant(UserId(5));
         assert!(acl.permits(UserId(5)));
-        acl.revoke(UserId(5));
+        acl.revoke(UserId(5)).unwrap();
         assert!(!acl.permits(UserId(5)));
+        // Revoking an absent user is a harmless no-op.
+        acl.revoke(UserId(99)).unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "AllowAll")]
-    fn revoke_from_allow_all_panics() {
-        AccessControl::AllowAll.revoke(UserId(1));
+    fn revoke_from_allow_all_is_an_error() {
+        let mut acl = AccessControl::AllowAll;
+        assert_eq!(acl.revoke(UserId(1)), Err(AclError::RevokeFromAllowAll(UserId(1))));
+        assert!(acl.permits(UserId(1)), "policy unchanged after failed revoke");
+        let msg = AclError::RevokeFromAllowAll(UserId(1)).to_string();
+        assert!(msg.contains("AllowAll"));
     }
 }

@@ -6,9 +6,37 @@
 //! signature algorithm, etc." (§5). [`ServerConfig::from_spec`] parses a
 //! simple `key = value` format with exactly those knobs.
 
+use kg_batch::BatchPolicy;
 use kg_core::rekey::{KeyCipher, Strategy};
 use kg_crypto::rsa::HashAlg;
 use std::fmt;
+
+/// When the server rekeys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RekeyPolicy {
+    /// Rekey on every join/leave, as in the paper's prototype.
+    Immediate,
+    /// Queue requests and rekey once per interval (or once the queue
+    /// reaches a depth threshold), marking the union of the changed paths.
+    Batched {
+        /// Flush at least this often (milliseconds) while requests pend.
+        interval_ms: u64,
+        /// Flush immediately at this queue depth.
+        max_pending: usize,
+    },
+}
+
+impl RekeyPolicy {
+    /// The corresponding scheduler policy, `None` for immediate mode.
+    pub fn batch_policy(self) -> Option<BatchPolicy> {
+        match self {
+            RekeyPolicy::Immediate => None,
+            RekeyPolicy::Batched { interval_ms, max_pending } => {
+                Some(BatchPolicy { interval_ms, max_pending })
+            }
+        }
+    }
+}
 
 /// How rekey messages are authenticated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +90,8 @@ pub struct ServerConfig {
     pub rsa_bits: usize,
     /// Seed for deterministic key generation.
     pub seed: u64,
+    /// Immediate (per-operation) or batched (periodic) rekeying.
+    pub rekey: RekeyPolicy,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +106,7 @@ impl Default for ServerConfig {
             auth: AuthPolicy::None,
             rsa_bits: 512,
             seed: 0,
+            rekey: RekeyPolicy::Immediate,
         }
     }
 }
@@ -122,9 +153,17 @@ impl ServerConfig {
     /// auth     = sign-batch   # none | digest | sign-each | sign-batch
     /// rsa-bits = 512
     /// seed     = 42
+    /// rekey    = batched      # immediate | batched
+    /// batch-interval-ms  = 1000
+    /// batch-max-pending  = 64
     /// ```
+    ///
+    /// The two `batch-*` knobs only take effect with `rekey = batched`
+    /// (they may appear in either order relative to it).
     pub fn from_spec(spec: &str) -> Result<Self, ConfigError> {
         let mut cfg = ServerConfig::default();
+        let mut batched = false;
+        let mut batch = BatchPolicy::default();
         for raw in spec.lines() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -188,8 +227,44 @@ impl ServerConfig {
                         value: value.to_string(),
                     })?;
                 }
+                "rekey" => {
+                    batched = match value {
+                        "immediate" => false,
+                        "batched" => true,
+                        _ => {
+                            return Err(ConfigError::BadValue {
+                                key: "rekey",
+                                value: value.to_string(),
+                            })
+                        }
+                    };
+                }
+                "batch-interval-ms" => {
+                    batch.interval_ms = value.parse().map_err(|_| ConfigError::BadValue {
+                        key: "batch-interval-ms",
+                        value: value.to_string(),
+                    })?;
+                }
+                "batch-max-pending" => {
+                    batch.max_pending = value.parse().map_err(|_| ConfigError::BadValue {
+                        key: "batch-max-pending",
+                        value: value.to_string(),
+                    })?;
+                    if batch.max_pending == 0 {
+                        return Err(ConfigError::BadValue {
+                            key: "batch-max-pending",
+                            value: value.to_string(),
+                        });
+                    }
+                }
                 other => return Err(ConfigError::UnknownKey(other.to_string())),
             }
+        }
+        if batched {
+            cfg.rekey = RekeyPolicy::Batched {
+                interval_ms: batch.interval_ms,
+                max_pending: batch.max_pending,
+            };
         }
         Ok(cfg)
     }
@@ -237,6 +312,34 @@ mod tests {
         assert_eq!(c.rsa_bits, 1024);
         assert_eq!(c.seed, 99);
         assert_eq!(c.key_len(), 24);
+    }
+
+    #[test]
+    fn batched_rekey_spec_parses() {
+        let c = ServerConfig::from_spec(
+            "batch-interval-ms = 250\nrekey = batched\nbatch-max-pending = 16\n",
+        )
+        .unwrap();
+        assert_eq!(c.rekey, RekeyPolicy::Batched { interval_ms: 250, max_pending: 16 });
+        assert_eq!(c.rekey.batch_policy(), Some(BatchPolicy { interval_ms: 250, max_pending: 16 }));
+
+        // Without `rekey = batched` the knobs are inert.
+        let c = ServerConfig::from_spec("batch-interval-ms = 250").unwrap();
+        assert_eq!(c.rekey, RekeyPolicy::Immediate);
+        assert_eq!(c.rekey.batch_policy(), None);
+
+        assert!(matches!(
+            ServerConfig::from_spec("rekey = sometimes"),
+            Err(ConfigError::BadValue { key: "rekey", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("batch-max-pending = 0"),
+            Err(ConfigError::BadValue { key: "batch-max-pending", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("batch-interval-ms = soon"),
+            Err(ConfigError::BadValue { key: "batch-interval-ms", .. })
+        ));
     }
 
     #[test]

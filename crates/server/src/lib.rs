@@ -36,10 +36,11 @@ pub mod config;
 pub mod net;
 pub mod stats;
 
-pub use acl::AccessControl;
-pub use config::{AuthPolicy, ConfigError, ServerConfig};
+pub use acl::{AccessControl, AclError};
+pub use config::{AuthPolicy, ConfigError, RekeyPolicy, ServerConfig};
 pub use stats::{Aggregate, OpRecord, ServerStats};
 
+use kg_batch::{BatchRekeyer, BatchScheduler};
 use kg_core::ids::{KeyLabel, UserId};
 use kg_core::merkle;
 use kg_core::rekey::{RekeyMessage, Rekeyer};
@@ -47,7 +48,7 @@ use kg_core::tree::{KeyTree, TreeError};
 use kg_crypto::drbg::HmacDrbg;
 use kg_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use kg_crypto::{KeySource, SymmetricKey};
-use kg_wire::{AuthTag, OpKind, RekeyPacket};
+use kg_wire::{AuthTag, BatchRekeyPacket, OpKind, RekeyPacket};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -59,6 +60,9 @@ pub enum RequestError {
     JoinDenied(UserId),
     /// Tree-level membership error (duplicate join / unknown leaver).
     Tree(TreeError),
+    /// A batched-mode call (`enqueue_*`) on a server configured for
+    /// immediate rekeying.
+    NotBatched,
 }
 
 impl std::fmt::Display for RequestError {
@@ -66,6 +70,9 @@ impl std::fmt::Display for RequestError {
         match self {
             RequestError::JoinDenied(u) => write!(f, "join denied for {u}"),
             RequestError::Tree(e) => write!(f, "{e}"),
+            RequestError::NotBatched => {
+                write!(f, "server is configured for immediate rekeying")
+            }
         }
     }
 }
@@ -96,7 +103,7 @@ pub struct ProcessedOp {
 
 /// The data a joining member receives out-of-band (via the authenticated
 /// admission exchange).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinGrant {
     /// The admitted user.
     pub user: UserId,
@@ -106,6 +113,22 @@ pub struct JoinGrant {
     pub leaf_label: KeyLabel,
     /// Labels of the path keys, root-first (the join-ack payload).
     pub path_labels: Vec<KeyLabel>,
+}
+
+/// Result of flushing one batched rekey interval.
+#[derive(Debug, Clone)]
+pub struct ProcessedBatch {
+    /// Interval sequence number carried by every packet.
+    pub interval: u64,
+    /// Fully authenticated batch rekey packets, ready to send.
+    pub packets: Vec<BatchRekeyPacket>,
+    /// Encoded form of each packet.
+    pub encoded: Vec<Vec<u8>>,
+    /// One grant per user admitted this interval (the out-of-band
+    /// authentication-exchange payload, as for immediate joins).
+    pub grants: Vec<JoinGrant>,
+    /// Users removed this interval (excludes leave-then-rejoin pairs).
+    pub departed: Vec<UserId>,
 }
 
 /// The prototype group key server.
@@ -118,6 +141,8 @@ pub struct GroupKeyServer {
     rsa: Option<RsaKeyPair>,
     seq: u64,
     stats: ServerStats,
+    /// Present iff `config.rekey` is [`RekeyPolicy::Batched`].
+    scheduler: Option<BatchScheduler>,
 }
 
 impl GroupKeyServer {
@@ -132,7 +157,18 @@ impl GroupKeyServer {
             RsaKeyPair::generate(config.rsa_bits, &mut rng).expect("RSA key generation")
         });
         let tree = KeyTree::new(config.degree, config.key_len(), &mut keygen);
-        GroupKeyServer { config, acl, tree, keygen, ivs, rsa, seq: 0, stats: ServerStats::default() }
+        let scheduler = config.rekey.batch_policy().map(|p| BatchScheduler::new(p, 0));
+        GroupKeyServer {
+            config,
+            acl,
+            tree,
+            keygen,
+            ivs,
+            rsa,
+            seq: 0,
+            stats: ServerStats::default(),
+            scheduler,
+        }
     }
 
     /// The configuration in force.
@@ -215,6 +251,7 @@ impl GroupKeyServer {
 
         self.stats.push(OpRecord {
             kind: OpKind::Join,
+            requests: 1,
             msg_sizes: encoded.iter().map(|e| e.len() as u32).collect(),
             proc_ns,
             encryptions: out.ops.key_encryptions,
@@ -249,12 +286,138 @@ impl GroupKeyServer {
 
         self.stats.push(OpRecord {
             kind: OpKind::Leave,
+            requests: 1,
             msg_sizes: encoded.iter().map(|e| e.len() as u32).collect(),
             proc_ns,
             encryptions: out.ops.key_encryptions,
             signatures,
         });
         Ok(ProcessedOp { seq, packets, encoded, join_grant: None })
+    }
+
+    /// Whether this server batches rekeys.
+    pub fn is_batched(&self) -> bool {
+        self.scheduler.is_some()
+    }
+
+    /// Requests queued for the next interval (0 in immediate mode).
+    pub fn pending_requests(&self) -> usize {
+        self.scheduler.as_ref().map_or(0, |s| s.pending())
+    }
+
+    /// Queue a join for the next rekey interval (batched mode only).
+    ///
+    /// Access control and membership are checked here, at admission time;
+    /// the individual key is generated now and handed out with the grant
+    /// when the interval flushes. Joining while a leave for the same user
+    /// is queued is allowed (leave-then-rejoin within one interval).
+    pub fn enqueue_join(&mut self, user: UserId) -> Result<(), RequestError> {
+        if self.scheduler.is_none() {
+            return Err(RequestError::NotBatched);
+        }
+        if !self.acl.permits(user) {
+            return Err(RequestError::JoinDenied(user));
+        }
+        let sched = self.scheduler.as_ref().expect("checked above");
+        if self.tree.is_member(user) && !sched.has_pending_leave(user) {
+            return Err(RequestError::Tree(TreeError::AlreadyMember(user)));
+        }
+        let individual_key = self.keygen.generate_key(self.config.key_len());
+        self.scheduler
+            .as_mut()
+            .expect("checked above")
+            .enqueue_join(user, individual_key);
+        Ok(())
+    }
+
+    /// Queue a leave for the next rekey interval (batched mode only).
+    ///
+    /// A leave for a user whose join is still queued cancels that join.
+    pub fn enqueue_leave(&mut self, user: UserId) -> Result<(), RequestError> {
+        let Some(sched) = self.scheduler.as_mut() else {
+            return Err(RequestError::NotBatched);
+        };
+        if !self.tree.is_member(user) && !sched.has_pending_join(user) {
+            return Err(RequestError::Tree(TreeError::NotAMember(user)));
+        }
+        sched.enqueue_leave(user);
+        Ok(())
+    }
+
+    /// Flush the pending interval if the schedule says so (interval
+    /// elapsed or queue depth reached). `Ok(None)` when there is nothing
+    /// to do — including on an immediate-mode server, so drivers can tick
+    /// unconditionally.
+    pub fn tick(&mut self, now_ms: u64) -> Result<Option<ProcessedBatch>, RequestError> {
+        let Some(sched) = self.scheduler.as_mut() else { return Ok(None) };
+        match sched.poll(now_ms) {
+            None => Ok(None),
+            Some(pending) => self.process_batch(pending).map(Some),
+        }
+    }
+
+    /// Flush the pending interval unconditionally (tests, shutdown).
+    pub fn flush(&mut self, now_ms: u64) -> Result<Option<ProcessedBatch>, RequestError> {
+        let Some(sched) = self.scheduler.as_mut() else { return Ok(None) };
+        match sched.take(now_ms) {
+            None => Ok(None),
+            Some(pending) => self.process_batch(pending).map(Some),
+        }
+    }
+
+    /// Apply one interval's queued requests: mark + replace the union of
+    /// the changed paths once, build the consolidated rekey messages,
+    /// authenticate, encode, and record one per-interval stats record.
+    fn process_batch(
+        &mut self,
+        pending: kg_batch::PendingBatch,
+    ) -> Result<ProcessedBatch, RequestError> {
+        let n_joins = pending.joins.len() as u32;
+        let n_leaves = pending.leaves.len() as u32;
+        let start = Instant::now();
+        let ev = self.tree.apply_batch(&pending.joins, &pending.leaves, &mut self.keygen)?;
+        let mut rekeyer = BatchRekeyer::new(self.config.cipher, &mut self.ivs);
+        let out = rekeyer.rekey(&ev, self.config.strategy);
+        let timestamp_ms = self.next_seq(); // keep the logical clock shared
+        let (packets, encoded, signatures) = self.authenticate_and_encode_batch(
+            pending.interval,
+            timestamp_ms,
+            n_joins,
+            n_leaves,
+            out.messages,
+        );
+        let proc_ns = start.elapsed().as_nanos() as u64;
+
+        self.stats.push(OpRecord {
+            kind: OpKind::Batch,
+            requests: n_joins + n_leaves,
+            msg_sizes: encoded.iter().map(|e| e.len() as u32).collect(),
+            proc_ns,
+            encryptions: out.ops.key_encryptions,
+            signatures,
+        });
+        let grants = ev
+            .joins
+            .iter()
+            .map(|j| JoinGrant {
+                user: j.user,
+                individual_key: j.leaf_key.clone(),
+                leaf_label: j.leaf_label,
+                path_labels: j.path.iter().map(|(r, _)| r.label).collect(),
+            })
+            .collect();
+        // Core-level `departed` lists every leaver, including users who
+        // rejoined in the same interval; the server view keeps only true
+        // departures (a rejoiner keeps its endpoint and gets a new grant).
+        let departed =
+            ev.departed.into_iter().filter(|&u| !self.tree.is_member(u)).collect();
+        Ok(ProcessedBatch {
+            interval: pending.interval,
+            packets,
+            encoded,
+            grants,
+            departed,
+        })
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -275,6 +438,65 @@ impl GroupKeyServer {
         let mut packets: Vec<RekeyPacket> = messages
             .into_iter()
             .map(|message| RekeyPacket { seq, op, timestamp_ms, message, auth: AuthTag::None })
+            .collect();
+        let mut signatures = 0u64;
+        match self.config.auth {
+            AuthPolicy::None => {}
+            AuthPolicy::Digest => {
+                for p in &mut packets {
+                    let body = p.encode_body();
+                    p.auth = AuthTag::Digest(self.config.digest.hash(&body));
+                }
+            }
+            AuthPolicy::SignEach => {
+                let key = self.rsa.as_ref().expect("policy requires key").private.clone();
+                for p in &mut packets {
+                    let body = p.encode_body();
+                    let sig = key.sign(self.config.digest, &body).expect("signing");
+                    signatures += 1;
+                    p.auth = AuthTag::Signed { signature: sig };
+                }
+            }
+            AuthPolicy::SignBatch => {
+                if !packets.is_empty() {
+                    let key = self.rsa.as_ref().expect("policy requires key").private.clone();
+                    let bodies: Vec<Vec<u8>> = packets.iter().map(|p| p.encode_body()).collect();
+                    let refs: Vec<&[u8]> = bodies.iter().map(|b| b.as_slice()).collect();
+                    let batch =
+                        merkle::sign_batch(&key, self.config.digest, &refs).expect("batch signing");
+                    signatures += 1;
+                    for (p, path) in packets.iter_mut().zip(batch.paths) {
+                        p.auth = AuthTag::MerkleSigned {
+                            root_signature: batch.root_signature.clone(),
+                            path,
+                        };
+                    }
+                }
+            }
+        }
+        let encoded: Vec<Vec<u8>> = packets.iter().map(|p| p.encode()).collect();
+        (packets, encoded, signatures)
+    }
+
+    /// [`Self::authenticate_and_encode`] for an interval's batch packets.
+    fn authenticate_and_encode_batch(
+        &mut self,
+        interval: u64,
+        timestamp_ms: u64,
+        joins: u32,
+        leaves: u32,
+        messages: Vec<RekeyMessage>,
+    ) -> (Vec<BatchRekeyPacket>, Vec<Vec<u8>>, u64) {
+        let mut packets: Vec<BatchRekeyPacket> = messages
+            .into_iter()
+            .map(|message| BatchRekeyPacket {
+                interval,
+                timestamp_ms,
+                joins,
+                leaves,
+                message,
+                auth: AuthTag::None,
+            })
             .collect();
         let mut signatures = 0u64;
         match self.config.auth {
@@ -474,6 +696,150 @@ mod tests {
         assert_eq!(s.group_size(), 0);
         let rec = s.stats().records().last().unwrap();
         assert_eq!(rec.signatures, 0);
+    }
+
+    fn batched_server(strategy: Strategy, interval_ms: u64, max_pending: usize) -> GroupKeyServer {
+        let config = ServerConfig {
+            strategy,
+            rekey: crate::RekeyPolicy::Batched { interval_ms, max_pending },
+            ..ServerConfig::default()
+        };
+        GroupKeyServer::new(config, AccessControl::AllowAll)
+    }
+
+    /// Immediate-mode populate is unavailable in batched mode; seed the
+    /// group through one big interval instead.
+    fn populate_batched(s: &mut GroupKeyServer, n: u64, now_ms: u64) {
+        for i in 0..n {
+            s.enqueue_join(UserId(i)).unwrap();
+        }
+        s.flush(now_ms).unwrap().unwrap();
+    }
+
+    #[test]
+    fn batched_interval_flushes_on_time_not_before() {
+        let mut s = batched_server(Strategy::GroupOriented, 100, 1000);
+        populate_batched(&mut s, 16, 0);
+        s.enqueue_join(UserId(100)).unwrap();
+        s.enqueue_leave(UserId(3)).unwrap();
+        assert_eq!(s.pending_requests(), 2);
+        assert!(s.tick(50).unwrap().is_none(), "interval not yet elapsed");
+        let batch = s.tick(100).unwrap().expect("interval elapsed");
+        assert_eq!(batch.interval, 2);
+        assert_eq!(batch.grants.len(), 1);
+        assert_eq!(batch.grants[0].user, UserId(100));
+        assert_eq!(batch.departed, vec![UserId(3)]);
+        assert!(!batch.packets.is_empty());
+        assert!(s.is_member(UserId(100)));
+        assert!(!s.is_member(UserId(3)));
+        // One per-interval stats record covering both requests.
+        let rec = s.stats().records().last().unwrap();
+        assert_eq!(rec.kind, OpKind::Batch);
+        assert_eq!(rec.requests, 2);
+        assert!(rec.encryptions > 0);
+    }
+
+    #[test]
+    fn batched_queue_depth_forces_early_flush() {
+        let mut s = batched_server(Strategy::GroupOriented, 1_000_000, 4);
+        populate_batched(&mut s, 8, 0);
+        for i in 100..103 {
+            s.enqueue_join(UserId(i)).unwrap();
+        }
+        assert!(s.tick(1).unwrap().is_none());
+        s.enqueue_join(UserId(103)).unwrap();
+        let batch = s.tick(1).unwrap().expect("depth threshold");
+        assert_eq!(batch.grants.len(), 4);
+        assert_eq!(s.group_size(), 12);
+    }
+
+    #[test]
+    fn batched_mode_validates_at_enqueue_time() {
+        let mut s = batched_server(Strategy::GroupOriented, 100, 100);
+        populate_batched(&mut s, 4, 0);
+        assert!(matches!(
+            s.enqueue_join(UserId(2)).unwrap_err(),
+            RequestError::Tree(TreeError::AlreadyMember(_))
+        ));
+        assert!(matches!(
+            s.enqueue_leave(UserId(77)).unwrap_err(),
+            RequestError::Tree(TreeError::NotAMember(_))
+        ));
+        // Leave-then-rejoin within one interval is allowed.
+        s.enqueue_leave(UserId(2)).unwrap();
+        s.enqueue_join(UserId(2)).unwrap();
+        let batch = s.flush(10).unwrap().unwrap();
+        assert_eq!(batch.grants.len(), 1);
+        assert!(batch.departed.is_empty(), "rejoin is not a departure");
+        assert!(s.is_member(UserId(2)));
+    }
+
+    #[test]
+    fn batched_acl_denial_happens_at_enqueue() {
+        let config = ServerConfig {
+            rekey: crate::RekeyPolicy::Batched { interval_ms: 10, max_pending: 10 },
+            ..ServerConfig::default()
+        };
+        let mut s = GroupKeyServer::new(config, AccessControl::allow_list([UserId(1)]));
+        s.enqueue_join(UserId(1)).unwrap();
+        assert_eq!(s.enqueue_join(UserId(2)).unwrap_err(), RequestError::JoinDenied(UserId(2)));
+        let batch = s.flush(0).unwrap().unwrap();
+        assert_eq!(batch.grants.len(), 1);
+    }
+
+    #[test]
+    fn enqueue_requires_batched_mode_and_tick_is_harmless() {
+        let mut s = server(AuthPolicy::None, Strategy::GroupOriented);
+        assert!(!s.is_batched());
+        assert_eq!(s.enqueue_join(UserId(1)).unwrap_err(), RequestError::NotBatched);
+        assert_eq!(s.enqueue_leave(UserId(1)).unwrap_err(), RequestError::NotBatched);
+        assert!(s.tick(1_000).unwrap().is_none());
+        assert!(s.flush(1_000).unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_packets_carry_auth_under_every_policy() {
+        for auth in [AuthPolicy::Digest, AuthPolicy::SignEach, AuthPolicy::SignBatch] {
+            let config = ServerConfig {
+                auth,
+                rekey: crate::RekeyPolicy::Batched { interval_ms: 10, max_pending: 1000 },
+                rsa_bits: 512,
+                ..ServerConfig::default()
+            };
+            let mut s = GroupKeyServer::new(config, AccessControl::AllowAll);
+            populate_batched(&mut s, 12, 0);
+            for i in 100..104 {
+                s.enqueue_join(UserId(i)).unwrap();
+            }
+            s.enqueue_leave(UserId(5)).unwrap();
+            let batch = s.flush(10).unwrap().unwrap();
+            for (p, enc) in batch.packets.iter().zip(&batch.encoded) {
+                let (decoded, body_len) = kg_wire::BatchRekeyPacket::decode(enc).unwrap();
+                assert_eq!(&decoded, p);
+                match (&p.auth, auth) {
+                    (AuthTag::Digest(d), AuthPolicy::Digest) => {
+                        assert_eq!(d, &s.config().digest.hash(&enc[..body_len]));
+                    }
+                    (AuthTag::Signed { signature }, AuthPolicy::SignEach) => {
+                        s.public_key()
+                            .unwrap()
+                            .verify(s.config().digest, &enc[..body_len], signature)
+                            .unwrap();
+                    }
+                    (AuthTag::MerkleSigned { root_signature, path }, AuthPolicy::SignBatch) => {
+                        merkle::verify_message(
+                            s.public_key().unwrap(),
+                            s.config().digest,
+                            &enc[..body_len],
+                            path,
+                            root_signature,
+                        )
+                        .unwrap();
+                    }
+                    (tag, policy) => panic!("unexpected tag {tag:?} under {policy:?}"),
+                }
+            }
+        }
     }
 
     #[test]

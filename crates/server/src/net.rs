@@ -19,7 +19,7 @@ use kg_wire::ControlMessage;
 use std::collections::BTreeMap;
 
 /// Events surfaced to the driver after a poll step.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerEvent {
     /// A join was granted; the grant carries the individual key that the
     /// (simulated) authentication exchange delivers to the new member.
@@ -28,6 +28,18 @@ pub enum ServerEvent {
     Left(UserId),
     /// A request was rejected.
     Rejected(UserId, RequestError),
+    /// Batched mode: a request passed validation and was queued for the
+    /// next rekey interval (the grant/ack follows at flush time).
+    Queued(UserId),
+    /// Batched mode: an interval flushed and its rekey traffic was sent.
+    Flushed {
+        /// The interval's sequence number.
+        interval: u64,
+        /// Users admitted by this interval.
+        joined: usize,
+        /// Users removed by this interval.
+        left: usize,
+    },
 }
 
 /// The networked server.
@@ -36,6 +48,9 @@ pub struct NetServer {
     endpoint: EndpointId,
     group_addr: MulticastAddr,
     members: BTreeMap<UserId, EndpointId>,
+    /// Batched mode: endpoints of users whose join is queued but not yet
+    /// flushed (they only enter `members` once admitted).
+    pending_eps: BTreeMap<UserId, EndpointId>,
 }
 
 impl NetServer {
@@ -43,7 +58,13 @@ impl NetServer {
     pub fn new(server: GroupKeyServer, net: &mut SimNetwork) -> Self {
         let endpoint = net.endpoint();
         let group_addr = net.multicast_group();
-        NetServer { inner: server, endpoint, group_addr, members: BTreeMap::new() }
+        NetServer {
+            inner: server,
+            endpoint,
+            group_addr,
+            members: BTreeMap::new(),
+            pending_eps: BTreeMap::new(),
+        }
     }
 
     /// The server's network endpoint (clients send requests here).
@@ -76,14 +97,130 @@ impl NetServer {
             };
             match msg {
                 ControlMessage::JoinRequest { user } => {
-                    events.push(self.process_join(net, user, dg.from));
+                    let ev = if self.inner.is_batched() {
+                        self.queue_join(net, user, dg.from)
+                    } else {
+                        self.process_join(net, user, dg.from)
+                    };
+                    events.push(ev);
                 }
                 ControlMessage::LeaveRequest { user, auth } => {
-                    events.push(self.process_leave(net, user, dg.from, &auth));
+                    let ev = if self.inner.is_batched() {
+                        self.queue_leave(net, user, dg.from, &auth)
+                    } else {
+                        self.process_leave(net, user, dg.from, &auth)
+                    };
+                    events.push(ev);
                 }
                 _ => {} // server-to-client messages are ignored if echoed back
             }
         }
+        events
+    }
+
+    /// Batched mode: drain the inbox (queueing requests), then flush the
+    /// rekey interval if its schedule says so, dispatching the interval's
+    /// acks and batch rekey packets. In immediate mode this is equivalent
+    /// to [`Self::poll`]. Drivers call it from their clock loop.
+    pub fn tick(&mut self, net: &mut SimNetwork, now_ms: u64) -> Vec<ServerEvent> {
+        let mut events = self.poll(net);
+        match self.inner.tick(now_ms) {
+            Ok(None) => {}
+            Ok(Some(batch)) => events.extend(self.dispatch_batch(net, batch)),
+            Err(e) => {
+                // Enqueue-time validation makes flush errors unreachable
+                // unless the driver mixed immediate ops into a batched
+                // server between enqueue and flush.
+                debug_assert!(false, "batch flush failed: {e}");
+            }
+        }
+        events
+    }
+
+    fn queue_join(&mut self, net: &mut SimNetwork, user: UserId, from: EndpointId) -> ServerEvent {
+        match self.inner.enqueue_join(user) {
+            Err(e) => {
+                let deny = ControlMessage::JoinDenied { user }.encode();
+                net.send_unicast(self.endpoint, from, Bytes::from(deny));
+                ServerEvent::Rejected(user, e)
+            }
+            Ok(()) => {
+                self.pending_eps.insert(user, from);
+                ServerEvent::Queued(user)
+            }
+        }
+    }
+
+    fn queue_leave(
+        &mut self,
+        net: &mut SimNetwork,
+        user: UserId,
+        from: EndpointId,
+        auth: &[u8],
+    ) -> ServerEvent {
+        let authentic = self
+            .inner
+            .tree()
+            .keyset(user)
+            .and_then(|ks| ks.first().cloned())
+            .map(|(_, ik)| verify_mac(&hmac::<Md5>(ik.material(), &user.0.to_be_bytes()), auth))
+            .unwrap_or(false);
+        let result = if authentic {
+            self.inner.enqueue_leave(user)
+        } else {
+            Err(RequestError::Tree(kg_core::tree::TreeError::NotAMember(user)))
+        };
+        match result {
+            Err(e) => {
+                let deny = ControlMessage::LeaveDenied { user }.encode();
+                net.send_unicast(self.endpoint, from, Bytes::from(deny));
+                ServerEvent::Rejected(user, e)
+            }
+            Ok(()) => ServerEvent::Queued(user),
+        }
+    }
+
+    /// Deliver one flushed interval: admit joiners, evict the departed,
+    /// send acks, then the batch rekey packets.
+    fn dispatch_batch(
+        &mut self,
+        net: &mut SimNetwork,
+        batch: crate::ProcessedBatch,
+    ) -> Vec<ServerEvent> {
+        let mut events = Vec::new();
+        // Evict the departed from delivery structures *before* any rekey
+        // traffic is sent, acking their leave on the way out.
+        for &user in &batch.departed {
+            if let Some(ep) = self.members.remove(&user) {
+                net.leave_group(self.group_addr, ep);
+                let ack = ControlMessage::LeaveGranted { user }.encode();
+                net.send_unicast(self.endpoint, ep, Bytes::from(ack));
+            }
+            events.push(ServerEvent::Left(user));
+        }
+        // Admit joiners (a rejoiner's entry is overwritten with its new
+        // endpoint) and ack with the labels the grant describes.
+        for grant in &batch.grants {
+            let Some(ep) = self.pending_eps.remove(&grant.user) else { continue };
+            self.members.insert(grant.user, ep);
+            net.join_group(self.group_addr, ep);
+            let ack = ControlMessage::JoinGranted {
+                user: grant.user,
+                leaf_label: grant.leaf_label,
+                path_labels: grant.path_labels.clone(),
+            }
+            .encode();
+            net.send_unicast(self.endpoint, ep, Bytes::from(ack));
+            events.push(ServerEvent::Joined(grant.clone()));
+        }
+        for (p, bytes) in batch.packets.iter().zip(&batch.encoded) {
+            self.send_to_recipients(net, &p.message.recipients, bytes);
+        }
+        events.push(ServerEvent::Flushed {
+            interval: batch.interval,
+            joined: batch.grants.len(),
+            left: batch.departed.len(),
+        });
         events
     }
 
@@ -158,24 +295,31 @@ impl NetServer {
     /// Resolve recipients and send each encoded rekey packet.
     fn dispatch(&mut self, net: &mut SimNetwork, packets: &[kg_wire::RekeyPacket], encoded: &[Vec<u8>]) {
         for (p, bytes) in packets.iter().zip(encoded) {
-            let payload = Bytes::copy_from_slice(bytes);
-            match &p.message.recipients {
-                Recipients::Group => {
-                    net.send_multicast(self.endpoint, self.group_addr, payload);
+            self.send_to_recipients(net, &p.message.recipients, bytes);
+        }
+    }
+
+    /// Send one encoded packet to the endpoints its recipients resolve to
+    /// (against the *current* tree, which is post-update for both the
+    /// immediate and the batched path).
+    fn send_to_recipients(&self, net: &mut SimNetwork, recipients: &Recipients, bytes: &[u8]) {
+        let payload = Bytes::copy_from_slice(bytes);
+        match recipients {
+            Recipients::Group => {
+                net.send_multicast(self.endpoint, self.group_addr, payload);
+            }
+            Recipients::User(u) => {
+                if let Some(&ep) = self.members.get(u) {
+                    net.send_unicast(self.endpoint, ep, payload);
                 }
-                Recipients::User(u) => {
-                    if let Some(&ep) = self.members.get(u) {
-                        net.send_unicast(self.endpoint, ep, payload);
-                    }
-                }
-                Recipients::Subgroup(label) => {
-                    let eps = self.resolve(self.inner.tree().userset(*label));
-                    net.send_to_set(self.endpoint, &eps, payload);
-                }
-                Recipients::SubgroupExcept { include, exclude } => {
-                    let eps = self.resolve(self.inner.tree().userset_except(*include, *exclude));
-                    net.send_to_set(self.endpoint, &eps, payload);
-                }
+            }
+            Recipients::Subgroup(label) => {
+                let eps = self.resolve(self.inner.tree().userset(*label));
+                net.send_to_set(self.endpoint, &eps, payload);
+            }
+            Recipients::SubgroupExcept { include, exclude } => {
+                let eps = self.resolve(self.inner.tree().userset_except(*include, *exclude));
+                net.send_to_set(self.endpoint, &eps, payload);
             }
         }
     }
@@ -292,6 +436,132 @@ mod tests {
         net.run_until_quiet();
         let events = ns.poll(&mut net);
         assert!(events.is_empty());
+    }
+
+    fn batched_setup(interval_ms: u64, max_pending: usize) -> (SimNetwork, NetServer) {
+        let mut net = SimNetwork::new(NetConfig::default());
+        let config = ServerConfig {
+            rekey: crate::RekeyPolicy::Batched { interval_ms, max_pending },
+            ..ServerConfig::default()
+        };
+        let server = GroupKeyServer::new(config, AccessControl::AllowAll);
+        let ns = NetServer::new(server, &mut net);
+        (net, ns)
+    }
+
+    #[test]
+    fn batched_join_queues_then_flushes_at_interval() {
+        let (mut net, mut ns) = batched_setup(100, 1000);
+        let ep1 = net.endpoint();
+        let ep2 = net.endpoint();
+        for (ep, u) in [(ep1, 1u64), (ep2, 2)] {
+            let req = ControlMessage::JoinRequest { user: UserId(u) }.encode();
+            net.send_unicast(ep, ns.endpoint(), Bytes::from(req));
+        }
+        net.run_until_quiet();
+        // Before the interval elapses the requests are only queued.
+        let events = ns.tick(&mut net, 50);
+        assert_eq!(
+            events,
+            vec![ServerEvent::Queued(UserId(1)), ServerEvent::Queued(UserId(2))]
+        );
+        assert_eq!(ns.inner().group_size(), 0);
+        assert_eq!(ns.inner().pending_requests(), 2);
+        net.run_until_quiet();
+        assert_eq!(net.pending(ep1), 0, "no ack before the flush");
+
+        // At the interval boundary the batch flushes: members admitted,
+        // acks + rekey traffic delivered.
+        let events = ns.tick(&mut net, 100);
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, ServerEvent::Joined(_))).count(),
+            2
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ServerEvent::Flushed { interval: 1, joined: 2, left: 0 })));
+        assert_eq!(ns.inner().group_size(), 2);
+        net.run_until_quiet();
+        // Each joiner received a JoinGranted ack plus at least its unicast
+        // path packet.
+        assert!(net.pending(ep1) >= 2);
+        assert!(net.pending(ep2) >= 2);
+    }
+
+    #[test]
+    fn batched_queue_depth_flushes_without_tick_deadline() {
+        let (mut net, mut ns) = batched_setup(1_000_000, 3);
+        let eps: Vec<EndpointId> = (0..3u64)
+            .map(|u| {
+                let ep = net.endpoint();
+                let req = ControlMessage::JoinRequest { user: UserId(u) }.encode();
+                net.send_unicast(ep, ns.endpoint(), Bytes::from(req));
+                ep
+            })
+            .collect();
+        net.run_until_quiet();
+        // now_ms is far before the deadline; depth (3 >= max_pending)
+        // forces the flush.
+        let events = ns.tick(&mut net, 1);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ServerEvent::Flushed { interval: 1, joined: 3, left: 0 })));
+        assert_eq!(ns.inner().group_size(), 3);
+        net.run_until_quiet();
+        for ep in eps {
+            assert!(net.pending(ep) >= 1);
+        }
+    }
+
+    #[test]
+    fn batched_departed_member_gets_ack_but_no_batch_traffic() {
+        let (mut net, mut ns) = batched_setup(10, 1000);
+        // Admit three members in the seed interval.
+        let mut eps = Vec::new();
+        let mut grants = Vec::new();
+        for u in 1..=3u64 {
+            let ep = net.endpoint();
+            let req = ControlMessage::JoinRequest { user: UserId(u) }.encode();
+            net.send_unicast(ep, ns.endpoint(), Bytes::from(req));
+            eps.push(ep);
+        }
+        net.run_until_quiet();
+        for ev in ns.tick(&mut net, 10) {
+            if let ServerEvent::Joined(g) = ev {
+                grants.push(g);
+            }
+        }
+        net.run_until_quiet();
+        while net.recv(eps[0]).is_some() {}
+
+        // User 1 leaves in the next interval.
+        let g1 = grants.iter().find(|g| g.user == UserId(1)).unwrap();
+        let auth = leave_authenticator(UserId(1), g1.individual_key.material());
+        let req = ControlMessage::LeaveRequest { user: UserId(1), auth }.encode();
+        net.send_unicast(eps[0], ns.endpoint(), Bytes::from(req));
+        net.run_until_quiet();
+        assert_eq!(ns.tick(&mut net, 15), vec![ServerEvent::Queued(UserId(1))]);
+        assert_eq!(ns.inner().group_size(), 3, "still a member until the flush");
+        let events = ns.tick(&mut net, 20);
+        assert!(events.contains(&ServerEvent::Left(UserId(1))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ServerEvent::Flushed { interval: 2, joined: 0, left: 1 })));
+        assert_eq!(ns.inner().group_size(), 2);
+        net.run_until_quiet();
+        // The departed endpoint got exactly the LeaveGranted ack; the
+        // batch rekey packets were sent after its eviction.
+        let mut got = Vec::new();
+        while let Some(d) = net.recv(eps[0]) {
+            got.push(d.payload);
+        }
+        assert_eq!(got.len(), 1);
+        assert!(matches!(
+            ControlMessage::decode(&got[0]),
+            Ok(ControlMessage::LeaveGranted { user: UserId(1) })
+        ));
+        // Survivors did get batch traffic.
+        assert!(net.pending(eps[1]) >= 1);
     }
 
     #[test]

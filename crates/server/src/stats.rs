@@ -10,8 +10,11 @@ use kg_wire::OpKind;
 /// One processed join/leave.
 #[derive(Debug, Clone)]
 pub struct OpRecord {
-    /// Join or leave.
+    /// Join, leave, or batched interval.
     pub kind: OpKind,
+    /// Membership requests covered by this record: 1 for an immediate
+    /// join/leave, joins + leaves for a batched interval.
+    pub requests: u32,
     /// Wire size of every rekey message sent for this operation.
     pub msg_sizes: Vec<u32>,
     /// Server processing time in nanoseconds (parse → update tree →
@@ -33,8 +36,10 @@ impl OpRecord {
 /// Aggregated view over a set of records (one Table 5-style row).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aggregate {
-    /// Number of operations aggregated.
+    /// Number of operations aggregated (batched intervals count once).
     pub ops: u64,
+    /// Total membership requests covered by those operations.
+    pub requests: u64,
     /// Mean rekey-message size in bytes.
     pub msg_size_ave: f64,
     /// Smallest rekey message seen.
@@ -79,7 +84,7 @@ impl ServerStats {
         let recs: Vec<&OpRecord> = self
             .records
             .iter()
-            .filter(|r| kind.map_or(true, |k| r.kind == k))
+            .filter(|r| kind.is_none_or(|k| r.kind == k))
             .collect();
         if recs.is_empty() {
             return None;
@@ -92,6 +97,7 @@ impl ServerStats {
         });
         Some(Aggregate {
             ops,
+            requests: recs.iter().map(|r| r.requests as u64).sum(),
             msg_size_ave: if total_msgs > 0.0 { sum as f64 / total_msgs } else { 0.0 },
             msg_size_min: if all_sizes.is_empty() { 0 } else { min },
             msg_size_max: max,
@@ -108,7 +114,14 @@ mod tests {
     use super::*;
 
     fn rec(kind: OpKind, sizes: &[u32], ns: u64, enc: u64) -> OpRecord {
-        OpRecord { kind, msg_sizes: sizes.to_vec(), proc_ns: ns, encryptions: enc, signatures: 0 }
+        OpRecord {
+            kind,
+            requests: 1,
+            msg_sizes: sizes.to_vec(),
+            proc_ns: ns,
+            encryptions: enc,
+            signatures: 0,
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 pub mod codec;
 pub mod message;
 
-pub use message::{AuthTag, ControlMessage, OpKind, RekeyPacket};
+pub use message::{AuthTag, BatchRekeyPacket, ControlMessage, OpKind, RekeyPacket, BATCH_MAGIC};
 
 use std::fmt;
 

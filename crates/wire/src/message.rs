@@ -22,6 +22,8 @@ pub enum OpKind {
     Join,
     /// Triggered by a leave.
     Leave,
+    /// Triggered by a batched rekey interval (joins and leaves together).
+    Batch,
 }
 
 /// Authentication attached to a rekey message.
@@ -72,6 +74,7 @@ impl RekeyPacket {
         out.put_u8(match self.op {
             OpKind::Join => 0,
             OpKind::Leave => 1,
+            OpKind::Batch => 2,
         });
         out.put_u64(self.timestamp_ms);
         encode_recipients(&mut out, &self.message.recipients);
@@ -102,6 +105,7 @@ impl RekeyPacket {
         let op = match get_u8(&mut buf)? {
             0 => OpKind::Join,
             1 => OpKind::Leave,
+            2 => OpKind::Batch,
             t => return Err(WireError::BadTag { context: "op kind", tag: t }),
         };
         let timestamp_ms = get_u64(&mut buf)?;
@@ -118,6 +122,104 @@ impl RekeyPacket {
         }
         Ok((
             RekeyPacket { seq, op, timestamp_ms, message: RekeyMessage { recipients, bundles }, auth },
+            body_len,
+        ))
+    }
+}
+
+/// First byte of every encoded [`BatchRekeyPacket`], distinguishing batch
+/// rekeys from legacy per-operation [`RekeyPacket`]s (whose leading byte is
+/// the high byte of a realistic sequence number, hence never `0xB5`) and
+/// from [`ControlMessage`]s (whose tag byte is ≤ 5).
+pub const BATCH_MAGIC: u8 = 0xB5;
+
+/// One rekey message of a batched interval, as delivered to clients.
+///
+/// A batch interval may produce several of these (one per subgroup under
+/// the user- and key-oriented strategies); they all carry the same
+/// `interval` so clients can reject stale traffic after a newer interval
+/// has been applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRekeyPacket {
+    /// Interval sequence number (monotonically increasing, 1-based).
+    pub interval: u64,
+    /// Server timestamp (logical, as in [`RekeyPacket`]).
+    pub timestamp_ms: u64,
+    /// Number of joins aggregated into this interval.
+    pub joins: u32,
+    /// Number of leaves aggregated into this interval.
+    pub leaves: u32,
+    /// The rekey content (recipients + encrypted multi-key bundles).
+    pub message: RekeyMessage,
+    /// Integrity/authenticity tag.
+    pub auth: AuthTag,
+}
+
+impl BatchRekeyPacket {
+    /// Whether `bytes` looks like an encoded batch rekey packet.
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.first() == Some(&BATCH_MAGIC)
+    }
+
+    /// Serialize the *body* (everything the digest/signature covers).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.put_u8(BATCH_MAGIC);
+        out.put_u64(self.interval);
+        out.put_u64(self.timestamp_ms);
+        out.put_u32(self.joins);
+        out.put_u32(self.leaves);
+        encode_recipients(&mut out, &self.message.recipients);
+        out.put_u32(self.message.bundles.len() as u32);
+        for b in &self.message.bundles {
+            encode_bundle(&mut out, b);
+        }
+        out
+    }
+
+    /// Serialize body + auth tag (the full datagram payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.encode_body();
+        encode_auth(&mut out, &self.auth);
+        out
+    }
+
+    /// Total wire length.
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decode a packet, returning it with the length of its body prefix.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let mut buf = bytes;
+        match get_u8(&mut buf)? {
+            BATCH_MAGIC => {}
+            t => return Err(WireError::BadTag { context: "batch magic", tag: t }),
+        }
+        let interval = get_u64(&mut buf)?;
+        let timestamp_ms = get_u64(&mut buf)?;
+        let joins = get_u32(&mut buf)?;
+        let leaves = get_u32(&mut buf)?;
+        let recipients = decode_recipients(&mut buf)?;
+        let n = get_count(&mut buf)?;
+        let mut bundles = Vec::with_capacity(n);
+        for _ in 0..n {
+            bundles.push(decode_bundle(&mut buf)?);
+        }
+        let body_len = bytes.len() - buf.len();
+        let auth = decode_auth(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireError::TrailingBytes(buf.len()));
+        }
+        Ok((
+            BatchRekeyPacket {
+                interval,
+                timestamp_ms,
+                joins,
+                leaves,
+                message: RekeyMessage { recipients, bundles },
+                auth,
+            },
             body_len,
         ))
     }
@@ -407,6 +509,81 @@ mod tests {
         }
     }
 
+    fn sample_batch_packet(auth: AuthTag) -> BatchRekeyPacket {
+        BatchRekeyPacket {
+            interval: 9,
+            timestamp_ms: 77,
+            joins: 3,
+            leaves: 2,
+            message: RekeyMessage {
+                recipients: Recipients::Group,
+                bundles: vec![sample_bundle(), sample_bundle(), sample_bundle()],
+            },
+            auth,
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_all_auth_variants() {
+        let variants = [
+            AuthTag::None,
+            AuthTag::Digest(vec![0x11; 16]),
+            AuthTag::Signed { signature: vec![0x22; 64] },
+            AuthTag::MerkleSigned {
+                root_signature: vec![0x33; 64],
+                path: AuthPath { index: 0, siblings: vec![(Side::Right, vec![0x44; 16])] },
+            },
+        ];
+        for auth in variants {
+            let pkt = sample_batch_packet(auth);
+            let bytes = pkt.encode();
+            assert!(BatchRekeyPacket::sniff(&bytes));
+            let (decoded, body_len) = BatchRekeyPacket::decode(&bytes).unwrap();
+            assert_eq!(decoded, pkt);
+            assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+            assert_eq!(pkt.wire_len(), bytes.len());
+        }
+    }
+
+    #[test]
+    fn batch_magic_is_checked() {
+        let mut bytes = sample_batch_packet(AuthTag::None).encode();
+        bytes[0] = 0x00;
+        assert!(!BatchRekeyPacket::sniff(&bytes));
+        assert!(matches!(
+            BatchRekeyPacket::decode(&bytes),
+            Err(WireError::BadTag { context: "batch magic", .. })
+        ));
+    }
+
+    #[test]
+    fn batch_packets_are_not_control_messages() {
+        let bytes = sample_batch_packet(AuthTag::None).encode();
+        assert!(ControlMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_truncation_and_trailing_rejected() {
+        let bytes = sample_batch_packet(AuthTag::Digest(vec![0; 16])).encode();
+        for cut in 0..bytes.len() {
+            assert!(BatchRekeyPacket::decode(&bytes[..cut]).is_err());
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            BatchRekeyPacket::decode(&extended),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn op_kind_batch_roundtrips_in_legacy_packet() {
+        let mut pkt = sample_packet(AuthTag::None);
+        pkt.op = OpKind::Batch;
+        let (decoded, _) = RekeyPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded.op, OpKind::Batch);
+    }
+
     #[test]
     fn control_roundtrip_all_variants() {
         let msgs = [
@@ -494,7 +671,7 @@ mod tests {
                 .collect();
             let pkt = RekeyPacket {
                 seq,
-                op: if seq % 2 == 0 { OpKind::Join } else { OpKind::Leave },
+                op: if seq.is_multiple_of(2) { OpKind::Join } else { OpKind::Leave },
                 timestamp_ms: ts,
                 message: RekeyMessage { recipients: Recipients::Group, bundles },
                 auth: AuthTag::None,

@@ -9,9 +9,9 @@
 use keygraphs::client::{Client, VerifyPolicy};
 use keygraphs::core::ids::UserId;
 use keygraphs::core::rekey::{KeyCipher, Strategy};
-use keygraphs::server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
+use keygraphs::server::{AccessControl, AuthPolicy, GroupKeyServer, RekeyPolicy, ServerConfig};
 use proptest::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 struct World {
     server: GroupKeyServer,
@@ -130,6 +130,217 @@ proptest! {
     #[test]
     fn group_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
         churn(Strategy::GroupOriented, &ops);
+    }
+}
+
+/// Batched-rekeying analogue of [`World`]: requests queue on the server
+/// and take effect only when an interval is flushed; clients consume
+/// consolidated [`BatchRekeyPacket`]s.
+struct BatchWorld {
+    server: GroupKeyServer,
+    clients: BTreeMap<UserId, Client>,
+    traffic: Vec<Vec<u8>>,
+    ghosts: Vec<(UserId, Client)>,
+    now_ms: u64,
+}
+
+impl BatchWorld {
+    fn new(strategy: Strategy, seed: u64) -> BatchWorld {
+        let config = ServerConfig {
+            strategy,
+            auth: AuthPolicy::None,
+            seed,
+            rekey: RekeyPolicy::Batched { interval_ms: 1_000, max_pending: usize::MAX },
+            ..ServerConfig::default()
+        };
+        BatchWorld {
+            server: GroupKeyServer::new(config, AccessControl::AllowAll),
+            clients: BTreeMap::new(),
+            traffic: Vec::new(),
+            ghosts: Vec::new(),
+            now_ms: 0,
+        }
+    }
+
+    /// Flush the pending interval: evict the departed, admit the joiners,
+    /// deliver the consolidated packets to every current member.
+    fn flush(&mut self) {
+        self.now_ms += 1_000;
+        let Some(batch) = self.server.flush(self.now_ms).unwrap() else { return };
+        for u in &batch.departed {
+            let ghost = self.clients.remove(u).expect("departed user had a client");
+            self.ghosts.push((*u, ghost));
+        }
+        for g in &batch.grants {
+            let mut c = Client::new(g.user, KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
+            c.install_grant(g.individual_key.clone(), g.leaf_label, &g.path_labels);
+            self.clients.insert(g.user, c);
+        }
+        for bytes in &batch.encoded {
+            self.traffic.push(bytes.clone());
+            for c in self.clients.values_mut() {
+                c.process_batch_rekey(bytes).unwrap();
+            }
+        }
+    }
+
+    fn assert_completeness(&self) {
+        let (gk_ref, gk) = self.server.tree().group_key();
+        for (u, c) in &self.clients {
+            let (r, k) = c.group_key().unwrap_or_else(|| panic!("{u} lost the group key"));
+            assert_eq!(r, gk_ref, "{u} stale ref");
+            assert_eq!(k, gk, "{u} stale key");
+        }
+    }
+
+    /// Forward secrecy across intervals: no ghost holds the current group
+    /// key, and replaying the full batch-packet wiretap never yields it.
+    fn assert_forward_secrecy(&self) {
+        let (_, gk) = self.server.tree().group_key();
+        for (u, ghost) in &self.ghosts {
+            for (_, k) in ghost.keyset() {
+                assert_ne!(k, gk, "{u} retains the live group key");
+            }
+            let mut replay = ghost.clone();
+            for bytes in &self.traffic {
+                let _ = replay.process_batch_rekey(bytes);
+            }
+            if let Some((_, k)) = replay.group_key() {
+                assert_ne!(k, gk, "{u} recovered the live group key by replay");
+            }
+        }
+    }
+}
+
+/// Random churn, flushed in intervals of a few requests each.
+fn batched_churn(strategy: Strategy, ops: &[(u8, u64)]) {
+    let mut w = BatchWorld::new(strategy, 4321);
+    for i in 0..6u64 {
+        w.server.enqueue_join(UserId(1_000 + i)).unwrap();
+    }
+    w.flush();
+    // Mirror the scheduler's collapse rules so every enqueue is valid.
+    let mut members: BTreeSet<u64> = (1_000..1_006).collect();
+    let mut pending_join: BTreeSet<u64> = BTreeSet::new();
+    let mut pending_leave: BTreeSet<u64> = BTreeSet::new();
+    for (i, &(kind, uid)) in ops.iter().enumerate() {
+        let u = UserId(uid);
+        if kind == 0 {
+            if !members.contains(&uid) && !pending_join.contains(&uid) {
+                w.server.enqueue_join(u).unwrap();
+                pending_join.insert(uid);
+            }
+        } else {
+            let future_size = members.len() + pending_join.len() - pending_leave.len();
+            if pending_join.contains(&uid) {
+                // Join and leave collapse to a no-op inside one interval.
+                if future_size > 1 {
+                    w.server.enqueue_leave(u).unwrap();
+                    pending_join.remove(&uid);
+                }
+            } else if members.contains(&uid) && !pending_leave.contains(&uid) && future_size > 1 {
+                w.server.enqueue_leave(u).unwrap();
+                pending_leave.insert(uid);
+            }
+        }
+        // Flush every few requests, and once more at the end.
+        if i % 4 == 3 || i + 1 == ops.len() {
+            w.flush();
+            for j in &pending_join {
+                members.insert(*j);
+            }
+            for l in &pending_leave {
+                members.remove(l);
+            }
+            pending_join.clear();
+            pending_leave.clear();
+            w.assert_completeness();
+        }
+    }
+    w.assert_forward_secrecy();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batched_user_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        batched_churn(Strategy::UserOriented, &ops);
+    }
+
+    #[test]
+    fn batched_key_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        batched_churn(Strategy::KeyOriented, &ops);
+    }
+
+    #[test]
+    fn batched_group_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        batched_churn(Strategy::GroupOriented, &ops);
+    }
+}
+
+#[test]
+fn batched_interval_departures_learn_no_new_key() {
+    // All users leaving in one interval: none of the interval's marked
+    // (replaced) keys is recoverable by any of them, even pooling the
+    // interval's entire traffic.
+    for strategy in Strategy::ALL {
+        let mut w = BatchWorld::new(strategy, 77);
+        for i in 0..16u64 {
+            w.server.enqueue_join(UserId(i)).unwrap();
+        }
+        w.flush();
+        for u in [1u64, 6, 11] {
+            w.server.enqueue_leave(UserId(u)).unwrap();
+        }
+        for u in [100u64, 101] {
+            w.server.enqueue_join(UserId(u)).unwrap();
+        }
+        let pre_traffic = w.traffic.len();
+        w.flush();
+        w.assert_completeness();
+        let (_, gk) = w.server.tree().group_key();
+        for (u, ghost) in &w.ghosts {
+            let mut replay = ghost.clone();
+            // Replay only the interval that evicted them (their stale
+            // interval counter accepts it), several times for a fixed point.
+            for _ in 0..3 {
+                for bytes in &w.traffic[pre_traffic..] {
+                    let _ = replay.process_batch_rekey(bytes);
+                }
+            }
+            for (_, k) in replay.keyset() {
+                assert_ne!(k, gk, "{strategy:?}: departed {u} recovered the new group key");
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_backward_secrecy_joiner_cannot_read_history() {
+    for strategy in Strategy::ALL {
+        let mut w = BatchWorld::new(strategy, 55);
+        for i in 0..12u64 {
+            w.server.enqueue_join(UserId(i)).unwrap();
+        }
+        w.flush();
+        let (_, old_gk) = w.server.tree().group_key();
+        let secret = KeyCipher::des_cbc().encrypt(&old_gk, &[0u8; 8], b"before the interval");
+        // A mixed interval admits a newcomer.
+        w.server.enqueue_leave(UserId(4)).unwrap();
+        w.server.enqueue_join(UserId(200)).unwrap();
+        w.flush();
+        w.assert_completeness();
+        let mut newcomer = w.clients.get(&UserId(200)).unwrap().clone();
+        for bytes in w.traffic.clone() {
+            let _ = newcomer.process_batch_rekey(&bytes);
+        }
+        for (_, k) in newcomer.keyset() {
+            assert_ne!(k, old_gk, "{strategy:?}: joiner holds the previous group key");
+            if let Ok(pt) = KeyCipher::des_cbc().decrypt(&k, &[0u8; 8], &secret) {
+                assert_ne!(pt, b"before the interval", "{strategy:?}: backward secrecy broken");
+            }
+        }
     }
 }
 

@@ -1,0 +1,423 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! implements the subset of proptest's surface the workspace's tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), range / tuple /
+//! `collection::vec` / `array::uniform8` strategies, plain-typed parameters
+//! via [`arbitrary::Arbitrary`], and the `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics with the standard assert
+//!   message; the run is fully deterministic (seeded from the test name),
+//!   so a failure reproduces exactly on re-run.
+//! * **`prop_assert*` panic** instead of returning `Err`, which is
+//!   indistinguishable at the test-harness level.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the offline suite
+            // quick while still exercising the properties broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a label (the test function name),
+        /// so distinct tests see distinct but reproducible streams.
+        pub fn deterministic(label: &str) -> Self {
+            let mut state = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in label.bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((bound as u128 * self.next_u64() as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    if lo as u64 == 0 && hi as u64 == <$t>::MAX as u64 {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    (self.start..=<$t>::MAX).generate(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+
+    /// Types usable as plain-typed `proptest!` parameters (`x: u64`).
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over all values of an [`Arbitrary`] type.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> crate::strategy::Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy generating any value of `T` (proptest's `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for vectors of `element` values (see [`vec`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy and size (exact or range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; 8]` arrays (see [`uniform8`]).
+    #[derive(Debug, Clone)]
+    pub struct ArrayStrategy8<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for ArrayStrategy8<S> {
+        type Value = [S::Value; 8];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 8] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// Fixed-size array of eight independently drawn elements.
+    pub fn uniform8<S: Strategy>(element: S) -> ArrayStrategy8<S> {
+        ArrayStrategy8 { element }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define deterministic randomized tests.
+///
+/// Each `fn` inside runs `cases` times (from `#![proptest_config(..)]` or
+/// the default config) with fresh parameter values per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expand one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: bind one parameter list entry.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+}
+
+/// Property assertion (panics on failure; no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let x = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&x));
+            let y = (10usize..=12).generate(&mut rng);
+            assert!((10..=12).contains(&y));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = TestRng::deterministic("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8.., 1..48).generate(&mut rng);
+            assert!((1..48).contains(&v.len()));
+            let exact = crate::collection::vec(0u8.., 24usize).generate(&mut rng);
+            assert_eq!(exact.len(), 24);
+        }
+    }
+
+    #[test]
+    fn tuples_and_arrays_compose() {
+        let mut rng = TestRng::deterministic("composite");
+        let pairs = crate::collection::vec((0u8..2, 0u64..32), 1..100).generate(&mut rng);
+        assert!(pairs.iter().all(|&(a, b)| a < 2 && b < 32));
+        let key: [u8; 8] = crate::array::uniform8(0u8..).generate(&mut rng);
+        assert_eq!(key.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let mut c = TestRng::deterministic("different");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: mixed `in` and plain-typed params, trailing comma.
+        #[test]
+        fn macro_binds_all_param_forms(
+            xs in crate::collection::vec(0u8.., 0..16),
+            n in 1usize..5,
+            raw: u64,
+        ) {
+            prop_assert!(xs.len() < 16);
+            prop_assert!((1..5).contains(&n));
+            prop_assert_eq!(raw, raw);
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn macro_handles_plain_only(a: u64, b: u64) {
+            crate::prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+    }
+}
