@@ -58,10 +58,7 @@ impl<'a> BatchRekeyer<'a> {
     /// keyed by a surviving child's key); joiners learn only post-batch
     /// keys, via their unicast.
     pub fn rekey(&mut self, ev: &BatchEvent, strategy: Strategy) -> RekeyOutput {
-        let mut ops = OpCounts {
-            keys_generated: ev.marked.len() as u64,
-            ..OpCounts::default()
-        };
+        let mut ops = OpCounts { keys_generated: ev.marked.len() as u64, ..OpCounts::default() };
         let mut messages = Vec::new();
         if ev.marked.is_empty() {
             // Group emptied (or nothing happened): nothing to distribute.
@@ -175,8 +172,7 @@ impl<'a> BatchRekeyer<'a> {
             let targets: Vec<(KeyRef, &SymmetricKey)> =
                 j.path.iter().map(|(r, k)| (*r, k)).collect();
             let b = self.bundle(&mut ops, j.leaf_ref, &j.leaf_key, &targets);
-            messages
-                .push(RekeyMessage { recipients: Recipients::User(j.user), bundles: vec![b] });
+            messages.push(RekeyMessage { recipients: Recipients::User(j.user), bundles: vec![b] });
         }
 
         RekeyOutput { messages, ops }
@@ -210,15 +206,11 @@ mod tests {
 
     impl MiniClient {
         fn from_keyset(ks: Vec<(KeyRef, SymmetricKey)>) -> Self {
-            MiniClient {
-                keys: ks.into_iter().map(|(r, k)| (r.label, (r.version, k))).collect(),
-            }
+            MiniClient { keys: ks.into_iter().map(|(r, k)| (r.label, (r.version, k))).collect() }
         }
 
         fn holds(&self, r: KeyRef) -> Option<&SymmetricKey> {
-            self.keys
-                .get(&r.label)
-                .and_then(|(v, k)| (*v == r.version).then_some(k))
+            self.keys.get(&r.label).and_then(|(v, k)| (*v == r.version).then_some(k))
         }
 
         /// Decrypt every reachable bundle until no progress.
@@ -233,8 +225,7 @@ mod tests {
                             let material = plain[i * 8..(i + 1) * 8].to_vec();
                             let cur = self.keys.get(&t.label);
                             if cur.is_none_or(|(v, _)| *v < t.version) {
-                                self.keys
-                                    .insert(t.label, (t.version, SymmetricKey::new(material)));
+                                self.keys.insert(t.label, (t.version, SymmetricKey::new(material)));
                                 progressed = true;
                             }
                         }
@@ -274,9 +265,7 @@ mod tests {
                 .iter()
                 .filter(|m| match &m.recipients {
                     Recipients::User(t) => *t == u,
-                    Recipients::Subgroup(l) => {
-                        include_multicast && tree.userset(*l).contains(&u)
-                    }
+                    Recipients::Subgroup(l) => include_multicast && tree.userset(*l).contains(&u),
                     Recipients::SubgroupExcept { include, exclude } => {
                         include_multicast
                             && tree.userset(*include).contains(&u)
@@ -398,11 +387,8 @@ mod tests {
         let mut ivs = HmacDrbg::from_seed(2);
         let mut rk = BatchRekeyer::new(KeyCipher::des_cbc(), &mut ivs);
         let out = rk.rekey(&ev, Strategy::GroupOriented);
-        let multicasts = out
-            .messages
-            .iter()
-            .filter(|m| !matches!(m.recipients, Recipients::User(_)))
-            .count();
+        let multicasts =
+            out.messages.iter().filter(|m| !matches!(m.recipients, Recipients::User(_))).count();
         assert_eq!(multicasts, 1);
         let unicasts = out.messages.len() - multicasts;
         assert_eq!(unicasts, joins.len());

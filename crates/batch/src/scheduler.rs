@@ -142,6 +142,37 @@ impl BatchScheduler {
             None
         }
     }
+
+    // ------------------------------------------------------------------
+    // Checkpointing (used by persistence layers)
+    // ------------------------------------------------------------------
+
+    /// The queued joins, in arrival order (checkpointing).
+    pub fn pending_joins(&self) -> &[(UserId, SymmetricKey)] {
+        &self.joins
+    }
+
+    /// The queued leaves, in arrival order (checkpointing).
+    pub fn pending_leaves(&self) -> &[UserId] {
+        &self.leaves
+    }
+
+    /// Start of the current interval (checkpointing).
+    pub fn last_flush_ms(&self) -> u64 {
+        self.last_flush_ms
+    }
+
+    /// Rebuild a scheduler from checkpointed state, continuing exactly
+    /// where the original left off.
+    pub fn restore(
+        policy: BatchPolicy,
+        joins: Vec<(UserId, SymmetricKey)>,
+        leaves: Vec<UserId>,
+        last_flush_ms: u64,
+        intervals_flushed: u64,
+    ) -> Self {
+        BatchScheduler { policy, joins, leaves, last_flush_ms, intervals_flushed }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +254,30 @@ mod tests {
         assert!(s.take(20).is_none());
         s.enqueue_leave(UserId(2));
         assert_eq!(s.take(30).unwrap().interval, 2);
+    }
+
+    #[test]
+    fn restore_continues_where_snapshot_left_off() {
+        let policy = BatchPolicy { interval_ms: 100, max_pending: 10 };
+        let mut original = BatchScheduler::new(policy, 0);
+        original.enqueue_leave(UserId(1));
+        original.take(40);
+        original.enqueue_join(UserId(2), key(2));
+        original.enqueue_leave(UserId(3));
+
+        let mut restored = BatchScheduler::restore(
+            original.policy(),
+            original.pending_joins().to_vec(),
+            original.pending_leaves().to_vec(),
+            original.last_flush_ms(),
+            original.intervals_flushed(),
+        );
+        assert_eq!(restored.pending(), original.pending());
+        assert!(!restored.should_flush(100));
+        let batch = restored.poll(140).expect("interval elapsed from restored clock");
+        assert_eq!(batch.interval, 2);
+        assert_eq!(batch.joins, vec![(UserId(2), key(2))]);
+        assert_eq!(batch.leaves, vec![UserId(3)]);
     }
 
     #[test]

@@ -23,10 +23,9 @@ fn setup(strategy: Strategy, auth: AuthPolicy) -> (Client, Vec<u8>) {
         if i == 0 {
             let g = op.join_grant.clone().unwrap();
             let verify = match server.public_key() {
-                Some(pk) => VerifyPolicy::RequireSignature {
-                    alg: server.config().digest,
-                    key: pk.clone(),
-                },
+                Some(pk) => {
+                    VerifyPolicy::RequireSignature { alg: server.config().digest, key: pk.clone() }
+                }
                 None => VerifyPolicy::Opportunistic,
             };
             let mut c = Client::new(observer, server.config().cipher, verify);
@@ -70,17 +69,13 @@ fn bench_client(c: &mut Criterion) {
     let mut g = c.benchmark_group("client/process-leave-rekey");
     for strategy in Strategy::ALL {
         let (mut client, packet) = setup(strategy, AuthPolicy::None);
-        g.bench_with_input(
-            BenchmarkId::new("enc-only", strategy.name()),
-            &(),
-            |b, _| b.iter(|| client.process_rekey(&packet).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("enc-only", strategy.name()), &(), |b, _| {
+            b.iter(|| client.process_rekey(&packet).unwrap())
+        });
         let (mut client, packet) = setup(strategy, AuthPolicy::SignBatch);
-        g.bench_with_input(
-            BenchmarkId::new("batch-signed", strategy.name()),
-            &(),
-            |b, _| b.iter(|| client.process_rekey(&packet).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("batch-signed", strategy.name()), &(), |b, _| {
+            b.iter(|| client.process_rekey(&packet).unwrap())
+        });
     }
     g.finish();
 }

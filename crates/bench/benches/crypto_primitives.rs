@@ -19,9 +19,7 @@ use rand::SeedableRng;
 
 fn bench_des(c: &mut Criterion) {
     let des = Des::new(&[0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]).unwrap();
-    c.bench_function("des/block", |b| {
-        b.iter(|| des.encrypt_u64(black_box(0x0123_4567_89AB_CDEF)))
-    });
+    c.bench_function("des/block", |b| b.iter(|| des.encrypt_u64(black_box(0x0123_4567_89AB_CDEF))));
 
     let cbc = CbcCipher::new(des.clone());
     let key8 = [0u8; 8];

@@ -3,8 +3,11 @@
 //! ```text
 //! report [--quick] <artifact>...
 //! artifacts: table1 table2 table3 table4 table5 table6
-//!            fig10 fig11 fig12 iolus hybrid batch all
+//!            fig10 fig11 fig12 iolus hybrid batch persist all
 //! ```
+//!
+//! The `batch` and `persist` artifacts also write machine-readable
+//! `BENCH_batch.json` and `BENCH_persist.json` to the working directory.
 //!
 //! `--quick` shrinks group sizes / request counts for a fast smoke run.
 //! Absolute times differ from the paper's 1998 SGI Origin 200 numbers; the
@@ -12,7 +15,10 @@
 //! the ~10× Merkle-signing win) are the reproduction targets. See
 //! EXPERIMENTS.md for the side-by-side reading.
 
-use kg_bench::{run, run_batch_comparison, BatchConfig, ExperimentConfig, TextTable, SEEDS};
+use kg_bench::{
+    run, run_batch_comparison, run_persist_overhead, run_recovery_curve, BatchConfig,
+    ExperimentConfig, TextTable, SEEDS,
+};
 use kg_core::cost::{self, GraphClass};
 use kg_core::ids::UserId;
 use kg_core::rekey::{KeyCipher, Strategy};
@@ -36,7 +42,7 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: report [--quick] <artifact>...\n\
                      artifacts: table1 table2 table3 table4 table5 table6 \
-                     fig10 fig11 fig12 iolus hybrid batch all"
+                     fig10 fig11 fig12 iolus hybrid batch persist all"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +102,9 @@ fn main() {
     if want("batch") {
         batch(&opts);
     }
+    if want("persist") {
+        persist(&opts);
+    }
 }
 
 fn f(v: f64) -> String {
@@ -103,6 +112,22 @@ fn f(v: f64) -> String {
         format!("{v:.1}")
     } else {
         format!("{v:.2}")
+    }
+}
+
+/// Format a float for the JSON artifacts (fixed precision, always finite
+/// because every measured quantity is a ratio of positive numbers).
+fn jf(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Write a machine-readable artifact next to the report output. Failure
+/// is a warning, not an error: the report must still run on a read-only
+/// working directory.
+fn write_artifact(path: &str, json: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => println!("(wrote {path})\n"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 }
 
@@ -218,7 +243,8 @@ fn table3(opts: &Opts) {
         seeds: vec![SEEDS[0]],
     };
     let r = run(&cfg);
-    let mut t = TextTable::new(&["cost", "star", "tree formula", "tree measured", "complete (n=8)"]);
+    let mut t =
+        TextTable::new(&["cost", "star", "tree formula", "tree measured", "complete (n=8)"]);
     t.row(vec![
         "server".into(),
         f(cost::avg_cost_server(GraphClass::Star, n, d)),
@@ -259,7 +285,8 @@ fn table4(opts: &Opts) {
         for (auth, name) in
             [(AuthPolicy::SignEach, "per-message"), (AuthPolicy::SignBatch, "batch (Merkle)")]
         {
-            let r = run(&ExperimentConfig { n, degree: 4, strategy, auth, ops, seeds: seeds.clone() });
+            let r =
+                run(&ExperimentConfig { n, degree: 4, strategy, auth, ops, seeds: seeds.clone() });
             t.row(vec![
                 strategy.name().into(),
                 name.into(),
@@ -291,8 +318,14 @@ fn fig10(opts: &Opts) {
         for &n in &sizes {
             let mut cells = vec![n.to_string()];
             for strategy in Strategy::ALL {
-                let r =
-                    run(&ExperimentConfig { n, degree: 4, strategy, auth, ops, seeds: seeds.clone() });
+                let r = run(&ExperimentConfig {
+                    n,
+                    degree: 4,
+                    strategy,
+                    auth,
+                    ops,
+                    seeds: seeds.clone(),
+                });
                 cells.push(f(r.all.proc_ms_ave));
             }
             t.row(cells);
@@ -319,14 +352,8 @@ fn fig11(opts: &Opts) {
             let mut cells = vec![degree.to_string()];
             let mut group_enc = 0.0;
             for strategy in Strategy::ALL {
-                let r = run(&ExperimentConfig {
-                    n,
-                    degree,
-                    strategy,
-                    auth,
-                    ops,
-                    seeds: seeds.clone(),
-                });
+                let r =
+                    run(&ExperimentConfig { n, degree, strategy, auth, ops, seeds: seeds.clone() });
                 cells.push(f(r.all.proc_ms_ave));
                 if strategy == Strategy::GroupOriented {
                     group_enc = r.all.encryptions_ave;
@@ -489,7 +516,11 @@ fn hybrid(opts: &Opts) {
         out.messages.iter().map(|m| m.key_count()).sum::<usize>()
     };
     let mut t = TextTable::new(&[
-        "packaging", "messages", "total keys shipped", "encryptions", "mcast addresses needed",
+        "packaging",
+        "messages",
+        "total keys shipped",
+        "encryptions",
+        "mcast addresses needed",
     ]);
     t.row(vec![
         "key-oriented".into(),
@@ -536,13 +567,11 @@ fn batch(opts: &Opts) {
         "bytes/req batched",
         "bytes/req per-op",
     ]);
+    let mut json_rows = Vec::new();
     for &n in &sizes {
         for &batch_size in &batch_sizes {
-            let cfg = BatchConfig {
-                ops,
-                seeds: seeds.clone(),
-                ..BatchConfig::baseline(n, batch_size)
-            };
+            let cfg =
+                BatchConfig { ops, seeds: seeds.clone(), ..BatchConfig::baseline(n, batch_size) };
             let r = run_batch_comparison(&cfg);
             let per_req = |v: f64| v / ops as f64;
             t.row(vec![
@@ -556,10 +585,107 @@ fn batch(opts: &Opts) {
                 f(per_req(r.batched.bytes)),
                 f(per_req(r.per_op.bytes)),
             ]);
+            json_rows.push(format!(
+                "    {{\"n\": {n}, \"batch_size\": {batch_size}, \"intervals\": {}, \
+                 \"enc_per_req_batched\": {}, \"enc_per_req_per_op\": {}, \
+                 \"mcast_per_req_batched\": {}, \"mcast_per_req_per_op\": {}, \
+                 \"bytes_per_req_batched\": {}, \"bytes_per_req_per_op\": {}}}",
+                jf(r.batched.flushes),
+                jf(per_req(r.batched.encryptions)),
+                jf(per_req(r.per_op.encryptions)),
+                jf(per_req(r.batched.multicasts)),
+                jf(per_req(r.per_op.multicasts)),
+                jf(per_req(r.batched.bytes)),
+                jf(per_req(r.per_op.bytes)),
+            ));
         }
     }
     println!("{}", t.render());
     println!("(expected shape: batch=1 pays a small join overhead — a batched join re-keys its whole path where the immediate Figure 7 protocol reuses old ancestor keys; from batch>=4 the consolidated interval marks each shared ancestor once, so encryptions and multicasts per request drop well below per-op and keep falling as the batch grows)\n");
+    let json = format!(
+        "{{\n  \"artifact\": \"batch\",\n  \"ops\": {ops},\n  \"seeds\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        seeds.len(),
+        json_rows.join(",\n"),
+    );
+    write_artifact("BENCH_batch.json", &json);
+}
+
+/// Durability subsystem (`kg-persist`): WAL overhead under each fsync
+/// policy, and time-to-recover as a function of log length.
+fn persist(opts: &Opts) {
+    println!("## Durability — WAL overhead and crash recovery (kg-persist, d=4, group-oriented)\n");
+    let n = if opts.quick { 256 } else { 4096 };
+    let ops = if opts.quick { 160 } else { 1000 };
+    let seed = SEEDS[0];
+
+    println!("### WAL overhead vs fsync policy (n={n}, {ops} requests, snapshots off)\n");
+    let rows = run_persist_overhead(n, ops, seed);
+    let mut t = TextTable::new(&["fsync policy", "elapsed ms", "ops/sec", "WAL KiB", "slowdown"]);
+    for r in &rows {
+        t.row(vec![
+            r.policy.clone(),
+            f(r.elapsed_ms),
+            format!("{:.0}", r.ops_per_sec),
+            format!("{:.1}", r.wal_bytes as f64 / 1024.0),
+            format!("{:.2}x", r.slowdown),
+        ]);
+    }
+    println!("{}", t.render());
+    let every_n = rows.iter().find(|r| r.policy == "every-32");
+    if let Some(r) = every_n {
+        println!("(fsync=every-32 slowdown vs no persistence: {:.2}x — target < 2x)\n", r.slowdown);
+    }
+
+    println!(
+        "### Recovery time vs log length (n={n}, snapshots off so the full history replays)\n"
+    );
+    let churn_ops: Vec<usize> =
+        if opts.quick { vec![100, 400] } else { vec![250, 1000, 4000, 16000] };
+    let curve = run_recovery_curve(n, &churn_ops, seed);
+    let mut t = TextTable::new(&["WAL records", "WAL KiB", "recover ms", "ms / 1k records"]);
+    for p in &curve {
+        t.row(vec![
+            p.wal_ops.to_string(),
+            format!("{:.1}", p.wal_bytes as f64 / 1024.0),
+            f(p.recover_ms),
+            f(p.recover_ms * 1000.0 / p.wal_ops as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(expected shape: recovery time grows linearly in log length — which is exactly why snapshots truncate the log; with default thresholds the replayed tail is bounded by snapshot_every_ops)\n");
+
+    let overhead_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"policy\": \"{}\", \"elapsed_ms\": {}, \"ops_per_sec\": {}, \
+                 \"wal_bytes\": {}, \"slowdown\": {}}}",
+                r.policy,
+                jf(r.elapsed_ms),
+                jf(r.ops_per_sec),
+                r.wal_bytes,
+                jf(r.slowdown),
+            )
+        })
+        .collect();
+    let recovery_json: Vec<String> = curve
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"wal_ops\": {}, \"wal_bytes\": {}, \"recover_ms\": {}}}",
+                p.wal_ops,
+                p.wal_bytes,
+                jf(p.recover_ms),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"artifact\": \"persist\",\n  \"n\": {n},\n  \"ops\": {ops},\n  \"seed\": {seed},\n  \
+         \"overhead\": [\n{}\n  ],\n  \"recovery\": [\n{}\n  ]\n}}\n",
+        overhead_json.join(",\n"),
+        recovery_json.join(",\n"),
+    );
+    write_artifact("BENCH_persist.json", &json);
 }
 
 /// Section 6: Iolus comparison.

@@ -106,7 +106,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentResult {
 
 type SeedServerStats = (Option<Aggregate>, Option<Aggregate>, Option<Aggregate>);
 
-fn run_once(config: &ExperimentConfig, seed: u64) -> (SeedServerStats, (ClientSide, ClientSide, ClientSide)) {
+fn run_once(
+    config: &ExperimentConfig,
+    seed: u64,
+) -> (SeedServerStats, (ClientSide, ClientSide, ClientSide)) {
     let workload = Workload::generate(config.n, config.ops, seed);
     let server_config = ServerConfig {
         degree: config.degree,
@@ -331,9 +334,14 @@ pub fn run_batch_comparison(config: &BatchConfig) -> BatchComparison {
     let mut per_op = RekeyCosts::default();
     let mut batched = RekeyCosts::default();
     for &seed in &config.seeds {
-        let workload =
-            crate::workload::ChurnWorkload::generate(config.n, config.ops, config.mean_interarrival_ms, seed);
-        let (p, b) = (per_op_costs(config, &workload, seed), batched_costs(config, &workload, seed));
+        let workload = crate::workload::ChurnWorkload::generate(
+            config.n,
+            config.ops,
+            config.mean_interarrival_ms,
+            seed,
+        );
+        let (p, b) =
+            (per_op_costs(config, &workload, seed), batched_costs(config, &workload, seed));
         per_op.encryptions += p.encryptions;
         per_op.multicasts += p.multicasts;
         per_op.unicasts += p.unicasts;
@@ -417,11 +425,7 @@ fn batched_costs(
     let mut costs = RekeyCosts::default();
     let absorb = |costs: &mut RekeyCosts, batch: kg_server::ProcessedBatch| {
         costs.add_packets(
-            batch
-                .packets
-                .iter()
-                .zip(&batch.encoded)
-                .map(|(p, e)| (&p.message.recipients, e.len())),
+            batch.packets.iter().zip(&batch.encoded).map(|(p, e)| (&p.message.recipients, e.len())),
         );
         costs.flushes += 1.0;
     };
@@ -439,6 +443,162 @@ fn batched_costs(
     }
     costs.encryptions = server.stats().records().iter().map(|r| r.encryptions as f64).sum();
     costs
+}
+
+/// One row of the WAL-overhead comparison: the same churn workload run
+/// with persistence off and with each fsync policy.
+#[derive(Debug, Clone)]
+pub struct WalOverheadRow {
+    /// Human-readable policy name (`none` is the in-memory baseline).
+    pub policy: String,
+    /// Wall-clock time for the measured churn phase, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Measured requests per second.
+    pub ops_per_sec: f64,
+    /// Bytes appended to the write-ahead log (0 for the baseline).
+    pub wal_bytes: u64,
+    /// Elapsed time relative to the in-memory baseline (1.0 = no cost).
+    pub slowdown: f64,
+}
+
+/// One point of the recovery-time curve: crash after a log of the given
+/// length, measure the time to rebuild the server from disk.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPoint {
+    /// Records in the write-ahead log at the crash.
+    pub wal_ops: usize,
+    /// Bytes in the write-ahead log at the crash.
+    pub wal_bytes: u64,
+    /// Wall-clock recovery time (load + replay + digest check), ms.
+    pub recover_ms: f64,
+}
+
+fn persist_scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("kg-bench-{tag}-{}-{n}", std::process::id()))
+}
+
+fn churn(server: &mut GroupKeyServer, workload: &Workload) {
+    for req in &workload.requests {
+        match *req {
+            Request::Join(u) => {
+                server.handle_join(u).expect("join");
+            }
+            Request::Leave(u) => {
+                server.handle_leave(u).expect("leave");
+            }
+        }
+    }
+}
+
+/// Measure WAL overhead: run the same workload (initial group of `n`,
+/// then `ops` join/leave requests) with persistence off and under each
+/// fsync policy, timing only the measured churn phase. Snapshotting is
+/// disabled so the numbers isolate the log-append cost.
+pub fn run_persist_overhead(n: usize, ops: usize, seed: u64) -> Vec<WalOverheadRow> {
+    let workload = Workload::generate(n, ops, seed);
+    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+    let no_snapshots = |fsync| kg_persist::PersistConfig {
+        fsync,
+        snapshot_every_ops: u64::MAX,
+        snapshot_max_bytes: u64::MAX,
+    };
+
+    let mut rows = Vec::new();
+    let base_ms = {
+        let mut server = GroupKeyServer::new(config.clone(), AccessControl::AllowAll);
+        for &u in &workload.initial {
+            server.handle_join(u).expect("initial join");
+        }
+        let start = std::time::Instant::now();
+        churn(&mut server, &workload);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    rows.push(WalOverheadRow {
+        policy: "none".into(),
+        elapsed_ms: base_ms,
+        ops_per_sec: ops as f64 / (base_ms / 1e3).max(1e-9),
+        wal_bytes: 0,
+        slowdown: 1.0,
+    });
+
+    for (fsync, name) in [
+        (kg_persist::FsyncPolicy::EveryRecord, "every-record"),
+        (kg_persist::FsyncPolicy::EveryN(32), "every-32"),
+        (kg_persist::FsyncPolicy::IntervalMs(50), "interval-50ms"),
+    ] {
+        let dir = persist_scratch_dir("overhead");
+        let mut server = GroupKeyServer::with_persistence(
+            config.clone(),
+            AccessControl::AllowAll,
+            &dir,
+            no_snapshots(fsync),
+        )
+        .expect("create store");
+        for &u in &workload.initial {
+            server.handle_join(u).expect("initial join");
+        }
+        let start = std::time::Instant::now();
+        churn(&mut server, &workload);
+        server.sync_persistence().expect("final sync");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let wal_bytes = server.persistence().expect("persistent").wal_len();
+        rows.push(WalOverheadRow {
+            policy: name.into(),
+            elapsed_ms: ms,
+            ops_per_sec: ops as f64 / (ms / 1e3).max(1e-9),
+            wal_bytes,
+            slowdown: ms / base_ms.max(1e-9),
+        });
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+/// Measure time-to-recover as a function of log length: for each entry of
+/// `churn_ops`, build a persisted server (initial group of `n`, then that
+/// many requests, snapshots disabled so the whole history replays), crash
+/// it, and time [`GroupKeyServer::recover`].
+pub fn run_recovery_curve(n: usize, churn_ops: &[usize], seed: u64) -> Vec<RecoveryPoint> {
+    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+    let pcfg = kg_persist::PersistConfig {
+        fsync: kg_persist::FsyncPolicy::EveryN(4096),
+        snapshot_every_ops: u64::MAX,
+        snapshot_max_bytes: u64::MAX,
+    };
+    churn_ops
+        .iter()
+        .map(|&ops| {
+            let workload = Workload::generate(n, ops, seed);
+            let dir = persist_scratch_dir("recovery");
+            let mut server = GroupKeyServer::with_persistence(
+                config.clone(),
+                AccessControl::AllowAll,
+                &dir,
+                pcfg,
+            )
+            .expect("create store");
+            for &u in &workload.initial {
+                server.handle_join(u).expect("initial join");
+            }
+            churn(&mut server, &workload);
+            server.sync_persistence().expect("final sync");
+            let wal_bytes = server.persistence().expect("persistent").wal_len();
+            drop(server); // crash
+
+            let start = std::time::Instant::now();
+            let recovered =
+                GroupKeyServer::recover(config.clone(), AccessControl::AllowAll, &dir, pcfg)
+                    .expect("recover");
+            let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+            drop(recovered);
+            let _ = std::fs::remove_dir_all(&dir);
+            RecoveryPoint { wal_ops: n + ops, wal_bytes, recover_ms }
+        })
+        .collect()
 }
 
 /// Simple fixed-width text table builder for the report binary.

@@ -191,7 +191,11 @@ mod tests {
 
     /// Full end-to-end pump: fleet requests → server poll → grants → fleet
     /// pump, until quiescent.
-    fn settle(net: &mut SimNetwork, ns: &mut NetServer, fleet: &mut ClientFleet) -> Vec<FleetEvent> {
+    fn settle(
+        net: &mut SimNetwork,
+        ns: &mut NetServer,
+        fleet: &mut ClientFleet,
+    ) -> Vec<FleetEvent> {
         let mut all = Vec::new();
         for _ in 0..10 {
             net.run_until_quiet();

@@ -198,10 +198,7 @@ impl Client {
 
     /// A snapshot of the full keyset (secrecy audits in tests).
     pub fn keyset(&self) -> Vec<(KeyRef, SymmetricKey)> {
-        self.keys
-            .iter()
-            .map(|(&l, (v, k))| (KeyRef::new(l, *v), k.clone()))
-            .collect()
+        self.keys.iter().map(|(&l, (v, k))| (KeyRef::new(l, *v), k.clone())).collect()
     }
 
     /// Lifetime statistics.
@@ -243,10 +240,8 @@ impl Client {
                 }
                 for (j, target) in bundle.targets.iter().enumerate() {
                     let material = &plain[j * key_len..(j + 1) * key_len];
-                    let newer = self
-                        .keys
-                        .get(&target.label)
-                        .is_none_or(|(v, _)| target.version > *v);
+                    let newer =
+                        self.keys.get(&target.label).is_none_or(|(v, _)| target.version > *v);
                     if newer {
                         self.keys.insert(
                             target.label,
@@ -371,10 +366,7 @@ impl Client {
                 }
             }
             (VerifyPolicy::RequireDigest(_), AuthTag::None) => Err(ClientError::AuthFailed),
-            (
-                VerifyPolicy::RequireSignature { alg, key },
-                AuthTag::Signed { signature },
-            ) => {
+            (VerifyPolicy::RequireSignature { alg, key }, AuthTag::Signed { signature }) => {
                 self.stats.verifications += 1;
                 key.verify(*alg, body, signature).map_err(|_| ClientError::AuthFailed)
             }
@@ -415,10 +407,9 @@ mod tests {
 
     fn verify_policy(server: &GroupKeyServer) -> VerifyPolicy {
         match server.public_key() {
-            Some(pk) => VerifyPolicy::RequireSignature {
-                alg: server.config().digest,
-                key: pk.clone(),
-            },
+            Some(pk) => {
+                VerifyPolicy::RequireSignature { alg: server.config().digest, key: pk.clone() }
+            }
             None => VerifyPolicy::Opportunistic,
         }
     }
@@ -532,7 +523,8 @@ mod tests {
             // internally, so replicate its steps here to capture the tally).
             let op = server.handle_join(UserId(1000 + i)).unwrap();
             let grant = op.join_grant.clone().unwrap();
-            let mut c = Client::new(UserId(1000 + i), server.config().cipher, verify_policy(&server));
+            let mut c =
+                Client::new(UserId(1000 + i), server.config().cipher, verify_policy(&server));
             c.install_grant(grant.individual_key, grant.leaf_label, &grant.path_labels);
             clients.push(c);
             installed += deliver_all(&server, &mut clients, &op.encoded);
@@ -782,9 +774,6 @@ mod tests {
         // Tampering with the body breaks the Merkle-signed tag.
         let mut bad = batch.encoded[0].clone();
         bad[12] ^= 1;
-        assert_eq!(
-            clients[0].process_batch_rekey(&bad).unwrap_err(),
-            ClientError::AuthFailed
-        );
+        assert_eq!(clients[0].process_batch_rekey(&bad).unwrap_err(), ClientError::AuthFailed);
     }
 }

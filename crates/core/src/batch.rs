@@ -30,8 +30,8 @@
 //! (the child's *new* key if the child is itself marked), and joiners
 //! receive their whole path in one unicast under their individual key.
 
-use crate::ids::{KeyRef, UserId};
 use crate::ids::KeyLabel;
+use crate::ids::{KeyRef, UserId};
 use crate::tree::{JoinSlot, KeyTree, NodeId, TreeError};
 use kg_crypto::{KeySource, SymmetricKey};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -141,12 +141,8 @@ impl KeyTree {
         for &u in leaves {
             let leaf = self.users.remove(&u).expect("validated member");
             let parent = self.node(leaf).parent.expect("user leaf has a parent");
-            let pos = self
-                .node(parent)
-                .children
-                .iter()
-                .position(|&c| c == leaf)
-                .expect("child link");
+            let pos =
+                self.node(parent).children.iter().position(|&c| c == leaf).expect("child link");
             self.node_mut(parent).children.remove(pos);
             self.dealloc(leaf);
             for anc in self.ancestors_inclusive(parent) {
@@ -214,12 +210,7 @@ impl KeyTree {
             });
             let Some(id) = degenerate else { break };
             let parent = self.node(id).parent.expect("non-root");
-            let pos = self
-                .node(parent)
-                .children
-                .iter()
-                .position(|&c| c == id)
-                .expect("child link");
+            let pos = self.node(parent).children.iter().position(|&c| c == id).expect("child link");
             if let Some(&only_child) = self.node(id).children.first() {
                 self.node_mut(parent).children[pos] = only_child;
                 self.node_mut(only_child).parent = Some(parent);
@@ -376,8 +367,7 @@ mod tests {
     fn pre_keysets(tree: &KeyTree) -> BTreeMap<UserId, Vec<KeyLabel>> {
         tree.members()
             .map(|u| {
-                let labels =
-                    tree.keyset(u).unwrap().into_iter().map(|(r, _)| r.label).collect();
+                let labels = tree.keyset(u).unwrap().into_iter().map(|(r, _)| r.label).collect();
                 (u, labels)
             })
             .collect()
@@ -443,9 +433,7 @@ mod tests {
     fn leave_and_rejoin_same_interval() {
         let (mut tree, mut src) = setup(3, 9);
         let joins = join_reqs(&mut src, &[4]);
-        let ev = tree
-            .apply_batch(&joins, &[UserId(4)], &mut src)
-            .unwrap();
+        let ev = tree.apply_batch(&joins, &[UserId(4)], &mut src).unwrap();
         tree.check_invariants();
         assert!(tree.is_member(UserId(4)));
         assert_eq!(ev.departed, vec![UserId(4)]);
@@ -516,11 +504,7 @@ mod tests {
             let ev = per_op.join(UserId(999), ik.clone(), &mut src).unwrap();
             let per_op_labels: Vec<KeyLabel> = ev.path.iter().map(|p| p.label).collect();
             let bev = batched.apply_batch(&[(UserId(999), ik)], &[], &mut src).unwrap();
-            assert_eq!(
-                bev.marked_labels(),
-                per_op_labels,
-                "join marked-set mismatch at n={n}"
-            );
+            assert_eq!(bev.marked_labels(), per_op_labels, "join marked-set mismatch at n={n}");
             batched.check_invariants();
         }
     }

@@ -300,7 +300,12 @@ mod tests {
     fn average_star_cost_crosses_tree_cost() {
         // The scalability claim: for small n a star can be cheaper; for
         // large n the tree wins by orders of magnitude.
-        assert!(avg_cost_server(GraphClass::Star, 8, 4) < avg_cost_server(GraphClass::Tree, 8, 4) * 2.0);
-        assert!(avg_cost_server(GraphClass::Star, 8192, 4) > 100.0 * avg_cost_server(GraphClass::Tree, 8192, 4));
+        assert!(
+            avg_cost_server(GraphClass::Star, 8, 4) < avg_cost_server(GraphClass::Tree, 8, 4) * 2.0
+        );
+        assert!(
+            avg_cost_server(GraphClass::Star, 8192, 4)
+                > 100.0 * avg_cost_server(GraphClass::Tree, 8192, 4)
+        );
     }
 }

@@ -61,19 +61,13 @@ impl Rekeyer<'_> {
             } else {
                 vec![singles[0].clone()] // needs only the new group key
             };
-            messages.push(RekeyMessage {
-                recipients: Recipients::Subgroup(child.label),
-                bundles,
-            });
+            messages.push(RekeyMessage { recipients: Recipients::Subgroup(child.label), bundles });
         }
 
         // Joiner unicast with the full new path.
         let joiner_targets: Vec<_> = path.iter().map(|p| (p.new_ref, &p.new_key)).collect();
         let b = self.bundle_for(&mut ops, ev.leaf_ref, &ev.leaf_key, &joiner_targets);
-        messages.push(RekeyMessage {
-            recipients: Recipients::User(ev.user),
-            bundles: vec![b],
-        });
+        messages.push(RekeyMessage { recipients: Recipients::User(ev.user), bundles: vec![b] });
         RekeyOutput { messages, ops }
     }
 
@@ -135,10 +129,7 @@ impl Rekeyer<'_> {
                     &[(path[0].new_ref, &path[0].new_key)],
                 )]
             };
-            messages.push(RekeyMessage {
-                recipients: Recipients::Subgroup(child.label),
-                bundles,
-            });
+            messages.push(RekeyMessage { recipients: Recipients::Subgroup(child.label), bundles });
         }
         RekeyOutput { messages, ops }
     }
@@ -173,10 +164,8 @@ mod tests {
         messages: &[RekeyMessage],
         root_label: crate::ids::KeyLabel,
     ) -> Option<SymmetricKey> {
-        let mut held: BTreeMap<_, _> = tree_keyset
-            .iter()
-            .map(|(r, k)| (r.label, (r.version, k.clone())))
-            .collect();
+        let mut held: BTreeMap<_, _> =
+            tree_keyset.iter().map(|(r, k)| (r.label, (r.version, k.clone()))).collect();
         loop {
             let mut progress = false;
             for m in messages {
@@ -236,10 +225,8 @@ mod tests {
     fn hybrid_leave_lets_every_survivor_recover_the_group_key() {
         let (mut tree, mut src, _) = tree_of(48, 3);
         // Capture each member's keyset before the leave.
-        let keysets: BTreeMap<UserId, _> = tree
-            .members()
-            .map(|u| (u, tree.keyset(u).unwrap()))
-            .collect();
+        let keysets: BTreeMap<UserId, _> =
+            tree.members().map(|u| (u, tree.keyset(u).unwrap())).collect();
         let victim = UserId(20);
         let ev = tree.leave(victim, &mut src).unwrap();
         let roots = tree.root_children();

@@ -98,10 +98,7 @@ mod tests {
     fn debug_formats() {
         assert_eq!(format!("{:?}", UserId(4)), "u4");
         assert_eq!(format!("{:?}", KeyLabel(7)), "k7");
-        assert_eq!(
-            format!("{:?}", KeyRef::new(KeyLabel(7), KeyVersion(2))),
-            "k7@v2"
-        );
+        assert_eq!(format!("{:?}", KeyRef::new(KeyLabel(7), KeyVersion(2))), "k7@v2");
     }
 
     #[test]

@@ -159,9 +159,7 @@ impl KeyGraph {
         self.user_edges
             .iter()
             .filter(|(_, direct)| {
-                direct
-                    .iter()
-                    .any(|&d| d == k || self.reachable_keys_from(d).contains(&k))
+                direct.iter().any(|&d| d == k || self.reachable_keys_from(d).contains(&k))
             })
             .map(|(&u, _)| u)
             .collect()
@@ -295,9 +293,8 @@ impl KeyGraph {
             .collect();
         let mut cover = BTreeSet::new();
         while !remaining.is_empty() {
-            let best = candidates
-                .iter()
-                .max_by_key(|(_, us)| us.intersection(&remaining).count())?;
+            let best =
+                candidates.iter().max_by_key(|(_, us)| us.intersection(&remaining).count())?;
             let gain = best.1.intersection(&remaining).count();
             if gain == 0 {
                 return None;
@@ -348,10 +345,7 @@ mod tests {
     fn figure1_usersets_match_paper() {
         let g = figure1();
         assert_eq!(g.userset(k(234)), [u(2), u(3), u(4)].into_iter().collect());
-        assert_eq!(
-            g.userset(k(1234)),
-            [u(1), u(2), u(3), u(4)].into_iter().collect()
-        );
+        assert_eq!(g.userset(k(1234)), [u(1), u(2), u(3), u(4)].into_iter().collect());
         assert_eq!(g.userset(k(1)), [u(1)].into_iter().collect());
     }
 

@@ -55,6 +55,7 @@ pub mod ids;
 pub mod keygraph;
 pub mod merkle;
 pub mod rekey;
+pub mod serial;
 pub mod star;
 pub mod tree;
 

@@ -162,7 +162,8 @@ mod tests {
     fn odd_batch_sizes() {
         let kp = keypair();
         for n in [2usize, 3, 5, 7, 19] {
-            let owned: Vec<Vec<u8>> = (0..n).map(|i| format!("rekey message {i}").into_bytes()).collect();
+            let owned: Vec<Vec<u8>> =
+                (0..n).map(|i| format!("rekey message {i}").into_bytes()).collect();
             let msgs: Vec<&[u8]> = owned.iter().map(|m| m.as_slice()).collect();
             let batch = sign_batch(&kp.private, HashAlg::Md5, &msgs).unwrap();
             for (i, m) in msgs.iter().enumerate() {
@@ -230,14 +231,8 @@ mod tests {
         let kp = keypair();
         let b1 = sign_batch(&kp.private, HashAlg::Md5, &[b"a", b"b"]).unwrap();
         let b2 = sign_batch(&kp.private, HashAlg::Md5, &[b"c", b"d"]).unwrap();
-        assert!(verify_message(
-            kp.public(),
-            HashAlg::Md5,
-            b"a",
-            &b1.paths[0],
-            &b2.root_signature
-        )
-        .is_err());
+        assert!(verify_message(kp.public(), HashAlg::Md5, b"a", &b1.paths[0], &b2.root_signature)
+            .is_err());
     }
 
     #[test]

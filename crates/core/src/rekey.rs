@@ -24,7 +24,7 @@
 //! against reality.
 
 use crate::ids::{KeyLabel, KeyRef, UserId};
-use crate::tree::{JoinEvent, LeaveEvent};
+use crate::tree::{JoinEvent, LeaveEvent, PathNode};
 use kg_crypto::cbc::CbcCipher;
 use kg_crypto::des::{Des, TripleDes};
 use kg_crypto::{BlockCipher, CryptoError, KeySource, SymmetricKey};
@@ -189,8 +189,7 @@ impl KeyCipher {
                 c.encrypt(plaintext, iv)
             }
             KeyCipher::TripleDesCbc => {
-                let c =
-                    CbcCipher::new(TripleDes::new(key.material()).expect("checked key length"));
+                let c = CbcCipher::new(TripleDes::new(key.material()).expect("checked key length"));
                 c.encrypt(plaintext, iv)
             }
         }
@@ -287,7 +286,9 @@ impl<'a> Rekeyer<'a> {
                 let singles: Vec<KeyBundle> = path
                     .iter()
                     .map(|p| {
-                        self.bundle_dedup_count(&mut ops, p.old_ref, &p.old_key, p.new_ref, &p.new_key)
+                        self.bundle_dedup_count(
+                            &mut ops, p.old_ref, &p.old_key, p.new_ref, &p.new_key,
+                        )
                     })
                     .collect();
                 // Message for class i carries {K'_0}_{K_0} … {K'_i}_{K_i}.
@@ -350,6 +351,25 @@ impl<'a> Rekeyer<'a> {
         self.bundle(ops, encrypting_ref, encrypting_key, &t)
     }
 
+    /// Construct the rekey message for a group-key refresh (key-version
+    /// bump with no membership change): the new root key encrypted under
+    /// the old one, multicast to the whole group. Every strategy degrades
+    /// to this single message when only the root changes.
+    pub fn refresh(&mut self, path: &PathNode) -> RekeyOutput {
+        let mut ops = OpCounts { keys_generated: 1, ..OpCounts::default() };
+        let b = self.bundle_dedup_count(
+            &mut ops,
+            path.old_ref,
+            &path.old_key,
+            path.new_ref,
+            &path.new_key,
+        );
+        RekeyOutput {
+            messages: vec![RekeyMessage { recipients: Recipients::Group, bundles: vec![b] }],
+            ops,
+        }
+    }
+
     /// Construct the rekey messages for a leave under `strategy`.
     ///
     /// Returns an empty output when the group became empty (no recipients).
@@ -368,10 +388,8 @@ impl<'a> Rekeyer<'a> {
                 // {K'_i, K'_{i-1} … K'_0} under y's key, to userset(y).
                 for i in 0..=j {
                     // New keys of x_i and all its ancestors, node-first.
-                    let targets: Vec<(KeyRef, &SymmetricKey)> = (0..=i)
-                        .rev()
-                        .map(|l| (path[l].new_ref, &path[l].new_key))
-                        .collect();
+                    let targets: Vec<(KeyRef, &SymmetricKey)> =
+                        (0..=i).rev().map(|l| (path[l].new_ref, &path[l].new_key)).collect();
                     for sib in &ev.siblings[i] {
                         let b = self.bundle(&mut ops, sib.key_ref, &sib.key, &targets);
                         messages.push(RekeyMessage {
@@ -481,9 +499,9 @@ mod tests {
         let height = h(&tree);
         assert_eq!(height, 3);
         for (strategy, expected_msgs) in [
-            (Strategy::UserOriented, height),      // h−1 classes + joiner
-            (Strategy::KeyOriented, height),       // same recipient classes
-            (Strategy::GroupOriented, 2),          // one multicast + joiner
+            (Strategy::UserOriented, height), // h−1 classes + joiner
+            (Strategy::KeyOriented, height),  // same recipient classes
+            (Strategy::GroupOriented, 2),     // one multicast + joiner
         ] {
             let mut ivs = HmacDrbg::from_seed(1);
             let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
@@ -580,9 +598,7 @@ mod tests {
             // The joiner can decrypt it with its individual key.
             let bundle = &joiner_msg.bundles[0];
             assert_eq!(bundle.encrypted_with, ev.leaf_ref);
-            let plain = KeyCipher::des_cbc()
-                .decrypt(&ik, &bundle.iv, &bundle.ciphertext)
-                .unwrap();
+            let plain = KeyCipher::des_cbc().decrypt(&ik, &bundle.iv, &bundle.ciphertext).unwrap();
             assert_eq!(plain.len(), ev.path.len() * 8);
             // Each 8-byte slice is the corresponding new key.
             for (i, p) in ev.path.iter().enumerate() {
@@ -661,6 +677,25 @@ mod tests {
     }
 
     #[test]
+    fn refresh_message_decrypts_under_old_group_key() {
+        let (mut tree, mut src) = figure5_tree();
+        let (_, old_key) = tree.group_key();
+        let path = tree.refresh_group_key(&mut src);
+        let mut ivs = HmacDrbg::from_seed(13);
+        let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+        let out = rk.refresh(&path);
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.ops.key_encryptions, 1);
+        let msg = &out.messages[0];
+        assert_eq!(msg.recipients, Recipients::Group);
+        let b = &msg.bundles[0];
+        assert_eq!(b.encrypted_with, path.old_ref);
+        assert_eq!(b.targets, vec![path.new_ref]);
+        let plain = KeyCipher::des_cbc().decrypt(&old_key, &b.iv, &b.ciphertext).unwrap();
+        assert_eq!(plain, tree.group_key().1.material());
+    }
+
+    #[test]
     fn strategy_parsing() {
         assert_eq!("user".parse::<Strategy>().unwrap(), Strategy::UserOriented);
         assert_eq!("key-oriented".parse::<Strategy>().unwrap(), Strategy::KeyOriented);
@@ -682,11 +717,8 @@ mod tests {
         let mut ivs = HmacDrbg::from_seed(12);
         let mut rk = Rekeyer::new(KeyCipher::TripleDesCbc, &mut ivs);
         let out = rk.join(&ev, Strategy::GroupOriented);
-        let joiner_msg = out
-            .messages
-            .iter()
-            .find(|m| matches!(m.recipients, Recipients::User(_)))
-            .unwrap();
+        let joiner_msg =
+            out.messages.iter().find(|m| matches!(m.recipients, Recipients::User(_))).unwrap();
         let b = &joiner_msg.bundles[0];
         let plain = KeyCipher::TripleDesCbc.decrypt(&ik, &b.iv, &b.ciphertext).unwrap();
         assert_eq!(plain.len(), ev.path.len() * 24);

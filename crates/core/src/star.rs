@@ -202,22 +202,15 @@ mod tests {
         let out = star.join(UserId(100), ik.clone(), &mut src, &mut ivs).unwrap();
         let (_, new_gk) = star.group_key();
         // Existing members decrypt the multicast with the old group key.
-        let mc = out
-            .messages
-            .iter()
-            .find(|m| m.recipients == Recipients::Group)
-            .unwrap();
+        let mc = out.messages.iter().find(|m| m.recipients == Recipients::Group).unwrap();
         assert_eq!(mc.bundles[0].encrypted_with, old_ref);
         let plain = KeyCipher::des_cbc()
             .decrypt(&old_gk, &mc.bundles[0].iv, &mc.bundles[0].ciphertext)
             .unwrap();
         assert_eq!(plain, new_gk.material());
         // The joiner decrypts its unicast with its individual key.
-        let uc = out
-            .messages
-            .iter()
-            .find(|m| m.recipients == Recipients::User(UserId(100)))
-            .unwrap();
+        let uc =
+            out.messages.iter().find(|m| m.recipients == Recipients::User(UserId(100))).unwrap();
         let plain = KeyCipher::des_cbc()
             .decrypt(&ik, &uc.bundles[0].iv, &uc.bundles[0].ciphertext)
             .unwrap();
@@ -236,16 +229,15 @@ mod tests {
         for msg in &out.messages {
             let b = &msg.bundles[0];
             for k in [&old_gk, &iks[0]] {
-                if let Ok(plain) = KeyCipher::des_cbc().decrypt(k, &b.iv, &b.ciphertext) { assert_ne!(plain, new_gk.material()) }
+                if let Ok(plain) = KeyCipher::des_cbc().decrypt(k, &b.iv, &b.ciphertext) {
+                    assert_ne!(plain, new_gk.material())
+                }
             }
         }
         // Remaining members each have exactly one message they can open.
         for i in 1..4u64 {
-            let msg = out
-                .messages
-                .iter()
-                .find(|m| m.recipients == Recipients::User(UserId(i)))
-                .unwrap();
+            let msg =
+                out.messages.iter().find(|m| m.recipients == Recipients::User(UserId(i))).unwrap();
             let plain = KeyCipher::des_cbc()
                 .decrypt(&iks[i as usize], &msg.bundles[0].iv, &msg.bundles[0].ciphertext)
                 .unwrap();

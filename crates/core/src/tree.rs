@@ -243,11 +243,7 @@ impl KeyTree {
         // A root-to-user path crosses every k-node from the user's leaf to
         // the root plus the final u-node edge, so the edge count equals the
         // number of k-nodes on the path (h = 2 for a star: leaf + root).
-        self.users
-            .values()
-            .map(|&leaf| self.depth_knodes(leaf))
-            .max()
-            .unwrap_or(1)
+        self.users.values().map(|&leaf| self.depth_knodes(leaf)).max().unwrap_or(1)
     }
 
     /// Number of k-nodes on the path from `node` to the root, inclusive.
@@ -288,10 +284,7 @@ impl KeyTree {
     pub fn userset_except(&self, include: KeyLabel, exclude: KeyLabel) -> Vec<UserId> {
         let excluded: std::collections::BTreeSet<UserId> =
             self.userset(exclude).into_iter().collect();
-        self.userset(include)
-            .into_iter()
-            .filter(|u| !excluded.contains(u))
-            .collect()
+        self.userset(include).into_iter().filter(|u| !excluded.contains(u)).collect()
     }
 
     /// The root's children with their current keys — the top-level
@@ -443,17 +436,16 @@ impl KeyTree {
     }
 
     /// Remove `u`; rekey the path from the leaving point to the root.
-    pub fn leave(&mut self, u: UserId, source: &mut dyn KeySource) -> Result<LeaveEvent, TreeError> {
+    pub fn leave(
+        &mut self,
+        u: UserId,
+        source: &mut dyn KeySource,
+    ) -> Result<LeaveEvent, TreeError> {
         let leaf = self.users.remove(&u).ok_or(TreeError::NotAMember(u))?;
         let removed_leaf = self.node(leaf).label;
         let parent = self.node(leaf).parent.expect("user leaf has a parent");
         // Unlink and free the leaf.
-        let pos = self
-            .node(parent)
-            .children
-            .iter()
-            .position(|&c| c == leaf)
-            .expect("child link");
+        let pos = self.node(parent).children.iter().position(|&c| c == leaf).expect("child link");
         self.node_mut(parent).children.remove(pos);
         self.dealloc(leaf);
         for anc in self.ancestors_inclusive(parent) {
@@ -468,12 +460,8 @@ impl KeyTree {
         if self.node(parent).children.len() == 1 && parent != self.root {
             let only_child = self.node(parent).children[0];
             let grand = self.node(parent).parent.expect("non-root");
-            let pos = self
-                .node(grand)
-                .children
-                .iter()
-                .position(|&c| c == parent)
-                .expect("child link");
+            let pos =
+                self.node(grand).children.iter().position(|&c| c == parent).expect("child link");
             self.node_mut(grand).children[pos] = only_child;
             self.node_mut(only_child).parent = Some(grand);
             self.dealloc(parent);
@@ -486,7 +474,12 @@ impl KeyTree {
             let root = self.node_mut(self.root);
             root.version = root.version.next();
             root.key = new_key;
-            return Ok(LeaveEvent { user: u, removed_leaf, path: Vec::new(), siblings: Vec::new() });
+            return Ok(LeaveEvent {
+                user: u,
+                removed_leaf,
+                path: Vec::new(),
+                siblings: Vec::new(),
+            });
         }
 
         // Rekey leaving point → root, capturing sibling children at each
@@ -535,6 +528,29 @@ impl KeyTree {
         path.reverse();
         siblings.reverse();
         Ok(LeaveEvent { user: u, removed_leaf, path, siblings })
+    }
+
+    /// Replace the group key without any membership change — a
+    /// key-version bump. Used for periodic rotation and to force a fresh
+    /// group key after crash recovery. The returned [`PathNode`] carries
+    /// the old root key (under which the new one may be encrypted for the
+    /// current membership) and the new root key.
+    pub fn refresh_group_key(&mut self, source: &mut dyn KeySource) -> PathNode {
+        let (old_ref, old_key) = {
+            let n = self.node(self.root);
+            (KeyRef::new(n.label, n.version), n.key.clone())
+        };
+        let new_key = source.generate_key(self.key_len);
+        let root = self.node_mut(self.root);
+        root.version = root.version.next();
+        root.key = new_key.clone();
+        PathNode {
+            label: root.label,
+            new_ref: KeyRef::new(root.label, root.version),
+            new_key,
+            old_ref,
+            old_key,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -606,9 +622,7 @@ impl KeyTree {
     }
 
     fn find_label(&self, label: KeyLabel) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.as_ref().is_some_and(|n| n.label == label))
+        self.nodes.iter().position(|n| n.as_ref().is_some_and(|n| n.label == label))
     }
 
     pub(crate) fn find_join_slot(&self) -> JoinSlot {
@@ -834,10 +848,8 @@ mod tests {
         }
         // Leaving one member of the 2-subgroup must contract the subgroup
         // node away: everyone back to 2 keys.
-        let three_key_user = (1..=3)
-            .map(UserId)
-            .find(|&u| tree.keyset(u).unwrap().len() == 3)
-            .unwrap();
+        let three_key_user =
+            (1..=3).map(UserId).find(|&u| tree.keyset(u).unwrap().len() == 3).unwrap();
         tree.leave(three_key_user, &mut src).unwrap();
         tree.check_invariants();
         for u in (1..=3).map(UserId).filter(|&u| tree.is_member(u)) {
@@ -858,6 +870,34 @@ mod tests {
         assert_eq!(tree.key_count(), 1);
         let (gk_after, _) = tree.group_key();
         assert!(gk_after.version > gk_before.version, "root key must still rotate");
+    }
+
+    #[test]
+    fn refresh_rotates_root_only() {
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=9 {
+            join(&mut tree, &mut src, i);
+        }
+        let (gk_before, key_before) = tree.group_key();
+        let keysets_before: Vec<_> = (1..=9).map(|i| tree.keyset(UserId(i)).unwrap()).collect();
+        let path = tree.refresh_group_key(&mut src);
+        tree.check_invariants();
+        let (gk_after, key_after) = tree.group_key();
+        assert_eq!(path.old_ref, gk_before);
+        assert_eq!(path.old_key, key_before);
+        assert_eq!(path.new_ref, gk_after);
+        assert_eq!(path.new_key, key_after);
+        assert_eq!(gk_after.label, gk_before.label);
+        assert!(gk_after.version > gk_before.version);
+        assert_ne!(key_after, key_before);
+        // Every non-root key is untouched.
+        for (i, before) in (1..=9).zip(keysets_before) {
+            let after = tree.keyset(UserId(i)).unwrap();
+            assert_eq!(before.len(), after.len());
+            for (b, a) in before.iter().zip(&after).take(before.len() - 1) {
+                assert_eq!(b, a);
+            }
+        }
     }
 
     #[test]
@@ -885,10 +925,7 @@ mod tests {
             }
             let h = tree.height();
             let ideal = 1 + (n as f64).log(d as f64).ceil() as usize;
-            assert!(
-                h <= ideal + 1,
-                "degree {d}: height {h} too far above ideal {ideal}"
-            );
+            assert!(h <= ideal + 1, "degree {d}: height {h} too far above ideal {ideal}");
         }
     }
 

@@ -200,8 +200,7 @@ impl BigUint {
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i64;
         for i in 0..self.limbs.len() {
-            let mut diff =
-                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            let mut diff = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
             if diff < 0 {
                 diff += 1 << 32;
                 borrow = 1;
@@ -384,9 +383,7 @@ impl BigUint {
             let numerator = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut qhat = numerator / v_top;
             let mut rhat = numerator % v_top;
-            while qhat >= 1 << 32
-                || qhat * v_second > ((rhat << 32) | un[j + n - 2] as u64)
-            {
+            while qhat >= 1 << 32 || qhat * v_second > ((rhat << 32) | un[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1 << 32 {
@@ -654,10 +651,9 @@ mod tests {
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1
         let m = BigUint::from_hex(&"f".repeat(32)).unwrap();
         let sq = m.mul(&m);
-        let expected = BigUint::from_hex(
-            "fffffffffffffffffffffffffffffffe00000000000000000000000000000001",
-        )
-        .unwrap();
+        let expected =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffe00000000000000000000000000000001")
+                .unwrap();
         assert_eq!(sq, expected);
     }
 

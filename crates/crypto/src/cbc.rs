@@ -66,7 +66,10 @@ impl<C: BlockCipher> CbcCipher<C> {
             return Err(CryptoError::InvalidIvLength { expected: bs, actual: iv.len() });
         }
         if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(bs) {
-            return Err(CryptoError::InvalidCiphertextLength { block_size: bs, actual: ciphertext.len() });
+            return Err(CryptoError::InvalidCiphertextLength {
+                block_size: bs,
+                actual: ciphertext.len(),
+            });
         }
         let mut data = ciphertext.to_vec();
         let mut prev = iv.to_vec();

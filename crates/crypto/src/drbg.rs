@@ -38,6 +38,28 @@ impl HmacDrbg {
         HmacDrbg::new(&seed.to_be_bytes())
     }
 
+    /// Export the internal `(K, V)` working state.
+    ///
+    /// Together with [`from_state`](Self::from_state) this lets a
+    /// persistence layer checkpoint a generator mid-stream and resume it
+    /// byte-for-byte — required for deterministic crash recovery, where
+    /// replaying logged operations must regenerate exactly the keys the
+    /// pre-crash server generated. The state is as sensitive as the keys
+    /// it will produce; callers must store it accordingly.
+    pub fn state(&self) -> ([u8; 32], [u8; 32]) {
+        let mut k = [0u8; DIGEST_LEN];
+        let mut v = [0u8; DIGEST_LEN];
+        k.copy_from_slice(&self.k);
+        v.copy_from_slice(&self.v);
+        (k, v)
+    }
+
+    /// Rebuild a generator from a state exported by [`state`](Self::state).
+    /// The restored instance continues the original's output stream.
+    pub fn from_state(k: [u8; 32], v: [u8; 32]) -> Self {
+        HmacDrbg { k: k.to_vec(), v: v.to_vec() }
+    }
+
     fn update(&mut self, provided: Option<&[u8]>) {
         let mut material = self.v.clone();
         material.push(0x00);
@@ -167,6 +189,16 @@ mod tests {
         let mut buf = [0u8; 7];
         d.fill_bytes(&mut buf);
         assert_ne!(buf, [0u8; 7]);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut original = HmacDrbg::from_seed(42);
+        original.generate(100); // advance mid-stream
+        let (k, v) = original.state();
+        let mut restored = HmacDrbg::from_state(k, v);
+        assert_eq!(original.generate(64), restored.generate(64));
+        assert_eq!(original.generate(7), restored.generate(7));
     }
 
     #[test]

@@ -88,9 +88,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(CryptoError::BadPadding, CryptoError::BadPadding);
-        assert_ne!(
-            CryptoError::BadPadding,
-            CryptoError::MalformedEncoding("x")
-        );
+        assert_ne!(CryptoError::BadPadding, CryptoError::MalformedEncoding("x"));
     }
 }

@@ -85,18 +85,12 @@ mod tests {
     /// RFC 2202 HMAC-MD5 test vectors.
     #[test]
     fn rfc2202_hmac_md5() {
-        assert_eq!(
-            hex(&hmac::<Md5>(&[0x0b; 16], b"Hi There")),
-            "9294727a3638bb1c13f48ef8158bfc9d"
-        );
+        assert_eq!(hex(&hmac::<Md5>(&[0x0b; 16], b"Hi There")), "9294727a3638bb1c13f48ef8158bfc9d");
         assert_eq!(
             hex(&hmac::<Md5>(b"Jefe", b"what do ya want for nothing?")),
             "750c783e6ab0b503eaa86e310a5db738"
         );
-        assert_eq!(
-            hex(&hmac::<Md5>(&[0xaa; 16], &[0xdd; 50])),
-            "56be34521d144c88dbb8c733f0e8b3f6"
-        );
+        assert_eq!(hex(&hmac::<Md5>(&[0xaa; 16], &[0xdd; 50])), "56be34521d144c88dbb8c733f0e8b3f6");
         // 80-byte key (> block handling requires key hashing only above 64).
         assert_eq!(
             hex(&hmac::<Md5>(

@@ -10,9 +10,9 @@ use rand::RngCore;
 
 /// Small primes used for fast trial division before Miller–Rabin.
 const SMALL_PRIMES: [u32; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
-    89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179,
-    181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Miller–Rabin probabilistic primality test with `rounds` random bases.
@@ -123,10 +123,7 @@ mod tests {
     fn small_primes_recognized() {
         let mut r = rng();
         for p in [2u64, 3, 5, 7, 11, 13, 101, 251, 257, 65537, 1_000_000_007] {
-            assert!(
-                is_probable_prime(&BigUint::from_u64(p), 16, &mut r),
-                "{p} should be prime"
-            );
+            assert!(is_probable_prime(&BigUint::from_u64(p), 16, &mut r), "{p} should be prime");
         }
     }
 

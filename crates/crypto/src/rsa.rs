@@ -19,17 +19,16 @@ use rand::RngCore;
 
 /// ASN.1 DER `DigestInfo` prefix for MD5 (RFC 8017 §9.2 notes).
 const MD5_PREFIX: &[u8] = &[
-    0x30, 0x20, 0x30, 0x0c, 0x06, 0x08, 0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x02, 0x05,
-    0x05, 0x00, 0x04, 0x10,
+    0x30, 0x20, 0x30, 0x0c, 0x06, 0x08, 0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x02, 0x05, 0x05, 0x00,
+    0x04, 0x10,
 ];
 /// ASN.1 DER `DigestInfo` prefix for SHA-1.
-const SHA1_PREFIX: &[u8] = &[
-    0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14,
-];
+const SHA1_PREFIX: &[u8] =
+    &[0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14];
 /// ASN.1 DER `DigestInfo` prefix for SHA-256.
 const SHA256_PREFIX: &[u8] = &[
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// Digest algorithm identifier for signature encoding.
@@ -132,15 +131,7 @@ impl RsaKeyPair {
                 (q.clone(), p, d_q, d_p, q_inv)
             };
             return Ok(RsaKeyPair {
-                private: RsaPrivateKey {
-                    public: RsaPublicKey { n, e },
-                    d,
-                    p,
-                    q,
-                    d_p,
-                    d_q,
-                    q_inv,
-                },
+                private: RsaPrivateKey { public: RsaPublicKey { n, e }, d, p, q, d_p, d_q, q_inv },
             });
         }
         Err(CryptoError::KeyGenerationFailed)
@@ -159,7 +150,12 @@ impl RsaPublicKey {
     }
 
     /// Verify a PKCS#1 v1.5 signature over `message` hashed with `alg`.
-    pub fn verify(&self, alg: HashAlg, message: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+    pub fn verify(
+        &self,
+        alg: HashAlg,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<(), CryptoError> {
         let digest = alg.hash(message);
         self.verify_digest(alg, &digest, signature)
     }
@@ -220,11 +216,7 @@ impl RsaPrivateKey {
         let m2 = m.modpow(&self.d_q, &self.q);
         // h = q_inv * (m1 - m2) mod p  (lift m2 into [0,p) difference first)
         let m2_mod_p = m2.rem(&self.p);
-        let diff = if m1 >= m2_mod_p {
-            m1.sub(&m2_mod_p)
-        } else {
-            m1.add(&self.p).sub(&m2_mod_p)
-        };
+        let diff = if m1 >= m2_mod_p { m1.sub(&m2_mod_p) } else { m1.add(&self.p).sub(&m2_mod_p) };
         let h = self.q_inv.mul(&diff).rem(&self.p);
         m2.add(&h.mul(&self.q))
     }

@@ -260,9 +260,7 @@ impl IolusSystem {
         let home = self.user_home.get(&user)?;
         let (iv, ct) = msg.wrapped_keys.get(home)?;
         let mk = self.cipher.decrypt(&self.agents[home.0].subgroup_key, iv, ct).ok()?;
-        self.cipher
-            .decrypt(&SymmetricKey::new(mk), &msg.payload_iv, &msg.payload_ct)
-            .ok()
+        self.cipher.decrypt(&SymmetricKey::new(mk), &msg.payload_iv, &msg.payload_ct).ok()
     }
 
     /// Simulate a departed member attempting to read `msg` with the
@@ -275,9 +273,7 @@ impl IolusSystem {
     ) -> Option<Vec<u8>> {
         let (iv, ct) = msg.wrapped_keys.get(&old_home)?;
         let mk = self.cipher.decrypt(stale_subgroup_key, iv, ct).ok()?;
-        self.cipher
-            .decrypt(&SymmetricKey::new(mk), &msg.payload_iv, &msg.payload_ct)
-            .ok()
+        self.cipher.decrypt(&SymmetricKey::new(mk), &msg.payload_iv, &msg.payload_ct).ok()
     }
 
     /// The current subgroup key of an agent (for secrecy audits).
@@ -310,7 +306,7 @@ mod tests {
         let (mut sys, mut src) = system(2, 4, 16);
         let first = sys.join(UserId(0), &mut src).unwrap();
         assert_eq!(first.encryptions, 1); // no prior members in that subgroup
-        // Fill so some subgroup gets a second member.
+                                          // Fill so some subgroup gets a second member.
         for i in 1..=4 {
             sys.join(UserId(i), &mut src).unwrap();
         }

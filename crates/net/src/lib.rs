@@ -42,4 +42,5 @@
 pub mod reliable;
 pub mod sim;
 
+pub use reliable::{FrameError, ReliableMailbox};
 pub use sim::{Datagram, EndpointId, MulticastAddr, NetConfig, SimNetwork};

@@ -20,6 +20,34 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 const TAG_DATA: u8 = 0;
 const TAG_ACK: u8 = 1;
 
+/// Why an inbound frame was rejected. The datagram layer can hand a
+/// mailbox anything — stray traffic, corruption the CRC-less UDP model
+/// lets through — so rejection is an expected event, recorded rather than
+/// silently discarded (and never a panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Frame shorter than the 9-byte tag + sequence header.
+    Truncated {
+        /// Actual frame length.
+        len: usize,
+    },
+    /// The tag byte is neither DATA nor ACK.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { len } => {
+                write!(f, "frame of {len} bytes is shorter than the 9-byte header")
+            }
+            FrameError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 /// Retransmission timeout in microseconds of virtual time.
 pub const RTO_US: u64 = 5_000;
 
@@ -50,6 +78,8 @@ pub struct ReliableMailbox {
     delivered: VecDeque<(EndpointId, Bytes)>,
     /// Messages that exhausted [`MAX_RETRIES`].
     failed: Vec<u64>,
+    /// Malformed inbound frames, with their claimed sender.
+    rejected: Vec<(EndpointId, FrameError)>,
 }
 
 impl ReliableMailbox {
@@ -62,6 +92,7 @@ impl ReliableMailbox {
             seen: BTreeMap::new(),
             delivered: VecDeque::new(),
             failed: Vec::new(),
+            rejected: Vec::new(),
         }
     }
 
@@ -91,31 +122,34 @@ impl ReliableMailbox {
     pub fn poll(&mut self, net: &mut SimNetwork) {
         // Inbound.
         while let Some(dg) = net.recv(self.ep) {
-            let Some((tag, seq, body)) = decode(&dg.payload) else { continue };
-            match tag {
-                TAG_DATA => {
-                    let entry = self.seen.entry(dg.from).or_insert_with(|| (0, BTreeSet::new()));
-                    let fresh = seq >= entry.0 && entry.1.insert(seq);
-                    // Compact: advance the low-water mark over a dense prefix.
-                    while entry.1.remove(&entry.0) {
-                        entry.0 += 1;
-                    }
-                    // Always ack, even duplicates (the ack may have been lost).
-                    let ack = encode_ack(seq);
-                    net.send_unicast(self.ep, dg.from, ack);
-                    if fresh {
-                        self.delivered.push_back((dg.from, body));
+            let (tag, seq, body) = match decode(&dg.payload) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    self.rejected.push((dg.from, e));
+                    continue;
+                }
+            };
+            if tag == TAG_DATA {
+                let entry = self.seen.entry(dg.from).or_insert_with(|| (0, BTreeSet::new()));
+                let fresh = seq >= entry.0 && entry.1.insert(seq);
+                // Compact: advance the low-water mark over a dense prefix.
+                while entry.1.remove(&entry.0) {
+                    entry.0 += 1;
+                }
+                // Always ack, even duplicates (the ack may have been lost).
+                let ack = encode_ack(seq);
+                net.send_unicast(self.ep, dg.from, ack);
+                if fresh {
+                    self.delivered.push_back((dg.from, body));
+                }
+            } else {
+                // TAG_ACK — `decode` rejected every other tag.
+                for p in &mut self.pending {
+                    if p.seq == seq {
+                        p.outstanding.remove(&dg.from);
                     }
                 }
-                TAG_ACK => {
-                    for p in &mut self.pending {
-                        if p.seq == seq {
-                            p.outstanding.remove(&dg.from);
-                        }
-                    }
-                    self.pending.retain(|p| !p.outstanding.is_empty());
-                }
-                _ => {}
+                self.pending.retain(|p| !p.outstanding.is_empty());
             }
         }
         // Timeouts.
@@ -154,6 +188,11 @@ impl ReliableMailbox {
     pub fn failed(&self) -> &[u64] {
         &self.failed
     }
+
+    /// Malformed frames received so far, with their claimed senders.
+    pub fn rejected(&self) -> &[(EndpointId, FrameError)] {
+        &self.rejected
+    }
 }
 
 fn encode_data(seq: u64, payload: &[u8]) -> Bytes {
@@ -171,13 +210,16 @@ fn encode_ack(seq: u64) -> Bytes {
     Bytes::from(out)
 }
 
-fn decode(frame: &[u8]) -> Option<(u8, u64, Bytes)> {
-    if frame.len() < 9 {
-        return None;
+fn decode(frame: &[u8]) -> Result<(u8, u64, Bytes), FrameError> {
+    let (Some(&tag), Some(seq_bytes)) = (frame.first(), frame.get(1..9)) else {
+        return Err(FrameError::Truncated { len: frame.len() });
+    };
+    if tag != TAG_DATA && tag != TAG_ACK {
+        return Err(FrameError::BadTag(tag));
     }
-    let tag = frame[0];
-    let seq = u64::from_be_bytes(frame[1..9].try_into().ok()?);
-    Some((tag, seq, Bytes::copy_from_slice(&frame[9..])))
+    let mut seq = [0u8; 8];
+    seq.copy_from_slice(seq_bytes);
+    Ok((tag, u64::from_be_bytes(seq), Bytes::copy_from_slice(&frame[9..])))
 }
 
 /// Drive a set of mailboxes until all sends are acked or abandoned.
@@ -247,10 +289,8 @@ mod tests {
 
     #[test]
     fn duplicates_suppressed() {
-        let (mut net, mut a, mut b) = pair(NetConfig {
-            duplicate_probability: 1.0,
-            ..NetConfig::default()
-        });
+        let (mut net, mut a, mut b) =
+            pair(NetConfig { duplicate_probability: 1.0, ..NetConfig::default() });
         a.send(&mut net, &[b.endpoint()], Bytes::from_static(b"once"));
         pump(&mut net, &mut [&mut a, &mut b], 5);
         assert!(b.recv().is_some());
@@ -313,14 +353,21 @@ mod tests {
     }
 
     #[test]
-    fn short_frames_ignored() {
+    fn malformed_frames_are_rejected_with_typed_errors() {
         let mut net = SimNetwork::new(NetConfig::default());
         let s = net.endpoint();
         let r = net.endpoint();
         let mut mr = ReliableMailbox::new(r);
+        // Too short for the tag + sequence header.
         net.send_unicast(s, r, Bytes::from_static(b"tiny"));
+        // Long enough, but an unknown tag byte.
+        net.send_unicast(s, r, Bytes::from_static(&[7, 0, 0, 0, 0, 0, 0, 0, 0, 1]));
         net.run_until_quiet();
         mr.poll(&mut net);
         assert!(mr.recv().is_none());
+        assert_eq!(
+            mr.rejected(),
+            &[(s, FrameError::Truncated { len: 4 }), (s, FrameError::BadTag(7))]
+        );
     }
 }

@@ -137,6 +137,10 @@ pub struct SimNetwork {
     endpoints: BTreeMap<EndpointId, Endpoint>,
     groups: BTreeMap<MulticastAddr, BTreeSet<EndpointId>>,
     in_flight: BinaryHeap<InFlight>,
+    /// Crashed endpoints (fault injection): they keep their id and group
+    /// memberships, but cannot send, and traffic addressed to them while
+    /// down is silently dropped — like a host that lost power.
+    down: BTreeSet<EndpointId>,
 }
 
 impl SimNetwork {
@@ -153,6 +157,7 @@ impl SimNetwork {
             endpoints: BTreeMap::new(),
             groups: BTreeMap::new(),
             in_flight: BinaryHeap::new(),
+            down: BTreeSet::new(),
         }
     }
 
@@ -165,16 +170,41 @@ impl SimNetwork {
     pub fn endpoint(&mut self) -> EndpointId {
         let id = EndpointId(self.next_endpoint);
         self.next_endpoint += 1;
-        self.endpoints.insert(id, Endpoint { inbox: VecDeque::new(), stats: TrafficStats::default() });
+        self.endpoints
+            .insert(id, Endpoint { inbox: VecDeque::new(), stats: TrafficStats::default() });
         id
     }
 
     /// Remove an endpoint; undelivered traffic to it is dropped.
     pub fn close(&mut self, ep: EndpointId) {
         self.endpoints.remove(&ep);
+        self.down.remove(&ep);
         for members in self.groups.values_mut() {
             members.remove(&ep);
         }
+    }
+
+    /// Crash `ep`: its inbox is lost, in-flight and future traffic to it
+    /// is dropped, and sends from it are discarded until [`restart`].
+    /// Group memberships persist (the routers don't know the host died).
+    ///
+    /// [`restart`]: SimNetwork::restart
+    pub fn crash(&mut self, ep: EndpointId) {
+        if let Some(e) = self.endpoints.get_mut(&ep) {
+            e.inbox.clear();
+            self.down.insert(ep);
+        }
+    }
+
+    /// Bring a crashed endpoint back. Nothing sent while it was down is
+    /// recovered — the process must resynchronise at a higher layer.
+    pub fn restart(&mut self, ep: EndpointId) {
+        self.down.remove(&ep);
+    }
+
+    /// Whether `ep` is currently crashed.
+    pub fn is_down(&self, ep: EndpointId) -> bool {
+        self.down.contains(&ep)
     }
 
     /// Allocate a multicast group address.
@@ -234,6 +264,9 @@ impl SimNetwork {
     }
 
     fn record_send(&mut self, from: EndpointId, len: usize) {
+        if self.down.contains(&from) {
+            return;
+        }
         if let Some(e) = self.endpoints.get_mut(&from) {
             e.stats.datagrams_sent += 1;
             e.stats.bytes_sent += len as u64;
@@ -241,6 +274,9 @@ impl SimNetwork {
     }
 
     fn enqueue_copy(&mut self, dest: EndpointId, datagram: Datagram) {
+        if self.down.contains(&datagram.from) {
+            return;
+        }
         if self.rng.gen_bool(self.config.loss_probability) {
             return;
         }
@@ -269,6 +305,9 @@ impl SimNetwork {
                 break;
             }
             let item = self.in_flight.pop().expect("peeked");
+            if self.down.contains(&item.dest) {
+                continue;
+            }
             if let Some(ep) = self.endpoints.get_mut(&item.dest) {
                 ep.stats.datagrams_received += 1;
                 ep.stats.bytes_received += item.datagram.payload.len() as u64;
@@ -439,10 +478,8 @@ mod tests {
 
     #[test]
     fn duplication_delivers_extra_copies() {
-        let mut net = SimNetwork::new(NetConfig {
-            duplicate_probability: 1.0,
-            ..NetConfig::default()
-        });
+        let mut net =
+            SimNetwork::new(NetConfig { duplicate_probability: 1.0, ..NetConfig::default() });
         let s = net.endpoint();
         let r = net.endpoint();
         net.send_unicast(s, r, Bytes::from_static(b"x"));
@@ -494,6 +531,64 @@ mod tests {
         assert_eq!(net.now_us(), 100);
         net.advance(0);
         assert_eq!(net.now_us(), 100);
+    }
+
+    #[test]
+    fn crashed_endpoint_loses_inbox_and_inflight_traffic() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let r = net.endpoint();
+        // One delivered, one in flight at crash time: both must be lost.
+        net.send_unicast(s, r, Bytes::from_static(b"delivered"));
+        net.run_until_quiet();
+        net.send_unicast(s, r, Bytes::from_static(b"in-flight"));
+        net.crash(r);
+        assert!(net.is_down(r));
+        net.run_until_quiet();
+        assert_eq!(net.pending(r), 0);
+        // Traffic sent while down is dropped too.
+        net.send_unicast(s, r, Bytes::from_static(b"while-down"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(r), 0);
+        // After restart, delivery resumes.
+        net.restart(r);
+        assert!(!net.is_down(r));
+        net.send_unicast(s, r, Bytes::from_static(b"after"));
+        net.run_until_quiet();
+        let dg = net.recv(r).unwrap();
+        assert_eq!(&dg.payload[..], b"after");
+    }
+
+    #[test]
+    fn crashed_endpoint_cannot_send() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let r = net.endpoint();
+        net.crash(s);
+        net.send_unicast(s, r, Bytes::from_static(b"ghost"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(r), 0);
+        assert_eq!(net.stats(s).datagrams_sent, 0, "a dead host sends nothing");
+    }
+
+    #[test]
+    fn crash_keeps_group_membership() {
+        let mut net = quiet_net();
+        let s = net.endpoint();
+        let m = net.endpoint();
+        let g = net.multicast_group();
+        net.join_group(g, m);
+        net.crash(m);
+        // Multicast while down: dropped for this member.
+        net.send_multicast(s, g, Bytes::from_static(b"missed"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(m), 0);
+        // The subscription itself survived the crash.
+        net.restart(m);
+        assert_eq!(net.group_members(g), vec![m]);
+        net.send_multicast(s, g, Bytes::from_static(b"caught"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(m), 1);
     }
 
     #[test]

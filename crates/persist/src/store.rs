@@ -1,0 +1,461 @@
+//! The on-disk store: an epoch-paired snapshot + WAL and the append path.
+//!
+//! A store directory holds at most one *epoch pair*:
+//!
+//! ```text
+//! snapshot-<epoch>.kgs   checkpoint of the state at the start of the epoch
+//! wal-<epoch>.kgl        every mutating op since that checkpoint
+//! ```
+//!
+//! Epoch 0 has no snapshot — its WAL starts from the freshly constructed
+//! server. Taking a snapshot rotates to the next epoch: the new snapshot
+//! and an empty WAL are written and synced *before* the previous pair is
+//! deleted, so a crash at any point leaves one recoverable pair on disk.
+
+use crate::snapshot::Snapshot;
+use crate::wal::{encode_header, encode_record, read_wal_file, FsyncPolicy, WalOp, WAL_HEADER_LEN};
+use crate::PersistError;
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Tuning for the durability layer.
+#[derive(Debug, Clone, Copy)]
+pub struct PersistConfig {
+    /// When appended WAL records reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Suggest a snapshot after this many logged ops.
+    pub snapshot_every_ops: u64,
+    /// Suggest a snapshot once the WAL exceeds this many bytes.
+    pub snapshot_max_bytes: u64,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig {
+            fsync: FsyncPolicy::default(),
+            snapshot_every_ops: 1024,
+            snapshot_max_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Everything read back from a store directory at recovery time.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The latest snapshot, if the store has rotated past epoch 0.
+    pub snapshot: Option<Snapshot>,
+    /// DRBG seed recorded in the WAL header.
+    pub seed: u64,
+    /// Epoch of the recovered pair.
+    pub epoch: u64,
+    /// Valid WAL records to replay, in order, each with the root-key
+    /// digest observed after the op.
+    pub ops: Vec<(WalOp, [u8; 32])>,
+    /// Whether a torn final record was discarded.
+    pub torn_tail: bool,
+}
+
+/// Handle to an open store: appends records, rotates on snapshot.
+#[derive(Debug)]
+pub struct Persistence {
+    dir: PathBuf,
+    config: PersistConfig,
+    seed: u64,
+    epoch: u64,
+    wal: File,
+    wal_len: u64,
+    ops_since_snapshot: u64,
+    records_since_sync: u32,
+    last_sync: Instant,
+}
+
+fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch}.kgl"))
+}
+
+fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snapshot-{epoch}.kgs"))
+}
+
+/// Best-effort directory sync so renames/creates survive power loss.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Find the highest epoch with a WAL file in `dir`.
+fn latest_epoch(dir: &Path) -> Result<Option<u64>, PersistError> {
+    let mut latest = None;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("wal-") else { continue };
+        let Some(num) = rest.strip_suffix(".kgl") else { continue };
+        if let Ok(epoch) = num.parse::<u64>() {
+            latest = Some(latest.map_or(epoch, |e: u64| e.max(epoch)));
+        }
+    }
+    Ok(latest)
+}
+
+impl Persistence {
+    /// Create a fresh store in `dir` (created if absent). Fails if the
+    /// directory already contains a WAL — an existing store must go
+    /// through [`Persistence::recover`] instead of being overwritten.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        seed: u64,
+        config: PersistConfig,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if latest_epoch(&dir)?.is_some() {
+            return Err(PersistError::Corrupt("store directory already contains a log"));
+        }
+        let mut wal = OpenOptions::new().create_new(true).write(true).open(wal_path(&dir, 0))?;
+        wal.write_all(&encode_header(0, seed))?;
+        wal.sync_data()?;
+        sync_dir(&dir);
+        Ok(Persistence {
+            dir,
+            config,
+            seed,
+            epoch: 0,
+            wal,
+            wal_len: WAL_HEADER_LEN,
+            ops_since_snapshot: 0,
+            records_since_sync: 0,
+            last_sync: Instant::now(),
+        })
+    }
+
+    /// Read back the latest epoch pair and reopen the WAL for append
+    /// (truncating a torn final record away). The caller replays
+    /// `RecoveredState` through its own state machine, then continues
+    /// appending through the returned handle.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        config: PersistConfig,
+    ) -> Result<(Self, RecoveredState), PersistError> {
+        let dir = dir.into();
+        let Some(epoch) = latest_epoch(&dir)? else {
+            return Err(PersistError::Corrupt("no log found in store directory"));
+        };
+        let contents = read_wal_file(&wal_path(&dir, epoch))?;
+        if contents.epoch != epoch {
+            return Err(PersistError::Corrupt("wal header epoch does not match file name"));
+        }
+        let snapshot = match epoch {
+            0 => None,
+            _ => {
+                let mut bytes = Vec::new();
+                File::open(snapshot_path(&dir, epoch))?.read_to_end(&mut bytes)?;
+                let (snap, snap_epoch) = Snapshot::decode(&bytes)?;
+                if snap_epoch != epoch {
+                    return Err(PersistError::Corrupt("snapshot epoch does not match file name"));
+                }
+                if snap.seed != contents.seed {
+                    return Err(PersistError::Corrupt("snapshot seed does not match wal header"));
+                }
+                Some(snap)
+            }
+        };
+        // Append mode: every later write lands at the (truncated) tail.
+        let wal = OpenOptions::new().append(true).open(wal_path(&dir, epoch))?;
+        wal.set_len(contents.valid_len)?;
+        wal.sync_data()?;
+        let ops_since_snapshot = contents.ops.len() as u64;
+        let recovered = RecoveredState {
+            snapshot,
+            seed: contents.seed,
+            epoch,
+            ops: contents.ops,
+            torn_tail: contents.torn_tail,
+        };
+        let persistence = Persistence {
+            dir,
+            config,
+            seed: recovered.seed,
+            epoch,
+            wal,
+            wal_len: contents.valid_len,
+            ops_since_snapshot,
+            records_since_sync: 0,
+            last_sync: Instant::now(),
+        };
+        Ok((persistence, recovered))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The DRBG seed recorded in the WAL header.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Ops appended since the last snapshot (or creation).
+    pub fn ops_since_snapshot(&self) -> u64 {
+        self.ops_since_snapshot
+    }
+
+    /// Append one op to the WAL; syncs according to the fsync policy.
+    /// The record carries the root-key digest observed *after* the op.
+    pub fn append(&mut self, op: &WalOp, root_digest: &[u8; 32]) -> Result<(), PersistError> {
+        let record = encode_record(op, root_digest);
+        // Appends always land at the tracked tail: recovery truncated any
+        // torn bytes away, so a partially synced earlier write cannot
+        // leave a gap under this record.
+        self.wal.write_all(&record)?;
+        self.wal_len += record.len() as u64;
+        self.ops_since_snapshot += 1;
+        self.records_since_sync += 1;
+        let due = match self.config.fsync {
+            FsyncPolicy::EveryRecord => true,
+            FsyncPolicy::EveryN(n) => self.records_since_sync >= n.max(1),
+            FsyncPolicy::IntervalMs(ms) => self.last_sync.elapsed().as_millis() as u64 >= ms,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync_data()?;
+        self.records_since_sync = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Whether the configured snapshot thresholds have been crossed.
+    pub fn should_snapshot(&self) -> bool {
+        self.ops_since_snapshot >= self.config.snapshot_every_ops
+            || self.wal_len >= self.config.snapshot_max_bytes
+    }
+
+    /// Write `snap` as the next epoch's checkpoint and truncate the log:
+    /// the snapshot and a fresh WAL are durably written first, then the
+    /// previous epoch's files are removed.
+    pub fn install_snapshot(&mut self, snap: &Snapshot) -> Result<(), PersistError> {
+        let new_epoch = self.epoch + 1;
+        // 1. Atomic snapshot write: temp file, sync, rename.
+        let final_path = snapshot_path(&self.dir, new_epoch);
+        let tmp_path = self.dir.join(format!("snapshot-{new_epoch}.kgs.tmp"));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&snap.encode(new_epoch))?;
+            tmp.sync_data()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        // 2. Fresh WAL for the new epoch.
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(wal_path(&self.dir, new_epoch))?;
+        wal.write_all(&encode_header(new_epoch, self.seed))?;
+        wal.sync_data()?;
+        sync_dir(&self.dir);
+        // 3. Only now is the old pair redundant.
+        let _ = std::fs::remove_file(wal_path(&self.dir, self.epoch));
+        if self.epoch > 0 {
+            let _ = std::fs::remove_file(snapshot_path(&self.dir, self.epoch));
+        }
+        sync_dir(&self.dir);
+        self.epoch = new_epoch;
+        self.wal = wal;
+        self.wal_len = WAL_HEADER_LEN;
+        self.ops_since_snapshot = 0;
+        self.records_since_sync = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::AclSnapshot;
+    use kg_core::ids::UserId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Fresh scratch directory, unique per test invocation.
+    fn scratch() -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("kg-persist-test-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn digest(b: u8) -> [u8; 32] {
+        [b; 32]
+    }
+
+    fn dummy_snapshot(seed: u64, seq: u64) -> Snapshot {
+        Snapshot {
+            seed,
+            seq,
+            keygen: ([1u8; 32], [2u8; 32]),
+            ivs: ([3u8; 32], [4u8; 32]),
+            tree: vec![7u8; 64],
+            acl: AclSnapshot::AllowAll,
+            stats: Vec::new(),
+            scheduler: None,
+            root_digest: digest(9),
+        }
+    }
+
+    #[test]
+    fn create_append_recover() {
+        let dir = scratch();
+        let mut p = Persistence::create(&dir, 5, PersistConfig::default()).unwrap();
+        p.append(&WalOp::Join(UserId(1)), &digest(1)).unwrap();
+        p.append(&WalOp::Leave(UserId(1)), &digest(2)).unwrap();
+        p.sync().unwrap();
+        drop(p);
+
+        let (p, recovered) = Persistence::recover(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(recovered.seed, 5);
+        assert_eq!(recovered.epoch, 0);
+        assert!(recovered.snapshot.is_none());
+        assert!(!recovered.torn_tail);
+        assert_eq!(
+            recovered.ops.iter().map(|(op, _)| *op).collect::<Vec<_>>(),
+            vec![WalOp::Join(UserId(1)), WalOp::Leave(UserId(1))]
+        );
+        assert_eq!(recovered.ops[1].1, digest(2));
+        drop(p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = scratch();
+        let p = Persistence::create(&dir, 1, PersistConfig::default()).unwrap();
+        drop(p);
+        assert!(Persistence::create(&dir, 1, PersistConfig::default()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail_and_appends_continue() {
+        let dir = scratch();
+        let mut p = Persistence::create(&dir, 3, PersistConfig::default()).unwrap();
+        p.append(&WalOp::Join(UserId(1)), &digest(1)).unwrap();
+        p.append(&WalOp::Join(UserId(2)), &digest(2)).unwrap();
+        p.sync().unwrap();
+        drop(p);
+
+        // Tear the final record by chopping 3 bytes off the file.
+        let path = wal_path(&dir, 0);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (mut p, recovered) = Persistence::recover(&dir, PersistConfig::default()).unwrap();
+        assert!(recovered.torn_tail);
+        assert_eq!(recovered.ops.len(), 1);
+        // Appending after recovery lands cleanly where the tear was cut.
+        p.append(&WalOp::Join(UserId(3)), &digest(3)).unwrap();
+        p.sync().unwrap();
+        drop(p);
+        let (_, recovered) = Persistence::recover(&dir, PersistConfig::default()).unwrap();
+        assert!(!recovered.torn_tail);
+        assert_eq!(
+            recovered.ops.iter().map(|(op, _)| *op).collect::<Vec<_>>(),
+            vec![WalOp::Join(UserId(1)), WalOp::Join(UserId(3))]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_rotates_epoch_and_removes_old_pair() {
+        let dir = scratch();
+        let mut p = Persistence::create(&dir, 8, PersistConfig::default()).unwrap();
+        for i in 0..5 {
+            p.append(&WalOp::Join(UserId(i)), &digest(i as u8)).unwrap();
+        }
+        p.install_snapshot(&dummy_snapshot(8, 5)).unwrap();
+        assert_eq!(p.epoch(), 1);
+        assert_eq!(p.ops_since_snapshot(), 0);
+        p.append(&WalOp::Leave(UserId(0)), &digest(100)).unwrap();
+        p.sync().unwrap();
+        drop(p);
+
+        assert!(!wal_path(&dir, 0).exists());
+        let (p, recovered) = Persistence::recover(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(recovered.epoch, 1);
+        let snap = recovered.snapshot.expect("snapshot present past epoch 0");
+        assert_eq!(snap.seq, 5);
+        assert_eq!(
+            recovered.ops.iter().map(|(op, _)| *op).collect::<Vec<_>>(),
+            vec![WalOp::Leave(UserId(0))]
+        );
+        drop(p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn should_snapshot_thresholds() {
+        let dir = scratch();
+        let cfg = PersistConfig {
+            fsync: FsyncPolicy::EveryRecord,
+            snapshot_every_ops: 3,
+            snapshot_max_bytes: u64::MAX,
+        };
+        let mut p = Persistence::create(&dir, 0, cfg).unwrap();
+        assert!(!p.should_snapshot());
+        for i in 0..3 {
+            p.append(&WalOp::Join(UserId(i)), &digest(0)).unwrap();
+        }
+        assert!(p.should_snapshot());
+        p.install_snapshot(&dummy_snapshot(0, 3)).unwrap();
+        assert!(!p.should_snapshot());
+        drop(p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_every_n_counts_records() {
+        let dir = scratch();
+        let cfg = PersistConfig { fsync: FsyncPolicy::EveryN(2), ..PersistConfig::default() };
+        let mut p = Persistence::create(&dir, 0, cfg).unwrap();
+        // No crash-injection harness here — just exercise the counter path.
+        for i in 0..5 {
+            p.append(&WalOp::Join(UserId(i)), &digest(0)).unwrap();
+        }
+        drop(p);
+        let (_, recovered) = Persistence::recover(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(recovered.ops.len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_on_empty_dir_is_an_error() {
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Persistence::recover(&dir, PersistConfig::default()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,329 @@
+//! Write-ahead log: framing, fsync policy, and tail-tolerant reading.
+//!
+//! A log file is a fixed header followed by a sequence of records:
+//!
+//! ```text
+//! header: "KGWL" | version u32 | epoch u64 | seed u64
+//! record: len u32 | payload (len bytes) | crc32(payload) u32
+//! payload: WalOp encoding | post-op root digest (32 bytes)
+//! ```
+//!
+//! All integers are big-endian, reusing the `kg-wire` codec. Each record
+//! carries the SHA-256 digest of the group key *after* the operation, so
+//! replay can verify the recovered tree converged to the pre-crash state.
+//!
+//! A crash mid-`write(2)` leaves a torn final record — a short length
+//! prefix, a short payload, or a CRC mismatch. [`read_records`] stops at
+//! the first invalid record and reports the byte offset of the valid
+//! prefix; reopening for append truncates the tear away.
+
+use crate::crc::crc32;
+use crate::PersistError;
+use kg_core::ids::UserId;
+use kg_wire::codec::{get_u32, get_u64, get_u8};
+
+use bytes::BufMut;
+use std::io::Read;
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 4] = b"KGWL";
+
+/// WAL format version written by this crate.
+pub const WAL_VERSION: u32 = 1;
+
+/// Size of the fixed WAL header in bytes.
+pub const WAL_HEADER_LEN: u64 = 4 + 4 + 8 + 8;
+
+/// Largest record payload accepted when reading (an op plus digest is a
+/// few dozen bytes; anything huge is corruption, not data).
+const MAX_RECORD_LEN: usize = 4096;
+
+/// One logged mutating operation.
+///
+/// The log records *requests*, not effects: replaying a `Join` re-runs
+/// admission control, key generation, and tree mutation through the same
+/// server code path, which — given the checkpointed DRBG state — must
+/// regenerate byte-identical keys. Only operations that succeeded are
+/// logged (failed requests consume no key material).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// Immediate join.
+    Join(UserId),
+    /// Immediate leave.
+    Leave(UserId),
+    /// Join queued for the next batch interval.
+    EnqueueJoin(UserId),
+    /// Leave queued for the next batch interval.
+    EnqueueLeave(UserId),
+    /// A batch flush was attempted at `now_ms` (the interval clock reset
+    /// even if the queue was empty, so empty flushes are logged too).
+    Flush {
+        /// The server clock passed to the flush.
+        now_ms: u64,
+    },
+    /// Group-key refresh (key-version bump, no membership change).
+    Refresh,
+}
+
+impl WalOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalOp::Join(u) => {
+                out.put_u8(0);
+                out.put_u64(u.0);
+            }
+            WalOp::Leave(u) => {
+                out.put_u8(1);
+                out.put_u64(u.0);
+            }
+            WalOp::EnqueueJoin(u) => {
+                out.put_u8(2);
+                out.put_u64(u.0);
+            }
+            WalOp::EnqueueLeave(u) => {
+                out.put_u8(3);
+                out.put_u64(u.0);
+            }
+            WalOp::Flush { now_ms } => {
+                out.put_u8(4);
+                out.put_u64(*now_ms);
+            }
+            WalOp::Refresh => out.put_u8(5),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, PersistError> {
+        let tag = get_u8(buf).map_err(|_| PersistError::Corrupt("wal op tag"))?;
+        let op = match tag {
+            0..=4 => {
+                let v = get_u64(buf).map_err(|_| PersistError::Corrupt("wal op body"))?;
+                match tag {
+                    0 => WalOp::Join(UserId(v)),
+                    1 => WalOp::Leave(UserId(v)),
+                    2 => WalOp::EnqueueJoin(UserId(v)),
+                    3 => WalOp::EnqueueLeave(UserId(v)),
+                    _ => WalOp::Flush { now_ms: v },
+                }
+            }
+            5 => WalOp::Refresh,
+            _ => return Err(PersistError::Corrupt("wal op tag")),
+        };
+        Ok(op)
+    }
+}
+
+/// When appended records are flushed to stable storage.
+///
+/// The policies trade durability for throughput exactly as in any
+/// journaled store: `EveryRecord` loses nothing but pays a sync per op;
+/// `EveryN` bounds loss to the last N−1 ops; `IntervalMs` bounds loss in
+/// wall-clock time. Recovery is correct under all three — a record that
+/// never reached the disk simply replays as if the request never
+/// happened, and the DRBG checkpoint keeps later keys consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record.
+    EveryRecord,
+    /// `fdatasync` after every N records.
+    EveryN(u32),
+    /// `fdatasync` when this many milliseconds elapsed since the last one.
+    IntervalMs(u64),
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(32)
+    }
+}
+
+/// Serialize the WAL file header.
+pub(crate) fn encode_header(epoch: u64, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    out.extend_from_slice(WAL_MAGIC);
+    out.put_u32(WAL_VERSION);
+    out.put_u64(epoch);
+    out.put_u64(seed);
+    out
+}
+
+/// Parse and validate a WAL header, returning `(epoch, seed)`.
+pub(crate) fn decode_header(buf: &mut &[u8]) -> Result<(u64, u64), PersistError> {
+    if buf.len() < WAL_HEADER_LEN as usize {
+        return Err(PersistError::Corrupt("wal header truncated"));
+    }
+    let (magic, rest) = buf.split_at(4);
+    *buf = rest;
+    if magic != WAL_MAGIC {
+        return Err(PersistError::Corrupt("wal magic"));
+    }
+    let version = get_u32(buf).map_err(|_| PersistError::Corrupt("wal header"))?;
+    if version != WAL_VERSION {
+        return Err(PersistError::Corrupt("wal version"));
+    }
+    let epoch = get_u64(buf).map_err(|_| PersistError::Corrupt("wal header"))?;
+    let seed = get_u64(buf).map_err(|_| PersistError::Corrupt("wal header"))?;
+    Ok((epoch, seed))
+}
+
+/// Serialize one record: length-prefixed, CRC-trailed payload.
+pub(crate) fn encode_record(op: &WalOp, root_digest: &[u8; 32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(48);
+    op.encode(&mut payload);
+    payload.extend_from_slice(root_digest);
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.put_u32(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out.put_u32(crc32(&payload));
+    out
+}
+
+/// Result of reading a WAL file.
+#[derive(Debug)]
+pub(crate) struct WalContents {
+    /// Epoch from the header.
+    pub epoch: u64,
+    /// DRBG seed from the header.
+    pub seed: u64,
+    /// Every complete, CRC-valid record, in log order.
+    pub ops: Vec<(WalOp, [u8; 32])>,
+    /// Byte offset of the end of the last valid record (truncation point
+    /// when reopening for append).
+    pub valid_len: u64,
+    /// Whether bytes past `valid_len` were discarded as a torn record.
+    pub torn_tail: bool,
+}
+
+/// Read a whole WAL file, tolerating a torn final record.
+pub(crate) fn read_wal(bytes: &[u8]) -> Result<WalContents, PersistError> {
+    let mut buf = bytes;
+    let (epoch, seed) = decode_header(&mut buf)?;
+    let mut ops = Vec::new();
+    let mut valid_len = WAL_HEADER_LEN;
+    loop {
+        let mut cursor = buf;
+        let Ok(len) = get_u32(&mut cursor) else { break };
+        let len = len as usize;
+        if len > MAX_RECORD_LEN || cursor.len() < len + 4 {
+            break;
+        }
+        let payload = &cursor[..len];
+        let mut crc_buf = &cursor[len..len + 4];
+        let stored = get_u32(&mut crc_buf).expect("4 bytes checked");
+        if crc32(payload) != stored {
+            break;
+        }
+        // The frame is intact; a malformed payload inside a valid CRC is
+        // real corruption, not a tear.
+        let mut p = payload;
+        let op = WalOp::decode(&mut p)?;
+        if p.len() != 32 {
+            return Err(PersistError::Corrupt("wal record digest"));
+        }
+        let mut digest = [0u8; 32];
+        digest.copy_from_slice(p);
+        ops.push((op, digest));
+        let consumed = 4 + len + 4;
+        buf = &buf[consumed..];
+        valid_len += consumed as u64;
+    }
+    let torn_tail = !buf.is_empty();
+    Ok(WalContents { epoch, seed, ops, valid_len, torn_tail })
+}
+
+/// Read a WAL from a file path.
+pub(crate) fn read_wal_file(path: &std::path::Path) -> Result<WalContents, PersistError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    read_wal(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(b: u8) -> [u8; 32] {
+        [b; 32]
+    }
+
+    fn sample_log() -> Vec<u8> {
+        let mut file = encode_header(3, 42);
+        file.extend(encode_record(&WalOp::Join(UserId(1)), &digest(1)));
+        file.extend(encode_record(&WalOp::EnqueueLeave(UserId(2)), &digest(2)));
+        file.extend(encode_record(&WalOp::Flush { now_ms: 500 }, &digest(3)));
+        file.extend(encode_record(&WalOp::Refresh, &digest(4)));
+        file
+    }
+
+    #[test]
+    fn roundtrip_all_ops() {
+        let contents = read_wal(&sample_log()).unwrap();
+        assert_eq!(contents.epoch, 3);
+        assert_eq!(contents.seed, 42);
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.valid_len, sample_log().len() as u64);
+        let ops: Vec<WalOp> = contents.ops.iter().map(|(op, _)| *op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                WalOp::Join(UserId(1)),
+                WalOp::EnqueueLeave(UserId(2)),
+                WalOp::Flush { now_ms: 500 },
+                WalOp::Refresh,
+            ]
+        );
+        assert_eq!(contents.ops[2].1, digest(3));
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_at_every_cut() {
+        let file = sample_log();
+        let third_record_end = {
+            let mut f = encode_header(3, 42);
+            f.extend(encode_record(&WalOp::Join(UserId(1)), &digest(1)));
+            f.extend(encode_record(&WalOp::EnqueueLeave(UserId(2)), &digest(2)));
+            f.extend(encode_record(&WalOp::Flush { now_ms: 500 }, &digest(3)));
+            f.len()
+        };
+        // Cut anywhere strictly inside the final record: the first three
+        // records must survive and the tear must be reported.
+        for cut in third_record_end + 1..file.len() {
+            let contents = read_wal(&file[..cut]).unwrap();
+            assert_eq!(contents.ops.len(), 3, "cut at {cut}");
+            assert!(contents.torn_tail, "cut at {cut}");
+            assert_eq!(contents.valid_len, third_record_end as u64);
+        }
+        // Cut exactly at a record boundary: clean log, no tear.
+        let contents = read_wal(&file[..third_record_end]).unwrap();
+        assert_eq!(contents.ops.len(), 3);
+        assert!(!contents.torn_tail);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let mut file = sample_log();
+        let last = file.len() - 1;
+        file[last] ^= 0xFF; // flip inside the final record's CRC
+        let contents = read_wal(&file).unwrap();
+        assert_eq!(contents.ops.len(), 3);
+        assert!(contents.torn_tail);
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        let mut file = sample_log();
+        file[0] = b'X';
+        assert!(matches!(read_wal(&file), Err(PersistError::Corrupt("wal magic"))));
+        let short = &sample_log()[..10];
+        assert!(read_wal(short).is_err());
+    }
+
+    #[test]
+    fn valid_crc_with_garbage_payload_is_corruption() {
+        let mut file = encode_header(0, 0);
+        let payload = vec![9u8; 40]; // tag 9 is not a WalOp
+        file.put_u32(payload.len() as u32);
+        file.extend_from_slice(&payload);
+        file.put_u32(crc32(&payload));
+        assert!(matches!(read_wal(&file), Err(PersistError::Corrupt("wal op tag"))));
+    }
+}

@@ -169,9 +169,8 @@ impl ServerConfig {
             if line.is_empty() {
                 continue;
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| ConfigError::BadLine(raw.to_string()))?;
+            let (key, value) =
+                line.split_once('=').ok_or_else(|| ConfigError::BadLine(raw.to_string()))?;
             let (key, value) = (key.trim(), value.trim());
             match key {
                 "degree" => {
@@ -180,7 +179,10 @@ impl ServerConfig {
                         value: value.to_string(),
                     })?;
                     if cfg.degree < 2 {
-                        return Err(ConfigError::BadValue { key: "degree", value: value.to_string() });
+                        return Err(ConfigError::BadValue {
+                            key: "degree",
+                            value: value.to_string(),
+                        });
                     }
                 }
                 "strategy" => {
@@ -350,14 +352,8 @@ mod tests {
 
     #[test]
     fn errors_are_specific() {
-        assert!(matches!(
-            ServerConfig::from_spec("degree"),
-            Err(ConfigError::BadLine(_))
-        ));
-        assert!(matches!(
-            ServerConfig::from_spec("mystery = 1"),
-            Err(ConfigError::UnknownKey(_))
-        ));
+        assert!(matches!(ServerConfig::from_spec("degree"), Err(ConfigError::BadLine(_))));
+        assert!(matches!(ServerConfig::from_spec("mystery = 1"), Err(ConfigError::UnknownKey(_))));
         assert!(matches!(
             ServerConfig::from_spec("degree = banana"),
             Err(ConfigError::BadValue { key: "degree", .. })

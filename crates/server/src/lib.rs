@@ -44,13 +44,19 @@ use kg_batch::{BatchRekeyer, BatchScheduler};
 use kg_core::ids::{KeyLabel, UserId};
 use kg_core::merkle;
 use kg_core::rekey::{RekeyMessage, Rekeyer};
+use kg_core::serial;
 use kg_core::tree::{KeyTree, TreeError};
 use kg_crypto::drbg::HmacDrbg;
 use kg_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use kg_crypto::{KeySource, SymmetricKey};
+use kg_persist::{
+    AclSnapshot, PersistConfig, PersistError, Persistence, SchedulerSnapshot, Snapshot, StatRecord,
+    WalOp,
+};
 use kg_wire::{AuthTag, BatchRekeyPacket, OpKind, RekeyPacket};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Why a request was rejected.
@@ -63,6 +69,15 @@ pub enum RequestError {
     /// A batched-mode call (`enqueue_*`) on a server configured for
     /// immediate rekeying.
     NotBatched,
+    /// The write-ahead log could not be appended or the snapshot could
+    /// not be installed. The op itself was applied in memory, but its
+    /// durability is not guaranteed: a persistent server that returns
+    /// this should be discarded and re-created via recovery.
+    Persist(String),
+    /// An internal invariant was violated while handling the request;
+    /// surfaced as an error instead of a panic so one bad request cannot
+    /// take the server down.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for RequestError {
@@ -73,6 +88,8 @@ impl std::fmt::Display for RequestError {
             RequestError::NotBatched => {
                 write!(f, "server is configured for immediate rekeying")
             }
+            RequestError::Persist(detail) => write!(f, "persistence failure: {detail}"),
+            RequestError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }
@@ -82,6 +99,88 @@ impl std::error::Error for RequestError {}
 impl From<TreeError> for RequestError {
     fn from(e: TreeError) -> Self {
         RequestError::Tree(e)
+    }
+}
+
+/// Why crash recovery failed.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The store could not be read (I/O failure or corrupt file).
+    Persist(PersistError),
+    /// The WAL was written by a server with a different DRBG seed, so
+    /// replay cannot regenerate the same keys.
+    SeedMismatch {
+        /// Seed recorded in the WAL header.
+        logged: u64,
+        /// Seed in the configuration passed to recovery.
+        configured: u64,
+    },
+    /// The snapshotted key tree failed to decode.
+    Tree(serial::SerialError),
+    /// Replaying a logged op through the server failed — the log does not
+    /// match the state it was supposedly produced from.
+    Replay(RequestError),
+    /// The recovered tree's root-key digest does not match the digest the
+    /// pre-crash server recorded, so recovery did not converge.
+    DigestMismatch,
+    /// The snapshot is internally inconsistent or does not match the
+    /// configuration passed to recovery.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Persist(e) => write!(f, "{e}"),
+            RecoverError::SeedMismatch { logged, configured } => write!(
+                f,
+                "wal was written under seed {logged}, recovery configured with {configured}"
+            ),
+            RecoverError::Tree(e) => write!(f, "snapshot tree: {e}"),
+            RecoverError::Replay(e) => write!(f, "wal replay: {e}"),
+            RecoverError::DigestMismatch => {
+                write!(f, "recovered root-key digest does not match the log")
+            }
+            RecoverError::Corrupt(what) => write!(f, "recovered state inconsistent: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Persist(e) => Some(e),
+            RecoverError::Tree(e) => Some(e),
+            RecoverError::Replay(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for RecoverError {
+    fn from(e: PersistError) -> Self {
+        RecoverError::Persist(e)
+    }
+}
+
+/// `OpKind` as the stable byte used in snapshots (same values as the
+/// wire encoding).
+fn op_kind_tag(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::Join => 0,
+        OpKind::Leave => 1,
+        OpKind::Batch => 2,
+        OpKind::Refresh => 3,
+    }
+}
+
+fn op_kind_from_tag(tag: u8) -> Option<OpKind> {
+    match tag {
+        0 => Some(OpKind::Join),
+        1 => Some(OpKind::Leave),
+        2 => Some(OpKind::Batch),
+        3 => Some(OpKind::Refresh),
+        _ => None,
     }
 }
 
@@ -143,6 +242,8 @@ pub struct GroupKeyServer {
     stats: ServerStats,
     /// Present iff `config.rekey` is [`RekeyPolicy::Batched`].
     scheduler: Option<BatchScheduler>,
+    /// Durability store; `None` for a purely in-memory server.
+    persist: Option<Persistence>,
 }
 
 impl GroupKeyServer {
@@ -168,7 +269,230 @@ impl GroupKeyServer {
             seq: 0,
             stats: ServerStats::default(),
             scheduler,
+            persist: None,
         }
+    }
+
+    /// Create a server backed by a fresh durability store at `dir` (which
+    /// must not already contain one). Every mutating op is written to the
+    /// write-ahead log before the call returns; snapshots are taken on
+    /// the thresholds in `persist_config`.
+    pub fn with_persistence(
+        config: ServerConfig,
+        acl: AccessControl,
+        dir: impl Into<PathBuf>,
+        persist_config: PersistConfig,
+    ) -> Result<Self, RecoverError> {
+        let mut server = Self::new(config, acl);
+        let persist = Persistence::create(dir, server.config.seed, persist_config)?;
+        server.persist = Some(persist);
+        Ok(server)
+    }
+
+    /// Rebuild a server from the store at `dir`: load the latest
+    /// snapshot, replay the WAL tail through the normal request handlers
+    /// (a torn final record is discarded), verify the recovered tree
+    /// against the last logged root-key digest, and reopen the log for
+    /// append.
+    ///
+    /// `config` and `acl` must be the ones the original server was
+    /// created with; the seed is cross-checked against the WAL header,
+    /// and once a snapshot exists its ACL takes precedence over the
+    /// argument. Recovery is deterministic: the snapshot carries both
+    /// DRBG working states, so replayed ops regenerate byte-identical
+    /// keys.
+    pub fn recover(
+        config: ServerConfig,
+        acl: AccessControl,
+        dir: impl Into<PathBuf>,
+        persist_config: PersistConfig,
+    ) -> Result<Self, RecoverError> {
+        let (persist, recovered) = Persistence::recover(dir, persist_config)?;
+        if recovered.seed != config.seed {
+            return Err(RecoverError::SeedMismatch {
+                logged: recovered.seed,
+                configured: config.seed,
+            });
+        }
+        let mut server = match &recovered.snapshot {
+            None => Self::new(config, acl),
+            Some(snap) => Self::from_snapshot(config, snap)?,
+        };
+        for (op, _) in &recovered.ops {
+            server.replay(op).map_err(RecoverError::Replay)?;
+        }
+        // Prove convergence: the tree must hash to the digest recorded
+        // with the last surviving record (or in the snapshot, if the new
+        // epoch's log was still empty).
+        let reached = serial::root_digest(&server.tree);
+        let expected = recovered
+            .ops
+            .last()
+            .map(|(_, d)| *d)
+            .or(recovered.snapshot.as_ref().map(|s| s.root_digest));
+        if let Some(expected) = expected {
+            if reached != expected {
+                return Err(RecoverError::DigestMismatch);
+            }
+        }
+        server.persist = Some(persist);
+        Ok(server)
+    }
+
+    /// Rebuild in-memory state from a snapshot (no log replay yet).
+    fn from_snapshot(config: ServerConfig, snap: &Snapshot) -> Result<Self, RecoverError> {
+        if snap.seed != config.seed {
+            return Err(RecoverError::SeedMismatch { logged: snap.seed, configured: config.seed });
+        }
+        let tree = serial::decode_tree(&snap.tree).map_err(RecoverError::Tree)?;
+        if tree.degree() != config.degree || tree.key_len() != config.key_len() {
+            return Err(RecoverError::Corrupt("snapshot tree does not match config"));
+        }
+        let keygen = HmacDrbg::from_state(snap.keygen.0, snap.keygen.1);
+        let ivs = HmacDrbg::from_state(snap.ivs.0, snap.ivs.1);
+        // The RSA keypair is derived from the seed independently of the
+        // DRBG streams, so it is regenerated rather than persisted.
+        let rsa = config.auth.needs_signature_key().then(|| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7273_615f_6b65_7921);
+            RsaKeyPair::generate(config.rsa_bits, &mut rng).expect("RSA key generation")
+        });
+        let acl = match &snap.acl {
+            AclSnapshot::AllowAll => AccessControl::AllowAll,
+            AclSnapshot::AllowList(users) => AccessControl::allow_list(users.iter().copied()),
+        };
+        let records = snap
+            .stats
+            .iter()
+            .map(|r| {
+                Ok(OpRecord {
+                    kind: op_kind_from_tag(r.kind)
+                        .ok_or(RecoverError::Corrupt("snapshot stats op kind"))?,
+                    requests: r.requests,
+                    msg_sizes: r.msg_sizes.clone(),
+                    proc_ns: r.proc_ns,
+                    encryptions: r.encryptions,
+                    signatures: r.signatures,
+                })
+            })
+            .collect::<Result<Vec<_>, RecoverError>>()?;
+        let scheduler = match (&snap.scheduler, config.rekey.batch_policy()) {
+            (None, None) => None,
+            (Some(s), Some(policy)) => Some(BatchScheduler::restore(
+                policy,
+                s.joins.iter().map(|(u, k)| (*u, SymmetricKey::from_bytes(k))).collect(),
+                s.leaves.clone(),
+                s.last_flush_ms,
+                s.intervals_flushed,
+            )),
+            _ => return Err(RecoverError::Corrupt("snapshot batching mode does not match config")),
+        };
+        Ok(GroupKeyServer {
+            config,
+            acl,
+            tree,
+            keygen,
+            ivs,
+            rsa,
+            seq: snap.seq,
+            stats: ServerStats::from_records(records),
+            scheduler,
+            persist: None,
+        })
+    }
+
+    /// Re-apply one logged op through the normal handlers. Persistence is
+    /// detached during recovery, so nothing is re-logged.
+    fn replay(&mut self, op: &WalOp) -> Result<(), RequestError> {
+        match op {
+            WalOp::Join(u) => self.handle_join(*u).map(drop),
+            WalOp::Leave(u) => self.handle_leave(*u).map(drop),
+            WalOp::EnqueueJoin(u) => self.enqueue_join(*u),
+            WalOp::EnqueueLeave(u) => self.enqueue_leave(*u),
+            WalOp::Flush { now_ms } => self.flush(*now_ms).map(drop),
+            WalOp::Refresh => self.refresh_group_key().map(drop),
+        }
+    }
+
+    /// Capture the full server state as a snapshot.
+    fn build_snapshot(&self) -> Snapshot {
+        Snapshot {
+            seed: self.config.seed,
+            seq: self.seq,
+            keygen: self.keygen.state(),
+            ivs: self.ivs.state(),
+            tree: serial::encode_tree(&self.tree),
+            acl: match &self.acl {
+                AccessControl::AllowAll => AclSnapshot::AllowAll,
+                AccessControl::AllowList(set) => {
+                    AclSnapshot::AllowList(set.iter().copied().collect())
+                }
+            },
+            stats: self
+                .stats
+                .records()
+                .iter()
+                .map(|r| StatRecord {
+                    kind: op_kind_tag(r.kind),
+                    requests: r.requests,
+                    msg_sizes: r.msg_sizes.clone(),
+                    proc_ns: r.proc_ns,
+                    encryptions: r.encryptions,
+                    signatures: r.signatures,
+                })
+                .collect(),
+            scheduler: self.scheduler.as_ref().map(|s| SchedulerSnapshot {
+                joins: s.pending_joins().iter().map(|(u, k)| (*u, k.material().to_vec())).collect(),
+                leaves: s.pending_leaves().to_vec(),
+                last_flush_ms: s.last_flush_ms(),
+                intervals_flushed: s.intervals_flushed(),
+            }),
+            root_digest: serial::root_digest(&self.tree),
+        }
+    }
+
+    /// Append `op` to the WAL (no-op for in-memory servers), then take a
+    /// snapshot if the store's thresholds have been crossed. Called after
+    /// the op mutated the server, so the record's digest describes
+    /// post-op state.
+    fn log_op(&mut self, op: WalOp) -> Result<(), RequestError> {
+        let Some(mut persist) = self.persist.take() else { return Ok(()) };
+        let digest = serial::root_digest(&self.tree);
+        let mut result = persist.append(&op, &digest);
+        if result.is_ok() && persist.should_snapshot() {
+            let snap = self.build_snapshot();
+            result = persist.install_snapshot(&snap);
+        }
+        self.persist = Some(persist);
+        result.map_err(|e| RequestError::Persist(e.to_string()))
+    }
+
+    /// Whether a durability store is attached.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Read access to the durability store.
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persist.as_ref()
+    }
+
+    /// Flush the WAL to stable storage regardless of the fsync policy
+    /// (clean shutdown).
+    pub fn sync_persistence(&mut self) -> Result<(), RequestError> {
+        if let Some(p) = self.persist.as_mut() {
+            p.sync().map_err(|e| RequestError::Persist(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Take a snapshot now, regardless of thresholds (no-op for in-memory
+    /// servers).
+    pub fn force_snapshot(&mut self) -> Result<(), RequestError> {
+        let Some(mut persist) = self.persist.take() else { return Ok(()) };
+        let snap = self.build_snapshot();
+        let result = persist.install_snapshot(&snap);
+        self.persist = Some(persist);
+        result.map_err(|e| RequestError::Persist(e.to_string()))
     }
 
     /// The configuration in force.
@@ -257,6 +581,7 @@ impl GroupKeyServer {
             encryptions: out.ops.key_encryptions,
             signatures,
         });
+        self.log_op(WalOp::Join(user))?;
         Ok(ProcessedOp {
             seq,
             packets,
@@ -292,6 +617,41 @@ impl GroupKeyServer {
             encryptions: out.ops.key_encryptions,
             signatures,
         });
+        self.log_op(WalOp::Leave(user))?;
+        Ok(ProcessedOp { seq, packets, encoded, join_grant: None })
+    }
+
+    /// Rotate the group key without any membership change: bump the root
+    /// key's version and distribute the new key to the whole group under
+    /// the old one. Used for periodic rotation, and after crash recovery
+    /// to fence off any group key that may have leaked with the dead
+    /// process.
+    pub fn refresh_group_key(&mut self) -> Result<ProcessedOp, RequestError> {
+        let start = Instant::now();
+        let path = self.tree.refresh_group_key(&mut self.keygen);
+        let messages = if self.tree.user_count() == 0 {
+            // Nobody to tell; the rotation still happened (and consumed
+            // one keygen output), but no rekey message is emitted and no
+            // IV stream is consumed.
+            Vec::new()
+        } else {
+            let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
+            rekeyer.refresh(&path).messages
+        };
+        let seq = self.next_seq();
+        let (packets, encoded, signatures) =
+            self.authenticate_and_encode(seq, OpKind::Refresh, messages);
+        let proc_ns = start.elapsed().as_nanos() as u64;
+
+        self.stats.push(OpRecord {
+            kind: OpKind::Refresh,
+            requests: 0,
+            msg_sizes: encoded.iter().map(|e| e.len() as u32).collect(),
+            proc_ns,
+            encryptions: if encoded.is_empty() { 0 } else { 1 },
+            signatures,
+        });
+        self.log_op(WalOp::Refresh)?;
         Ok(ProcessedOp { seq, packets, encoded, join_grant: None })
     }
 
@@ -303,6 +663,11 @@ impl GroupKeyServer {
     /// Requests queued for the next interval (0 in immediate mode).
     pub fn pending_requests(&self) -> usize {
         self.scheduler.as_ref().map_or(0, |s| s.pending())
+    }
+
+    /// Whether `user` has a join queued for the next interval.
+    pub fn has_pending_join(&self, user: UserId) -> bool {
+        self.scheduler.as_ref().is_some_and(|s| s.has_pending_join(user))
     }
 
     /// Queue a join for the next rekey interval (batched mode only).
@@ -323,10 +688,8 @@ impl GroupKeyServer {
             return Err(RequestError::Tree(TreeError::AlreadyMember(user)));
         }
         let individual_key = self.keygen.generate_key(self.config.key_len());
-        self.scheduler
-            .as_mut()
-            .expect("checked above")
-            .enqueue_join(user, individual_key);
+        self.scheduler.as_mut().expect("checked above").enqueue_join(user, individual_key);
+        self.log_op(WalOp::EnqueueJoin(user))?;
         Ok(())
     }
 
@@ -341,6 +704,7 @@ impl GroupKeyServer {
             return Err(RequestError::Tree(TreeError::NotAMember(user)));
         }
         sched.enqueue_leave(user);
+        self.log_op(WalOp::EnqueueLeave(user))?;
         Ok(())
     }
 
@@ -352,17 +716,26 @@ impl GroupKeyServer {
         let Some(sched) = self.scheduler.as_mut() else { return Ok(None) };
         match sched.poll(now_ms) {
             None => Ok(None),
-            Some(pending) => self.process_batch(pending).map(Some),
+            Some(pending) => {
+                let batch = self.process_batch(pending)?;
+                self.log_op(WalOp::Flush { now_ms })?;
+                Ok(Some(batch))
+            }
         }
     }
 
     /// Flush the pending interval unconditionally (tests, shutdown).
+    ///
+    /// An empty flush still resets the interval clock, so it is logged
+    /// too — replay must reproduce the same schedule.
     pub fn flush(&mut self, now_ms: u64) -> Result<Option<ProcessedBatch>, RequestError> {
         let Some(sched) = self.scheduler.as_mut() else { return Ok(None) };
-        match sched.take(now_ms) {
-            None => Ok(None),
-            Some(pending) => self.process_batch(pending).map(Some),
-        }
+        let result = match sched.take(now_ms) {
+            None => None,
+            Some(pending) => Some(self.process_batch(pending)?),
+        };
+        self.log_op(WalOp::Flush { now_ms })?;
+        Ok(result)
     }
 
     /// Apply one interval's queued requests: mark + replace the union of
@@ -409,15 +782,8 @@ impl GroupKeyServer {
         // Core-level `departed` lists every leaver, including users who
         // rejoined in the same interval; the server view keeps only true
         // departures (a rejoiner keeps its endpoint and gets a new grant).
-        let departed =
-            ev.departed.into_iter().filter(|&u| !self.tree.is_member(u)).collect();
-        Ok(ProcessedBatch {
-            interval: pending.interval,
-            packets,
-            encoded,
-            grants,
-            departed,
-        })
+        let departed = ev.departed.into_iter().filter(|&u| !self.tree.is_member(u)).collect();
+        Ok(ProcessedBatch { interval: pending.interval, packets, encoded, grants, departed })
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -585,10 +951,7 @@ mod tests {
         let config = ServerConfig::default();
         let mut s = GroupKeyServer::new(config, AccessControl::allow_list([UserId(1)]));
         assert!(s.handle_join(UserId(1)).is_ok());
-        assert_eq!(
-            s.handle_join(UserId(2)).unwrap_err(),
-            RequestError::JoinDenied(UserId(2))
-        );
+        assert_eq!(s.handle_join(UserId(2)).unwrap_err(), RequestError::JoinDenied(UserId(2)));
     }
 
     #[test]
@@ -865,5 +1228,219 @@ mod tests {
             let members: std::collections::BTreeSet<UserId> = s.tree().members().collect();
             assert_eq!(covered, members, "strategy {strategy:?}");
         }
+    }
+
+    // ---- crash recovery -------------------------------------------------
+
+    fn scratch_dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("kg-server-recover-{}-{n}", std::process::id()))
+    }
+
+    fn persist_config() -> PersistConfig {
+        PersistConfig { fsync: kg_persist::FsyncPolicy::EveryRecord, ..PersistConfig::default() }
+    }
+
+    #[test]
+    fn persisted_server_recovers_identically() {
+        let dir = scratch_dir();
+        let config = ServerConfig { rsa_bits: 512, ..ServerConfig::default() };
+        let mut control = GroupKeyServer::new(config.clone(), AccessControl::AllowAll);
+        let mut s = GroupKeyServer::with_persistence(
+            config.clone(),
+            AccessControl::AllowAll,
+            &dir,
+            persist_config(),
+        )
+        .unwrap();
+        for i in 0..20 {
+            s.handle_join(UserId(i)).unwrap();
+            control.handle_join(UserId(i)).unwrap();
+        }
+        s.handle_leave(UserId(3)).unwrap();
+        control.handle_leave(UserId(3)).unwrap();
+        s.refresh_group_key().unwrap();
+        control.refresh_group_key().unwrap();
+        let digest_at_crash = serial::root_digest(s.tree());
+        drop(s); // crash: no clean shutdown
+
+        // Simulate a write torn mid-record by the crash: garbage bytes
+        // past the last complete record must be discarded on recovery.
+        {
+            use std::io::Write;
+            let mut f =
+                std::fs::OpenOptions::new().append(true).open(dir.join("wal-0.kgl")).unwrap();
+            f.write_all(&[0xFF; 7]).unwrap();
+        }
+
+        let mut r =
+            GroupKeyServer::recover(config, AccessControl::AllowAll, &dir, persist_config())
+                .unwrap();
+        assert_eq!(serial::root_digest(r.tree()), digest_at_crash);
+        assert_eq!(r.group_size(), 19);
+        assert!(!r.is_member(UserId(3)));
+        assert!(r.is_persistent());
+
+        // Post-recovery ops continue the same deterministic key streams
+        // as a server that never crashed.
+        let a = r.handle_join(UserId(100)).unwrap();
+        let b = control.handle_join(UserId(100)).unwrap();
+        assert_eq!(a.encoded, b.encoded);
+        assert_eq!(serial::root_digest(r.tree()), serial::root_digest(control.tree()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_server_recovers_mid_interval() {
+        let dir = scratch_dir();
+        let config = ServerConfig {
+            rekey: RekeyPolicy::Batched { interval_ms: 100, max_pending: 1000 },
+            rsa_bits: 512,
+            ..ServerConfig::default()
+        };
+        let mut control = GroupKeyServer::new(config.clone(), AccessControl::AllowAll);
+        let mut s = GroupKeyServer::with_persistence(
+            config.clone(),
+            AccessControl::AllowAll,
+            &dir,
+            persist_config(),
+        )
+        .unwrap();
+        for i in 0..16 {
+            s.enqueue_join(UserId(i)).unwrap();
+            control.enqueue_join(UserId(i)).unwrap();
+        }
+        s.flush(0).unwrap().unwrap();
+        control.flush(0).unwrap().unwrap();
+        // Crash with requests queued but the interval not yet flushed.
+        s.enqueue_join(UserId(100)).unwrap();
+        control.enqueue_join(UserId(100)).unwrap();
+        s.enqueue_leave(UserId(5)).unwrap();
+        control.enqueue_leave(UserId(5)).unwrap();
+        drop(s);
+
+        let mut r =
+            GroupKeyServer::recover(config, AccessControl::AllowAll, &dir, persist_config())
+                .unwrap();
+        assert_eq!(r.pending_requests(), 2, "queued requests survive the crash");
+        let a = r.tick(100).unwrap().expect("interval elapsed");
+        let b = control.tick(100).unwrap().expect("interval elapsed");
+        assert_eq!(a.interval, b.interval);
+        assert_eq!(a.encoded, b.encoded, "recovered batch is byte-identical");
+        assert_eq!(a.departed, b.departed);
+        assert_eq!(
+            a.grants[0].individual_key.material(),
+            b.grants[0].individual_key.material(),
+            "queued joiner gets the key generated before the crash"
+        );
+        assert_eq!(serial::root_digest(r.tree()), serial::root_digest(control.tree()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_rejects_wrong_seed() {
+        let dir = scratch_dir();
+        let config = ServerConfig { rsa_bits: 512, ..ServerConfig::default() };
+        let mut s = GroupKeyServer::with_persistence(
+            config.clone(),
+            AccessControl::AllowAll,
+            &dir,
+            persist_config(),
+        )
+        .unwrap();
+        s.handle_join(UserId(1)).unwrap();
+        drop(s);
+        let other = ServerConfig { seed: config.seed ^ 1, ..config };
+        assert!(matches!(
+            GroupKeyServer::recover(other, AccessControl::AllowAll, &dir, persist_config()),
+            Err(RecoverError::SeedMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_rotation_survives_recovery() {
+        let dir = scratch_dir();
+        let config = ServerConfig { rsa_bits: 512, ..ServerConfig::default() };
+        let acl = AccessControl::allow_list((0..40).map(UserId));
+        let pcfg = PersistConfig { snapshot_every_ops: 4, ..persist_config() };
+        let mut control = GroupKeyServer::new(config.clone(), acl.clone());
+        let mut s =
+            GroupKeyServer::with_persistence(config.clone(), acl.clone(), &dir, pcfg).unwrap();
+        for i in 0..30 {
+            s.handle_join(UserId(i)).unwrap();
+            control.handle_join(UserId(i)).unwrap();
+        }
+        for i in (0..30).step_by(3) {
+            s.handle_leave(UserId(i)).unwrap();
+            control.handle_leave(UserId(i)).unwrap();
+        }
+        assert!(
+            s.persistence().unwrap().epoch() > 0,
+            "thresholds this low must have rotated at least once"
+        );
+        drop(s);
+
+        let mut r = GroupKeyServer::recover(config, acl, &dir, pcfg).unwrap();
+        assert_eq!(serial::root_digest(r.tree()), serial::root_digest(control.tree()));
+        assert_eq!(r.group_size(), control.group_size());
+        // The snapshotted allow-list is live again: outsiders stay out.
+        assert_eq!(r.handle_join(UserId(999)).unwrap_err(), RequestError::JoinDenied(UserId(999)));
+        // And continued operation still tracks the control server.
+        let a = r.handle_join(UserId(0)).unwrap();
+        let b = control.handle_join(UserId(0)).unwrap();
+        assert_eq!(a.encoded, b.encoded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_on_immediate_mode_rejects_batched_snapshot_config() {
+        // A server snapshotted in batched mode cannot be recovered with an
+        // immediate-mode config (and vice versa): the scheduler state
+        // would be silently dropped.
+        let dir = scratch_dir();
+        let batched = ServerConfig {
+            rekey: RekeyPolicy::Batched { interval_ms: 100, max_pending: 8 },
+            rsa_bits: 512,
+            ..ServerConfig::default()
+        };
+        let pcfg = PersistConfig { snapshot_every_ops: 1, ..persist_config() };
+        let mut s =
+            GroupKeyServer::with_persistence(batched.clone(), AccessControl::AllowAll, &dir, pcfg)
+                .unwrap();
+        s.enqueue_join(UserId(1)).unwrap();
+        s.flush(0).unwrap();
+        drop(s);
+        let immediate = ServerConfig { rekey: RekeyPolicy::Immediate, ..batched };
+        assert!(matches!(
+            GroupKeyServer::recover(immediate, AccessControl::AllowAll, &dir, pcfg),
+            Err(RecoverError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_rotates_group_key_and_notifies_group() {
+        let mut s = server(AuthPolicy::None, Strategy::GroupOriented);
+        populate(&mut s, 8);
+        let before = serial::root_digest(s.tree());
+        let op = s.refresh_group_key().unwrap();
+        assert_ne!(serial::root_digest(s.tree()), before);
+        assert_eq!(op.packets.len(), 1);
+        assert_eq!(op.packets[0].op, OpKind::Refresh);
+        assert!(matches!(op.packets[0].message.recipients, Recipients::Group));
+        let rec = s.stats().records().last().unwrap();
+        assert_eq!(rec.kind, OpKind::Refresh);
+        assert_eq!(rec.requests, 0);
+    }
+
+    #[test]
+    fn refresh_on_empty_group_emits_nothing() {
+        let mut s = server(AuthPolicy::None, Strategy::GroupOriented);
+        let op = s.refresh_group_key().unwrap();
+        assert!(op.packets.is_empty());
+        assert!(op.encoded.is_empty());
     }
 }

@@ -40,6 +40,18 @@ pub enum ServerEvent {
         /// Users removed by this interval.
         left: usize,
     },
+    /// An inbound datagram failed to decode as a control message and was
+    /// dropped (stray traffic, corruption). The server keeps running.
+    BadDatagram {
+        /// Claimed sender endpoint.
+        from: EndpointId,
+        /// Why decoding failed.
+        error: kg_wire::WireError,
+    },
+    /// The interval flush failed. With persistence attached this means the
+    /// write-ahead log could not be appended — see
+    /// [`RequestError::Persist`] for the contract.
+    FlushFailed(RequestError),
 }
 
 /// The networked server.
@@ -67,9 +79,45 @@ impl NetServer {
         }
     }
 
+    /// Re-attach a server to an existing endpoint and multicast address —
+    /// crash recovery: the process restarts (typically via
+    /// [`GroupKeyServer::recover`]) and the host keeps its network
+    /// identity. `directory` re-supplies the user-to-endpoint map the dead
+    /// process lost; entries are sorted into admitted members and
+    /// still-queued joiners against the recovered state, and anything the
+    /// server does not know is ignored.
+    pub fn resume(
+        server: GroupKeyServer,
+        net: &mut SimNetwork,
+        endpoint: EndpointId,
+        group_addr: MulticastAddr,
+        directory: impl IntoIterator<Item = (UserId, EndpointId)>,
+    ) -> Self {
+        let mut members = BTreeMap::new();
+        let mut pending_eps = BTreeMap::new();
+        for (user, ep) in directory {
+            if server.is_member(user) {
+                // Idempotent: the routers kept the subscription across
+                // the crash, but a rebuilt network would not have.
+                net.join_group(group_addr, ep);
+                members.insert(user, ep);
+            } else if server.has_pending_join(user) {
+                pending_eps.insert(user, ep);
+            }
+        }
+        NetServer { inner: server, endpoint, group_addr, members, pending_eps }
+    }
+
     /// The server's network endpoint (clients send requests here).
     pub fn endpoint(&self) -> EndpointId {
         self.endpoint
+    }
+
+    /// The current user-to-endpoint directory: admitted members plus users
+    /// whose join is queued for the next interval. Drivers snapshot this
+    /// to re-seed [`NetServer::resume`] after a crash.
+    pub fn directory(&self) -> Vec<(UserId, EndpointId)> {
+        self.members.iter().chain(self.pending_eps.iter()).map(|(&u, &ep)| (u, ep)).collect()
     }
 
     /// The all-members multicast address.
@@ -92,8 +140,14 @@ impl NetServer {
     pub fn poll(&mut self, net: &mut SimNetwork) -> Vec<ServerEvent> {
         let mut events = Vec::new();
         while let Some(dg) = net.recv(self.endpoint) {
-            let Ok(msg) = ControlMessage::decode(&dg.payload) else {
-                continue; // garbage datagram: drop, as a UDP server would
+            let msg = match ControlMessage::decode(&dg.payload) {
+                Ok(msg) => msg,
+                Err(error) => {
+                    // Garbage datagram: drop it as a UDP server must, but
+                    // surface the typed decode error to the driver.
+                    events.push(ServerEvent::BadDatagram { from: dg.from, error });
+                    continue;
+                }
             };
             match msg {
                 ControlMessage::JoinRequest { user } => {
@@ -127,12 +181,10 @@ impl NetServer {
         match self.inner.tick(now_ms) {
             Ok(None) => {}
             Ok(Some(batch)) => events.extend(self.dispatch_batch(net, batch)),
-            Err(e) => {
-                // Enqueue-time validation makes flush errors unreachable
-                // unless the driver mixed immediate ops into a batched
-                // server between enqueue and flush.
-                debug_assert!(false, "batch flush failed: {e}");
-            }
+            // Enqueue-time validation makes tree errors unreachable here,
+            // but the write-ahead log can genuinely fail; either way the
+            // driver decides, the server does not crash.
+            Err(e) => events.push(ServerEvent::FlushFailed(e)),
         }
         events
     }
@@ -224,7 +276,12 @@ impl NetServer {
         events
     }
 
-    fn process_join(&mut self, net: &mut SimNetwork, user: UserId, from: EndpointId) -> ServerEvent {
+    fn process_join(
+        &mut self,
+        net: &mut SimNetwork,
+        user: UserId,
+        from: EndpointId,
+    ) -> ServerEvent {
         match self.inner.handle_join(user) {
             Err(e) => {
                 let deny = ControlMessage::JoinDenied { user }.encode();
@@ -232,7 +289,16 @@ impl NetServer {
                 ServerEvent::Rejected(user, e)
             }
             Ok(op) => {
-                let grant = op.join_grant.clone().expect("join produces a grant");
+                let Some(grant) = op.join_grant.clone() else {
+                    // handle_join always attaches a grant; if that ever
+                    // breaks, deny rather than panic on a network request.
+                    let deny = ControlMessage::JoinDenied { user }.encode();
+                    net.send_unicast(self.endpoint, from, Bytes::from(deny));
+                    return ServerEvent::Rejected(
+                        user,
+                        RequestError::Internal("join produced no grant"),
+                    );
+                };
                 self.members.insert(user, from);
                 net.join_group(self.group_addr, from);
                 let ack = ControlMessage::JoinGranted {
@@ -293,7 +359,12 @@ impl NetServer {
     }
 
     /// Resolve recipients and send each encoded rekey packet.
-    fn dispatch(&mut self, net: &mut SimNetwork, packets: &[kg_wire::RekeyPacket], encoded: &[Vec<u8>]) {
+    fn dispatch(
+        &mut self,
+        net: &mut SimNetwork,
+        packets: &[kg_wire::RekeyPacket],
+        encoded: &[Vec<u8>],
+    ) {
         for (p, bytes) in packets.iter().zip(encoded) {
             self.send_to_recipients(net, &p.message.recipients, bytes);
         }
@@ -429,13 +500,18 @@ mod tests {
     }
 
     #[test]
-    fn garbage_datagrams_ignored() {
+    fn garbage_datagrams_surface_typed_error_and_are_dropped() {
         let (mut net, mut ns) = setup();
         let ep = net.endpoint();
         net.send_unicast(ep, ns.endpoint(), Bytes::from_static(b"\xff\xff\xff"));
         net.run_until_quiet();
         let events = ns.poll(&mut net);
-        assert!(events.is_empty());
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(events[0], ServerEvent::BadDatagram { from, .. } if from == ep),
+            "got {events:?}"
+        );
+        assert_eq!(ns.inner().group_size(), 0, "server state untouched");
     }
 
     fn batched_setup(interval_ms: u64, max_pending: usize) -> (SimNetwork, NetServer) {
@@ -461,10 +537,7 @@ mod tests {
         net.run_until_quiet();
         // Before the interval elapses the requests are only queued.
         let events = ns.tick(&mut net, 50);
-        assert_eq!(
-            events,
-            vec![ServerEvent::Queued(UserId(1)), ServerEvent::Queued(UserId(2))]
-        );
+        assert_eq!(events, vec![ServerEvent::Queued(UserId(1)), ServerEvent::Queued(UserId(2))]);
         assert_eq!(ns.inner().group_size(), 0);
         assert_eq!(ns.inner().pending_requests(), 2);
         net.run_until_quiet();
@@ -473,10 +546,7 @@ mod tests {
         // At the interval boundary the batch flushes: members admitted,
         // acks + rekey traffic delivered.
         let events = ns.tick(&mut net, 100);
-        assert_eq!(
-            events.iter().filter(|e| matches!(e, ServerEvent::Joined(_))).count(),
-            2
-        );
+        assert_eq!(events.iter().filter(|e| matches!(e, ServerEvent::Joined(_))).count(), 2);
         assert!(events
             .iter()
             .any(|e| matches!(e, ServerEvent::Flushed { interval: 1, joined: 2, left: 0 })));
@@ -567,10 +637,8 @@ mod tests {
     #[test]
     fn denied_join_gets_deny_message() {
         let mut net = SimNetwork::new(NetConfig::default());
-        let server = GroupKeyServer::new(
-            ServerConfig::default(),
-            AccessControl::allow_list([UserId(42)]),
-        );
+        let server =
+            GroupKeyServer::new(ServerConfig::default(), AccessControl::allow_list([UserId(42)]));
         let mut ns = NetServer::new(server, &mut net);
         let ep = net.endpoint();
         let req = ControlMessage::JoinRequest { user: UserId(7) }.encode();

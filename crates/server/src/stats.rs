@@ -63,6 +63,11 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Rebuild a sink from checkpointed records (crash recovery).
+    pub fn from_records(records: Vec<OpRecord>) -> Self {
+        ServerStats { records }
+    }
+
     /// Append a record.
     pub fn push(&mut self, rec: OpRecord) {
         self.records.push(rec);
@@ -81,20 +86,17 @@ impl ServerStats {
 
     /// Aggregate over all records of the given kind (`None` = both kinds).
     pub fn aggregate(&self, kind: Option<OpKind>) -> Option<Aggregate> {
-        let recs: Vec<&OpRecord> = self
-            .records
-            .iter()
-            .filter(|r| kind.is_none_or(|k| r.kind == k))
-            .collect();
+        let recs: Vec<&OpRecord> =
+            self.records.iter().filter(|r| kind.is_none_or(|k| r.kind == k)).collect();
         if recs.is_empty() {
             return None;
         }
         let ops = recs.len() as u64;
         let all_sizes: Vec<u32> = recs.iter().flat_map(|r| r.msg_sizes.iter().copied()).collect();
         let total_msgs = all_sizes.len() as f64;
-        let (min, max, sum) = all_sizes.iter().fold((u32::MAX, 0u32, 0u64), |(mn, mx, s), &v| {
-            (mn.min(v), mx.max(v), s + v as u64)
-        });
+        let (min, max, sum) = all_sizes
+            .iter()
+            .fold((u32::MAX, 0u32, 0u64), |(mn, mx, s), &v| (mn.min(v), mx.max(v), s + v as u64));
         Some(Aggregate {
             ops,
             requests: recs.iter().map(|r| r.requests as u64).sum(),

@@ -24,6 +24,9 @@ pub enum OpKind {
     Leave,
     /// Triggered by a batched rekey interval (joins and leaves together).
     Batch,
+    /// A group-key refresh (key-version bump) with no membership change —
+    /// periodic rotation, or rotation forced after recovering from a crash.
+    Refresh,
 }
 
 /// Authentication attached to a rekey message.
@@ -75,6 +78,7 @@ impl RekeyPacket {
             OpKind::Join => 0,
             OpKind::Leave => 1,
             OpKind::Batch => 2,
+            OpKind::Refresh => 3,
         });
         out.put_u64(self.timestamp_ms);
         encode_recipients(&mut out, &self.message.recipients);
@@ -106,6 +110,7 @@ impl RekeyPacket {
             0 => OpKind::Join,
             1 => OpKind::Leave,
             2 => OpKind::Batch,
+            3 => OpKind::Refresh,
             t => return Err(WireError::BadTag { context: "op kind", tag: t }),
         };
         let timestamp_ms = get_u64(&mut buf)?;
@@ -121,7 +126,13 @@ impl RekeyPacket {
             return Err(WireError::TrailingBytes(buf.len()));
         }
         Ok((
-            RekeyPacket { seq, op, timestamp_ms, message: RekeyMessage { recipients, bundles }, auth },
+            RekeyPacket {
+                seq,
+                op,
+                timestamp_ms,
+                message: RekeyMessage { recipients, bundles },
+                auth,
+            },
             body_len,
         ))
     }
@@ -570,10 +581,7 @@ mod tests {
         }
         let mut extended = bytes.clone();
         extended.push(0);
-        assert!(matches!(
-            BatchRekeyPacket::decode(&extended),
-            Err(WireError::TrailingBytes(1))
-        ));
+        assert!(matches!(BatchRekeyPacket::decode(&extended), Err(WireError::TrailingBytes(1))));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Exhaustive wire-format conformance tests.
+//!
+//! Every message variant the protocol can produce must (a) round-trip
+//! through encode/decode unchanged, and (b) reject — never panic on —
+//! truncated or bit-flipped frames. The unit tests inside `kg-wire` spot
+//! check individual variants; this suite enumerates the full cross
+//! product: every `OpKind` × every `Recipients` × every `AuthTag` for
+//! [`RekeyPacket`], every `AuthTag` for [`BatchRekeyPacket`], and every
+//! [`ControlMessage`] variant.
+
+use kg_core::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
+use kg_core::merkle::{AuthPath, Side};
+use kg_core::rekey::{KeyBundle, Recipients, RekeyMessage};
+use kg_wire::{AuthTag, BatchRekeyPacket, ControlMessage, OpKind, RekeyPacket};
+
+const ALL_OPS: [OpKind; 4] = [OpKind::Join, OpKind::Leave, OpKind::Batch, OpKind::Refresh];
+
+fn all_recipients() -> Vec<Recipients> {
+    vec![
+        Recipients::User(UserId(7)),
+        Recipients::Subgroup(KeyLabel(3)),
+        Recipients::SubgroupExcept { include: KeyLabel(4), exclude: KeyLabel(11) },
+        Recipients::Group,
+    ]
+}
+
+fn all_auth_tags() -> Vec<AuthTag> {
+    vec![
+        AuthTag::None,
+        AuthTag::Digest(vec![0x11; 16]),
+        AuthTag::Signed { signature: vec![0x22; 64] },
+        AuthTag::MerkleSigned {
+            root_signature: vec![0x33; 64],
+            path: AuthPath {
+                index: 5,
+                siblings: vec![(Side::Left, vec![0x44; 16]), (Side::Right, vec![0x55; 16])],
+            },
+        },
+    ]
+}
+
+fn bundle(n: u64) -> KeyBundle {
+    KeyBundle {
+        targets: vec![
+            KeyRef::new(KeyLabel(n), KeyVersion(n % 4)),
+            KeyRef::new(KeyLabel(n + 1), KeyVersion(0)),
+        ],
+        encrypted_with: KeyRef::new(KeyLabel(100 + n), KeyVersion(2)),
+        iv: vec![n as u8; 8],
+        ciphertext: vec![0xC3; 16 + (n as usize % 3) * 8],
+    }
+}
+
+/// Every distinct rekey packet shape: 4 ops × 4 recipients × 4 auths,
+/// with bundle counts varying 0..=2 so the empty case is covered too.
+fn all_rekey_packets() -> Vec<RekeyPacket> {
+    let mut packets = Vec::new();
+    for (i, op) in ALL_OPS.into_iter().enumerate() {
+        for (j, recipients) in all_recipients().into_iter().enumerate() {
+            for (k, auth) in all_auth_tags().into_iter().enumerate() {
+                let nbundles = (i + j + k) % 3;
+                packets.push(RekeyPacket {
+                    seq: (i * 100 + j * 10 + k) as u64,
+                    op,
+                    timestamp_ms: 1_000 + k as u64,
+                    message: RekeyMessage {
+                        recipients: recipients.clone(),
+                        bundles: (0..nbundles).map(|b| bundle(b as u64)).collect(),
+                    },
+                    auth,
+                });
+            }
+        }
+    }
+    packets
+}
+
+fn all_batch_packets() -> Vec<BatchRekeyPacket> {
+    all_auth_tags()
+        .into_iter()
+        .enumerate()
+        .map(|(k, auth)| BatchRekeyPacket {
+            interval: 40 + k as u64,
+            timestamp_ms: 9_000 + k as u64,
+            joins: k as u32,
+            leaves: 5 - k as u32,
+            message: RekeyMessage {
+                recipients: Recipients::Group,
+                bundles: (0..k).map(|b| bundle(b as u64)).collect(),
+            },
+            auth,
+        })
+        .collect()
+}
+
+fn all_control_messages() -> Vec<ControlMessage> {
+    vec![
+        ControlMessage::JoinRequest { user: UserId(1) },
+        ControlMessage::JoinGranted {
+            user: UserId(2),
+            leaf_label: KeyLabel(17),
+            path_labels: vec![KeyLabel(0), KeyLabel(3), KeyLabel(9)],
+        },
+        ControlMessage::JoinDenied { user: UserId(3) },
+        ControlMessage::LeaveRequest { user: UserId(4), auth: vec![0xAA; 16] },
+        ControlMessage::LeaveGranted { user: UserId(5) },
+        ControlMessage::LeaveDenied { user: UserId(6) },
+    ]
+}
+
+#[test]
+fn every_rekey_packet_variant_roundtrips() {
+    let packets = all_rekey_packets();
+    assert_eq!(packets.len(), 64, "4 ops x 4 recipients x 4 auths");
+    for pkt in packets {
+        let bytes = pkt.encode();
+        assert_eq!(bytes.len(), pkt.wire_len(), "{pkt:?}");
+        let (decoded, body_len) = RekeyPacket::decode(&bytes).expect("valid encoding");
+        assert_eq!(decoded, pkt);
+        assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+    }
+}
+
+#[test]
+fn every_batch_packet_variant_roundtrips() {
+    for pkt in all_batch_packets() {
+        let bytes = pkt.encode();
+        assert!(BatchRekeyPacket::sniff(&bytes));
+        assert_eq!(bytes.len(), pkt.wire_len(), "{pkt:?}");
+        let (decoded, body_len) = BatchRekeyPacket::decode(&bytes).expect("valid encoding");
+        assert_eq!(decoded, pkt);
+        assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+    }
+}
+
+#[test]
+fn every_control_message_variant_roundtrips() {
+    for msg in all_control_messages() {
+        let decoded = ControlMessage::decode(&msg.encode()).expect("valid encoding");
+        assert_eq!(decoded, msg);
+    }
+}
+
+/// Every strict prefix of a valid frame must decode to an error. The
+/// encodings are deterministic with no optional trailing fields, so a
+/// truncated frame can never be mistaken for a complete one.
+#[test]
+fn truncation_always_errors_never_panics() {
+    for pkt in all_rekey_packets() {
+        let bytes = pkt.encode();
+        for cut in 0..bytes.len() {
+            assert!(RekeyPacket::decode(&bytes[..cut]).is_err(), "cut {cut} of {pkt:?}");
+        }
+    }
+    for pkt in all_batch_packets() {
+        let bytes = pkt.encode();
+        for cut in 0..bytes.len() {
+            assert!(BatchRekeyPacket::decode(&bytes[..cut]).is_err(), "cut {cut} of {pkt:?}");
+        }
+    }
+    for msg in all_control_messages() {
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(ControlMessage::decode(&bytes[..cut]).is_err(), "cut {cut} of {msg:?}");
+        }
+    }
+}
+
+/// Flipping any single bit of a valid frame must either produce a typed
+/// decode error or decode to a message whose canonical re-encoding equals
+/// the flipped bytes (a different but well-formed frame, e.g. a changed
+/// user id). Silently misparsing — decoding to something that would
+/// encode differently — is the failure mode this guards against, and
+/// panicking is never acceptable.
+#[test]
+fn bit_flips_never_misparse_or_panic() {
+    for pkt in all_rekey_packets() {
+        let bytes = pkt.encode();
+        for pos in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[pos / 8] ^= 1 << (pos % 8);
+            if let Ok((decoded, _)) = RekeyPacket::decode(&flipped) {
+                assert_eq!(decoded.encode(), flipped, "bit {pos} of {pkt:?}");
+            }
+        }
+    }
+    for pkt in all_batch_packets() {
+        let bytes = pkt.encode();
+        for pos in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[pos / 8] ^= 1 << (pos % 8);
+            if let Ok((decoded, _)) = BatchRekeyPacket::decode(&flipped) {
+                assert_eq!(decoded.encode(), flipped, "bit {pos} of {pkt:?}");
+            }
+        }
+    }
+    for msg in all_control_messages() {
+        let bytes = msg.encode();
+        for pos in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[pos / 8] ^= 1 << (pos % 8);
+            if let Ok(decoded) = ControlMessage::decode(&flipped) {
+                assert_eq!(decoded.encode(), flipped, "bit {pos} of {msg:?}");
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    /// Random byte soup never panics any decoder, and anything that does
+    /// decode re-encodes to exactly the input (no silent misparses).
+    #[test]
+    fn random_garbage_never_misparses(data in proptest::collection::vec(0u8.., 0..256)) {
+        if let Ok((pkt, _)) = RekeyPacket::decode(&data) {
+            proptest::prop_assert_eq!(pkt.encode(), data.clone());
+        }
+        if let Ok((pkt, _)) = BatchRekeyPacket::decode(&data) {
+            proptest::prop_assert_eq!(pkt.encode(), data.clone());
+        }
+        if let Ok(msg) = ControlMessage::decode(&data) {
+            proptest::prop_assert_eq!(msg.encode(), data);
+        }
+    }
+}

@@ -75,7 +75,11 @@ fn main() {
 
     let (evs, _) = advance(&mut net, &mut ns, &mut fleet, 100);
     report_flush(&evs);
-    println!("t=100ms: group size {}, consensus: {}", ns.inner().group_size(), consensus(&ns, &fleet));
+    println!(
+        "t=100ms: group size {}, consensus: {}",
+        ns.inner().group_size(),
+        consensus(&ns, &fleet)
+    );
 
     // Interval 2: mixed churn — three leaves and two joins collapse into
     // one consolidated rekey.
@@ -90,7 +94,11 @@ fn main() {
         fleet.remove(&mut net, UserId(u));
     }
     report_flush(&evs);
-    println!("t=200ms: group size {}, consensus: {}", ns.inner().group_size(), consensus(&ns, &fleet));
+    println!(
+        "t=200ms: group size {}, consensus: {}",
+        ns.inner().group_size(),
+        consensus(&ns, &fleet)
+    );
 
     // Interval 3: a leave followed by a rejoin inside one interval — the
     // member is never reported as departed; it simply receives a fresh
@@ -102,7 +110,11 @@ fn main() {
     let departures = evs.iter().filter(|e| matches!(e, ServerEvent::Left(_))).count();
     println!("leave+rejoin of u5 in one interval: {departures} departures reported");
     report_flush(&evs);
-    println!("t=300ms: group size {}, consensus: {}\n", ns.inner().group_size(), consensus(&ns, &fleet));
+    println!(
+        "t=300ms: group size {}, consensus: {}\n",
+        ns.inner().group_size(),
+        consensus(&ns, &fleet)
+    );
 
     // Per-interval server records.
     println!("per-interval server records (kind=Batch):");

@@ -54,8 +54,14 @@ fn main() {
     let iolus_rekey_avg = iolus_rekey_encryptions as f64 / 100.0;
 
     println!("membership churn (100 requests at n={n}):");
-    println!("  key graphs : {:>6.2} encryptions/request at ONE trusted server", kg.encryptions_ave);
-    println!("  iolus      : {iolus_rekey_avg:>6.2} encryptions/request across {} trusted agents", sys.agent_count());
+    println!(
+        "  key graphs : {:>6.2} encryptions/request at ONE trusted server",
+        kg.encryptions_ave
+    );
+    println!(
+        "  iolus      : {iolus_rekey_avg:>6.2} encryptions/request across {} trusted agents",
+        sys.agent_count()
+    );
 
     // --- Data path -------------------------------------------------------
     // Key graphs: a sender encrypts once with the shared group key; no
@@ -78,7 +84,8 @@ fn main() {
     println!("\ntrade-off summary (the paper's Section 6):");
     println!("  key graphs pay at membership-change time; Iolus pays on every message");
     println!("  key graphs trust 1 entity; Iolus trusts {}", sys.agent_count());
-    println!("  for {} messages between churn events, iolus does {} extra crypto ops",
+    println!(
+        "  for {} messages between churn events, iolus does {} extra crypto ops",
         1000,
         1000 * (msg.ops.agent_decryptions + msg.ops.encryptions),
     );

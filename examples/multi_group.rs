@@ -48,7 +48,12 @@ fn main() {
     graph.merge(&video_graph);
     graph.merge(&chat_graph);
 
-    println!("merged key graph: {} users, {} keys, {} roots", graph.user_count(), graph.key_count(), graph.roots().len());
+    println!(
+        "merged key graph: {} users, {} keys, {} roots",
+        graph.user_count(),
+        graph.key_count(),
+        graph.roots().len()
+    );
     assert_eq!(graph.user_count(), 9);
     assert_eq!(graph.roots().len(), 2, "one root (group key) per group");
 
@@ -56,7 +61,12 @@ fn main() {
     let u5 = graph.keyset(UserId(5));
     let u1 = graph.keyset(UserId(1));
     let u9 = graph.keyset(UserId(9));
-    println!("u5 (both groups) holds {} keys; u1 (video only) {}; u9 (chat only) {}", u5.len(), u1.len(), u9.len());
+    println!(
+        "u5 (both groups) holds {} keys; u1 (video only) {}; u9 (chat only) {}",
+        u5.len(),
+        u1.len(),
+        u9.len()
+    );
     assert!(u5.len() > u1.len());
 
     let roots = graph.roots();

@@ -99,5 +99,8 @@ fn main() {
         "server work across the season: {} requests, {:.2} encryptions/request, {:.3} ms/request",
         agg.ops, agg.encryptions_ave, agg.proc_ms_ave
     );
-    println!("(a star key graph would have paid ~n/2 = {} encryptions/request)", server.group_size() / 2);
+    println!(
+        "(a star key graph would have paid ~n/2 = {} encryptions/request)",
+        server.group_size() / 2
+    );
 }

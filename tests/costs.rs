@@ -45,19 +45,15 @@ fn table2_server_join_cost_exact_on_full_trees() {
         let n = (d as u64).pow(3);
         let (mut tree, mut src) = full_tree(n, d);
         let h = cost::tree_height(n, d as u64); // tree is full: h = 4
-        // Join: the tree is full, so the join splits a leaf; height grows.
-        // Use a tree with one slot free instead: remove one user first.
+                                                // Join: the tree is full, so the join splits a leaf; height grows.
+                                                // Use a tree with one slot free instead: remove one user first.
         tree.leave(UserId(0), &mut src).unwrap();
         let ik = src.generate_key(8);
         let ev = tree.join(UserId(999), ik, &mut src).unwrap();
         let mut ivs = HmacDrbg::from_seed(1);
         let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
         let out = rk.join(&ev, Strategy::KeyOriented);
-        assert_eq!(
-            out.ops.key_encryptions,
-            2 * (h - 1),
-            "d={d}: join cost 2(h-1)"
-        );
+        assert_eq!(out.ops.key_encryptions, 2 * (h - 1), "d={d}: join cost 2(h-1)");
     }
 }
 
@@ -118,10 +114,7 @@ fn tree_beats_star_beyond_small_n() {
         let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
         let tree_cost = rk.leave(&ev, Strategy::GroupOriented).ops.key_encryptions;
         let star_cost = n - 1;
-        assert!(
-            tree_cost * 2 < star_cost,
-            "n={n}: tree {tree_cost} vs star {star_cost}"
-        );
+        assert!(tree_cost * 2 < star_cost, "n={n}: tree {tree_cost} vs star {star_cost}");
         if n >= 1024 {
             // At scale the gap is an order of magnitude and more.
             assert!(tree_cost * 10 < star_cost);
@@ -156,10 +149,7 @@ fn average_cost_tracks_table3_under_churn() {
     let measured = total_enc as f64 / ops as f64;
     let formula = cost::avg_cost_server(GraphClass::Tree, n, d as u64);
     let ratio = measured / formula;
-    assert!(
-        (0.5..=1.5).contains(&ratio),
-        "measured {measured:.2} vs formula {formula:.2}"
-    );
+    assert!((0.5..=1.5).contains(&ratio), "measured {measured:.2} vs formula {formula:.2}");
 }
 
 #[test]
@@ -172,10 +162,7 @@ fn complete_graph_bracket() {
     }
     // Table 1 and Table 2 complete-column behaviour.
     assert_eq!(g.key_count() as u64, cost::server_total_keys(GraphClass::Complete, 6, 0));
-    assert_eq!(
-        g.keys_held_by(UserId(3)) as u64,
-        cost::keys_per_user(GraphClass::Complete, 6, 0)
-    );
+    assert_eq!(g.keys_held_by(UserId(3)) as u64, cost::keys_per_user(GraphClass::Complete, 6, 0));
     let ops = g.leave(UserId(0)).unwrap();
     assert_eq!(ops.keys_generated, 0, "complete-graph leaves are free");
 }

@@ -114,11 +114,8 @@ fn clients_hold_exactly_their_path_keys() {
         let server_path = ns.inner().tree().keyset(c.user()).unwrap();
         assert_eq!(c.keys_held(), server_path.len(), "user {:?}", c.user());
         // And the key *values* agree, label by label.
-        let client_keys: std::collections::BTreeMap<_, _> = c
-            .keyset()
-            .into_iter()
-            .map(|(r, k)| (r.label, (r.version, k)))
-            .collect();
+        let client_keys: std::collections::BTreeMap<_, _> =
+            c.keyset().into_iter().map(|(r, k)| (r.label, (r.version, k))).collect();
         for (r, k) in server_path {
             let (cv, ck) = client_keys.get(&r.label).expect("client holds path label");
             assert_eq!(*cv, r.version);

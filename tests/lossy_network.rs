@@ -11,10 +11,10 @@ use bytes::Bytes;
 use keygraphs::client::{Client, VerifyPolicy};
 use keygraphs::core::ids::UserId;
 use keygraphs::core::rekey::KeyCipher;
+use keygraphs::core::rekey::Strategy;
 use keygraphs::net::reliable::{ReliableMailbox, RTO_US};
 use keygraphs::net::{NetConfig, SimNetwork};
 use keygraphs::server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
-use keygraphs::core::rekey::Strategy;
 use std::collections::BTreeMap;
 
 struct ReliableWorld {
@@ -33,7 +33,8 @@ impl ReliableWorld {
             ..NetConfig::default()
         });
         let server_ep = net.endpoint();
-        let config = ServerConfig { strategy, auth: AuthPolicy::Digest, seed, ..ServerConfig::default() };
+        let config =
+            ServerConfig { strategy, auth: AuthPolicy::Digest, seed, ..ServerConfig::default() };
         ReliableWorld {
             net,
             server: GroupKeyServer::new(config, AccessControl::AllowAll),

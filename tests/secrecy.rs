@@ -24,7 +24,8 @@ struct World {
 
 impl World {
     fn new(strategy: Strategy, seed: u64) -> World {
-        let config = ServerConfig { strategy, auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+        let config =
+            ServerConfig { strategy, auth: AuthPolicy::None, seed, ..ServerConfig::default() };
         World {
             server: GroupKeyServer::new(config, AccessControl::AllowAll),
             clients: BTreeMap::new(),
@@ -385,14 +386,8 @@ fn eviction_is_immediate() {
         w.join(UserId(i));
     }
     let victim = UserId(5);
-    let ghost_keys: Vec<_> = w
-        .server
-        .tree()
-        .keyset(victim)
-        .unwrap()
-        .into_iter()
-        .map(|(_, k)| k)
-        .collect();
+    let ghost_keys: Vec<_> =
+        w.server.tree().keyset(victim).unwrap().into_iter().map(|(_, k)| k).collect();
     w.leave(victim);
     let (_, gk) = w.server.tree().group_key();
     for k in ghost_keys {

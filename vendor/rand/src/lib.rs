@@ -276,10 +276,8 @@ pub mod rngs {
 
         fn next_u64(&mut self) -> u64 {
             let mut h = RandomState::new().build_hasher();
-            let now = SystemTime::now()
-                .duration_since(UNIX_EPOCH)
-                .map(|d| d.as_nanos())
-                .unwrap_or(0);
+            let now =
+                SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos()).unwrap_or(0);
             h.write_u128(now);
             h.finish()
         }
