@@ -2,6 +2,7 @@
 
 use kg_core::ids::UserId;
 use kg_crypto::SymmetricKey;
+use kg_obs::{Counter, Gauge, Obs, ObsEvent};
 
 /// When the scheduler flushes its queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,10 @@ pub struct BatchScheduler {
     leaves: Vec<UserId>,
     last_flush_ms: u64,
     intervals_flushed: u64,
+    obs: Obs,
+    queue_depth: Gauge,
+    collapsed_joins: Counter,
+    deduped_leaves: Counter,
 }
 
 impl BatchScheduler {
@@ -60,7 +65,22 @@ impl BatchScheduler {
             leaves: Vec::new(),
             last_flush_ms: now_ms,
             intervals_flushed: 0,
+            obs: Obs::disabled(),
+            queue_depth: Gauge::default(),
+            collapsed_joins: Counter::default(),
+            deduped_leaves: Counter::default(),
         }
+    }
+
+    /// Attach an observability handle: the queue-depth gauge
+    /// (`kg_batch_queue_depth`), collapse/dedup counters, and
+    /// enqueue/flush timeline events flow to it.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.queue_depth = obs.gauge("kg_batch_queue_depth");
+        self.collapsed_joins = obs.counter("kg_batch_collapsed_joins_total");
+        self.deduped_leaves = obs.counter("kg_batch_deduped_leaves_total");
+        self.queue_depth.set(self.pending() as i64);
+        self.obs = obs;
     }
 
     /// The flush policy.
@@ -96,6 +116,8 @@ impl BatchScheduler {
         } else {
             self.joins.push((user, individual_key));
         }
+        self.obs.event(ObsEvent::EnqueueJoin { user: user.0 });
+        self.queue_depth.set(self.pending() as i64);
     }
 
     /// Queue a leave request. Cancels a pending join for the same user
@@ -104,11 +126,18 @@ impl BatchScheduler {
     pub fn enqueue_leave(&mut self, user: UserId) {
         if let Some(pos) = self.joins.iter().position(|(u, _)| *u == user) {
             self.joins.remove(pos);
+            self.collapsed_joins.inc();
+            self.obs.event(ObsEvent::CollapsedJoin { user: user.0 });
+            self.queue_depth.set(self.pending() as i64);
             return;
         }
-        if !self.leaves.contains(&user) {
+        if self.leaves.contains(&user) {
+            self.deduped_leaves.inc();
+        } else {
             self.leaves.push(user);
         }
+        self.obs.event(ObsEvent::EnqueueLeave { user: user.0 });
+        self.queue_depth.set(self.pending() as i64);
     }
 
     /// Whether the queue should flush at `now_ms`.
@@ -127,11 +156,18 @@ impl BatchScheduler {
         }
         self.intervals_flushed += 1;
         self.last_flush_ms = now_ms;
-        Some(PendingBatch {
+        let batch = PendingBatch {
             interval: self.intervals_flushed,
             joins: std::mem::take(&mut self.joins),
             leaves: std::mem::take(&mut self.leaves),
-        })
+        };
+        self.obs.event(ObsEvent::Flush {
+            interval: batch.interval,
+            joins: batch.joins.len() as u64,
+            leaves: batch.leaves.len() as u64,
+        });
+        self.queue_depth.set(0);
+        Some(batch)
     }
 
     /// [`take`](Self::take) if [`should_flush`](Self::should_flush).
@@ -171,7 +207,14 @@ impl BatchScheduler {
         last_flush_ms: u64,
         intervals_flushed: u64,
     ) -> Self {
-        BatchScheduler { policy, joins, leaves, last_flush_ms, intervals_flushed }
+        BatchScheduler {
+            policy,
+            joins,
+            leaves,
+            last_flush_ms,
+            intervals_flushed,
+            ..BatchScheduler::default()
+        }
     }
 }
 

@@ -3,11 +3,12 @@
 //! ```text
 //! report [--quick] <artifact>...
 //! artifacts: table1 table2 table3 table4 table5 table6
-//!            fig10 fig11 fig12 iolus hybrid batch persist all
+//!            fig10 fig11 fig12 iolus hybrid batch persist obs all
 //! ```
 //!
-//! The `batch` and `persist` artifacts also write machine-readable
-//! `BENCH_batch.json` and `BENCH_persist.json` to the working directory.
+//! The `batch`, `persist`, and `obs` artifacts also write
+//! machine-readable `BENCH_batch.json`, `BENCH_persist.json`, and
+//! `BENCH_obs.json` to the working directory.
 //!
 //! `--quick` shrinks group sizes / request counts for a fast smoke run.
 //! Absolute times differ from the paper's 1998 SGI Origin 200 numbers; the
@@ -16,8 +17,8 @@
 //! EXPERIMENTS.md for the side-by-side reading.
 
 use kg_bench::{
-    run, run_batch_comparison, run_persist_overhead, run_recovery_curve, BatchConfig,
-    ExperimentConfig, TextTable, SEEDS,
+    run, run_batch_comparison, run_obs_overhead, run_obs_reconcile, run_persist_overhead,
+    run_recovery_curve, BatchConfig, ExperimentConfig, TextTable, SEEDS,
 };
 use kg_core::cost::{self, GraphClass};
 use kg_core::ids::UserId;
@@ -42,7 +43,7 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: report [--quick] <artifact>...\n\
                      artifacts: table1 table2 table3 table4 table5 table6 \
-                     fig10 fig11 fig12 iolus hybrid batch persist all"
+                     fig10 fig11 fig12 iolus hybrid batch persist obs all"
                 );
                 std::process::exit(0);
             }
@@ -104,6 +105,9 @@ fn main() {
     }
     if want("persist") {
         persist(&opts);
+    }
+    if want("obs") {
+        obs(&opts);
     }
 }
 
@@ -280,6 +284,8 @@ fn table4(opts: &Opts) {
         "proc ms join",
         "proc ms leave",
         "proc ms ave",
+        "proc ms p50",
+        "proc ms p99",
     ]);
     for strategy in Strategy::ALL {
         for (auth, name) in
@@ -295,11 +301,13 @@ fn table4(opts: &Opts) {
                 f(r.join.proc_ms_ave),
                 f(r.leave.proc_ms_ave),
                 f((r.join.proc_ms_ave + r.leave.proc_ms_ave) / 2.0),
+                f(r.all.proc_ms_p50),
+                f(r.all.proc_ms_p99),
             ]);
         }
     }
     println!("{}", t.render());
-    println!("(paper, n=8192: key-oriented 140.1 ms per-message vs 14.5 ms batch — a ~10x reduction; group-oriented unaffected at 11.9 ms)\n");
+    println!("(paper, n=8192: key-oriented 140.1 ms per-message vs 14.5 ms batch — a ~10x reduction; group-oriented unaffected at 11.9 ms. p50/p99 are log-bucket histogram estimates over all requests; a p99 far above p50 marks the leave-heavy tail)\n");
 }
 
 /// Figure 10: server processing time vs group size.
@@ -385,6 +393,8 @@ fn table5(opts: &Opts) {
             "leave max",
             "msgs/join",
             "msgs/leave",
+            "proc ms p50",
+            "proc ms p99",
         ]);
         for strategy in Strategy::ALL {
             let r = run(&ExperimentConfig {
@@ -405,11 +415,13 @@ fn table5(opts: &Opts) {
                 r.leave.msg_size_max.to_string(),
                 f(r.join.msgs_per_op),
                 f(r.leave.msgs_per_op),
+                f(r.all.proc_ms_p50),
+                f(r.all.proc_ms_p99),
             ]);
         }
         println!("{}", t.render());
     }
-    println!("(paper shape at d=4: user/key = 7 msgs/join, 19 msgs/leave; group = 1 and 1, with the group-oriented leave message ~d x the join message)\n");
+    println!("(paper shape at d=4: user/key = 7 msgs/join, 19 msgs/leave; group = 1 and 1, with the group-oriented leave message ~d x the join message. proc percentiles are log-bucket histogram estimates)\n");
 }
 
 /// Table 6: rekey messages received by a client.
@@ -686,6 +698,96 @@ fn persist(opts: &Opts) {
         recovery_json.join(",\n"),
     );
     write_artifact("BENCH_persist.json", &json);
+}
+
+/// Observability layer (`kg-obs`): instrumentation overhead vs a
+/// disabled handle, and a counter/WAL reconciliation after a crash.
+fn obs(opts: &Opts) {
+    println!("## Observability — kg-obs overhead and crash reconciliation (d=4, group-oriented)\n");
+    let n = if opts.quick { 256 } else { 2048 };
+    let ops = if opts.quick { 400 } else { 1000 };
+    let repeats = if opts.quick { 7 } else { 11 };
+    let seed = SEEDS[0];
+
+    println!("### Instrumentation overhead (n={n}, {ops} requests, median of {repeats})\n");
+    let o = run_obs_overhead(n, ops, seed, repeats);
+    let mut t = TextTable::new(&["mode", "elapsed ms", "ops/sec"]);
+    t.row(vec![
+        "ObsConfig::disabled()".into(),
+        f(o.baseline_ms),
+        format!("{:.0}", ops as f64 / (o.baseline_ms / 1e3).max(1e-9)),
+    ]);
+    t.row(vec![
+        "enabled (spans+counters+timeline)".into(),
+        f(o.observed_ms),
+        format!("{:.0}", ops as f64 / (o.observed_ms / 1e3).max(1e-9)),
+    ]);
+    println!("{}", t.render());
+    println!("(overhead: {:+.2}% — target < 5%)\n", o.overhead_pct);
+
+    println!("### What the enabled handle saw\n");
+    let mut t = TextTable::new(&["quantity", "value"]);
+    t.row(vec!["kg_requests_total (join+leave)".into(), o.requests_total.to_string()]);
+    t.row(vec!["kg_encryptions_total".into(), o.encryptions_total.to_string()]);
+    t.row(vec![
+        "op.join span p50/p99 (us)".into(),
+        format!("{} / {}", o.join_span.p50, o.join_span.p99),
+    ]);
+    t.row(vec![
+        "op.leave span p50/p99 (us)".into(),
+        format!("{} / {}", o.leave_span.p50, o.leave_span.p99),
+    ]);
+    t.row(vec!["timeline events".into(), o.timeline_total.to_string()]);
+    t.row(vec!["prometheus exposition lines".into(), o.prometheus_lines.to_string()]);
+    println!("{}", t.render());
+
+    let rn = if opts.quick { 128 } else { 512 };
+    let rops = if opts.quick { 100 } else { 400 };
+    println!("### Counter / WAL reconciliation after a crash (n={rn}, {rops} requests)\n");
+    let r = run_obs_reconcile(rn, rops, seed);
+    let mut t = TextTable::new(&["account", "operations"]);
+    t.row(vec!["expected (initial joins + requests)".into(), r.expected_ops.to_string()]);
+    t.row(vec!["WalAppend timeline events".into(), r.wal_append_events.to_string()]);
+    t.row(vec!["kg_requests_total counter".into(), r.requests_counter.to_string()]);
+    t.row(vec!["ServerStats records pushed".into(), r.stats_records.to_string()]);
+    t.row(vec!["WAL records replayed on recovery".into(), r.records_replayed.to_string()]);
+    println!("{}", t.render());
+    println!(
+        "(recovered event seen: {}; all accounts {} — the timeline, the metrics registry, the stats vector, and the log on disk agree on what happened)\n",
+        r.recovered_event_seen,
+        if r.consistent() { "CONSISTENT" } else { "INCONSISTENT" },
+    );
+
+    let json = format!(
+        "{{\n  \"artifact\": \"obs\",\n  \"n\": {n},\n  \"ops\": {ops},\n  \"seed\": {seed},\n  \
+         \"overhead\": {{\"baseline_ms\": {}, \"observed_ms\": {}, \"overhead_pct\": {}, \
+         \"requests_total\": {}, \"encryptions_total\": {}, \"timeline_events\": {}, \
+         \"prometheus_lines\": {}, \
+         \"join_span_us\": {{\"p50\": {}, \"p99\": {}}}, \
+         \"leave_span_us\": {{\"p50\": {}, \"p99\": {}}}}},\n  \
+         \"reconcile\": {{\"n\": {rn}, \"ops\": {rops}, \"expected_ops\": {}, \
+         \"wal_append_events\": {}, \"requests_counter\": {}, \"stats_records\": {}, \
+         \"records_replayed\": {}, \"recovered_event_seen\": {}, \"consistent\": {}}}\n}}\n",
+        jf(o.baseline_ms),
+        jf(o.observed_ms),
+        jf(o.overhead_pct),
+        o.requests_total,
+        o.encryptions_total,
+        o.timeline_total,
+        o.prometheus_lines,
+        o.join_span.p50,
+        o.join_span.p99,
+        o.leave_span.p50,
+        o.leave_span.p99,
+        r.expected_ops,
+        r.wal_append_events,
+        r.requests_counter,
+        r.stats_records,
+        r.records_replayed,
+        r.recovered_event_seen,
+        r.consistent(),
+    );
+    write_artifact("BENCH_obs.json", &json);
 }
 
 /// Section 6: Iolus comparison.

@@ -219,6 +219,8 @@ fn mean_agg(aggs: &[Aggregate]) -> Aggregate {
             msg_size_max: 0,
             msgs_per_op: 0.0,
             proc_ms_ave: 0.0,
+            proc_ms_p50: 0.0,
+            proc_ms_p99: 0.0,
             encryptions_ave: 0.0,
             signatures_ave: 0.0,
         };
@@ -232,6 +234,8 @@ fn mean_agg(aggs: &[Aggregate]) -> Aggregate {
         msg_size_max: aggs.iter().map(|a| a.msg_size_max).max().unwrap_or(0),
         msgs_per_op: aggs.iter().map(|a| a.msgs_per_op).sum::<f64>() / n,
         proc_ms_ave: aggs.iter().map(|a| a.proc_ms_ave).sum::<f64>() / n,
+        proc_ms_p50: aggs.iter().map(|a| a.proc_ms_p50).sum::<f64>() / n,
+        proc_ms_p99: aggs.iter().map(|a| a.proc_ms_p99).sum::<f64>() / n,
         encryptions_ave: aggs.iter().map(|a| a.encryptions_ave).sum::<f64>() / n,
         signatures_ave: aggs.iter().map(|a| a.signatures_ave).sum::<f64>() / n,
     }
@@ -599,6 +603,183 @@ pub fn run_recovery_curve(n: usize, churn_ops: &[usize], seed: u64) -> Vec<Recov
             RecoveryPoint { wal_ops: n + ops, wal_bytes, recover_ms }
         })
         .collect()
+}
+
+/// Result of the observability-overhead measurement: the same churn
+/// workload timed with a disabled [`kg_obs::Obs`] handle (the baseline)
+/// and with a fully enabled one (spans, counters, timeline).
+#[derive(Debug, Clone)]
+pub struct ObsOverhead {
+    /// Median-of-`repeats` churn time with observability off, ms.
+    pub baseline_ms: f64,
+    /// Median-of-`repeats` churn time with observability on, ms.
+    pub observed_ms: f64,
+    /// `(observed / baseline − 1) × 100` — the acceptance target is < 5.
+    pub overhead_pct: f64,
+    /// `kg_requests_total` summed over the join/leave families after one
+    /// observed run (should equal the request count).
+    pub requests_total: u64,
+    /// `kg_encryptions_total` after one observed run.
+    pub encryptions_total: u64,
+    /// Join-handler span distribution (`kg_span_us{span="op.join"}`).
+    pub join_span: kg_obs::HistogramSnapshot,
+    /// Leave-handler span distribution (`kg_span_us{span="op.leave"}`).
+    pub leave_span: kg_obs::HistogramSnapshot,
+    /// Events recorded on the timeline during the observed run.
+    pub timeline_total: u64,
+    /// Lines in the Prometheus exposition (a cheap "exporter works and
+    /// has content" check for the JSON artifact).
+    pub prometheus_lines: usize,
+}
+
+/// Measure the cost of the `kg-obs` layer: run the same workload
+/// (initial group of `n`, then `ops` join/leave requests) `repeats`
+/// times under a disabled handle and `repeats` times under an enabled
+/// one, interleaved, and compare the *median* pass time of each. The
+/// median rather than the mean or minimum because scheduling noise on a
+/// shared host arrives as sustained spikes: a spike long enough to
+/// cover half the interleaved passes would have to last the whole
+/// measurement.
+pub fn run_obs_overhead(n: usize, ops: usize, seed: u64, repeats: usize) -> ObsOverhead {
+    use kg_obs::{Obs, ObsConfig};
+    let workload = Workload::generate(n, ops, seed);
+    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+
+    let run_once = |obs: Obs| -> (f64, Obs) {
+        let mut server = GroupKeyServer::new(config.clone(), AccessControl::AllowAll);
+        for &u in &workload.initial {
+            server.handle_join(u).expect("initial join");
+        }
+        server.reset_stats();
+        server.attach_obs(obs);
+        let start = std::time::Instant::now();
+        churn(&mut server, &workload);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        (ms, server.obs().clone())
+    };
+
+    // One untimed pass per mode warms caches (and absorbs any load spike
+    // left over from whoever launched us) before measurement starts.
+    let _ = run_once(Obs::disabled());
+    let _ = run_once(Obs::new(ObsConfig::default()));
+
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let mut baseline = Vec::new();
+    let mut observed = Vec::new();
+    let mut last_obs = Obs::disabled();
+    for _ in 0..repeats.max(1) {
+        let (b, _) = run_once(Obs::disabled());
+        baseline.push(b);
+        let (o, obs) = run_once(Obs::new(ObsConfig::default()));
+        observed.push(o);
+        last_obs = obs;
+    }
+    let baseline_ms = median(&mut baseline);
+    let observed_ms = median(&mut observed);
+
+    let requests_total = last_obs.counter_with("kg_requests_total", "kind", "join").get()
+        + last_obs.counter_with("kg_requests_total", "kind", "leave").get();
+    ObsOverhead {
+        baseline_ms,
+        observed_ms,
+        overhead_pct: (observed_ms / baseline_ms.max(1e-9) - 1.0) * 100.0,
+        requests_total,
+        encryptions_total: last_obs.counter("kg_encryptions_total").get(),
+        join_span: last_obs.span_snapshot("op.join"),
+        leave_span: last_obs.span_snapshot("op.leave"),
+        timeline_total: last_obs.timeline_total(),
+        prometheus_lines: last_obs.render_prometheus().lines().count(),
+    }
+}
+
+/// Result of the counter/WAL reconciliation run: one persisted server
+/// lifetime, a crash, and an observed recovery, with every independent
+/// account of "how many operations happened" read back.
+#[derive(Debug, Clone)]
+pub struct ObsReconcile {
+    /// Operations the first lifetime performed (initial joins + churn).
+    pub expected_ops: u64,
+    /// `WalAppend` timeline events recorded during the first lifetime
+    /// (cumulative kind count — survives ring eviction).
+    pub wal_append_events: u64,
+    /// `kg_requests_total` over the join/leave families, first lifetime.
+    pub requests_counter: u64,
+    /// Records pushed into `ServerStats` during the first lifetime.
+    pub stats_records: u64,
+    /// `kg_replayed_records_total` as reported by the recovered server's
+    /// fresh handle (equals the WAL records replayed from disk).
+    pub records_replayed: u64,
+    /// Whether the recovery emitted exactly one `Recovered` event.
+    pub recovered_event_seen: bool,
+}
+
+impl ObsReconcile {
+    /// True when every account agrees on the operation count.
+    pub fn consistent(&self) -> bool {
+        self.wal_append_events == self.expected_ops
+            && self.requests_counter == self.expected_ops
+            && self.stats_records == self.expected_ops
+            && self.records_replayed == self.expected_ops
+            && self.recovered_event_seen
+    }
+}
+
+/// Reconcile the observability layer against the durability layer: run a
+/// persisted, observed server (initial group of `n`, then `ops`
+/// requests, snapshots off so the whole history stays in the log),
+/// crash it, recover with a fresh handle, and read back every count
+/// that should equal `n + ops`.
+pub fn run_obs_reconcile(n: usize, ops: usize, seed: u64) -> ObsReconcile {
+    use kg_obs::{Obs, ObsConfig};
+    let workload = Workload::generate(n, ops, seed);
+    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+    let pcfg = kg_persist::PersistConfig {
+        fsync: kg_persist::FsyncPolicy::EveryN(1024),
+        snapshot_every_ops: u64::MAX,
+        snapshot_max_bytes: u64::MAX,
+    };
+    let dir = persist_scratch_dir("obs-reconcile");
+
+    let obs = Obs::new(ObsConfig::default());
+    let mut server =
+        GroupKeyServer::with_persistence(config.clone(), AccessControl::AllowAll, &dir, pcfg)
+            .expect("create store");
+    server.attach_obs(obs.clone());
+    for &u in &workload.initial {
+        server.handle_join(u).expect("initial join");
+    }
+    churn(&mut server, &workload);
+    server.sync_persistence().expect("final sync");
+    let stats_records = server.stats().records_pushed();
+    drop(server); // crash
+
+    let wal_append_events = obs.event_kind_counts().get("wal_append").copied().unwrap_or(0);
+    let requests_counter = obs.counter_with("kg_requests_total", "kind", "join").get()
+        + obs.counter_with("kg_requests_total", "kind", "leave").get();
+
+    let recovery_obs = Obs::new(ObsConfig::default());
+    let recovered = GroupKeyServer::recover_observed(
+        config,
+        AccessControl::AllowAll,
+        &dir,
+        pcfg,
+        recovery_obs.clone(),
+    )
+    .expect("recover");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ObsReconcile {
+        expected_ops: (n + ops) as u64,
+        wal_append_events,
+        requests_counter,
+        stats_records,
+        records_replayed: recovery_obs.counter("kg_replayed_records_total").get(),
+        recovered_event_seen: recovery_obs.event_kind_counts().get("recovered").copied() == Some(1),
+    }
 }
 
 /// Simple fixed-width text table builder for the report binary.

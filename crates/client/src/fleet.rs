@@ -46,12 +46,23 @@ pub struct ClientFleet {
     cipher: KeyCipher,
     verify: VerifyPolicy,
     members: BTreeMap<UserId, Member>,
+    obs: kg_obs::Obs,
 }
 
 impl ClientFleet {
     /// Create an empty fleet whose clients use `cipher` and `verify`.
     pub fn new(cipher: KeyCipher, verify: VerifyPolicy) -> Self {
-        ClientFleet { cipher, verify, members: BTreeMap::new() }
+        ClientFleet { cipher, verify, members: BTreeMap::new(), obs: kg_obs::Obs::disabled() }
+    }
+
+    /// Attach an observability handle to the fleet: every current and
+    /// future member records into the shared `kg_client_*` metrics (see
+    /// [`Client::attach_obs`]).
+    pub fn attach_obs(&mut self, obs: kg_obs::Obs) {
+        for m in self.members.values_mut() {
+            m.client.attach_obs(obs.clone());
+        }
+        self.obs = obs;
     }
 
     /// Number of members being simulated.
@@ -87,10 +98,9 @@ impl ClientFleet {
         user: UserId,
     ) -> EndpointId {
         let endpoint = net.endpoint();
-        self.members.insert(
-            user,
-            Member { client: Client::new(user, self.cipher, self.verify.clone()), endpoint },
-        );
+        let mut client = Client::new(user, self.cipher, self.verify.clone());
+        client.attach_obs(self.obs.clone());
+        self.members.insert(user, Member { client, endpoint });
         let req = ControlMessage::JoinRequest { user }.encode();
         net.send_unicast(endpoint, server, Bytes::from(req));
         endpoint

@@ -39,8 +39,10 @@ use kg_core::merkle;
 use kg_core::rekey::KeyCipher;
 use kg_crypto::rsa::{HashAlg, RsaPublicKey};
 use kg_crypto::SymmetricKey;
+use kg_obs::{Counter, Histogram, Obs, ObsEvent};
 use kg_wire::{AuthTag, BatchRekeyPacket, RekeyPacket, WireError};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// How strictly the client checks rekey message authenticity.
 #[derive(Debug, Clone)]
@@ -142,6 +144,12 @@ pub struct Client {
     /// Newest batch rekey interval applied (0 = none yet).
     last_interval: u64,
     stats: ClientStats,
+    /// Observability (disabled by default): apply-latency histogram,
+    /// stale-interval counter, timeline events. Shared across every
+    /// client attached to the same handle — fleet-wide distributions.
+    obs: Obs,
+    apply_us: Histogram,
+    stale_rejections: Counter,
 }
 
 impl Client {
@@ -156,7 +164,20 @@ impl Client {
             leaf_label: None,
             last_interval: 0,
             stats: ClientStats::default(),
+            obs: Obs::disabled(),
+            apply_us: Histogram::default(),
+            stale_rejections: Counter::default(),
         }
+    }
+
+    /// Attach an observability handle: rekey-apply latency flows to the
+    /// `kg_client_apply_us` histogram, stale-interval rejections to
+    /// `kg_client_stale_total` and the timeline. Handles are shared, so
+    /// attaching one `Obs` to a whole fleet yields fleet-wide metrics.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.apply_us = obs.histogram("kg_client_apply_us");
+        self.stale_rejections = obs.counter("kg_client_stale_total");
+        self.obs = obs;
     }
 
     /// This client's user id.
@@ -208,6 +229,7 @@ impl Client {
 
     /// Process one encoded rekey packet.
     pub fn process_rekey(&mut self, bytes: &[u8]) -> Result<ProcessSummary, ClientError> {
+        let t0 = self.obs.is_enabled().then(Instant::now);
         let (packet, body_len) = RekeyPacket::decode(bytes)?;
         self.verify_auth(&packet.auth, &bytes[..body_len])?;
         self.stats.rekey_msgs += 1;
@@ -260,6 +282,9 @@ impl Client {
         }
         summary.bundles_skipped = done.iter().filter(|&&d| !d).count() as u64;
         self.stats.key_changes += summary.keys_installed;
+        if let Some(t0) = t0 {
+            self.apply_us.record(t0.elapsed().as_micros() as u64);
+        }
         Ok(summary)
     }
 
@@ -278,9 +303,15 @@ impl Client {
     /// rekey counters untouched. Bundles not addressed to this client are
     /// skipped, as in [`Self::process_rekey`].
     pub fn process_batch_rekey(&mut self, bytes: &[u8]) -> Result<ProcessSummary, ClientError> {
+        let t0 = self.obs.is_enabled().then(Instant::now);
         let (packet, body_len) = BatchRekeyPacket::decode(bytes)?;
         self.verify_auth(&packet.auth, &bytes[..body_len])?;
         if packet.interval < self.last_interval {
+            self.stale_rejections.inc();
+            self.obs.event(ObsEvent::StaleInterval {
+                packet: packet.interval,
+                current: self.last_interval,
+            });
             return Err(ClientError::StaleInterval {
                 packet: packet.interval,
                 current: self.last_interval,
@@ -345,6 +376,9 @@ impl Client {
         self.stats.rekey_msgs += 1;
         self.stats.rekey_bytes += bytes.len() as u64;
         self.stats.key_changes += summary.keys_installed;
+        if let Some(t0) = t0 {
+            self.apply_us.record(t0.elapsed().as_micros() as u64);
+        }
         Ok(summary)
     }
 

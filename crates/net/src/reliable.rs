@@ -15,6 +15,7 @@
 
 use crate::sim::{EndpointId, SimNetwork};
 use bytes::{BufMut, Bytes};
+use kg_obs::{Obs, ObsEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 const TAG_DATA: u8 = 0;
@@ -80,6 +81,8 @@ pub struct ReliableMailbox {
     failed: Vec<u64>,
     /// Malformed inbound frames, with their claimed sender.
     rejected: Vec<(EndpointId, FrameError)>,
+    obs: Obs,
+    retransmits: kg_obs::Counter,
 }
 
 impl ReliableMailbox {
@@ -93,7 +96,16 @@ impl ReliableMailbox {
             delivered: VecDeque::new(),
             failed: Vec::new(),
             rejected: Vec::new(),
+            obs: Obs::disabled(),
+            retransmits: kg_obs::Counter::default(),
         }
+    }
+
+    /// Attach an observability handle: retransmissions and rejected
+    /// frames are counted and put on the event timeline.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.retransmits = obs.counter("kg_net_retransmits_total");
+        self.obs = obs;
     }
 
     /// The endpoint this mailbox serves.
@@ -125,6 +137,10 @@ impl ReliableMailbox {
             let (tag, seq, body) = match decode(&dg.payload) {
                 Ok(frame) => frame,
                 Err(e) => {
+                    self.obs.event(ObsEvent::BadDatagram {
+                        from: dg.from.0 as u64,
+                        error: e.to_string(),
+                    });
                     self.rejected.push((dg.from, e));
                     continue;
                 }
@@ -162,6 +178,11 @@ impl ReliableMailbox {
                     continue;
                 }
                 p.retries += 1;
+                self.retransmits.inc();
+                self.obs.event(ObsEvent::Retransmit {
+                    from: self.ep.0 as u64,
+                    attempt: p.retries as u64,
+                });
                 p.last_sent_us = now;
                 let frame = encode_data(p.seq, &p.payload);
                 let targets: Vec<EndpointId> = p.outstanding.iter().copied().collect();

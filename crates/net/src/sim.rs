@@ -6,6 +6,7 @@
 //! loss, and duplication so that every run is exactly reproducible.
 
 use bytes::Bytes;
+use kg_obs::{ManualClock, Obs, ObsEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
@@ -97,6 +98,29 @@ struct Endpoint {
     stats: TrafficStats,
 }
 
+/// Pre-resolved metric handles so the per-datagram path never touches
+/// the registry lock. All handles are no-ops until [`SimNetwork::attach_obs`].
+#[derive(Debug, Clone, Default)]
+struct NetMetrics {
+    delivered: kg_obs::Counter,
+    dropped_loss: kg_obs::Counter,
+    dropped_down: kg_obs::Counter,
+    dropped_closed: kg_obs::Counter,
+    duplicated: kg_obs::Counter,
+}
+
+impl NetMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        NetMetrics {
+            delivered: obs.counter("kg_net_delivered_total"),
+            dropped_loss: obs.counter_with("kg_net_dropped_total", "mode", "loss"),
+            dropped_down: obs.counter_with("kg_net_dropped_total", "mode", "down"),
+            dropped_closed: obs.counter_with("kg_net_dropped_total", "mode", "closed"),
+            duplicated: obs.counter("kg_net_duplicated_total"),
+        }
+    }
+}
+
 /// An in-flight datagram copy, ordered by delivery time then sequence so
 /// the heap pops deterministically.
 #[derive(Debug)]
@@ -141,6 +165,11 @@ pub struct SimNetwork {
     /// memberships, but cannot send, and traffic addressed to them while
     /// down is silently dropped — like a host that lost power.
     down: BTreeSet<EndpointId>,
+    obs: Obs,
+    metrics: NetMetrics,
+    /// An observability clock driven from the virtual clock, so
+    /// timeline entries carry simulated (deterministic) timestamps.
+    obs_clock: Option<ManualClock>,
 }
 
 impl SimNetwork {
@@ -158,7 +187,33 @@ impl SimNetwork {
             groups: BTreeMap::new(),
             in_flight: BinaryHeap::new(),
             down: BTreeSet::new(),
+            obs: Obs::disabled(),
+            metrics: NetMetrics::default(),
+            obs_clock: None,
         }
+    }
+
+    /// Attach an observability handle: delivery/drop/duplication
+    /// counters (per fault mode) and crash/restart/drop timeline
+    /// events flow to it from now on.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.metrics = NetMetrics::resolve(&obs);
+        self.obs = obs;
+    }
+
+    /// Drive `clock` from the virtual clock: every [`advance`] moves it
+    /// to the network's `now_us`, making obs timestamps deterministic.
+    /// Keep a clone of the same clock inside the attached [`Obs`].
+    ///
+    /// [`advance`]: SimNetwork::advance
+    pub fn drive_obs_clock(&mut self, clock: ManualClock) {
+        clock.set_us(self.clock_us);
+        self.obs_clock = Some(clock);
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Current virtual time in microseconds.
@@ -193,13 +248,16 @@ impl SimNetwork {
         if let Some(e) = self.endpoints.get_mut(&ep) {
             e.inbox.clear();
             self.down.insert(ep);
+            self.obs.event(ObsEvent::Crash { endpoint: ep.0 as u64 });
         }
     }
 
     /// Bring a crashed endpoint back. Nothing sent while it was down is
     /// recovered — the process must resynchronise at a higher layer.
     pub fn restart(&mut self, ep: EndpointId) {
-        self.down.remove(&ep);
+        if self.down.remove(&ep) {
+            self.obs.event(ObsEvent::Restart { endpoint: ep.0 as u64 });
+        }
     }
 
     /// Whether `ep` is currently crashed.
@@ -275,12 +333,31 @@ impl SimNetwork {
 
     fn enqueue_copy(&mut self, dest: EndpointId, datagram: Datagram) {
         if self.down.contains(&datagram.from) {
+            self.metrics.dropped_down.inc();
+            self.obs.event(ObsEvent::PacketDropped {
+                from: datagram.from.0 as u64,
+                to: dest.0 as u64,
+                mode: "down",
+            });
             return;
         }
         if self.rng.gen_bool(self.config.loss_probability) {
+            self.metrics.dropped_loss.inc();
+            self.obs.event(ObsEvent::PacketDropped {
+                from: datagram.from.0 as u64,
+                to: dest.0 as u64,
+                mode: "loss",
+            });
             return;
         }
         let copies = if self.rng.gen_bool(self.config.duplicate_probability) { 2 } else { 1 };
+        if copies == 2 {
+            self.metrics.duplicated.inc();
+            self.obs.event(ObsEvent::PacketDuplicated {
+                from: datagram.from.0 as u64,
+                to: dest.0 as u64,
+            });
+        }
         for _ in 0..copies {
             let jitter = if self.config.latency_max_us > self.config.latency_min_us {
                 self.rng.gen_range(self.config.latency_min_us..=self.config.latency_max_us)
@@ -300,18 +377,38 @@ impl SimNetwork {
     /// Advance the clock by `us` microseconds, delivering everything due.
     pub fn advance(&mut self, us: u64) {
         self.clock_us += us;
+        if let Some(c) = &self.obs_clock {
+            c.set_us(self.clock_us);
+        }
         while let Some(top) = self.in_flight.peek() {
             if top.deliver_at > self.clock_us {
                 break;
             }
             let item = self.in_flight.pop().expect("peeked");
             if self.down.contains(&item.dest) {
+                self.metrics.dropped_down.inc();
+                self.obs.event(ObsEvent::PacketDropped {
+                    from: item.datagram.from.0 as u64,
+                    to: item.dest.0 as u64,
+                    mode: "down",
+                });
                 continue;
             }
-            if let Some(ep) = self.endpoints.get_mut(&item.dest) {
-                ep.stats.datagrams_received += 1;
-                ep.stats.bytes_received += item.datagram.payload.len() as u64;
-                ep.inbox.push_back(item.datagram);
+            match self.endpoints.get_mut(&item.dest) {
+                Some(ep) => {
+                    ep.stats.datagrams_received += 1;
+                    ep.stats.bytes_received += item.datagram.payload.len() as u64;
+                    ep.inbox.push_back(item.datagram);
+                    self.metrics.delivered.inc();
+                }
+                None => {
+                    self.metrics.dropped_closed.inc();
+                    self.obs.event(ObsEvent::PacketDropped {
+                        from: item.datagram.from.0 as u64,
+                        to: item.dest.0 as u64,
+                        mode: "closed",
+                    });
+                }
             }
         }
     }

@@ -1,0 +1,209 @@
+//! Exporters: Prometheus-style text exposition, a JSON dump, and a
+//! human-readable timeline pretty-printer.
+//!
+//! No external serialization crates are available, so JSON is built by
+//! hand; the only strings that reach it are metric names, label pairs,
+//! and event `Display` output, all of which are escaped.
+
+use crate::metrics::{render_key, HistogramSnapshot, MetricKey};
+use crate::ObsInner;
+use std::fmt::Write;
+
+/// Render every registered metric in Prometheus text exposition form.
+///
+/// Counters and gauges are single samples; histograms expand into
+/// `_count` / `_sum` samples plus `quantile`-labeled estimates, the
+/// shape Prometheus uses for summaries.
+pub(crate) fn render_prometheus(inner: &ObsInner) -> String {
+    let mut out = String::new();
+    for (key, v) in inner.registry.counters() {
+        let _ = writeln!(out, "{} {v}", render_key(&key));
+    }
+    for (key, v) in inner.registry.gauges() {
+        let _ = writeln!(out, "{} {v}", render_key(&key));
+    }
+    for (key, snap) in inner.registry.histograms() {
+        let _ = writeln!(out, "{} {}", suffixed(&key, "_count", None), snap.count);
+        let _ = writeln!(out, "{} {}", suffixed(&key, "_sum", None), snap.sum);
+        for (q, v) in [("0.5", snap.p50), ("0.9", snap.p90), ("0.99", snap.p99), ("1", snap.max)] {
+            let _ = writeln!(out, "{} {v}", suffixed(&key, "", Some(q)));
+        }
+    }
+    out
+}
+
+/// `name_suffix{label,quantile="q"}` with whichever parts are present.
+fn suffixed(key: &MetricKey, suffix: &str, quantile: Option<&str>) -> String {
+    let mut labels = Vec::new();
+    if let Some((k, v)) = &key.1 {
+        labels.push(format!("{k}=\"{v}\""));
+    }
+    if let Some(q) = quantile {
+        labels.push(format!("quantile=\"{q}\""));
+    }
+    if labels.is_empty() {
+        format!("{}{suffix}", key.0)
+    } else {
+        format!("{}{suffix}{{{}}}", key.0, labels.join(","))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hist_json(snap: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        snap.count, snap.sum, snap.min, snap.max, snap.p50, snap.p90, snap.p99
+    )
+}
+
+/// Render metrics, cumulative event counts, and the retained timeline
+/// as one JSON object.
+pub(crate) fn render_json(inner: &ObsInner) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let counters = inner.registry.counters();
+    for (i, (key, v)) in counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", json_escape(&render_key(key)));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    let gauges = inner.registry.gauges();
+    for (i, (key, v)) in gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", json_escape(&render_key(key)));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    let hists = inner.registry.histograms();
+    for (i, (key, snap)) in hists.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ =
+            write!(out, "{sep}\n    \"{}\": {}", json_escape(&render_key(key)), hist_json(snap));
+    }
+    out.push_str("\n  },\n  \"event_counts\": {");
+    let kinds = inner.timeline.kind_counts();
+    for (i, (kind, count)) in kinds.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{kind}\": {count}");
+    }
+    let _ = write!(
+        out,
+        "\n  }},\n  \"events_total\": {},\n  \"events_evicted\": {},\n  \"timeline\": [",
+        inner.timeline.total(),
+        inner.timeline.evicted()
+    );
+    let entries = inner.timeline.entries();
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"event\":\"{}\"}}",
+            e.seq,
+            e.at_us,
+            e.event.kind(),
+            json_escape(&e.event.to_string())
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Render the retained timeline for humans: one line per event, in
+/// causal (sequence) order, with a note when the ring has evicted.
+pub(crate) fn render_timeline(inner: &ObsInner) -> String {
+    let entries = inner.timeline.entries();
+    if entries.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let evicted = inner.timeline.evicted();
+    if evicted > 0 {
+        let _ = writeln!(out, "... {evicted} earlier event(s) evicted by the ring bound ...");
+    }
+    for e in &entries {
+        let _ = writeln!(out, "#{:<6} t={:>10}us  {}", e.seq, e.at_us, e.event);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ManualClock, Obs, ObsConfig, ObsEvent};
+
+    fn sample_obs() -> (ManualClock, Obs) {
+        let clock = ManualClock::new();
+        let obs = Obs::new(ObsConfig::manual(clock.clone()));
+        obs.counter_with("kg_requests_total", "kind", "join").add(2);
+        obs.gauge("kg_batch_queue_depth").set(3);
+        obs.histogram("kg_fsync_us").record(120);
+        clock.set_us(50);
+        obs.event(ObsEvent::Join { user: 4 });
+        clock.set_us(75);
+        obs.event(ObsEvent::WalAppend { op: "join" });
+        (clock, obs)
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let (_clock, obs) = sample_obs();
+        let text = obs.render_prometheus();
+        assert!(text.contains("kg_requests_total{kind=\"join\"} 2"));
+        assert!(text.contains("kg_batch_queue_depth 3"));
+        assert!(text.contains("kg_fsync_us_count 1"));
+        assert!(text.contains("kg_fsync_us_sum 120"));
+        assert!(text.contains("kg_fsync_us{quantile=\"0.99\"}"));
+        // Span histograms carry both the span label and the quantile.
+        {
+            let _s = obs.span("flush");
+        }
+        let text = obs.render_prometheus();
+        assert!(text.contains("kg_span_us_count{span=\"flush\"} 1"));
+        assert!(text.contains("kg_span_us{span=\"flush\",quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn json_dump_is_parseable_shape() {
+        let (_clock, obs) = sample_obs();
+        let json = obs.render_json();
+        assert!(json.contains("\"kg_requests_total{kind=\\\"join\\\"}\": 2"));
+        assert!(json.contains("\"events_total\": 2"));
+        assert!(json.contains("\"join\": 1"));
+        assert!(json.contains("\"wal_append\": 1"));
+        assert!(json.contains("{\"seq\":1,\"at_us\":50,\"kind\":\"join\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn timeline_pretty_printer_orders_and_notes_eviction() {
+        let clock = ManualClock::new();
+        let obs = Obs::new(ObsConfig { timeline_capacity: 2, ..ObsConfig::manual(clock.clone()) });
+        for u in 0..5 {
+            clock.set_us(u * 10);
+            obs.event(ObsEvent::Leave { user: u });
+        }
+        let text = obs.render_timeline();
+        assert!(text.starts_with("... 3 earlier event(s) evicted"));
+        assert!(text.contains("#4"));
+        assert!(text.contains("#5"));
+        assert!(text.contains("leave user=4"));
+        assert!(!text.contains("leave user=1"));
+    }
+}

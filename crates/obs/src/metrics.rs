@@ -1,0 +1,440 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! latency histograms with cloneable lock-free handles.
+//!
+//! Handle acquisition (`counter`, `gauge`, `histogram`) takes a brief
+//! registry lock; the handles themselves are `Arc`s over atomics, so
+//! the hot path — `inc`, `set`, `record` — is a relaxed atomic op with
+//! no locking. Metrics may carry one label pair (`{kind="join"}`),
+//! which is how per-op-kind / per-strategy / per-fault-type families
+//! are expressed.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Metric identity: name plus optional `key=value` label pair.
+pub(crate) type MetricKey = (String, Option<(String, String)>);
+
+/// Render a [`MetricKey`] in Prometheus exposition form.
+pub(crate) fn render_key(key: &MetricKey) -> String {
+    match &key.1 {
+        None => key.0.clone(),
+        Some((k, v)) => format!("{}{{{}=\"{}\"}}", key.0, k, v),
+    }
+}
+
+fn make_key(name: &str, label: Option<(&str, &str)>) -> MetricKey {
+    (name.to_string(), label.map(|(k, v)| (k.to_string(), v.to_string())))
+}
+
+/// A monotonically increasing counter handle.
+///
+/// The default handle is detached (a no-op): incrementing it does
+/// nothing and `get` returns 0. Handles from an enabled registry share
+/// one atomic cell per metric key.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// Set the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of exact buckets before switching to log-linear buckets.
+const EXACT: u64 = 16;
+/// Sub-buckets per power of two in the log-linear range.
+const SUBS: usize = 4;
+/// Total bucket count: 16 exact + 4 sub-buckets for each power of two
+/// from 2^4 through 2^63.
+pub(crate) const NUM_BUCKETS: usize = EXACT as usize + (64 - 4) * SUBS;
+
+/// Bucket index for a recorded value: exact below 16, then log-linear
+/// (4 sub-buckets per power of two, ≤ 12.5% relative width).
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    let log2 = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (log2 - 2)) & 0x3) as usize;
+    EXACT as usize + (log2 - 4) * SUBS + sub
+}
+
+/// Midpoint of a bucket's value range, used as its representative when
+/// reading quantiles back out.
+fn bucket_mid(i: usize) -> u64 {
+    if i < EXACT as usize {
+        return i as u64;
+    }
+    let log2 = 4 + (i - EXACT as usize) / SUBS;
+    let sub = ((i - EXACT as usize) % SUBS) as u64;
+    let lower = (1u64 << log2) | (sub << (log2 - 2));
+    let width = 1u64 << (log2 - 2);
+    lower + width / 2
+}
+
+/// Shared histogram storage: fixed log-bucketed atomic counters plus
+/// running count / sum / min / max.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        snapshot_from(
+            &counts,
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Build a snapshot from raw bucket counts and running aggregates.
+fn snapshot_from(counts: &[u64], count: u64, sum: u64, min: u64, max: u64) -> HistogramSnapshot {
+    let quantile = |q: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(NUM_BUCKETS - 1)
+    };
+    HistogramSnapshot {
+        count,
+        sum,
+        min: if count == 0 { 0 } else { min },
+        max,
+        p50: quantile(0.50),
+        p90: quantile(0.90),
+        p99: quantile(0.99),
+    }
+}
+
+/// A single-owner histogram with value semantics.
+///
+/// Same log-linear buckets and quantile math as [`Histogram`], but no
+/// atomics and no registry: cloning clones the data, so embedding one
+/// in a `Clone` struct (e.g. a stats sink) behaves like any other
+/// field. Use [`Histogram`] when handles must be shared.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LocalHistogram { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Read the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        snapshot_from(&self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Drop all recorded values.
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+}
+
+/// A point-in-time read of a histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median (bucket-midpoint estimate, ≤ 12.5% relative error).
+    pub p50: u64,
+    /// 90th percentile estimate.
+    pub p90: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A latency histogram handle (values are dimensionless `u64`s; by
+/// convention the stack records microseconds).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A standalone enabled histogram, not attached to any registry.
+    ///
+    /// Useful where a component wants percentile math (e.g. the server
+    /// stats percentiles) without routing through an [`crate::Obs`]
+    /// handle.
+    pub fn standalone() -> Self {
+        Histogram(Some(Arc::new(HistogramCore::new())))
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Read the current distribution (all zeros for a detached handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.as_ref().map_or_else(HistogramSnapshot::default, |h| h.snapshot())
+    }
+}
+
+/// The registry behind an enabled [`crate::Obs`] handle.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str, label: Option<(&str, &str)>) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        map.entry(make_key(name, label)).or_default().clone()
+    }
+
+    pub(crate) fn gauge(&self, name: &str, label: Option<(&str, &str)>) -> Arc<AtomicI64> {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        map.entry(make_key(name, label)).or_default().clone()
+    }
+
+    pub(crate) fn histogram(&self, name: &str, label: Option<(&str, &str)>) -> Arc<HistogramCore> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        map.entry(make_key(name, label)).or_insert_with(|| Arc::new(HistogramCore::new())).clone()
+    }
+
+    /// Sorted snapshot of every counter.
+    pub(crate) fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let map = self.counters.lock().expect("counter registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Sorted snapshot of every gauge.
+    pub(crate) fn gauges(&self) -> Vec<(MetricKey, i64)> {
+        let map = self.gauges.lock().expect("gauge registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Sorted snapshot of every histogram.
+    pub(crate) fn histograms(&self) -> Vec<(MetricKey, HistogramSnapshot)> {
+        let map = self.histograms.lock().expect("histogram registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_handles_are_noops() {
+        let c = Counter::default();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::default();
+        h.record(123);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn counter_handles_share_storage() {
+        let reg = Registry::default();
+        let a = Counter(Some(reg.counter("x", None)));
+        let b = Counter(Some(reg.counter("x", None)));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // A different label is a different cell.
+        let c = Counter(Some(reg.counter("x", Some(("kind", "join")))));
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::default();
+        let g = Gauge(Some(reg.gauge("depth", None)));
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 8, v + v / 3, v + v / 2, v | (v - 1)] {
+                let i = bucket_index(probe);
+                assert!(i < NUM_BUCKETS, "bucket {i} for {probe}");
+                assert!(i >= last, "non-monotone at {probe}");
+                last = i;
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+    }
+
+    #[test]
+    fn bucket_mid_lands_in_own_bucket() {
+        for i in 0..NUM_BUCKETS {
+            let mid = bucket_mid(i);
+            assert_eq!(bucket_index(mid), i, "midpoint {mid} of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn exact_range_percentiles_are_exact() {
+        let h = Histogram::standalone();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 55);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.p90, 9);
+        assert_eq!(s.p99, 10);
+    }
+
+    #[test]
+    fn log_range_percentiles_within_bucket_error() {
+        let h = Histogram::standalone();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let within = |est: u64, truth: f64| {
+            let rel = (est as f64 - truth).abs() / truth;
+            assert!(rel < 0.13, "estimate {est} vs {truth} (rel {rel:.3})");
+        };
+        within(s.p50, 5_000.0);
+        within(s.p90, 9_000.0);
+        within(s.p99, 9_900.0);
+        assert_eq!(s.max, 10_000);
+        assert!((s.mean() - 5_000.5).abs() < 0.001);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let h = Histogram::standalone();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+}

@@ -1,0 +1,143 @@
+//! RAII phase-timing spans.
+//!
+//! `obs.span("encrypt")` starts a span; dropping the guard records the
+//! elapsed time (per the pluggable clock) into a histogram labeled
+//! with the span's *full dotted path*: nesting is tracked on a stack
+//! inside the shared `Obs` state, so a span entered while
+//! `"op.join"` is open records as `"op.join.encrypt"`. Guards must be
+//! dropped in LIFO order — the natural consequence of scoping them.
+
+use crate::metrics::HistogramCore;
+use crate::ObsInner;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dynamic span scope shared by all clones of one `Obs` handle: the
+/// stack of currently open paths, plus a memo of path → histogram so
+/// re-entering a path (the steady state) costs one hash lookup instead
+/// of a registry resolution.
+#[derive(Debug, Default)]
+pub(crate) struct SpanScope {
+    stack: Vec<Arc<str>>,
+    resolved: HashMap<Arc<str>, Arc<HistogramCore>>,
+    /// Reusable path-assembly buffer: re-entering a known path (the
+    /// steady state) allocates nothing.
+    scratch: String,
+}
+
+/// An open span; records its duration on drop.
+///
+/// Obtained from [`crate::Obs::span`]. A guard from a disabled handle
+/// is a no-op.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    inner: Arc<ObsInner>,
+    hist: Arc<HistogramCore>,
+    start_us: u64,
+}
+
+impl Span {
+    /// A no-op span (what disabled handles produce).
+    pub(crate) fn noop() -> Self {
+        Span { active: None }
+    }
+
+    pub(crate) fn enter(inner: &Arc<ObsInner>, name: &str) -> Self {
+        let hist = {
+            let mut scope = inner.spans.lock().expect("span scope poisoned");
+            let scope = &mut *scope;
+            scope.scratch.clear();
+            if let Some(parent) = scope.stack.last() {
+                scope.scratch.push_str(parent);
+                scope.scratch.push('.');
+            }
+            scope.scratch.push_str(name);
+            let (path, hist) = match scope.resolved.get_key_value(scope.scratch.as_str()) {
+                Some((p, h)) => (p.clone(), h.clone()),
+                None => {
+                    let h = inner.registry.histogram("kg_span_us", Some(("span", &scope.scratch)));
+                    let p: Arc<str> = scope.scratch.as_str().into();
+                    scope.resolved.insert(p.clone(), h.clone());
+                    (p, h)
+                }
+            };
+            scope.stack.push(path);
+            hist
+        };
+        Span {
+            active: Some(ActiveSpan { inner: inner.clone(), hist, start_us: inner.clock.now_us() }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let elapsed = active.inner.clock.now_us().saturating_sub(active.start_us);
+            active.hist.record(elapsed);
+            active.inner.spans.lock().expect("span scope poisoned").stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ClockSource, ManualClock, Obs, ObsConfig};
+
+    #[test]
+    fn disabled_span_is_noop() {
+        let obs = Obs::disabled();
+        let s = obs.span("anything");
+        drop(s);
+        assert!(obs.render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_under_dotted_paths() {
+        let clock = ManualClock::new();
+        let obs = Obs::new(ObsConfig {
+            clock: ClockSource::Manual(clock.clone()),
+            ..ObsConfig::default()
+        });
+        {
+            let _op = obs.span("op.join");
+            clock.advance_us(10);
+            {
+                let _phase = obs.span("encrypt");
+                clock.advance_us(5);
+            }
+            {
+                let _phase = obs.span("sign");
+                clock.advance_us(3);
+            }
+        }
+        let outer = obs.span_snapshot("op.join");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.max, 18);
+        let enc = obs.span_snapshot("op.join.encrypt");
+        assert_eq!((enc.count, enc.max), (1, 5));
+        let sign = obs.span_snapshot("op.join.sign");
+        assert_eq!((sign.count, sign.max), (1, 3));
+        // Sibling spans after the op closes start a fresh root path.
+        {
+            let _other = obs.span("encrypt");
+        }
+        assert_eq!(obs.span_snapshot("encrypt").count, 1);
+    }
+
+    #[test]
+    fn wall_clock_spans_are_nonnegative() {
+        let obs = Obs::new(ObsConfig::default());
+        {
+            let _s = obs.span("tick");
+        }
+        let snap = obs.span_snapshot("tick");
+        assert_eq!(snap.count, 1);
+    }
+}

@@ -16,6 +16,7 @@ use crate::snapshot::Snapshot;
 use crate::wal::{encode_header, encode_record, read_wal_file, FsyncPolicy, WalOp, WAL_HEADER_LEN};
 use crate::PersistError;
 
+use kg_obs::{Histogram, Obs, ObsEvent};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -70,6 +71,8 @@ pub struct Persistence {
     ops_since_snapshot: u64,
     records_since_sync: u32,
     last_sync: Instant,
+    obs: Obs,
+    fsync_us: Histogram,
 }
 
 fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
@@ -131,7 +134,17 @@ impl Persistence {
             ops_since_snapshot: 0,
             records_since_sync: 0,
             last_sync: Instant::now(),
+            obs: Obs::disabled(),
+            fsync_us: Histogram::default(),
         })
+    }
+
+    /// Attach an observability handle: fsync latency lands in the
+    /// `kg_fsync_us` histogram; appends, rotations, and snapshot
+    /// installs are counted and put on the event timeline.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.fsync_us = obs.histogram("kg_fsync_us");
+        self.obs = obs;
     }
 
     /// Read back the latest epoch pair and reopen the WAL for append
@@ -187,6 +200,8 @@ impl Persistence {
             ops_since_snapshot,
             records_since_sync: 0,
             last_sync: Instant::now(),
+            obs: Obs::disabled(),
+            fsync_us: Histogram::default(),
         };
         Ok((persistence, recovered))
     }
@@ -227,6 +242,8 @@ impl Persistence {
         self.wal_len += record.len() as u64;
         self.ops_since_snapshot += 1;
         self.records_since_sync += 1;
+        self.obs.counter_with("kg_wal_appends_total", "op", op.name()).inc();
+        self.obs.event(ObsEvent::WalAppend { op: op.name() });
         let due = match self.config.fsync {
             FsyncPolicy::EveryRecord => true,
             FsyncPolicy::EveryN(n) => self.records_since_sync >= n.max(1),
@@ -240,7 +257,9 @@ impl Persistence {
 
     /// Force everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<(), PersistError> {
+        let started = Instant::now();
         self.wal.sync_data()?;
+        self.fsync_us.record(started.elapsed().as_micros() as u64);
         self.records_since_sync = 0;
         self.last_sync = Instant::now();
         Ok(())
@@ -256,13 +275,17 @@ impl Persistence {
     /// the snapshot and a fresh WAL are durably written first, then the
     /// previous epoch's files are removed.
     pub fn install_snapshot(&mut self, snap: &Snapshot) -> Result<(), PersistError> {
+        let started = Instant::now();
         let new_epoch = self.epoch + 1;
         // 1. Atomic snapshot write: temp file, sync, rename.
         let final_path = snapshot_path(&self.dir, new_epoch);
         let tmp_path = self.dir.join(format!("snapshot-{new_epoch}.kgs.tmp"));
+        let snap_bytes;
         {
+            let encoded = snap.encode(new_epoch);
+            snap_bytes = encoded.len() as u64;
             let mut tmp = File::create(&tmp_path)?;
-            tmp.write_all(&snap.encode(new_epoch))?;
+            tmp.write_all(&encoded)?;
             tmp.sync_data()?;
         }
         std::fs::rename(&tmp_path, &final_path)?;
@@ -286,6 +309,16 @@ impl Persistence {
         self.wal_len = WAL_HEADER_LEN;
         self.ops_since_snapshot = 0;
         self.records_since_sync = 0;
+        let duration_us = started.elapsed().as_micros() as u64;
+        self.obs.counter("kg_snapshots_total").inc();
+        self.obs.histogram("kg_snapshot_bytes").record(snap_bytes);
+        self.obs.histogram("kg_snapshot_us").record(duration_us);
+        self.obs.event(ObsEvent::SnapshotInstalled {
+            epoch: new_epoch,
+            bytes: snap_bytes,
+            duration_us,
+        });
+        self.obs.event(ObsEvent::WalRotated { epoch: new_epoch });
         Ok(())
     }
 }

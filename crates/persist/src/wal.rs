@@ -66,6 +66,19 @@ pub enum WalOp {
 }
 
 impl WalOp {
+    /// Stable short name for this op, used as a metric label and in
+    /// observability events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WalOp::Join(_) => "join",
+            WalOp::Leave(_) => "leave",
+            WalOp::EnqueueJoin(_) => "enqueue_join",
+            WalOp::EnqueueLeave(_) => "enqueue_leave",
+            WalOp::Flush { .. } => "flush",
+            WalOp::Refresh => "refresh",
+        }
+    }
+
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             WalOp::Join(u) => {

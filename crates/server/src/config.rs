@@ -92,6 +92,10 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Immediate (per-operation) or batched (periodic) rekeying.
     pub rekey: RekeyPolicy,
+    /// Cap on retained per-op stat records (`None` = keep all, the
+    /// evaluation default). A capped server evicts the oldest records
+    /// FIFO; aggregates still cover everything since the last reset.
+    pub stats_record_cap: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +111,7 @@ impl Default for ServerConfig {
             rsa_bits: 512,
             seed: 0,
             rekey: RekeyPolicy::Immediate,
+            stats_record_cap: None,
         }
     }
 }
@@ -156,6 +161,7 @@ impl ServerConfig {
     /// rekey    = batched      # immediate | batched
     /// batch-interval-ms  = 1000
     /// batch-max-pending  = 64
+    /// stats-record-cap   = 4096   # retained per-op records (default: all)
     /// ```
     ///
     /// The two `batch-*` knobs only take effect with `rekey = batched`
@@ -246,6 +252,11 @@ impl ServerConfig {
                         key: "batch-interval-ms",
                         value: value.to_string(),
                     })?;
+                }
+                "stats-record-cap" => {
+                    cfg.stats_record_cap = Some(value.parse().map_err(|_| {
+                        ConfigError::BadValue { key: "stats-record-cap", value: value.to_string() }
+                    })?);
                 }
                 "batch-max-pending" => {
                     batch.max_pending = value.parse().map_err(|_| ConfigError::BadValue {

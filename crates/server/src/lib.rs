@@ -49,6 +49,7 @@ use kg_core::tree::{KeyTree, TreeError};
 use kg_crypto::drbg::HmacDrbg;
 use kg_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use kg_crypto::{KeySource, SymmetricKey};
+use kg_obs::{Counter, Obs, ObsEvent};
 use kg_persist::{
     AclSnapshot, PersistConfig, PersistError, Persistence, SchedulerSnapshot, Snapshot, StatRecord,
     WalOp,
@@ -244,6 +245,36 @@ pub struct GroupKeyServer {
     scheduler: Option<BatchScheduler>,
     /// Durability store; `None` for a purely in-memory server.
     persist: Option<Persistence>,
+    /// Observability handle; disabled (free) unless attached.
+    obs: Obs,
+    /// Counter handles resolved once at [`Self::attach_obs`] so the
+    /// request path never touches the registry lock.
+    metrics: ServerMetrics,
+}
+
+/// Pre-resolved counter handles for the per-request hot path. Detached
+/// (no-op) until an enabled handle is attached.
+#[derive(Debug, Default)]
+struct ServerMetrics {
+    req_join: Counter,
+    req_leave: Counter,
+    req_refresh: Counter,
+    req_batch: Counter,
+    encryptions: Counter,
+    signatures: Counter,
+}
+
+impl ServerMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        ServerMetrics {
+            req_join: obs.counter_with("kg_requests_total", "kind", "join"),
+            req_leave: obs.counter_with("kg_requests_total", "kind", "leave"),
+            req_refresh: obs.counter_with("kg_requests_total", "kind", "refresh"),
+            req_batch: obs.counter_with("kg_requests_total", "kind", "batch"),
+            encryptions: obs.counter("kg_encryptions_total"),
+            signatures: obs.counter("kg_signatures_total"),
+        }
+    }
 }
 
 impl GroupKeyServer {
@@ -259,6 +290,7 @@ impl GroupKeyServer {
         });
         let tree = KeyTree::new(config.degree, config.key_len(), &mut keygen);
         let scheduler = config.rekey.batch_policy().map(|p| BatchScheduler::new(p, 0));
+        let stats = Self::stats_sink(&config);
         GroupKeyServer {
             config,
             acl,
@@ -267,10 +299,41 @@ impl GroupKeyServer {
             ivs,
             rsa,
             seq: 0,
-            stats: ServerStats::default(),
+            stats,
             scheduler,
             persist: None,
+            obs: Obs::disabled(),
+            metrics: ServerMetrics::default(),
         }
+    }
+
+    /// A stats sink honouring the configured record cap.
+    fn stats_sink(config: &ServerConfig) -> ServerStats {
+        match config.stats_record_cap {
+            Some(cap) => ServerStats::with_record_cap(cap),
+            None => ServerStats::default(),
+        }
+    }
+
+    /// Attach an observability handle. Spans, counters, and timeline
+    /// events from the request handlers flow to it, and it is propagated
+    /// to the batch scheduler and the durability store (queue-depth
+    /// gauge, fsync histogram, WAL/snapshot events). Attach once, right
+    /// after construction; a disabled handle detaches everything.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        if let Some(s) = self.scheduler.as_mut() {
+            s.attach_obs(obs.clone());
+        }
+        if let Some(p) = self.persist.as_mut() {
+            p.attach_obs(obs.clone());
+        }
+        self.metrics = ServerMetrics::resolve(&obs);
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Create a server backed by a fresh durability store at `dir` (which
@@ -307,6 +370,22 @@ impl GroupKeyServer {
         dir: impl Into<PathBuf>,
         persist_config: PersistConfig,
     ) -> Result<Self, RecoverError> {
+        Self::recover_observed(config, acl, dir, persist_config, Obs::disabled())
+    }
+
+    /// [`recover`](Self::recover) with an observability handle attached
+    /// from the start: the handle sees a `Recovered` timeline event (and
+    /// replay counters), and stays attached for subsequent operation.
+    /// Replay itself runs unobserved — replayed ops are reconstructions,
+    /// not new requests, so they must not inflate the counters that
+    /// reconcile against the WAL.
+    pub fn recover_observed(
+        config: ServerConfig,
+        acl: AccessControl,
+        dir: impl Into<PathBuf>,
+        persist_config: PersistConfig,
+        obs: Obs,
+    ) -> Result<Self, RecoverError> {
         let (persist, recovered) = Persistence::recover(dir, persist_config)?;
         if recovered.seed != config.seed {
             return Err(RecoverError::SeedMismatch {
@@ -335,7 +414,13 @@ impl GroupKeyServer {
                 return Err(RecoverError::DigestMismatch);
             }
         }
+        let epoch = persist.epoch();
+        let records_replayed = recovered.ops.len() as u64;
         server.persist = Some(persist);
+        server.attach_obs(obs);
+        server.obs.counter("kg_recoveries_total").inc();
+        server.obs.counter("kg_replayed_records_total").add(records_replayed);
+        server.obs.event(ObsEvent::Recovered { epoch, records_replayed });
         Ok(server)
     }
 
@@ -375,6 +460,10 @@ impl GroupKeyServer {
                 })
             })
             .collect::<Result<Vec<_>, RecoverError>>()?;
+        let mut stats = Self::stats_sink(&config);
+        for r in records {
+            stats.push(r);
+        }
         let scheduler = match (&snap.scheduler, config.rekey.batch_policy()) {
             (None, None) => None,
             (Some(s), Some(policy)) => Some(BatchScheduler::restore(
@@ -394,9 +483,11 @@ impl GroupKeyServer {
             ivs,
             rsa,
             seq: snap.seq,
-            stats: ServerStats::from_records(records),
+            stats,
             scheduler,
             persist: None,
+            obs: Obs::disabled(),
+            metrics: ServerMetrics::default(),
         })
     }
 
@@ -456,6 +547,7 @@ impl GroupKeyServer {
     /// post-op state.
     fn log_op(&mut self, op: WalOp) -> Result<(), RequestError> {
         let Some(mut persist) = self.persist.take() else { return Ok(()) };
+        let _span = self.obs.span("wal");
         let digest = serial::root_digest(&self.tree);
         let mut result = persist.append(&op, &digest);
         if result.is_ok() && persist.should_snapshot() {
@@ -564,14 +656,25 @@ impl GroupKeyServer {
         }
         let individual_key = self.keygen.generate_key(self.config.key_len());
 
+        let _op_span = self.obs.span("op.join");
         let start = Instant::now();
-        let event = self.tree.join(user, individual_key.clone(), &mut self.keygen)?;
-        let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
-        let out = rekeyer.join(&event, self.config.strategy);
+        let event = {
+            let _s = self.obs.span("tree");
+            self.tree.join(user, individual_key.clone(), &mut self.keygen)?
+        };
+        let out = {
+            let _s = self.obs.span("encrypt");
+            let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
+            rekeyer.join(&event, self.config.strategy)
+        };
         let seq = self.next_seq();
         let (packets, encoded, signatures) =
             self.authenticate_and_encode(seq, OpKind::Join, out.messages);
         let proc_ns = start.elapsed().as_nanos() as u64;
+        self.metrics.req_join.inc();
+        self.metrics.encryptions.add(out.ops.key_encryptions);
+        self.metrics.signatures.add(signatures);
+        self.obs.event(ObsEvent::Join { user: user.0 });
 
         self.stats.push(OpRecord {
             kind: OpKind::Join,
@@ -600,14 +703,25 @@ impl GroupKeyServer {
         if !self.tree.is_member(user) {
             return Err(RequestError::Tree(TreeError::NotAMember(user)));
         }
+        let _op_span = self.obs.span("op.leave");
         let start = Instant::now();
-        let event = self.tree.leave(user, &mut self.keygen)?;
-        let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
-        let out = rekeyer.leave(&event, self.config.strategy);
+        let event = {
+            let _s = self.obs.span("tree");
+            self.tree.leave(user, &mut self.keygen)?
+        };
+        let out = {
+            let _s = self.obs.span("encrypt");
+            let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
+            rekeyer.leave(&event, self.config.strategy)
+        };
         let seq = self.next_seq();
         let (packets, encoded, signatures) =
             self.authenticate_and_encode(seq, OpKind::Leave, out.messages);
         let proc_ns = start.elapsed().as_nanos() as u64;
+        self.metrics.req_leave.inc();
+        self.metrics.encryptions.add(out.ops.key_encryptions);
+        self.metrics.signatures.add(signatures);
+        self.obs.event(ObsEvent::Leave { user: user.0 });
 
         self.stats.push(OpRecord {
             kind: OpKind::Leave,
@@ -627,6 +741,7 @@ impl GroupKeyServer {
     /// to fence off any group key that may have leaked with the dead
     /// process.
     pub fn refresh_group_key(&mut self) -> Result<ProcessedOp, RequestError> {
+        let _op_span = self.obs.span("op.refresh");
         let start = Instant::now();
         let path = self.tree.refresh_group_key(&mut self.keygen);
         let messages = if self.tree.user_count() == 0 {
@@ -642,6 +757,9 @@ impl GroupKeyServer {
         let (packets, encoded, signatures) =
             self.authenticate_and_encode(seq, OpKind::Refresh, messages);
         let proc_ns = start.elapsed().as_nanos() as u64;
+        self.metrics.req_refresh.inc();
+        self.metrics.signatures.add(signatures);
+        self.obs.event(ObsEvent::Refresh);
 
         self.stats.push(OpRecord {
             kind: OpKind::Refresh,
@@ -747,10 +865,17 @@ impl GroupKeyServer {
     ) -> Result<ProcessedBatch, RequestError> {
         let n_joins = pending.joins.len() as u32;
         let n_leaves = pending.leaves.len() as u32;
+        let _op_span = self.obs.span("op.batch");
         let start = Instant::now();
-        let ev = self.tree.apply_batch(&pending.joins, &pending.leaves, &mut self.keygen)?;
-        let mut rekeyer = BatchRekeyer::new(self.config.cipher, &mut self.ivs);
-        let out = rekeyer.rekey(&ev, self.config.strategy);
+        let ev = {
+            let _s = self.obs.span("tree");
+            self.tree.apply_batch(&pending.joins, &pending.leaves, &mut self.keygen)?
+        };
+        let out = {
+            let _s = self.obs.span("encrypt");
+            let mut rekeyer = BatchRekeyer::new(self.config.cipher, &mut self.ivs);
+            rekeyer.rekey(&ev, self.config.strategy)
+        };
         let timestamp_ms = self.next_seq(); // keep the logical clock shared
         let (packets, encoded, signatures) = self.authenticate_and_encode_batch(
             pending.interval,
@@ -760,6 +885,9 @@ impl GroupKeyServer {
             out.messages,
         );
         let proc_ns = start.elapsed().as_nanos() as u64;
+        self.metrics.req_batch.inc();
+        self.metrics.encryptions.add(out.ops.key_encryptions);
+        self.metrics.signatures.add(signatures);
 
         self.stats.push(OpRecord {
             kind: OpKind::Batch,
@@ -806,6 +934,7 @@ impl GroupKeyServer {
             .map(|message| RekeyPacket { seq, op, timestamp_ms, message, auth: AuthTag::None })
             .collect();
         let mut signatures = 0u64;
+        let sign_span = self.obs.span("sign");
         match self.config.auth {
             AuthPolicy::None => {}
             AuthPolicy::Digest => {
@@ -840,6 +969,8 @@ impl GroupKeyServer {
                 }
             }
         }
+        drop(sign_span);
+        let _encode_span = self.obs.span("encode");
         let encoded: Vec<Vec<u8>> = packets.iter().map(|p| p.encode()).collect();
         (packets, encoded, signatures)
     }
@@ -865,6 +996,7 @@ impl GroupKeyServer {
             })
             .collect();
         let mut signatures = 0u64;
+        let sign_span = self.obs.span("sign");
         match self.config.auth {
             AuthPolicy::None => {}
             AuthPolicy::Digest => {
@@ -899,6 +1031,8 @@ impl GroupKeyServer {
                 }
             }
         }
+        drop(sign_span);
+        let _encode_span = self.obs.span("encode");
         let encoded: Vec<Vec<u8>> = packets.iter().map(|p| p.encode()).collect();
         (packets, encoded, signatures)
     }

@@ -140,11 +140,19 @@ impl NetServer {
     pub fn poll(&mut self, net: &mut SimNetwork) -> Vec<ServerEvent> {
         let mut events = Vec::new();
         while let Some(dg) = net.recv(self.endpoint) {
-            let msg = match ControlMessage::decode(&dg.payload) {
+            let decoded = {
+                let _s = self.inner.obs().span("parse");
+                ControlMessage::decode(&dg.payload)
+            };
+            let msg = match decoded {
                 Ok(msg) => msg,
                 Err(error) => {
                     // Garbage datagram: drop it as a UDP server must, but
                     // surface the typed decode error to the driver.
+                    self.inner.obs().event(kg_obs::ObsEvent::BadDatagram {
+                        from: dg.from.0 as u64,
+                        error: error.to_string(),
+                    });
                     events.push(ServerEvent::BadDatagram { from: dg.from, error });
                     continue;
                 }
@@ -184,7 +192,10 @@ impl NetServer {
             // Enqueue-time validation makes tree errors unreachable here,
             // but the write-ahead log can genuinely fail; either way the
             // driver decides, the server does not crash.
-            Err(e) => events.push(ServerEvent::FlushFailed(e)),
+            Err(e) => {
+                self.inner.obs().event(kg_obs::ObsEvent::FlushFailed { error: e.to_string() });
+                events.push(ServerEvent::FlushFailed(e));
+            }
         }
         events
     }
@@ -374,6 +385,7 @@ impl NetServer {
     /// (against the *current* tree, which is post-update for both the
     /// immediate and the batched path).
     fn send_to_recipients(&self, net: &mut SimNetwork, recipients: &Recipients, bytes: &[u8]) {
+        let _s = self.inner.obs().span("send");
         let payload = Bytes::copy_from_slice(bytes);
         match recipients {
             Recipients::Group => {

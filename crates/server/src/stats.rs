@@ -4,7 +4,17 @@
 //! request (Figures 10/11, Table 4), number and size of rekey messages
 //! sent (Tables 4/5), and encryption counts (validating Table 2/3).
 //! Records are kept per operation so min/ave/max columns can be derived.
+//!
+//! Aggregates are **streaming**: every [`push`](ServerStats::push)
+//! folds the record into running totals (per kind and overall), so
+//! [`aggregate`](ServerStats::aggregate) is O(1) in the number of
+//! records and a long-running server can cap the retained record
+//! vector ([`ServerStats::with_record_cap`]) without losing aggregate
+//! accuracy. The floating-point sums are accumulated in insertion
+//! order — exactly the order the previous records-walking
+//! implementation summed in — so uncapped results are bit-identical.
 
+use kg_obs::LocalHistogram;
 use kg_wire::OpKind;
 
 /// One processed join/leave.
@@ -50,64 +60,182 @@ pub struct Aggregate {
     pub msgs_per_op: f64,
     /// Mean processing time per operation, in milliseconds.
     pub proc_ms_ave: f64,
+    /// Median processing time per operation, in milliseconds
+    /// (log-bucketed histogram estimate, ≤12.5% relative error).
+    pub proc_ms_p50: f64,
+    /// 99th-percentile processing time per operation, in milliseconds
+    /// (same histogram estimate).
+    pub proc_ms_p99: f64,
     /// Mean keys-encrypted per operation.
     pub encryptions_ave: f64,
     /// Mean signature operations per operation.
     pub signatures_ave: f64,
 }
 
+/// Streaming totals for one record population (a kind, or all kinds).
+#[derive(Debug, Clone)]
+struct Totals {
+    ops: u64,
+    requests: u64,
+    msgs: u64,
+    bytes: u64,
+    size_min: u32,
+    size_max: u32,
+    // f64 running sums, accumulated in insertion order so the derived
+    // means match a sequential records walk bit-for-bit.
+    proc_ns_sum: f64,
+    encryptions_sum: f64,
+    signatures_sum: f64,
+    proc_us: LocalHistogram,
+}
+
+impl Default for Totals {
+    fn default() -> Self {
+        Totals {
+            ops: 0,
+            requests: 0,
+            msgs: 0,
+            bytes: 0,
+            size_min: u32::MAX,
+            size_max: 0,
+            proc_ns_sum: 0.0,
+            encryptions_sum: 0.0,
+            signatures_sum: 0.0,
+            proc_us: LocalHistogram::new(),
+        }
+    }
+}
+
+impl Totals {
+    fn fold(&mut self, rec: &OpRecord) {
+        self.ops += 1;
+        self.requests += rec.requests as u64;
+        self.msgs += rec.msg_sizes.len() as u64;
+        for &s in &rec.msg_sizes {
+            self.bytes += s as u64;
+            self.size_min = self.size_min.min(s);
+            self.size_max = self.size_max.max(s);
+        }
+        self.proc_ns_sum += rec.proc_ns as f64;
+        self.encryptions_sum += rec.encryptions as f64;
+        self.signatures_sum += rec.signatures as f64;
+        self.proc_us.record(rec.proc_ns / 1_000);
+    }
+
+    fn aggregate(&self) -> Option<Aggregate> {
+        if self.ops == 0 {
+            return None;
+        }
+        let ops = self.ops;
+        let total_msgs = self.msgs as f64;
+        let proc = self.proc_us.snapshot();
+        Some(Aggregate {
+            ops,
+            requests: self.requests,
+            msg_size_ave: if total_msgs > 0.0 { self.bytes as f64 / total_msgs } else { 0.0 },
+            msg_size_min: if self.msgs == 0 { 0 } else { self.size_min },
+            msg_size_max: self.size_max,
+            msgs_per_op: total_msgs / ops as f64,
+            proc_ms_ave: self.proc_ns_sum / ops as f64 / 1e6,
+            proc_ms_p50: proc.p50 as f64 / 1e3,
+            proc_ms_p99: proc.p99 as f64 / 1e3,
+            encryptions_ave: self.encryptions_sum / ops as f64,
+            signatures_ave: self.signatures_sum / ops as f64,
+        })
+    }
+}
+
+const KINDS: usize = 4;
+
+fn kind_index(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Join => 0,
+        OpKind::Leave => 1,
+        OpKind::Batch => 2,
+        OpKind::Refresh => 3,
+    }
+}
+
 /// Statistics sink held by the server.
-#[derive(Debug, Default, Clone)]
+///
+/// By default every [`OpRecord`] is retained (snapshots checkpoint
+/// them, and per-record views like Figure 10's scatter need them). A
+/// record cap ([`with_record_cap`](Self::with_record_cap)) bounds the
+/// vector for long-running servers: the oldest records are evicted
+/// FIFO while the streaming totals — and therefore
+/// [`aggregate`](Self::aggregate) — continue to cover every record
+/// ever pushed since the last [`reset`](Self::reset).
+#[derive(Debug, Clone, Default)]
 pub struct ServerStats {
     records: Vec<OpRecord>,
+    record_cap: Option<usize>,
+    by_kind: [Totals; KINDS],
+    overall: Totals,
 }
 
 impl ServerStats {
+    /// A sink that retains at most `cap` records (0 retains none).
+    /// Aggregates still cover every pushed record.
+    pub fn with_record_cap(cap: usize) -> Self {
+        ServerStats { record_cap: Some(cap), ..ServerStats::default() }
+    }
+
     /// Rebuild a sink from checkpointed records (crash recovery).
+    /// Totals are refolded from the given records, in order.
     pub fn from_records(records: Vec<OpRecord>) -> Self {
-        ServerStats { records }
+        let mut s = ServerStats::default();
+        for rec in records {
+            s.push(rec);
+        }
+        s
+    }
+
+    /// The retention cap, if any.
+    pub fn record_cap(&self) -> Option<usize> {
+        self.record_cap
     }
 
     /// Append a record.
     pub fn push(&mut self, rec: OpRecord) {
+        self.by_kind[kind_index(rec.kind)].fold(&rec);
+        self.overall.fold(&rec);
         self.records.push(rec);
+        if let Some(cap) = self.record_cap {
+            while self.records.len() > cap {
+                self.records.remove(0);
+            }
+        }
     }
 
-    /// All records.
+    /// The retained records (all of them when uncapped).
     pub fn records(&self) -> &[OpRecord] {
         &self.records
     }
 
-    /// Drop everything (e.g. after the initial-population phase, which the
-    /// paper excludes from its tables).
-    pub fn reset(&mut self) {
-        self.records.clear();
+    /// Records evicted by the cap so far.
+    pub fn records_evicted(&self) -> u64 {
+        self.overall.ops - self.records.len() as u64
     }
 
-    /// Aggregate over all records of the given kind (`None` = both kinds).
+    /// Total records ever pushed since the last reset (retained +
+    /// evicted) — what the aggregates cover.
+    pub fn records_pushed(&self) -> u64 {
+        self.overall.ops
+    }
+
+    /// Drop everything (e.g. after the initial-population phase, which the
+    /// paper excludes from its tables). Totals reset too.
+    pub fn reset(&mut self) {
+        *self = ServerStats { record_cap: self.record_cap, ..ServerStats::default() };
+    }
+
+    /// Aggregate over all records of the given kind (`None` = every kind),
+    /// including records evicted by the cap. O(1) in record count.
     pub fn aggregate(&self, kind: Option<OpKind>) -> Option<Aggregate> {
-        let recs: Vec<&OpRecord> =
-            self.records.iter().filter(|r| kind.is_none_or(|k| r.kind == k)).collect();
-        if recs.is_empty() {
-            return None;
+        match kind {
+            None => self.overall.aggregate(),
+            Some(k) => self.by_kind[kind_index(k)].aggregate(),
         }
-        let ops = recs.len() as u64;
-        let all_sizes: Vec<u32> = recs.iter().flat_map(|r| r.msg_sizes.iter().copied()).collect();
-        let total_msgs = all_sizes.len() as f64;
-        let (min, max, sum) = all_sizes
-            .iter()
-            .fold((u32::MAX, 0u32, 0u64), |(mn, mx, s), &v| (mn.min(v), mx.max(v), s + v as u64));
-        Some(Aggregate {
-            ops,
-            requests: recs.iter().map(|r| r.requests as u64).sum(),
-            msg_size_ave: if total_msgs > 0.0 { sum as f64 / total_msgs } else { 0.0 },
-            msg_size_min: if all_sizes.is_empty() { 0 } else { min },
-            msg_size_max: max,
-            msgs_per_op: total_msgs / ops as f64,
-            proc_ms_ave: recs.iter().map(|r| r.proc_ns as f64).sum::<f64>() / ops as f64 / 1e6,
-            encryptions_ave: recs.iter().map(|r| r.encryptions as f64).sum::<f64>() / ops as f64,
-            signatures_ave: recs.iter().map(|r| r.signatures as f64).sum::<f64>() / ops as f64,
-        })
     }
 }
 
@@ -164,6 +292,8 @@ mod tests {
         s.push(rec(OpKind::Join, &[1], 1, 1));
         s.reset();
         assert!(s.records().is_empty());
+        assert!(s.aggregate(None).is_none());
+        assert_eq!(s.records_pushed(), 0);
     }
 
     #[test]
@@ -175,5 +305,66 @@ mod tests {
         assert_eq!(a.msgs_per_op, 0.0);
         assert_eq!(a.msg_size_ave, 0.0);
         assert_eq!(a.msg_size_min, 0);
+    }
+
+    #[test]
+    fn streaming_matches_records_walk_bit_for_bit() {
+        // Re-derive the aggregate the way the pre-streaming code did —
+        // a sequential walk over the records — and require exact f64
+        // equality with the running-total version.
+        let mut s = ServerStats::default();
+        let data = [
+            rec(OpKind::Join, &[137, 991, 23], 1_234_567, 3),
+            rec(OpKind::Leave, &[777], 9_999_999, 11),
+            rec(OpKind::Join, &[12], 37, 1),
+            rec(OpKind::Batch, &[50_000, 60_000], 123_456_789, 200),
+            rec(OpKind::Leave, &[], 55_555, 7),
+        ];
+        for r in &data {
+            s.push(r.clone());
+        }
+        for kind in [None, Some(OpKind::Join), Some(OpKind::Leave), Some(OpKind::Batch)] {
+            let recs: Vec<&OpRecord> =
+                data.iter().filter(|r| kind.is_none_or(|k| r.kind == k)).collect();
+            let a = s.aggregate(kind).unwrap();
+            let ops = recs.len() as f64;
+            let walk_proc = recs.iter().map(|r| r.proc_ns as f64).sum::<f64>() / ops / 1e6;
+            let walk_enc = recs.iter().map(|r| r.encryptions as f64).sum::<f64>() / ops;
+            assert_eq!(a.proc_ms_ave.to_bits(), walk_proc.to_bits());
+            assert_eq!(a.encryptions_ave.to_bits(), walk_enc.to_bits());
+        }
+        assert!(s.aggregate(Some(OpKind::Refresh)).is_none());
+    }
+
+    #[test]
+    fn record_cap_evicts_fifo_but_aggregate_covers_everything() {
+        let mut capped = ServerStats::with_record_cap(2);
+        let mut uncapped = ServerStats::default();
+        for i in 1..=10u64 {
+            let r = rec(OpKind::Join, &[i as u32 * 10], i * 1_000_000, i);
+            capped.push(r.clone());
+            uncapped.push(r);
+        }
+        assert_eq!(capped.records().len(), 2);
+        assert_eq!(capped.records()[0].proc_ns, 9_000_000); // oldest evicted
+        assert_eq!(capped.records_evicted(), 8);
+        assert_eq!(capped.records_pushed(), 10);
+        // Aggregates are identical to the uncapped sink.
+        assert_eq!(capped.aggregate(None), uncapped.aggregate(None));
+        assert_eq!(uncapped.records_evicted(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_within_bucket_error() {
+        let mut s = ServerStats::default();
+        // 99 ops at 1ms, one at 100ms: p50 ≈ 1ms, p99 ≈ 1ms, max pulls ave up.
+        for _ in 0..99 {
+            s.push(rec(OpKind::Join, &[10], 1_000_000, 1));
+        }
+        s.push(rec(OpKind::Join, &[10], 100_000_000, 1));
+        let a = s.aggregate(None).unwrap();
+        assert!((a.proc_ms_p50 - 1.0).abs() / 1.0 < 0.125, "p50 {}", a.proc_ms_p50);
+        assert!((a.proc_ms_p99 - 1.0).abs() / 1.0 < 0.125, "p99 {}", a.proc_ms_p99);
+        assert!(a.proc_ms_ave > a.proc_ms_p50);
     }
 }

@@ -7,6 +7,7 @@ pub use kg_core as core;
 pub use kg_crypto as crypto;
 pub use kg_iolus as iolus;
 pub use kg_net as net;
+pub use kg_obs as obs;
 pub use kg_persist as persist;
 pub use kg_server as server;
 pub use kg_wire as wire;

@@ -167,6 +167,87 @@ fn duplicates_do_not_corrupt_state() {
     assert_eq!(client.group_key().unwrap().1, gk);
 }
 
+/// Satellite check: the fault counters and timeline events the
+/// simulated network reports through `kg-obs` must reconcile with the
+/// network's own per-endpoint traffic accounting, and the timeline must
+/// be stamped in deterministic virtual time.
+#[test]
+fn obs_counters_reconcile_with_network_accounting() {
+    use keygraphs::obs::{ManualClock, Obs, ObsConfig};
+
+    let clock = ManualClock::new();
+    let obs = Obs::new(ObsConfig::manual(clock.clone()));
+    let mut net = SimNetwork::new(NetConfig {
+        loss_probability: 0.4,
+        duplicate_probability: 0.2,
+        seed: 11,
+        ..NetConfig::default()
+    });
+    net.attach_obs(obs.clone());
+    net.drive_obs_clock(clock.clone());
+    let a = net.endpoint();
+    let b = net.endpoint();
+    let mut mb_a = ReliableMailbox::new(a);
+    mb_a.attach_obs(obs.clone());
+    let mut mb_b = ReliableMailbox::new(b);
+
+    for i in 0..40u8 {
+        mb_a.send(&mut net, &[b], Bytes::copy_from_slice(&[i]));
+    }
+    for _ in 0..200 {
+        net.advance(RTO_US);
+        mb_a.poll(&mut net);
+        mb_b.poll(&mut net);
+        while mb_b.recv().is_some() {}
+        if mb_a.unacked() == 0 && net.pending_total() == 0 {
+            break;
+        }
+    }
+    assert_eq!(mb_a.unacked(), 0, "reliable layer failed to converge");
+
+    // Every datagram the endpoints saw arrive is on the delivered
+    // counter; nothing else is.
+    let delivered = obs.counter("kg_net_delivered_total").get();
+    assert_eq!(
+        delivered,
+        net.stats(a).datagrams_received + net.stats(b).datagrams_received,
+        "delivered counter vs per-endpoint traffic stats"
+    );
+
+    // At 40% loss the fault counters must have fired, and each fault
+    // counter increment must have a matching timeline event (cumulative
+    // kind counts survive ring eviction, so this holds at any capacity).
+    let dropped = obs.counter_with("kg_net_dropped_total", "mode", "loss").get()
+        + obs.counter_with("kg_net_dropped_total", "mode", "down").get()
+        + obs.counter_with("kg_net_dropped_total", "mode", "closed").get();
+    let duplicated = obs.counter("kg_net_duplicated_total").get();
+    let retransmits = obs.counter("kg_net_retransmits_total").get();
+    assert!(dropped > 0, "40% loss produced no drops?");
+    assert!(duplicated > 0, "20% duplication produced no duplicates?");
+    assert!(retransmits > 0, "drops without retransmits?");
+
+    let kinds = obs.event_kind_counts();
+    assert_eq!(kinds.get("packet_dropped").copied().unwrap_or(0), dropped);
+    assert_eq!(kinds.get("packet_duplicated").copied().unwrap_or(0), duplicated);
+    assert_eq!(kinds.get("retransmit").copied().unwrap_or(0), retransmits);
+
+    // Crash/restart fault injection lands on the timeline too.
+    net.crash(b);
+    net.restart(b);
+    let kinds = obs.event_kind_counts();
+    assert_eq!(kinds.get("crash").copied().unwrap_or(0), 1);
+    assert_eq!(kinds.get("restart").copied().unwrap_or(0), 1);
+
+    // Timeline timestamps are virtual-network microseconds, not wall
+    // time: the last event cannot postdate the network clock, and the
+    // obs clock tracks it exactly.
+    assert_eq!(obs.now_us(), net.now_us());
+    let tl = obs.timeline();
+    assert!(!tl.is_empty());
+    assert!(tl.last().unwrap().at_us <= net.now_us());
+    assert!(tl.windows(2).all(|w| w[0].at_us <= w[1].at_us), "timeline causally ordered");
+}
+
 #[test]
 fn ghost_still_locked_out_despite_loss() {
     let mut w = ReliableWorld::new(0.4, 3, Strategy::GroupOriented);
