@@ -34,7 +34,7 @@
 pub mod rekeyer;
 pub mod scheduler;
 
-pub use rekeyer::BatchRekeyer;
+pub use rekeyer::{build_batch, BatchRekeyer};
 pub use scheduler::{BatchPolicy, BatchScheduler, PendingBatch};
 
 // Re-export the core batch event types so server code can depend on

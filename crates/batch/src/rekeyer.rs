@@ -3,16 +3,146 @@
 use kg_core::batch::BatchEvent;
 use kg_core::ids::{KeyLabel, KeyRef};
 use kg_core::rekey::{
-    KeyBundle, KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput, Strategy,
+    BundleSink, KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput, SealingSink, Strategy,
 };
 use kg_crypto::{KeySource, SymmetricKey};
 use std::collections::BTreeMap;
+
+/// Construct one interval's rekey messages from a [`BatchEvent`],
+/// drawing every ciphertext from `sink`.
+///
+/// Every current member learns exactly the new keys on its path;
+/// departed members can decrypt none of them (each ciphertext is keyed
+/// by a surviving child's key); joiners learn only post-batch keys, via
+/// their unicast.
+///
+/// Bundle-request order follows [`BatchEvent::key_cover`]: marked nodes
+/// root-first (BFS), children in the recorded child order. For the
+/// key-oriented strategy the marked-child chain ciphertexts are sealed
+/// first in that cover order (fixing their IVs once, as the
+/// stored-ciphertext optimization requires); the per-subgroup messages
+/// then re-request them as cache hits. Joiner unicasts come last, in
+/// event order. This total order is what lets a deferred/parallel sink
+/// reproduce the sequential byte stream exactly.
+pub fn build_batch(sink: &mut dyn BundleSink, ev: &BatchEvent, strategy: Strategy) -> RekeyOutput {
+    let mut ops = OpCounts { keys_generated: ev.marked.len() as u64, ..OpCounts::default() };
+    let mut messages = Vec::new();
+    if ev.marked.is_empty() {
+        // Group emptied (or nothing happened): nothing to distribute.
+        return RekeyOutput { messages, ops };
+    }
+
+    // Parent links among marked nodes, from the children lists:
+    // `parent_of[y] = x` iff marked y is a child of marked x. Walking
+    // parent_of from any marked node reaches the root (index 0).
+    let by_label: BTreeMap<KeyLabel, usize> =
+        ev.marked.iter().enumerate().map(|(i, m)| (m.label, i)).collect();
+    let mut parent_of: BTreeMap<KeyLabel, KeyLabel> = BTreeMap::new();
+    for m in &ev.marked {
+        for c in &m.children {
+            if c.marked {
+                parent_of.insert(c.label, m.label);
+            }
+        }
+    }
+
+    match strategy {
+        Strategy::GroupOriented => {
+            // One multicast carrying {K'_x}_{K_y} for every marked x
+            // and every non-joiner child y (new K_y when y is marked).
+            let mut bundles = Vec::new();
+            for (m, c) in ev.key_cover() {
+                if c.joiner.is_none() {
+                    bundles.push(sink.bundle(
+                        &mut ops,
+                        c.key_ref,
+                        &c.key,
+                        &[(m.new_ref, &m.new_key)],
+                    ));
+                }
+            }
+            messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
+        }
+        Strategy::KeyOriented => {
+            // Seal the chain ciphertexts {K'_x}_{K'_y} (marked child y
+            // of marked x) first, in cover order; the per-subgroup
+            // messages below re-request them as cache hits, so each is
+            // encrypted (and counted) exactly once — the batched
+            // analogue of Figure 8's stored-ciphertext optimization.
+            // `chain_src[y]` remembers the request triple so the walk
+            // re-issues it identically.
+            let mut chain_src: BTreeMap<KeyLabel, (KeyRef, &SymmetricKey)> = BTreeMap::new();
+            for (m, c) in ev.key_cover() {
+                if c.marked {
+                    let _ = sink.bundle(&mut ops, c.key_ref, &c.key, &[(m.new_ref, &m.new_key)]);
+                    chain_src.insert(c.label, (c.key_ref, &c.key));
+                }
+            }
+            // For each unmarked, non-joiner child y of marked x:
+            // M = {K'_x}_{K_y}, {K'_p(x)}_{K'_x}, … up to the root.
+            for (m, c) in ev.key_cover() {
+                if c.marked || c.joiner.is_some() {
+                    continue;
+                }
+                let head = sink.bundle(&mut ops, c.key_ref, &c.key, &[(m.new_ref, &m.new_key)]);
+                let mut bundles = vec![head];
+                let mut cur = m.label;
+                while let Some(&(link_ref, link_key)) = chain_src.get(&cur) {
+                    let parent = &ev.marked[by_label[&parent_of[&cur]]];
+                    bundles.push(sink.bundle(
+                        &mut ops,
+                        link_ref,
+                        link_key,
+                        &[(parent.new_ref, &parent.new_key)],
+                    ));
+                    cur = parent.label;
+                }
+                messages.push(RekeyMessage { recipients: Recipients::Subgroup(c.label), bundles });
+            }
+        }
+        Strategy::UserOriented => {
+            // For each unmarked, non-joiner child y of marked x: one
+            // tailored message carrying every new key on x's path to
+            // the root in a single bundle under K_y — smallest
+            // per-client payload, most server encryptions.
+            for (m, c) in ev.key_cover() {
+                if c.marked || c.joiner.is_some() {
+                    continue;
+                }
+                let mut targets: Vec<(KeyRef, &SymmetricKey)> = Vec::new();
+                let mut cur = Some(m.label);
+                while let Some(label) = cur {
+                    let node = &ev.marked[by_label[&label]];
+                    targets.push((node.new_ref, &node.new_key));
+                    cur = parent_of.get(&label).copied();
+                }
+                let b = sink.bundle(&mut ops, c.key_ref, &c.key, &targets);
+                messages.push(RekeyMessage {
+                    recipients: Recipients::Subgroup(c.label),
+                    bundles: vec![b],
+                });
+            }
+        }
+    }
+
+    // All strategies: each joiner gets its full new path in one
+    // unicast under its individual key.
+    for j in &ev.joins {
+        let targets: Vec<(KeyRef, &SymmetricKey)> = j.path.iter().map(|(r, k)| (*r, k)).collect();
+        let b = sink.bundle(&mut ops, j.leaf_ref, &j.leaf_key, &targets);
+        messages.push(RekeyMessage { recipients: Recipients::User(j.user), bundles: vec![b] });
+    }
+
+    RekeyOutput { messages, ops }
+}
 
 /// Builds the interval's rekey messages from a [`BatchEvent`].
 ///
 /// Mirrors [`kg_core::rekey::Rekeyer`] (same cipher enum, same IV source,
 /// same cost accounting) but consumes a whole interval's marked set at
-/// once instead of a single operation's path.
+/// once instead of a single operation's path. Thin wrapper over
+/// [`build_batch`] with an inline [`SealingSink`] (fresh cache per
+/// interval).
 pub struct BatchRekeyer<'a> {
     cipher: KeyCipher,
     ivs: &'a mut dyn KeySource,
@@ -29,153 +159,10 @@ impl<'a> BatchRekeyer<'a> {
         self.cipher
     }
 
-    fn bundle(
-        &mut self,
-        ops: &mut OpCounts,
-        encrypting_ref: KeyRef,
-        encrypting_key: &SymmetricKey,
-        targets: &[(KeyRef, &SymmetricKey)],
-    ) -> KeyBundle {
-        let mut plaintext = Vec::with_capacity(targets.len() * 8);
-        for (_, key) in targets {
-            plaintext.extend_from_slice(key.material());
-        }
-        let iv = self.ivs.generate(self.cipher.block_len());
-        let ciphertext = self.cipher.encrypt(encrypting_key, &iv, &plaintext);
-        ops.key_encryptions += targets.len() as u64;
-        KeyBundle {
-            targets: targets.iter().map(|(r, _)| *r).collect(),
-            encrypted_with: encrypting_ref,
-            iv,
-            ciphertext,
-        }
-    }
-
     /// Construct the interval's rekey messages under `strategy`.
-    ///
-    /// Every current member learns exactly the new keys on its path;
-    /// departed members can decrypt none of them (each ciphertext is
-    /// keyed by a surviving child's key); joiners learn only post-batch
-    /// keys, via their unicast.
     pub fn rekey(&mut self, ev: &BatchEvent, strategy: Strategy) -> RekeyOutput {
-        let mut ops = OpCounts { keys_generated: ev.marked.len() as u64, ..OpCounts::default() };
-        let mut messages = Vec::new();
-        if ev.marked.is_empty() {
-            // Group emptied (or nothing happened): nothing to distribute.
-            return RekeyOutput { messages, ops };
-        }
-
-        // Parent links among marked nodes, from the children lists:
-        // `parent_of[y] = x` iff marked y is a child of marked x. Walking
-        // parent_of from any marked node reaches the root (index 0).
-        let by_label: BTreeMap<KeyLabel, usize> =
-            ev.marked.iter().enumerate().map(|(i, m)| (m.label, i)).collect();
-        let mut parent_of: BTreeMap<KeyLabel, KeyLabel> = BTreeMap::new();
-        for m in &ev.marked {
-            for c in &m.children {
-                if c.marked {
-                    parent_of.insert(c.label, m.label);
-                }
-            }
-        }
-
-        match strategy {
-            Strategy::GroupOriented => {
-                // One multicast carrying {K'_x}_{K_y} for every marked x
-                // and every non-joiner child y (new K_y when y is marked).
-                let mut bundles = Vec::new();
-                for m in &ev.marked {
-                    for c in &m.children {
-                        if c.joiner.is_none() {
-                            bundles.push(self.bundle(
-                                &mut ops,
-                                c.key_ref,
-                                &c.key,
-                                &[(m.new_ref, &m.new_key)],
-                            ));
-                        }
-                    }
-                }
-                messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
-            }
-            Strategy::KeyOriented => {
-                // Stored chain ciphertexts {K'_x}_{K'_y} for marked child
-                // y of marked x, computed (and counted) once, then reused
-                // across the per-subgroup messages — the batched analogue
-                // of Figure 8's stored-ciphertext optimization.
-                let mut chain: BTreeMap<KeyLabel, KeyBundle> = BTreeMap::new();
-                for m in &ev.marked {
-                    for c in &m.children {
-                        if c.marked {
-                            let b = self.bundle(
-                                &mut ops,
-                                c.key_ref,
-                                &c.key,
-                                &[(m.new_ref, &m.new_key)],
-                            );
-                            chain.insert(c.label, b);
-                        }
-                    }
-                }
-                // For each unmarked, non-joiner child y of marked x:
-                // M = {K'_x}_{K_y}, {K'_p(x)}_{K'_x}, … up to the root.
-                for m in &ev.marked {
-                    for c in &m.children {
-                        if c.marked || c.joiner.is_some() {
-                            continue;
-                        }
-                        let head =
-                            self.bundle(&mut ops, c.key_ref, &c.key, &[(m.new_ref, &m.new_key)]);
-                        let mut bundles = vec![head];
-                        let mut cur = m.label;
-                        while let Some(b) = chain.get(&cur) {
-                            bundles.push(b.clone());
-                            cur = parent_of[&cur];
-                        }
-                        messages.push(RekeyMessage {
-                            recipients: Recipients::Subgroup(c.label),
-                            bundles,
-                        });
-                    }
-                }
-            }
-            Strategy::UserOriented => {
-                // For each unmarked, non-joiner child y of marked x: one
-                // tailored message carrying every new key on x's path to
-                // the root in a single bundle under K_y — smallest
-                // per-client payload, most server encryptions.
-                for m in &ev.marked {
-                    for c in &m.children {
-                        if c.marked || c.joiner.is_some() {
-                            continue;
-                        }
-                        let mut targets: Vec<(KeyRef, &SymmetricKey)> = Vec::new();
-                        let mut cur = Some(m.label);
-                        while let Some(label) = cur {
-                            let node = &ev.marked[by_label[&label]];
-                            targets.push((node.new_ref, &node.new_key));
-                            cur = parent_of.get(&label).copied();
-                        }
-                        let b = self.bundle(&mut ops, c.key_ref, &c.key, &targets);
-                        messages.push(RekeyMessage {
-                            recipients: Recipients::Subgroup(c.label),
-                            bundles: vec![b],
-                        });
-                    }
-                }
-            }
-        }
-
-        // All strategies: each joiner gets its full new path in one
-        // unicast under its individual key.
-        for j in &ev.joins {
-            let targets: Vec<(KeyRef, &SymmetricKey)> =
-                j.path.iter().map(|(r, k)| (*r, k)).collect();
-            let b = self.bundle(&mut ops, j.leaf_ref, &j.leaf_key, &targets);
-            messages.push(RekeyMessage { recipients: Recipients::User(j.user), bundles: vec![b] });
-        }
-
-        RekeyOutput { messages, ops }
+        let mut sink = SealingSink::new(self.cipher, &mut *self.ivs);
+        build_batch(&mut sink, ev, strategy)
     }
 }
 

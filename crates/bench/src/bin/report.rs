@@ -3,12 +3,12 @@
 //! ```text
 //! report [--quick] <artifact>...
 //! artifacts: table1 table2 table3 table4 table5 table6
-//!            fig10 fig11 fig12 iolus hybrid batch persist obs all
+//!            fig10 fig11 fig12 iolus hybrid batch persist obs par all
 //! ```
 //!
-//! The `batch`, `persist`, and `obs` artifacts also write
-//! machine-readable `BENCH_batch.json`, `BENCH_persist.json`, and
-//! `BENCH_obs.json` to the working directory.
+//! The `batch`, `persist`, `obs`, and `par` artifacts also write
+//! machine-readable `BENCH_batch.json`, `BENCH_persist.json`,
+//! `BENCH_obs.json`, and `BENCH_par.json` to the working directory.
 //!
 //! `--quick` shrinks group sizes / request counts for a fast smoke run.
 //! Absolute times differ from the paper's 1998 SGI Origin 200 numbers; the
@@ -17,8 +17,9 @@
 //! EXPERIMENTS.md for the side-by-side reading.
 
 use kg_bench::{
-    run, run_batch_comparison, run_obs_overhead, run_obs_reconcile, run_persist_overhead,
-    run_recovery_curve, BatchConfig, ExperimentConfig, TextTable, SEEDS,
+    run, run_batch_comparison, run_obs_overhead, run_obs_reconcile, run_par_speedup,
+    run_persist_overhead, run_recovery_curve, BatchConfig, ExperimentConfig, ParConfig, TextTable,
+    SEEDS,
 };
 use kg_core::cost::{self, GraphClass};
 use kg_core::ids::UserId;
@@ -43,7 +44,7 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: report [--quick] <artifact>...\n\
                      artifacts: table1 table2 table3 table4 table5 table6 \
-                     fig10 fig11 fig12 iolus hybrid batch persist obs all"
+                     fig10 fig11 fig12 iolus hybrid batch persist obs par all"
                 );
                 std::process::exit(0);
             }
@@ -108,6 +109,9 @@ fn main() {
     }
     if want("obs") {
         obs(&opts);
+    }
+    if want("par") {
+        par(&opts);
     }
 }
 
@@ -842,4 +846,129 @@ fn iolus(opts: &Opts) {
     ]);
     println!("{}", t.render());
     println!("(the paper's point: both are O(log n)-ish at membership time, but Iolus moves the '1 affects n' work onto every data message and multiplies the trust surface)\n");
+}
+
+/// Parallel rekey pipeline: speedup curve vs worker count and cache hit
+/// rates, with byte-identity vs the sequential path asserted inside the
+/// harness (a divergence panics the report).
+fn par(opts: &Opts) {
+    println!("## Parallel pipeline — rekey-construction speedup and encryption cache (d=4, group-oriented interval)\n");
+    let sizes: &[usize] = if opts.quick { &[256] } else { &[4096, 8192] };
+    let worker_counts: Vec<usize> = if opts.quick { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let requests = if opts.quick { 64 } else { 256 };
+    let reps = if opts.quick { 3 } else { 11 };
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        let r = run_par_speedup(&ParConfig {
+            n,
+            degree: 4,
+            requests,
+            worker_counts: worker_counts.clone(),
+            reps,
+            seed: SEEDS[0],
+        });
+        println!(
+            "### n={n}: one interval of {requests} requests, {} key encryptions, {} reps (output byte-identical at every worker count)\n",
+            r.encryptions_per_interval, reps
+        );
+        println!(
+            "phase split: plan {} ms + encrypt {} ms per interval -> {:.0}% parallelizable (Amdahl bound {:.2}x at 4 workers)",
+            f(r.plan_ms),
+            f(r.encrypt_ms),
+            100.0 * r.parallel_fraction(),
+            r.amdahl_bound(4),
+        );
+        println!("hardware threads on this host: {}\n", r.hardware_threads);
+        let mut t = TextTable::new(&["workers", "elapsed ms", "requests/sec", "speedup", "note"]);
+        for p in &r.points {
+            let note = if p.workers > r.hardware_threads {
+                "hardware-capped (workers > cores)"
+            } else {
+                ""
+            };
+            t.row(vec![
+                p.workers.to_string(),
+                f(p.elapsed_ms),
+                format!("{:.0}", p.throughput),
+                format!("{:.2}x", p.speedup),
+                note.into(),
+            ]);
+        }
+        println!("{}", t.render());
+        if r.hardware_threads < 2 {
+            println!("(single hardware thread: worker threads time-slice one core, so no wall-clock speedup is measurable on this host — the Amdahl bound above is what the measured phase split supports on a multi-core host)\n");
+        }
+        results.push(r);
+    }
+
+    println!("### Encryption cache over the measured interval (per strategy, sequential path)\n");
+    let r0 = &results[0];
+    let mut t = TextTable::new(&[
+        "strategy",
+        "cache hits",
+        "misses (ciphertexts)",
+        "hit rate",
+        "key encryptions",
+    ]);
+    for c in &r0.cache {
+        t.row(vec![
+            c.strategy.into(),
+            c.hits.to_string(),
+            c.misses.to_string(),
+            format!("{:.1}%", c.hit_rate_pct()),
+            c.key_encryptions.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(hits are the stored-ciphertext reuses of Figures 6/8 — the key-oriented chain links; group-oriented covers have no repeats by construction, so its hit rate is honestly 0)\n");
+
+    let mut json = String::from("{\n  \"curves\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{\"n\": {}, \"degree\": 4, \"requests\": {}, \"reps\": {}, \"encryptions_per_interval\": {}, \"identical_output\": true, \"hardware_threads\": {}, \"plan_ms\": {}, \"encrypt_ms\": {}, \"parallel_fraction\": {}, \"amdahl_bound_4_workers\": {}, \"points\": [",
+            r.config.n,
+            r.config.requests,
+            r.config.reps,
+            r.encryptions_per_interval,
+            r.hardware_threads,
+            jf(r.plan_ms),
+            jf(r.encrypt_ms),
+            jf(r.parallel_fraction()),
+            jf(r.amdahl_bound(4)),
+        ));
+        for (k, p) in r.points.iter().enumerate() {
+            if k > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "\n      {{\"workers\": {}, \"elapsed_ms\": {}, \"throughput\": {}, \"speedup\": {}, \"hardware_capped\": {}}}",
+                p.workers,
+                jf(p.elapsed_ms),
+                jf(p.throughput),
+                jf(p.speedup),
+                p.workers > r.hardware_threads,
+            ));
+        }
+        json.push_str("\n    ]}");
+    }
+    json.push_str("\n  ],\n  \"cache\": [");
+    for (i, c) in r0.cache.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{\"strategy\": \"{}\", \"hits\": {}, \"misses\": {}, \"hit_rate_pct\": {}, \"key_encryptions\": {}}}",
+            c.strategy,
+            c.hits,
+            c.misses,
+            jf(c.hit_rate_pct()),
+            c.key_encryptions
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    write_artifact("BENCH_par.json", &json);
 }

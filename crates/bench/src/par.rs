@@ -1,0 +1,284 @@
+//! `report par` — parallel rekey-construction speedup and encryption
+//! cache hit rates.
+//!
+//! Methodology: build an n-user tree, apply one batched interval of
+//! mixed joins/leaves (the workload whose fan-out the pipeline targets),
+//! then repeatedly *construct* the interval's rekey messages — the
+//! encryption-dominated phase `kg-par` parallelizes — at each worker
+//! count, timing construction only. Every rep draws its IVs from a
+//! fresh DRBG at the same seed, so all runs perform the identical
+//! byte-level work; the workers=1 output is the reference and every
+//! other worker count's output is asserted byte-identical against it
+//! (the tentpole invariant, enforced here in the benchmark itself, not
+//! just in tests). Throughput is requests per second of construction
+//! time; speedup is relative to workers=1.
+
+use kg_core::batch::BatchEvent;
+use kg_core::ids::UserId;
+use kg_core::rekey::{KeyCipher, OpCounts, Strategy};
+use kg_core::tree::KeyTree;
+use kg_crypto::drbg::HmacDrbg;
+use kg_crypto::KeySource;
+use kg_par::{EncryptJob, ParRekeyer, PlanSink, WorkerPool};
+use std::time::Instant;
+
+/// Configuration for one speedup curve.
+#[derive(Debug, Clone)]
+pub struct ParConfig {
+    /// Group size before the measured interval.
+    pub n: usize,
+    /// Key tree degree.
+    pub degree: usize,
+    /// Requests folded into the measured interval (half leaves, half
+    /// joins).
+    pub requests: usize,
+    /// Worker counts to sweep; must start with 1 (the baseline).
+    pub worker_counts: Vec<usize>,
+    /// Construction repetitions per worker count (timed together).
+    pub reps: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// One point on the speedup curve.
+#[derive(Debug, Clone)]
+pub struct ParPoint {
+    /// Total worker threads (1 = sequential path, no pool).
+    pub workers: usize,
+    /// Total construction time for all reps, milliseconds.
+    pub elapsed_ms: f64,
+    /// Interval requests constructed per second.
+    pub throughput: f64,
+    /// Throughput relative to workers = 1.
+    pub speedup: f64,
+}
+
+/// Cache behaviour of one strategy over the measured interval.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Bundle requests served from the cache (no encryption).
+    pub hits: u64,
+    /// Distinct ciphertexts sealed.
+    pub misses: u64,
+    /// Keys encrypted (the paper's cost unit).
+    pub key_encryptions: u64,
+}
+
+impl CacheRow {
+    /// hits / (hits + misses), in percent.
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Result of [`run_par_speedup`].
+#[derive(Debug, Clone)]
+pub struct ParResult {
+    /// The configuration measured.
+    pub config: ParConfig,
+    /// Key encryptions one construction of the interval performs
+    /// (group-oriented, the timed strategy).
+    pub encryptions_per_interval: u64,
+    /// Hardware threads available on this host
+    /// (`std::thread::available_parallelism`). Worker counts beyond
+    /// this time-slice the same cores: the curve is hardware-capped
+    /// there, not pipeline-capped.
+    pub hardware_threads: usize,
+    /// Milliseconds per interval spent in the sequential plan phase
+    /// (cache lookups, IV draws, message assembly) — the Amdahl floor
+    /// no worker count can remove.
+    pub plan_ms: f64,
+    /// Milliseconds per interval spent executing the planned
+    /// encryptions sequentially — the work the pool divides.
+    pub encrypt_ms: f64,
+    /// Speedup curve, in `worker_counts` order.
+    pub points: Vec<ParPoint>,
+    /// Cache hit/miss table per strategy (sequential path).
+    pub cache: Vec<CacheRow>,
+}
+
+impl ParResult {
+    /// Fraction of one interval's construction the pool can divide:
+    /// `encrypt / (plan + encrypt)`.
+    pub fn parallel_fraction(&self) -> f64 {
+        let total = self.plan_ms + self.encrypt_ms;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.encrypt_ms / total
+        }
+    }
+
+    /// Amdahl's-law speedup bound at `workers` given the measured
+    /// phase split — what a host with that many free cores could reach.
+    pub fn amdahl_bound(&self, workers: usize) -> f64 {
+        let p = self.parallel_fraction();
+        1.0 / ((1.0 - p) + p / workers.max(1) as f64)
+    }
+}
+
+/// Build the measured interval: an n-user tree plus one batch event of
+/// `requests` mixed joins/leaves.
+fn build_interval(config: &ParConfig) -> (BatchEvent, HmacDrbg) {
+    let mut src = HmacDrbg::from_seed(config.seed ^ 0x7061_725f_7772_6b21);
+    let key_len = KeyCipher::des_cbc().key_len();
+    let mut tree = KeyTree::new(config.degree, key_len, &mut src);
+    for i in 0..config.n as u64 {
+        let ik = src.generate_key(key_len);
+        tree.join(UserId(i), ik, &mut src).expect("initial join");
+    }
+    let leaves: Vec<UserId> = (0..(config.requests / 2) as u64)
+        .map(|k| UserId((k * 97) % config.n as u64))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let joins: Vec<(UserId, kg_crypto::SymmetricKey)> = (0..(config.requests / 2) as u64)
+        .map(|k| (UserId(1_000_000 + k), src.generate_key(key_len)))
+        .collect();
+    let ev = tree.apply_batch(&joins, &leaves, &mut src).expect("batch");
+    (ev, src)
+}
+
+/// Construct the interval's rekey messages once at the given worker
+/// count, returning (messages, ops). IVs restart from the same seed
+/// every call so outputs are comparable across worker counts.
+fn construct(
+    ev: &BatchEvent,
+    pool: Option<&WorkerPool>,
+    strategy: Strategy,
+    iv_seed: u64,
+) -> (Vec<kg_core::rekey::RekeyMessage>, OpCounts) {
+    let mut ivs = HmacDrbg::from_seed(iv_seed);
+    let mut rekeyer = ParRekeyer::new(KeyCipher::des_cbc(), &mut ivs, pool);
+    let out = rekeyer.batch(ev, strategy);
+    (out.messages, out.ops)
+}
+
+/// Measure the speedup curve and cache table for `config`.
+///
+/// # Panics
+/// Panics if any worker count produces output differing from the
+/// sequential reference — that would be a correctness bug, not a
+/// performance result.
+pub fn run_par_speedup(config: &ParConfig) -> ParResult {
+    assert_eq!(config.worker_counts.first(), Some(&1), "baseline must be workers = 1");
+    let (ev, _src) = build_interval(config);
+    let iv_seed = config.seed ^ 0x7061_725f_6976_7321;
+
+    let (reference, ref_ops) = construct(&ev, None, Strategy::GroupOriented, iv_seed);
+
+    // Phase split: plan-only and encrypt-only, timed sequentially. The
+    // encrypt share is the parallelizable fraction (Amdahl's law); the
+    // plan share is the sequential floor.
+    let mut jobs: Vec<EncryptJob> = Vec::new();
+    let start = Instant::now();
+    for _ in 0..config.reps {
+        let mut ivs = HmacDrbg::from_seed(iv_seed);
+        let mut sink = PlanSink::new(KeyCipher::des_cbc(), &mut ivs);
+        let out = kg_batch::build_batch(&mut sink, &ev, Strategy::GroupOriented);
+        std::hint::black_box(out);
+        jobs = sink.into_jobs();
+    }
+    let plan_ms = start.elapsed().as_secs_f64() * 1e3 / config.reps as f64;
+    let start = Instant::now();
+    for _ in 0..config.reps {
+        let sealed: Vec<Vec<u8>> = jobs.iter().map(EncryptJob::run).collect();
+        std::hint::black_box(sealed);
+    }
+    let encrypt_ms = start.elapsed().as_secs_f64() * 1e3 / config.reps as f64;
+
+    let mut points = Vec::new();
+    let mut baseline_ms = 0.0f64;
+    for &workers in &config.worker_counts {
+        let pool = (workers >= 2).then(|| WorkerPool::new(workers));
+        // Warm-up rep: page in the pool threads, then verify identity.
+        let (messages, ops) = construct(&ev, pool.as_ref(), Strategy::GroupOriented, iv_seed);
+        assert_eq!(
+            messages, reference,
+            "workers={workers} produced different rekey messages than the sequential path"
+        );
+        assert_eq!(ops, ref_ops, "workers={workers} changed the op counts");
+        let start = Instant::now();
+        for _ in 0..config.reps {
+            let (m, _) = construct(&ev, pool.as_ref(), Strategy::GroupOriented, iv_seed);
+            std::hint::black_box(m);
+        }
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        if workers == 1 {
+            baseline_ms = elapsed_ms;
+        }
+        let throughput = (config.reps * config.requests) as f64 / (elapsed_ms / 1e3).max(1e-9);
+        points.push(ParPoint {
+            workers,
+            elapsed_ms,
+            throughput,
+            speedup: baseline_ms / elapsed_ms.max(1e-9),
+        });
+    }
+
+    let cache = [
+        ("user", Strategy::UserOriented),
+        ("key", Strategy::KeyOriented),
+        ("group", Strategy::GroupOriented),
+    ]
+    .into_iter()
+    .map(|(name, strategy)| {
+        let (_, ops) = construct(&ev, None, strategy, iv_seed);
+        CacheRow {
+            strategy: name,
+            hits: ops.cache_hits,
+            misses: ops.cache_misses,
+            key_encryptions: ops.key_encryptions,
+        }
+    })
+    .collect();
+
+    ParResult {
+        config: config.clone(),
+        encryptions_per_interval: ref_ops.key_encryptions,
+        hardware_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        plan_ms,
+        encrypt_ms,
+        points,
+        cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The harness itself enforces byte-identity (construct() panics on
+    /// divergence); a small run must succeed and produce sane numbers.
+    #[test]
+    fn small_speedup_run_is_self_consistent() {
+        let r = run_par_speedup(&ParConfig {
+            n: 128,
+            degree: 4,
+            requests: 32,
+            worker_counts: vec![1, 2],
+            reps: 2,
+            seed: 7,
+        });
+        assert_eq!(r.points.len(), 2);
+        assert!((r.points[0].speedup - 1.0).abs() < 1e-9);
+        assert!(r.points.iter().all(|p| p.throughput > 0.0));
+        assert!(r.encryptions_per_interval > 0);
+        assert!(r.plan_ms > 0.0 && r.encrypt_ms > 0.0);
+        let frac = r.parallel_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "parallel fraction out of range: {frac}");
+        assert!(r.amdahl_bound(4) > 1.0);
+        assert!(r.hardware_threads >= 1);
+        let key_row = r.cache.iter().find(|c| c.strategy == "key").unwrap();
+        assert!(key_row.hits > 0, "key-oriented batches must reuse chain ciphertexts");
+        let group_row = r.cache.iter().find(|c| c.strategy == "group").unwrap();
+        assert_eq!(group_row.hits, 0, "group-oriented covers have no repeats");
+    }
+}

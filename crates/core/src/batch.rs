@@ -103,6 +103,29 @@ impl BatchEvent {
     pub fn marked_labels(&self) -> Vec<KeyLabel> {
         self.marked.iter().map(|m| m.label).collect()
     }
+
+    /// The interval's **key cover** as a flat work list: every
+    /// `(marked node, child)` edge whose ciphertext `{K'_x}_{K_y}` a
+    /// rekey strategy may need.
+    ///
+    /// # Iteration order (stable, documented, relied upon)
+    ///
+    /// Edges are yielded in *cover order*: marked nodes root-first in
+    /// the breadth-first order `apply_batch` replaced them (`marked` is
+    /// built from an explicit BFS over `BTreeMap`-backed structures —
+    /// no hash-map iteration anywhere), and within each node its
+    /// children in the recorded child order. Two `BatchEvent`s with
+    /// equal contents therefore yield identical sequences, on every
+    /// platform and run.
+    ///
+    /// The rekey builders consume the cover in exactly this order, so
+    /// the order fixes the IV stream: each edge's first sealing draws
+    /// the next IV. The parallel pipeline's deterministic merge and the
+    /// sequential-vs-parallel equivalence tests both depend on this
+    /// being a total order, not an implementation accident.
+    pub fn key_cover(&self) -> impl Iterator<Item = (&MarkedNode, &BatchChild)> {
+        self.marked.iter().flat_map(|m| m.children.iter().map(move |c| (m, c)))
+    }
 }
 
 impl KeyTree {
@@ -554,6 +577,40 @@ mod tests {
             "batched {} vs per-op {per_op_replacements}",
             ev.marked.len()
         );
+    }
+
+    /// [`BatchEvent::key_cover`]'s order contract: marked nodes in
+    /// `marked` order (root first), children in recorded order, and the
+    /// same operations replayed from scratch yield the identical cover
+    /// sequence — the property the parallel pipeline's IV assignment
+    /// rests on.
+    #[test]
+    fn key_cover_order_is_stable_and_exhaustive() {
+        let run = || {
+            let (mut tree, mut src) = setup(3, 30);
+            let joins = join_reqs(&mut src, &[100, 101, 102]);
+            let leaves: Vec<UserId> = [2u64, 5, 11, 17].map(UserId).to_vec();
+            let ev = tree.apply_batch(&joins, &leaves, &mut src).unwrap();
+            let cover: Vec<(KeyRef, KeyRef, bool)> =
+                ev.key_cover().map(|(m, c)| (m.new_ref, c.key_ref, c.joiner.is_some())).collect();
+            (ev, cover)
+        };
+        let (ev, cover) = run();
+        let (_, cover2) = run();
+        assert_eq!(cover, cover2, "cover sequence must be reproducible");
+        let expected: usize = ev.marked.iter().map(|m| m.children.len()).sum();
+        assert_eq!(cover.len(), expected, "cover visits every child exactly once");
+        // Cover order is `marked` order: the flat sequence's marked refs
+        // appear as contiguous runs following ev.marked.
+        let mut runs = Vec::new();
+        for (m_ref, _, _) in &cover {
+            if runs.last() != Some(m_ref) {
+                runs.push(*m_ref);
+            }
+        }
+        let marked_refs: Vec<KeyRef> =
+            ev.marked.iter().filter(|m| !m.children.is_empty()).map(|m| m.new_ref).collect();
+        assert_eq!(runs, marked_refs, "marked nodes visited root-first, each in one run");
     }
 
     proptest::proptest! {

@@ -65,7 +65,8 @@ pub mod prelude {
     pub use crate::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
     pub use crate::keygraph::KeyGraph;
     pub use crate::rekey::{
-        KeyBundle, KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput, Rekeyer, Strategy,
+        build_join, build_leave, build_refresh, BundleCache, BundleSink, IvStream, KeyBundle,
+        KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput, Rekeyer, SealingSink, Strategy,
     };
     pub use crate::star::StarGroup;
     pub use crate::tree::{

@@ -28,6 +28,7 @@ use crate::tree::{JoinEvent, LeaveEvent, PathNode};
 use kg_crypto::cbc::CbcCipher;
 use kg_crypto::des::{Des, TripleDes};
 use kg_crypto::{BlockCipher, CryptoError, KeySource, SymmetricKey};
+use std::collections::BTreeMap;
 
 /// The three rekeying strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +130,14 @@ pub struct OpCounts {
     pub key_encryptions: u64,
     /// Fresh keys generated.
     pub keys_generated: u64,
+    /// Bundle requests served from the per-operation encryption cache
+    /// (no IV drawn, no ciphertext produced, not counted in
+    /// `key_encryptions`) — the stored-ciphertext reuse of Figures 6/8,
+    /// made explicit.
+    pub cache_hits: u64,
+    /// Bundle requests that actually sealed a ciphertext. `cache_misses`
+    /// is the number of distinct ciphertexts the operation produced.
+    pub cache_misses: u64,
 }
 
 /// Output of a rekey operation: the messages to send and the cost tally.
@@ -215,8 +224,365 @@ impl KeyCipher {
     }
 }
 
+/// Where a rekey construction obtains its ciphertext bundles.
+///
+/// The construction functions ([`build_join`], [`build_leave`],
+/// [`build_refresh`], and `kg-batch`'s interval builder) describe *which*
+/// bundles a rekey operation needs and in *what order*; the sink decides
+/// *how* they are produced. [`SealingSink`] encrypts inline (the
+/// sequential path); a planning sink can instead record the encryption as
+/// a deferred job and patch the ciphertext in later (the parallel path).
+///
+/// # Contract
+///
+/// * Requesting the same `(encrypting_ref, targets, payload)` triple
+///   twice within one sink's lifetime returns the *same* bundle — same
+///   IV, same ciphertext — without drawing from the IV stream or
+///   re-encrypting, and counts a cache hit instead of new
+///   `key_encryptions`. Constructions rely on this for the paper's
+///   stored-ciphertext reuse (Figures 6/8), so a sink must memoize.
+/// * A first-time request draws exactly one IV from the sink's
+///   [`IvStream`] (which prefetches from the underlying source in a
+///   fixed chunk schedule). Because construction order is deterministic
+///   (see
+///   [`crate::batch::BatchEvent::key_cover`]), the IV assignment — and
+///   therefore every output byte — is identical across sink
+///   implementations.
+pub trait BundleSink {
+    /// Return the bundle carrying `targets` sealed under
+    /// `encrypting_key`, counting the work performed into `ops`.
+    fn bundle(
+        &mut self,
+        ops: &mut OpCounts,
+        encrypting_ref: KeyRef,
+        encrypting_key: &SymmetricKey,
+        targets: &[(KeyRef, &SymmetricKey)],
+    ) -> KeyBundle;
+}
+
+/// Buffered IV drawing shared by every [`BundleSink`].
+///
+/// An HMAC-DRBG pays a fixed ~3-HMAC overhead per `generate` call
+/// regardless of output length, which made the per-bundle 8-byte IV
+/// draw the single largest *sequential* cost of rekey construction —
+/// and the stream must advance in construction order, so it can never
+/// be parallelized away. Drawing IVs in geometrically growing chunks
+/// ([`IV_CHUNK_START`](Self::IV_CHUNK_START) →
+/// [`IV_CHUNK_MAX`](Self::IV_CHUNK_MAX) IVs per call) amortizes that
+/// overhead roughly tenfold on batch intervals while staying cheap for
+/// single-bundle operations. Every sink draws through this type with
+/// the same chunk schedule, so the inline and planning paths consume
+/// the identical DRBG stream and outputs remain byte-identical.
+///
+/// Unused buffered IVs are discarded when the sink (and with it the
+/// stream) is dropped at the end of the operation; the underlying
+/// source has simply advanced by whole chunks, deterministically.
+pub struct IvStream<'a> {
+    source: &'a mut dyn KeySource,
+    iv_len: usize,
+    buf: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl<'a> IvStream<'a> {
+    /// IVs prefetched by the first draw.
+    pub const IV_CHUNK_START: usize = 8;
+    /// Largest prefetch chunk, in IVs; each refill quadruples the
+    /// chunk until it reaches this.
+    pub const IV_CHUNK_MAX: usize = 128;
+
+    /// Create a stream of `iv_len`-byte IVs drawn from `source`.
+    pub fn new(source: &'a mut dyn KeySource, iv_len: usize) -> Self {
+        IvStream { source, iv_len, buf: Vec::new(), pos: 0, chunk: Self::IV_CHUNK_START }
+    }
+
+    /// The next IV in the stream.
+    pub fn next_iv(&mut self) -> Vec<u8> {
+        if self.pos == self.buf.len() {
+            self.buf = self.source.generate(self.iv_len * self.chunk);
+            self.pos = 0;
+            self.chunk = (self.chunk * 4).min(Self::IV_CHUNK_MAX);
+        }
+        let iv = self.buf[self.pos..self.pos + self.iv_len].to_vec();
+        self.pos += self.iv_len;
+        iv
+    }
+}
+
+/// Per-operation encryption cache shared by [`BundleSink`] impls.
+///
+/// Keyed by `(encrypting key ref, target refs, payload bytes)`. The
+/// encrypting ref includes the key *version*, so a key change is an
+/// automatic invalidation: once any key on a path is replaced, requests
+/// under it form new cache keys. The cache's scope is one rekey
+/// operation (one join/leave/refresh, or one whole batch interval), so
+/// overlapping key-covers within an interval never seal the same
+/// (encrypting-key, payload) pair twice.
+#[derive(Debug, Default)]
+pub struct BundleCache {
+    map: BTreeMap<(KeyRef, Vec<KeyRef>, Vec<u8>), KeyBundle>,
+}
+
+impl BundleCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        BundleCache::default()
+    }
+
+    /// Look up the bundle for this request, sealing (and memoizing) it
+    /// via `seal` on a miss. Counts the hit or miss — and, on a miss,
+    /// `targets.len()` key encryptions — into `ops`.
+    pub fn request(
+        &mut self,
+        ops: &mut OpCounts,
+        encrypting_ref: KeyRef,
+        targets: &[KeyRef],
+        payload: Vec<u8>,
+        seal: impl FnOnce(&[u8]) -> KeyBundle,
+    ) -> KeyBundle {
+        use std::collections::btree_map::Entry;
+        match self.map.entry((encrypting_ref, targets.to_vec(), payload)) {
+            Entry::Occupied(e) => {
+                ops.cache_hits += 1;
+                e.get().clone()
+            }
+            Entry::Vacant(e) => {
+                ops.cache_misses += 1;
+                ops.key_encryptions += targets.len() as u64;
+                let b = seal(&e.key().2);
+                e.insert(b).clone()
+            }
+        }
+    }
+}
+
+/// The inline [`BundleSink`]: draws an IV and encrypts immediately.
+/// This is the sequential pipeline — and the reference the parallel one
+/// must match byte for byte.
+pub struct SealingSink<'a> {
+    cipher: KeyCipher,
+    ivs: IvStream<'a>,
+    cache: BundleCache,
+}
+
+impl<'a> SealingSink<'a> {
+    /// Create a sink with a fresh (empty) cache.
+    pub fn new(cipher: KeyCipher, ivs: &'a mut dyn KeySource) -> Self {
+        let ivs = IvStream::new(ivs, cipher.block_len());
+        SealingSink { cipher, ivs, cache: BundleCache::new() }
+    }
+}
+
+impl BundleSink for SealingSink<'_> {
+    fn bundle(
+        &mut self,
+        ops: &mut OpCounts,
+        encrypting_ref: KeyRef,
+        encrypting_key: &SymmetricKey,
+        targets: &[(KeyRef, &SymmetricKey)],
+    ) -> KeyBundle {
+        let SealingSink { cipher, ivs, cache } = self;
+        let mut payload = Vec::with_capacity(targets.len() * 8);
+        for (_, key) in targets {
+            payload.extend_from_slice(key.material());
+        }
+        let target_refs: Vec<KeyRef> = targets.iter().map(|(r, _)| *r).collect();
+        cache.request(ops, encrypting_ref, &target_refs, payload, |plain| {
+            let iv = ivs.next_iv();
+            let ciphertext = cipher.encrypt(encrypting_key, &iv, plain);
+            KeyBundle {
+                targets: target_refs.clone(),
+                encrypted_with: encrypting_ref,
+                iv,
+                ciphertext,
+            }
+        })
+    }
+}
+
+/// Construct the rekey messages for a join under `strategy`.
+///
+/// Bundle-request order (hence IV-draw order) is deterministic: per-path
+/// bundles root-first, then the joiner unicast last.
+pub fn build_join(sink: &mut dyn BundleSink, ev: &JoinEvent, strategy: Strategy) -> RekeyOutput {
+    let mut ops = OpCounts { keys_generated: ev.path.len() as u64, ..OpCounts::default() };
+    let mut messages = Vec::new();
+    let path = &ev.path; // root-first: x_0 … x_j
+    let j = path.len() - 1;
+
+    match strategy {
+        Strategy::UserOriented => {
+            // For each x_i: the users holding old K_i but not K_{i+1}
+            // get {K'_0 … K'_i} under old K_i.
+            for i in 0..=j {
+                let targets: Vec<(KeyRef, &SymmetricKey)> =
+                    path[..=i].iter().map(|p| (p.new_ref, &p.new_key)).collect();
+                let b = sink.bundle(&mut ops, path[i].old_ref, &path[i].old_key, &targets);
+                messages.push(RekeyMessage {
+                    recipients: Recipients::SubgroupExcept {
+                        include: path[i].label,
+                        exclude: ev.path_child[i],
+                    },
+                    bundles: vec![b],
+                });
+            }
+        }
+        Strategy::KeyOriented => {
+            // Each new key encrypted once under its old key; the
+            // ciphertexts are shared across the per-class messages
+            // (Figure 6's combined form). Message i carries
+            // {K'_0}_{K_0} … {K'_i}_{K_i}; repeats are cache hits, so
+            // single l draws its IV at first occurrence — path order.
+            for i in 0..=j {
+                let bundles: Vec<KeyBundle> = (0..=i)
+                    .map(|l| {
+                        let t = [(path[l].new_ref, &path[l].new_key)];
+                        sink.bundle(&mut ops, path[l].old_ref, &path[l].old_key, &t)
+                    })
+                    .collect();
+                messages.push(RekeyMessage {
+                    recipients: Recipients::SubgroupExcept {
+                        include: path[i].label,
+                        exclude: ev.path_child[i],
+                    },
+                    bundles,
+                });
+            }
+        }
+        Strategy::GroupOriented => {
+            // One multicast with every {K'_i}_{K_i}.
+            let bundles: Vec<KeyBundle> = path
+                .iter()
+                .map(|p| {
+                    let t = [(p.new_ref, &p.new_key)];
+                    sink.bundle(&mut ops, p.old_ref, &p.old_key, &t)
+                })
+                .collect();
+            messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
+        }
+    }
+
+    // All strategies unicast the full new path to the joiner under its
+    // individual key.
+    let joiner_targets: Vec<(KeyRef, &SymmetricKey)> =
+        path.iter().map(|p| (p.new_ref, &p.new_key)).collect();
+    let b = sink.bundle(&mut ops, ev.leaf_ref, &ev.leaf_key, &joiner_targets);
+    messages.push(RekeyMessage { recipients: Recipients::User(ev.user), bundles: vec![b] });
+
+    RekeyOutput { messages, ops }
+}
+
+/// Construct the rekey message for a group-key refresh (key-version bump
+/// with no membership change): the new root key encrypted under the old
+/// one, multicast to the whole group. Every strategy degrades to this
+/// single message when only the root changes.
+pub fn build_refresh(sink: &mut dyn BundleSink, path: &PathNode) -> RekeyOutput {
+    let mut ops = OpCounts { keys_generated: 1, ..OpCounts::default() };
+    let t = [(path.new_ref, &path.new_key)];
+    let b = sink.bundle(&mut ops, path.old_ref, &path.old_key, &t);
+    RekeyOutput {
+        messages: vec![RekeyMessage { recipients: Recipients::Group, bundles: vec![b] }],
+        ops,
+    }
+}
+
+/// Construct the rekey messages for a leave under `strategy`.
+///
+/// Returns an empty output when the group became empty (no recipients).
+///
+/// Bundle-request order is deterministic: for the key-oriented strategy
+/// the chain ciphertexts {K'_{i-1}}_{K'_i} are sealed first (i = 1..=j,
+/// fixing their IVs exactly as the stored-ciphertext optimization of
+/// Figure 8 does), then per-level head bundles in (level, sibling) order;
+/// chain links inside each message are cache hits.
+pub fn build_leave(sink: &mut dyn BundleSink, ev: &LeaveEvent, strategy: Strategy) -> RekeyOutput {
+    let mut ops = OpCounts { keys_generated: ev.path.len() as u64, ..OpCounts::default() };
+    let mut messages = Vec::new();
+    if ev.path.is_empty() {
+        return RekeyOutput { messages, ops };
+    }
+    let path = &ev.path; // root-first: x_0 … x_j
+    let j = path.len() - 1;
+
+    match strategy {
+        Strategy::UserOriented => {
+            // For each x_i and each unchanged child y of x_i: a message
+            // {K'_i, K'_{i-1} … K'_0} under y's key, to userset(y).
+            for i in 0..=j {
+                // New keys of x_i and all its ancestors, node-first.
+                let targets: Vec<(KeyRef, &SymmetricKey)> =
+                    (0..=i).rev().map(|l| (path[l].new_ref, &path[l].new_key)).collect();
+                for sib in &ev.siblings[i] {
+                    let b = sink.bundle(&mut ops, sib.key_ref, &sib.key, &targets);
+                    messages.push(RekeyMessage {
+                        recipients: Recipients::Subgroup(sib.label),
+                        bundles: vec![b],
+                    });
+                }
+            }
+        }
+        Strategy::KeyOriented => {
+            // Seal the chain ciphertexts {K'_{i-1}}_{K'_i} first; the
+            // per-message chain links below re-request them as cache
+            // hits, so each is encrypted (and counted) exactly once.
+            for i in 1..=j {
+                let t = [(path[i - 1].new_ref, &path[i - 1].new_key)];
+                let _ = sink.bundle(&mut ops, path[i].new_ref, &path[i].new_key, &t);
+            }
+            // For each x_i, each unchanged child y: M = {K'_i}_K,
+            // {K'_{i-1}}_{K'_i}, …, {K'_0}_{K'_1}.
+            for (i, sibs) in ev.siblings.iter().enumerate().take(j + 1) {
+                for sib in sibs {
+                    let t = [(path[i].new_ref, &path[i].new_key)];
+                    let head = sink.bundle(&mut ops, sib.key_ref, &sib.key, &t);
+                    let mut bundles = vec![head];
+                    for l in (0..i).rev() {
+                        let t = [(path[l].new_ref, &path[l].new_key)];
+                        bundles.push(sink.bundle(
+                            &mut ops,
+                            path[l + 1].new_ref,
+                            &path[l + 1].new_key,
+                            &t,
+                        ));
+                    }
+                    messages.push(RekeyMessage {
+                        recipients: Recipients::Subgroup(sib.label),
+                        bundles,
+                    });
+                }
+            }
+        }
+        Strategy::GroupOriented => {
+            // L_i = {K'_i} under each child key of x_i; children on the
+            // path use their *new* keys.
+            let mut bundles = Vec::new();
+            for (i, sibs) in ev.siblings.iter().enumerate().take(j + 1) {
+                for sib in sibs {
+                    let t = [(path[i].new_ref, &path[i].new_key)];
+                    bundles.push(sink.bundle(&mut ops, sib.key_ref, &sib.key, &t));
+                }
+                if i < j {
+                    // The path child x_{i+1} holds its fresh key K'_{i+1}.
+                    let t = [(path[i].new_ref, &path[i].new_key)];
+                    bundles.push(sink.bundle(
+                        &mut ops,
+                        path[i + 1].new_ref,
+                        &path[i + 1].new_key,
+                        &t,
+                    ));
+                }
+            }
+            messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
+        }
+    }
+    RekeyOutput { messages, ops }
+}
+
 /// Context for materializing rekey messages: cipher choice plus the IV
-/// source.
+/// source. Thin wrapper over [`build_join`]/[`build_leave`]/
+/// [`build_refresh`] with an inline [`SealingSink`] (fresh cache per
+/// operation).
 pub struct Rekeyer<'a> {
     cipher: KeyCipher,
     ivs: &'a mut dyn KeySource,
@@ -233,100 +599,29 @@ impl<'a> Rekeyer<'a> {
         self.cipher
     }
 
-    fn bundle(
-        &mut self,
-        ops: &mut OpCounts,
-        encrypting_ref: KeyRef,
-        encrypting_key: &SymmetricKey,
-        targets: &[(KeyRef, &SymmetricKey)],
-    ) -> KeyBundle {
-        let mut plaintext = Vec::with_capacity(targets.len() * 8);
-        for (_, key) in targets {
-            plaintext.extend_from_slice(key.material());
-        }
-        let iv = self.ivs.generate(self.cipher.block_len());
-        let ciphertext = self.cipher.encrypt(encrypting_key, &iv, &plaintext);
-        ops.key_encryptions += targets.len() as u64;
-        KeyBundle {
-            targets: targets.iter().map(|(r, _)| *r).collect(),
-            encrypted_with: encrypting_ref,
-            iv,
-            ciphertext,
-        }
-    }
-
     /// Construct the rekey messages for a join under `strategy`.
     pub fn join(&mut self, ev: &JoinEvent, strategy: Strategy) -> RekeyOutput {
-        let mut ops = OpCounts { keys_generated: ev.path.len() as u64, ..OpCounts::default() };
-        let mut messages = Vec::new();
-        let path = &ev.path; // root-first: x_0 … x_j
-        let j = path.len() - 1;
+        let mut sink = SealingSink::new(self.cipher, &mut *self.ivs);
+        build_join(&mut sink, ev, strategy)
+    }
 
-        match strategy {
-            Strategy::UserOriented => {
-                // For each x_i: the users holding old K_i but not K_{i+1}
-                // get {K'_0 … K'_i} under old K_i.
-                for i in 0..=j {
-                    let targets: Vec<(KeyRef, &SymmetricKey)> =
-                        path[..=i].iter().map(|p| (p.new_ref, &p.new_key)).collect();
-                    let b = self.bundle(&mut ops, path[i].old_ref, &path[i].old_key, &targets);
-                    messages.push(RekeyMessage {
-                        recipients: Recipients::SubgroupExcept {
-                            include: path[i].label,
-                            exclude: ev.path_child[i],
-                        },
-                        bundles: vec![b],
-                    });
-                }
-            }
-            Strategy::KeyOriented => {
-                // Each new key encrypted once under its old key; the
-                // ciphertexts are shared across the per-class messages
-                // (Figure 6's combined form).
-                let singles: Vec<KeyBundle> = path
-                    .iter()
-                    .map(|p| {
-                        self.bundle_dedup_count(
-                            &mut ops, p.old_ref, &p.old_key, p.new_ref, &p.new_key,
-                        )
-                    })
-                    .collect();
-                // Message for class i carries {K'_0}_{K_0} … {K'_i}_{K_i}.
-                for i in 0..=j {
-                    messages.push(RekeyMessage {
-                        recipients: Recipients::SubgroupExcept {
-                            include: path[i].label,
-                            exclude: ev.path_child[i],
-                        },
-                        bundles: singles[..=i].to_vec(),
-                    });
-                }
-            }
-            Strategy::GroupOriented => {
-                // One multicast with every {K'_i}_{K_i}.
-                let bundles: Vec<KeyBundle> = path
-                    .iter()
-                    .map(|p| {
-                        let t = [(p.new_ref, &p.new_key)];
-                        self.bundle(&mut ops, p.old_ref, &p.old_key, &t)
-                    })
-                    .collect();
-                messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
-            }
-        }
+    /// Construct the rekey messages for a leave under `strategy`.
+    ///
+    /// Returns an empty output when the group became empty.
+    pub fn leave(&mut self, ev: &LeaveEvent, strategy: Strategy) -> RekeyOutput {
+        let mut sink = SealingSink::new(self.cipher, &mut *self.ivs);
+        build_leave(&mut sink, ev, strategy)
+    }
 
-        // All strategies unicast the full new path to the joiner under its
-        // individual key.
-        let joiner_targets: Vec<(KeyRef, &SymmetricKey)> =
-            path.iter().map(|p| (p.new_ref, &p.new_key)).collect();
-        let b = self.bundle(&mut ops, ev.leaf_ref, &ev.leaf_key, &joiner_targets);
-        messages.push(RekeyMessage { recipients: Recipients::User(ev.user), bundles: vec![b] });
-
-        RekeyOutput { messages, ops }
+    /// Construct the rekey message for a group-key refresh.
+    pub fn refresh(&mut self, path: &PathNode) -> RekeyOutput {
+        let mut sink = SealingSink::new(self.cipher, &mut *self.ivs);
+        build_refresh(&mut sink, path)
     }
 
     /// Crate-internal bundle constructor for strategy extensions (the §7
-    /// hybrid in [`crate::hybrid`]).
+    /// hybrid in [`crate::hybrid`]). Each call seals a fresh bundle (a
+    /// transient sink: no cross-call reuse).
     pub(crate) fn bundle_for(
         &mut self,
         ops: &mut OpCounts,
@@ -334,137 +629,8 @@ impl<'a> Rekeyer<'a> {
         encrypting_key: &SymmetricKey,
         targets: &[(KeyRef, &SymmetricKey)],
     ) -> KeyBundle {
-        self.bundle(ops, encrypting_ref, encrypting_key, targets)
-    }
-
-    /// Like [`Self::bundle`] for a single target, used where the paper
-    /// counts each stored ciphertext exactly once.
-    fn bundle_dedup_count(
-        &mut self,
-        ops: &mut OpCounts,
-        encrypting_ref: KeyRef,
-        encrypting_key: &SymmetricKey,
-        target_ref: KeyRef,
-        target_key: &SymmetricKey,
-    ) -> KeyBundle {
-        let t = [(target_ref, target_key)];
-        self.bundle(ops, encrypting_ref, encrypting_key, &t)
-    }
-
-    /// Construct the rekey message for a group-key refresh (key-version
-    /// bump with no membership change): the new root key encrypted under
-    /// the old one, multicast to the whole group. Every strategy degrades
-    /// to this single message when only the root changes.
-    pub fn refresh(&mut self, path: &PathNode) -> RekeyOutput {
-        let mut ops = OpCounts { keys_generated: 1, ..OpCounts::default() };
-        let b = self.bundle_dedup_count(
-            &mut ops,
-            path.old_ref,
-            &path.old_key,
-            path.new_ref,
-            &path.new_key,
-        );
-        RekeyOutput {
-            messages: vec![RekeyMessage { recipients: Recipients::Group, bundles: vec![b] }],
-            ops,
-        }
-    }
-
-    /// Construct the rekey messages for a leave under `strategy`.
-    ///
-    /// Returns an empty output when the group became empty (no recipients).
-    pub fn leave(&mut self, ev: &LeaveEvent, strategy: Strategy) -> RekeyOutput {
-        let mut ops = OpCounts { keys_generated: ev.path.len() as u64, ..OpCounts::default() };
-        let mut messages = Vec::new();
-        if ev.path.is_empty() {
-            return RekeyOutput { messages, ops };
-        }
-        let path = &ev.path; // root-first: x_0 … x_j
-        let j = path.len() - 1;
-
-        match strategy {
-            Strategy::UserOriented => {
-                // For each x_i and each unchanged child y of x_i: a message
-                // {K'_i, K'_{i-1} … K'_0} under y's key, to userset(y).
-                for i in 0..=j {
-                    // New keys of x_i and all its ancestors, node-first.
-                    let targets: Vec<(KeyRef, &SymmetricKey)> =
-                        (0..=i).rev().map(|l| (path[l].new_ref, &path[l].new_key)).collect();
-                    for sib in &ev.siblings[i] {
-                        let b = self.bundle(&mut ops, sib.key_ref, &sib.key, &targets);
-                        messages.push(RekeyMessage {
-                            recipients: Recipients::Subgroup(sib.label),
-                            bundles: vec![b],
-                        });
-                    }
-                }
-            }
-            Strategy::KeyOriented => {
-                // Stored chain ciphertexts {K'_{i-1}}_{K'_i} computed once.
-                let chain: Vec<KeyBundle> = (1..=j)
-                    .map(|i| {
-                        self.bundle_dedup_count(
-                            &mut ops,
-                            path[i].new_ref,
-                            &path[i].new_key,
-                            path[i - 1].new_ref,
-                            &path[i - 1].new_key,
-                        )
-                    })
-                    .collect();
-                // For each x_i, each unchanged child y: M = {K'_i}_K,
-                // {K'_{i-1}}_{K'_i}, …, {K'_0}_{K'_1}.
-                for (i, sibs) in ev.siblings.iter().enumerate().take(j + 1) {
-                    for sib in sibs {
-                        let head = self.bundle_dedup_count(
-                            &mut ops,
-                            sib.key_ref,
-                            &sib.key,
-                            path[i].new_ref,
-                            &path[i].new_key,
-                        );
-                        let mut bundles = vec![head];
-                        // chain[i-1] is {K'_{i-1}}_{K'_i}; walk down to
-                        // {K'_0}_{K'_1}.
-                        for l in (0..i).rev() {
-                            bundles.push(chain[l].clone());
-                        }
-                        messages.push(RekeyMessage {
-                            recipients: Recipients::Subgroup(sib.label),
-                            bundles,
-                        });
-                    }
-                }
-            }
-            Strategy::GroupOriented => {
-                // L_i = {K'_i} under each child key of x_i; children on the
-                // path use their *new* keys.
-                let mut bundles = Vec::new();
-                for (i, sibs) in ev.siblings.iter().enumerate().take(j + 1) {
-                    for sib in sibs {
-                        bundles.push(self.bundle_dedup_count(
-                            &mut ops,
-                            sib.key_ref,
-                            &sib.key,
-                            path[i].new_ref,
-                            &path[i].new_key,
-                        ));
-                    }
-                    if i < j {
-                        // The path child x_{i+1} holds its fresh key K'_{i+1}.
-                        bundles.push(self.bundle_dedup_count(
-                            &mut ops,
-                            path[i + 1].new_ref,
-                            &path[i + 1].new_key,
-                            path[i].new_ref,
-                            &path[i].new_key,
-                        ));
-                    }
-                }
-                messages.push(RekeyMessage { recipients: Recipients::Group, bundles });
-            }
-        }
-        RekeyOutput { messages, ops }
+        let mut sink = SealingSink::new(self.cipher, &mut *self.ivs);
+        sink.bundle(ops, encrypting_ref, encrypting_key, targets)
     }
 }
 
@@ -578,6 +744,40 @@ mod tests {
             let out = rk.leave(&ev, strategy);
             assert_eq!(out.ops.key_encryptions, expected, "strategy {strategy:?}");
         }
+    }
+
+    /// The encryption cache's accounting: hits are the stored-ciphertext
+    /// reuses of Figures 6/8 (key-oriented chains), misses are the
+    /// distinct ciphertexts, and hits never consume IVs or encryptions.
+    #[test]
+    fn cache_accounting_matches_stored_ciphertext_reuse() {
+        let (mut tree, mut src) = figure5_tree();
+        let ik = src.generate_key(8);
+        tree.join(UserId(9), ik, &mut src).unwrap();
+        let ev = tree.leave(UserId(9), &mut src).unwrap();
+
+        let mut ivs = HmacDrbg::from_seed(17);
+        let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+        let out = rk.leave(&ev, Strategy::KeyOriented);
+        // Key-oriented leave re-sends the chain links {K'_{l}}K'_{l+1}
+        // in every message below their level: a sibling at level i
+        // repeats i links, all served from the cache.
+        let expected_hits: u64 =
+            ev.siblings.iter().enumerate().map(|(i, s)| (s.len() * i) as u64).sum();
+        assert!(expected_hits > 0, "figure-5 tree must have reusable chain links");
+        assert_eq!(out.ops.cache_hits, expected_hits);
+        let distinct: std::collections::BTreeSet<Vec<u8>> = out
+            .messages
+            .iter()
+            .flat_map(|m| m.bundles.iter().map(|b| b.ciphertext.clone()))
+            .collect();
+        assert_eq!(distinct.len() as u64, out.ops.cache_misses);
+        assert_eq!(out.ops.key_encryptions, out.ops.cache_misses); // all bundles single-target
+                                                                   // Group-oriented packs everything once: no repeats possible.
+        let mut ivs = HmacDrbg::from_seed(17);
+        let mut rk = Rekeyer::new(KeyCipher::des_cbc(), &mut ivs);
+        let out = rk.leave(&ev, Strategy::GroupOriented);
+        assert_eq!(out.ops.cache_hits, 0);
     }
 
     #[test]

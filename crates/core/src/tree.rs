@@ -97,6 +97,21 @@ pub struct SiblingChild {
 }
 
 /// Result of a successful join.
+///
+/// # Key-cover iteration order (stable)
+///
+/// The event's key-cover — the set of (encrypting key, new key) pairs a
+/// rekey strategy iterates — is exposed in a **stable, documented
+/// order**: `path` is root-first (x_0 … x_j, the joining point last),
+/// and within each path node the encrypting candidates are visited in
+/// the order the fields present them (`old_ref` before `leaf_ref`).
+/// No hash-ordered container is involved anywhere in the construction
+/// (children are `Vec`s, the user index is a `BTreeMap`), so two equal
+/// trees given the same operation yield identical event sequences on
+/// every platform and run. The rekey builders consume events in this
+/// order, which fixes the server's IV-stream assignment; the parallel
+/// pipeline's byte-identity guarantee (`kg-par`) and the batch cover
+/// ([`crate::batch::BatchEvent::key_cover`]) both build on it.
 #[derive(Debug, Clone)]
 pub struct JoinEvent {
     /// The joining user.
@@ -121,6 +136,16 @@ pub struct JoinEvent {
 }
 
 /// Result of a successful leave.
+///
+/// # Key-cover iteration order (stable)
+///
+/// As for [`JoinEvent`]: `path` is root-first, and `siblings[i]` lists
+/// x_i's surviving children in the parent's child-slot order (the order
+/// the arena stores them — insertion order, maintained across splices),
+/// with the on-path child excluded. The order is fully deterministic —
+/// no hash maps participate — and is a documented contract: rekey
+/// builders iterate exactly this sequence, which pins the IV stream and
+/// makes the parallel pipeline's deterministic merge possible.
 #[derive(Debug, Clone)]
 pub struct LeaveEvent {
     /// The departing user.
@@ -738,6 +763,40 @@ mod tests {
         let ev = tree.join(UserId(id), ik, src).unwrap();
         tree.check_invariants();
         ev
+    }
+
+    /// The documented key-cover order is stable: two trees built by the
+    /// same operation sequence yield events whose covers (path refs,
+    /// sibling refs level by level) are element-for-element identical,
+    /// and sibling order matches the parent's child-slot order.
+    #[test]
+    fn event_key_cover_order_is_stable() {
+        let run = || {
+            let (mut tree, mut src) = setup(3);
+            let mut trace: Vec<(KeyRef, KeyRef)> = Vec::new();
+            for i in 0..40 {
+                let ev = join(&mut tree, &mut src, i);
+                for (k, p) in ev.path.iter().enumerate() {
+                    trace.push((p.old_ref, p.new_ref));
+                    assert!(
+                        k + 1 >= ev.path.len() || p.label != ev.path[k + 1].label,
+                        "path nodes distinct"
+                    );
+                }
+            }
+            for i in (0..40).step_by(3) {
+                let ev = tree.leave(UserId(i), &mut src).unwrap();
+                tree.check_invariants();
+                assert_eq!(ev.path.len(), ev.siblings.len());
+                for (p, sibs) in ev.path.iter().zip(&ev.siblings) {
+                    for s in sibs {
+                        trace.push((s.key_ref, p.new_ref));
+                    }
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run(), "same ops must produce the same key-cover sequence");
     }
 
     #[test]

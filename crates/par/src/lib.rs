@@ -1,0 +1,37 @@
+//! # kg-par: parallel rekey encryption pipeline
+//!
+//! The rekey messages of §3 are built from many *independent* DES-CBC
+//! encryptions (one per key bundle) plus per-packet MD5/RSA
+//! authentication — embarrassingly parallel work that the sequential
+//! server nevertheless performs one bundle at a time. This crate fans
+//! that work across cores while keeping the server's defining
+//! invariant: **the bytes on the wire are identical to the sequential
+//! path**, so recovery replay, golden-transcript tests, and clients
+//! cannot tell the difference.
+//!
+//! Two pieces:
+//!
+//! * [`WorkerPool`] — a from-scratch work-stealing thread pool
+//!   (std-only: no rayon, no crossbeam, no `unsafe`) with persistent
+//!   workers, per-worker stealing deques, and an order-preserving
+//!   [`WorkerPool::scatter`].
+//! * [`ParRekeyer`] — plan/execute/patch construction on top of the
+//!   [`kg_core::rekey::BundleSink`] abstraction: a [`PlanSink`] records
+//!   each encryption as an [`EncryptJob`] while drawing IVs in the
+//!   exact sequential order, the pool executes the jobs in any order,
+//!   and a patch pass merges ciphertexts back deterministically.
+//!
+//! A keyed [`kg_core::rekey::BundleCache`] sits in front of both paths,
+//! so overlapping key-covers within one operation (key-oriented chains,
+//! batched intervals) never seal the same (encrypting-key, payload)
+//! pair twice. Cache keys include the key *version*; replacing a key
+//! invalidates its entries by construction.
+//!
+//! Wired into `kg-server` behind `ParallelConfig { workers }`:
+//! `workers = 1` (the default) bypasses this crate entirely.
+
+pub mod pipeline;
+pub mod pool;
+
+pub use pipeline::{EncryptJob, ParRekeyer, PlanSink, MIN_FANOUT};
+pub use pool::WorkerPool;

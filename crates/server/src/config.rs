@@ -38,6 +38,55 @@ impl RekeyPolicy {
     }
 }
 
+/// Parallel rekey-construction settings.
+///
+/// Orthogonal to [`RekeyPolicy`]: immediate and batched rekeying both
+/// route their encryptions (and, under `auth = sign-each`/`digest`,
+/// their per-packet authentication) through the same pipeline. The
+/// output is byte-identical at every worker count — parallelism is
+/// purely a throughput knob, never a protocol change — so WAL replay
+/// and recovery work regardless of the worker count the writing server
+/// used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Total worker threads constructing rekey messages, including the
+    /// request thread itself. `1` (the default) is the sequential path:
+    /// no pool, no spawned threads. Values ≥ 2 spawn `workers − 1`
+    /// background threads.
+    pub workers: usize,
+    /// Cap `workers` at the hardware's available parallelism (default
+    /// `true`). Oversubscribing a host buys nothing — the threads just
+    /// time-slice the same cores and pay scheduling overhead — so a
+    /// production server clamps. Benchmarks and equivalence tests
+    /// disable the clamp to exercise the threaded path even on small
+    /// machines (where output must still be byte-identical).
+    pub clamp_to_hardware: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { workers: 1, clamp_to_hardware: true }
+    }
+}
+
+impl ParallelConfig {
+    /// The worker count actually used: `workers`, clamped to the
+    /// hardware's available parallelism unless the clamp is disabled.
+    pub fn effective_workers(self) -> usize {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if self.clamp_to_hardware {
+            self.workers.min(hw)
+        } else {
+            self.workers
+        }
+    }
+
+    /// Whether this configuration wants a worker pool.
+    pub fn wants_pool(self) -> bool {
+        self.effective_workers() >= 2
+    }
+}
+
 /// How rekey messages are authenticated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AuthPolicy {
@@ -92,6 +141,8 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Immediate (per-operation) or batched (periodic) rekeying.
     pub rekey: RekeyPolicy,
+    /// Parallel rekey-construction settings (default: sequential).
+    pub parallel: ParallelConfig,
     /// Cap on retained per-op stat records (`None` = keep all, the
     /// evaluation default). A capped server evicts the oldest records
     /// FIFO; aggregates still cover everything since the last reset.
@@ -111,6 +162,7 @@ impl Default for ServerConfig {
             rsa_bits: 512,
             seed: 0,
             rekey: RekeyPolicy::Immediate,
+            parallel: ParallelConfig::default(),
             stats_record_cap: None,
         }
     }
@@ -161,6 +213,7 @@ impl ServerConfig {
     /// rekey    = batched      # immediate | batched
     /// batch-interval-ms  = 1000
     /// batch-max-pending  = 64
+    /// workers  = 4            # rekey-construction threads (default 1 = sequential)
     /// stats-record-cap   = 4096   # retained per-op records (default: all)
     /// ```
     ///
@@ -252,6 +305,20 @@ impl ServerConfig {
                         key: "batch-interval-ms",
                         value: value.to_string(),
                     })?;
+                }
+                "workers" => {
+                    cfg.parallel.workers = value.parse().map_err(|_| ConfigError::BadValue {
+                        key: "workers",
+                        value: value.to_string(),
+                    })?;
+                    if cfg.parallel.workers == 0 {
+                        // 0 would mean "no thread runs the rekey at all";
+                        // the sequential path is workers = 1.
+                        return Err(ConfigError::BadValue {
+                            key: "workers",
+                            value: value.to_string(),
+                        });
+                    }
                 }
                 "stats-record-cap" => {
                     cfg.stats_record_cap = Some(value.parse().map_err(|_| {
@@ -352,6 +419,35 @@ mod tests {
         assert!(matches!(
             ServerConfig::from_spec("batch-interval-ms = soon"),
             Err(ConfigError::BadValue { key: "batch-interval-ms", .. })
+        ));
+    }
+
+    #[test]
+    fn workers_spec_parses_and_rejects_zero() {
+        assert_eq!(ServerConfig::default().parallel, ParallelConfig::default());
+        assert_eq!(ServerConfig::default().parallel.workers, 1);
+        assert!(!ServerConfig::default().parallel.wants_pool());
+
+        let c = ServerConfig::from_spec("workers = 4").unwrap();
+        assert_eq!(c.parallel.workers, 4);
+        // Clamped to hardware: never more than the cores present, never
+        // fewer than 1, and exactly 4 when the clamp is off.
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(c.parallel.effective_workers(), 4.min(hw));
+        let unclamped = ParallelConfig { clamp_to_hardware: false, ..c.parallel };
+        assert_eq!(unclamped.effective_workers(), 4);
+        assert!(unclamped.wants_pool());
+
+        let c = ServerConfig::from_spec("workers = 1").unwrap();
+        assert!(!c.parallel.wants_pool());
+
+        assert!(matches!(
+            ServerConfig::from_spec("workers = 0"),
+            Err(ConfigError::BadValue { key: "workers", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("workers = many"),
+            Err(ConfigError::BadValue { key: "workers", .. })
         ));
     }
 

@@ -37,19 +37,20 @@ pub mod net;
 pub mod stats;
 
 pub use acl::{AccessControl, AclError};
-pub use config::{AuthPolicy, ConfigError, RekeyPolicy, ServerConfig};
+pub use config::{AuthPolicy, ConfigError, ParallelConfig, RekeyPolicy, ServerConfig};
 pub use stats::{Aggregate, OpRecord, ServerStats};
 
-use kg_batch::{BatchRekeyer, BatchScheduler};
+use kg_batch::BatchScheduler;
 use kg_core::ids::{KeyLabel, UserId};
 use kg_core::merkle;
-use kg_core::rekey::{RekeyMessage, Rekeyer};
+use kg_core::rekey::RekeyMessage;
 use kg_core::serial;
 use kg_core::tree::{KeyTree, TreeError};
 use kg_crypto::drbg::HmacDrbg;
 use kg_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use kg_crypto::{KeySource, SymmetricKey};
 use kg_obs::{Counter, Obs, ObsEvent};
+use kg_par::{ParRekeyer, WorkerPool};
 use kg_persist::{
     AclSnapshot, PersistConfig, PersistError, Persistence, SchedulerSnapshot, Snapshot, StatRecord,
     WalOp,
@@ -250,6 +251,11 @@ pub struct GroupKeyServer {
     /// Counter handles resolved once at [`Self::attach_obs`] so the
     /// request path never touches the registry lock.
     metrics: ServerMetrics,
+    /// Worker pool for parallel rekey construction; present iff
+    /// `config.parallel.workers >= 2`. Output is byte-identical with or
+    /// without it (see `kg-par`), so the pool never appears in
+    /// snapshots and recovery may use a different worker count.
+    pool: Option<WorkerPool>,
 }
 
 /// Pre-resolved counter handles for the per-request hot path. Detached
@@ -262,6 +268,8 @@ struct ServerMetrics {
     req_batch: Counter,
     encryptions: Counter,
     signatures: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
 }
 
 impl ServerMetrics {
@@ -273,6 +281,8 @@ impl ServerMetrics {
             req_batch: obs.counter_with("kg_requests_total", "kind", "batch"),
             encryptions: obs.counter("kg_encryptions_total"),
             signatures: obs.counter("kg_signatures_total"),
+            cache_hits: obs.counter_with("kg_par_cache_total", "result", "hit"),
+            cache_misses: obs.counter_with("kg_par_cache_total", "result", "miss"),
         }
     }
 }
@@ -291,6 +301,7 @@ impl GroupKeyServer {
         let tree = KeyTree::new(config.degree, config.key_len(), &mut keygen);
         let scheduler = config.rekey.batch_policy().map(|p| BatchScheduler::new(p, 0));
         let stats = Self::stats_sink(&config);
+        let pool = Self::make_pool(&config);
         GroupKeyServer {
             config,
             acl,
@@ -304,6 +315,7 @@ impl GroupKeyServer {
             persist: None,
             obs: Obs::disabled(),
             metrics: ServerMetrics::default(),
+            pool,
         }
     }
 
@@ -313,6 +325,15 @@ impl GroupKeyServer {
             Some(cap) => ServerStats::with_record_cap(cap),
             None => ServerStats::default(),
         }
+    }
+
+    /// Spawn the rekey-construction worker pool when configured. The
+    /// worker count is clamped to the hardware's available parallelism
+    /// unless [`ParallelConfig::clamp_to_hardware`] is disabled, so a
+    /// spec asking for more threads than the host has cores falls back
+    /// gracefully (down to the sequential path on a single-core host).
+    fn make_pool(config: &ServerConfig) -> Option<WorkerPool> {
+        config.parallel.wants_pool().then(|| WorkerPool::new(config.parallel.effective_workers()))
     }
 
     /// Attach an observability handle. Spans, counters, and timeline
@@ -326,6 +347,9 @@ impl GroupKeyServer {
         }
         if let Some(p) = self.persist.as_mut() {
             p.attach_obs(obs.clone());
+        }
+        if let Some(pool) = self.pool.as_ref() {
+            pool.attach_obs(&obs);
         }
         self.metrics = ServerMetrics::resolve(&obs);
         self.obs = obs;
@@ -475,6 +499,7 @@ impl GroupKeyServer {
             )),
             _ => return Err(RecoverError::Corrupt("snapshot batching mode does not match config")),
         };
+        let pool = Self::make_pool(&config);
         Ok(GroupKeyServer {
             config,
             acl,
@@ -488,6 +513,7 @@ impl GroupKeyServer {
             persist: None,
             obs: Obs::disabled(),
             metrics: ServerMetrics::default(),
+            pool,
         })
     }
 
@@ -664,7 +690,8 @@ impl GroupKeyServer {
         };
         let out = {
             let _s = self.obs.span("encrypt");
-            let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
+            let mut rekeyer =
+                ParRekeyer::new(self.config.cipher, &mut self.ivs, self.pool.as_ref());
             rekeyer.join(&event, self.config.strategy)
         };
         let seq = self.next_seq();
@@ -674,6 +701,8 @@ impl GroupKeyServer {
         self.metrics.req_join.inc();
         self.metrics.encryptions.add(out.ops.key_encryptions);
         self.metrics.signatures.add(signatures);
+        self.metrics.cache_hits.add(out.ops.cache_hits);
+        self.metrics.cache_misses.add(out.ops.cache_misses);
         self.obs.event(ObsEvent::Join { user: user.0 });
 
         self.stats.push(OpRecord {
@@ -711,7 +740,8 @@ impl GroupKeyServer {
         };
         let out = {
             let _s = self.obs.span("encrypt");
-            let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
+            let mut rekeyer =
+                ParRekeyer::new(self.config.cipher, &mut self.ivs, self.pool.as_ref());
             rekeyer.leave(&event, self.config.strategy)
         };
         let seq = self.next_seq();
@@ -721,6 +751,8 @@ impl GroupKeyServer {
         self.metrics.req_leave.inc();
         self.metrics.encryptions.add(out.ops.key_encryptions);
         self.metrics.signatures.add(signatures);
+        self.metrics.cache_hits.add(out.ops.cache_hits);
+        self.metrics.cache_misses.add(out.ops.cache_misses);
         self.obs.event(ObsEvent::Leave { user: user.0 });
 
         self.stats.push(OpRecord {
@@ -750,7 +782,8 @@ impl GroupKeyServer {
             // IV stream is consumed.
             Vec::new()
         } else {
-            let mut rekeyer = Rekeyer::new(self.config.cipher, &mut self.ivs);
+            let mut rekeyer =
+                ParRekeyer::new(self.config.cipher, &mut self.ivs, self.pool.as_ref());
             rekeyer.refresh(&path).messages
         };
         let seq = self.next_seq();
@@ -873,8 +906,9 @@ impl GroupKeyServer {
         };
         let out = {
             let _s = self.obs.span("encrypt");
-            let mut rekeyer = BatchRekeyer::new(self.config.cipher, &mut self.ivs);
-            rekeyer.rekey(&ev, self.config.strategy)
+            let mut rekeyer =
+                ParRekeyer::new(self.config.cipher, &mut self.ivs, self.pool.as_ref());
+            rekeyer.batch(&ev, self.config.strategy)
         };
         let timestamp_ms = self.next_seq(); // keep the logical clock shared
         let (packets, encoded, signatures) = self.authenticate_and_encode_batch(
@@ -888,6 +922,8 @@ impl GroupKeyServer {
         self.metrics.req_batch.inc();
         self.metrics.encryptions.add(out.ops.key_encryptions);
         self.metrics.signatures.add(signatures);
+        self.metrics.cache_hits.add(out.ops.cache_hits);
+        self.metrics.cache_misses.add(out.ops.cache_misses);
 
         self.stats.push(OpRecord {
             kind: OpKind::Batch,
@@ -920,6 +956,77 @@ impl GroupKeyServer {
         s
     }
 
+    /// Compute per-packet authentication tags for the given encoded
+    /// bodies. Returns the tags (one per body, in body order) and the
+    /// number of RSA signing operations performed.
+    ///
+    /// The per-packet policies fan out across the worker pool when one
+    /// is configured and there are enough packets to pay for the trip:
+    /// each MD5/RSA computation depends only on its own body bytes, and
+    /// PKCS#1 v1.5 signing is deterministic, so the tags are identical
+    /// to the sequential ones. `SignBatch` stays sequential by design —
+    /// it performs a *single* RSA operation over the digest-tree root
+    /// (that is its whole point, §4), so there is nothing to fan out;
+    /// the interior digest tree is cheap relative to that one RSA op.
+    fn compute_auth_tags(&self, bodies: &[Vec<u8>]) -> (Vec<AuthTag>, u64) {
+        /// Digests are ~µs-cheap; only fan out with real packet counts.
+        const PAR_DIGEST_MIN: usize = 4;
+        /// RSA signing is ~ms-expensive; fan out as soon as two packets
+        /// can sign concurrently.
+        const PAR_SIGN_MIN: usize = 2;
+        match self.config.auth {
+            AuthPolicy::None => (vec![AuthTag::None; bodies.len()], 0),
+            AuthPolicy::Digest => {
+                let digest = self.config.digest;
+                let tags = match &self.pool {
+                    Some(pool) if bodies.len() >= PAR_DIGEST_MIN => pool
+                        .scatter(bodies.to_vec(), move |_, body| {
+                            AuthTag::Digest(digest.hash(&body))
+                        }),
+                    _ => bodies.iter().map(|b| AuthTag::Digest(digest.hash(b))).collect(),
+                };
+                (tags, 0)
+            }
+            AuthPolicy::SignEach => {
+                let key = self.rsa.as_ref().expect("policy requires key").private.clone();
+                let digest = self.config.digest;
+                let n = bodies.len() as u64;
+                let tags = match &self.pool {
+                    Some(pool) if bodies.len() >= PAR_SIGN_MIN => {
+                        pool.scatter(bodies.to_vec(), move |_, body| AuthTag::Signed {
+                            signature: key.sign(digest, &body).expect("signing"),
+                        })
+                    }
+                    _ => bodies
+                        .iter()
+                        .map(|body| AuthTag::Signed {
+                            signature: key.sign(digest, body).expect("signing"),
+                        })
+                        .collect(),
+                };
+                (tags, n)
+            }
+            AuthPolicy::SignBatch => {
+                if bodies.is_empty() {
+                    return (Vec::new(), 0);
+                }
+                let key = self.rsa.as_ref().expect("policy requires key").private.clone();
+                let refs: Vec<&[u8]> = bodies.iter().map(|b| b.as_slice()).collect();
+                let batch =
+                    merkle::sign_batch(&key, self.config.digest, &refs).expect("batch signing");
+                let tags = batch
+                    .paths
+                    .into_iter()
+                    .map(|path| AuthTag::MerkleSigned {
+                        root_signature: batch.root_signature.clone(),
+                        path,
+                    })
+                    .collect();
+                (tags, 1)
+            }
+        }
+    }
+
     /// Attach the configured authenticity tag to every message and encode.
     /// Returns (packets, encodings, signature-op count).
     fn authenticate_and_encode(
@@ -933,42 +1040,17 @@ impl GroupKeyServer {
             .into_iter()
             .map(|message| RekeyPacket { seq, op, timestamp_ms, message, auth: AuthTag::None })
             .collect();
-        let mut signatures = 0u64;
         let sign_span = self.obs.span("sign");
-        match self.config.auth {
-            AuthPolicy::None => {}
-            AuthPolicy::Digest => {
-                for p in &mut packets {
-                    let body = p.encode_body();
-                    p.auth = AuthTag::Digest(self.config.digest.hash(&body));
-                }
+        let signatures = if matches!(self.config.auth, AuthPolicy::None) {
+            0 // skip body encoding entirely on the unauthenticated path
+        } else {
+            let bodies: Vec<Vec<u8>> = packets.iter().map(|p| p.encode_body()).collect();
+            let (tags, signatures) = self.compute_auth_tags(&bodies);
+            for (p, tag) in packets.iter_mut().zip(tags) {
+                p.auth = tag;
             }
-            AuthPolicy::SignEach => {
-                let key = self.rsa.as_ref().expect("policy requires key").private.clone();
-                for p in &mut packets {
-                    let body = p.encode_body();
-                    let sig = key.sign(self.config.digest, &body).expect("signing");
-                    signatures += 1;
-                    p.auth = AuthTag::Signed { signature: sig };
-                }
-            }
-            AuthPolicy::SignBatch => {
-                if !packets.is_empty() {
-                    let key = self.rsa.as_ref().expect("policy requires key").private.clone();
-                    let bodies: Vec<Vec<u8>> = packets.iter().map(|p| p.encode_body()).collect();
-                    let refs: Vec<&[u8]> = bodies.iter().map(|b| b.as_slice()).collect();
-                    let batch =
-                        merkle::sign_batch(&key, self.config.digest, &refs).expect("batch signing");
-                    signatures += 1;
-                    for (p, path) in packets.iter_mut().zip(batch.paths) {
-                        p.auth = AuthTag::MerkleSigned {
-                            root_signature: batch.root_signature.clone(),
-                            path,
-                        };
-                    }
-                }
-            }
-        }
+            signatures
+        };
         drop(sign_span);
         let _encode_span = self.obs.span("encode");
         let encoded: Vec<Vec<u8>> = packets.iter().map(|p| p.encode()).collect();
@@ -995,42 +1077,17 @@ impl GroupKeyServer {
                 auth: AuthTag::None,
             })
             .collect();
-        let mut signatures = 0u64;
         let sign_span = self.obs.span("sign");
-        match self.config.auth {
-            AuthPolicy::None => {}
-            AuthPolicy::Digest => {
-                for p in &mut packets {
-                    let body = p.encode_body();
-                    p.auth = AuthTag::Digest(self.config.digest.hash(&body));
-                }
+        let signatures = if matches!(self.config.auth, AuthPolicy::None) {
+            0
+        } else {
+            let bodies: Vec<Vec<u8>> = packets.iter().map(|p| p.encode_body()).collect();
+            let (tags, signatures) = self.compute_auth_tags(&bodies);
+            for (p, tag) in packets.iter_mut().zip(tags) {
+                p.auth = tag;
             }
-            AuthPolicy::SignEach => {
-                let key = self.rsa.as_ref().expect("policy requires key").private.clone();
-                for p in &mut packets {
-                    let body = p.encode_body();
-                    let sig = key.sign(self.config.digest, &body).expect("signing");
-                    signatures += 1;
-                    p.auth = AuthTag::Signed { signature: sig };
-                }
-            }
-            AuthPolicy::SignBatch => {
-                if !packets.is_empty() {
-                    let key = self.rsa.as_ref().expect("policy requires key").private.clone();
-                    let bodies: Vec<Vec<u8>> = packets.iter().map(|p| p.encode_body()).collect();
-                    let refs: Vec<&[u8]> = bodies.iter().map(|b| b.as_slice()).collect();
-                    let batch =
-                        merkle::sign_batch(&key, self.config.digest, &refs).expect("batch signing");
-                    signatures += 1;
-                    for (p, path) in packets.iter_mut().zip(batch.paths) {
-                        p.auth = AuthTag::MerkleSigned {
-                            root_signature: batch.root_signature.clone(),
-                            path,
-                        };
-                    }
-                }
-            }
-        }
+            signatures
+        };
         drop(sign_span);
         let _encode_span = self.obs.span("encode");
         let encoded: Vec<Vec<u8>> = packets.iter().map(|p| p.encode()).collect();
@@ -1052,6 +1109,78 @@ mod tests {
         for i in 0..n {
             s.handle_join(UserId(i)).unwrap();
         }
+    }
+
+    /// A server at any worker count emits exactly the bytes of the
+    /// sequential server: same encoded packets, same stats, same
+    /// signatures. Exercises every auth policy (the sign/digest fan-out
+    /// paths included) and both immediate ops, on the same op schedule.
+    #[test]
+    fn worker_count_never_changes_output_bytes() {
+        for auth in
+            [AuthPolicy::None, AuthPolicy::Digest, AuthPolicy::SignEach, AuthPolicy::SignBatch]
+        {
+            let config =
+                ServerConfig { auth, strategy: Strategy::KeyOriented, ..ServerConfig::default() };
+            let par_config = ServerConfig {
+                // Clamp off: the byte-identity guarantee must hold with
+                // real pool threads even on a single-core test host.
+                parallel: ParallelConfig { workers: 4, clamp_to_hardware: false },
+                ..config.clone()
+            };
+            let mut seq_srv = GroupKeyServer::new(config, AccessControl::AllowAll);
+            let mut par_srv = GroupKeyServer::new(par_config, AccessControl::AllowAll);
+            for i in 0..20 {
+                let a = seq_srv.handle_join(UserId(i)).unwrap();
+                let b = par_srv.handle_join(UserId(i)).unwrap();
+                assert_eq!(a.encoded, b.encoded, "join bytes diverged ({auth:?})");
+            }
+            let a = seq_srv.handle_leave(UserId(7)).unwrap();
+            let b = par_srv.handle_leave(UserId(7)).unwrap();
+            assert_eq!(a.encoded, b.encoded, "leave bytes diverged ({auth:?})");
+            let a = seq_srv.refresh_group_key().unwrap();
+            let b = par_srv.refresh_group_key().unwrap();
+            assert_eq!(a.encoded, b.encoded, "refresh bytes diverged ({auth:?})");
+            let sa = seq_srv.stats().records().last().unwrap();
+            let sb = par_srv.stats().records().last().unwrap();
+            assert_eq!(sa.signatures, sb.signatures);
+            assert_eq!(sa.encryptions, sb.encryptions);
+        }
+    }
+
+    /// Batched-mode flushes, too, are byte-identical across worker
+    /// counts — the interval pipeline is where most fan-out happens.
+    #[test]
+    fn worker_count_never_changes_batch_output_bytes() {
+        let config = ServerConfig {
+            rekey: RekeyPolicy::Batched { interval_ms: 100, max_pending: 1024 },
+            ..ServerConfig::default()
+        };
+        let par_config = ServerConfig {
+            parallel: ParallelConfig { workers: 3, clamp_to_hardware: false },
+            ..config.clone()
+        };
+        let mut seq_srv = GroupKeyServer::new(config, AccessControl::AllowAll);
+        let mut par_srv = GroupKeyServer::new(par_config, AccessControl::AllowAll);
+        for s in [&mut seq_srv, &mut par_srv] {
+            for i in 0..64 {
+                s.enqueue_join(UserId(i)).unwrap();
+            }
+        }
+        let a = seq_srv.flush(100).unwrap().unwrap();
+        let b = par_srv.flush(100).unwrap().unwrap();
+        assert_eq!(a.encoded, b.encoded);
+        for s in [&mut seq_srv, &mut par_srv] {
+            for i in 0..32 {
+                s.enqueue_leave(UserId(i * 2)).unwrap();
+            }
+            s.enqueue_join(UserId(100)).unwrap();
+        }
+        let a = seq_srv.flush(200).unwrap().unwrap();
+        let b = par_srv.flush(200).unwrap().unwrap();
+        assert_eq!(a.encoded, b.encoded);
+        assert_eq!(a.grants.len(), b.grants.len());
+        assert_eq!(a.departed, b.departed);
     }
 
     #[test]

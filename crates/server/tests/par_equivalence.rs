@@ -1,0 +1,230 @@
+//! Sequential/parallel equivalence property suite.
+//!
+//! The tentpole invariant of `kg-par`: a server configured with any
+//! worker count produces **byte-identical rekey output** and an
+//! **identical observability ledger** (counters, gauges, event kinds,
+//! timeline totals — everything except wall-clock durations) to the
+//! sequential server, across random join/leave/refresh/flush schedules.
+//! The vendored proptest stand-in seeds its RNG from the test name, so
+//! every run replays the identical schedule set deterministically.
+
+use kg_core::rekey::Strategy;
+use kg_core::UserId;
+use kg_obs::{Obs, ObsConfig};
+use kg_server::{
+    AccessControl, AuthPolicy, GroupKeyServer, ParallelConfig, RekeyPolicy, ServerConfig,
+};
+
+/// Tiny deterministic xorshift so one `u64` seed fans out into a whole
+/// schedule.
+struct Fuzz(u64);
+
+impl Fuzz {
+    fn new(seed: u64) -> Self {
+        Fuzz(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One random immediate-mode schedule: initial joins, then a mix of
+/// joins, leaves, and group-key refreshes.
+#[derive(Debug, Clone)]
+enum Op {
+    Join(UserId),
+    Leave(UserId),
+    Refresh,
+}
+
+fn random_schedule(f: &mut Fuzz) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut present: Vec<u64> = Vec::new();
+    let initial = 8 + f.below(24);
+    for u in 0..initial {
+        ops.push(Op::Join(UserId(u)));
+        present.push(u);
+    }
+    let mut next_user = initial;
+    for _ in 0..40 {
+        match f.below(5) {
+            0 | 1 => {
+                ops.push(Op::Join(UserId(next_user)));
+                present.push(next_user);
+                next_user += 1;
+            }
+            2 | 3 if present.len() > 2 => {
+                let pick = f.below(present.len() as u64) as usize;
+                ops.push(Op::Leave(UserId(present.swap_remove(pick))));
+            }
+            _ => ops.push(Op::Refresh),
+        }
+    }
+    ops
+}
+
+/// The comparable slice of an obs ledger: every counter and gauge line
+/// of the Prometheus rendering, minus histogram artifacts (whose sums
+/// and quantiles are wall-clock durations and legitimately differ
+/// between runs) and minus `kg_par_queue_depth`, a gauge the pool
+/// registers only when worker threads exist (it always settles at 0;
+/// the sequential server simply never creates it).
+fn ledger(obs: &Obs) -> Vec<String> {
+    obs.render_prometheus()
+        .lines()
+        .filter(|l| {
+            !l.contains("_sum")
+                && !l.contains("_count")
+                && !l.contains("quantile=")
+                && !l.starts_with("kg_par_queue_depth")
+        })
+        .map(String::from)
+        .collect()
+}
+
+fn server(
+    workers: usize,
+    strategy: Strategy,
+    auth: AuthPolicy,
+    rekey: RekeyPolicy,
+) -> (GroupKeyServer, Obs) {
+    let config = ServerConfig {
+        strategy,
+        auth,
+        rekey,
+        // Clamp off: equivalence must hold with real pool threads even
+        // when the test host has a single core.
+        parallel: ParallelConfig { workers, clamp_to_hardware: false },
+        ..ServerConfig::default()
+    };
+    let mut srv = GroupKeyServer::new(config, AccessControl::AllowAll);
+    let obs = Obs::new(ObsConfig::default());
+    srv.attach_obs(obs.clone());
+    (srv, obs)
+}
+
+fn pick_strategy(f: &mut Fuzz) -> Strategy {
+    match f.below(3) {
+        0 => Strategy::UserOriented,
+        1 => Strategy::KeyOriented,
+        _ => Strategy::GroupOriented,
+    }
+}
+
+fn pick_auth(f: &mut Fuzz) -> AuthPolicy {
+    match f.below(4) {
+        0 => AuthPolicy::None,
+        1 => AuthPolicy::Digest,
+        2 => AuthPolicy::SignEach,
+        _ => AuthPolicy::SignBatch,
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(12))]
+
+    /// Immediate mode: every operation's encoded packets are
+    /// byte-identical between a 1-worker and a 4-worker server, and the
+    /// final obs ledgers match.
+    #[test]
+    fn immediate_schedules_are_worker_count_invariant(seed in 0u64..) {
+        let f = &mut Fuzz::new(seed);
+        let strategy = pick_strategy(f);
+        let auth = pick_auth(f);
+        let schedule = random_schedule(f);
+
+        let (mut seq, seq_obs) = server(1, strategy, auth, RekeyPolicy::Immediate);
+        let (mut par, par_obs) = server(4, strategy, auth, RekeyPolicy::Immediate);
+
+        for (i, op) in schedule.iter().enumerate() {
+            let (a, b) = match op {
+                Op::Join(u) => (seq.handle_join(*u), par.handle_join(*u)),
+                Op::Leave(u) => (seq.handle_leave(*u), par.handle_leave(*u)),
+                Op::Refresh => (seq.refresh_group_key(), par.refresh_group_key()),
+            };
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    proptest::prop_assert_eq!(
+                        &a.encoded, &b.encoded,
+                        "op {} ({:?}) bytes diverged (seed {}, {:?}/{:?})",
+                        i, op, seed, strategy, auth
+                    );
+                    proptest::prop_assert_eq!(a.seq, b.seq);
+                }
+                (Err(ea), Err(eb)) => proptest::prop_assert_eq!(ea, eb),
+                (a, b) => panic!("outcome diverged at op {i} ({op:?}): {a:?} vs {b:?}"),
+            }
+        }
+
+        proptest::prop_assert_eq!(ledger(&seq_obs), ledger(&par_obs), "counter/gauge ledgers diverged (seed {})", seed);
+        proptest::prop_assert_eq!(seq_obs.event_kind_counts(), par_obs.event_kind_counts());
+        proptest::prop_assert_eq!(seq_obs.timeline_total(), par_obs.timeline_total());
+        // The pool's queue-depth gauge must have drained back to zero.
+        proptest::prop_assert!(par_obs.render_prometheus().contains("kg_par_queue_depth 0"));
+    }
+
+    /// Batched mode: random enqueue/flush schedules produce identical
+    /// intervals — packets, grants, departures — and identical ledgers.
+    #[test]
+    fn batched_schedules_are_worker_count_invariant(seed in 0u64..) {
+        let f = &mut Fuzz::new(seed);
+        let strategy = pick_strategy(f);
+        let auth = pick_auth(f);
+        let rekey = RekeyPolicy::Batched { interval_ms: 50, max_pending: 1 << 20 };
+
+        let (mut seq, seq_obs) = server(1, strategy, auth, rekey);
+        let (mut par, par_obs) = server(3, strategy, auth, rekey);
+
+        let mut present: Vec<u64> = Vec::new();
+        let mut next_user = 0u64;
+        let mut now_ms = 0u64;
+        for round in 0..6 {
+            let burst = 4 + f.below(28);
+            for _ in 0..burst {
+                if f.below(3) == 0 && present.len() > 2 {
+                    let pick = f.below(present.len() as u64) as usize;
+                    let u = UserId(present.swap_remove(pick));
+                    seq.enqueue_leave(u).unwrap();
+                    par.enqueue_leave(u).unwrap();
+                } else {
+                    let u = UserId(next_user);
+                    next_user += 1;
+                    present.push(u.0);
+                    seq.enqueue_join(u).unwrap();
+                    par.enqueue_join(u).unwrap();
+                }
+            }
+            now_ms += 50 + f.below(100);
+            let (a, b) = (seq.flush(now_ms).unwrap(), par.flush(now_ms).unwrap());
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    proptest::prop_assert_eq!(
+                        &a.encoded, &b.encoded,
+                        "interval {} bytes diverged (seed {}, {:?}/{:?})",
+                        round, seed, strategy, auth
+                    );
+                    proptest::prop_assert_eq!(a.interval, b.interval);
+                    proptest::prop_assert_eq!(
+                        a.grants.len(), b.grants.len(),
+                        "grant counts diverged"
+                    );
+                    proptest::prop_assert_eq!(&a.departed, &b.departed);
+                }
+                (None, None) => {}
+                (a, b) => panic!("flush outcome diverged at round {round}: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+
+        proptest::prop_assert_eq!(ledger(&seq_obs), ledger(&par_obs), "counter/gauge ledgers diverged (seed {})", seed);
+        proptest::prop_assert_eq!(seq_obs.event_kind_counts(), par_obs.event_kind_counts());
+        proptest::prop_assert_eq!(seq_obs.timeline_total(), par_obs.timeline_total());
+    }
+}

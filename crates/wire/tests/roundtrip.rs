@@ -206,19 +206,234 @@ fn bit_flips_never_misparse_or_panic() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic fuzz harness
+//
+// The vendored proptest stand-in seeds its RNG from the test name, so
+// every run explores the identical case set — failures reproduce
+// exactly, with no corpus files and no network. Structured cases come
+// from a small PRNG-driven generator (arbitrary field values with
+// deliberate bias toward extremes, arbitrary collection sizes), which
+// reaches far more shapes than the fixed 4×4×4 enumeration above.
+// ---------------------------------------------------------------------------
+
+/// Tiny xorshift PRNG so a single `u64` proptest input fans out into a
+/// whole structured value without needing strategy combinators.
+struct Fuzz(u64);
+
+impl Fuzz {
+    fn new(seed: u64) -> Self {
+        Fuzz(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// A u64 biased toward the boundary values length/offset bugs live at.
+    fn value(&mut self) -> u64 {
+        match self.below(5) {
+            0 => 0,
+            1 => u64::MAX,
+            2 => u32::MAX as u64,
+            _ => self.next(),
+        }
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len as u64 + 1) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+fn fuzz_key_ref(f: &mut Fuzz) -> KeyRef {
+    KeyRef::new(KeyLabel(f.value()), KeyVersion(f.value()))
+}
+
+fn fuzz_bundle(f: &mut Fuzz) -> KeyBundle {
+    KeyBundle {
+        targets: (0..f.below(4)).map(|_| fuzz_key_ref(f)).collect(),
+        encrypted_with: fuzz_key_ref(f),
+        iv: f.bytes(16),
+        ciphertext: f.bytes(64),
+    }
+}
+
+fn fuzz_recipients(f: &mut Fuzz) -> Recipients {
+    match f.below(4) {
+        0 => Recipients::User(UserId(f.value())),
+        1 => Recipients::Subgroup(KeyLabel(f.value())),
+        2 => Recipients::SubgroupExcept {
+            include: KeyLabel(f.value()),
+            exclude: KeyLabel(f.value()),
+        },
+        _ => Recipients::Group,
+    }
+}
+
+fn fuzz_auth(f: &mut Fuzz) -> AuthTag {
+    match f.below(4) {
+        0 => AuthTag::None,
+        1 => AuthTag::Digest(f.bytes(32)),
+        2 => AuthTag::Signed { signature: f.bytes(96) },
+        _ => AuthTag::MerkleSigned {
+            root_signature: f.bytes(96),
+            path: AuthPath {
+                index: f.below(1 << 16) as u32,
+                siblings: (0..f.below(5))
+                    .map(|_| (if f.below(2) == 0 { Side::Left } else { Side::Right }, f.bytes(32)))
+                    .collect(),
+            },
+        },
+    }
+}
+
+fn fuzz_message(f: &mut Fuzz) -> RekeyMessage {
+    RekeyMessage {
+        recipients: fuzz_recipients(f),
+        bundles: (0..f.below(8)).map(|_| fuzz_bundle(f)).collect(),
+    }
+}
+
+fn fuzz_rekey_packet(f: &mut Fuzz) -> RekeyPacket {
+    RekeyPacket {
+        seq: f.value(),
+        op: ALL_OPS[f.below(4) as usize],
+        timestamp_ms: f.value(),
+        message: fuzz_message(f),
+        auth: fuzz_auth(f),
+    }
+}
+
+fn fuzz_batch_packet(f: &mut Fuzz) -> BatchRekeyPacket {
+    BatchRekeyPacket {
+        interval: f.value(),
+        timestamp_ms: f.value(),
+        joins: f.value() as u32,
+        leaves: f.value() as u32,
+        message: fuzz_message(f),
+        auth: fuzz_auth(f),
+    }
+}
+
+fn fuzz_control_message(f: &mut Fuzz) -> ControlMessage {
+    match f.below(6) {
+        0 => ControlMessage::JoinRequest { user: UserId(f.value()) },
+        1 => ControlMessage::JoinGranted {
+            user: UserId(f.value()),
+            leaf_label: KeyLabel(f.value()),
+            path_labels: (0..f.below(6)).map(|_| KeyLabel(f.value())).collect(),
+        },
+        2 => ControlMessage::JoinDenied { user: UserId(f.value()) },
+        3 => ControlMessage::LeaveRequest { user: UserId(f.value()), auth: f.bytes(32) },
+        4 => ControlMessage::LeaveGranted { user: UserId(f.value()) },
+        _ => ControlMessage::LeaveDenied { user: UserId(f.value()) },
+    }
+}
+
 proptest::proptest! {
     /// Random byte soup never panics any decoder, and anything that does
     /// decode re-encodes to exactly the input (no silent misparses).
+    /// Buffers up to 2 KiB reach the interior length-prefixed fields
+    /// that short garbage can't.
     #[test]
-    fn random_garbage_never_misparses(data in proptest::collection::vec(0u8.., 0..256)) {
+    fn random_garbage_never_misparses(data in proptest::collection::vec(0u8.., 0..2048)) {
         if let Ok((pkt, _)) = RekeyPacket::decode(&data) {
             proptest::prop_assert_eq!(pkt.encode(), data.clone());
+            // encode ∘ decode is idempotent: a second trip is a fixed point.
+            let (again, _) = RekeyPacket::decode(&pkt.encode()).expect("re-decode");
+            proptest::prop_assert_eq!(again, pkt);
         }
         if let Ok((pkt, _)) = BatchRekeyPacket::decode(&data) {
             proptest::prop_assert_eq!(pkt.encode(), data.clone());
+            let (again, _) = BatchRekeyPacket::decode(&pkt.encode()).expect("re-decode");
+            proptest::prop_assert_eq!(again, pkt);
         }
         if let Ok(msg) = ControlMessage::decode(&data) {
             proptest::prop_assert_eq!(msg.encode(), data);
+            let again = ControlMessage::decode(&msg.encode()).expect("re-decode");
+            proptest::prop_assert_eq!(again, msg);
+        }
+    }
+
+    /// Arbitrary *structured* packets — random field values biased
+    /// toward boundary extremes, random collection sizes — round-trip
+    /// through encode/decode unchanged, for every message type.
+    #[test]
+    fn arbitrary_structured_packets_roundtrip(seed in 0u64..) {
+        let f = &mut Fuzz::new(seed);
+
+        let pkt = fuzz_rekey_packet(f);
+        let bytes = pkt.encode();
+        proptest::prop_assert_eq!(bytes.len(), pkt.wire_len());
+        let (decoded, body_len) = RekeyPacket::decode(&bytes).expect("valid rekey encoding");
+        proptest::prop_assert_eq!(decoded, pkt.clone());
+        proptest::prop_assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+
+        let pkt = fuzz_batch_packet(f);
+        let bytes = pkt.encode();
+        proptest::prop_assert!(BatchRekeyPacket::sniff(&bytes));
+        proptest::prop_assert_eq!(bytes.len(), pkt.wire_len());
+        let (decoded, body_len) = BatchRekeyPacket::decode(&bytes).expect("valid batch encoding");
+        proptest::prop_assert_eq!(decoded, pkt.clone());
+        proptest::prop_assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+
+        let msg = fuzz_control_message(f);
+        let decoded = ControlMessage::decode(&msg.encode()).expect("valid control encoding");
+        proptest::prop_assert_eq!(decoded, msg);
+    }
+
+    /// Mutations of *valid* frames — spliced garbage windows, random
+    /// truncation, appended tails — never panic a decoder and never
+    /// silently misparse: whatever still decodes re-encodes to exactly
+    /// the mutated bytes. Seeding from valid frames drives the fuzz
+    /// deeper into the decoders than raw garbage can reach.
+    #[test]
+    fn mutated_valid_frames_never_misparse(seed in 0u64..) {
+        let f = &mut Fuzz::new(seed);
+        let mut frames = vec![fuzz_rekey_packet(f).encode(), fuzz_batch_packet(f).encode(),
+            fuzz_control_message(f).encode()];
+        for bytes in &mut frames {
+            match f.below(3) {
+                // Overwrite a random window with garbage.
+                0 => {
+                    if !bytes.is_empty() {
+                        let start = f.below(bytes.len() as u64) as usize;
+                        let end = (start + f.below(16) as usize + 1).min(bytes.len());
+                        for b in &mut bytes[start..end] {
+                            *b = f.next() as u8;
+                        }
+                    }
+                }
+                // Truncate at a random point.
+                1 => {
+                    let cut = f.below(bytes.len() as u64 + 1) as usize;
+                    bytes.truncate(cut);
+                }
+                // Append a random tail.
+                _ => {
+                    let tail = f.bytes(32);
+                    bytes.extend_from_slice(&tail);
+                }
+            }
+        }
+        for bytes in &frames {
+            if let Ok((pkt, _)) = RekeyPacket::decode(bytes) {
+                proptest::prop_assert_eq!(pkt.encode(), bytes.clone());
+            }
+            if let Ok((pkt, _)) = BatchRekeyPacket::decode(bytes) {
+                proptest::prop_assert_eq!(pkt.encode(), bytes.clone());
+            }
+            if let Ok(msg) = ControlMessage::decode(bytes) {
+                proptest::prop_assert_eq!(msg.encode(), bytes.clone());
+            }
         }
     }
 }
