@@ -3,12 +3,14 @@
 //! ```text
 //! report [--quick] <artifact>...
 //! artifacts: table1 table2 table3 table4 table5 table6
-//!            fig10 fig11 fig12 iolus hybrid batch persist obs par all
+//!            fig10 fig11 fig12 iolus hybrid batch persist obs par
+//!            cluster all
 //! ```
 //!
-//! The `batch`, `persist`, `obs`, and `par` artifacts also write
-//! machine-readable `BENCH_batch.json`, `BENCH_persist.json`,
-//! `BENCH_obs.json`, and `BENCH_par.json` to the working directory.
+//! The `batch`, `persist`, `obs`, `par`, and `cluster` artifacts also
+//! write machine-readable `BENCH_batch.json`, `BENCH_persist.json`,
+//! `BENCH_obs.json`, `BENCH_par.json`, and `BENCH_cluster.json` to the
+//! working directory.
 //!
 //! `--quick` shrinks group sizes / request counts for a fast smoke run.
 //! Absolute times differ from the paper's 1998 SGI Origin 200 numbers; the
@@ -44,7 +46,7 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: report [--quick] <artifact>...\n\
                      artifacts: table1 table2 table3 table4 table5 table6 \
-                     fig10 fig11 fig12 iolus hybrid batch persist obs par all"
+                     fig10 fig11 fig12 iolus hybrid batch persist obs par cluster all"
                 );
                 std::process::exit(0);
             }
@@ -112,6 +114,9 @@ fn main() {
     }
     if want("par") {
         par(&opts);
+    }
+    if want("cluster") {
+        cluster(&opts);
     }
 }
 
@@ -971,4 +976,114 @@ fn par(opts: &Opts) {
     }
     json.push_str("\n  ]\n}\n");
     write_artifact("BENCH_par.json", &json);
+}
+
+/// Cluster: a sharded deployment driven to seven-figure membership on
+/// the in-process simulator, with per-shard and aggregated load.
+fn cluster(opts: &Opts) {
+    use kg_bench::{run_cluster_scale, ClusterBenchConfig};
+    println!("## Cluster — sharded deployment at scale (d=4, group-oriented, batched intervals)\n");
+    let cfg = if opts.quick {
+        ClusterBenchConfig {
+            shards: 4,
+            span: 4,
+            members: 16_384,
+            chunk: 2048,
+            churn: 256,
+            seed: 17,
+        }
+    } else {
+        ClusterBenchConfig {
+            shards: 4,
+            span: 4,
+            members: 1 << 20,
+            chunk: 8192,
+            churn: 2048,
+            seed: 17,
+        }
+    };
+    println!(
+        "### One group spanned over {} shards, {} members admitted {} per interval\n",
+        cfg.span, cfg.members, cfg.chunk
+    );
+    let r = run_cluster_scale(&cfg);
+
+    let mut t = TextTable::new(&["shard", "members", "intervals", "requests", "encryptions"]);
+    for s in &r.shards {
+        t.row(vec![
+            s.shard.to_string(),
+            s.members.to_string(),
+            s.intervals.to_string(),
+            s.requests.to_string(),
+            s.encryptions.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "total".into(),
+        r.shards.iter().map(|s| s.members).sum::<u64>().to_string(),
+        r.shards.iter().map(|s| s.intervals).sum::<u64>().to_string(),
+        r.shards.iter().map(|s| s.requests).sum::<u64>().to_string(),
+        r.shards.iter().map(|s| s.encryptions).sum::<u64>().to_string(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "build: {} members in {:.1}s ({:.0} joins/sec); churn of {} leave/join pairs in {:.1}s",
+        cfg.members, r.build_secs, r.joins_per_sec, cfg.churn, r.churn_secs
+    );
+    println!(
+        "router directory: {} members; shutdown ack: members={} wal_tail={}\n",
+        r.directory_len, r.shutdown_members, r.shutdown_wal_tail
+    );
+    println!("(per-slice key trees stay at height log_d(n/span): a million-member group is four ~262k trees, so per-interval rekey cost scales with the slice, not the group — the Iolus §6 decomposition with the router standing in for the GSA hierarchy)\n");
+
+    let counters_json = |cs: &[(String, u64)], indent: &str| -> String {
+        cs.iter()
+            .map(|(k, v)| {
+                // Rendered counter names carry label quotes: foo{l="x"}.
+                let k = k.replace('\\', "\\\\").replace('"', "\\\"");
+                format!("{indent}{{\"name\": \"{k}\", \"value\": {v}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let shards_json: Vec<String> = r
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"shard\": {}, \"members\": {}, \"intervals\": {}, \"requests\": {}, \
+                 \"encryptions\": {}, \"counters\": [\n{}\n    ]}}",
+                s.shard,
+                s.members,
+                s.intervals,
+                s.requests,
+                s.encryptions,
+                counters_json(&s.counters, "      ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"shards\": {}, \"span\": {}, \"members\": {}, \"chunk\": {}, \
+         \"churn\": {}, \"seed\": {}}},\n  \"build_secs\": {},\n  \"joins_per_sec\": {},\n  \
+         \"churn_secs\": {},\n  \"total_members\": {},\n  \"directory_len\": {},\n  \
+         \"shutdown\": {{\"members\": {}, \"wal_tail\": {}}},\n  \"shards\": [\n{}\n  ],\n  \
+         \"aggregated\": [\n{}\n  ],\n  \"router\": [\n{}\n  ]\n}}\n",
+        cfg.shards,
+        cfg.span,
+        cfg.members,
+        cfg.chunk,
+        cfg.churn,
+        cfg.seed,
+        jf(r.build_secs),
+        jf(r.joins_per_sec),
+        jf(r.churn_secs),
+        r.total_members,
+        r.directory_len,
+        r.shutdown_members,
+        r.shutdown_wal_tail,
+        shards_json.join(",\n"),
+        counters_json(&r.aggregated, "    "),
+        counters_json(&r.router_counters, "    "),
+    );
+    write_artifact("BENCH_cluster.json", &json);
 }

@@ -1,0 +1,177 @@
+//! Cluster-scale benchmark: an in-process sharded deployment driven to
+//! seven-figure membership.
+//!
+//! Everything runs on the deterministic [`kg_net::SimNetwork`] — the
+//! measurement is the cluster's own work (request routing, per-slice
+//! batch rekeying, grant/rekey relay), not socket syscalls. Members share
+//! one driver endpoint so the harness does not spend the benchmark
+//! allocating a million inboxes; the router's directory and multicast
+//! bookkeeping still see every member individually.
+
+use kg_cluster::{aggregate_counter_values, ShardMap, SimCluster};
+use kg_core::ids::UserId;
+use kg_net::NetConfig;
+use kg_server::{AccessControl, RekeyPolicy, ServerConfig};
+use kg_wire::GroupId;
+use std::time::Instant;
+
+/// Knobs for [`run_cluster_scale`].
+#[derive(Debug, Clone)]
+pub struct ClusterBenchConfig {
+    /// Shard count (the paper's single server is `1`).
+    pub shards: u16,
+    /// How many shards the benchmark group spans.
+    pub span: u16,
+    /// Total members to admit.
+    pub members: u64,
+    /// Joins driven per batch interval.
+    pub chunk: u64,
+    /// Leave/join pairs of post-build churn.
+    pub churn: u64,
+    /// Base DRBG seed (per-slice seeds derive from it).
+    pub seed: u64,
+}
+
+/// Per-shard load figures, from the shard's own obs registry and its
+/// admin stats report.
+#[derive(Debug, Clone)]
+pub struct ShardLoad {
+    /// Shard id.
+    pub shard: u16,
+    /// Members resident in the shard's slices.
+    pub members: u64,
+    /// Intervals flushed.
+    pub intervals: u64,
+    /// Control requests processed.
+    pub requests: u64,
+    /// Key encryptions performed.
+    pub encryptions: u64,
+    /// Full counter snapshot (rendered name → value).
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Everything [`run_cluster_scale`] measures.
+#[derive(Debug, Clone)]
+pub struct ClusterScaleResult {
+    /// The configuration measured.
+    pub config: ClusterBenchConfig,
+    /// Wall-clock seconds building the full membership.
+    pub build_secs: f64,
+    /// Admissions per wall-clock second during the build.
+    pub joins_per_sec: f64,
+    /// Wall-clock seconds for the churn phase.
+    pub churn_secs: f64,
+    /// Members resident at the end (build − churn leaves + churn joins).
+    pub total_members: u64,
+    /// Router directory size at the end.
+    pub directory_len: usize,
+    /// Per-shard load, in shard order.
+    pub shards: Vec<ShardLoad>,
+    /// Per-shard counters summed into one cluster-wide view.
+    pub aggregated: Vec<(String, u64)>,
+    /// The router's own counters (routed/relayed totals).
+    pub router_counters: Vec<(String, u64)>,
+    /// Members reported by the aggregated shutdown ack.
+    pub shutdown_members: u64,
+    /// WAL tail reported by the shutdown ack (0: nothing to replay).
+    pub shutdown_wal_tail: u64,
+}
+
+const INTERVAL_MS: u64 = 100;
+
+/// Build a spanned group to `members` across `shards` shard nodes, churn
+/// it, collect per-shard and aggregated load, and shut the cluster down.
+pub fn run_cluster_scale(config: &ClusterBenchConfig) -> ClusterScaleResult {
+    let group = GroupId(1);
+    let map = ShardMap::new(config.shards).with_span(group, config.span);
+    let template = ServerConfig {
+        seed: config.seed,
+        rekey: RekeyPolicy::Batched { interval_ms: INTERVAL_MS, max_pending: usize::MAX },
+        ..ServerConfig::default()
+    };
+    let net = NetConfig {
+        latency_min_us: 100,
+        latency_max_us: 100,
+        loss_probability: 0.0,
+        duplicate_probability: 0.0,
+        seed: config.seed,
+    };
+    let mut cluster = SimCluster::new(map, template, AccessControl::AllowAll, net, None);
+    cluster.use_shared_client_endpoint();
+    let mut now_ms = 0u64;
+
+    // Build phase: `chunk` joins per interval.
+    let start = Instant::now();
+    let mut next_user = 1u64;
+    while next_user <= config.members {
+        let end = (next_user + config.chunk - 1).min(config.members);
+        for u in next_user..=end {
+            cluster.join(group, UserId(u));
+        }
+        next_user = end + 1;
+        now_ms += INTERVAL_MS;
+        cluster.tick(now_ms);
+        // Keep the event backlog from becoming the thing measured.
+        cluster.take_events();
+    }
+    let build_secs = start.elapsed().as_secs_f64();
+
+    // Churn phase: leave the first `churn` members, admit replacements.
+    let start = Instant::now();
+    for u in 1..=config.churn {
+        cluster.leave(group, UserId(u));
+    }
+    for u in 0..config.churn {
+        cluster.join(group, UserId(config.members + 1 + u));
+    }
+    now_ms += INTERVAL_MS;
+    cluster.tick(now_ms);
+    cluster.take_events();
+    let churn_secs = start.elapsed().as_secs_f64();
+
+    // Collect per-shard stats through the admin plane, and raw counters
+    // straight from each node's registry.
+    cluster.request_stats();
+    cluster.settle();
+    let reports = cluster.take_admin_replies();
+    let mut shards = Vec::new();
+    for node in &cluster.nodes {
+        let report = reports.iter().find_map(|env| match env.body {
+            kg_wire::ClusterBody::StatsReport {
+                members, intervals, requests, encryptions, ..
+            } if env.shard == node.shard() => Some((members, intervals, requests, encryptions)),
+            _ => None,
+        });
+        let (members, intervals, requests, encryptions) =
+            report.unwrap_or((node.member_total(), 0, 0, 0));
+        shards.push(ShardLoad {
+            shard: node.shard().0,
+            members,
+            intervals,
+            requests,
+            encryptions,
+            counters: node.obs().counter_values(),
+        });
+    }
+    let snapshots: Vec<Vec<(String, u64)>> = shards.iter().map(|s| s.counters.clone()).collect();
+    let aggregated = aggregate_counter_values(snapshots.iter());
+    let router_counters = cluster.router.obs().counter_values();
+    let total_members = cluster.group_size(group) as u64;
+    let directory_len = cluster.router.directory_len();
+
+    let (shutdown_members, shutdown_wal_tail) = cluster.shutdown();
+
+    ClusterScaleResult {
+        config: config.clone(),
+        build_secs,
+        joins_per_sec: config.members as f64 / build_secs.max(1e-9),
+        churn_secs,
+        total_members,
+        directory_len,
+        shards,
+        aggregated,
+        router_counters,
+        shutdown_members,
+        shutdown_wal_tail,
+    }
+}

@@ -15,7 +15,7 @@ use kg_core::rekey::KeyCipher;
 use kg_crypto::hmac::hmac;
 use kg_crypto::md5::Md5;
 use kg_crypto::SymmetricKey;
-use kg_net::{EndpointId, SimNetwork};
+use kg_net::{EndpointId, Transport};
 use kg_wire::ControlMessage;
 use std::collections::BTreeMap;
 
@@ -91,9 +91,9 @@ impl ClientFleet {
     }
 
     /// Create the member's endpoint and send its join request.
-    pub fn send_join_request(
+    pub fn send_join_request<T: Transport>(
         &mut self,
-        net: &mut SimNetwork,
+        net: &mut T,
         server: EndpointId,
         user: UserId,
     ) -> EndpointId {
@@ -122,7 +122,12 @@ impl ClientFleet {
 
     /// Send a leave request authenticated under the member's individual
     /// key (`{leave-request}_{k_u}`).
-    pub fn send_leave_request(&mut self, net: &mut SimNetwork, server: EndpointId, user: UserId) {
+    pub fn send_leave_request<T: Transport>(
+        &mut self,
+        net: &mut T,
+        server: EndpointId,
+        user: UserId,
+    ) {
         let Some(m) = self.members.get(&user) else { return };
         let Some(ik) = m.client.individual_key() else { return };
         let auth = hmac::<Md5>(ik.material(), &user.0.to_be_bytes());
@@ -131,7 +136,7 @@ impl ClientFleet {
     }
 
     /// Drop a departed member and close its endpoint.
-    pub fn remove(&mut self, net: &mut SimNetwork, user: UserId) -> Option<Client> {
+    pub fn remove<T: Transport>(&mut self, net: &mut T, user: UserId) -> Option<Client> {
         let m = self.members.remove(&user)?;
         net.close(m.endpoint);
         Some(m.client)
@@ -139,7 +144,7 @@ impl ClientFleet {
 
     /// Drain every member's inbox, processing control acks and rekey
     /// packets. Returns the observed events.
-    pub fn pump(&mut self, net: &mut SimNetwork) -> Vec<FleetEvent> {
+    pub fn pump<T: Transport>(&mut self, net: &mut T) -> Vec<FleetEvent> {
         let mut events = Vec::new();
         for (&user, m) in self.members.iter_mut() {
             while let Some(dg) = net.recv(m.endpoint) {
@@ -195,7 +200,7 @@ impl ClientFleet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kg_net::NetConfig;
+    use kg_net::{NetConfig, SimNetwork};
     use kg_server::net::{NetServer, ServerEvent};
     use kg_server::{AccessControl, GroupKeyServer, ServerConfig};
 

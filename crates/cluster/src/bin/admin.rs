@@ -1,0 +1,250 @@
+//! `kgc-admin` — drive a running cluster from the command line.
+//!
+//! Plays both the admin plane (stats, shutdown) and a scripted client
+//! fleet (`session`), which is what the CI smoke test runs:
+//!
+//! ```text
+//! kgc-admin --router 127.0.0.1:7000 session --group 1 --users 8
+//! kgc-admin --router 127.0.0.1:7000 stats --expect 2
+//! kgc-admin --router 127.0.0.1:7000 shutdown
+//! ```
+//!
+//! `shutdown` prints the aggregated `members=… wal_tail=…` summary ack;
+//! `wal_tail=0` is the proof that every shard's final snapshot landed and
+//! a restart would replay nothing.
+
+use bytes::Bytes;
+use kg_core::ids::UserId;
+use kg_net::{EndpointId, Transport, UdpTransport};
+use kg_server::net::leave_authenticator;
+use kg_wire::{ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ROUTER_SHARD};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: kgc-admin --router ADDR [--timeout-ms MS] \
+(session --group G --users N [--batch-ms MS] | stats --expect N | shutdown)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("kgc-admin: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Everything the admin endpoint can receive back from the router.
+enum Inbound {
+    Grant(GroupId, UserId, Vec<u8>),
+    JoinAck(UserId, bool),
+    LeaveAck(UserId, bool),
+    Stats(u16, [u64; 5]),
+    ShutdownSummary(u64, u64),
+    Rekey,
+}
+
+struct Admin {
+    net: UdpTransport,
+    endpoint: EndpointId,
+    router: EndpointId,
+}
+
+impl Admin {
+    fn send_env(&mut self, group: GroupId, body: ClusterBody) {
+        let env = ClusterEnvelope { shard: ROUTER_SHARD, group, body };
+        self.net.send_unicast(self.endpoint, self.router, Bytes::from(env.encode()));
+    }
+
+    /// Poll until one inbound message arrives or `deadline` passes.
+    fn recv(&mut self, deadline: Instant) -> Option<Inbound> {
+        loop {
+            self.net.poll_io();
+            if let Some(dg) = self.net.recv(self.endpoint) {
+                if ClusterEnvelope::sniff(&dg.payload) {
+                    let Ok(env) = ClusterEnvelope::decode(&dg.payload) else { continue };
+                    match env.body {
+                        ClusterBody::Grant { user, key, .. } => {
+                            return Some(Inbound::Grant(env.group, user, key));
+                        }
+                        ClusterBody::ShutdownAck { members, wal_tail }
+                            if env.shard == ROUTER_SHARD =>
+                        {
+                            return Some(Inbound::ShutdownSummary(members, wal_tail));
+                        }
+                        ClusterBody::StatsReport {
+                            members,
+                            intervals,
+                            requests,
+                            encryptions,
+                            pending,
+                        } => {
+                            return Some(Inbound::Stats(
+                                env.shard.0,
+                                [members, intervals, requests, encryptions, pending],
+                            ));
+                        }
+                        _ => continue,
+                    }
+                }
+                return Some(match ControlMessage::decode(&dg.payload) {
+                    Ok(ControlMessage::JoinGranted { user, .. }) => Inbound::JoinAck(user, true),
+                    Ok(ControlMessage::JoinDenied { user }) => Inbound::JoinAck(user, false),
+                    Ok(ControlMessage::LeaveGranted { user }) => Inbound::LeaveAck(user, true),
+                    Ok(ControlMessage::LeaveDenied { user }) => Inbound::LeaveAck(user, false),
+                    // Anything else on this port is rekey traffic.
+                    _ => Inbound::Rekey,
+                });
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn session(admin: &mut Admin, group: GroupId, users: u64, timeout: Duration) -> i32 {
+    // Join everyone, then wait until every member holds a grant AND a
+    // join ack (batched shards deliver both only at the interval flush).
+    for u in 1..=users {
+        admin
+            .send_env(group, ClusterBody::Control(ControlMessage::JoinRequest { user: UserId(u) }));
+    }
+    let mut keys: BTreeMap<UserId, Vec<u8>> = BTreeMap::new();
+    let mut join_acks = 0u64;
+    let mut rekeys = 0u64;
+    let deadline = Instant::now() + timeout;
+    while (keys.len() as u64) < users || join_acks < users {
+        match admin.recv(deadline) {
+            Some(Inbound::Grant(g, user, key)) if g == group => {
+                keys.insert(user, key);
+            }
+            Some(Inbound::JoinAck(_, true)) => join_acks += 1,
+            Some(Inbound::JoinAck(user, false)) => {
+                eprintln!("kgc-admin: join denied for {user:?}");
+                return 1;
+            }
+            Some(Inbound::Rekey) => rekeys += 1,
+            Some(_) => {}
+            None => {
+                eprintln!("kgc-admin: timed out joining; {} grants, {join_acks} acks", keys.len());
+                return 1;
+            }
+        }
+    }
+    println!("joined {users} members ({rekeys} rekey packets so far)");
+
+    for (&user, key) in &keys {
+        let auth = leave_authenticator(user, key);
+        admin.send_env(group, ClusterBody::Control(ControlMessage::LeaveRequest { user, auth }));
+    }
+    let mut leave_acks = 0u64;
+    let deadline = Instant::now() + timeout;
+    while leave_acks < users {
+        match admin.recv(deadline) {
+            Some(Inbound::LeaveAck(_, true)) => leave_acks += 1,
+            Some(Inbound::LeaveAck(user, false)) => {
+                eprintln!("kgc-admin: leave denied for {user:?}");
+                return 1;
+            }
+            Some(Inbound::Rekey) => rekeys += 1,
+            Some(_) => {}
+            None => {
+                eprintln!("kgc-admin: timed out leaving; {leave_acks}/{users} acks");
+                return 1;
+            }
+        }
+    }
+    println!("left {users} members; session saw {rekeys} rekey packets");
+    0
+}
+
+fn main() {
+    let mut router: Option<String> = None;
+    let mut timeout = Duration::from_millis(30_000);
+    let mut command: Option<String> = None;
+    let mut group = 1u32;
+    let mut users = 8u64;
+    let mut expect = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--router" => router = Some(value("--router")),
+            "--timeout-ms" => {
+                timeout = Duration::from_millis(
+                    value("--timeout-ms").parse().unwrap_or_else(|_| fail("bad --timeout-ms")),
+                )
+            }
+            "--group" => group = value("--group").parse().unwrap_or_else(|_| fail("bad --group")),
+            "--users" => users = value("--users").parse().unwrap_or_else(|_| fail("bad --users")),
+            "--expect" => {
+                expect = value("--expect").parse().unwrap_or_else(|_| fail("bad --expect"))
+            }
+            "session" | "stats" | "shutdown" => command = Some(arg),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+    }
+    let router_addr = router.unwrap_or_else(|| fail("--router is required"));
+    let command = command.unwrap_or_else(|| fail("a command is required"));
+
+    let mut net =
+        UdpTransport::bind("127.0.0.1:0", 9000).unwrap_or_else(|e| fail(&format!("bind: {e}")));
+    let router_ep = EndpointId(1);
+    net.register_peer(
+        router_ep,
+        router_addr.parse().unwrap_or_else(|_| fail(&format!("bad router address {router_addr}"))),
+    );
+    let endpoint = net.endpoint();
+    let mut admin = Admin { net, endpoint, router: router_ep };
+
+    let code = match command.as_str() {
+        "session" => session(&mut admin, GroupId(group), users, timeout),
+        "stats" => {
+            admin.send_env(GroupId(0), ClusterBody::StatsRequest);
+            let deadline = Instant::now() + timeout;
+            let mut seen = 0usize;
+            while seen < expect {
+                match admin.recv(deadline) {
+                    Some(Inbound::Stats(
+                        shard,
+                        [members, intervals, requests, encryptions, pending],
+                    )) => {
+                        println!(
+                            "shard {shard}: members={members} intervals={intervals} \
+requests={requests} encryptions={encryptions} pending={pending}"
+                        );
+                        seen += 1;
+                    }
+                    Some(_) => {}
+                    None => {
+                        eprintln!("kgc-admin: timed out; {seen}/{expect} stats reports");
+                        break;
+                    }
+                }
+            }
+            i32::from(seen < expect)
+        }
+        "shutdown" => {
+            admin.send_env(GroupId(0), ClusterBody::Shutdown);
+            let deadline = Instant::now() + timeout;
+            loop {
+                match admin.recv(deadline) {
+                    Some(Inbound::ShutdownSummary(members, wal_tail)) => {
+                        println!("cluster stopped: members={members} wal_tail={wal_tail}");
+                        break 0;
+                    }
+                    Some(_) => {}
+                    None => {
+                        eprintln!("kgc-admin: timed out waiting for the shutdown summary");
+                        break 1;
+                    }
+                }
+            }
+        }
+        _ => unreachable!("validated above"),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,127 @@
+//! `kgc-node` — one shard of a key-graph cluster, over real UDP.
+//!
+//! Binds a socket, attaches (or recovers) the shard's group slices, and
+//! serves the cluster plane until the router relays an admin shutdown.
+//!
+//! ```text
+//! kgc-node --shard 0 --bind 127.0.0.1:7100 --router 127.0.0.1:7000 \
+//!          --dir /var/lib/kgc/shard-0 --batch-ms 100
+//! ```
+//!
+//! Endpoint-id convention (shared with `kgc-router`/`kgc-admin`):
+//! router = 1, shard `n` = 1000 + n, admin/clients from 9000.
+
+use kg_cluster::{NodeConfig, NodeEvent, ShardNode};
+use kg_net::{EndpointId, Transport, UdpTransport};
+use kg_obs::{Obs, ObsConfig};
+use kg_persist::PersistConfig;
+use kg_server::{AccessControl, RekeyPolicy, ServerConfig};
+use kg_wire::ShardId;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: kgc-node --shard N --bind ADDR --router ADDR \
+[--dir PATH] [--seed N] [--degree N] [--batch-ms MS] [--max-pending N] [--quiet]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("kgc-node: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut shard: Option<u16> = None;
+    let mut bind: Option<String> = None;
+    let mut router: Option<String> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut template = ServerConfig::default();
+    let mut batch_ms: Option<u64> = None;
+    let mut max_pending: usize = 1024;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--shard" => {
+                shard = Some(value("--shard").parse().unwrap_or_else(|_| fail("bad --shard")))
+            }
+            "--bind" => bind = Some(value("--bind")),
+            "--router" => router = Some(value("--router")),
+            "--dir" => dir = Some(PathBuf::from(value("--dir"))),
+            "--seed" => {
+                template.seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed"))
+            }
+            "--degree" => {
+                template.degree = value("--degree").parse().unwrap_or_else(|_| fail("bad --degree"))
+            }
+            "--batch-ms" => {
+                batch_ms =
+                    Some(value("--batch-ms").parse().unwrap_or_else(|_| fail("bad --batch-ms")))
+            }
+            "--max-pending" => {
+                max_pending =
+                    value("--max-pending").parse().unwrap_or_else(|_| fail("bad --max-pending"))
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+    }
+    let shard = ShardId(shard.unwrap_or_else(|| fail("--shard is required")));
+    let bind = bind.unwrap_or_else(|| fail("--bind is required"));
+    let router_addr = router.unwrap_or_else(|| fail("--router is required"));
+    if let Some(interval_ms) = batch_ms {
+        template.rekey = RekeyPolicy::Batched { interval_ms, max_pending };
+    }
+
+    let mut net = UdpTransport::bind(&bind, 1000 + shard.0 as u32)
+        .unwrap_or_else(|e| fail(&format!("bind {bind}: {e}")));
+    let router_ep = EndpointId(1);
+    let router_sock =
+        router_addr.parse().unwrap_or_else(|_| fail(&format!("bad router address {router_addr}")));
+    net.register_peer(router_ep, router_sock);
+
+    let endpoint = net.endpoint(); // 1000 + shard, per the id convention
+    let config = NodeConfig {
+        shard,
+        template,
+        acl: AccessControl::AllowAll,
+        persist_root: dir,
+        persist: PersistConfig::default(),
+    };
+    // `resume` with an empty or absent root is a fresh start; with
+    // existing slice directories it is crash recovery.
+    let mut node = ShardNode::resume(config, endpoint, router_ep, Obs::new(ObsConfig::default()))
+        .unwrap_or_else(|e| fail(&format!("recovery failed: {e}")));
+    if !quiet {
+        eprintln!(
+            "kgc-node: shard {} serving on {} (endpoint {}), {} slice(s) recovered",
+            shard.0,
+            net.local_addr().map(|a| a.to_string()).unwrap_or_default(),
+            endpoint.0,
+            node.slices().count(),
+        );
+    }
+
+    while node.is_running() {
+        net.poll_io();
+        let now_ms = net.now_us() / 1000;
+        for event in node.tick(&mut net, now_ms) {
+            match event {
+                NodeEvent::ShutdownComplete { members, wal_tail } if !quiet => {
+                    eprintln!(
+                        "kgc-node: shard {} shut down; members={members} wal_tail={wal_tail}",
+                        shard.0
+                    );
+                }
+                e if !quiet => eprintln!("kgc-node: {e:?}"),
+                _ => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,69 @@
+//! # kg-cluster: sharded multi-server key-graph deployment
+//!
+//! Wong/Gouda/Lam's key-graph server (§3–5 of the paper) scales in tree
+//! height, but a single process still bounds group count and total
+//! membership. This crate spreads the load over N **shard nodes** behind
+//! one **router**:
+//!
+//! * [`ShardMap`] — pure-hash assignment of groups to shards. Oversized
+//!   groups can be *spanned*: their membership splits over consecutive
+//!   shards, each holding an independent key tree for its slice (the
+//!   Iolus-style decomposition the paper's §6 compares against, with the
+//!   router standing in for the GSA hierarchy).
+//! * [`ShardNode`] — hosts one [`kg_server::GroupKeyServer`] per assigned
+//!   group slice, each with its own WAL/snapshot directory and a shared
+//!   per-shard [`kg_obs::Obs`] registry.
+//! * [`Router`] — the client-facing relay: forwards join/leave requests to
+//!   the owning shard, relays grants/acks back, fans rekey bundles out to
+//!   slice multicast groups or unicast target sets, and aggregates the
+//!   admin plane (refresh, stats, coordinated shutdown).
+//! * [`SimCluster`] — the whole deployment in one process on the
+//!   deterministic [`kg_net::SimNetwork`], for tests and benchmarks.
+//!
+//! The `kgc-node`, `kgc-router`, and `kgc-admin` binaries run the same
+//! components over real UDP sockets ([`kg_net::UdpTransport`]); everything
+//! in between is generic over [`kg_net::Transport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod node;
+pub mod router;
+pub mod sim;
+
+pub use map::{group_seed, mix64, ShardMap};
+pub use node::{NodeConfig, NodeEvent, ShardNode, REKEY_USERS_CHUNK};
+pub use router::{Router, RouterEvent};
+pub use sim::{GrantInfo, MemberTraffic, SimCluster};
+
+/// Sum per-shard counter snapshots (as produced by
+/// [`kg_obs::Obs::counter_values`]) into one aggregated view, keyed by
+/// rendered counter name.
+pub fn aggregate_counter_values<'a, I>(snapshots: I) -> Vec<(String, u64)>
+where
+    I: IntoIterator<Item = &'a Vec<(String, u64)>>,
+{
+    let mut sums = std::collections::BTreeMap::new();
+    for snap in snapshots {
+        for (name, value) in snap {
+            *sums.entry(name.clone()).or_insert(0u64) += value;
+        }
+    }
+    sums.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_sums_by_name() {
+        let a = vec![("x".to_string(), 1), ("y".to_string(), 2)];
+        let b = vec![("y".to_string(), 3), ("z".to_string(), 4)];
+        assert_eq!(
+            aggregate_counter_values([&a, &b]),
+            vec![("x".to_string(), 1), ("y".to_string(), 5), ("z".to_string(), 4)]
+        );
+    }
+}

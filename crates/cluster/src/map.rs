@@ -1,0 +1,177 @@
+//! The shard map: which shard serves which slice of which group.
+//!
+//! Assignment is pure hashing — every node, the router, and the admin tool
+//! compute the same map from the same `(shard count, span table)` inputs,
+//! so there is no assignment state to replicate or recover. Each group has
+//! a **home shard** (`splitmix64(group) mod shards`). A group expected to
+//! outgrow one server can be declared **spanned**: its membership is
+//! spread over `span` consecutive shards starting at the home, each shard
+//! holding an independent key tree for its slice — the Iolus-style
+//! decomposition of §6, with the router standing in for the GSA hierarchy
+//! (members only ever hold keys of their own slice's tree).
+
+use kg_wire::{GroupId, ShardId};
+
+/// The `splitmix64` finalizer: a cheap, well-mixed 64-bit permutation.
+/// Used for both group homing and member-to-slice assignment so the map
+/// stays balanced even for adversarially consecutive ids.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The per-group DRBG seed a shard derives for its slice of `group`.
+/// Mixing the shard id in keeps sibling slices' key streams disjoint;
+/// mixing the group id in keeps co-hosted groups' streams disjoint. The
+/// derivation is deterministic so recovery (and the equivalence tests)
+/// can reconstruct it from `(base, shard, group)` alone.
+pub fn group_seed(base: u64, shard: ShardId, group: GroupId) -> u64 {
+    base ^ mix64(((shard.0 as u64) << 32) | group.0 as u64)
+}
+
+/// Deterministic assignment of groups (and their members) to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u16,
+    /// Groups spread over more than one shard: `(group, span)`. Kept
+    /// sorted; lookups are over a handful of entries.
+    spans: Vec<(GroupId, u16)>,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (at least one) with no spanned groups.
+    pub fn new(shards: u16) -> Self {
+        assert!(shards >= 1, "a cluster has at least one shard");
+        ShardMap { shards, spans: Vec::new() }
+    }
+
+    /// Declare `group` spanned over `span` shards (clamped to the cluster
+    /// size; values ≤ 1 remove the entry).
+    pub fn with_span(mut self, group: GroupId, span: u16) -> Self {
+        let span = span.min(self.shards);
+        self.spans.retain(|(g, _)| *g != group);
+        if span > 1 {
+            let at = self.spans.partition_point(|(g, _)| *g < group);
+            self.spans.insert(at, (group, span));
+        }
+        self
+    }
+
+    /// Number of shards in the cluster.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// Every shard id, in order.
+    pub fn all_shards(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.shards).map(ShardId)
+    }
+
+    /// The home shard of `group`.
+    pub fn home(&self, group: GroupId) -> ShardId {
+        ShardId((mix64(group.0 as u64) % self.shards as u64) as u16)
+    }
+
+    /// How many shards `group` spans (1 unless declared otherwise).
+    pub fn span(&self, group: GroupId) -> u16 {
+        self.spans.binary_search_by_key(&group, |(g, _)| *g).map(|i| self.spans[i].1).unwrap_or(1)
+    }
+
+    /// The shards hosting a slice of `group`: `span` consecutive shards
+    /// starting at the home, wrapping around the cluster.
+    pub fn shards_of(&self, group: GroupId) -> Vec<ShardId> {
+        let home = self.home(group).0 as u32;
+        let shards = self.shards as u32;
+        (0..self.span(group) as u32).map(|i| ShardId(((home + i) % shards) as u16)).collect()
+    }
+
+    /// The shard owning `user`'s slice of `group`. For unspanned groups
+    /// this is the home shard; for spanned groups the member hashes to
+    /// one of the span's slices, permanently (routing must be stable
+    /// across the member's whole join/leave lifetime).
+    pub fn owner(&self, group: GroupId, user: kg_core::ids::UserId) -> ShardId {
+        let span = self.span(group) as u64;
+        let offset = if span > 1 { mix64(user.0) % span } else { 0 };
+        let home = self.home(group).0 as u64;
+        ShardId(((home + offset) % self.shards as u64) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::ids::UserId;
+
+    #[test]
+    fn homes_are_deterministic_and_in_range() {
+        let m = ShardMap::new(4);
+        for g in 0..200u32 {
+            let h = m.home(GroupId(g));
+            assert!(h.0 < 4);
+            assert_eq!(h, ShardMap::new(4).home(GroupId(g)));
+        }
+    }
+
+    #[test]
+    fn homes_are_roughly_balanced() {
+        let m = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for g in 0..4000u32 {
+            counts[m.home(GroupId(g)).0 as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed homes: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn unspanned_owner_is_home() {
+        let m = ShardMap::new(5);
+        let g = GroupId(7);
+        for u in 0..50u64 {
+            assert_eq!(m.owner(g, UserId(u)), m.home(g));
+        }
+        assert_eq!(m.shards_of(g), vec![m.home(g)]);
+        assert_eq!(m.span(g), 1);
+    }
+
+    #[test]
+    fn spanned_group_spreads_members_over_its_slices() {
+        let m = ShardMap::new(4).with_span(GroupId(1), 3);
+        let slices = m.shards_of(GroupId(1));
+        assert_eq!(slices.len(), 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for u in 0..300u64 {
+            let o = m.owner(GroupId(1), UserId(u));
+            assert!(slices.contains(&o));
+            seen.insert(o);
+        }
+        assert_eq!(seen.len(), 3, "all slices used");
+        // Other groups are untouched by the span declaration.
+        assert_eq!(m.span(GroupId(2)), 1);
+    }
+
+    #[test]
+    fn span_wraps_and_clamps() {
+        let m = ShardMap::new(3).with_span(GroupId(9), 100);
+        let slices = m.shards_of(GroupId(9));
+        assert_eq!(slices.len(), 3, "span clamped to cluster size");
+        let all: std::collections::BTreeSet<ShardId> = slices.into_iter().collect();
+        assert_eq!(all.len(), 3, "wrap-around produces distinct shards");
+        // Re-declaring with span 1 removes the entry.
+        let m = m.with_span(GroupId(9), 1);
+        assert_eq!(m.span(GroupId(9)), 1);
+    }
+
+    #[test]
+    fn group_seeds_are_pairwise_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in 0..4u16 {
+            for g in 0..8u32 {
+                assert!(seen.insert(group_seed(42, ShardId(s), GroupId(g))));
+            }
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! A shard node: one process hosting the key-server slices assigned to
+//! one [`ShardId`].
+//!
+//! The node speaks only the cluster plane ([`ClusterEnvelope`]) with the
+//! router — it never sees client endpoints. Each group slice is a full
+//! [`GroupKeyServer`] (own key tree, DRBG streams, batch scheduler, and —
+//! when a persistence root is configured — own WAL/snapshot directory
+//! under `<root>/group-<id>`), so everything the single-server layers
+//! guarantee (durable recovery, deterministic rekeying, batch signing)
+//! holds per slice without modification. Rekey packets leave the node as
+//! opaque payloads inside [`ClusterBody::RekeyGroup`] /
+//! [`ClusterBody::RekeyUsers`]; the router resolves them to member
+//! endpoints, so the node needs no membership directory at all.
+
+use crate::map::group_seed;
+use bytes::Bytes;
+use kg_core::ids::UserId;
+use kg_core::rekey::Recipients;
+use kg_crypto::hmac::{hmac, verify_mac};
+use kg_crypto::md5::Md5;
+use kg_net::{EndpointId, Transport};
+use kg_obs::Obs;
+use kg_persist::PersistConfig;
+use kg_server::{AccessControl, GroupKeyServer, RecoverError, RequestError, ServerConfig};
+use kg_wire::{ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ShardId};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Most users listed in one [`ClusterBody::RekeyUsers`] envelope. Bounded
+/// both by the wire codec's count limit (65 536) and the UDP frame budget;
+/// 4 096 ids is 32 KiB of header, leaving room for the packet payload.
+pub const REKEY_USERS_CHUNK: usize = 4096;
+
+/// Configuration for one shard node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Which shard this node serves.
+    pub shard: ShardId,
+    /// Template server configuration for every group slice. The slice's
+    /// actual seed is derived via [`group_seed`], so co-hosted groups and
+    /// sibling slices never share a key stream.
+    pub template: ServerConfig,
+    /// Access control, applied identically by every slice.
+    pub acl: AccessControl,
+    /// Durability root; each group slice persists under
+    /// `<root>/group-<id>`. `None` runs in-memory.
+    pub persist_root: Option<PathBuf>,
+    /// WAL/snapshot thresholds for persistent slices.
+    pub persist: PersistConfig,
+}
+
+impl NodeConfig {
+    /// An in-memory node for `shard` from a template config.
+    pub fn in_memory(shard: ShardId, template: ServerConfig, acl: AccessControl) -> Self {
+        NodeConfig { shard, template, acl, persist_root: None, persist: PersistConfig::default() }
+    }
+
+    /// The server config a slice of `group` runs with.
+    fn slice_config(&self, group: GroupId) -> ServerConfig {
+        ServerConfig {
+            seed: group_seed(self.template.seed, self.shard, group),
+            ..self.template.clone()
+        }
+    }
+
+    fn slice_dir(&self, group: GroupId) -> Option<PathBuf> {
+        self.persist_root.as_ref().map(|r| r.join(format!("group-{}", group.0)))
+    }
+}
+
+/// Events surfaced to the node's driver (the binaries' main loop, the
+/// in-process harness, tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// A member joined `group`'s slice (immediate mode or interval flush).
+    Joined(GroupId, UserId),
+    /// A member left `group`'s slice.
+    Left(GroupId, UserId),
+    /// A request was rejected; the deny ack went back via the router.
+    Rejected(GroupId, UserId, RequestError),
+    /// Batched mode: the request is queued for the next interval.
+    Queued(GroupId, UserId),
+    /// Batched mode: an interval flushed.
+    Flushed {
+        /// The group whose slice flushed.
+        group: GroupId,
+        /// Interval sequence number.
+        interval: u64,
+        /// Members admitted.
+        joined: usize,
+        /// Members removed.
+        left: usize,
+    },
+    /// The group key of `group`'s slice was rotated on admin request.
+    Refreshed(GroupId),
+    /// An inbound datagram was not a valid envelope and was dropped.
+    BadDatagram(EndpointId),
+    /// A flush or refresh failed (WAL append error); the node keeps
+    /// running and the driver decides.
+    Failed(GroupId, RequestError),
+    /// The node acknowledged an admin shutdown; the driver should exit
+    /// its loop once this appears.
+    ShutdownComplete {
+        /// Members across all slices at shutdown.
+        members: u64,
+        /// WAL records a restart would replay, summed over slices — 0
+        /// proves every final snapshot landed.
+        wal_tail: u64,
+    },
+}
+
+/// One shard's key servers behind a cluster-plane endpoint.
+pub struct ShardNode {
+    config: NodeConfig,
+    endpoint: EndpointId,
+    router: EndpointId,
+    groups: BTreeMap<GroupId, GroupKeyServer>,
+    obs: Obs,
+    running: bool,
+    /// Control requests processed (joins + leaves + refreshes), for the
+    /// admin stats report.
+    requests: u64,
+    /// Intervals flushed, for the admin stats report.
+    intervals: u64,
+}
+
+impl ShardNode {
+    /// Attach a fresh node to the transport. `router` is the cluster-plane
+    /// peer every outbound envelope goes to.
+    pub fn new<T: Transport>(
+        config: NodeConfig,
+        net: &mut T,
+        router: EndpointId,
+        obs: Obs,
+    ) -> Self {
+        let endpoint = net.endpoint();
+        ShardNode {
+            config,
+            endpoint,
+            router,
+            groups: BTreeMap::new(),
+            obs,
+            running: true,
+            requests: 0,
+            intervals: 0,
+        }
+    }
+
+    /// Rebuild a node after a crash: every `group-<id>` directory under
+    /// the persistence root is recovered through
+    /// [`GroupKeyServer::recover`] (snapshot + WAL-tail replay, digest
+    /// verified), and the node re-attaches to its existing `endpoint` —
+    /// the network identity survives the process, as with
+    /// [`resume`](kg_server::net::NetServer::resume) on the single-server
+    /// path.
+    pub fn resume(
+        config: NodeConfig,
+        endpoint: EndpointId,
+        router: EndpointId,
+        obs: Obs,
+    ) -> Result<Self, RecoverError> {
+        let mut groups = BTreeMap::new();
+        if let Some(root) = &config.persist_root {
+            if let Ok(entries) = std::fs::read_dir(root) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let Some(id) = name.to_str().and_then(|n| n.strip_prefix("group-")) else {
+                        continue;
+                    };
+                    let Ok(id) = id.parse::<u32>() else { continue };
+                    let group = GroupId(id);
+                    let server = GroupKeyServer::recover_observed(
+                        config.slice_config(group),
+                        config.acl.clone(),
+                        entry.path(),
+                        config.persist,
+                        obs.clone(),
+                    )?;
+                    groups.insert(group, server);
+                }
+            }
+        }
+        Ok(ShardNode {
+            config,
+            endpoint,
+            router,
+            groups,
+            obs,
+            running: true,
+            requests: 0,
+            intervals: 0,
+        })
+    }
+
+    /// The node's cluster-plane endpoint.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// The shard this node serves.
+    pub fn shard(&self) -> ShardId {
+        self.config.shard
+    }
+
+    /// The node's observability handle (shared by every slice).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Whether the node is still serving (false after a clean shutdown).
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// The key server for `group`'s slice, if this node hosts one.
+    pub fn group(&self, group: GroupId) -> Option<&GroupKeyServer> {
+        self.groups.get(&group)
+    }
+
+    /// Every hosted `(group, server)` slice.
+    pub fn slices(&self) -> impl Iterator<Item = (GroupId, &GroupKeyServer)> {
+        self.groups.iter().map(|(g, s)| (*g, s))
+    }
+
+    /// Members across all slices.
+    pub fn member_total(&self) -> u64 {
+        self.groups.values().map(|s| s.group_size() as u64).sum()
+    }
+
+    /// WAL records a restart would replay, summed over slices.
+    pub fn wal_tail_total(&self) -> u64 {
+        self.groups.values().map(|s| s.wal_tail().unwrap_or(0)).sum()
+    }
+
+    fn ensure_group(&mut self, group: GroupId) -> Result<&mut GroupKeyServer, RequestError> {
+        if !self.groups.contains_key(&group) {
+            let cfg = self.config.slice_config(group);
+            let mut server = match self.config.slice_dir(group) {
+                None => GroupKeyServer::new(cfg, self.config.acl.clone()),
+                Some(dir) => GroupKeyServer::with_persistence(
+                    cfg,
+                    self.config.acl.clone(),
+                    dir,
+                    self.config.persist,
+                )
+                .map_err(|e| RequestError::Persist(e.to_string()))?,
+            };
+            server.attach_obs(self.obs.clone());
+            self.groups.insert(group, server);
+        }
+        Ok(self.groups.get_mut(&group).expect("inserted above"))
+    }
+
+    fn send<T: Transport>(&self, net: &mut T, group: GroupId, body: ClusterBody) {
+        let env = ClusterEnvelope { shard: self.config.shard, group, body };
+        net.send_unicast(self.endpoint, self.router, Bytes::from(env.encode()));
+    }
+
+    /// Translate one rekey packet's recipients into relay envelopes. The
+    /// node resolves tree-structural recipients (subtrees) to explicit
+    /// user lists against its own slice; the router maps users to
+    /// endpoints.
+    fn relay_rekey<T: Transport>(
+        &self,
+        net: &mut T,
+        group: GroupId,
+        recipients: &Recipients,
+        encoded: &[u8],
+    ) {
+        let server = self.groups.get(&group).expect("relay for hosted group");
+        let users = match recipients {
+            Recipients::Group => {
+                self.send(net, group, ClusterBody::RekeyGroup { payload: encoded.to_vec() });
+                return;
+            }
+            Recipients::User(u) => vec![*u],
+            Recipients::Subgroup(label) => server.tree().userset(*label),
+            Recipients::SubgroupExcept { include, exclude } => {
+                server.tree().userset_except(*include, *exclude)
+            }
+        };
+        for chunk in users.chunks(REKEY_USERS_CHUNK) {
+            self.send(
+                net,
+                group,
+                ClusterBody::RekeyUsers { users: chunk.to_vec(), payload: encoded.to_vec() },
+            );
+        }
+    }
+
+    fn relay_grant<T: Transport>(&self, net: &mut T, group: GroupId, grant: &kg_server::JoinGrant) {
+        self.send(
+            net,
+            group,
+            ClusterBody::Control(ControlMessage::JoinGranted {
+                user: grant.user,
+                leaf_label: grant.leaf_label,
+                path_labels: grant.path_labels.clone(),
+            }),
+        );
+        self.send(
+            net,
+            group,
+            ClusterBody::Grant {
+                user: grant.user,
+                key: grant.individual_key.material().to_vec(),
+                leaf_label: grant.leaf_label,
+                path_labels: grant.path_labels.clone(),
+            },
+        );
+    }
+
+    fn dispatch_batch<T: Transport>(
+        &mut self,
+        net: &mut T,
+        group: GroupId,
+        batch: kg_server::ProcessedBatch,
+        events: &mut Vec<NodeEvent>,
+    ) {
+        self.intervals += 1;
+        // Leave acks first, so the router unsubscribes the departed from
+        // the slice multicast before any interval traffic is relayed.
+        for &user in &batch.departed {
+            self.send(net, group, ClusterBody::Control(ControlMessage::LeaveGranted { user }));
+            events.push(NodeEvent::Left(group, user));
+        }
+        for grant in &batch.grants {
+            self.relay_grant(net, group, grant);
+            events.push(NodeEvent::Joined(group, grant.user));
+        }
+        for (p, bytes) in batch.packets.iter().zip(&batch.encoded) {
+            self.relay_rekey(net, group, &p.message.recipients, bytes);
+        }
+        events.push(NodeEvent::Flushed {
+            group,
+            interval: batch.interval,
+            joined: batch.grants.len(),
+            left: batch.departed.len(),
+        });
+    }
+
+    fn handle_join<T: Transport>(
+        &mut self,
+        net: &mut T,
+        group: GroupId,
+        user: UserId,
+    ) -> NodeEvent {
+        self.requests += 1;
+        let server = match self.ensure_group(group) {
+            Ok(s) => s,
+            Err(e) => {
+                self.send(net, group, ClusterBody::Control(ControlMessage::JoinDenied { user }));
+                return NodeEvent::Rejected(group, user, e);
+            }
+        };
+        if server.is_batched() {
+            match server.enqueue_join(user) {
+                Ok(()) => NodeEvent::Queued(group, user),
+                Err(e) => {
+                    self.send(
+                        net,
+                        group,
+                        ClusterBody::Control(ControlMessage::JoinDenied { user }),
+                    );
+                    NodeEvent::Rejected(group, user, e)
+                }
+            }
+        } else {
+            match server.handle_join(user) {
+                Err(e) => {
+                    self.send(
+                        net,
+                        group,
+                        ClusterBody::Control(ControlMessage::JoinDenied { user }),
+                    );
+                    NodeEvent::Rejected(group, user, e)
+                }
+                Ok(op) => {
+                    if let Some(grant) = op.join_grant.clone() {
+                        self.relay_grant(net, group, &grant);
+                    }
+                    for (p, bytes) in op.packets.iter().zip(&op.encoded) {
+                        self.relay_rekey(net, group, &p.message.recipients, bytes);
+                    }
+                    NodeEvent::Joined(group, user)
+                }
+            }
+        }
+    }
+
+    fn handle_leave<T: Transport>(
+        &mut self,
+        net: &mut T,
+        group: GroupId,
+        user: UserId,
+        auth: &[u8],
+    ) -> NodeEvent {
+        self.requests += 1;
+        let deny = |node: &ShardNode, net: &mut T, e: RequestError| {
+            node.send(net, group, ClusterBody::Control(ControlMessage::LeaveDenied { user }));
+            NodeEvent::Rejected(group, user, e)
+        };
+        let not_member = RequestError::Tree(kg_core::tree::TreeError::NotAMember(user));
+        let Some(server) = self.groups.get_mut(&group) else {
+            return deny(self, net, not_member);
+        };
+        // Verify {leave-request}_{k_u} exactly as the single server does.
+        let authentic = server
+            .tree()
+            .keyset(user)
+            .and_then(|ks| ks.first().cloned())
+            .map(|(_, ik)| verify_mac(&hmac::<Md5>(ik.material(), &user.0.to_be_bytes()), auth))
+            .unwrap_or(false);
+        if !authentic {
+            return deny(self, net, not_member);
+        }
+        if server.is_batched() {
+            match server.enqueue_leave(user) {
+                Ok(()) => NodeEvent::Queued(group, user),
+                Err(e) => deny(self, net, e),
+            }
+        } else {
+            match server.handle_leave(user) {
+                Err(e) => deny(self, net, e),
+                Ok(op) => {
+                    self.send(
+                        net,
+                        group,
+                        ClusterBody::Control(ControlMessage::LeaveGranted { user }),
+                    );
+                    for (p, bytes) in op.packets.iter().zip(&op.encoded) {
+                        self.relay_rekey(net, group, &p.message.recipients, bytes);
+                    }
+                    NodeEvent::Left(group, user)
+                }
+            }
+        }
+    }
+
+    fn handle_refresh<T: Transport>(&mut self, net: &mut T, group: GroupId) -> NodeEvent {
+        self.requests += 1;
+        let Some(server) = self.groups.get_mut(&group) else {
+            // Nothing hosted here yet: rotating a nonexistent tree is a
+            // no-op, not an error (the admin broadcasts to the span).
+            return NodeEvent::Refreshed(group);
+        };
+        match server.refresh_group_key() {
+            Err(e) => NodeEvent::Failed(group, e),
+            Ok(op) => {
+                for (p, bytes) in op.packets.iter().zip(&op.encoded) {
+                    self.relay_rekey(net, group, &p.message.recipients, bytes);
+                }
+                NodeEvent::Refreshed(group)
+            }
+        }
+    }
+
+    fn handle_shutdown<T: Transport>(&mut self, net: &mut T, now_ms: u64) -> NodeEvent {
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        let mut events = Vec::new();
+        for group in groups {
+            match self.groups.get_mut(&group).expect("listed above").shutdown(now_ms) {
+                Ok(None) => {}
+                Ok(Some(batch)) => self.dispatch_batch(net, group, batch, &mut events),
+                Err(e) => events.push(NodeEvent::Failed(group, e)),
+            }
+        }
+        let members = self.member_total();
+        let wal_tail = self.wal_tail_total();
+        self.send(net, GroupId(0), ClusterBody::ShutdownAck { members, wal_tail });
+        self.running = false;
+        NodeEvent::ShutdownComplete { members, wal_tail }
+    }
+
+    fn stats_report(&self) -> ClusterBody {
+        let encryptions = self
+            .obs
+            .counter_values()
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("kg_encryptions_total"))
+            .map(|(_, v)| v)
+            .sum();
+        ClusterBody::StatsReport {
+            members: self.member_total(),
+            intervals: self.intervals,
+            requests: self.requests,
+            encryptions,
+            pending: self.groups.values().map(|s| s.pending_requests() as u64).sum(),
+        }
+    }
+
+    /// Drain the inbox and process every envelope. Returns events in
+    /// processing order.
+    pub fn poll<T: Transport>(&mut self, net: &mut T) -> Vec<NodeEvent> {
+        let mut events = Vec::new();
+        while let Some(dg) = net.recv(self.endpoint) {
+            let env = match ClusterEnvelope::decode(&dg.payload) {
+                Ok(env) => env,
+                Err(error) => {
+                    self.obs.event(kg_obs::ObsEvent::BadDatagram {
+                        from: dg.from.0 as u64,
+                        error: error.to_string(),
+                    });
+                    events.push(NodeEvent::BadDatagram(dg.from));
+                    continue;
+                }
+            };
+            let group = env.group;
+            match env.body {
+                ClusterBody::Control(ControlMessage::JoinRequest { user }) => {
+                    events.push(self.handle_join(net, group, user));
+                }
+                ClusterBody::Control(ControlMessage::LeaveRequest { user, auth }) => {
+                    events.push(self.handle_leave(net, group, user, &auth));
+                }
+                ClusterBody::Refresh => events.push(self.handle_refresh(net, group)),
+                ClusterBody::Shutdown => {
+                    // now_ms from the transport clock: the shard has no
+                    // driver-supplied deadline during an admin shutdown.
+                    let now_ms = net.now_us() / 1000;
+                    events.push(self.handle_shutdown(net, now_ms));
+                }
+                ClusterBody::StatsRequest => {
+                    let report = self.stats_report();
+                    self.send(net, GroupId(0), report);
+                }
+                // Server-to-client bodies echoed back are dropped, as the
+                // single server drops its own acks.
+                _ => {}
+            }
+        }
+        events
+    }
+
+    /// Drain the inbox, then flush any group slice whose interval is due.
+    pub fn tick<T: Transport>(&mut self, net: &mut T, now_ms: u64) -> Vec<NodeEvent> {
+        let mut events = self.poll(net);
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            match self.groups.get_mut(&group).expect("listed above").tick(now_ms) {
+                Ok(None) => {}
+                Ok(Some(batch)) => self.dispatch_batch(net, group, batch, &mut events),
+                Err(e) => {
+                    self.obs.event(kg_obs::ObsEvent::FlushFailed { error: e.to_string() });
+                    events.push(NodeEvent::Failed(group, e));
+                }
+            }
+        }
+        events
+    }
+}

@@ -1,0 +1,433 @@
+//! End-to-end cluster tests on the deterministic simulator.
+//!
+//! The load-bearing property: **sharding is invisible**. Any schedule of
+//! joins/leaves/refreshes/interval ticks routed through the cluster must
+//! leave every member with exactly the keyset a standalone
+//! [`GroupKeyServer`] run of the same slice sub-schedule produces — for
+//! one shard, that IS the single-server deployment. The reference is
+//! rebuilt per slice with the same [`group_seed`]-derived config the node
+//! uses, so key material (not just membership) must match byte for byte.
+
+use kg_cluster::{group_seed, ShardMap, SimCluster};
+use kg_core::ids::UserId;
+use kg_net::NetConfig;
+use kg_server::{AccessControl, GroupKeyServer, RekeyPolicy, ServerConfig};
+use kg_wire::{GroupId, ShardId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// A benign deterministic LAN: fixed latency (no jitter ⇒ no reordering),
+/// no loss — delivery order equals send order, so the cluster processes
+/// the schedule exactly as the reference does.
+fn lan() -> NetConfig {
+    NetConfig {
+        latency_min_us: 100,
+        latency_max_us: 100,
+        loss_probability: 0.0,
+        duplicate_probability: 0.0,
+        seed: 7,
+    }
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("kg-cluster-{tag}-{}-{n}", std::process::id()))
+}
+
+const INTERVAL_MS: u64 = 100;
+
+fn template(seed: u64, batched: bool) -> ServerConfig {
+    ServerConfig {
+        seed,
+        rekey: if batched {
+            RekeyPolicy::Batched { interval_ms: INTERVAL_MS, max_pending: usize::MAX }
+        } else {
+            RekeyPolicy::Immediate
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// One step of a routed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Join(GroupId, UserId),
+    Leave(GroupId, UserId),
+    Refresh(GroupId),
+    /// Advance the clock one interval and flush due batches.
+    Tick,
+}
+
+/// Standalone per-slice servers fed the same sub-schedule the shard map
+/// routes to each shard — the "no cluster" baseline.
+struct Reference {
+    map: ShardMap,
+    template: ServerConfig,
+    servers: BTreeMap<(GroupId, ShardId), GroupKeyServer>,
+}
+
+impl Reference {
+    fn new(map: ShardMap, template: ServerConfig) -> Self {
+        Reference { map, template, servers: BTreeMap::new() }
+    }
+
+    fn server(&mut self, group: GroupId, shard: ShardId) -> &mut GroupKeyServer {
+        let tpl = &self.template;
+        self.servers.entry((group, shard)).or_insert_with(|| {
+            let config = ServerConfig { seed: group_seed(tpl.seed, shard, group), ..tpl.clone() };
+            GroupKeyServer::new(config, AccessControl::AllowAll)
+        })
+    }
+
+    fn apply(&mut self, op: Op, now_ms: u64) {
+        match op {
+            Op::Join(g, u) => {
+                let shard = self.map.owner(g, u);
+                let s = self.server(g, shard);
+                if s.is_batched() {
+                    s.enqueue_join(u).expect("reference enqueue join");
+                } else {
+                    s.handle_join(u).expect("reference join");
+                }
+            }
+            Op::Leave(g, u) => {
+                let shard = self.map.owner(g, u);
+                let s = self.server(g, shard);
+                if s.is_batched() {
+                    s.enqueue_leave(u).expect("reference enqueue leave");
+                } else {
+                    s.handle_leave(u).expect("reference leave");
+                }
+            }
+            Op::Refresh(g) => {
+                // The router forwards to the span in shard order; only
+                // already-instantiated slices rotate (the node's no-op
+                // rule for unhosted groups).
+                for shard in self.map.shards_of(g) {
+                    if self.servers.contains_key(&(g, shard)) {
+                        self.server(g, shard).refresh_group_key().expect("reference refresh");
+                    }
+                }
+            }
+            Op::Tick => {
+                for s in self.servers.values_mut() {
+                    s.tick(now_ms).expect("reference tick");
+                }
+            }
+        }
+    }
+}
+
+/// Materialize a raw command stream into a valid schedule: joins use
+/// fresh users, leaves pick currently-admitted members (tracking batch
+/// admission at tick boundaries), and the schedule ends with enough
+/// ticks to flush everything.
+fn materialize(
+    raw: &[(u8, u64)],
+    groups: &[GroupId],
+    batched: bool,
+) -> (Vec<Op>, BTreeSet<(GroupId, UserId)>) {
+    let mut ops = Vec::new();
+    let mut admitted: BTreeSet<(GroupId, UserId)> = BTreeSet::new();
+    let mut pending_join: Vec<(GroupId, UserId)> = Vec::new();
+    let mut leaving: BTreeSet<(GroupId, UserId)> = BTreeSet::new();
+    let mut next_user = 1u64;
+    for &(cmd, pick) in raw {
+        let g = groups[(pick % groups.len() as u64) as usize];
+        match cmd % 10 {
+            0..=4 => {
+                let u = UserId(next_user);
+                next_user += 1;
+                ops.push(Op::Join(g, u));
+                if batched {
+                    pending_join.push((g, u));
+                } else {
+                    admitted.insert((g, u));
+                }
+            }
+            5..=7 => {
+                let eligible: Vec<_> = admitted.difference(&leaving).copied().collect();
+                if eligible.is_empty() {
+                    continue;
+                }
+                let (g, u) = eligible[(pick % eligible.len() as u64) as usize];
+                ops.push(Op::Leave(g, u));
+                if batched {
+                    leaving.insert((g, u));
+                } else {
+                    admitted.remove(&(g, u));
+                }
+            }
+            8 => ops.push(Op::Refresh(g)),
+            _ => {
+                ops.push(Op::Tick);
+                admitted.extend(pending_join.drain(..));
+                for gu in std::mem::take(&mut leaving) {
+                    admitted.remove(&gu);
+                }
+            }
+        }
+    }
+    // Flush the tail so every join has a grant to compare.
+    ops.push(Op::Tick);
+    admitted.extend(pending_join.drain(..));
+    for gu in std::mem::take(&mut leaving) {
+        admitted.remove(&gu);
+    }
+    (ops, admitted)
+}
+
+/// Drive `ops` through both the cluster and the reference, then assert
+/// every admitted member's keyset matches byte for byte.
+fn run_equivalence(
+    shards: u16,
+    span: u16,
+    batched: bool,
+    ops: &[Op],
+    admitted: &BTreeSet<(GroupId, UserId)>,
+) {
+    let spanned = GroupId(1);
+    let map = ShardMap::new(shards).with_span(spanned, span);
+    let tpl = template(42, batched);
+    let mut cluster =
+        SimCluster::new(map.clone(), tpl.clone(), AccessControl::AllowAll, lan(), None);
+    let mut reference = Reference::new(map.clone(), tpl);
+    let mut now_ms = 0u64;
+    for &op in ops {
+        match op {
+            Op::Join(g, u) => cluster.join(g, u),
+            Op::Leave(g, u) => {
+                // The cluster-side leave needs the grant; deliver it.
+                cluster.settle();
+                cluster.leave(g, u);
+            }
+            Op::Refresh(g) => cluster.refresh(g),
+            Op::Tick => {
+                now_ms += INTERVAL_MS;
+                cluster.tick(now_ms);
+            }
+        }
+        reference.apply(op, now_ms);
+    }
+    cluster.settle();
+
+    for &(g, u) in admitted {
+        let shard = map.owner(g, u);
+        let cluster_ks = cluster
+            .slice_server(g, u)
+            .unwrap_or_else(|| panic!("cluster hosts {g:?} slice for {u:?}"))
+            .tree()
+            .keyset(u);
+        let reference_ks = reference.server(g, shard).tree().keyset(u);
+        assert!(cluster_ks.is_some(), "{u:?} admitted in cluster run of {g:?}");
+        assert_eq!(cluster_ks, reference_ks, "keyset mismatch for {u:?} in {g:?}");
+        assert!(cluster.grant(g, u).is_some(), "{u:?} holds a grant");
+    }
+    // Membership matches slice by slice, not just for sampled users.
+    for g in [GroupId(1), GroupId(2)] {
+        for shard in map.shards_of(g) {
+            let want = reference.servers.get(&(g, shard)).map_or(0, |s| s.group_size());
+            let got = cluster
+                .nodes
+                .iter()
+                .find(|n| n.shard() == shard)
+                .and_then(|n| n.group(g))
+                .map_or(0, |s| s.group_size());
+            assert_eq!(got, want, "slice size mismatch for {g:?} on {shard:?}");
+        }
+    }
+}
+
+#[test]
+fn smoke_immediate_mode_session() {
+    let g = GroupId(2);
+    let map = ShardMap::new(2);
+    let mut cluster =
+        SimCluster::new(map, template(1, false), AccessControl::AllowAll, lan(), None);
+    for u in 1..=6 {
+        cluster.join(g, UserId(u));
+    }
+    cluster.settle();
+    assert_eq!(cluster.group_size(g), 6);
+    for u in 1..=6 {
+        assert!(cluster.grant(g, UserId(u)).is_some(), "user {u} granted");
+        let t = cluster.traffic(g, UserId(u));
+        assert!(t.acks >= 1, "user {u} acked");
+    }
+    // Later joiners' rekey traffic reaches earlier members via the slice
+    // multicast / unicast sets.
+    assert!(cluster.traffic(g, UserId(1)).rekeys > 0, "member 1 saw rekeys");
+    cluster.leave(g, UserId(3));
+    cluster.settle();
+    assert_eq!(cluster.group_size(g), 5);
+    cluster.refresh(g);
+    cluster.settle();
+    assert_eq!(cluster.group_size(g), 5);
+    let (_, router_events) = cluster.take_events();
+    assert!(!router_events.is_empty());
+}
+
+#[test]
+fn unauthenticated_leave_is_denied() {
+    let g = GroupId(2);
+    let mut cluster =
+        SimCluster::new(ShardMap::new(2), template(1, false), AccessControl::AllowAll, lan(), None);
+    cluster.join(g, UserId(1));
+    cluster.settle();
+    // Forge a leave with the wrong key: the shard must refuse it.
+    let bogus = kg_server::net::leave_authenticator(UserId(1), b"not-the-individual-key");
+    let ep = cluster.client_endpoint(g, UserId(1));
+    let env = kg_wire::ClusterEnvelope {
+        shard: kg_wire::ROUTER_SHARD,
+        group: g,
+        body: kg_wire::ClusterBody::Control(kg_wire::ControlMessage::LeaveRequest {
+            user: UserId(1),
+            auth: bogus,
+        }),
+    };
+    let router = cluster.router.endpoint();
+    cluster.net.send_unicast(ep, router, bytes::Bytes::from(env.encode()));
+    cluster.settle();
+    assert_eq!(cluster.group_size(g), 1, "member still admitted");
+}
+
+#[test]
+fn equivalence_fixed_batched_spanned() {
+    // A deterministic schedule covering the interesting transitions:
+    // spanned group, batched intervals, leaves and refreshes interleaved.
+    let groups = [GroupId(1), GroupId(2)];
+    let raw: Vec<(u8, u64)> = (0..60u64).map(|i| ((i % 10) as u8, i * 7 + 3)).collect();
+    let (ops, admitted) = materialize(&raw, &groups, true);
+    run_equivalence(4, 3, true, &ops, &admitted);
+}
+
+#[test]
+fn equivalence_single_shard_is_single_server() {
+    // shards = 1: the cluster degenerates to the literal single-server
+    // deployment, routed through the relay.
+    let groups = [GroupId(1), GroupId(2)];
+    let raw: Vec<(u8, u64)> = (0..40u64).map(|i| ((i % 9) as u8, i * 13 + 1)).collect();
+    let (ops, admitted) = materialize(&raw, &groups, false);
+    run_equivalence(1, 1, false, &ops, &admitted);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any schedule, any shard count (1..=4), spanned or not, immediate
+    /// or batched: cluster keysets equal single-server keysets.
+    #[test]
+    fn cluster_routes_any_schedule_like_a_single_server(
+        raw in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..50),
+        shards in 1..=4u16,
+        span in 1..=4u16,
+        batched in any::<bool>(),
+    ) {
+        let groups = [GroupId(1), GroupId(2)];
+        let (ops, admitted) = materialize(&raw, &groups, batched);
+        run_equivalence(shards, span.min(shards), batched, &ops, &admitted);
+    }
+}
+
+#[test]
+fn shard_crash_mid_interval_recovers_and_converges() {
+    let g = GroupId(1);
+    let root = unique_dir("crash");
+    let map = ShardMap::new(2).with_span(g, 2);
+    let tpl = template(9, true);
+    let mut cluster =
+        SimCluster::new(map.clone(), tpl.clone(), AccessControl::AllowAll, lan(), Some(&root));
+    let mut reference = Reference::new(map.clone(), tpl);
+    let mut now_ms = 0;
+
+    // Interval 1: admit a base population.
+    for u in 1..=8 {
+        cluster.join(g, UserId(u));
+        reference.apply(Op::Join(g, UserId(u)), now_ms);
+    }
+    now_ms += INTERVAL_MS;
+    cluster.tick(now_ms);
+    reference.apply(Op::Tick, now_ms);
+
+    // Mid-interval 2: more churn lands in the shards' queues (WAL-logged
+    // as enqueues) but is NOT yet flushed...
+    for u in 9..=12 {
+        cluster.join(g, UserId(u));
+        reference.apply(Op::Join(g, UserId(u)), now_ms);
+    }
+    cluster.settle();
+    cluster.leave(g, UserId(2));
+    reference.apply(Op::Leave(g, UserId(2)), now_ms);
+    cluster.settle();
+
+    // ...then one shard dies and comes back from WAL + snapshot, with
+    // its pending queue intact.
+    let victim = map.home(g);
+    cluster.crash_node(victim);
+    cluster.recover_node(victim).expect("node recovers from its slice directories");
+
+    // Interval 2 flushes after recovery; then one more interval of churn.
+    now_ms += INTERVAL_MS;
+    cluster.tick(now_ms);
+    reference.apply(Op::Tick, now_ms);
+    for u in 13..=16 {
+        cluster.join(g, UserId(u));
+        reference.apply(Op::Join(g, UserId(u)), now_ms);
+    }
+    cluster.settle();
+    cluster.leave(g, UserId(5));
+    reference.apply(Op::Leave(g, UserId(5)), now_ms);
+    now_ms += INTERVAL_MS;
+    cluster.tick(now_ms);
+    reference.apply(Op::Tick, now_ms);
+
+    let admitted: BTreeSet<UserId> =
+        (1..=16).map(UserId).filter(|u| ![UserId(2), UserId(5)].contains(u)).collect();
+    assert_eq!(cluster.group_size(g), admitted.len());
+    for &u in &admitted {
+        let shard = map.owner(g, u);
+        let cluster_ks = cluster.slice_server(g, u).expect("hosted").tree().keyset(u);
+        let reference_ks = reference.server(g, shard).tree().keyset(u);
+        assert!(cluster_ks.is_some(), "{u:?} admitted after crash");
+        assert_eq!(cluster_ks, reference_ks, "crash+recover diverged for {u:?}");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn clean_shutdown_leaves_zero_wal_tail() {
+    let g = GroupId(1);
+    let root = unique_dir("shutdown");
+    let map = ShardMap::new(3).with_span(g, 3);
+    let mut cluster = SimCluster::new(
+        map.clone(),
+        template(5, true),
+        AccessControl::AllowAll,
+        lan(),
+        Some(&root),
+    );
+    for u in 1..=20 {
+        cluster.join(g, UserId(u));
+    }
+    cluster.settle();
+    // Shutdown arrives MID-INTERVAL: the queues still hold all 20 joins.
+    // The admin handshake must flush them, snapshot, and leave nothing
+    // for a restart to replay.
+    let (members, wal_tail) = cluster.shutdown();
+    assert_eq!(members, 20, "final flush ran before the ack");
+    assert_eq!(wal_tail, 0, "final snapshots cover the whole WAL");
+
+    // A restart replays nothing and sees the full membership.
+    for shard in map.all_shards() {
+        cluster.net.restart(cluster.nodes[shard.0 as usize].endpoint());
+        cluster.recover_node(shard).expect("clean restart");
+    }
+    assert_eq!(cluster.group_size(g), 20);
+    for node in &cluster.nodes {
+        assert_eq!(node.wal_tail_total(), 0, "nothing replayed on {:?}", node.shard());
+    }
+    std::fs::remove_dir_all(&root).ok();
+}

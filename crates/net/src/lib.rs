@@ -17,6 +17,12 @@
 //!   tests can turn losses on while the protocols above stay oblivious.
 //! * Per-endpoint traffic counters — the raw material for the paper's
 //!   Tables 5 and 6.
+//! * [`transport::Transport`] — the datagram service extracted as a trait,
+//!   so the layers above (mailbox, `NetServer`, the cluster router) run
+//!   unchanged over the simulator or a real network.
+//! * [`udp::UdpTransport`] — the real thing: one non-blocking
+//!   `std::net::UdpSocket` per process with a versioned frame header,
+//!   used by the `kg-cluster` node/router/admin binaries.
 //!
 //! The design is event-driven and single-threaded (in the spirit of
 //! smoltcp): time advances only through [`sim::SimNetwork::advance`], and
@@ -41,6 +47,10 @@
 
 pub mod reliable;
 pub mod sim;
+pub mod transport;
+pub mod udp;
 
 pub use reliable::{FrameError, ReliableMailbox};
-pub use sim::{Datagram, EndpointId, MulticastAddr, NetConfig, SimNetwork};
+pub use sim::{Datagram, Destination, EndpointId, MulticastAddr, NetConfig, SimNetwork};
+pub use transport::Transport;
+pub use udp::{UdpFrameError, UdpTransport, MAX_UDP_PAYLOAD, UDP_WIRE_VERSION};

@@ -14,6 +14,7 @@
 //! with unicast retransmission to the members that missed the datagram.
 
 use crate::sim::{EndpointId, SimNetwork};
+use crate::transport::Transport;
 use bytes::{BufMut, Bytes};
 use kg_obs::{Obs, ObsEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -115,7 +116,12 @@ impl ReliableMailbox {
 
     /// Reliably send `payload` to every endpoint in `targets`. Returns the
     /// message's sequence number.
-    pub fn send(&mut self, net: &mut SimNetwork, targets: &[EndpointId], payload: Bytes) -> u64 {
+    pub fn send<T: Transport>(
+        &mut self,
+        net: &mut T,
+        targets: &[EndpointId],
+        payload: Bytes,
+    ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         let frame = encode_data(seq, &payload);
@@ -130,8 +136,10 @@ impl ReliableMailbox {
         seq
     }
 
-    /// Process inbound frames and timeouts. Call after [`SimNetwork::advance`].
-    pub fn poll(&mut self, net: &mut SimNetwork) {
+    /// Process inbound frames and timeouts. Call after
+    /// [`SimNetwork::advance`] (or [`Transport::poll_io`] on a real
+    /// transport).
+    pub fn poll<T: Transport>(&mut self, net: &mut T) {
         // Inbound.
         while let Some(dg) = net.recv(self.ep) {
             let (tag, seq, body) = match decode(&dg.payload) {

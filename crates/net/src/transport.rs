@@ -1,0 +1,154 @@
+//! The pluggable datagram transport abstraction.
+//!
+//! Everything above the datagram layer — [`ReliableMailbox`], `NetServer`,
+//! the client fleet, the cluster router — was written against
+//! [`SimNetwork`]'s inherent API. This trait extracts that API so the same
+//! protocol code runs over the deterministic simulator in tests and over a
+//! real [`UdpTransport`] in the multi-process cluster deployment.
+//!
+//! The contract mirrors what the paper's prototype assumed of its testbed:
+//! unreliable unicast/multicast datagram delivery with explicit endpoint
+//! and group addressing. Reliability stays a layer above (the mailbox);
+//! simulation-only affordances (virtual-clock `advance`, fault injection,
+//! per-endpoint traffic stats) stay inherent on [`SimNetwork`] and are
+//! deliberately *not* part of the trait.
+//!
+//! [`ReliableMailbox`]: crate::reliable::ReliableMailbox
+//! [`SimNetwork`]: crate::sim::SimNetwork
+//! [`UdpTransport`]: crate::udp::UdpTransport
+
+use crate::sim::{Datagram, EndpointId, MulticastAddr};
+use bytes::Bytes;
+
+/// An unreliable datagram service with unicast and multicast addressing.
+///
+/// Implementations must deliver (or drop) datagrams without panicking and
+/// must treat [`send_multicast`](Transport::send_multicast) as one logical
+/// send regardless of fan-out, matching how the paper counts rekey
+/// messages.
+pub trait Transport {
+    /// Allocate a new endpoint ("socket") on this transport.
+    fn endpoint(&mut self) -> EndpointId;
+
+    /// Remove an endpoint; undelivered traffic to it is dropped.
+    fn close(&mut self, ep: EndpointId);
+
+    /// Allocate a multicast group address.
+    fn multicast_group(&mut self) -> MulticastAddr;
+
+    /// Subscribe `ep` to `group`.
+    fn join_group(&mut self, group: MulticastAddr, ep: EndpointId);
+
+    /// Unsubscribe `ep` from `group`.
+    fn leave_group(&mut self, group: MulticastAddr, ep: EndpointId);
+
+    /// Send a unicast datagram.
+    fn send_unicast(&mut self, from: EndpointId, to: EndpointId, payload: Bytes);
+
+    /// Send to every member of a multicast group.
+    fn send_multicast(&mut self, from: EndpointId, group: MulticastAddr, payload: Bytes);
+
+    /// Deliver a payload to an explicit set of endpoints as one logical
+    /// message (the "subgroup multicast via unicast" fallback of §7).
+    fn send_to_set(&mut self, from: EndpointId, targets: &[EndpointId], payload: Bytes);
+
+    /// Pop the next datagram from `ep`'s inbox.
+    fn recv(&mut self, ep: EndpointId) -> Option<Datagram>;
+
+    /// Current transport time in microseconds (virtual for the simulator,
+    /// monotonic wall-clock for real transports).
+    fn now_us(&self) -> u64;
+
+    /// Pump underlying I/O: drain OS sockets into per-endpoint inboxes.
+    /// A no-op for the simulator, where [`SimNetwork::advance`] plays this
+    /// role.
+    ///
+    /// [`SimNetwork::advance`]: crate::sim::SimNetwork::advance
+    fn poll_io(&mut self) {}
+}
+
+impl Transport for crate::sim::SimNetwork {
+    fn endpoint(&mut self) -> EndpointId {
+        crate::sim::SimNetwork::endpoint(self)
+    }
+
+    fn close(&mut self, ep: EndpointId) {
+        crate::sim::SimNetwork::close(self, ep)
+    }
+
+    fn multicast_group(&mut self) -> MulticastAddr {
+        crate::sim::SimNetwork::multicast_group(self)
+    }
+
+    fn join_group(&mut self, group: MulticastAddr, ep: EndpointId) {
+        crate::sim::SimNetwork::join_group(self, group, ep)
+    }
+
+    fn leave_group(&mut self, group: MulticastAddr, ep: EndpointId) {
+        crate::sim::SimNetwork::leave_group(self, group, ep)
+    }
+
+    fn send_unicast(&mut self, from: EndpointId, to: EndpointId, payload: Bytes) {
+        crate::sim::SimNetwork::send_unicast(self, from, to, payload)
+    }
+
+    fn send_multicast(&mut self, from: EndpointId, group: MulticastAddr, payload: Bytes) {
+        crate::sim::SimNetwork::send_multicast(self, from, group, payload)
+    }
+
+    fn send_to_set(&mut self, from: EndpointId, targets: &[EndpointId], payload: Bytes) {
+        crate::sim::SimNetwork::send_to_set(self, from, targets, payload)
+    }
+
+    fn recv(&mut self, ep: EndpointId) -> Option<Datagram> {
+        crate::sim::SimNetwork::recv(self, ep)
+    }
+
+    fn now_us(&self) -> u64 {
+        crate::sim::SimNetwork::now_us(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{NetConfig, SimNetwork};
+
+    /// Protocol code written against the trait must behave identically to
+    /// code written against SimNetwork's inherent API.
+    fn echo_once<T: Transport>(t: &mut T) -> (EndpointId, EndpointId) {
+        let a = t.endpoint();
+        let b = t.endpoint();
+        t.send_unicast(a, b, Bytes::from_static(b"via-trait"));
+        (a, b)
+    }
+
+    #[test]
+    fn sim_network_implements_transport() {
+        let mut net = SimNetwork::new(NetConfig::default());
+        let (a, b) = echo_once(&mut net);
+        net.run_until_quiet();
+        let dg = Transport::recv(&mut net, b).unwrap();
+        assert_eq!(dg.from, a);
+        assert_eq!(&dg.payload[..], b"via-trait");
+    }
+
+    fn multicast_via<T: Transport>(t: &mut T) -> (EndpointId, MulticastAddr) {
+        let s = t.endpoint();
+        let m = t.endpoint();
+        let g = t.multicast_group();
+        t.join_group(g, m);
+        t.send_multicast(s, g, Bytes::from_static(b"rekey"));
+        (m, g)
+    }
+
+    #[test]
+    fn multicast_through_the_trait() {
+        let mut net = SimNetwork::new(NetConfig::default());
+        let (m, g) = multicast_via(&mut net);
+        net.run_until_quiet();
+        assert_eq!(net.pending(m), 1);
+        let dg = net.recv(m).unwrap();
+        assert_eq!(dg.to, crate::sim::Destination::Multicast(g));
+    }
+}

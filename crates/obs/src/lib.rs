@@ -229,6 +229,25 @@ impl Obs {
         self.inner.as_ref().map_or_else(BTreeMap::new, |i| i.timeline.kind_counts())
     }
 
+    /// Structured snapshot of every registered counter as sorted
+    /// `(rendered name, value)` pairs, the name in exposition form
+    /// (`name` or `name{key="value"}`). This is the aggregation surface:
+    /// a cluster router merges the snapshots of N per-shard registries
+    /// into one exported view by summing values under equal names.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.registry.counters().iter().map(|(k, v)| (metrics::render_key(k), *v)).collect()
+        })
+    }
+
+    /// Structured snapshot of every registered gauge, as
+    /// [`counter_values`](Obs::counter_values).
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.registry.gauges().iter().map(|(k, v)| (metrics::render_key(k), *v)).collect()
+        })
+    }
+
     /// Prometheus-style text exposition of every registered metric.
     pub fn render_prometheus(&self) -> String {
         self.inner.as_ref().map_or_else(String::new, |i| export::render_prometheus(i))
@@ -294,6 +313,24 @@ mod tests {
         assert_eq!(tl[0].at_us, 40);
         assert_eq!(tl[1].at_us, 90);
         assert_eq!(obs.now_us(), 90);
+    }
+
+    #[test]
+    fn counter_and_gauge_snapshots_render_names() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.counter("kg_requests_total").add(2);
+        obs.counter_with("kg_requests_total", "kind", "join").add(5);
+        obs.gauge("kg_group_size").set(-3);
+        assert_eq!(
+            obs.counter_values(),
+            vec![
+                ("kg_requests_total".to_string(), 2),
+                ("kg_requests_total{kind=\"join\"}".to_string(), 5),
+            ]
+        );
+        assert_eq!(obs.gauge_values(), vec![("kg_group_size".to_string(), -3)]);
+        assert!(Obs::disabled().counter_values().is_empty());
+        assert!(Obs::disabled().gauge_values().is_empty());
     }
 
     #[test]

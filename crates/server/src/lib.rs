@@ -889,6 +889,28 @@ impl GroupKeyServer {
         Ok(result)
     }
 
+    /// Graceful shutdown: flush the pending rekey interval (if any), write
+    /// a final snapshot, and fsync — in that order, so the snapshot
+    /// captures the post-flush tree and a subsequent
+    /// [`recover`](GroupKeyServer::recover) replays **zero** WAL records.
+    /// Returns the final batch so the caller can dispatch its rekey
+    /// traffic and acks before the process exits. Safe on in-memory and
+    /// immediate-mode servers (both persistence steps are no-ops, and an
+    /// unbatched server has nothing to flush).
+    pub fn shutdown(&mut self, now_ms: u64) -> Result<Option<ProcessedBatch>, RequestError> {
+        let batch = self.flush(now_ms)?;
+        self.force_snapshot()?;
+        self.sync_persistence()?;
+        Ok(batch)
+    }
+
+    /// WAL records a restart would replay right now: 0 immediately after
+    /// a snapshot (in particular after [`shutdown`](GroupKeyServer::shutdown)).
+    /// `None` for in-memory servers.
+    pub fn wal_tail(&self) -> Option<u64> {
+        self.persist.as_ref().map(|p| p.ops_since_snapshot())
+    }
+
     /// Apply one interval's queued requests: mark + replace the union of
     /// the changed paths once, build the consolidated rekey messages,
     /// authenticate, encode, and record one per-interval stats record.

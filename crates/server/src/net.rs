@@ -1,7 +1,8 @@
 //! The group key server attached to the simulated network.
 //!
-//! [`NetServer`] owns a [`GroupKeyServer`] plus an endpoint on a
-//! [`SimNetwork`]: it parses inbound `join`/`leave` control datagrams,
+//! [`NetServer`] owns a [`GroupKeyServer`] plus an endpoint on any
+//! [`Transport`] (the deterministic simulator in tests, real UDP in the
+//! cluster binaries): it parses inbound `join`/`leave` control datagrams,
 //! authenticates leave requests (HMAC under the member's individual key,
 //! standing in for the paper's `{leave-request}_{k_u}`), runs the key
 //! management, and dispatches the resulting rekey packets — group
@@ -14,7 +15,7 @@ use kg_core::ids::UserId;
 use kg_core::rekey::Recipients;
 use kg_crypto::hmac::{hmac, verify_mac};
 use kg_crypto::md5::Md5;
-use kg_net::{EndpointId, MulticastAddr, SimNetwork};
+use kg_net::{EndpointId, MulticastAddr, Transport};
 use kg_wire::ControlMessage;
 use std::collections::BTreeMap;
 
@@ -67,7 +68,7 @@ pub struct NetServer {
 
 impl NetServer {
     /// Attach `server` to the network.
-    pub fn new(server: GroupKeyServer, net: &mut SimNetwork) -> Self {
+    pub fn new<T: Transport>(server: GroupKeyServer, net: &mut T) -> Self {
         let endpoint = net.endpoint();
         let group_addr = net.multicast_group();
         NetServer {
@@ -86,9 +87,9 @@ impl NetServer {
     /// process lost; entries are sorted into admitted members and
     /// still-queued joiners against the recovered state, and anything the
     /// server does not know is ignored.
-    pub fn resume(
+    pub fn resume<T: Transport>(
         server: GroupKeyServer,
-        net: &mut SimNetwork,
+        net: &mut T,
         endpoint: EndpointId,
         group_addr: MulticastAddr,
         directory: impl IntoIterator<Item = (UserId, EndpointId)>,
@@ -137,7 +138,7 @@ impl NetServer {
 
     /// Drain the server's inbox, process every request, send responses and
     /// rekey traffic. Returns the processed events in order.
-    pub fn poll(&mut self, net: &mut SimNetwork) -> Vec<ServerEvent> {
+    pub fn poll<T: Transport>(&mut self, net: &mut T) -> Vec<ServerEvent> {
         let mut events = Vec::new();
         while let Some(dg) = net.recv(self.endpoint) {
             let decoded = {
@@ -184,7 +185,7 @@ impl NetServer {
     /// rekey interval if its schedule says so, dispatching the interval's
     /// acks and batch rekey packets. In immediate mode this is equivalent
     /// to [`Self::poll`]. Drivers call it from their clock loop.
-    pub fn tick(&mut self, net: &mut SimNetwork, now_ms: u64) -> Vec<ServerEvent> {
+    pub fn tick<T: Transport>(&mut self, net: &mut T, now_ms: u64) -> Vec<ServerEvent> {
         let mut events = self.poll(net);
         match self.inner.tick(now_ms) {
             Ok(None) => {}
@@ -200,7 +201,30 @@ impl NetServer {
         events
     }
 
-    fn queue_join(&mut self, net: &mut SimNetwork, user: UserId, from: EndpointId) -> ServerEvent {
+    /// Graceful shutdown: flush the pending interval via
+    /// [`GroupKeyServer::shutdown`] (final snapshot + fsync) and dispatch
+    /// the closing batch's acks and rekey traffic, so nothing queued is
+    /// lost when the process exits. A restart via
+    /// [`NetServer::resume`] then recovers with zero WAL replay.
+    pub fn shutdown<T: Transport>(&mut self, net: &mut T, now_ms: u64) -> Vec<ServerEvent> {
+        let mut events = self.poll(net);
+        match self.inner.shutdown(now_ms) {
+            Ok(None) => {}
+            Ok(Some(batch)) => events.extend(self.dispatch_batch(net, batch)),
+            Err(e) => {
+                self.inner.obs().event(kg_obs::ObsEvent::FlushFailed { error: e.to_string() });
+                events.push(ServerEvent::FlushFailed(e));
+            }
+        }
+        events
+    }
+
+    fn queue_join<T: Transport>(
+        &mut self,
+        net: &mut T,
+        user: UserId,
+        from: EndpointId,
+    ) -> ServerEvent {
         match self.inner.enqueue_join(user) {
             Err(e) => {
                 let deny = ControlMessage::JoinDenied { user }.encode();
@@ -214,9 +238,9 @@ impl NetServer {
         }
     }
 
-    fn queue_leave(
+    fn queue_leave<T: Transport>(
         &mut self,
-        net: &mut SimNetwork,
+        net: &mut T,
         user: UserId,
         from: EndpointId,
         auth: &[u8],
@@ -245,9 +269,9 @@ impl NetServer {
 
     /// Deliver one flushed interval: admit joiners, evict the departed,
     /// send acks, then the batch rekey packets.
-    fn dispatch_batch(
+    fn dispatch_batch<T: Transport>(
         &mut self,
-        net: &mut SimNetwork,
+        net: &mut T,
         batch: crate::ProcessedBatch,
     ) -> Vec<ServerEvent> {
         let mut events = Vec::new();
@@ -287,9 +311,9 @@ impl NetServer {
         events
     }
 
-    fn process_join(
+    fn process_join<T: Transport>(
         &mut self,
-        net: &mut SimNetwork,
+        net: &mut T,
         user: UserId,
         from: EndpointId,
     ) -> ServerEvent {
@@ -325,9 +349,9 @@ impl NetServer {
         }
     }
 
-    fn process_leave(
+    fn process_leave<T: Transport>(
         &mut self,
-        net: &mut SimNetwork,
+        net: &mut T,
         user: UserId,
         from: EndpointId,
         auth: &[u8],
@@ -370,9 +394,9 @@ impl NetServer {
     }
 
     /// Resolve recipients and send each encoded rekey packet.
-    fn dispatch(
+    fn dispatch<T: Transport>(
         &mut self,
-        net: &mut SimNetwork,
+        net: &mut T,
         packets: &[kg_wire::RekeyPacket],
         encoded: &[Vec<u8>],
     ) {
@@ -384,7 +408,7 @@ impl NetServer {
     /// Send one encoded packet to the endpoints its recipients resolve to
     /// (against the *current* tree, which is post-update for both the
     /// immediate and the batched path).
-    fn send_to_recipients(&self, net: &mut SimNetwork, recipients: &Recipients, bytes: &[u8]) {
+    fn send_to_recipients<T: Transport>(&self, net: &mut T, recipients: &Recipients, bytes: &[u8]) {
         let _s = self.inner.obs().span("send");
         let payload = Bytes::copy_from_slice(bytes);
         match recipients {
@@ -423,7 +447,7 @@ pub fn leave_authenticator(user: UserId, individual_key: &[u8]) -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::{AccessControl, ServerConfig};
-    use kg_net::NetConfig;
+    use kg_net::{NetConfig, SimNetwork};
 
     fn setup() -> (SimNetwork, NetServer) {
         let mut net = SimNetwork::new(NetConfig::default());

@@ -14,9 +14,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod codec;
 pub mod message;
 
+pub use cluster::{
+    ClusterBody, ClusterEnvelope, GroupId, ShardId, CLUSTER_MAGIC, CLUSTER_VERSION, ROUTER_SHARD,
+};
 pub use message::{AuthTag, BatchRekeyPacket, ControlMessage, OpKind, RekeyPacket, BATCH_MAGIC};
 
 use std::fmt;

@@ -11,7 +11,10 @@
 use kg_core::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
 use kg_core::merkle::{AuthPath, Side};
 use kg_core::rekey::{KeyBundle, Recipients, RekeyMessage};
-use kg_wire::{AuthTag, BatchRekeyPacket, ControlMessage, OpKind, RekeyPacket};
+use kg_wire::{
+    AuthTag, BatchRekeyPacket, ClusterBody, ClusterEnvelope, ControlMessage, GroupId, OpKind,
+    RekeyPacket, ShardId,
+};
 
 const ALL_OPS: [OpKind; 4] = [OpKind::Join, OpKind::Leave, OpKind::Batch, OpKind::Refresh];
 
@@ -141,6 +144,55 @@ fn every_control_message_variant_roundtrips() {
     }
 }
 
+/// Every cluster-plane body variant, including one carrying each control
+/// message so the tunnelled encoding is exercised end to end.
+fn all_cluster_envelopes() -> Vec<ClusterEnvelope> {
+    let mut bodies: Vec<ClusterBody> =
+        all_control_messages().into_iter().map(ClusterBody::Control).collect();
+    bodies.extend([
+        ClusterBody::Grant {
+            user: UserId(9),
+            key: vec![0x5C; 16],
+            leaf_label: KeyLabel(21),
+            path_labels: vec![KeyLabel(0), KeyLabel(2), KeyLabel(10)],
+        },
+        ClusterBody::RekeyGroup { payload: all_batch_packets()[0].encode() },
+        ClusterBody::RekeyUsers {
+            users: vec![UserId(3), UserId(4)],
+            payload: all_rekey_packets()[0].encode(),
+        },
+        ClusterBody::Refresh,
+        ClusterBody::Shutdown,
+        ClusterBody::ShutdownAck { members: 128, wal_tail: 0 },
+        ClusterBody::StatsRequest,
+        ClusterBody::StatsReport {
+            members: 4096,
+            intervals: 16,
+            requests: 4200,
+            encryptions: 90_000,
+            pending: 17,
+        },
+    ]);
+    bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| ClusterEnvelope {
+            shard: ShardId(i as u16),
+            group: GroupId(1000 + i as u32),
+            body,
+        })
+        .collect()
+}
+
+#[test]
+fn every_cluster_envelope_variant_roundtrips() {
+    for env in all_cluster_envelopes() {
+        let bytes = env.encode();
+        assert!(ClusterEnvelope::sniff(&bytes));
+        assert_eq!(ClusterEnvelope::decode(&bytes).expect("valid encoding"), env);
+    }
+}
+
 /// Every strict prefix of a valid frame must decode to an error. The
 /// encodings are deterministic with no optional trailing fields, so a
 /// truncated frame can never be mistaken for a complete one.
@@ -162,6 +214,16 @@ fn truncation_always_errors_never_panics() {
         let bytes = msg.encode();
         for cut in 0..bytes.len() {
             assert!(ControlMessage::decode(&bytes[..cut]).is_err(), "cut {cut} of {msg:?}");
+        }
+    }
+    // Cluster envelopes with trailing-payload bodies may legitimately
+    // decode from a prefix; the invariant there is no-misparse instead.
+    for env in all_cluster_envelopes() {
+        let bytes = env.encode();
+        for cut in 0..bytes.len() {
+            if let Ok(decoded) = ClusterEnvelope::decode(&bytes[..cut]) {
+                assert_eq!(decoded.encode(), &bytes[..cut], "cut {cut} of {env:?}");
+            }
         }
     }
 }
@@ -201,6 +263,16 @@ fn bit_flips_never_misparse_or_panic() {
             flipped[pos / 8] ^= 1 << (pos % 8);
             if let Ok(decoded) = ControlMessage::decode(&flipped) {
                 assert_eq!(decoded.encode(), flipped, "bit {pos} of {msg:?}");
+            }
+        }
+    }
+    for env in all_cluster_envelopes() {
+        let bytes = env.encode();
+        for pos in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[pos / 8] ^= 1 << (pos % 8);
+            if let Ok(decoded) = ClusterEnvelope::decode(&flipped) {
+                assert_eq!(decoded.encode(), flipped, "bit {pos} of {env:?}");
             }
         }
     }
@@ -338,6 +410,35 @@ fn fuzz_control_message(f: &mut Fuzz) -> ControlMessage {
     }
 }
 
+fn fuzz_cluster_envelope(f: &mut Fuzz) -> ClusterEnvelope {
+    let body = match f.below(9) {
+        0 => ClusterBody::Control(fuzz_control_message(f)),
+        1 => ClusterBody::Grant {
+            user: UserId(f.value()),
+            key: f.bytes(32),
+            leaf_label: KeyLabel(f.value()),
+            path_labels: (0..f.below(6)).map(|_| KeyLabel(f.value())).collect(),
+        },
+        2 => ClusterBody::RekeyGroup { payload: f.bytes(128) },
+        3 => ClusterBody::RekeyUsers {
+            users: (0..f.below(8)).map(|_| UserId(f.value())).collect(),
+            payload: f.bytes(128),
+        },
+        4 => ClusterBody::Refresh,
+        5 => ClusterBody::Shutdown,
+        6 => ClusterBody::ShutdownAck { members: f.value(), wal_tail: f.value() },
+        7 => ClusterBody::StatsRequest,
+        _ => ClusterBody::StatsReport {
+            members: f.value(),
+            intervals: f.value(),
+            requests: f.value(),
+            encryptions: f.value(),
+            pending: f.value(),
+        },
+    };
+    ClusterEnvelope { shard: ShardId(f.value() as u16), group: GroupId(f.value() as u32), body }
+}
+
 proptest::proptest! {
     /// Random byte soup never panics any decoder, and anything that does
     /// decode re-encodes to exactly the input (no silent misparses).
@@ -357,9 +458,14 @@ proptest::proptest! {
             proptest::prop_assert_eq!(again, pkt);
         }
         if let Ok(msg) = ControlMessage::decode(&data) {
-            proptest::prop_assert_eq!(msg.encode(), data);
+            proptest::prop_assert_eq!(msg.encode(), data.clone());
             let again = ControlMessage::decode(&msg.encode()).expect("re-decode");
             proptest::prop_assert_eq!(again, msg);
+        }
+        if let Ok(env) = ClusterEnvelope::decode(&data) {
+            proptest::prop_assert_eq!(env.encode(), data);
+            let again = ClusterEnvelope::decode(&env.encode()).expect("re-decode");
+            proptest::prop_assert_eq!(again, env);
         }
     }
 
@@ -388,6 +494,12 @@ proptest::proptest! {
         let msg = fuzz_control_message(f);
         let decoded = ControlMessage::decode(&msg.encode()).expect("valid control encoding");
         proptest::prop_assert_eq!(decoded, msg);
+
+        let env = fuzz_cluster_envelope(f);
+        let bytes = env.encode();
+        proptest::prop_assert!(ClusterEnvelope::sniff(&bytes));
+        let decoded = ClusterEnvelope::decode(&bytes).expect("valid cluster encoding");
+        proptest::prop_assert_eq!(decoded, env);
     }
 
     /// Mutations of *valid* frames — spliced garbage windows, random
@@ -399,7 +511,7 @@ proptest::proptest! {
     fn mutated_valid_frames_never_misparse(seed in 0u64..) {
         let f = &mut Fuzz::new(seed);
         let mut frames = vec![fuzz_rekey_packet(f).encode(), fuzz_batch_packet(f).encode(),
-            fuzz_control_message(f).encode()];
+            fuzz_control_message(f).encode(), fuzz_cluster_envelope(f).encode()];
         for bytes in &mut frames {
             match f.below(3) {
                 // Overwrite a random window with garbage.
@@ -433,6 +545,9 @@ proptest::proptest! {
             }
             if let Ok(msg) = ControlMessage::decode(bytes) {
                 proptest::prop_assert_eq!(msg.encode(), bytes.clone());
+            }
+            if let Ok(env) = ClusterEnvelope::decode(bytes) {
+                proptest::prop_assert_eq!(env.encode(), bytes.clone());
             }
         }
     }

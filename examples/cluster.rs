@@ -1,0 +1,231 @@
+//! A sharded key-graph cluster over real UDP loopback sockets.
+//!
+//! Three deployment roles run as threads here — exactly the logic of the
+//! `kgc-router` and `kgc-node` binaries, plus a scripted client fleet in
+//! the role `kgc-admin session` plays:
+//!
+//! - a router bound to a loopback socket, owning the shard map,
+//! - two shard nodes, each with its own WAL/snapshot directory,
+//! - a driver that joins members of a group spanned over both shards,
+//!   collects grants and rekey packets, then shuts the cluster down and
+//!   checks the aggregated ack reports `wal_tail = 0` (nothing to replay).
+//!
+//! ```text
+//! cargo run --example cluster
+//! ```
+
+use keygraphs::cluster::{NodeConfig, Router, ShardMap, ShardNode};
+use keygraphs::core::ids::UserId;
+use keygraphs::net::{EndpointId, Transport, UdpTransport};
+use keygraphs::obs::{Obs, ObsConfig};
+use keygraphs::persist::PersistConfig;
+use keygraphs::server::net::leave_authenticator;
+use keygraphs::server::{AccessControl, RekeyPolicy, ServerConfig};
+use keygraphs::wire::{
+    ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ShardId, ROUTER_SHARD,
+};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const GROUP: GroupId = GroupId(1);
+const MEMBERS: u64 = 12;
+
+fn main() {
+    println!("== A two-shard cluster over UDP loopback ==\n");
+
+    let root = std::env::temp_dir().join(format!("kg-example-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // --- Bind every socket first so each role knows its peers' addresses.
+    let mut router_net = UdpTransport::bind("127.0.0.1:0", 1).expect("bind router");
+    let router_addr = router_net.local_addr().expect("router addr");
+    let mut node_nets: Vec<UdpTransport> = (0..2u16)
+        .map(|s| {
+            let mut net =
+                UdpTransport::bind("127.0.0.1:0", 1000 + s as u32).expect("bind shard node");
+            net.register_peer(EndpointId(1), router_addr);
+            net
+        })
+        .collect();
+    for (s, net) in node_nets.iter().enumerate() {
+        let addr = net.local_addr().expect("node addr");
+        router_net.register_peer(EndpointId(1000 + s as u32), addr);
+        println!("shard {s} on {addr}");
+    }
+    println!("router  on {router_addr}\n");
+
+    // --- The router owns the shard map: group 1 is spanned over both
+    // shards, Iolus-style — each shard keeps an independent key tree for
+    // its slice of the membership.
+    let map = ShardMap::new(2).with_span(GROUP, 2);
+    let mut router = Router::new(map, &mut router_net, Obs::new(ObsConfig::default()));
+    for shard in router.map().all_shards().collect::<Vec<_>>() {
+        router.register_shard(shard, EndpointId(1000 + shard.0 as u32));
+    }
+    let router_thread = std::thread::spawn(move || {
+        while router.is_running() {
+            router_net.poll_io();
+            router.poll(&mut router_net);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+
+    // --- Each shard node serves batched 50 ms intervals and persists to
+    // its own directory; `resume` on an empty directory is a fresh start.
+    let mut node_threads = Vec::new();
+    for (s, mut net) in node_nets.drain(..).enumerate() {
+        let config = NodeConfig {
+            shard: ShardId(s as u16),
+            template: ServerConfig {
+                rekey: RekeyPolicy::Batched { interval_ms: 50, max_pending: 1024 },
+                ..ServerConfig::default()
+            },
+            acl: AccessControl::AllowAll,
+            persist_root: Some(root.join(format!("shard-{s}"))),
+            persist: PersistConfig::default(),
+        };
+        let endpoint = net.endpoint();
+        let mut node =
+            ShardNode::resume(config, endpoint, EndpointId(1), Obs::new(ObsConfig::default()))
+                .expect("start shard node");
+        node_threads.push(std::thread::spawn(move || {
+            while node.is_running() {
+                net.poll_io();
+                let now_ms = net.now_us() / 1000;
+                node.tick(&mut net, now_ms);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            node
+        }));
+    }
+
+    // --- The driver plays a fleet of clients from one endpoint.
+    let mut net = UdpTransport::bind("127.0.0.1:0", 9000).expect("bind driver");
+    net.register_peer(EndpointId(1), router_addr);
+    let endpoint = net.endpoint();
+    let send = |net: &mut UdpTransport, body: ClusterBody| {
+        let env = ClusterEnvelope { shard: ROUTER_SHARD, group: GROUP, body };
+        net.send_unicast(endpoint, EndpointId(1), bytes::Bytes::from(env.encode()));
+    };
+
+    for u in 1..=MEMBERS {
+        send(&mut net, ClusterBody::Control(ControlMessage::JoinRequest { user: UserId(u) }));
+    }
+    let mut keys: BTreeMap<UserId, Vec<u8>> = BTreeMap::new();
+    let mut acks = 0u64;
+    let mut rekeys = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while (keys.len() as u64) < MEMBERS || acks < MEMBERS {
+        assert!(Instant::now() < deadline, "timed out joining");
+        net.poll_io();
+        let Some(dg) = net.recv(endpoint) else {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        if ClusterEnvelope::sniff(&dg.payload) {
+            if let Ok(env) = ClusterEnvelope::decode(&dg.payload) {
+                if let ClusterBody::Grant { user, key, .. } = env.body {
+                    keys.insert(user, key);
+                }
+            }
+        } else {
+            match ControlMessage::decode(&dg.payload) {
+                Ok(ControlMessage::JoinGranted { .. }) => acks += 1,
+                Ok(other) => panic!("unexpected control reply {other:?}"),
+                Err(_) => rekeys += 1, // interval flush: rekey traffic
+            }
+        }
+    }
+    println!(
+        "joined {MEMBERS} members across 2 shards ({} grants, {rekeys} rekey packets)",
+        keys.len()
+    );
+
+    // --- Leaves must present the HMAC authenticator derived from the
+    // member's granted key; the router relays each to the member's shard.
+    for u in (1..=MEMBERS / 2).map(UserId) {
+        let auth = leave_authenticator(u, &keys[&u]);
+        send(&mut net, ClusterBody::Control(ControlMessage::LeaveRequest { user: u, auth }));
+    }
+    let mut left = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while left < MEMBERS / 2 {
+        assert!(Instant::now() < deadline, "timed out leaving");
+        net.poll_io();
+        let Some(dg) = net.recv(endpoint) else {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        if !ClusterEnvelope::sniff(&dg.payload) {
+            match ControlMessage::decode(&dg.payload) {
+                Ok(ControlMessage::LeaveGranted { .. }) => left += 1,
+                Ok(other) => panic!("unexpected control reply {other:?}"),
+                Err(_) => rekeys += 1,
+            }
+        }
+    }
+    println!(
+        "half the group left again; {left} departures authenticated \
+({rekeys} rekey packets total)\n"
+    );
+
+    // --- Admin shutdown: every shard flushes its queue, snapshots, and
+    // acks; the router aggregates and reports. wal_tail = 0 proves a
+    // restart would replay nothing.
+    send(&mut net, ClusterBody::Shutdown);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let (members, wal_tail) = loop {
+        assert!(Instant::now() < deadline, "timed out waiting for shutdown");
+        net.poll_io();
+        let Some(dg) = net.recv(endpoint) else {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        if ClusterEnvelope::sniff(&dg.payload) {
+            if let Ok(ClusterEnvelope {
+                shard: ROUTER_SHARD,
+                body: ClusterBody::ShutdownAck { members, wal_tail },
+                ..
+            }) = ClusterEnvelope::decode(&dg.payload)
+            {
+                break (members, wal_tail);
+            }
+        }
+    };
+    router_thread.join().expect("router thread");
+    let nodes: Vec<ShardNode> = node_threads.into_iter().map(|t| t.join().expect("node")).collect();
+    println!("cluster stopped: members={members} wal_tail={wal_tail}");
+    assert_eq!(members, MEMBERS - MEMBERS / 2);
+    assert_eq!(wal_tail, 0, "clean shutdown leaves nothing to replay");
+
+    // --- Restart both shards from disk: the snapshots carry the full
+    // state, so recovery replays zero WAL records.
+    for node in &nodes {
+        let shard = node.shard();
+        let config = NodeConfig {
+            shard,
+            template: ServerConfig {
+                rekey: RekeyPolicy::Batched { interval_ms: 50, max_pending: 1024 },
+                ..ServerConfig::default()
+            },
+            acl: AccessControl::AllowAll,
+            persist_root: Some(root.join(format!("shard-{}", shard.0))),
+            persist: PersistConfig::default(),
+        };
+        let recovered = ShardNode::resume(
+            config,
+            EndpointId(1000 + shard.0 as u32),
+            EndpointId(1),
+            Obs::new(ObsConfig::default()),
+        )
+        .expect("recover shard node");
+        println!(
+            "shard {} recovered from disk: {} members resident",
+            shard.0,
+            recovered.member_total()
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    println!("\nDone.");
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke test: a router and two shard nodes as real
+# OS processes on UDP loopback, driven by kgc-admin. Asserts the scripted
+# session succeeds and the admin shutdown reports wal_tail=0 (every
+# shard's final snapshot landed; a restart would replay nothing).
+#
+#   scripts/cluster_smoke.sh [target-dir]
+#
+# Expects kgc-router / kgc-node / kgc-admin already built (release).
+set -euo pipefail
+
+bindir="${1:-target/release}"
+for bin in kgc-router kgc-node kgc-admin; do
+  [[ -x "$bindir/$bin" ]] || { echo "missing $bindir/$bin (cargo build --release -p kg-cluster)"; exit 2; }
+done
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+router_addr="127.0.0.1:7600"
+node0_addr="127.0.0.1:7610"
+node1_addr="127.0.0.1:7611"
+
+"$bindir/kgc-router" --bind "$router_addr" --shards 2 \
+  --peer "0=$node0_addr" --peer "1=$node1_addr" --span 1=2 \
+  >"$workdir/router.log" 2>&1 &
+pids+=($!)
+
+for s in 0 1; do
+  addr_var="node${s}_addr"
+  "$bindir/kgc-node" --shard "$s" --bind "${!addr_var}" --router "$router_addr" \
+    --dir "$workdir/shard-$s" --batch-ms 50 \
+    >"$workdir/node-$s.log" 2>&1 &
+  pids+=($!)
+done
+
+# Give the processes a moment to bind before the session starts.
+sleep 1
+
+"$bindir/kgc-admin" --router "$router_addr" --timeout-ms 30000 \
+  session --group 1 --users 8
+"$bindir/kgc-admin" --router "$router_addr" --timeout-ms 30000 \
+  stats --expect 2
+
+summary="$("$bindir/kgc-admin" --router "$router_addr" --timeout-ms 30000 shutdown)"
+echo "$summary"
+grep -q "wal_tail=0" <<<"$summary" || {
+  echo "FAIL: shutdown summary did not report wal_tail=0"
+  cat "$workdir"/router.log "$workdir"/node-*.log
+  exit 1
+}
+
+# The nodes and router exit on their own after a clean shutdown.
+for pid in "${pids[@]}"; do
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || continue 2
+    sleep 0.1
+  done
+  echo "FAIL: pid $pid still running after shutdown"
+  exit 1
+done
+pids=()
+
+echo "cluster smoke: OK"

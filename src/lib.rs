@@ -3,6 +3,7 @@
 #![forbid(unsafe_code)]
 
 pub use kg_client as client;
+pub use kg_cluster as cluster;
 pub use kg_core as core;
 pub use kg_crypto as crypto;
 pub use kg_iolus as iolus;
