@@ -4,15 +4,18 @@
 //! report [--quick] <artifact>...
 //! artifacts: table1 table2 table3 table4 table5 table6
 //!            fig10 fig11 fig12 iolus hybrid batch persist obs par
-//!            cluster all
+//!            cluster trace all
 //! ```
 //!
-//! The `batch`, `persist`, `obs`, `par`, and `cluster` artifacts also
-//! write machine-readable `BENCH_batch.json`, `BENCH_persist.json`,
-//! `BENCH_obs.json`, `BENCH_par.json`, and `BENCH_cluster.json` to the
-//! working directory.
+//! The `batch`, `persist`, `obs`, `par`, `cluster`, and `trace`
+//! artifacts also write machine-readable `BENCH_batch.json`,
+//! `BENCH_persist.json`, `BENCH_obs.json`, `BENCH_par.json`,
+//! `BENCH_cluster.json`, and `BENCH_trace.json` to the working
+//! directory.
 //!
-//! `--quick` shrinks group sizes / request counts for a fast smoke run.
+//! `--quick` shrinks group sizes / request counts for a fast smoke run,
+//! and writes its artifacts as `BENCH_<name>.quick.json` so a smoke run
+//! never clobbers a full run's numbers.
 //! Absolute times differ from the paper's 1998 SGI Origin 200 numbers; the
 //! comparisons (strategy ordering, O(log n) scaling, optimal degree ≈ 4,
 //! the ~10× Merkle-signing win) are the reproduction targets. See
@@ -20,8 +23,8 @@
 
 use kg_bench::{
     run, run_batch_comparison, run_obs_overhead, run_obs_reconcile, run_par_speedup,
-    run_persist_overhead, run_recovery_curve, BatchConfig, ExperimentConfig, ParConfig, TextTable,
-    SEEDS,
+    run_persist_overhead, run_recovery_curve, run_trace_plane, BatchConfig, ExperimentConfig,
+    ParConfig, TextTable, TraceBenchConfig, SEEDS,
 };
 use kg_core::cost::{self, GraphClass};
 use kg_core::ids::UserId;
@@ -46,7 +49,7 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: report [--quick] <artifact>...\n\
                      artifacts: table1 table2 table3 table4 table5 table6 \
-                     fig10 fig11 fig12 iolus hybrid batch persist obs par cluster all"
+                     fig10 fig11 fig12 iolus hybrid batch persist obs par cluster trace all"
                 );
                 std::process::exit(0);
             }
@@ -118,6 +121,9 @@ fn main() {
     if want("cluster") {
         cluster(&opts);
     }
+    if want("trace") {
+        trace(&opts);
+    }
 }
 
 fn f(v: f64) -> String {
@@ -132,6 +138,17 @@ fn f(v: f64) -> String {
 /// because every measured quantity is a ratio of positive numbers).
 fn jf(v: f64) -> String {
     format!("{v:.4}")
+}
+
+/// Artifact file name for this run: quick runs write
+/// `BENCH_<name>.quick.json` so a smoke run never overwrites the
+/// hours-long full run's numbers.
+fn artifact_name(opts: &Opts, base: &str) -> String {
+    if opts.quick {
+        base.replace(".json", ".quick.json")
+    } else {
+        base.to_string()
+    }
 }
 
 /// Write a machine-readable artifact next to the report output. Failure
@@ -628,7 +645,7 @@ fn batch(opts: &Opts) {
         seeds.len(),
         json_rows.join(",\n"),
     );
-    write_artifact("BENCH_batch.json", &json);
+    write_artifact(&artifact_name(opts, "BENCH_batch.json"), &json);
 }
 
 /// Durability subsystem (`kg-persist`): WAL overhead under each fsync
@@ -706,7 +723,7 @@ fn persist(opts: &Opts) {
         overhead_json.join(",\n"),
         recovery_json.join(",\n"),
     );
-    write_artifact("BENCH_persist.json", &json);
+    write_artifact(&artifact_name(opts, "BENCH_persist.json"), &json);
 }
 
 /// Observability layer (`kg-obs`): instrumentation overhead vs a
@@ -796,7 +813,7 @@ fn obs(opts: &Opts) {
         r.recovered_event_seen,
         r.consistent(),
     );
-    write_artifact("BENCH_obs.json", &json);
+    write_artifact(&artifact_name(opts, "BENCH_obs.json"), &json);
 }
 
 /// Section 6: Iolus comparison.
@@ -975,7 +992,7 @@ fn par(opts: &Opts) {
         ));
     }
     json.push_str("\n  ]\n}\n");
-    write_artifact("BENCH_par.json", &json);
+    write_artifact(&artifact_name(opts, "BENCH_par.json"), &json);
 }
 
 /// Cluster: a sharded deployment driven to seven-figure membership on
@@ -1085,5 +1102,133 @@ fn cluster(opts: &Opts) {
         counters_json(&r.aggregated, "    "),
         counters_json(&r.router_counters, "    "),
     );
-    write_artifact("BENCH_cluster.json", &json);
+    write_artifact(&artifact_name(opts, "BENCH_cluster.json"), &json);
+}
+
+/// Telemetry plane: the cluster-wide per-op rekey-cost ledger, trace
+/// reassembly health, and the price of running the plane at all.
+fn trace(opts: &Opts) {
+    println!(
+        "## Telemetry plane — rekey-cost ledger, trace stitching, and overhead (d=4, sharded)\n"
+    );
+    let cfg = if opts.quick {
+        TraceBenchConfig {
+            shards: 2,
+            members: 128,
+            churn: 16,
+            reps: 3,
+            seed: 23,
+            telemetry_interval_ms: 50,
+        }
+    } else {
+        TraceBenchConfig {
+            shards: 4,
+            members: 4096,
+            churn: 256,
+            reps: 7,
+            seed: 23,
+            telemetry_interval_ms: 50,
+        }
+    };
+    let r = run_trace_plane(&cfg);
+
+    println!(
+        "### Per-op rekey cost, aggregated across {} shards ({} members, {} churn pairs per run)\n",
+        cfg.shards, cfg.members, cfg.churn
+    );
+    let mut t = TextTable::new(&[
+        "op (strategy:kind)",
+        "ops",
+        "enc/op",
+        "msgs/op",
+        "bytes/op",
+        "nodes/op",
+        "cache hits/op",
+    ]);
+    for row in &r.rows {
+        t.row(vec![
+            row.op.clone(),
+            row.ops.to_string(),
+            f(row.per_op(row.encryptions)),
+            f(row.per_op(row.messages)),
+            format!("{:.0}", row.per_op(row.bytes)),
+            f(row.per_op(row.nodes_touched)),
+            f(row.per_op(row.cache_hits)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(Table 4/5 shape from live counters: user/key pay O(log n) messages per op where group pays O(1); the key-oriented cache-hit column is the Figures 6/8 stored-ciphertext reuse; batch rows amortize the interval over its requests)\n");
+
+    println!("### Cross-process trace reassembly\n");
+    let mut t = TextTable::new(&["quantity", "value"]);
+    t.row(vec!["traces stored".into(), r.traces_stored.to_string()]);
+    t.row(vec!["fully stitched".into(), r.traces_stitched.to_string()]);
+    if let Some(s) = &r.sample {
+        t.row(vec!["sample spans".into(), s.spans.to_string()]);
+        t.row(vec!["sample hops".into(), s.hops.to_string()]);
+        t.row(vec!["router-observed window (us)".into(), s.router_window_us.to_string()]);
+        t.row(vec!["node-internal window (us)".into(), s.node_window_us.to_string()]);
+    }
+    println!("{}", t.render());
+    if let Some(s) = &r.sample {
+        println!("sample trace:\n{}", s.rendered);
+    }
+
+    println!("### Plane overhead (median of {} interleaved repeats)\n", cfg.reps);
+    let mut t = TextTable::new(&["mode", "elapsed ms"]);
+    t.row(vec!["tracing + telemetry off".into(), f(r.baseline_ms)]);
+    t.row(vec!["tracing + telemetry on".into(), f(r.traced_ms)]);
+    println!("{}", t.render());
+    println!("(overhead: {:+.2}% — target < 5%)\n", r.overhead_pct);
+
+    let rows_json: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"op\": \"{}\", \"ops\": {}, \"encryptions\": {}, \"messages\": {}, \
+                 \"bytes\": {}, \"nodes_touched\": {}, \"cache_hits\": {}, \
+                 \"enc_per_op\": {}, \"msgs_per_op\": {}, \"bytes_per_op\": {}}}",
+                row.op,
+                row.ops,
+                row.encryptions,
+                row.messages,
+                row.bytes,
+                row.nodes_touched,
+                row.cache_hits,
+                jf(row.per_op(row.encryptions)),
+                jf(row.per_op(row.messages)),
+                jf(row.per_op(row.bytes)),
+            )
+        })
+        .collect();
+    let sample_json = match &r.sample {
+        Some(s) => format!(
+            "{{\"trace_id\": {}, \"spans\": {}, \"hops\": {}, \"router_window_us\": {}, \
+             \"node_window_us\": {}}}",
+            s.trace_id, s.spans, s.hops, s.router_window_us, s.node_window_us
+        ),
+        None => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"artifact\": \"trace\",\n  \"config\": {{\"shards\": {}, \"members\": {}, \
+         \"churn\": {}, \"reps\": {}, \"seed\": {}, \"telemetry_interval_ms\": {}}},\n  \
+         \"ledger\": [\n{}\n  ],\n  \"traces\": {{\"stored\": {}, \"stitched\": {}, \
+         \"sample\": {}}},\n  \"overhead\": {{\"baseline_ms\": {}, \"traced_ms\": {}, \
+         \"overhead_pct\": {}}}\n}}\n",
+        cfg.shards,
+        cfg.members,
+        cfg.churn,
+        cfg.reps,
+        cfg.seed,
+        cfg.telemetry_interval_ms,
+        rows_json.join(",\n"),
+        r.traces_stored,
+        r.traces_stitched,
+        sample_json,
+        jf(r.baseline_ms),
+        jf(r.traced_ms),
+        jf(r.overhead_pct),
+    );
+    write_artifact(&artifact_name(opts, "BENCH_trace.json"), &json);
 }

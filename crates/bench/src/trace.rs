@@ -1,0 +1,306 @@
+//! Telemetry-plane benchmark: the cluster-wide rekey-cost ledger and
+//! the price of distributed tracing.
+//!
+//! Three measurements, all on the deterministic in-process cluster:
+//!
+//! 1. **Ledger table** — drive every strategy through a sharded
+//!    deployment (immediate joins/leaves/refreshes, plus a batched run
+//!    for the interval path) and aggregate the per-shard
+//!    `kg_ledger_*_total{op="strategy:kind"}` counters into one
+//!    cluster-wide cost table: encryptions, rekey messages, bytes, and
+//!    key-tree nodes touched per operation — the paper's Tables 4/5
+//!    cost shape, measured from live counters instead of stats records.
+//! 2. **Trace plane** — with tracing and telemetry on, count how many
+//!    cross-process traces the router's store reassembles fully
+//!    stitched, and split one sample into its router-observed window
+//!    (ingress hop 0 + fan-out hop 2, one clock) and node-internal
+//!    window (hop 1).
+//! 3. **Overhead** — the same workload with the trace/telemetry plane
+//!    on vs off, interleaved repeats, median wall-clock. Target < 5%.
+
+use kg_cluster::{aggregate_counter_values, ShardMap, SimCluster};
+use kg_core::ids::UserId;
+use kg_core::rekey::Strategy;
+use kg_net::NetConfig;
+use kg_server::{AccessControl, RekeyPolicy, ServerConfig};
+use kg_wire::GroupId;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Knobs for [`run_trace_plane`].
+#[derive(Debug, Clone)]
+pub struct TraceBenchConfig {
+    /// Shard count of every measured deployment.
+    pub shards: u16,
+    /// Members admitted per strategy run.
+    pub members: u64,
+    /// Leaves (with replacement joins) driven after the build.
+    pub churn: u64,
+    /// Interleaved repeats for the overhead medians.
+    pub reps: usize,
+    /// Base DRBG seed.
+    pub seed: u64,
+    /// Node → router telemetry push cadence.
+    pub telemetry_interval_ms: u64,
+}
+
+/// One aggregated ledger row: cluster-wide totals for one
+/// `strategy:kind` label.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerRow {
+    /// The `op` label (`"key:leave"`, `"group:batch"`, ...).
+    pub op: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Key encryptions performed.
+    pub encryptions: u64,
+    /// Rekey packets emitted.
+    pub messages: u64,
+    /// Encoded rekey bytes on the wire.
+    pub bytes: u64,
+    /// Key-tree nodes whose keys changed (fresh keys generated).
+    pub nodes_touched: u64,
+    /// Encryption-cache hits (stored-ciphertext reuse, Figures 6/8).
+    pub cache_hits: u64,
+}
+
+impl LedgerRow {
+    /// Per-operation average of `v`.
+    pub fn per_op(&self, v: u64) -> f64 {
+        v as f64 / (self.ops.max(1)) as f64
+    }
+}
+
+/// One reassembled cross-process trace, summarized.
+#[derive(Debug, Clone)]
+pub struct TraceSample {
+    /// Trace identity.
+    pub trace_id: u64,
+    /// Span records reassembled.
+    pub spans: usize,
+    /// Distinct process hops covered.
+    pub hops: usize,
+    /// End-to-end window on the router's clock (hops 0 and 2).
+    pub router_window_us: u64,
+    /// Node-internal processing window (hop 1).
+    pub node_window_us: u64,
+    /// The rendered span tree.
+    pub rendered: String,
+}
+
+/// Everything [`run_trace_plane`] measures.
+#[derive(Debug, Clone)]
+pub struct TraceBenchResult {
+    /// The configuration measured.
+    pub config: TraceBenchConfig,
+    /// Aggregated ledger rows, sorted by `op` label.
+    pub rows: Vec<LedgerRow>,
+    /// Traces retained by the router's store after the traced run.
+    pub traces_stored: usize,
+    /// How many of those reassemble fully stitched.
+    pub traces_stitched: usize,
+    /// The latest stitched trace, summarized.
+    pub sample: Option<TraceSample>,
+    /// Median wall-clock ms with the trace/telemetry plane off.
+    pub baseline_ms: f64,
+    /// Median wall-clock ms with the plane on.
+    pub traced_ms: f64,
+    /// `(traced - baseline) / baseline`, percent.
+    pub overhead_pct: f64,
+}
+
+const INTERVAL_MS: u64 = 100;
+
+fn net(seed: u64) -> NetConfig {
+    NetConfig {
+        latency_min_us: 100,
+        latency_max_us: 100,
+        loss_probability: 0.0,
+        duplicate_probability: 0.0,
+        seed,
+    }
+}
+
+fn template(seed: u64, strategy: Strategy, batched: bool) -> ServerConfig {
+    ServerConfig {
+        seed,
+        strategy,
+        rekey: if batched {
+            RekeyPolicy::Batched { interval_ms: INTERVAL_MS, max_pending: usize::MAX }
+        } else {
+            RekeyPolicy::Immediate
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// Drive the measured schedule: admit `members`, churn `churn`
+/// leave/join pairs, sprinkle refreshes, tick the clock forward so
+/// batched intervals flush and telemetry pushes go out.
+fn drive(cluster: &mut SimCluster, group: GroupId, members: u64, churn: u64) {
+    let mut now_ms = 0u64;
+    for u in 1..=members {
+        cluster.join(group, UserId(u));
+    }
+    now_ms += INTERVAL_MS;
+    cluster.tick(now_ms);
+    for u in 1..=churn {
+        cluster.leave(group, UserId(u));
+        cluster.join(group, UserId(members + u));
+    }
+    cluster.refresh(group);
+    now_ms += INTERVAL_MS;
+    cluster.tick(now_ms);
+    cluster.take_events();
+}
+
+/// Pull every `kg_ledger_*` counter out of an aggregated snapshot into
+/// per-`op` rows.
+fn ledger_rows(aggregated: &[(String, u64)], into: &mut BTreeMap<String, LedgerRow>) {
+    for (name, v) in aggregated {
+        let Some(rest) = name.strip_prefix("kg_ledger_") else { continue };
+        let Some((field, label)) = rest.split_once("_total{op=\"") else { continue };
+        let Some(op) = label.strip_suffix("\"}") else { continue };
+        let row = into
+            .entry(op.to_string())
+            .or_insert_with(|| LedgerRow { op: op.to_string(), ..LedgerRow::default() });
+        match field {
+            "ops" => row.ops += v,
+            "encryptions" => row.encryptions += v,
+            "messages" => row.messages += v,
+            "bytes" => row.bytes += v,
+            "nodes_touched" => row.nodes_touched += v,
+            "cache_hits" => row.cache_hits += v,
+            _ => {}
+        }
+    }
+}
+
+/// Build one cluster, run the schedule, and fold its aggregated
+/// counters into `rows`. Returns the cluster for further inspection.
+fn measured_run(
+    config: &TraceBenchConfig,
+    strategy: Strategy,
+    batched: bool,
+    traced: bool,
+    rows: Option<&mut BTreeMap<String, LedgerRow>>,
+) -> (SimCluster, f64) {
+    let group = GroupId(1);
+    let map = ShardMap::new(config.shards).with_span(group, config.shards);
+    let mut cluster = SimCluster::new(
+        map,
+        template(config.seed, strategy, batched),
+        AccessControl::AllowAll,
+        net(config.seed),
+        None,
+    );
+    cluster.use_shared_client_endpoint();
+    if traced {
+        cluster.enable_telemetry(config.telemetry_interval_ms);
+    } else {
+        cluster.router.set_tracing(false);
+    }
+    let start = Instant::now();
+    drive(&mut cluster, group, config.members, config.churn);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some(rows) = rows {
+        let snapshots: Vec<Vec<(String, u64)>> =
+            cluster.nodes.iter().map(|n| n.obs().counter_values()).collect();
+        ledger_rows(&aggregate_counter_values(snapshots.iter()), rows);
+    }
+    (cluster, elapsed_ms)
+}
+
+/// Run the full telemetry-plane benchmark. See the module docs for the
+/// three measurements.
+pub fn run_trace_plane(config: &TraceBenchConfig) -> TraceBenchResult {
+    // 1. Ledger table: every strategy, immediate (join/leave/refresh
+    //    rows) and batched (the interval path's `batch` rows).
+    let mut rows: BTreeMap<String, LedgerRow> = BTreeMap::new();
+    for strategy in Strategy::ALL {
+        measured_run(config, strategy, false, true, Some(&mut rows));
+        measured_run(config, strategy, true, true, Some(&mut rows));
+    }
+
+    // 2. Trace plane: one more traced run kept alive to interrogate the
+    //    router's store (a trace request forces a final harvest of the
+    //    router's own spans).
+    let (mut cluster, _) = measured_run(config, Strategy::GroupOriented, false, true, None);
+    cluster.request_trace(0);
+    cluster.settle();
+    let store = cluster.router.merger().traces();
+    let traces_stored = store.len();
+    let traces_stitched = store
+        .trace_ids()
+        .iter()
+        .filter_map(|id| store.get(*id))
+        .filter(|t| t.is_stitched())
+        .count();
+    let sample = store.latest_stitched().map(|t| TraceSample {
+        trace_id: t.trace_id,
+        spans: t.spans.len(),
+        hops: t.hops().len(),
+        router_window_us: t.window_us(&[0, 2]),
+        node_window_us: t.window_us(&[1]),
+        rendered: t.render(),
+    });
+
+    // 3. Overhead: interleaved on/off repeats, median of each. The
+    //    interleaving spreads scheduler noise over both modes.
+    let mut baseline = Vec::new();
+    let mut traced = Vec::new();
+    for _ in 0..config.reps.max(1) {
+        baseline.push(measured_run(config, Strategy::GroupOriented, false, false, None).1);
+        traced.push(measured_run(config, Strategy::GroupOriented, false, true, None).1);
+    }
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples[samples.len() / 2]
+    };
+    let baseline_ms = median(&mut baseline);
+    let traced_ms = median(&mut traced);
+    let overhead_pct = (traced_ms - baseline_ms) / baseline_ms.max(1e-9) * 100.0;
+
+    TraceBenchResult {
+        config: config.clone(),
+        rows: rows.into_values().collect(),
+        traces_stored,
+        traces_stitched,
+        sample,
+        baseline_ms,
+        traced_ms,
+        overhead_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_rows_cover_every_strategy_and_traces_stitch() {
+        let config = TraceBenchConfig {
+            shards: 2,
+            members: 24,
+            churn: 4,
+            reps: 1,
+            seed: 11,
+            telemetry_interval_ms: 50,
+        };
+        let r = run_trace_plane(&config);
+        for strategy in ["user", "key", "group"] {
+            for kind in ["join", "leave", "refresh", "batch"] {
+                let op = format!("{strategy}:{kind}");
+                let row = r.rows.iter().find(|row| row.op == op);
+                assert!(row.is_some_and(|row| row.ops > 0), "ledger row {op} populated");
+            }
+        }
+        let leave = r.rows.iter().find(|row| row.op == "key:leave").expect("key:leave row");
+        assert!(leave.encryptions > 0 && leave.messages > 0 && leave.bytes > 0);
+        assert!(r.traces_stored > 0, "router stored traces");
+        assert!(r.traces_stitched > 0, "at least one cross-process trace stitched");
+        let sample = r.sample.expect("a stitched sample");
+        assert!(sample.hops >= 2 && sample.router_window_us > 0);
+        assert!(r.baseline_ms > 0.0 && r.traced_ms > 0.0);
+    }
+}

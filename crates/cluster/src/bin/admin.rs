@@ -6,8 +6,15 @@
 //! ```text
 //! kgc-admin --router 127.0.0.1:7000 session --group 1 --users 8
 //! kgc-admin --router 127.0.0.1:7000 stats --expect 2
+//! kgc-admin --router 127.0.0.1:7000 metrics --format prom
+//! kgc-admin --router 127.0.0.1:7000 trace --id last
 //! kgc-admin --router 127.0.0.1:7000 shutdown
 //! ```
+//!
+//! `metrics` prints the router's merged cluster-wide view (every
+//! shard's pushed telemetry summed with the router's own registry);
+//! `trace` prints one reassembled cross-process trace as an indented
+//! span tree (`--id last` = the latest fully stitched one).
 //!
 //! `shutdown` prints the aggregated `members=… wal_tail=…` summary ack;
 //! `wal_tail=0` is the proof that every shard's final snapshot landed and
@@ -16,13 +23,16 @@
 use bytes::Bytes;
 use kg_core::ids::UserId;
 use kg_net::{EndpointId, Transport, UdpTransport};
+use kg_obs::trace::reassemble;
+use kg_obs::TraceSpan;
 use kg_server::net::leave_authenticator;
 use kg_wire::{ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ROUTER_SHARD};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: kgc-admin --router ADDR [--timeout-ms MS] \
-(session --group G --users N [--batch-ms MS] | stats --expect N | shutdown)";
+(session --group G --users N [--batch-ms MS] | stats --expect N \
+| metrics [--format prom|json] | trace [--id N|last] | shutdown)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("kgc-admin: {msg}\n{USAGE}");
@@ -36,6 +46,8 @@ enum Inbound {
     LeaveAck(UserId, bool),
     Stats(u16, [u64; 5]),
     ShutdownSummary(u64, u64),
+    Metrics(String),
+    TraceSpans(u64, Vec<TraceSpan>),
     Rekey,
 }
 
@@ -47,7 +59,7 @@ struct Admin {
 
 impl Admin {
     fn send_env(&mut self, group: GroupId, body: ClusterBody) {
-        let env = ClusterEnvelope { shard: ROUTER_SHARD, group, body };
+        let env = ClusterEnvelope::new(ROUTER_SHARD, group, body);
         self.net.send_unicast(self.endpoint, self.router, Bytes::from(env.encode()));
     }
 
@@ -78,6 +90,12 @@ impl Admin {
                                 env.shard.0,
                                 [members, intervals, requests, encryptions, pending],
                             ));
+                        }
+                        ClusterBody::MetricsReport { text } => {
+                            return Some(Inbound::Metrics(text));
+                        }
+                        ClusterBody::TraceReport { trace_id, spans } => {
+                            return Some(Inbound::TraceSpans(trace_id, spans));
                         }
                         _ => continue,
                     }
@@ -155,6 +173,51 @@ fn session(admin: &mut Admin, group: GroupId, users: u64, timeout: Duration) -> 
     0
 }
 
+/// Fetch and print the merged cluster metrics view.
+fn metrics(admin: &mut Admin, format: u8, timeout: Duration) -> i32 {
+    admin.send_env(GroupId(0), ClusterBody::MetricsRequest { format });
+    let deadline = Instant::now() + timeout;
+    loop {
+        match admin.recv(deadline) {
+            Some(Inbound::Metrics(text)) => {
+                print!("{text}");
+                break 0;
+            }
+            Some(_) => {}
+            None => {
+                eprintln!("kgc-admin: timed out waiting for the metrics report");
+                break 1;
+            }
+        }
+    }
+}
+
+/// Fetch one trace (0 = latest stitched) and print its span tree. The
+/// request is retried until the deadline: spans reach the router on the
+/// nodes' telemetry cadence, so right after a session the trace store
+/// may briefly lag the traffic.
+fn trace(admin: &mut Admin, trace_id: u64, timeout: Duration) -> i32 {
+    let deadline = Instant::now() + timeout;
+    loop {
+        admin.send_env(GroupId(0), ClusterBody::TraceRequest { trace_id });
+        let attempt = (Instant::now() + Duration::from_millis(500)).min(deadline);
+        match admin.recv(attempt) {
+            Some(Inbound::TraceSpans(id, spans)) if id != 0 => {
+                for t in reassemble(spans) {
+                    print!("{}", t.render());
+                }
+                return 0;
+            }
+            Some(_) | None => {}
+        }
+        if Instant::now() >= deadline {
+            eprintln!("kgc-admin: timed out waiting for a reassembled trace");
+            return 1;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
 fn main() {
     let mut router: Option<String> = None;
     let mut timeout = Duration::from_millis(30_000);
@@ -162,6 +225,8 @@ fn main() {
     let mut group = 1u32;
     let mut users = 8u64;
     let mut expect = 1usize;
+    let mut format = 0u8;
+    let mut trace_id = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -179,7 +244,22 @@ fn main() {
             "--expect" => {
                 expect = value("--expect").parse().unwrap_or_else(|_| fail("bad --expect"))
             }
-            "session" | "stats" | "shutdown" => command = Some(arg),
+            "--format" => {
+                format = match value("--format").as_str() {
+                    "prom" | "prometheus" => 0,
+                    "json" => 1,
+                    other => fail(&format!("bad --format {other} (want prom or json)")),
+                }
+            }
+            "--id" => {
+                let v = value("--id");
+                trace_id = if v == "last" {
+                    0
+                } else {
+                    v.parse().unwrap_or_else(|_| fail("bad --id (want a trace id or 'last')"))
+                };
+            }
+            "session" | "stats" | "metrics" | "trace" | "shutdown" => command = Some(arg),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -202,6 +282,8 @@ fn main() {
 
     let code = match command.as_str() {
         "session" => session(&mut admin, GroupId(group), users, timeout),
+        "metrics" => metrics(&mut admin, format, timeout),
+        "trace" => trace(&mut admin, trace_id, timeout),
         "stats" => {
             admin.send_env(GroupId(0), ClusterBody::StatsRequest);
             let deadline = Instant::now() + timeout;

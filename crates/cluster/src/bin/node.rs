@@ -21,7 +21,8 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 const USAGE: &str = "usage: kgc-node --shard N --bind ADDR --router ADDR \
-[--dir PATH] [--seed N] [--degree N] [--batch-ms MS] [--max-pending N] [--quiet]";
+[--dir PATH] [--seed N] [--degree N] [--batch-ms MS] [--max-pending N] \
+[--telemetry-ms MS] [--quiet]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("kgc-node: {msg}\n{USAGE}");
@@ -36,6 +37,7 @@ fn main() {
     let mut template = ServerConfig::default();
     let mut batch_ms: Option<u64> = None;
     let mut max_pending: usize = 1024;
+    let mut telemetry_ms: Option<u64> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -62,6 +64,11 @@ fn main() {
             "--max-pending" => {
                 max_pending =
                     value("--max-pending").parse().unwrap_or_else(|_| fail("bad --max-pending"))
+            }
+            "--telemetry-ms" => {
+                telemetry_ms = Some(
+                    value("--telemetry-ms").parse().unwrap_or_else(|_| fail("bad --telemetry-ms")),
+                )
             }
             "--quiet" => quiet = true,
             "--help" | "-h" => {
@@ -92,6 +99,7 @@ fn main() {
         acl: AccessControl::AllowAll,
         persist_root: dir,
         persist: PersistConfig::default(),
+        telemetry_interval_ms: telemetry_ms,
     };
     // `resume` with an empty or absent root is a fresh start; with
     // existing slice directories it is crash recovery.

@@ -6,17 +6,24 @@
 //! ```text
 //! kgc-router --bind 127.0.0.1:7000 --shards 2 \
 //!            --peer 0=127.0.0.1:7100 --peer 1=127.0.0.1:7101 \
-//!            --span 1=2
+//!            --span 1=2 --flight-recorder /tmp/kgc-flight.json
 //! ```
+//!
+//! `--flight-recorder PATH` writes the telemetry flight-recorder dump
+//! (merged metrics, recent raw snapshots, timeline tail) on shutdown
+//! and on panic; `--no-trace` disables per-request distributed traces.
 
 use kg_cluster::{Router, RouterEvent, ShardMap};
 use kg_net::{EndpointId, Transport, UdpTransport};
 use kg_obs::{Obs, ObsConfig};
 use kg_wire::GroupId;
-use std::time::Duration;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: kgc-router --bind ADDR --shards N \
-[--peer SHARD=ADDR ...] [--span GROUP=SPAN ...] [--default-group G] [--quiet]";
+[--peer SHARD=ADDR ...] [--span GROUP=SPAN ...] [--default-group G] \
+[--flight-recorder PATH] [--no-trace] [--quiet]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("kgc-router: {msg}\n{USAGE}");
@@ -36,6 +43,8 @@ fn main() {
     let mut peers: Vec<(u16, String)> = Vec::new();
     let mut spans: Vec<(u32, u16)> = Vec::new();
     let mut default_group: Option<u32> = None;
+    let mut flight_recorder: Option<PathBuf> = None;
+    let mut no_trace = false;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -62,6 +71,10 @@ fn main() {
                 default_group =
                     Some(value("--default-group").parse().unwrap_or_else(|_| fail("bad group id")))
             }
+            "--flight-recorder" => {
+                flight_recorder = Some(PathBuf::from(value("--flight-recorder")))
+            }
+            "--no-trace" => no_trace = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -93,6 +106,24 @@ fn main() {
     if let Some(g) = default_group {
         router.set_default_group(GroupId(g));
     }
+    if no_trace {
+        router.set_tracing(false);
+    }
+    // Flight recorder: keep the latest dump in shared memory, refreshed
+    // about once a second; a panic writes the last refresh before the
+    // process dies, a clean shutdown writes a final one below.
+    let last_dump: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+    if let Some(path) = flight_recorder.clone() {
+        let dump = Arc::clone(&last_dump);
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(text) = dump.lock() {
+                let _ = std::fs::write(&path, text.as_str());
+            }
+            default_hook(info);
+        }));
+    }
+    let mut last_refresh = Instant::now();
     if !quiet {
         eprintln!(
             "kgc-router: serving {} shard(s) on {} (endpoint {})",
@@ -115,6 +146,19 @@ fn main() {
                 _ => {}
             }
         }
+        if flight_recorder.is_some() && last_refresh.elapsed() >= Duration::from_secs(1) {
+            last_refresh = Instant::now();
+            *last_dump.lock().expect("flight recorder lock") = router.flight_recorder_dump();
+        }
         std::thread::sleep(Duration::from_millis(1));
+    }
+    if let Some(path) = &flight_recorder {
+        match std::fs::write(path, router.flight_recorder_dump()) {
+            Ok(()) if !quiet => {
+                eprintln!("kgc-router: flight recorder written to {}", path.display());
+            }
+            Err(e) => eprintln!("kgc-router: flight recorder write failed: {e}"),
+            _ => {}
+        }
     }
 }

@@ -17,6 +17,9 @@
 //!   the owning shard, relays grants/acks back, fans rekey bundles out to
 //!   slice multicast groups or unicast target sets, and aggregates the
 //!   admin plane (refresh, stats, coordinated shutdown).
+//! * [`TelemetryMerger`] — the router-side telemetry plane: merges the
+//!   nodes' periodic snapshot pushes into one cluster-wide metrics view
+//!   and stores cross-process trace spans for reassembly.
 //! * [`SimCluster`] — the whole deployment in one process on the
 //!   deterministic [`kg_net::SimNetwork`], for tests and benchmarks.
 //!
@@ -31,11 +34,13 @@ pub mod map;
 pub mod node;
 pub mod router;
 pub mod sim;
+pub mod telemetry;
 
 pub use map::{group_seed, mix64, ShardMap};
-pub use node::{NodeConfig, NodeEvent, ShardNode, REKEY_USERS_CHUNK};
+pub use node::{NodeConfig, NodeEvent, ShardNode, REKEY_USERS_CHUNK, TELEMETRY_SPAN_TAIL};
 pub use router::{Router, RouterEvent};
 pub use sim::{GrantInfo, MemberTraffic, SimCluster};
+pub use telemetry::{TelemetryMerger, TraceStore, FLIGHT_RECORDER_CAPACITY, TRACE_STORE_CAPACITY};
 
 /// Sum per-shard counter snapshots (as produced by
 /// [`kg_obs::Obs::counter_values`]) into one aggregated view, keyed by

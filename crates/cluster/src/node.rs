@@ -19,10 +19,10 @@ use kg_core::rekey::Recipients;
 use kg_crypto::hmac::{hmac, verify_mac};
 use kg_crypto::md5::Md5;
 use kg_net::{EndpointId, Transport};
-use kg_obs::Obs;
+use kg_obs::{Obs, ObsEvent, TraceContext};
 use kg_persist::PersistConfig;
 use kg_server::{AccessControl, GroupKeyServer, RecoverError, RequestError, ServerConfig};
-use kg_wire::{ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ShardId};
+use kg_wire::{ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ShardId, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -30,6 +30,14 @@ use std::path::PathBuf;
 /// both by the wire codec's count limit (65 536) and the UDP frame budget;
 /// 4 096 ids is 32 KiB of header, leaving room for the packet payload.
 pub const REKEY_USERS_CHUNK: usize = 4096;
+
+/// Most trace-span records carried in one telemetry snapshot; older
+/// spans are dropped first (the counters still count them).
+pub const TELEMETRY_SPAN_TAIL: usize = 256;
+
+/// Encoded-size ceiling for one telemetry snapshot, under the transport
+/// frame budget with room for the envelope header.
+const TELEMETRY_FRAME_BUDGET: usize = 60_000;
 
 /// Configuration for one shard node.
 #[derive(Debug, Clone)]
@@ -47,12 +55,23 @@ pub struct NodeConfig {
     pub persist_root: Option<PathBuf>,
     /// WAL/snapshot thresholds for persistent slices.
     pub persist: PersistConfig,
+    /// When set, the node pushes a [`TelemetrySnapshot`] to the router
+    /// every this many milliseconds (checked at [`ShardNode::tick`]).
+    /// `None` disables the stream.
+    pub telemetry_interval_ms: Option<u64>,
 }
 
 impl NodeConfig {
     /// An in-memory node for `shard` from a template config.
     pub fn in_memory(shard: ShardId, template: ServerConfig, acl: AccessControl) -> Self {
-        NodeConfig { shard, template, acl, persist_root: None, persist: PersistConfig::default() }
+        NodeConfig {
+            shard,
+            template,
+            acl,
+            persist_root: None,
+            persist: PersistConfig::default(),
+            telemetry_interval_ms: None,
+        }
     }
 
     /// The server config a slice of `group` runs with.
@@ -107,6 +126,13 @@ pub enum NodeEvent {
         /// proves every final snapshot landed.
         wal_tail: u64,
     },
+    /// A telemetry snapshot was pushed to the router.
+    TelemetryPushed {
+        /// The snapshot's gap-free sequence number.
+        seq: u64,
+        /// Trace-span records carried in the tail.
+        spans: usize,
+    },
 }
 
 /// One shard's key servers behind a cluster-plane endpoint.
@@ -122,6 +148,14 @@ pub struct ShardNode {
     requests: u64,
     /// Intervals flushed, for the admin stats report.
     intervals: u64,
+    /// Gap-free sequence of the telemetry snapshots pushed so far.
+    telemetry_seq: u64,
+    /// Absolute counter values as of the last push, for delta encoding.
+    pushed_counters: BTreeMap<String, u64>,
+    /// Highest timeline seq whose span records were already exported.
+    exported_seq: u64,
+    /// Next telemetry push is due at this tick time.
+    next_push_ms: u64,
 }
 
 impl ShardNode {
@@ -134,6 +168,7 @@ impl ShardNode {
         obs: Obs,
     ) -> Self {
         let endpoint = net.endpoint();
+        obs.set_trace_salt(endpoint.0 as u64);
         ShardNode {
             config,
             endpoint,
@@ -143,6 +178,10 @@ impl ShardNode {
             running: true,
             requests: 0,
             intervals: 0,
+            telemetry_seq: 0,
+            pushed_counters: BTreeMap::new(),
+            exported_seq: 0,
+            next_push_ms: 0,
         }
     }
 
@@ -180,6 +219,7 @@ impl ShardNode {
                 }
             }
         }
+        obs.set_trace_salt(endpoint.0 as u64);
         Ok(ShardNode {
             config,
             endpoint,
@@ -189,7 +229,17 @@ impl ShardNode {
             running: true,
             requests: 0,
             intervals: 0,
+            telemetry_seq: 0,
+            pushed_counters: BTreeMap::new(),
+            exported_seq: 0,
+            next_push_ms: 0,
         })
+    }
+
+    /// Turn the periodic telemetry stream on (or retime it) after
+    /// construction; the in-process harness uses this.
+    pub fn set_telemetry_interval(&mut self, interval_ms: u64) {
+        self.config.telemetry_interval_ms = Some(interval_ms);
     }
 
     /// The node's cluster-plane endpoint.
@@ -252,7 +302,11 @@ impl ShardNode {
     }
 
     fn send<T: Transport>(&self, net: &mut T, group: GroupId, body: ClusterBody) {
-        let env = ClusterEnvelope { shard: self.config.shard, group, body };
+        // Inside a traced request every outbound frame (ack, grant,
+        // rekey bundle) carries the context one hop further, parented
+        // under the node's innermost open span.
+        let trace = self.obs.current_trace().map(TraceContext::next_hop);
+        let env = ClusterEnvelope { shard: self.config.shard, group, trace, body };
         net.send_unicast(self.endpoint, self.router, Bytes::from(env.encode()));
     }
 
@@ -467,9 +521,59 @@ impl ShardNode {
         }
         let members = self.member_total();
         let wal_tail = self.wal_tail_total();
+        // Final telemetry push before the ack, so the router's flight
+        // recorder holds this node's last moments.
+        if self.config.telemetry_interval_ms.is_some() {
+            self.push_telemetry(net);
+        }
         self.send(net, GroupId(0), ClusterBody::ShutdownAck { members, wal_tail });
         self.running = false;
         NodeEvent::ShutdownComplete { members, wal_tail }
+    }
+
+    /// Build and push one bounded telemetry snapshot: counter deltas
+    /// since the last push, absolute gauges and histogram digests, and
+    /// the trace-span records appended to the timeline since then.
+    fn push_telemetry<T: Transport>(&mut self, net: &mut T) -> NodeEvent {
+        self.telemetry_seq += 1;
+        let mut counters = Vec::new();
+        for (name, v) in self.obs.counter_values() {
+            let prev = self.pushed_counters.insert(name.clone(), v).unwrap_or(0);
+            let delta = v.saturating_sub(prev);
+            if delta > 0 {
+                counters.push((name, delta));
+            }
+        }
+        let mut spans = Vec::new();
+        for entry in self.obs.timeline_since(self.exported_seq) {
+            self.exported_seq = entry.seq;
+            if let ObsEvent::Span(s) = entry.event {
+                spans.push(s);
+            }
+        }
+        if spans.len() > TELEMETRY_SPAN_TAIL {
+            spans.drain(..spans.len() - TELEMETRY_SPAN_TAIL);
+        }
+        let mut snapshot = TelemetrySnapshot {
+            seq: self.telemetry_seq,
+            at_us: self.obs.now_us(),
+            counters,
+            gauges: self.obs.gauge_values(),
+            hists: self.obs.histogram_values(),
+            spans,
+        };
+        // Stay inside the datagram budget: spans are the bulk, so shed
+        // oldest-first, then histogram digests if that still overflows.
+        while snapshot.wire_len() > TELEMETRY_FRAME_BUDGET && !snapshot.spans.is_empty() {
+            snapshot.spans.remove(0);
+        }
+        while snapshot.wire_len() > TELEMETRY_FRAME_BUDGET && !snapshot.hists.is_empty() {
+            snapshot.hists.pop();
+        }
+        let spans = snapshot.spans.len();
+        let seq = snapshot.seq;
+        self.send(net, GroupId(0), ClusterBody::Telemetry { snapshot });
+        NodeEvent::TelemetryPushed { seq, spans }
     }
 
     fn stats_report(&self) -> ClusterBody {
@@ -506,6 +610,12 @@ impl ShardNode {
                 }
             };
             let group = env.group;
+            // A traced envelope re-enters its trace for the duration of
+            // the handling: the `node.parse` span (and every server span
+            // nested in it — tree surgery, encryption, encoding) records
+            // into the timeline, linked under the router's relay span.
+            let _trace = env.trace.map(|ctx| self.obs.trace_scope(ctx));
+            let _span = env.trace.map(|_| self.obs.span("node.parse"));
             match env.body {
                 ClusterBody::Control(ControlMessage::JoinRequest { user }) => {
                     events.push(self.handle_join(net, group, user));
@@ -532,7 +642,9 @@ impl ShardNode {
         events
     }
 
-    /// Drain the inbox, then flush any group slice whose interval is due.
+    /// Drain the inbox, then flush any group slice whose interval is
+    /// due, then push a telemetry snapshot if the stream is on and one
+    /// is due.
     pub fn tick<T: Transport>(&mut self, net: &mut T, now_ms: u64) -> Vec<NodeEvent> {
         let mut events = self.poll(net);
         let groups: Vec<GroupId> = self.groups.keys().copied().collect();
@@ -541,9 +653,15 @@ impl ShardNode {
                 Ok(None) => {}
                 Ok(Some(batch)) => self.dispatch_batch(net, group, batch, &mut events),
                 Err(e) => {
-                    self.obs.event(kg_obs::ObsEvent::FlushFailed { error: e.to_string() });
+                    self.obs.event(ObsEvent::FlushFailed { error: e.to_string() });
                     events.push(NodeEvent::Failed(group, e));
                 }
+            }
+        }
+        if let Some(interval) = self.config.telemetry_interval_ms {
+            if self.running && now_ms >= self.next_push_ms {
+                self.next_push_ms = now_ms + interval;
+                events.push(self.push_telemetry(net));
             }
         }
         events

@@ -17,7 +17,13 @@
 //!   directory — the §7 "multicast via unicast" fallback,
 //! * serves the admin plane: a [`ClusterBody::Shutdown`] addressed to
 //!   [`ROUTER_SHARD`] is broadcast to every shard and the per-shard
-//!   acknowledgements are aggregated into one summary ack.
+//!   acknowledgements are aggregated into one summary ack,
+//! * runs the telemetry plane: allocates a distributed trace per client
+//!   request (stamped into the tunnelled envelope, so the shard's spans
+//!   link under the router's), merges the periodic
+//!   [`ClusterBody::Telemetry`] pushes into one cluster-wide view, and
+//!   answers [`ClusterBody::MetricsRequest`] /
+//!   [`ClusterBody::TraceRequest`] lookups from admins.
 //!
 //! Members may also address a group explicitly by sending the envelope
 //! form themselves ([`ClusterBody::Control`] with the group id filled
@@ -29,12 +35,18 @@
 
 use bytes::Bytes;
 use kg_core::ids::UserId;
-use kg_net::{EndpointId, MulticastAddr, Transport};
-use kg_obs::Obs;
+use kg_net::{EndpointId, MulticastAddr, Transport, MAX_UDP_PAYLOAD};
+use kg_obs::trace::splitmix64;
+use kg_obs::{Obs, ObsEvent, TraceContext};
 use kg_wire::{ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ShardId, ROUTER_SHARD};
 use std::collections::BTreeMap;
 
 use crate::map::ShardMap;
+use crate::telemetry::TelemetryMerger;
+
+/// Most span records returned in one [`ClusterBody::TraceReport`], so
+/// the reply stays inside the transport frame budget.
+const TRACE_REPORT_SPAN_CAP: usize = 512;
 
 /// Events surfaced to the router's driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +114,25 @@ pub enum RouterEvent {
         /// The reporting shard.
         shard: ShardId,
     },
+    /// A node telemetry snapshot was merged into the cluster view.
+    TelemetryMerged {
+        /// The pushing shard.
+        shard: ShardId,
+        /// The snapshot's gap-free sequence number.
+        seq: u64,
+    },
+    /// A merged metrics view was rendered and sent to an admin.
+    MetricsServed {
+        /// Requested format (0 = Prometheus text, 1 = JSON).
+        format: u8,
+    },
+    /// A trace lookup was answered.
+    TraceServed {
+        /// The trace returned (0 = nothing matched).
+        trace_id: u64,
+        /// Span records in the reply.
+        spans: usize,
+    },
     /// An inbound datagram was neither a control message nor an envelope.
     BadDatagram {
         /// Claimed sender.
@@ -125,6 +156,15 @@ pub struct Router {
     /// Lazily allocated slice multicast addresses.
     slice_addrs: BTreeMap<(GroupId, ShardId), MulticastAddr>,
     obs: Obs,
+    /// Whether a distributed trace is allocated per client request.
+    /// On by default; the bench turns it off to measure the overhead.
+    tracing: bool,
+    /// Monotone counter behind trace-id allocation.
+    next_trace: u64,
+    /// Merged node telemetry and the cross-process trace store.
+    merger: TelemetryMerger,
+    /// Highest own-timeline seq already harvested into the trace store.
+    harvested_seq: u64,
     /// In-flight admin shutdown: the admin's endpoint and the per-shard
     /// acks collected so far.
     shutdown: Option<(EndpointId, ShutdownAcks)>,
@@ -138,6 +178,9 @@ impl Router {
     /// (their endpoints may not exist yet).
     pub fn new<T: Transport>(map: ShardMap, net: &mut T, obs: Obs) -> Self {
         let endpoint = net.endpoint();
+        // Per-process span-id salt, so router span ids never collide
+        // with node span ids inside one trace.
+        obs.set_trace_salt(endpoint.0 as u64);
         Router {
             map,
             endpoint,
@@ -146,6 +189,10 @@ impl Router {
             directory: BTreeMap::new(),
             slice_addrs: BTreeMap::new(),
             obs,
+            tracing: true,
+            next_trace: 0,
+            merger: TelemetryMerger::default(),
+            harvested_seq: 0,
             shutdown: None,
             admin: None,
             running: true,
@@ -184,6 +231,19 @@ impl Router {
         self.default_group = group;
     }
 
+    /// Enable or disable per-request distributed tracing (on by
+    /// default). Disabled, no trace context is allocated or stamped and
+    /// the request path matches the pre-telemetry router byte for byte.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The merged telemetry view (for in-process drivers; remote admins
+    /// use [`ClusterBody::MetricsRequest`]).
+    pub fn merger(&self) -> &TelemetryMerger {
+        &self.merger
+    }
+
     /// Current member directory size (admitted and in-flight members).
     pub fn directory_len(&self) -> usize {
         self.directory.len()
@@ -200,13 +260,56 @@ impl Router {
         *self.slice_addrs.entry((group, shard)).or_insert_with(|| net.multicast_group())
     }
 
+    /// A fresh nonzero trace id, deterministic per router instance.
+    fn alloc_trace_id(&mut self) -> u64 {
+        self.next_trace += 1;
+        let id = splitmix64(splitmix64(self.endpoint.0 as u64) ^ self.next_trace);
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
+
+    /// Pull span records the router's own traced spans appended to its
+    /// timeline since the last harvest into the trace store, so lookups
+    /// see all three hops, not just the node-pushed middle one.
+    fn harvest_own_spans(&mut self) {
+        for entry in self.obs.timeline_since(self.harvested_seq) {
+            self.harvested_seq = entry.seq;
+            if let ObsEvent::Span(s) = entry.event {
+                self.merger.ingest_spans([s]);
+            }
+        }
+    }
+
+    /// The flight-recorder dump: merged view, recent raw snapshots, and
+    /// the router timeline tail. Binaries write this on shutdown/panic.
+    pub fn flight_recorder_dump(&mut self) -> String {
+        self.harvest_own_spans();
+        self.merger.render_flight_recorder(&self.obs)
+    }
+
     fn forward_request<T: Transport>(
         &mut self,
         net: &mut T,
         group: GroupId,
         msg: ControlMessage,
         from: EndpointId,
+        inbound: Option<TraceContext>,
     ) -> RouterEvent {
+        // Adopt the sender's trace if the envelope carried one;
+        // otherwise this is the ingress, so allocate a fresh root.
+        let _trace = match inbound {
+            Some(ctx) => Some(self.obs.trace_scope(ctx)),
+            None if self.tracing => {
+                let id = self.alloc_trace_id();
+                Some(self.obs.trace_scope(TraceContext::root(id)))
+            }
+            None => None,
+        };
+        let _recv = self.obs.span("router.recv");
+        let _relay = self.obs.span("relay");
         let user = match &msg {
             ControlMessage::JoinRequest { user } => *user,
             ControlMessage::LeaveRequest { user, .. } => *user,
@@ -217,7 +320,8 @@ impl Router {
         // replies (and the joiner's unicast rekey packet) always resolve.
         self.directory.insert((group, user), from);
         let shard = self.map.owner(group, user);
-        let env = ClusterEnvelope { shard, group, body: ClusterBody::Control(msg) };
+        let trace = self.obs.current_trace().map(TraceContext::next_hop);
+        let env = ClusterEnvelope { shard, group, trace, body: ClusterBody::Control(msg) };
         if let Some(&ep) = self.shards.get(&shard) {
             net.send_unicast(self.endpoint, ep, Bytes::from(env.encode()));
         }
@@ -234,13 +338,41 @@ impl Router {
         from: EndpointId,
     ) -> Option<RouterEvent> {
         let group = env.group;
+        let shard = env.shard;
+        let ctx = env.trace;
         match env.body {
             // Client plane, inbound: requests tunnelled with an explicit
             // group id.
             ClusterBody::Control(
                 msg @ (ControlMessage::JoinRequest { .. } | ControlMessage::LeaveRequest { .. }),
-            ) => Some(self.forward_request(net, group, msg, from)),
+            ) => Some(self.forward_request(net, group, msg, from, ctx)),
 
+            body => {
+                // Mark this hop of the trace (if the frame carried one)
+                // with a single zero-duration record parented under the
+                // sender's span: the relay's own work is sub-microsecond,
+                // so the full span machinery would cost more than the
+                // thing it measures.
+                if let Some(c) = ctx {
+                    self.obs.record_hop_span(c, "router.fanout");
+                }
+                self.handle_relay(net, group, shard, body, from, ctx)
+            }
+        }
+    }
+
+    /// The non-request arms of [`Self::handle_envelope`]. `ctx` is the
+    /// frame's trace context, already recorded as a fan-out hop.
+    fn handle_relay<T: Transport>(
+        &mut self,
+        net: &mut T,
+        group: GroupId,
+        shard: ShardId,
+        body: ClusterBody,
+        from: EndpointId,
+        ctx: Option<TraceContext>,
+    ) -> Option<RouterEvent> {
+        match body {
             // Client plane, outbound: acks from a shard, relayed raw so
             // the member's protocol is the single-server one.
             ClusterBody::Control(msg) => {
@@ -250,15 +382,15 @@ impl Router {
                     ControlMessage::JoinDenied { user } | ControlMessage::LeaveDenied { user } => {
                         (*user, false, false)
                     }
-                    _ => unreachable!("requests matched above"),
+                    _ => unreachable!("requests matched by the caller"),
                 };
                 let &ep = self.directory.get(&(group, user))?;
                 if admitted {
-                    let addr = self.slice_addr(net, group, env.shard);
+                    let addr = self.slice_addr(net, group, shard);
                     net.join_group(addr, ep);
                 }
                 if departed {
-                    let addr = self.slice_addr(net, group, env.shard);
+                    let addr = self.slice_addr(net, group, shard);
                     net.leave_group(addr, ep);
                     self.directory.remove(&(group, user));
                 }
@@ -270,21 +402,21 @@ impl Router {
             // verbatim (the member-side driver decodes the envelope).
             ClusterBody::Grant { user, key, leaf_label, path_labels } => {
                 let &ep = self.directory.get(&(group, user))?;
-                let env = ClusterEnvelope {
-                    shard: env.shard,
+                let env = ClusterEnvelope::new(
+                    shard,
                     group,
-                    body: ClusterBody::Grant { user, key, leaf_label, path_labels },
-                };
+                    ClusterBody::Grant { user, key, leaf_label, path_labels },
+                );
                 net.send_unicast(self.endpoint, ep, Bytes::from(env.encode()));
                 Some(RouterEvent::GrantRelayed { group, user })
             }
 
             ClusterBody::RekeyGroup { payload } => {
                 let bytes = payload.len();
-                let addr = self.slice_addr(net, group, env.shard);
+                let addr = self.slice_addr(net, group, shard);
                 net.send_multicast(self.endpoint, addr, Bytes::from(payload));
                 self.obs.counter("kg_cluster_rekey_multicast_total").inc();
-                Some(RouterEvent::RekeyMulticast { group, shard: env.shard, bytes })
+                Some(RouterEvent::RekeyMulticast { group, shard, bytes })
             }
 
             ClusterBody::RekeyUsers { users, payload } => {
@@ -303,20 +435,21 @@ impl Router {
             ClusterBody::Refresh => {
                 let shards = self.map.shards_of(group);
                 let count = shards.len();
+                let trace = ctx.map(TraceContext::next_hop);
                 for shard in shards {
                     if let Some(&ep) = self.shards.get(&shard) {
-                        let env = ClusterEnvelope { shard, group, body: ClusterBody::Refresh };
+                        let env =
+                            ClusterEnvelope { shard, group, trace, body: ClusterBody::Refresh };
                         net.send_unicast(self.endpoint, ep, Bytes::from(env.encode()));
                     }
                 }
                 Some(RouterEvent::RefreshForwarded { group, shards: count })
             }
 
-            ClusterBody::Shutdown if env.shard == ROUTER_SHARD => {
+            ClusterBody::Shutdown if shard == ROUTER_SHARD => {
                 self.shutdown = Some((from, Vec::new()));
                 for (&shard, &ep) in &self.shards {
-                    let env =
-                        ClusterEnvelope { shard, group: GroupId(0), body: ClusterBody::Shutdown };
+                    let env = ClusterEnvelope::new(shard, GroupId(0), ClusterBody::Shutdown);
                     net.send_unicast(self.endpoint, ep, Bytes::from(env.encode()));
                 }
                 Some(RouterEvent::ShutdownStarted)
@@ -324,18 +457,18 @@ impl Router {
 
             ClusterBody::ShutdownAck { members, wal_tail } => {
                 let (admin, mut acks) = self.shutdown.take()?;
-                acks.push((env.shard, members, wal_tail));
+                acks.push((shard, members, wal_tail));
                 if acks.len() < self.shards.len() {
                     self.shutdown = Some((admin, acks));
                     return None;
                 }
                 let members: u64 = acks.iter().map(|(_, m, _)| m).sum();
                 let wal_tail: u64 = acks.iter().map(|(_, _, w)| w).sum();
-                let summary = ClusterEnvelope {
-                    shard: ROUTER_SHARD,
-                    group: GroupId(0),
-                    body: ClusterBody::ShutdownAck { members, wal_tail },
-                };
+                let summary = ClusterEnvelope::new(
+                    ROUTER_SHARD,
+                    GroupId(0),
+                    ClusterBody::ShutdownAck { members, wal_tail },
+                );
                 net.send_unicast(self.endpoint, admin, Bytes::from(summary.encode()));
                 self.running = false;
                 Some(RouterEvent::ShutdownComplete { members, wal_tail })
@@ -344,22 +477,76 @@ impl Router {
             ClusterBody::StatsRequest => {
                 self.admin = Some(from);
                 for (&shard, &ep) in &self.shards {
-                    let env = ClusterEnvelope {
-                        shard,
-                        group: GroupId(0),
-                        body: ClusterBody::StatsRequest,
-                    };
+                    let env = ClusterEnvelope::new(shard, GroupId(0), ClusterBody::StatsRequest);
                     net.send_unicast(self.endpoint, ep, Bytes::from(env.encode()));
                 }
                 None
             }
 
-            ClusterBody::StatsReport { .. } => {
+            body @ ClusterBody::StatsReport { .. } => {
                 let admin = self.admin?;
-                let shard = env.shard;
+                let env = ClusterEnvelope::new(shard, group, body);
                 net.send_unicast(self.endpoint, admin, Bytes::from(env.encode()));
                 Some(RouterEvent::StatsRelayed { shard })
             }
+
+            // Telemetry plane. Harvesting the router's own spans on
+            // every push keeps the trace store populated in time order:
+            // a node's spans land next to the router spans for the same
+            // window, so capacity eviction drops whole old traces
+            // instead of splitting recent ones (a single bulk harvest
+            // at lookup time would re-insert long-evicted trace ids and
+            // push out every stitched entry).
+            ClusterBody::Telemetry { snapshot } => {
+                self.harvest_own_spans();
+                let seq = snapshot.seq;
+                self.obs
+                    .counter_with("kg_cluster_telemetry_total", "shard", &shard.0.to_string())
+                    .inc();
+                if self.merger.ingest(shard, snapshot) {
+                    Some(RouterEvent::TelemetryMerged { shard, seq })
+                } else {
+                    None
+                }
+            }
+
+            ClusterBody::MetricsRequest { format } => {
+                self.harvest_own_spans();
+                let text = match format {
+                    1 => self.merger.render_json(&self.obs),
+                    _ => self.merger.render_prometheus(&self.obs),
+                };
+                let reply = ClusterEnvelope::new(
+                    ROUTER_SHARD,
+                    GroupId(0),
+                    ClusterBody::MetricsReport { text: clip_to_frame(text) },
+                );
+                net.send_unicast(self.endpoint, from, Bytes::from(reply.encode()));
+                Some(RouterEvent::MetricsServed { format })
+            }
+
+            ClusterBody::TraceRequest { trace_id } => {
+                self.harvest_own_spans();
+                let found = if trace_id == 0 {
+                    self.merger.traces().latest_stitched()
+                } else {
+                    self.merger.traces().get(trace_id)
+                };
+                let (trace_id, mut spans) =
+                    found.map_or((0, Vec::new()), |t| (t.trace_id, t.spans));
+                spans.truncate(TRACE_REPORT_SPAN_CAP);
+                let count = spans.len();
+                let reply = ClusterEnvelope::new(
+                    ROUTER_SHARD,
+                    GroupId(0),
+                    ClusterBody::TraceReport { trace_id, spans },
+                );
+                net.send_unicast(self.endpoint, from, Bytes::from(reply.encode()));
+                Some(RouterEvent::TraceServed { trace_id, spans: count })
+            }
+
+            // Reports echoed back at the router are not ours to act on.
+            ClusterBody::MetricsReport { .. } | ClusterBody::TraceReport { .. } => None,
 
             ClusterBody::Shutdown => None, // shard-addressed; not ours to act on
         }
@@ -374,7 +561,7 @@ impl Router {
                 match ClusterEnvelope::decode(&dg.payload) {
                     Ok(env) => events.extend(self.handle_envelope(net, env, dg.from)),
                     Err(error) => {
-                        self.obs.event(kg_obs::ObsEvent::BadDatagram {
+                        self.obs.event(ObsEvent::BadDatagram {
                             from: dg.from.0 as u64,
                             error: error.to_string(),
                         });
@@ -389,11 +576,11 @@ impl Router {
                     @ (ControlMessage::JoinRequest { .. } | ControlMessage::LeaveRequest { .. }),
                 ) => {
                     let group = self.default_group;
-                    events.push(self.forward_request(net, group, msg, dg.from));
+                    events.push(self.forward_request(net, group, msg, dg.from, None));
                 }
                 Ok(_) => {} // stray acks echoed back at the router
                 Err(error) => {
-                    self.obs.event(kg_obs::ObsEvent::BadDatagram {
+                    self.obs.event(ObsEvent::BadDatagram {
                         from: dg.from.0 as u64,
                         error: error.to_string(),
                     });
@@ -403,4 +590,18 @@ impl Router {
         }
         events
     }
+}
+
+/// Truncate rendered report text to the transport frame budget (UTF-8
+/// safe), leaving room for the envelope header.
+fn clip_to_frame(mut text: String) -> String {
+    const BUDGET: usize = MAX_UDP_PAYLOAD - 256;
+    if text.len() > BUDGET {
+        let mut cut = BUDGET;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
+    }
+    text
 }

@@ -68,6 +68,9 @@ pub struct SimCluster {
     /// When set, every member shares the driver endpoint — the bench
     /// mode, where per-member inboxes would only be drained and dropped.
     shared_client_endpoint: bool,
+    /// Telemetry push interval handed to recovered nodes (see
+    /// [`Self::enable_telemetry`]).
+    telemetry_interval_ms: Option<u64>,
 }
 
 impl SimCluster {
@@ -93,6 +96,7 @@ impl SimCluster {
                 acl: acl.clone(),
                 persist_root: persist_root.map(|r| r.join(format!("shard-{}", shard.0))),
                 persist: PersistConfig::default(),
+                telemetry_interval_ms: None,
             };
             let node =
                 ShardNode::new(config, &mut net, router.endpoint(), Obs::new(ObsConfig::default()));
@@ -115,7 +119,36 @@ impl SimCluster {
             node_events: Vec::new(),
             router_events: Vec::new(),
             shared_client_endpoint: false,
+            telemetry_interval_ms: None,
         }
+    }
+
+    /// Turn on the periodic node → router telemetry stream for every
+    /// node (pushes happen at [`Self::tick`] times).
+    pub fn enable_telemetry(&mut self, interval_ms: u64) {
+        self.telemetry_interval_ms = Some(interval_ms);
+        for node in &mut self.nodes {
+            node.set_telemetry_interval(interval_ms);
+        }
+    }
+
+    /// Ask the router for the merged cluster-wide metrics view
+    /// (0 = Prometheus text, 1 = JSON); the [`ClusterBody::MetricsReport`]
+    /// reply lands in [`Self::take_admin_replies`] after a settle.
+    pub fn request_metrics(&mut self, format: u8) {
+        let env =
+            ClusterEnvelope::new(ROUTER_SHARD, GroupId(0), ClusterBody::MetricsRequest { format });
+        let (driver, router) = (self.driver, self.router.endpoint());
+        self.net.send_unicast(driver, router, Bytes::from(env.encode()));
+    }
+
+    /// Ask the router for a reassembled trace (0 = the latest fully
+    /// stitched one); the reply lands in [`Self::take_admin_replies`].
+    pub fn request_trace(&mut self, trace_id: u64) {
+        let env =
+            ClusterEnvelope::new(ROUTER_SHARD, GroupId(0), ClusterBody::TraceRequest { trace_id });
+        let (driver, router) = (self.driver, self.router.endpoint());
+        self.net.send_unicast(driver, router, Bytes::from(env.encode()));
     }
 
     /// Route every member through the driver endpoint instead of one
@@ -166,11 +199,12 @@ impl SimCluster {
     /// Send a join request for `(group, user)` from its client endpoint.
     pub fn join(&mut self, group: GroupId, user: UserId) {
         let ep = self.client_endpoint(group, user);
-        let env = ClusterEnvelope {
-            shard: ROUTER_SHARD, // the router rewrites this to the owner
+        // The router rewrites the shard to the owner.
+        let env = ClusterEnvelope::new(
+            ROUTER_SHARD,
             group,
-            body: ClusterBody::Control(ControlMessage::JoinRequest { user }),
-        };
+            ClusterBody::Control(ControlMessage::JoinRequest { user }),
+        );
         let router = self.router.endpoint();
         self.net.send_unicast(ep, router, Bytes::from(env.encode()));
     }
@@ -185,18 +219,18 @@ impl SimCluster {
         let key = self.grants.get(&(group, user)).expect("leave without a grant").key.clone();
         let auth = leave_authenticator(user, &key);
         let ep = self.client_endpoint(group, user);
-        let env = ClusterEnvelope {
-            shard: ROUTER_SHARD,
+        let env = ClusterEnvelope::new(
+            ROUTER_SHARD,
             group,
-            body: ClusterBody::Control(ControlMessage::LeaveRequest { user, auth }),
-        };
+            ClusterBody::Control(ControlMessage::LeaveRequest { user, auth }),
+        );
         let router = self.router.endpoint();
         self.net.send_unicast(ep, router, Bytes::from(env.encode()));
     }
 
     /// Ask every shard hosting `group` to rotate its slice's group key.
     pub fn refresh(&mut self, group: GroupId) {
-        let env = ClusterEnvelope { shard: ROUTER_SHARD, group, body: ClusterBody::Refresh };
+        let env = ClusterEnvelope::new(ROUTER_SHARD, group, ClusterBody::Refresh);
         let (driver, router) = (self.driver, self.router.endpoint());
         self.net.send_unicast(driver, router, Bytes::from(env.encode()));
     }
@@ -204,11 +238,7 @@ impl SimCluster {
     /// Ask every shard for a stats report (collect the replies from
     /// [`Self::take_admin_replies`] after a [`Self::settle`]).
     pub fn request_stats(&mut self) {
-        let env = ClusterEnvelope {
-            shard: ROUTER_SHARD,
-            group: GroupId(0),
-            body: ClusterBody::StatsRequest,
-        };
+        let env = ClusterEnvelope::new(ROUTER_SHARD, GroupId(0), ClusterBody::StatsRequest);
         let (driver, router) = (self.driver, self.router.endpoint());
         self.net.send_unicast(driver, router, Bytes::from(env.encode()));
     }
@@ -232,7 +262,10 @@ impl SimCluster {
                             GrantInfo { key: key.clone(), shard: env.shard },
                         );
                     }
-                    ClusterBody::ShutdownAck { .. } | ClusterBody::StatsReport { .. } => {
+                    ClusterBody::ShutdownAck { .. }
+                    | ClusterBody::StatsReport { .. }
+                    | ClusterBody::MetricsReport { .. }
+                    | ClusterBody::TraceReport { .. } => {
                         self.admin_inbox.push(env);
                     }
                     _ => {}
@@ -299,8 +332,7 @@ impl SimCluster {
     /// Run the admin shutdown handshake to completion. Returns the
     /// aggregated `(members, wal_tail)` summary the admin received.
     pub fn shutdown(&mut self) -> (u64, u64) {
-        let env =
-            ClusterEnvelope { shard: ROUTER_SHARD, group: GroupId(0), body: ClusterBody::Shutdown };
+        let env = ClusterEnvelope::new(ROUTER_SHARD, GroupId(0), ClusterBody::Shutdown);
         let (driver, router) = (self.driver, self.router.endpoint());
         self.net.send_unicast(driver, router, Bytes::from(env.encode()));
         self.settle();
@@ -327,6 +359,7 @@ impl SimCluster {
             acl: self.acl.clone(),
             persist_root: self.persist_root.as_ref().map(|r| r.join(format!("shard-{}", shard.0))),
             persist: PersistConfig::default(),
+            telemetry_interval_ms: self.telemetry_interval_ms,
         }
     }
 

@@ -280,14 +280,14 @@ fn unauthenticated_leave_is_denied() {
     // Forge a leave with the wrong key: the shard must refuse it.
     let bogus = kg_server::net::leave_authenticator(UserId(1), b"not-the-individual-key");
     let ep = cluster.client_endpoint(g, UserId(1));
-    let env = kg_wire::ClusterEnvelope {
-        shard: kg_wire::ROUTER_SHARD,
-        group: g,
-        body: kg_wire::ClusterBody::Control(kg_wire::ControlMessage::LeaveRequest {
+    let env = kg_wire::ClusterEnvelope::new(
+        kg_wire::ROUTER_SHARD,
+        g,
+        kg_wire::ClusterBody::Control(kg_wire::ControlMessage::LeaveRequest {
             user: UserId(1),
             auth: bogus,
         }),
-    };
+    );
     let router = cluster.router.endpoint();
     cluster.net.send_unicast(ep, router, bytes::Bytes::from(env.encode()));
     cluster.settle();
@@ -395,6 +395,82 @@ fn shard_crash_mid_interval_recovers_and_converges() {
         assert_eq!(cluster_ks, reference_ks, "crash+recover diverged for {u:?}");
     }
     std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn telemetry_merges_and_traces_stitch() {
+    let g = GroupId(2);
+    let mut cluster =
+        SimCluster::new(ShardMap::new(2), template(3, false), AccessControl::AllowAll, lan(), None);
+    cluster.enable_telemetry(50);
+    for u in 1..=6 {
+        cluster.join(g, UserId(u));
+    }
+    cluster.settle();
+    cluster.leave(g, UserId(3));
+    cluster.settle();
+    // First tick past the interval: every node pushes a snapshot with
+    // its counter deltas and the trace spans recorded so far.
+    cluster.tick(100);
+
+    cluster.request_metrics(0);
+    cluster.request_trace(0);
+    cluster.settle();
+    let replies = cluster.take_admin_replies();
+
+    let metrics = replies
+        .iter()
+        .find_map(|env| match &env.body {
+            kg_wire::ClusterBody::MetricsReport { text } => Some(text.clone()),
+            _ => None,
+        })
+        .expect("router answered the metrics request");
+    // The merged view carries both node-pushed server counters and the
+    // router-side telemetry-plane gauges.
+    assert!(metrics.contains("kg_requests_total"), "merged node counters present:\n{metrics}");
+    assert!(
+        metrics.contains("kg_cluster_telemetry_snapshots_total"),
+        "per-shard stream health present:\n{metrics}"
+    );
+    assert!(metrics.contains("kg_cluster_shard_skew_pct"), "skew gauge present:\n{metrics}");
+
+    let (trace_id, spans) = replies
+        .iter()
+        .find_map(|env| match &env.body {
+            kg_wire::ClusterBody::TraceReport { trace_id, spans } => {
+                Some((*trace_id, spans.clone()))
+            }
+            _ => None,
+        })
+        .expect("router answered the trace request");
+    assert_ne!(trace_id, 0, "a fully-stitched trace exists");
+    let traces = kg_obs::trace::reassemble(spans);
+    assert_eq!(traces.len(), 1, "the report holds exactly one trace");
+    let trace = &traces[0];
+    assert_eq!(trace.trace_id, trace_id);
+    assert!(trace.is_stitched(), "router and node halves joined up");
+    let hops = trace.hops();
+    assert!(hops.contains(&0) && hops.contains(&1), "both sides present: {hops:?}");
+    assert!(
+        trace.spans.iter().any(|s| s.hop == 0 && s.path == "router.recv"),
+        "router request-side root present"
+    );
+    assert!(
+        trace.spans.iter().any(|s| s.hop == 1 && s.path == "node.parse"),
+        "node-internal root present"
+    );
+    // The router-observed window (ingress to fan-out, one clock) covers
+    // the node-internal processing window.
+    let router_window = trace.window_us(&[0, 2]);
+    let node_window = trace.window_us(&[1]);
+    assert!(router_window > 0, "router window observed");
+    assert!(node_window <= router_window, "node work fits the end-to-end window");
+    let rendered = trace.render();
+    assert!(rendered.contains("router.recv"), "render names the root:\n{rendered}");
+
+    // The flight recorder holds the recent snapshots and the merged view.
+    let dump = cluster.router.flight_recorder_dump();
+    assert!(dump.contains("\"snapshots\""), "flight recorder captured pushes:\n{dump}");
 }
 
 #[test]

@@ -18,15 +18,21 @@ pub trait Clock: Send + Sync {
 }
 
 /// Real time, measured from clock construction.
+///
+/// Readings are latched through an atomic high-water mark: even if the
+/// underlying time source steps backwards (an NTP adjustment leaking
+/// through a platform's `Instant`), `now_us` never retreats, so span
+/// durations can clamp at 0 instead of underflowing to ~584 millennia.
 #[derive(Debug)]
 pub struct WallClock {
     origin: Instant,
+    latest_us: AtomicU64,
 }
 
 impl WallClock {
     /// A wall clock whose origin is "now".
     pub fn new() -> Self {
-        WallClock { origin: Instant::now() }
+        WallClock { origin: Instant::now(), latest_us: AtomicU64::new(0) }
     }
 }
 
@@ -38,7 +44,9 @@ impl Default for WallClock {
 
 impl Clock for WallClock {
     fn now_us(&self) -> u64 {
-        self.origin.elapsed().as_micros() as u64
+        let raw = self.origin.elapsed().as_micros() as u64;
+        let prev = self.latest_us.fetch_max(raw, Ordering::Relaxed);
+        raw.max(prev)
     }
 }
 
@@ -68,6 +76,16 @@ impl ManualClock {
     /// Advance the clock by `delta` microseconds.
     pub fn advance_us(&self, delta: u64) {
         self.now_us.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Force the clock to `t`, even backwards.
+    ///
+    /// Fault injection only: simulates a wall clock stepping backwards
+    /// (NTP) so tests can prove that duration math clamps instead of
+    /// underflowing. Regular simulation code should use
+    /// [`ManualClock::set_us`], which stays monotonic.
+    pub fn force_us(&self, t: u64) {
+        self.now_us.store(t, Ordering::Relaxed);
     }
 }
 
@@ -100,5 +118,23 @@ mod tests {
         let a = c.now_us();
         let b = c.now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_latches_its_high_water_mark() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        // The latch can only be >= any earlier reading, whatever the
+        // underlying source does.
+        c.latest_us.store(a + 1_000_000, Ordering::Relaxed);
+        assert!(c.now_us() >= a + 1_000_000);
+    }
+
+    #[test]
+    fn force_us_moves_backwards_for_fault_injection() {
+        let c = ManualClock::new();
+        c.set_us(100);
+        c.force_us(40);
+        assert_eq!(c.now_us(), 40);
     }
 }

@@ -5,7 +5,7 @@
 //! hand; the only strings that reach it are metric names, label pairs,
 //! and event `Display` output, all of which are escaped.
 
-use crate::metrics::{render_key, HistogramSnapshot, MetricKey};
+use crate::metrics::{escape_label_value, render_key, HistogramSnapshot, MetricKey};
 use crate::ObsInner;
 use std::fmt::Write;
 
@@ -36,7 +36,7 @@ pub(crate) fn render_prometheus(inner: &ObsInner) -> String {
 fn suffixed(key: &MetricKey, suffix: &str, quantile: Option<&str>) -> String {
     let mut labels = Vec::new();
     if let Some((k, v)) = &key.1 {
-        labels.push(format!("{k}=\"{v}\""));
+        labels.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if let Some(q) = quantile {
         labels.push(format!("quantile=\"{q}\""));
@@ -174,6 +174,23 @@ mod tests {
         let text = obs.render_prometheus();
         assert!(text.contains("kg_span_us_count{span=\"flush\"} 1"));
         assert!(text.contains("kg_span_us{span=\"flush\",quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.counter_with("kg_bad_datagram_total", "error", "back\\slash \"quote\"\nnewline").inc();
+        let text = obs.render_prometheus();
+        assert!(
+            text.contains(r#"kg_bad_datagram_total{error="back\\slash \"quote\"\nnewline"} 1"#),
+            "got: {text}"
+        );
+        // One sample per line even with an embedded newline in the value.
+        assert_eq!(text.lines().count(), 1);
+        // Histogram label values take the same escaping path.
+        obs.histogram_with("kg_h_us", "kind", "a\"b").record(3);
+        let text = obs.render_prometheus();
+        assert!(text.contains(r#"kg_h_us_count{kind="a\"b"} 1"#), "got: {text}");
     }
 
     #[test]

@@ -34,15 +34,18 @@ mod export;
 mod metrics;
 mod span;
 mod timeline;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram};
-pub use span::Span;
 use span::SpanScope;
+pub use span::{Span, TraceGuard};
 pub use timeline::{ObsEvent, TimelineEntry};
+pub use trace::{Trace, TraceContext, TraceSpan};
 
 use metrics::Registry;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use timeline::Timeline;
 
@@ -96,6 +99,26 @@ pub(crate) struct ObsInner {
     pub(crate) clock: Box<dyn ClockDebug>,
     pub(crate) spans: Mutex<SpanScope>,
     pub(crate) timeline: Timeline,
+    /// Per-process salt mixed into span ids (see [`Obs::set_trace_salt`]).
+    trace_salt: AtomicU64,
+    /// Monotone sequence behind span-id allocation.
+    span_seq: AtomicU64,
+}
+
+impl ObsInner {
+    /// Allocate a process-unique, salted, nonzero span id.
+    pub(crate) fn next_span_id(&self) -> u64 {
+        let n = self.span_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let salt = self.trace_salt.load(Ordering::Relaxed);
+        // splitmix64 is a bijection, so for a fixed salt ids never
+        // collide; distinct salts give disjoint-in-practice streams.
+        let id = trace::splitmix64(trace::splitmix64(salt) ^ n);
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
 }
 
 /// [`Clock`] + `Debug`, so `ObsInner` can derive `Debug`.
@@ -135,6 +158,8 @@ impl Obs {
                 clock,
                 spans: Mutex::new(SpanScope::default()),
                 timeline: Timeline::new(config.timeline_capacity),
+                trace_salt: AtomicU64::new(0),
+                span_seq: AtomicU64::new(0),
             })),
         }
     }
@@ -191,6 +216,60 @@ impl Obs {
         }
     }
 
+    /// Set the per-process salt mixed into distributed-trace span ids.
+    ///
+    /// Every process contributing spans to the same trace must use a
+    /// distinct salt (convention: its transport endpoint id) so span
+    /// ids stay unique across the cluster.
+    pub fn set_trace_salt(&self, salt: u64) {
+        if let Some(i) = &self.inner {
+            i.trace_salt.store(salt, Ordering::Relaxed);
+        }
+    }
+
+    /// Activate distributed tracing for the guard's lifetime.
+    ///
+    /// While active, every [`Obs::span`] allocates a span id under
+    /// `ctx` and appends an [`ObsEvent::Span`] record to the timeline
+    /// when it closes. Dropping the guard restores the previously
+    /// active trace (if any). No-op on a disabled handle.
+    pub fn trace_scope(&self, ctx: TraceContext) -> TraceGuard {
+        match &self.inner {
+            Some(inner) => TraceGuard::enter(inner, ctx),
+            None => TraceGuard::noop(),
+        }
+    }
+
+    /// Append a zero-duration traced span record directly to the
+    /// timeline: one clock read, no scope entry, no histogram. The
+    /// cheap marker for relay hops whose own work is sub-microsecond
+    /// but whose causal link (`ctx.parent_span` → this record) must
+    /// survive reassembly. No-op on a disabled handle.
+    pub fn record_hop_span(&self, ctx: TraceContext, path: &str) {
+        let Some(inner) = &self.inner else { return };
+        let now = inner.clock.now_us();
+        inner.timeline.push(
+            now,
+            ObsEvent::Span(trace::TraceSpan {
+                trace_id: ctx.trace_id,
+                span_id: inner.next_span_id(),
+                parent_span: ctx.parent_span,
+                hop: ctx.hop,
+                path: path.to_string(),
+                start_us: now,
+                end_us: now,
+            }),
+        );
+    }
+
+    /// The active trace context, with `parent_span` set to the
+    /// innermost open traced span — i.e. exactly what an outgoing
+    /// frame should carry (after [`TraceContext::next_hop`]).
+    pub fn current_trace(&self) -> Option<TraceContext> {
+        let inner = self.inner.as_ref()?;
+        inner.spans.lock().expect("span scope poisoned").trace.as_ref().map(|f| f.context())
+    }
+
     /// Read the distribution recorded for a full dotted span path.
     pub fn span_snapshot(&self, path: &str) -> HistogramSnapshot {
         Histogram(
@@ -211,6 +290,13 @@ impl Obs {
     /// Copy of the retained timeline entries, oldest first.
     pub fn timeline(&self) -> Vec<TimelineEntry> {
         self.inner.as_ref().map_or_else(Vec::new, |i| i.timeline.entries())
+    }
+
+    /// Retained timeline entries with `seq > after`, oldest first —
+    /// the increment a periodic harvester hasn't consumed yet, cloned
+    /// without copying the whole ring.
+    pub fn timeline_since(&self, after: u64) -> Vec<TimelineEntry> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.timeline.entries_since(after))
     }
 
     /// Cumulative number of events ever recorded (incl. evicted).
@@ -245,6 +331,16 @@ impl Obs {
     pub fn gauge_values(&self) -> Vec<(String, i64)> {
         self.inner.as_ref().map_or_else(Vec::new, |i| {
             i.registry.gauges().iter().map(|(k, v)| (metrics::render_key(k), *v)).collect()
+        })
+    }
+
+    /// Structured snapshot of every registered histogram, as
+    /// [`counter_values`](Obs::counter_values) — the summary feeds
+    /// telemetry snapshots, which ship quantile digests rather than
+    /// raw buckets.
+    pub fn histogram_values(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.registry.histograms().iter().map(|(k, v)| (metrics::render_key(k), *v)).collect()
         })
     }
 

@@ -15,11 +15,26 @@ use std::sync::{Arc, Mutex};
 /// Metric identity: name plus optional `key=value` label pair.
 pub(crate) type MetricKey = (String, Option<(String, String)>);
 
+/// Escape a label value per the Prometheus text-format spec:
+/// backslash, double-quote, and line-feed must be backslash-escaped.
+pub(crate) fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render a [`MetricKey`] in Prometheus exposition form.
 pub(crate) fn render_key(key: &MetricKey) -> String {
     match &key.1 {
         None => key.0.clone(),
-        Some((k, v)) => format!("{}{{{}=\"{}\"}}", key.0, k, v),
+        Some((k, v)) => format!("{}{{{}=\"{}\"}}", key.0, k, escape_label_value(v)),
     }
 }
 

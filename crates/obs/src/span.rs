@@ -6,9 +6,17 @@
 //! inside the shared `Obs` state, so a span entered while
 //! `"op.join"` is open records as `"op.join.encrypt"`. Guards must be
 //! dropped in LIFO order — the natural consequence of scoping them.
+//!
+//! While a [`crate::Obs::trace_scope`] is active the same guards also
+//! carry distributed-trace identity: each span gets a process-unique
+//! span id parented under the innermost open traced span (or the
+//! context's wire parent), and closing it appends an
+//! [`crate::ObsEvent::Span`] record to the timeline for cross-process
+//! reassembly.
 
 use crate::metrics::HistogramCore;
-use crate::ObsInner;
+use crate::trace::{TraceContext, TraceSpan};
+use crate::{ObsEvent, ObsInner};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -23,6 +31,69 @@ pub(crate) struct SpanScope {
     /// Reusable path-assembly buffer: re-entering a known path (the
     /// steady state) allocates nothing.
     scratch: String,
+    /// The active distributed trace, if a [`TraceGuard`] is live.
+    pub(crate) trace: Option<TraceFrame>,
+}
+
+/// The trace a [`TraceGuard`] activated: identity from the wire
+/// context plus the stack of open traced span ids, so nested spans
+/// parent correctly.
+#[derive(Debug)]
+pub(crate) struct TraceFrame {
+    pub(crate) trace_id: u64,
+    pub(crate) hop: u8,
+    /// Parent for top-level spans: the sender-side span one hop back.
+    pub(crate) base_parent: u64,
+    /// Ids of currently open traced spans, innermost last.
+    pub(crate) open: Vec<u64>,
+}
+
+impl TraceFrame {
+    pub(crate) fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: self.open.last().copied().unwrap_or(self.base_parent),
+            hop: self.hop,
+        }
+    }
+}
+
+/// Activates a distributed trace for the duration of a scope.
+///
+/// Obtained from [`crate::Obs::trace_scope`]. Dropping it restores the
+/// previously active trace (if any). Guards from a disabled handle are
+/// no-ops.
+#[derive(Debug)]
+#[must_use = "a trace scope deactivates on drop; binding it to _ ends it immediately"]
+pub struct TraceGuard {
+    restore: Option<(Arc<ObsInner>, Option<TraceFrame>)>,
+}
+
+impl TraceGuard {
+    pub(crate) fn noop() -> Self {
+        TraceGuard { restore: None }
+    }
+
+    pub(crate) fn enter(inner: &Arc<ObsInner>, ctx: TraceContext) -> Self {
+        let prev = {
+            let mut scope = inner.spans.lock().expect("span scope poisoned");
+            scope.trace.replace(TraceFrame {
+                trace_id: ctx.trace_id,
+                hop: ctx.hop,
+                base_parent: ctx.parent_span,
+                open: Vec::new(),
+            })
+        };
+        TraceGuard { restore: Some((inner.clone(), prev)) }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some((inner, prev)) = self.restore.take() {
+            inner.spans.lock().expect("span scope poisoned").trace = prev;
+        }
+    }
 }
 
 /// An open span; records its duration on drop.
@@ -40,6 +111,17 @@ struct ActiveSpan {
     inner: Arc<ObsInner>,
     hist: Arc<HistogramCore>,
     start_us: u64,
+    /// Trace identity allocated at entry, when a trace was active.
+    trace: Option<SpanTrace>,
+}
+
+#[derive(Debug)]
+struct SpanTrace {
+    trace_id: u64,
+    span_id: u64,
+    parent_span: u64,
+    hop: u8,
+    path: Arc<str>,
 }
 
 impl Span {
@@ -49,7 +131,7 @@ impl Span {
     }
 
     pub(crate) fn enter(inner: &Arc<ObsInner>, name: &str) -> Self {
-        let hist = {
+        let (hist, trace) = {
             let mut scope = inner.spans.lock().expect("span scope poisoned");
             let scope = &mut *scope;
             scope.scratch.clear();
@@ -67,28 +149,73 @@ impl Span {
                     (p, h)
                 }
             };
-            scope.stack.push(path);
-            hist
+            scope.stack.push(path.clone());
+            let trace = scope.trace.as_mut().map(|frame| {
+                let span_id = inner.next_span_id();
+                let parent_span = frame.open.last().copied().unwrap_or(frame.base_parent);
+                frame.open.push(span_id);
+                SpanTrace { trace_id: frame.trace_id, span_id, parent_span, hop: frame.hop, path }
+            });
+            (hist, trace)
         };
         Span {
-            active: Some(ActiveSpan { inner: inner.clone(), hist, start_us: inner.clock.now_us() }),
+            active: Some(ActiveSpan {
+                inner: inner.clone(),
+                hist,
+                start_us: inner.clock.now_us(),
+                trace,
+            }),
         }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(active) = self.active.take() {
-            let elapsed = active.inner.clock.now_us().saturating_sub(active.start_us);
-            active.hist.record(elapsed);
-            active.inner.spans.lock().expect("span scope poisoned").stack.pop();
+        if let Some(mut active) = self.active.take() {
+            let end_us = active.inner.clock.now_us();
+            // Clamp at zero: a wall clock stepped backwards (NTP) must
+            // not underflow into a multi-century duration.
+            active.hist.record(end_us.saturating_sub(active.start_us));
+            {
+                let mut scope = active.inner.spans.lock().expect("span scope poisoned");
+                scope.stack.pop();
+                if let (Some(t), Some(frame)) = (&active.trace, scope.trace.as_mut()) {
+                    if frame.trace_id == t.trace_id {
+                        frame.open.pop();
+                    }
+                }
+            }
+            if let Some(t) = active.trace.take() {
+                active.inner.timeline.push(
+                    end_us,
+                    ObsEvent::Span(TraceSpan {
+                        trace_id: t.trace_id,
+                        span_id: t.span_id,
+                        parent_span: t.parent_span,
+                        hop: t.hop,
+                        path: t.path.to_string(),
+                        start_us: active.start_us.min(end_us),
+                        end_us,
+                    }),
+                );
+            }
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::trace::{spans_from_timeline, TraceContext};
     use crate::{ClockSource, ManualClock, Obs, ObsConfig};
+
+    fn manual_obs() -> (ManualClock, Obs) {
+        let clock = ManualClock::new();
+        let obs = Obs::new(ObsConfig {
+            clock: ClockSource::Manual(clock.clone()),
+            ..ObsConfig::default()
+        });
+        (clock, obs)
+    }
 
     #[test]
     fn disabled_span_is_noop() {
@@ -100,11 +227,7 @@ mod tests {
 
     #[test]
     fn nested_spans_record_under_dotted_paths() {
-        let clock = ManualClock::new();
-        let obs = Obs::new(ObsConfig {
-            clock: ClockSource::Manual(clock.clone()),
-            ..ObsConfig::default()
-        });
+        let (clock, obs) = manual_obs();
         {
             let _op = obs.span("op.join");
             clock.advance_us(10);
@@ -139,5 +262,112 @@ mod tests {
         }
         let snap = obs.span_snapshot("tick");
         assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn backwards_clock_step_clamps_span_duration_at_zero() {
+        let (clock, obs) = manual_obs();
+        clock.set_us(1_000);
+        let _t = obs.trace_scope(TraceContext::root(1));
+        {
+            let _s = obs.span("op.join");
+            // An NTP-style backwards step mid-span.
+            clock.force_us(200);
+        }
+        let snap = obs.span_snapshot("op.join");
+        assert_eq!((snap.count, snap.max), (1, 0), "duration must clamp, not underflow");
+        let spans = spans_from_timeline(&obs.timeline());
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].end_us >= spans[0].start_us);
+        assert_eq!(spans[0].duration_us(), 0);
+    }
+
+    #[test]
+    fn untraced_spans_emit_no_timeline_records() {
+        let (_clock, obs) = manual_obs();
+        {
+            let _s = obs.span("op.join");
+        }
+        assert_eq!(obs.timeline_total(), 0);
+        assert!(obs.current_trace().is_none());
+    }
+
+    #[test]
+    fn traced_spans_emit_linked_records() {
+        let (clock, obs) = manual_obs();
+        obs.set_trace_salt(7);
+        {
+            let _t = obs.trace_scope(TraceContext { trace_id: 9, parent_span: 42, hop: 1 });
+            let _outer = obs.span("node.parse");
+            clock.advance_us(10);
+            {
+                let _inner = obs.span("tree");
+                clock.advance_us(5);
+            }
+            clock.advance_us(1);
+        }
+        let spans = spans_from_timeline(&obs.timeline());
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        let (tree, parse) = (&spans[0], &spans[1]);
+        assert_eq!(tree.path, "node.parse.tree");
+        assert_eq!(parse.path, "node.parse");
+        assert_eq!(parse.parent_span, 42); // wire parent
+        assert_eq!(tree.parent_span, parse.span_id); // local nesting
+        assert!(tree.span_id != 0 && parse.span_id != 0);
+        assert_eq!((tree.trace_id, tree.hop), (9, 1));
+        assert_eq!(tree.duration_us(), 5);
+        assert_eq!(parse.duration_us(), 16);
+        // Scope ended: spans no longer traced.
+        {
+            let _s = obs.span("op.join");
+        }
+        assert_eq!(spans_from_timeline(&obs.timeline()).len(), 2);
+    }
+
+    #[test]
+    fn current_trace_tracks_innermost_open_span() {
+        let (_clock, obs) = manual_obs();
+        let _t = obs.trace_scope(TraceContext::root(5));
+        assert_eq!(obs.current_trace(), Some(TraceContext::root(5)));
+        let outer = obs.span("router.recv");
+        let ctx = obs.current_trace().unwrap();
+        assert_eq!(ctx.trace_id, 5);
+        assert_ne!(ctx.parent_span, 0); // parented under the open span
+        let inner = obs.span("relay");
+        let ctx2 = obs.current_trace().unwrap();
+        assert_ne!(ctx2.parent_span, ctx.parent_span);
+        drop(inner);
+        assert_eq!(obs.current_trace(), Some(ctx));
+        drop(outer);
+        assert_eq!(obs.current_trace(), Some(TraceContext::root(5)));
+    }
+
+    #[test]
+    fn nested_trace_scopes_restore_the_outer_trace() {
+        let (_clock, obs) = manual_obs();
+        let _a = obs.trace_scope(TraceContext::root(1));
+        {
+            let _b = obs.trace_scope(TraceContext::root(2));
+            assert_eq!(obs.current_trace().unwrap().trace_id, 2);
+        }
+        assert_eq!(obs.current_trace().unwrap().trace_id, 1);
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_salted_processes() {
+        let mut seen = std::collections::BTreeSet::new();
+        for salt in [1u64, 1000, 1001] {
+            let (_clock, obs) = manual_obs();
+            obs.set_trace_salt(salt);
+            let _t = obs.trace_scope(TraceContext::root(1));
+            for _ in 0..100 {
+                let _s = obs.span("x");
+            }
+            for s in spans_from_timeline(&obs.timeline()) {
+                assert!(seen.insert(s.span_id), "span id collision at salt {salt}");
+            }
+        }
+        assert_eq!(seen.len(), 300);
     }
 }

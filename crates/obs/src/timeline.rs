@@ -8,6 +8,7 @@
 //! survive eviction so they can be reconciled against WAL record
 //! counts and registry counters.
 
+use crate::trace::TraceSpan;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Mutex;
@@ -130,6 +131,10 @@ pub enum ObsEvent {
         /// Interval the client had already applied.
         current: u64,
     },
+    /// A span closed while a distributed trace was active (see
+    /// [`crate::Obs::trace_scope`]). These records are what the
+    /// cross-process trace reassembly consumes.
+    Span(TraceSpan),
 }
 
 impl ObsEvent {
@@ -156,6 +161,7 @@ impl ObsEvent {
             ObsEvent::BadDatagram { .. } => "bad_datagram",
             ObsEvent::FlushFailed { .. } => "flush_failed",
             ObsEvent::StaleInterval { .. } => "stale_interval",
+            ObsEvent::Span(_) => "span",
         }
     }
 }
@@ -199,6 +205,18 @@ impl fmt::Display for ObsEvent {
             ObsEvent::FlushFailed { error } => write!(f, "flush failed: {error}"),
             ObsEvent::StaleInterval { packet, current } => {
                 write!(f, "stale interval packet={packet} current={current}")
+            }
+            ObsEvent::Span(s) => {
+                write!(
+                    f,
+                    "span trace={:#x} id={:#x} parent={:#x} hop={} path={} {}us",
+                    s.trace_id,
+                    s.span_id,
+                    s.parent_span,
+                    s.hop,
+                    s.path,
+                    s.duration_us()
+                )
             }
         }
     }
@@ -263,6 +281,15 @@ impl Timeline {
         self.ring.lock().expect("timeline poisoned").entries.iter().cloned().collect()
     }
 
+    /// Copy of the retained entries with `seq > after`, oldest first.
+    /// Entries sit in the ring in seq order, so this clones only the
+    /// tail a periodic harvester hasn't consumed yet.
+    pub(crate) fn entries_since(&self, after: u64) -> Vec<TimelineEntry> {
+        let ring = self.ring.lock().expect("timeline poisoned");
+        let skip = ring.entries.partition_point(|e| e.seq <= after);
+        ring.entries.iter().skip(skip).cloned().collect()
+    }
+
     /// Cumulative number of events ever pushed (including evicted).
     pub(crate) fn total(&self) -> u64 {
         self.ring.lock().expect("timeline poisoned").next_seq - 1
@@ -295,6 +322,20 @@ mod tests {
             assert_eq!(e.seq, i as u64 + 1);
             assert_eq!(e.at_us, i as u64 * 10);
         }
+    }
+
+    #[test]
+    fn entries_since_returns_only_the_unconsumed_tail() {
+        let t = Timeline::new(4);
+        for u in 0..6 {
+            t.push(u * 10, ObsEvent::Join { user: u });
+        }
+        // Ring retains seqs 3..=6; a harvester at seq 4 gets 5 and 6.
+        let tail = t.entries_since(4);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![5, 6]);
+        // A harvester behind the eviction horizon gets everything retained.
+        assert_eq!(t.entries_since(0).len(), 4);
+        assert_eq!(t.entries_since(6), Vec::new());
     }
 
     #[test]
@@ -332,6 +373,15 @@ mod tests {
             ObsEvent::BadDatagram { from: 0, error: "truncated".into() },
             ObsEvent::FlushFailed { error: "acl".into() },
             ObsEvent::StaleInterval { packet: 1, current: 2 },
+            ObsEvent::Span(TraceSpan {
+                trace_id: 1,
+                span_id: 2,
+                parent_span: 0,
+                hop: 0,
+                path: "op.join".into(),
+                start_us: 10,
+                end_us: 25,
+            }),
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -1,0 +1,318 @@
+//! Distributed trace context and cross-process trace reassembly.
+//!
+//! A cluster request (join/leave/batch-flush) crosses at least two
+//! processes: the router that forwards it and the shard node that
+//! serves it, with rekey fan-out crossing back. Each process keeps its
+//! own [`crate::Obs`] timeline stamped by its own clock, so following
+//! one request requires a *trace context* carried on the wire:
+//!
+//! * `trace_id` — one per request, allocated by the router;
+//! * `parent_span` — the span id of the sender-side span that emitted
+//!   the frame, so the receiver's spans link under it;
+//! * `hop` — a counter incremented per process boundary, giving a
+//!   total order of processes even when their clocks disagree.
+//!
+//! While a trace is active (see [`crate::Obs::trace_scope`]) every
+//! ordinary [`crate::Obs::span`] additionally allocates a process-wide
+//! unique span id and, on drop, appends an
+//! [`crate::ObsEvent::Span`] record to the timeline. Those records —
+//! gathered from every process, e.g. via telemetry snapshots — feed
+//! [`reassemble`], which groups them by trace id and links them by
+//! parent span id into [`Trace`]s.
+//!
+//! Clock domains differ across processes, so absolute timestamps are
+//! only comparable *within* a hop; [`Trace::window_us`] therefore
+//! reports per-hop-set windows (router-observed vs node-internal), and
+//! the difference between them is attributable queue/network time.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Compact trace context carried in every traced cluster frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Request identity; allocated once at the ingress (router).
+    pub trace_id: u64,
+    /// Span id of the sender-side span that emitted the frame
+    /// (0 for a root context: spans link directly under the trace).
+    pub parent_span: u64,
+    /// Process-boundary counter; 0 at the ingress, +1 per hop.
+    pub hop: u8,
+}
+
+impl TraceContext {
+    /// A root context for a freshly allocated trace id.
+    pub fn root(trace_id: u64) -> Self {
+        TraceContext { trace_id, parent_span: 0, hop: 0 }
+    }
+
+    /// The context to stamp on an outgoing frame: same trace, one hop
+    /// further. `parent_span` should already be the sender's innermost
+    /// open span (see [`crate::Obs::current_trace`]).
+    pub fn next_hop(self) -> Self {
+        TraceContext { hop: self.hop.saturating_add(1), ..self }
+    }
+}
+
+/// One completed span of a trace, as recorded on a process timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Process-unique span id (salted, see [`crate::Obs::set_trace_salt`]).
+    pub span_id: u64,
+    /// Id of the enclosing span (same process) or of the sender-side
+    /// span one hop back; 0 for the trace root.
+    pub parent_span: u64,
+    /// Hop counter of the process that recorded the span.
+    pub hop: u8,
+    /// Full dotted span path (`node.parse.op.leave.encrypt`).
+    pub path: String,
+    /// Start timestamp, microseconds on the recording process's clock.
+    pub start_us: u64,
+    /// End timestamp, same clock domain; always >= `start_us`.
+    pub end_us: u64,
+}
+
+impl TraceSpan {
+    /// Span duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// SplitMix64 — the id mixer used for span ids. Deterministic, cheap,
+/// and well distributed: distinct (salt, counter) inputs give ids that
+/// collide with negligible probability, so per-process salts keep
+/// cross-process span ids disjoint.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A reassembled trace: all spans recorded for one trace id, across
+/// every process that contributed records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The trace identity.
+    pub trace_id: u64,
+    /// Member spans, sorted by (hop, start_us, span_id).
+    pub spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// Distinct hop values present, ascending.
+    pub fn hops(&self) -> Vec<u8> {
+        let mut h: Vec<u8> = self.spans.iter().map(|s| s.hop).collect();
+        h.sort_unstable();
+        h.dedup();
+        h
+    }
+
+    /// The root span (parent_span == 0), if it was recorded.
+    pub fn root(&self) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.parent_span == 0)
+    }
+
+    /// Whether the trace is fully stitched: it has a root, covers at
+    /// least two hops, and every non-root span's parent resolves to
+    /// another recorded span — i.e. the cross-process links survived.
+    pub fn is_stitched(&self) -> bool {
+        if self.root().is_none() || self.hops().len() < 2 {
+            return false;
+        }
+        let ids: std::collections::BTreeSet<u64> = self.spans.iter().map(|s| s.span_id).collect();
+        self.spans.iter().all(|s| s.parent_span == 0 || ids.contains(&s.parent_span))
+    }
+
+    /// Observed window (max end − min start), restricted to spans
+    /// whose hop is in `hops`. Returns 0 if no span matches. Only
+    /// meaningful when all listed hops share a clock domain (e.g. the
+    /// router's ingress hop 0 and fan-out hop 2).
+    pub fn window_us(&self, hops: &[u8]) -> u64 {
+        let mut start = u64::MAX;
+        let mut end = 0u64;
+        for s in self.spans.iter().filter(|s| hops.contains(&s.hop)) {
+            start = start.min(s.start_us);
+            end = end.max(s.end_us);
+        }
+        end.saturating_sub(if start == u64::MAX { end } else { start })
+    }
+
+    /// Human-readable tree: one line per span, indented by ancestry,
+    /// children ordered by start time. Spans whose parent was never
+    /// recorded (e.g. evicted from a ring) are flagged as orphans.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {:#018x} spans={} hops={} stitched={}",
+            self.trace_id,
+            self.spans.len(),
+            self.hops().len(),
+            if self.is_stitched() { "yes" } else { "no" }
+        );
+        let mut children: BTreeMap<u64, Vec<&TraceSpan>> = BTreeMap::new();
+        let ids: std::collections::BTreeSet<u64> = self.spans.iter().map(|s| s.span_id).collect();
+        let mut roots: Vec<&TraceSpan> = Vec::new();
+        for s in &self.spans {
+            if s.parent_span != 0 && ids.contains(&s.parent_span) {
+                children.entry(s.parent_span).or_default().push(s);
+            } else {
+                roots.push(s);
+            }
+        }
+        fn emit(
+            out: &mut String,
+            s: &TraceSpan,
+            depth: usize,
+            orphan: bool,
+            children: &BTreeMap<u64, Vec<&TraceSpan>>,
+        ) {
+            let _ = writeln!(
+                out,
+                "{}[hop {}] {} {}us{}",
+                "  ".repeat(depth + 1),
+                s.hop,
+                s.path,
+                s.duration_us(),
+                if orphan { " (orphaned parent)" } else { "" }
+            );
+            if let Some(kids) = children.get(&s.span_id) {
+                for k in kids {
+                    emit(out, k, depth + 1, false, children);
+                }
+            }
+        }
+        for r in &roots {
+            emit(&mut out, r, 0, r.parent_span != 0, &children);
+        }
+        out
+    }
+}
+
+/// Group span records by trace id and link them into [`Trace`]s,
+/// ordered by trace id. Records from multiple processes can simply be
+/// concatenated before calling.
+pub fn reassemble(spans: impl IntoIterator<Item = TraceSpan>) -> Vec<Trace> {
+    let mut by_trace: BTreeMap<u64, Vec<TraceSpan>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace_id, mut spans)| {
+            spans.sort_by_key(|s| (s.hop, s.start_us, s.span_id));
+            spans.dedup();
+            Trace { trace_id, spans }
+        })
+        .collect()
+}
+
+/// Extract the span records from a timeline dump (the other event
+/// kinds are skipped).
+pub fn spans_from_timeline(entries: &[crate::TimelineEntry]) -> Vec<TraceSpan> {
+    entries
+        .iter()
+        .filter_map(|e| match &e.event {
+            crate::ObsEvent::Span(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, hop: u8, path: &str, t0: u64, t1: u64) -> TraceSpan {
+        TraceSpan {
+            trace_id: trace,
+            span_id: id,
+            parent_span: parent,
+            hop,
+            path: path.to_string(),
+            start_us: t0,
+            end_us: t1,
+        }
+    }
+
+    #[test]
+    fn context_hops_forward() {
+        let c = TraceContext::root(7);
+        assert_eq!(c, TraceContext { trace_id: 7, parent_span: 0, hop: 0 });
+        let c2 = TraceContext { parent_span: 42, ..c }.next_hop();
+        assert_eq!(c2, TraceContext { trace_id: 7, parent_span: 42, hop: 1 });
+        // Saturates rather than wrapping on absurd depth.
+        let deep = TraceContext { hop: u8::MAX, ..c }.next_hop();
+        assert_eq!(deep.hop, u8::MAX);
+    }
+
+    #[test]
+    fn splitmix_distributes() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a, 1);
+        // Deterministic.
+        assert_eq!(splitmix64(1), a);
+    }
+
+    #[test]
+    fn reassembly_groups_links_and_orders() {
+        let spans = vec![
+            span(1, 30, 20, 1, "node.parse", 5, 40),
+            span(1, 10, 0, 0, "router.recv", 0, 100),
+            span(1, 20, 10, 0, "router.recv.relay", 1, 90),
+            span(2, 99, 0, 0, "router.recv", 0, 3),
+        ];
+        let traces = reassemble(spans);
+        assert_eq!(traces.len(), 2);
+        let t = &traces[0];
+        assert_eq!(t.trace_id, 1);
+        assert_eq!(t.spans[0].span_id, 10); // hop asc, then start
+        assert_eq!(t.hops(), vec![0, 1]);
+        assert_eq!(t.root().unwrap().span_id, 10);
+        assert!(t.is_stitched());
+        assert!(!traces[1].is_stitched()); // single hop
+        let text = t.render();
+        assert!(text.contains("stitched=yes"));
+        assert!(text.contains("[hop 1] node.parse"));
+        // Child indented deeper than parent.
+        let relay = text.lines().find(|l| l.contains("relay")).unwrap();
+        let recv = text.lines().find(|l| l.contains("router.recv ")).unwrap();
+        assert!(relay.find('[') > recv.find('['));
+    }
+
+    #[test]
+    fn broken_parent_link_is_not_stitched() {
+        let spans = vec![
+            span(1, 10, 0, 0, "router.recv", 0, 100),
+            span(1, 30, 999, 1, "node.parse", 5, 40), // parent never recorded
+        ];
+        let traces = reassemble(spans);
+        assert!(!traces[0].is_stitched());
+        assert!(traces[0].render().contains("orphaned parent"));
+    }
+
+    #[test]
+    fn windows_are_per_hop_set() {
+        let t = &reassemble(vec![
+            span(1, 10, 0, 0, "router.recv", 0, 100),
+            span(1, 30, 10, 1, "node.parse", 500, 560),
+            span(1, 40, 30, 2, "router.fanout", 120, 130),
+        ])[0];
+        assert_eq!(t.window_us(&[0, 2]), 130); // router clock domain
+        assert_eq!(t.window_us(&[1]), 60); // node-internal
+        assert_eq!(t.window_us(&[7]), 0); // nothing recorded there
+    }
+
+    #[test]
+    fn duplicate_records_collapse() {
+        let s = span(1, 10, 0, 0, "router.recv", 0, 100);
+        let traces = reassemble(vec![s.clone(), s]);
+        assert_eq!(traces[0].spans.len(), 1);
+    }
+}

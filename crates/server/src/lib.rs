@@ -251,6 +251,8 @@ pub struct GroupKeyServer {
     /// Counter handles resolved once at [`Self::attach_obs`] so the
     /// request path never touches the registry lock.
     metrics: ServerMetrics,
+    /// Per-op rekey-cost ledger rows, same lifecycle as `metrics`.
+    ledger: Ledger,
     /// Worker pool for parallel rekey construction; present iff
     /// `config.parallel.workers >= 2`. Output is byte-identical with or
     /// without it (see `kg-par`), so the pool never appears in
@@ -287,6 +289,68 @@ impl ServerMetrics {
     }
 }
 
+/// One row of the per-op rekey-cost ledger: every counter carries the
+/// label `op="<strategy>:<kind>"`, so aggregating across shards keeps
+/// the cost breakdown the paper's Tables 4/5 report (encryptions and
+/// rekey messages per request, by strategy and operation). Detached
+/// (no-op) until resolved against an enabled [`Obs`].
+#[derive(Debug, Default)]
+struct LedgerCell {
+    ops: Counter,
+    encryptions: Counter,
+    messages: Counter,
+    bytes: Counter,
+    nodes_touched: Counter,
+    cache_hits: Counter,
+}
+
+impl LedgerCell {
+    fn resolve(obs: &Obs, strategy: &str, kind: &str) -> Self {
+        let op = format!("{strategy}:{kind}");
+        LedgerCell {
+            ops: obs.counter_with("kg_ledger_ops_total", "op", &op),
+            encryptions: obs.counter_with("kg_ledger_encryptions_total", "op", &op),
+            messages: obs.counter_with("kg_ledger_messages_total", "op", &op),
+            bytes: obs.counter_with("kg_ledger_bytes_total", "op", &op),
+            nodes_touched: obs.counter_with("kg_ledger_nodes_touched_total", "op", &op),
+            cache_hits: obs.counter_with("kg_ledger_cache_hits_total", "op", &op),
+        }
+    }
+
+    /// Account one completed operation. `bytes` is the total encoded
+    /// wire size of its rekey packets; `nodes` the fresh keys the op
+    /// generated (= key-tree nodes whose keys changed).
+    fn record(&self, encryptions: u64, messages: u64, bytes: u64, nodes: u64, cache_hits: u64) {
+        self.ops.inc();
+        self.encryptions.add(encryptions);
+        self.messages.add(messages);
+        self.bytes.add(bytes);
+        self.nodes_touched.add(nodes);
+        self.cache_hits.add(cache_hits);
+    }
+}
+
+/// The four ledger rows a server can write (its strategy is fixed at
+/// construction, so one row per op kind suffices).
+#[derive(Debug, Default)]
+struct Ledger {
+    join: LedgerCell,
+    leave: LedgerCell,
+    refresh: LedgerCell,
+    batch: LedgerCell,
+}
+
+impl Ledger {
+    fn resolve(obs: &Obs, strategy: &str) -> Self {
+        Ledger {
+            join: LedgerCell::resolve(obs, strategy, "join"),
+            leave: LedgerCell::resolve(obs, strategy, "leave"),
+            refresh: LedgerCell::resolve(obs, strategy, "refresh"),
+            batch: LedgerCell::resolve(obs, strategy, "batch"),
+        }
+    }
+}
+
 impl GroupKeyServer {
     /// Create a server. Generates an RSA keypair when the auth policy
     /// requires one (key generation happens here, once — not in the timed
@@ -315,6 +379,7 @@ impl GroupKeyServer {
             persist: None,
             obs: Obs::disabled(),
             metrics: ServerMetrics::default(),
+            ledger: Ledger::default(),
             pool,
         }
     }
@@ -352,6 +417,7 @@ impl GroupKeyServer {
             pool.attach_obs(&obs);
         }
         self.metrics = ServerMetrics::resolve(&obs);
+        self.ledger = Ledger::resolve(&obs, self.config.strategy.name());
         self.obs = obs;
     }
 
@@ -513,6 +579,7 @@ impl GroupKeyServer {
             persist: None,
             obs: Obs::disabled(),
             metrics: ServerMetrics::default(),
+            ledger: Ledger::default(),
             pool,
         })
     }
@@ -703,6 +770,13 @@ impl GroupKeyServer {
         self.metrics.signatures.add(signatures);
         self.metrics.cache_hits.add(out.ops.cache_hits);
         self.metrics.cache_misses.add(out.ops.cache_misses);
+        self.ledger.join.record(
+            out.ops.key_encryptions,
+            encoded.len() as u64,
+            encoded.iter().map(|e| e.len() as u64).sum(),
+            out.ops.keys_generated,
+            out.ops.cache_hits,
+        );
         self.obs.event(ObsEvent::Join { user: user.0 });
 
         self.stats.push(OpRecord {
@@ -753,6 +827,13 @@ impl GroupKeyServer {
         self.metrics.signatures.add(signatures);
         self.metrics.cache_hits.add(out.ops.cache_hits);
         self.metrics.cache_misses.add(out.ops.cache_misses);
+        self.ledger.leave.record(
+            out.ops.key_encryptions,
+            encoded.len() as u64,
+            encoded.iter().map(|e| e.len() as u64).sum(),
+            out.ops.keys_generated,
+            out.ops.cache_hits,
+        );
         self.obs.event(ObsEvent::Leave { user: user.0 });
 
         self.stats.push(OpRecord {
@@ -792,6 +873,15 @@ impl GroupKeyServer {
         let proc_ns = start.elapsed().as_nanos() as u64;
         self.metrics.req_refresh.inc();
         self.metrics.signatures.add(signatures);
+        // A refresh regenerates exactly the root key and (when anyone is
+        // listening) seals it once under the old group key.
+        self.ledger.refresh.record(
+            if encoded.is_empty() { 0 } else { 1 },
+            encoded.len() as u64,
+            encoded.iter().map(|e| e.len() as u64).sum(),
+            1,
+            0,
+        );
         self.obs.event(ObsEvent::Refresh);
 
         self.stats.push(OpRecord {
@@ -946,6 +1036,13 @@ impl GroupKeyServer {
         self.metrics.signatures.add(signatures);
         self.metrics.cache_hits.add(out.ops.cache_hits);
         self.metrics.cache_misses.add(out.ops.cache_misses);
+        self.ledger.batch.record(
+            out.ops.key_encryptions,
+            encoded.len() as u64,
+            encoded.iter().map(|e| e.len() as u64).sum(),
+            out.ops.keys_generated,
+            out.ops.cache_hits,
+        );
 
         self.stats.push(OpRecord {
             kind: OpKind::Batch,
@@ -1727,5 +1824,44 @@ mod tests {
         let op = s.refresh_group_key().unwrap();
         assert!(op.packets.is_empty());
         assert!(op.encoded.is_empty());
+    }
+
+    /// The rekey-cost ledger keys every counter by `op="strategy:kind"`
+    /// and accounts encryptions, messages, bytes, and touched tree
+    /// nodes per completed operation.
+    #[test]
+    fn ledger_accounts_per_op_costs() {
+        let mut s = server(AuthPolicy::None, Strategy::KeyOriented);
+        let obs = Obs::new(kg_obs::ObsConfig::default());
+        s.attach_obs(obs.clone());
+        populate(&mut s, 8);
+        let leave = s.handle_leave(UserId(3)).unwrap();
+        s.refresh_group_key().unwrap();
+
+        let counters: std::collections::BTreeMap<String, u64> =
+            obs.counter_values().into_iter().collect();
+        let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+        assert_eq!(get("kg_ledger_ops_total{op=\"key:join\"}"), 8);
+        assert_eq!(get("kg_ledger_ops_total{op=\"key:leave\"}"), 1);
+        assert_eq!(get("kg_ledger_ops_total{op=\"key:refresh\"}"), 1);
+        // A key-oriented leave on a populated tree rewrites the leaf's
+        // path: several messages, several encryptions, bytes on the wire.
+        assert_eq!(get("kg_ledger_messages_total{op=\"key:leave\"}"), leave.encoded.len() as u64);
+        assert_eq!(
+            get("kg_ledger_bytes_total{op=\"key:leave\"}"),
+            leave.encoded.iter().map(|e| e.len() as u64).sum::<u64>()
+        );
+        assert!(get("kg_ledger_encryptions_total{op=\"key:leave\"}") >= 2);
+        assert!(get("kg_ledger_nodes_touched_total{op=\"key:leave\"}") >= 1);
+        // Refresh: one fresh root key, one ciphertext for the group.
+        assert_eq!(get("kg_ledger_encryptions_total{op=\"key:refresh\"}"), 1);
+        assert_eq!(get("kg_ledger_nodes_touched_total{op=\"key:refresh\"}"), 1);
+        // The generic encryption counter agrees with the ledger's total.
+        let ledger_enc: u64 = counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("kg_ledger_encryptions_total"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(get("kg_encryptions_total") + 1, ledger_enc, "refresh seal is ledger-only");
     }
 }

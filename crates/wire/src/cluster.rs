@@ -22,9 +22,11 @@
 
 use crate::codec::{get_bytes, get_count, get_u32, get_u64, get_u8, put_bytes};
 use crate::message::ControlMessage;
+use crate::telemetry::{get_span, put_span, TelemetrySnapshot};
 use crate::WireError;
 use bytes::BufMut;
 use kg_core::ids::{KeyLabel, UserId};
+use kg_obs::{TraceContext, TraceSpan};
 
 /// Identifies a shard (one `GroupKeyServer` instance) within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,7 +45,14 @@ pub const ROUTER_SHARD: ShardId = ShardId(u16::MAX);
 pub const CLUSTER_MAGIC: u8 = 0xC7;
 
 /// Cluster protocol version; receivers reject every other value.
-pub const CLUSTER_VERSION: u8 = 1;
+///
+/// Version history: 1 = PR 5's original envelope; 2 added the flags
+/// byte (optional trace context) and the telemetry-plane bodies.
+/// Version-1 frames are rejected closed, like any other mismatch.
+pub const CLUSTER_VERSION: u8 = 2;
+
+/// Header flag bit: a trace context follows the group id.
+const FLAG_TRACE: u8 = 0x01;
 
 /// The payload of a [`ClusterEnvelope`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +120,35 @@ pub enum ClusterBody {
         /// Requests queued awaiting the next batch flush.
         pending: u64,
     },
+    /// Node → router: the periodic telemetry push (delta counters,
+    /// absolute gauges/histogram digests, trace-span tail).
+    Telemetry {
+        /// The snapshot itself.
+        snapshot: TelemetrySnapshot,
+    },
+    /// Admin → router: render the merged cluster-wide metrics view.
+    MetricsRequest {
+        /// 0 = Prometheus text exposition, 1 = JSON.
+        format: u8,
+    },
+    /// Router → admin: the rendered merged view (truncated to the
+    /// transport datagram budget if necessary).
+    MetricsReport {
+        /// Rendered text in the requested format.
+        text: String,
+    },
+    /// Admin → router: fetch a reassembled trace.
+    TraceRequest {
+        /// Trace id to fetch; 0 means "the latest fully stitched one".
+        trace_id: u64,
+    },
+    /// Router → admin: the span records of one trace.
+    TraceReport {
+        /// The trace the spans belong to (0 = nothing matched).
+        trace_id: u64,
+        /// All recorded spans, across processes.
+        spans: Vec<TraceSpan>,
+    },
 }
 
 /// The versioned, shard-addressed datagram wrapper of the cluster plane.
@@ -122,11 +160,21 @@ pub struct ClusterEnvelope {
     /// The group the message applies to (ignored for node-level bodies
     /// like [`ClusterBody::Shutdown`]; 0 by convention there).
     pub group: GroupId,
+    /// Distributed-trace context, when this frame belongs to a traced
+    /// request (see `kg_obs::trace`). Absent on untraced traffic, so
+    /// tracing costs zero header bytes when disabled.
+    pub trace: Option<TraceContext>,
     /// The payload.
     pub body: ClusterBody,
 }
 
 impl ClusterEnvelope {
+    /// An untraced envelope (the common case for admin and telemetry
+    /// traffic).
+    pub fn new(shard: ShardId, group: GroupId, body: ClusterBody) -> Self {
+        ClusterEnvelope { shard, group, trace: None, body }
+    }
+
     /// Whether `bytes` leads with the cluster magic byte.
     pub fn sniff(bytes: &[u8]) -> bool {
         bytes.first() == Some(&CLUSTER_MAGIC)
@@ -139,6 +187,15 @@ impl ClusterEnvelope {
         out.put_u8(CLUSTER_VERSION);
         out.put_u16(self.shard.0);
         out.put_u32(self.group.0);
+        match &self.trace {
+            None => out.put_u8(0),
+            Some(t) => {
+                out.put_u8(FLAG_TRACE);
+                out.put_u64(t.trace_id);
+                out.put_u64(t.parent_span);
+                out.put_u8(t.hop);
+            }
+        }
         match &self.body {
             ClusterBody::Control(msg) => {
                 out.put_u8(0);
@@ -182,6 +239,30 @@ impl ClusterEnvelope {
                 out.put_u64(*encryptions);
                 out.put_u64(*pending);
             }
+            ClusterBody::Telemetry { snapshot } => {
+                out.put_u8(9);
+                snapshot.encode_into(&mut out);
+            }
+            ClusterBody::MetricsRequest { format } => {
+                out.put_u8(10);
+                out.put_u8(*format);
+            }
+            ClusterBody::MetricsReport { text } => {
+                out.put_u8(11);
+                put_bytes(&mut out, text.as_bytes());
+            }
+            ClusterBody::TraceRequest { trace_id } => {
+                out.put_u8(12);
+                out.put_u64(*trace_id);
+            }
+            ClusterBody::TraceReport { trace_id, spans } => {
+                out.put_u8(13);
+                out.put_u64(*trace_id);
+                out.put_u32(spans.len() as u32);
+                for s in spans {
+                    put_span(&mut out, s);
+                }
+            }
         }
         out
     }
@@ -200,6 +281,21 @@ impl ClusterEnvelope {
         }
         let shard = ShardId(get_u16(&mut buf)?);
         let group = GroupId(get_u32(&mut buf)?);
+        let flags = get_u8(&mut buf)?;
+        if flags & !FLAG_TRACE != 0 {
+            // Unknown flag bits fail closed: a future sender that set
+            // them meant something this decoder cannot honor.
+            return Err(WireError::BadTag { context: "cluster flags", tag: flags });
+        }
+        let trace = if flags & FLAG_TRACE != 0 {
+            Some(TraceContext {
+                trace_id: get_u64(&mut buf)?,
+                parent_span: get_u64(&mut buf)?,
+                hop: get_u8(&mut buf)?,
+            })
+        } else {
+            None
+        };
         let body = match get_u8(&mut buf)? {
             0 => {
                 let inner = get_bytes(&mut buf)?;
@@ -248,12 +344,32 @@ impl ClusterEnvelope {
                 encryptions: get_u64(&mut buf)?,
                 pending: get_u64(&mut buf)?,
             },
+            9 => ClusterBody::Telemetry { snapshot: TelemetrySnapshot::decode_from(&mut buf)? },
+            10 => ClusterBody::MetricsRequest { format: get_u8(&mut buf)? },
+            11 => {
+                let bytes = get_bytes(&mut buf)?;
+                let text = String::from_utf8(bytes).map_err(|e| {
+                    let at = e.utf8_error().valid_up_to();
+                    WireError::BadTag { context: "metrics report utf-8", tag: e.as_bytes()[at] }
+                })?;
+                ClusterBody::MetricsReport { text }
+            }
+            12 => ClusterBody::TraceRequest { trace_id: get_u64(&mut buf)? },
+            13 => {
+                let trace_id = get_u64(&mut buf)?;
+                let n = get_count(&mut buf)?;
+                let mut spans = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    spans.push(get_span(&mut buf)?);
+                }
+                ClusterBody::TraceReport { trace_id, spans }
+            }
             t => return Err(WireError::BadTag { context: "cluster body", tag: t }),
         };
         if !buf.is_empty() {
             return Err(WireError::TrailingBytes(buf.len()));
         }
-        Ok(ClusterEnvelope { shard, group, body })
+        Ok(ClusterEnvelope { shard, group, trace, body })
     }
 }
 
@@ -296,13 +412,39 @@ mod tests {
                 encryptions: 20_000,
                 pending: 3,
             },
+            ClusterBody::Telemetry {
+                snapshot: TelemetrySnapshot {
+                    seq: 2,
+                    at_us: 500,
+                    counters: vec![("kg_requests_total".into(), 9)],
+                    gauges: vec![("kg_batch_queue_depth".into(), -1)],
+                    hists: Vec::new(),
+                    spans: vec![sample_span()],
+                },
+            },
+            ClusterBody::MetricsRequest { format: 0 },
+            ClusterBody::MetricsReport { text: "kg_requests_total 9\n".into() },
+            ClusterBody::TraceRequest { trace_id: 0 },
+            ClusterBody::TraceReport { trace_id: 7, spans: vec![sample_span()] },
         ]
+    }
+
+    fn sample_span() -> TraceSpan {
+        TraceSpan {
+            trace_id: 7,
+            span_id: 0xA1,
+            parent_span: 0x99,
+            hop: 1,
+            path: "node.parse.op.leave".into(),
+            start_us: 10,
+            end_us: 35,
+        }
     }
 
     #[test]
     fn roundtrip_all_bodies() {
         for body in sample_bodies() {
-            let env = ClusterEnvelope { shard: ShardId(3), group: GroupId(77), body };
+            let env = ClusterEnvelope::new(ShardId(3), GroupId(77), body);
             let bytes = env.encode();
             assert!(ClusterEnvelope::sniff(&bytes));
             assert_eq!(ClusterEnvelope::decode(&bytes).unwrap(), env);
@@ -310,12 +452,22 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_roundtrips_on_every_body() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 0x1234, hop: 2 };
+        for body in sample_bodies() {
+            let env = ClusterEnvelope {
+                trace: Some(ctx),
+                ..ClusterEnvelope::new(ShardId(1), GroupId(2), body)
+            };
+            let decoded = ClusterEnvelope::decode(&env.encode()).unwrap();
+            assert_eq!(decoded.trace, Some(ctx));
+            assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
     fn header_carries_version_and_shard() {
-        let env = ClusterEnvelope {
-            shard: ShardId(0xBEEF),
-            group: GroupId(5),
-            body: ClusterBody::Shutdown,
-        };
+        let env = ClusterEnvelope::new(ShardId(0xBEEF), GroupId(5), ClusterBody::Shutdown);
         let bytes = env.encode();
         assert_eq!(bytes[0], CLUSTER_MAGIC);
         assert_eq!(bytes[1], CLUSTER_VERSION);
@@ -324,12 +476,8 @@ mod tests {
 
     #[test]
     fn foreign_version_fails_closed() {
-        let mut bytes = ClusterEnvelope {
-            shard: ShardId(0),
-            group: GroupId(0),
-            body: ClusterBody::StatsRequest,
-        }
-        .encode();
+        let mut bytes =
+            ClusterEnvelope::new(ShardId(0), GroupId(0), ClusterBody::StatsRequest).encode();
         bytes[1] = CLUSTER_VERSION + 1;
         assert_eq!(
             ClusterEnvelope::decode(&bytes),
@@ -338,10 +486,39 @@ mod tests {
     }
 
     #[test]
+    fn version_one_frames_are_rejected_closed() {
+        // A well-formed frame from a PR-5 (version 1) peer: no flags
+        // byte, body tag directly after the group id. The v2 decoder
+        // must reject it on the version byte alone — body tag 7
+        // (StatsRequest) would otherwise misparse as a flags byte.
+        let v1_stats_request = [CLUSTER_MAGIC, 1, 0, 3, 0, 0, 0, 9, 7];
+        assert_eq!(
+            ClusterEnvelope::decode(&v1_stats_request),
+            Err(WireError::BadTag { context: "cluster version", tag: 1 })
+        );
+        // Same for a v1 Shutdown aimed at the router.
+        let v1_shutdown = [CLUSTER_MAGIC, 1, 0xFF, 0xFF, 0, 0, 0, 0, 5];
+        assert_eq!(
+            ClusterEnvelope::decode(&v1_shutdown),
+            Err(WireError::BadTag { context: "cluster version", tag: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_flag_bits_fail_closed() {
+        let mut bytes =
+            ClusterEnvelope::new(ShardId(0), GroupId(0), ClusterBody::StatsRequest).encode();
+        bytes[8] |= 0x80; // flags byte sits after magic+version+shard+group
+        assert_eq!(
+            ClusterEnvelope::decode(&bytes),
+            Err(WireError::BadTag { context: "cluster flags", tag: 0x80 })
+        );
+    }
+
+    #[test]
     fn magic_separates_planes() {
         // Envelopes are never valid control messages and vice versa.
-        let env =
-            ClusterEnvelope { shard: ShardId(1), group: GroupId(1), body: ClusterBody::Refresh };
+        let env = ClusterEnvelope::new(ShardId(1), GroupId(1), ClusterBody::Refresh);
         assert!(ControlMessage::decode(&env.encode()).is_err());
         let ctl = ControlMessage::JoinRequest { user: UserId(4) }.encode();
         assert!(!ClusterEnvelope::sniff(&ctl));
@@ -350,16 +527,21 @@ mod tests {
 
     #[test]
     fn truncation_rejected_everywhere() {
-        for body in sample_bodies() {
-            let env = ClusterEnvelope { shard: ShardId(2), group: GroupId(9), body };
-            let bytes = env.encode();
-            for cut in 0..bytes.len() {
-                let r = ClusterEnvelope::decode(&bytes[..cut]);
-                // Trailing-payload bodies accept any suffix, so a prefix
-                // that still contains the full fixed part may decode — but
-                // it must then re-encode to exactly that prefix.
-                if let Ok(decoded) = r {
-                    assert_eq!(decoded.encode(), &bytes[..cut]);
+        for traced in [false, true] {
+            for body in sample_bodies() {
+                let mut env = ClusterEnvelope::new(ShardId(2), GroupId(9), body);
+                if traced {
+                    env.trace = Some(TraceContext { trace_id: 5, parent_span: 6, hop: 1 });
+                }
+                let bytes = env.encode();
+                for cut in 0..bytes.len() {
+                    let r = ClusterEnvelope::decode(&bytes[..cut]);
+                    // Trailing-payload bodies accept any suffix, so a prefix
+                    // that still contains the full fixed part may decode — but
+                    // it must then re-encode to exactly that prefix.
+                    if let Ok(decoded) = r {
+                        assert_eq!(decoded.encode(), &bytes[..cut]);
+                    }
                 }
             }
         }
@@ -367,11 +549,11 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected_for_fixed_bodies() {
-        let mut bytes = ClusterEnvelope {
-            shard: ShardId(0),
-            group: GroupId(0),
-            body: ClusterBody::ShutdownAck { members: 1, wal_tail: 2 },
-        }
+        let mut bytes = ClusterEnvelope::new(
+            ShardId(0),
+            GroupId(0),
+            ClusterBody::ShutdownAck { members: 1, wal_tail: 2 },
+        )
         .encode();
         bytes.push(0);
         assert_eq!(ClusterEnvelope::decode(&bytes), Err(WireError::TrailingBytes(1)));
@@ -381,7 +563,7 @@ mod tests {
     fn tunnelled_control_is_validated() {
         // A Control body whose inner bytes are not a valid control
         // message must fail, not smuggle garbage.
-        let mut out = vec![CLUSTER_MAGIC, CLUSTER_VERSION, 0, 0, 0, 0, 0, 1, 0];
+        let mut out = vec![CLUSTER_MAGIC, CLUSTER_VERSION, 0, 0, 0, 0, 0, 1, 0, 0];
         put_bytes(&mut out, &[200, 1, 2]);
         assert!(matches!(
             ClusterEnvelope::decode(&out),
@@ -402,12 +584,18 @@ mod tests {
         fn rekey_users_roundtrip_random(
             shard: u16,
             group: u32,
+            trace_id: u64,
             users in proptest::collection::vec(0u64.., 0..50),
             payload in proptest::collection::vec(0u8.., 0..200),
         ) {
             let env = ClusterEnvelope {
                 shard: ShardId(shard),
                 group: GroupId(group),
+                trace: if trace_id.is_multiple_of(2) {
+                    None
+                } else {
+                    Some(TraceContext { trace_id, parent_span: trace_id ^ 0xFF, hop: trace_id as u8 })
+                },
                 body: ClusterBody::RekeyUsers {
                     users: users.into_iter().map(UserId).collect(),
                     payload,

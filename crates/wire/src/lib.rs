@@ -17,11 +17,13 @@
 pub mod cluster;
 pub mod codec;
 pub mod message;
+pub mod telemetry;
 
 pub use cluster::{
     ClusterBody, ClusterEnvelope, GroupId, ShardId, CLUSTER_MAGIC, CLUSTER_VERSION, ROUTER_SHARD,
 };
 pub use message::{AuthTag, BatchRekeyPacket, ControlMessage, OpKind, RekeyPacket, BATCH_MAGIC};
+pub use telemetry::TelemetrySnapshot;
 
 use std::fmt;
 

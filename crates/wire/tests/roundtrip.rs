@@ -11,9 +11,10 @@
 use kg_core::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
 use kg_core::merkle::{AuthPath, Side};
 use kg_core::rekey::{KeyBundle, Recipients, RekeyMessage};
+use kg_obs::{HistogramSnapshot, TraceContext, TraceSpan};
 use kg_wire::{
     AuthTag, BatchRekeyPacket, ClusterBody, ClusterEnvelope, ControlMessage, GroupId, OpKind,
-    RekeyPacket, ShardId,
+    RekeyPacket, ShardId, TelemetrySnapshot,
 };
 
 const ALL_OPS: [OpKind; 4] = [OpKind::Join, OpKind::Leave, OpKind::Batch, OpKind::Refresh];
@@ -172,6 +173,50 @@ fn all_cluster_envelopes() -> Vec<ClusterEnvelope> {
             encryptions: 90_000,
             pending: 17,
         },
+        ClusterBody::Telemetry {
+            snapshot: TelemetrySnapshot {
+                seq: 5,
+                at_us: 777,
+                counters: vec![("kg_requests_total{kind=\"join\"}".into(), 12)],
+                gauges: vec![("kg_batch_queue_depth".into(), -4)],
+                hists: vec![(
+                    "kg_span_us{span=\"op.join\"}".into(),
+                    HistogramSnapshot {
+                        count: 3,
+                        sum: 30,
+                        min: 5,
+                        max: 15,
+                        p50: 10,
+                        p90: 15,
+                        p99: 15,
+                    },
+                )],
+                spans: vec![TraceSpan {
+                    trace_id: 9,
+                    span_id: 2,
+                    parent_span: 1,
+                    hop: 1,
+                    path: "node.parse".into(),
+                    start_us: 4,
+                    end_us: 44,
+                }],
+            },
+        },
+        ClusterBody::MetricsRequest { format: 1 },
+        ClusterBody::MetricsReport { text: "{\"counters\":{}}".into() },
+        ClusterBody::TraceRequest { trace_id: 0 },
+        ClusterBody::TraceReport {
+            trace_id: 9,
+            spans: vec![TraceSpan {
+                trace_id: 9,
+                span_id: 1,
+                parent_span: 0,
+                hop: 0,
+                path: "router.recv".into(),
+                start_us: 0,
+                end_us: 50,
+            }],
+        },
     ]);
     bodies
         .into_iter()
@@ -179,6 +224,17 @@ fn all_cluster_envelopes() -> Vec<ClusterEnvelope> {
         .map(|(i, body)| ClusterEnvelope {
             shard: ShardId(i as u16),
             group: GroupId(1000 + i as u32),
+            // Alternate traced / untraced so the optional header is
+            // exercised against every body shape.
+            trace: if i % 2 == 1 {
+                Some(TraceContext {
+                    trace_id: 100 + i as u64,
+                    parent_span: i as u64,
+                    hop: (i % 3) as u8,
+                })
+            } else {
+                None
+            },
             body,
         })
         .collect()
@@ -323,6 +379,14 @@ impl Fuzz {
         let len = self.below(max_len as u64 + 1) as usize;
         (0..len).map(|_| self.next() as u8).collect()
     }
+
+    /// A printable-ASCII string (metric names / span paths are UTF-8
+    /// on the wire; arbitrary bytes there are a typed decode error,
+    /// which the garbage fuzz covers separately).
+    fn string(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len as u64 + 1) as usize;
+        (0..len).map(|_| (b' ' + (self.next() % 95) as u8) as char).collect()
+    }
 }
 
 fn fuzz_key_ref(f: &mut Fuzz) -> KeyRef {
@@ -410,8 +474,47 @@ fn fuzz_control_message(f: &mut Fuzz) -> ControlMessage {
     }
 }
 
+fn fuzz_trace_span(f: &mut Fuzz) -> TraceSpan {
+    let start = f.value();
+    TraceSpan {
+        trace_id: f.value(),
+        span_id: f.value(),
+        parent_span: f.value(),
+        hop: f.value() as u8,
+        path: f.string(48),
+        start_us: start,
+        end_us: start.saturating_add(f.below(1 << 20)),
+    }
+}
+
+fn fuzz_telemetry_snapshot(f: &mut Fuzz) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        seq: f.value(),
+        at_us: f.value(),
+        counters: (0..f.below(6)).map(|_| (f.string(40), f.value())).collect(),
+        gauges: (0..f.below(6)).map(|_| (f.string(40), f.value() as i64)).collect(),
+        hists: (0..f.below(4))
+            .map(|_| {
+                (
+                    f.string(40),
+                    HistogramSnapshot {
+                        count: f.value(),
+                        sum: f.value(),
+                        min: f.value(),
+                        max: f.value(),
+                        p50: f.value(),
+                        p90: f.value(),
+                        p99: f.value(),
+                    },
+                )
+            })
+            .collect(),
+        spans: (0..f.below(5)).map(|_| fuzz_trace_span(f)).collect(),
+    }
+}
+
 fn fuzz_cluster_envelope(f: &mut Fuzz) -> ClusterEnvelope {
-    let body = match f.below(9) {
+    let body = match f.below(14) {
         0 => ClusterBody::Control(fuzz_control_message(f)),
         1 => ClusterBody::Grant {
             user: UserId(f.value()),
@@ -428,15 +531,32 @@ fn fuzz_cluster_envelope(f: &mut Fuzz) -> ClusterEnvelope {
         5 => ClusterBody::Shutdown,
         6 => ClusterBody::ShutdownAck { members: f.value(), wal_tail: f.value() },
         7 => ClusterBody::StatsRequest,
-        _ => ClusterBody::StatsReport {
+        8 => ClusterBody::StatsReport {
             members: f.value(),
             intervals: f.value(),
             requests: f.value(),
             encryptions: f.value(),
             pending: f.value(),
         },
+        9 => ClusterBody::Telemetry { snapshot: fuzz_telemetry_snapshot(f) },
+        10 => ClusterBody::MetricsRequest { format: f.value() as u8 },
+        11 => ClusterBody::MetricsReport { text: f.string(200) },
+        12 => ClusterBody::TraceRequest { trace_id: f.value() },
+        _ => ClusterBody::TraceReport {
+            trace_id: f.value(),
+            spans: (0..f.below(6)).map(|_| fuzz_trace_span(f)).collect(),
+        },
     };
-    ClusterEnvelope { shard: ShardId(f.value() as u16), group: GroupId(f.value() as u32), body }
+    ClusterEnvelope {
+        shard: ShardId(f.value() as u16),
+        group: GroupId(f.value() as u32),
+        trace: if f.below(2) == 0 {
+            None
+        } else {
+            Some(TraceContext { trace_id: f.value(), parent_span: f.value(), hop: f.value() as u8 })
+        },
+        body,
+    }
 }
 
 proptest::proptest! {

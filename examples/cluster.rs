@@ -83,6 +83,7 @@ fn main() {
             acl: AccessControl::AllowAll,
             persist_root: Some(root.join(format!("shard-{s}"))),
             persist: PersistConfig::default(),
+            telemetry_interval_ms: None,
         };
         let endpoint = net.endpoint();
         let mut node =
@@ -104,7 +105,7 @@ fn main() {
     net.register_peer(EndpointId(1), router_addr);
     let endpoint = net.endpoint();
     let send = |net: &mut UdpTransport, body: ClusterBody| {
-        let env = ClusterEnvelope { shard: ROUTER_SHARD, group: GROUP, body };
+        let env = ClusterEnvelope::new(ROUTER_SHARD, GROUP, body);
         net.send_unicast(endpoint, EndpointId(1), bytes::Bytes::from(env.encode()));
     };
 
@@ -211,6 +212,7 @@ fn main() {
             acl: AccessControl::AllowAll,
             persist_root: Some(root.join(format!("shard-{}", shard.0))),
             persist: PersistConfig::default(),
+            telemetry_interval_ms: None,
         };
         let recovered = ShardNode::resume(
             config,
