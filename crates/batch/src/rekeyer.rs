@@ -100,6 +100,18 @@ pub fn build_batch(sink: &mut dyn BundleSink, ev: &BatchEvent, strategy: Strateg
                 messages.push(RekeyMessage { recipients: Recipients::Subgroup(c.label), bundles });
             }
         }
+        Strategy::Derived => {
+            // Client-derived interval: the event must come from
+            // `KeyTree::apply_batch_derived` (pure joins), whose marked
+            // keys every current member recomputes locally from the
+            // published derivation code. Nothing is shipped to them —
+            // the server's keys came from the KDF, not the generator —
+            // so only the joiner unicasts below are sealed. Intervals
+            // containing leaves use `Strategy::shipped_fallback()`
+            // instead (forward secrecy: departed members could run the
+            // public derivation too).
+            ops.keys_generated = 0;
+        }
         Strategy::UserOriented => {
             // For each unmarked, non-joiner child y of marked x: one
             // tailored message carrying every new key on x's path to

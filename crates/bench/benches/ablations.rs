@@ -36,12 +36,12 @@ fn bench_cipher_choice(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/cipher");
     g.sample_size(20);
     for (cipher, name) in [(KeyCipher::DesCbc, "des-cbc"), (KeyCipher::TripleDesCbc, "3des-cbc")] {
-        let config = ServerConfig {
-            cipher,
-            strategy: Strategy::GroupOriented,
-            auth: AuthPolicy::None,
-            ..ServerConfig::default()
-        };
+        let config = ServerConfig::builder()
+            .cipher(cipher)
+            .strategy(Strategy::GroupOriented)
+            .auth(AuthPolicy::None)
+            .build()
+            .unwrap();
         let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
         for i in 0..512u64 {
             server.handle_join(UserId(i)).unwrap();
@@ -65,12 +65,12 @@ fn bench_digest_choice(c: &mut Criterion) {
     for (digest, name) in
         [(HashAlg::Md5, "md5"), (HashAlg::Sha1, "sha1"), (HashAlg::Sha256, "sha256")]
     {
-        let config = ServerConfig {
-            digest,
-            strategy: Strategy::KeyOriented,
-            auth: AuthPolicy::SignBatch,
-            ..ServerConfig::default()
-        };
+        let config = ServerConfig::builder()
+            .digest(digest)
+            .strategy(Strategy::KeyOriented)
+            .auth(AuthPolicy::SignBatch)
+            .build()
+            .unwrap();
         let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
         for i in 0..512u64 {
             server.handle_join(UserId(i)).unwrap();

@@ -14,7 +14,7 @@ use kg_server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
 /// Build a server + one synchronized client, and produce the leave packet
 /// that client would receive.
 fn setup(strategy: Strategy, auth: AuthPolicy) -> (Client, Vec<u8>) {
-    let config = ServerConfig { strategy, auth, ..ServerConfig::default() };
+    let config = ServerConfig::builder().strategy(strategy).auth(auth).build().unwrap();
     let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
     let observer = UserId(0);
     let mut client = None;

@@ -13,12 +13,12 @@ fn bench_degree(c: &mut Criterion) {
     let mut g = c.benchmark_group("degree/join+leave");
     g.sample_size(20);
     for degree in [2usize, 4, 8, 16] {
-        let config = ServerConfig {
-            degree,
-            strategy: Strategy::GroupOriented,
-            auth: AuthPolicy::None,
-            ..ServerConfig::default()
-        };
+        let config = ServerConfig::builder()
+            .degree(degree)
+            .strategy(Strategy::GroupOriented)
+            .auth(AuthPolicy::None)
+            .build()
+            .unwrap();
         let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
         for i in 0..n {
             server.handle_join(UserId(i)).unwrap();

@@ -12,11 +12,11 @@ fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("scaling/join+leave");
     g.sample_size(20);
     for n in [64u64, 512, 4096] {
-        let config = ServerConfig {
-            strategy: Strategy::GroupOriented,
-            auth: AuthPolicy::None,
-            ..ServerConfig::default()
-        };
+        let config = ServerConfig::builder()
+            .strategy(Strategy::GroupOriented)
+            .auth(AuthPolicy::None)
+            .build()
+            .unwrap();
         let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
         for i in 0..n {
             server.handle_join(UserId(i)).unwrap();

@@ -9,7 +9,8 @@ use kg_core::rekey::Strategy;
 use kg_server::{AccessControl, AuthPolicy, GroupKeyServer, ServerConfig};
 
 fn server_with(auth: AuthPolicy, n: u64) -> GroupKeyServer {
-    let config = ServerConfig { auth, strategy: Strategy::KeyOriented, ..ServerConfig::default() };
+    let config =
+        ServerConfig::builder().auth(auth).strategy(Strategy::KeyOriented).build().unwrap();
     let mut s = GroupKeyServer::new(config, AccessControl::AllowAll);
     for i in 0..n {
         s.handle_join(UserId(i)).unwrap();

@@ -13,7 +13,8 @@ fn bench_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("strategy/join+leave");
     g.sample_size(20);
     for strategy in Strategy::ALL {
-        let config = ServerConfig { strategy, auth: AuthPolicy::None, ..ServerConfig::default() };
+        let config =
+            ServerConfig::builder().strategy(strategy).auth(AuthPolicy::None).build().unwrap();
         let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
         for i in 0..n {
             server.handle_join(UserId(i)).unwrap();

@@ -4,14 +4,14 @@
 //! report [--quick] <artifact>...
 //! artifacts: table1 table2 table3 table4 table5 table6
 //!            fig10 fig11 fig12 iolus hybrid batch persist obs par
-//!            cluster trace all
+//!            cluster trace derived all
 //! ```
 //!
-//! The `batch`, `persist`, `obs`, `par`, `cluster`, and `trace`
-//! artifacts also write machine-readable `BENCH_batch.json`,
+//! The `batch`, `persist`, `obs`, `par`, `cluster`, `trace`, and
+//! `derived` artifacts also write machine-readable `BENCH_batch.json`,
 //! `BENCH_persist.json`, `BENCH_obs.json`, `BENCH_par.json`,
-//! `BENCH_cluster.json`, and `BENCH_trace.json` to the working
-//! directory.
+//! `BENCH_cluster.json`, `BENCH_trace.json`, and `BENCH_derived.json`
+//! to the working directory.
 //!
 //! `--quick` shrinks group sizes / request counts for a fast smoke run,
 //! and writes its artifacts as `BENCH_<name>.quick.json` so a smoke run
@@ -22,9 +22,9 @@
 //! EXPERIMENTS.md for the side-by-side reading.
 
 use kg_bench::{
-    run, run_batch_comparison, run_obs_overhead, run_obs_reconcile, run_par_speedup,
-    run_persist_overhead, run_recovery_curve, run_trace_plane, BatchConfig, ExperimentConfig,
-    ParConfig, TextTable, TraceBenchConfig, SEEDS,
+    run, run_batch_comparison, run_derived_costs, run_obs_overhead, run_obs_reconcile,
+    run_par_speedup, run_persist_overhead, run_recovery_curve, run_trace_plane, BatchConfig,
+    ExperimentConfig, ParConfig, TextTable, TraceBenchConfig, SEEDS,
 };
 use kg_core::cost::{self, GraphClass};
 use kg_core::ids::UserId;
@@ -49,7 +49,8 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: report [--quick] <artifact>...\n\
                      artifacts: table1 table2 table3 table4 table5 table6 \
-                     fig10 fig11 fig12 iolus hybrid batch persist obs par cluster trace all"
+                     fig10 fig11 fig12 iolus hybrid batch persist obs par cluster trace \
+                     derived all"
                 );
                 std::process::exit(0);
             }
@@ -123,6 +124,9 @@ fn main() {
     }
     if want("trace") {
         trace(&opts);
+    }
+    if want("derived") {
+        derived(&opts);
     }
 }
 
@@ -1231,4 +1235,70 @@ fn trace(opts: &Opts) {
         jf(r.overhead_pct),
     );
     write_artifact(&artifact_name(opts, "BENCH_trace.json"), &json);
+}
+
+/// Client-derived rekeying (`strategy = derived`) vs the paper's shipped
+/// strategies: per-op seals, key encryptions, and wire bytes at large n.
+fn derived(opts: &Opts) {
+    println!(
+        "## Client-derived rekeying — server cost vs shipped strategies (d=4, immediate mode)\n"
+    );
+    let sizes: Vec<usize> = if opts.quick { vec![256, 1024] } else { vec![4096, 16384, 65536] };
+    let probes = if opts.quick { 16 } else { 64 };
+    let seed = SEEDS[0];
+    let mut t = TextTable::new(&[
+        "n",
+        "strategy",
+        "join seals",
+        "join encs",
+        "join bytes",
+        "leave seals",
+        "leave encs",
+        "leave bytes",
+        "refresh seals",
+        "refresh bytes",
+    ]);
+    let mut json_rows = Vec::new();
+    for &n in &sizes {
+        for strategy in Strategy::EVERY {
+            let r = run_derived_costs(n, probes, seed, strategy);
+            t.row(vec![
+                n.to_string(),
+                strategy.to_string(),
+                f(r.join.seals),
+                f(r.join.encryptions),
+                f(r.join.bytes),
+                f(r.leave.seals),
+                f(r.leave.encryptions),
+                f(r.leave.bytes),
+                f(r.refresh.seals),
+                f(r.refresh.bytes),
+            ]);
+            let phase = |p: &kg_bench::DerivedPhase| {
+                format!(
+                    "{{\"seals_per_op\": {}, \"enc_per_op\": {}, \"msgs_per_op\": {}, \
+                     \"bytes_per_op\": {}}}",
+                    jf(p.seals),
+                    jf(p.encryptions),
+                    jf(p.messages),
+                    jf(p.bytes),
+                )
+            };
+            json_rows.push(format!(
+                "    {{\"n\": {n}, \"strategy\": \"{strategy}\", \"join\": {}, \
+                 \"leave\": {}, \"refresh\": {}}}",
+                phase(&r.join),
+                phase(&r.leave),
+                phase(&r.refresh),
+            ));
+        }
+    }
+    println!("{}", t.render());
+    println!("(expected shape: derived joins seal exactly 1 bundle and derived refreshes 0 at every n — the members recompute changed keys from the published derivation code — where every shipped strategy's seal count grows with the tree height; derived leaves match group-oriented, since keys the departed member could derive must be shipped instead)\n");
+    let json = format!(
+        "{{\n  \"artifact\": \"derived\",\n  \"probes\": {probes},\n  \"seed\": {seed},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+    );
+    write_artifact(&artifact_name(opts, "BENCH_derived.json"), &json);
 }

@@ -11,7 +11,7 @@
 use kg_cluster::{aggregate_counter_values, ShardMap, SimCluster};
 use kg_core::ids::UserId;
 use kg_net::NetConfig;
-use kg_server::{AccessControl, RekeyPolicy, ServerConfig};
+use kg_server::{AccessControl, ServerConfig};
 use kg_wire::GroupId;
 use std::time::Instant;
 
@@ -84,11 +84,11 @@ const INTERVAL_MS: u64 = 100;
 pub fn run_cluster_scale(config: &ClusterBenchConfig) -> ClusterScaleResult {
     let group = GroupId(1);
     let map = ShardMap::new(config.shards).with_span(group, config.span);
-    let template = ServerConfig {
-        seed: config.seed,
-        rekey: RekeyPolicy::Batched { interval_ms: INTERVAL_MS, max_pending: usize::MAX },
-        ..ServerConfig::default()
-    };
+    let template = ServerConfig::builder()
+        .seed(config.seed)
+        .batched(INTERVAL_MS, usize::MAX)
+        .build()
+        .expect("valid cluster template");
     let net = NetConfig {
         latency_min_us: 100,
         latency_max_us: 100,

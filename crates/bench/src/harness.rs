@@ -111,13 +111,13 @@ fn run_once(
     seed: u64,
 ) -> (SeedServerStats, (ClientSide, ClientSide, ClientSide)) {
     let workload = Workload::generate(config.n, config.ops, seed);
-    let server_config = ServerConfig {
-        degree: config.degree,
-        strategy: config.strategy,
-        auth: config.auth,
-        seed,
-        ..ServerConfig::default()
-    };
+    let server_config = ServerConfig::builder()
+        .degree(config.degree)
+        .strategy(config.strategy)
+        .auth(config.auth)
+        .seed(seed)
+        .build()
+        .expect("valid bench config");
     let mut server = GroupKeyServer::new(server_config, AccessControl::AllowAll);
     // Build the initial tree with authentication off — the paper's tables
     // exclude the n initial joins, and signing them would only slow the
@@ -373,13 +373,13 @@ fn per_op_costs(
     workload: &crate::workload::ChurnWorkload,
     seed: u64,
 ) -> RekeyCosts {
-    let server_config = ServerConfig {
-        degree: config.degree,
-        strategy: config.strategy,
-        auth: AuthPolicy::None,
-        seed,
-        ..ServerConfig::default()
-    };
+    let server_config = ServerConfig::builder()
+        .degree(config.degree)
+        .strategy(config.strategy)
+        .auth(AuthPolicy::None)
+        .seed(seed)
+        .build()
+        .expect("valid bench config");
     let mut server = GroupKeyServer::new(server_config, AccessControl::AllowAll);
     for &u in &workload.initial {
         server.handle_join(u).expect("initial join");
@@ -405,21 +405,18 @@ fn batched_costs(
     workload: &crate::workload::ChurnWorkload,
     seed: u64,
 ) -> RekeyCosts {
-    let server_config = ServerConfig {
-        degree: config.degree,
-        strategy: config.strategy,
-        auth: AuthPolicy::None,
-        seed,
-        // Depth-triggered flushing: the queue drains every `batch_size`
-        // requests, making the batch size exact. The Poisson clock still
-        // drives `tick`, so interval-triggered flushing is exercised when
-        // the configured interval elapses first.
-        rekey: kg_server::RekeyPolicy::Batched {
-            interval_ms: u64::MAX / 4,
-            max_pending: config.batch_size,
-        },
-        ..ServerConfig::default()
-    };
+    // Depth-triggered flushing: the queue drains every `batch_size`
+    // requests, making the batch size exact. The Poisson clock still
+    // drives `tick`, so interval-triggered flushing is exercised when
+    // the configured interval elapses first.
+    let server_config = ServerConfig::builder()
+        .degree(config.degree)
+        .strategy(config.strategy)
+        .auth(AuthPolicy::None)
+        .seed(seed)
+        .batched(u64::MAX / 4, config.batch_size)
+        .build()
+        .expect("valid bench config");
     let mut server = GroupKeyServer::new(server_config, AccessControl::AllowAll);
     for &u in &workload.initial {
         server.enqueue_join(u).expect("initial enqueue");
@@ -503,7 +500,8 @@ fn churn(server: &mut GroupKeyServer, workload: &Workload) {
 /// disabled so the numbers isolate the log-append cost.
 pub fn run_persist_overhead(n: usize, ops: usize, seed: u64) -> Vec<WalOverheadRow> {
     let workload = Workload::generate(n, ops, seed);
-    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+    let config =
+        ServerConfig::builder().auth(AuthPolicy::None).seed(seed).build().expect("valid config");
     let no_snapshots = |fsync| kg_persist::PersistConfig {
         fsync,
         snapshot_every_ops: u64::MAX,
@@ -567,7 +565,8 @@ pub fn run_persist_overhead(n: usize, ops: usize, seed: u64) -> Vec<WalOverheadR
 /// many requests, snapshots disabled so the whole history replays), crash
 /// it, and time [`GroupKeyServer::recover`].
 pub fn run_recovery_curve(n: usize, churn_ops: &[usize], seed: u64) -> Vec<RecoveryPoint> {
-    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+    let config =
+        ServerConfig::builder().auth(AuthPolicy::None).seed(seed).build().expect("valid config");
     let pcfg = kg_persist::PersistConfig {
         fsync: kg_persist::FsyncPolicy::EveryN(4096),
         snapshot_every_ops: u64::MAX,
@@ -643,7 +642,8 @@ pub struct ObsOverhead {
 pub fn run_obs_overhead(n: usize, ops: usize, seed: u64, repeats: usize) -> ObsOverhead {
     use kg_obs::{Obs, ObsConfig};
     let workload = Workload::generate(n, ops, seed);
-    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+    let config =
+        ServerConfig::builder().auth(AuthPolicy::None).seed(seed).build().expect("valid config");
 
     let run_once = |obs: Obs| -> (f64, Obs) {
         let mut server = GroupKeyServer::new(config.clone(), AccessControl::AllowAll);
@@ -735,7 +735,8 @@ impl ObsReconcile {
 pub fn run_obs_reconcile(n: usize, ops: usize, seed: u64) -> ObsReconcile {
     use kg_obs::{Obs, ObsConfig};
     let workload = Workload::generate(n, ops, seed);
-    let config = ServerConfig { auth: AuthPolicy::None, seed, ..ServerConfig::default() };
+    let config =
+        ServerConfig::builder().auth(AuthPolicy::None).seed(seed).build().expect("valid config");
     let pcfg = kg_persist::PersistConfig {
         fsync: kg_persist::FsyncPolicy::EveryN(1024),
         snapshot_every_ops: u64::MAX,
@@ -828,6 +829,93 @@ impl TextTable {
         }
         out
     }
+}
+
+/// Per-op server cost of one strategy at group size `n`, one phase per
+/// op kind (see [`run_derived_costs`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DerivedPhase {
+    /// Bundles actually sealed (cipher invocations) per op — the O(1)
+    /// quantity client-derived rekeying targets for joins and refreshes.
+    pub seals: f64,
+    /// Keys encrypted per op (the paper's cost unit: a bundle packing
+    /// three keys costs three).
+    pub encryptions: f64,
+    /// Rekey frames emitted per op.
+    pub messages: f64,
+    /// Encoded rekey bytes emitted per op.
+    pub bytes: f64,
+}
+
+/// The three phases of one [`run_derived_costs`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DerivedCosts {
+    /// Joins of fresh users into the size-`n` group.
+    pub join: DerivedPhase,
+    /// Leaves of current members.
+    pub leave: DerivedPhase,
+    /// Group-key refreshes.
+    pub refresh: DerivedPhase,
+}
+
+/// Measure the server-side per-op cost of `strategy` at group size `n`:
+/// populate a server to `n` members, then probe `probes` joins, `probes`
+/// refreshes, and `probes` leaves, reading seal/encryption counts from
+/// the server's own metrics and frame sizes from the processed ops.
+///
+/// This is the derived-vs-shipped comparison surface: with
+/// [`Strategy::Derived`] a join seals exactly one bundle (the joiner's
+/// unicast) and a refresh seals none, independent of `n`, while the
+/// shipped strategies scale with the tree height.
+pub fn run_derived_costs(n: usize, probes: usize, seed: u64, strategy: Strategy) -> DerivedCosts {
+    use kg_core::ids::UserId;
+    use kg_obs::{Obs, ObsConfig};
+    let config = ServerConfig::builder()
+        .auth(AuthPolicy::None)
+        .seed(seed)
+        .strategy(strategy)
+        .build()
+        .expect("valid config");
+    let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
+    for u in 0..n as u64 {
+        server.handle_join(UserId(u)).expect("populate");
+    }
+    let obs = Obs::new(ObsConfig::default());
+    server.attach_obs(obs.clone());
+    let misses = obs.counter_with("kg_par_cache_total", "result", "miss");
+    let encs = obs.counter("kg_encryptions_total");
+
+    let mut measure = |ops: &mut dyn FnMut(&mut GroupKeyServer) -> kg_server::ProcessedOp| {
+        let (m0, e0) = (misses.get(), encs.get());
+        let (mut messages, mut bytes) = (0u64, 0u64);
+        for _ in 0..probes {
+            let out = ops(&mut server);
+            messages += out.encoded.len() as u64;
+            bytes += out.encoded.iter().map(|b| b.len() as u64).sum::<u64>();
+        }
+        let p = probes.max(1) as f64;
+        DerivedPhase {
+            seals: (misses.get() - m0) as f64 / p,
+            encryptions: (encs.get() - e0) as f64 / p,
+            messages: messages as f64 / p,
+            bytes: bytes as f64 / p,
+        }
+    };
+
+    let mut next = n as u64;
+    let join = measure(&mut |s| {
+        next += 1;
+        s.handle_join(UserId(next - 1)).expect("probe join")
+    });
+    let refresh = measure(&mut |s| s.refresh_group_key().expect("probe refresh"));
+    // Leave the probe joiners again: the group returns to size n, so
+    // every phase measured the same population.
+    let mut gone = n as u64;
+    let leave = measure(&mut |s| {
+        gone += 1;
+        s.handle_leave(UserId(gone - 1)).expect("probe leave")
+    });
+    DerivedCosts { join, leave, refresh }
 }
 
 #[cfg(test)]
@@ -950,6 +1038,18 @@ mod tests {
                 r.per_op.multicasts
             );
         }
+    }
+
+    #[test]
+    fn derived_join_cost_does_not_scale_with_group_size() {
+        let small = run_derived_costs(32, 8, 1, Strategy::Derived);
+        let big = run_derived_costs(256, 8, 1, Strategy::Derived);
+        assert_eq!(small.join.seals, 1.0, "derived join seals one bundle");
+        assert_eq!(big.join.seals, 1.0, "…at any group size");
+        assert_eq!(big.refresh.seals, 0.0, "derived refresh is ciphertext-free");
+        assert!(big.leave.seals > 1.0, "leaves ship keys for forward secrecy");
+        let shipped = run_derived_costs(256, 8, 1, Strategy::GroupOriented);
+        assert!(shipped.join.seals > 1.0, "shipped joins scale with the path");
     }
 
     #[test]

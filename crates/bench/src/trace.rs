@@ -22,7 +22,7 @@ use kg_cluster::{aggregate_counter_values, ShardMap, SimCluster};
 use kg_core::ids::UserId;
 use kg_core::rekey::Strategy;
 use kg_net::NetConfig;
-use kg_server::{AccessControl, RekeyPolicy, ServerConfig};
+use kg_server::{AccessControl, ServerConfig};
 use kg_wire::GroupId;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -122,16 +122,10 @@ fn net(seed: u64) -> NetConfig {
 }
 
 fn template(seed: u64, strategy: Strategy, batched: bool) -> ServerConfig {
-    ServerConfig {
-        seed,
-        strategy,
-        rekey: if batched {
-            RekeyPolicy::Batched { interval_ms: INTERVAL_MS, max_pending: usize::MAX }
-        } else {
-            RekeyPolicy::Immediate
-        },
-        ..ServerConfig::default()
-    }
+    let builder = ServerConfig::builder().seed(seed).strategy(strategy);
+    let builder =
+        if batched { builder.batched(INTERVAL_MS, usize::MAX) } else { builder.immediate() };
+    builder.build().expect("valid trace config")
 }
 
 /// Drive the measured schedule: admit `members`, churn `churn`

@@ -148,8 +148,10 @@ impl ClientFleet {
         let mut events = Vec::new();
         for (&user, m) in self.members.iter_mut() {
             while let Some(dg) = net.recv(m.endpoint) {
-                if kg_wire::BatchRekeyPacket::sniff(&dg.payload) {
-                    match m.client.process_batch_rekey(&dg.payload) {
+                if kg_wire::BatchRekeyPacket::sniff(&dg.payload)
+                    || kg_wire::DerivedRekeyPacket::sniff(&dg.payload)
+                {
+                    match m.client.process_packet(&dg.payload) {
                         Ok(s) => events.push(FleetEvent::Rekeyed(user, s)),
                         Err(e) => events.push(FleetEvent::RekeyFailed(user, e)),
                     }

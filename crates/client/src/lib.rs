@@ -40,7 +40,7 @@ use kg_core::rekey::KeyCipher;
 use kg_crypto::rsa::{HashAlg, RsaPublicKey};
 use kg_crypto::SymmetricKey;
 use kg_obs::{Counter, Histogram, Obs, ObsEvent};
-use kg_wire::{AuthTag, BatchRekeyPacket, RekeyPacket, WireError};
+use kg_wire::{AuthTag, BatchRekeyPacket, DerivedRekeyPacket, RekeyPacket, WireError};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -73,8 +73,8 @@ pub enum ClientError {
     /// A bundle addressed to us failed to decrypt (stale keyset — should
     /// not happen under reliable delivery).
     DecryptFailed(KeyRef),
-    /// A batch rekey packet from an interval older than one already
-    /// applied; applying it would roll keys back.
+    /// A batch or derived rekey packet from an interval older than one
+    /// already applied; applying it would roll keys back.
     StaleInterval {
         /// The interval the packet carries.
         packet: u64,
@@ -380,6 +380,148 @@ impl Client {
             self.apply_us.record(t0.elapsed().as_micros() as u64);
         }
         Ok(summary)
+    }
+
+    /// Process one encoded **derived** rekey packet, atomically.
+    ///
+    /// A `Strategy::Derived` server ships no ciphertext to current members
+    /// on joins and refreshes; instead the packet carries a derivation
+    /// code and a work list of `(new_ref, from)` links. For every link
+    /// whose `from` key this client holds (exact label *and* version —
+    /// the derivation chains from the committed pre-interval keyset, never
+    /// from a key staged this interval), the replacement is recomputed
+    /// locally via [`kg_core::derive::derive_key`]. Any shipped bundles —
+    /// the joiner's own path, or the group-oriented fallback of a leave —
+    /// are then decrypted to a fixed point against the staged view, as in
+    /// [`Self::process_batch_rekey`].
+    ///
+    /// Application is all-or-nothing with the same staleness rule as
+    /// batches: a packet older than `last_interval` is refused untouched,
+    /// an equal interval is an idempotent no-op redelivery.
+    pub fn apply_derived(&mut self, bytes: &[u8]) -> Result<ProcessSummary, ClientError> {
+        let t0 = self.obs.is_enabled().then(Instant::now);
+        let (packet, body_len) = DerivedRekeyPacket::decode(bytes)?;
+        self.verify_auth(&packet.auth, &bytes[..body_len])?;
+        if packet.interval < self.last_interval {
+            self.stale_rejections.inc();
+            self.obs.event(ObsEvent::StaleInterval {
+                packet: packet.interval,
+                current: self.last_interval,
+            });
+            return Err(ClientError::StaleInterval {
+                packet: packet.interval,
+                current: self.last_interval,
+            });
+        }
+
+        let mut staged: BTreeMap<KeyLabel, (KeyVersion, SymmetricKey)> = BTreeMap::new();
+        let mut summary = ProcessSummary::default();
+
+        // Pass 1 — derivation. Links only ever chain from pre-interval
+        // keys (a split-created node derives from the displaced member's
+        // individual key, not from anything new), so the lookup goes to
+        // the committed keyset, not the staged view.
+        for link in &packet.changed {
+            let Some((version, key)) = self.keys.get(&link.from.label) else {
+                continue;
+            };
+            if *version != link.from.version {
+                continue;
+            }
+            let newer = staged
+                .get(&link.new_ref.label)
+                .or_else(|| self.keys.get(&link.new_ref.label))
+                .is_none_or(|(v, _)| link.new_ref.version > *v);
+            if newer {
+                let new_key = kg_core::derive::derive_key(
+                    key,
+                    &packet.code,
+                    link.new_ref.label,
+                    link.new_ref.version,
+                    self.cipher.key_len(),
+                );
+                staged.insert(link.new_ref.label, (link.new_ref.version, new_key));
+                summary.keys_installed += 1;
+            }
+        }
+
+        // Pass 2 — shipped bundles, decrypted to a fixed point against
+        // staged ∪ committed (a joiner's path bundle may sit alongside
+        // leave-fallback bundles chaining under this interval's keys).
+        let bundles: Vec<&kg_core::rekey::KeyBundle> =
+            packet.messages.iter().flat_map(|m| m.bundles.iter()).collect();
+        let mut done = vec![false; bundles.len()];
+        loop {
+            let mut progress = false;
+            for (i, bundle) in bundles.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let holder = staged
+                    .get(&bundle.encrypted_with.label)
+                    .or_else(|| self.keys.get(&bundle.encrypted_with.label));
+                let Some((version, key)) = holder else { continue };
+                if *version != bundle.encrypted_with.version {
+                    continue;
+                }
+                let plain = self
+                    .cipher
+                    .decrypt(key, &bundle.iv, &bundle.ciphertext)
+                    .map_err(|_| ClientError::DecryptFailed(bundle.encrypted_with))?;
+                let key_len = self.cipher.key_len();
+                if plain.len() != bundle.targets.len() * key_len {
+                    return Err(ClientError::DecryptFailed(bundle.encrypted_with));
+                }
+                for (j, target) in bundle.targets.iter().enumerate() {
+                    let material = &plain[j * key_len..(j + 1) * key_len];
+                    let newer = staged
+                        .get(&target.label)
+                        .or_else(|| self.keys.get(&target.label))
+                        .is_none_or(|(v, _)| target.version > *v);
+                    if newer {
+                        staged.insert(
+                            target.label,
+                            (target.version, SymmetricKey::from_bytes(material)),
+                        );
+                        summary.keys_installed += 1;
+                    }
+                }
+                summary.bundles_decrypted += 1;
+                done[i] = true;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        // Commit.
+        for (label, entry) in staged {
+            self.keys.insert(label, entry);
+        }
+        self.last_interval = packet.interval;
+        summary.bundles_skipped = done.iter().filter(|&&d| !d).count() as u64;
+        self.stats.rekey_msgs += 1;
+        self.stats.rekey_bytes += bytes.len() as u64;
+        self.stats.key_changes += summary.keys_installed;
+        if let Some(t0) = t0 {
+            self.apply_us.record(t0.elapsed().as_micros() as u64);
+        }
+        Ok(summary)
+    }
+
+    /// Process any rekey packet, dispatching on its leading magic byte:
+    /// derived (`0xD6`) → [`Self::apply_derived`], batch (`0xB5`) →
+    /// [`Self::process_batch_rekey`], anything else → the legacy
+    /// per-operation [`Self::process_rekey`].
+    pub fn process_packet(&mut self, bytes: &[u8]) -> Result<ProcessSummary, ClientError> {
+        if DerivedRekeyPacket::sniff(bytes) {
+            self.apply_derived(bytes)
+        } else if BatchRekeyPacket::sniff(bytes) {
+            self.process_batch_rekey(bytes)
+        } else {
+            self.process_rekey(bytes)
+        }
     }
 
     fn verify_auth(&mut self, auth: &AuthTag, body: &[u8]) -> Result<(), ClientError> {
@@ -790,6 +932,164 @@ mod tests {
         // The intact packet still applies cleanly afterwards.
         victim.process_batch_rekey(&batch.encoded[0]).unwrap();
         assert_eq!(victim.last_interval(), 2);
+    }
+
+    /// A client holding only its individual key (leaf label 5), as after
+    /// `install_grant` but before any rekey traffic.
+    fn derived_fixture() -> (Client, SymmetricKey) {
+        let ik = SymmetricKey::from_bytes(&[0x11; 8]);
+        let mut c = Client::new(UserId(1), KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);
+        c.install_grant(ik.clone(), KeyLabel(5), &[KeyLabel(0), KeyLabel(5)]);
+        (c, ik)
+    }
+
+    fn derived_packet(
+        interval: u64,
+        code: &[u8],
+        changed: Vec<kg_core::derive::DerivedLink>,
+        messages: Vec<kg_core::rekey::RekeyMessage>,
+    ) -> Vec<u8> {
+        kg_wire::DerivedRekeyPacket {
+            seq: interval,
+            interval,
+            op: kg_wire::OpKind::Join,
+            timestamp_ms: 0,
+            code: code.to_vec(),
+            changed,
+            messages,
+            auth: AuthTag::None,
+        }
+        .encode()
+    }
+
+    #[test]
+    fn derived_links_recompute_exactly_the_kdf() {
+        let (mut c, ik) = derived_fixture();
+        let code = [0xC0u8; 16];
+        // Root v1 derives from our leaf key (the split case: a different
+        // label); a link from a key we lack is silently skipped.
+        let links = vec![
+            kg_core::derive::DerivedLink {
+                new_ref: KeyRef::new(KeyLabel(0), KeyVersion(1)),
+                from: KeyRef::new(KeyLabel(5), KeyVersion(0)),
+            },
+            kg_core::derive::DerivedLink {
+                new_ref: KeyRef::new(KeyLabel(9), KeyVersion(3)),
+                from: KeyRef::new(KeyLabel(9), KeyVersion(2)),
+            },
+        ];
+        let s = c.apply_derived(&derived_packet(1, &code, links, vec![])).unwrap();
+        assert_eq!(s.keys_installed, 1);
+        let want = kg_core::derive::derive_key(&ik, &code, KeyLabel(0), KeyVersion(1), 8);
+        let (gk_ref, gk) = c.group_key().expect("derived the group key");
+        assert_eq!(gk_ref, KeyRef::new(KeyLabel(0), KeyVersion(1)));
+        assert_eq!(gk, want);
+        assert_eq!(c.last_interval(), 1);
+    }
+
+    #[test]
+    fn derived_links_require_exact_from_version() {
+        let (mut c, _) = derived_fixture();
+        // Wrong version of a held label: no derivation, but the interval
+        // still commits (the client is simply not a holder of that key).
+        let links = vec![kg_core::derive::DerivedLink {
+            new_ref: KeyRef::new(KeyLabel(0), KeyVersion(2)),
+            from: KeyRef::new(KeyLabel(5), KeyVersion(7)),
+        }];
+        let s = c.apply_derived(&derived_packet(1, &[0xC0; 16], links, vec![])).unwrap();
+        assert_eq!(s.keys_installed, 0);
+        assert!(c.group_key().is_none());
+        assert_eq!(c.last_interval(), 1);
+    }
+
+    #[test]
+    fn derived_stale_interval_rejected_and_equal_is_idempotent() {
+        let (mut c, _) = derived_fixture();
+        let link = |v: u64| {
+            vec![kg_core::derive::DerivedLink {
+                new_ref: KeyRef::new(KeyLabel(0), KeyVersion(v)),
+                from: KeyRef::new(KeyLabel(5), KeyVersion(0)),
+            }]
+        };
+        c.apply_derived(&derived_packet(3, &[1; 16], link(1), vec![])).unwrap();
+        let before = c.keyset();
+        let err = c.apply_derived(&derived_packet(2, &[2; 16], link(2), vec![])).unwrap_err();
+        assert_eq!(err, ClientError::StaleInterval { packet: 2, current: 3 });
+        assert_eq!(c.keyset(), before);
+        // Redelivery of the same interval: accepted, nothing newer to do.
+        let s = c.apply_derived(&derived_packet(3, &[1; 16], link(1), vec![])).unwrap();
+        assert_eq!(s.keys_installed, 0);
+        assert_eq!(c.keyset(), before);
+    }
+
+    #[test]
+    fn derived_apply_is_atomic_on_bad_bundle() {
+        let (mut c, _) = derived_fixture();
+        let links = vec![kg_core::derive::DerivedLink {
+            new_ref: KeyRef::new(KeyLabel(0), KeyVersion(1)),
+            from: KeyRef::new(KeyLabel(5), KeyVersion(0)),
+        }];
+        // A bundle under our individual key whose ciphertext is not a
+        // whole number of blocks: decryption fails mid-apply.
+        let bad = kg_core::rekey::RekeyMessage {
+            recipients: kg_core::rekey::Recipients::User(UserId(1)),
+            bundles: vec![kg_core::rekey::KeyBundle {
+                targets: vec![KeyRef::new(KeyLabel(2), KeyVersion(1))],
+                encrypted_with: KeyRef::new(KeyLabel(5), KeyVersion(0)),
+                iv: vec![0; 8],
+                ciphertext: vec![0xEE; 9],
+            }],
+        };
+        let before = c.keyset();
+        let err = c.apply_derived(&derived_packet(1, &[7; 16], links, vec![bad])).unwrap_err();
+        assert!(matches!(err, ClientError::DecryptFailed(_)));
+        // All-or-nothing: the derivation above was rolled back with it.
+        assert_eq!(c.keyset(), before);
+        assert_eq!(c.last_interval(), 0);
+    }
+
+    #[test]
+    fn derived_shipped_bundle_decrypts_under_derived_key() {
+        let (mut c, ik) = derived_fixture();
+        let code = [0x5Au8; 16];
+        let cipher = KeyCipher::des_cbc();
+        // The packet both derives root v1 and ships a bundle *under* root
+        // v1 — the fixed point must see the staged derived key.
+        let root1 = kg_core::derive::derive_key(&ik, &code, KeyLabel(0), KeyVersion(1), 8);
+        let payload = SymmetricKey::from_bytes(&[0x77; 8]);
+        let iv = vec![3u8; 8];
+        let ct = cipher.encrypt(&root1, &iv, payload.material());
+        let msg = kg_core::rekey::RekeyMessage {
+            recipients: kg_core::rekey::Recipients::Group,
+            bundles: vec![kg_core::rekey::KeyBundle {
+                targets: vec![KeyRef::new(KeyLabel(3), KeyVersion(1))],
+                encrypted_with: KeyRef::new(KeyLabel(0), KeyVersion(1)),
+                iv,
+                ciphertext: ct,
+            }],
+        };
+        let links = vec![kg_core::derive::DerivedLink {
+            new_ref: KeyRef::new(KeyLabel(0), KeyVersion(1)),
+            from: KeyRef::new(KeyLabel(5), KeyVersion(0)),
+        }];
+        let s = c.apply_derived(&derived_packet(1, &code, links, vec![msg])).unwrap();
+        assert_eq!(s.keys_installed, 2);
+        assert_eq!(s.bundles_decrypted, 1);
+        let keyset = c.keyset();
+        assert!(keyset
+            .iter()
+            .any(|(r, k)| { *r == KeyRef::new(KeyLabel(3), KeyVersion(1)) && *k == payload }));
+    }
+
+    #[test]
+    fn process_packet_dispatches_on_magic() {
+        let (mut c, _) = derived_fixture();
+        // Derived magic routes to apply_derived (interval commits).
+        c.process_packet(&derived_packet(4, &[1; 16], vec![], vec![])).unwrap();
+        assert_eq!(c.last_interval(), 4);
+        // Garbage still surfaces as a wire error through the dispatcher.
+        assert!(matches!(c.process_packet(&[0xB5, 1, 2]), Err(ClientError::Wire(_))));
+        assert!(matches!(c.process_packet(&[1, 2, 3]), Err(ClientError::Wire(_))));
     }
 
     #[test]

@@ -382,8 +382,8 @@ impl ShardNode {
             self.relay_grant(net, group, grant);
             events.push(NodeEvent::Joined(group, grant.user));
         }
-        for (p, bytes) in batch.packets.iter().zip(&batch.encoded) {
-            self.relay_rekey(net, group, &p.message.recipients, bytes);
+        for (to, bytes) in batch.frames() {
+            self.relay_rekey(net, group, &to, bytes);
         }
         events.push(NodeEvent::Flushed {
             group,
@@ -433,8 +433,8 @@ impl ShardNode {
                     if let Some(grant) = op.join_grant.clone() {
                         self.relay_grant(net, group, &grant);
                     }
-                    for (p, bytes) in op.packets.iter().zip(&op.encoded) {
-                        self.relay_rekey(net, group, &p.message.recipients, bytes);
+                    for (to, bytes) in op.frames() {
+                        self.relay_rekey(net, group, &to, bytes);
                     }
                     NodeEvent::Joined(group, user)
                 }
@@ -482,8 +482,8 @@ impl ShardNode {
                         group,
                         ClusterBody::Control(ControlMessage::LeaveGranted { user }),
                     );
-                    for (p, bytes) in op.packets.iter().zip(&op.encoded) {
-                        self.relay_rekey(net, group, &p.message.recipients, bytes);
+                    for (to, bytes) in op.frames() {
+                        self.relay_rekey(net, group, &to, bytes);
                     }
                     NodeEvent::Left(group, user)
                 }
@@ -501,8 +501,8 @@ impl ShardNode {
         match server.refresh_group_key() {
             Err(e) => NodeEvent::Failed(group, e),
             Ok(op) => {
-                for (p, bytes) in op.packets.iter().zip(&op.encoded) {
-                    self.relay_rekey(net, group, &p.message.recipients, bytes);
+                for (to, bytes) in op.frames() {
+                    self.relay_rekey(net, group, &to, bytes);
                 }
                 NodeEvent::Refreshed(group)
             }

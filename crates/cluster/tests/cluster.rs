@@ -10,6 +10,7 @@
 
 use kg_cluster::{group_seed, ShardMap, SimCluster};
 use kg_core::ids::UserId;
+use kg_core::rekey::Strategy;
 use kg_net::NetConfig;
 use kg_server::{AccessControl, GroupKeyServer, RekeyPolicy, ServerConfig};
 use kg_wire::{GroupId, ShardId};
@@ -186,12 +187,13 @@ fn run_equivalence(
     shards: u16,
     span: u16,
     batched: bool,
+    strategy: Strategy,
     ops: &[Op],
     admitted: &BTreeSet<(GroupId, UserId)>,
 ) {
     let spanned = GroupId(1);
     let map = ShardMap::new(shards).with_span(spanned, span);
-    let tpl = template(42, batched);
+    let tpl = ServerConfig { strategy, ..template(42, batched) };
     let mut cluster =
         SimCluster::new(map.clone(), tpl.clone(), AccessControl::AllowAll, lan(), None);
     let mut reference = Reference::new(map.clone(), tpl);
@@ -301,7 +303,26 @@ fn equivalence_fixed_batched_spanned() {
     let groups = [GroupId(1), GroupId(2)];
     let raw: Vec<(u8, u64)> = (0..60u64).map(|i| ((i % 10) as u8, i * 7 + 3)).collect();
     let (ops, admitted) = materialize(&raw, &groups, true);
-    run_equivalence(4, 3, true, &ops, &admitted);
+    run_equivalence(4, 3, true, Strategy::GroupOriented, &ops, &admitted);
+}
+
+#[test]
+fn equivalence_derived_strategy_immediate() {
+    // Client-derived rekeying draws derivation codes from the same DRBG
+    // as the keys, so sharding must preserve the exact draw schedule:
+    // any divergence shows up as a keyset mismatch here.
+    let groups = [GroupId(1), GroupId(2)];
+    let raw: Vec<(u8, u64)> = (0..60u64).map(|i| ((i % 9) as u8, i * 11 + 5)).collect();
+    let (ops, admitted) = materialize(&raw, &groups, false);
+    run_equivalence(3, 2, false, Strategy::Derived, &ops, &admitted);
+}
+
+#[test]
+fn equivalence_derived_strategy_batched() {
+    let groups = [GroupId(1), GroupId(2)];
+    let raw: Vec<(u8, u64)> = (0..60u64).map(|i| ((i % 10) as u8, i * 17 + 9)).collect();
+    let (ops, admitted) = materialize(&raw, &groups, true);
+    run_equivalence(4, 3, true, Strategy::Derived, &ops, &admitted);
 }
 
 #[test]
@@ -311,7 +332,7 @@ fn equivalence_single_shard_is_single_server() {
     let groups = [GroupId(1), GroupId(2)];
     let raw: Vec<(u8, u64)> = (0..40u64).map(|i| ((i % 9) as u8, i * 13 + 1)).collect();
     let (ops, admitted) = materialize(&raw, &groups, false);
-    run_equivalence(1, 1, false, &ops, &admitted);
+    run_equivalence(1, 1, false, Strategy::GroupOriented, &ops, &admitted);
 }
 
 proptest! {
@@ -325,10 +346,12 @@ proptest! {
         shards in 1..=4u16,
         span in 1..=4u16,
         batched in any::<bool>(),
+        derived in any::<bool>(),
     ) {
         let groups = [GroupId(1), GroupId(2)];
+        let strategy = if derived { Strategy::Derived } else { Strategy::GroupOriented };
         let (ops, admitted) = materialize(&raw, &groups, batched);
-        run_equivalence(shards, span.min(shards), batched, &ops, &admitted);
+        run_equivalence(shards, span.min(shards), batched, strategy, &ops, &admitted);
     }
 }
 

@@ -30,9 +30,10 @@
 //! (the child's *new* key if the child is itself marked), and joiners
 //! receive their whole path in one unicast under their individual key.
 
+use crate::derive::DerivedLink;
 use crate::ids::KeyLabel;
 use crate::ids::{KeyRef, UserId};
-use crate::tree::{JoinSlot, KeyTree, NodeId, TreeError};
+use crate::tree::{JoinSlot, KeyTree, NewKeyMode, NodeId, TreeError};
 use kg_crypto::{KeySource, SymmetricKey};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -143,6 +144,40 @@ impl KeyTree {
         leaves: &[UserId],
         source: &mut dyn KeySource,
     ) -> Result<BatchEvent, TreeError> {
+        self.apply_batch_inner(joins, leaves, source, NewKeyMode::Fresh).map(|(ev, _)| ev)
+    }
+
+    /// Apply a **leave-free** interval with derived key replacement
+    /// ([`crate::rekey::Strategy::Derived`]): every marked key is
+    /// recomputed as [`crate::derive::derive_key`]`(from, code, label,
+    /// new_version)`, where `from` is the node's pre-batch key — or, for a
+    /// node freshly created by a leaf split, the displaced member's
+    /// individual key. Returns the event plus one [`DerivedLink`] per
+    /// marked node (in `marked` order, root-first) for the wire packet.
+    ///
+    /// Leaves are excluded by construction: an interval containing a leave
+    /// must ship fresh keys (forward secrecy), which the server does by
+    /// falling back to the shipped batch path.
+    pub fn apply_batch_derived(
+        &mut self,
+        joins: &[(UserId, SymmetricKey)],
+        source: &mut dyn KeySource,
+        code: &[u8],
+    ) -> Result<(BatchEvent, Vec<DerivedLink>), TreeError> {
+        self.apply_batch_inner(joins, &[], source, NewKeyMode::Derived(code))
+    }
+
+    fn apply_batch_inner(
+        &mut self,
+        joins: &[(UserId, SymmetricKey)],
+        leaves: &[UserId],
+        source: &mut dyn KeySource,
+        mode: NewKeyMode<'_>,
+    ) -> Result<(BatchEvent, Vec<DerivedLink>), TreeError> {
+        debug_assert!(
+            matches!(mode, NewKeyMode::Fresh) || leaves.is_empty(),
+            "derived batches must be leave-free (forward secrecy)"
+        );
         // ---- Validate up front (tree untouched on error). ----
         let mut leaving = BTreeSet::new();
         for &u in leaves {
@@ -159,6 +194,10 @@ impl KeyTree {
 
         let mut touched: BTreeSet<NodeId> = BTreeSet::new();
         let mut vacated: Vec<NodeId> = Vec::new();
+        // For nodes created by leaf splits: the displaced member's
+        // individual key — the derive-from source (and in shipped mode the
+        // encrypt-under key) its one previous holder already has.
+        let mut fresh_from: BTreeMap<NodeId, (KeyRef, SymmetricKey)> = BTreeMap::new();
 
         // ---- 1. Detach departing leaves. ----
         for &u in leaves {
@@ -192,6 +231,10 @@ impl KeyTree {
                         // Split exactly as a single join would: a fresh
                         // interior node takes the leaf's position and
                         // adopts the displaced leaf.
+                        let (displaced_ref, displaced_key) = {
+                            let l = self.node(leaf_id);
+                            (KeyRef::new(l.label, l.version), l.key.clone())
+                        };
                         let parent = self.node(leaf_id).parent.expect("leaf has a parent");
                         let fresh = self.alloc(source, Some(parent), None);
                         let pos = self
@@ -205,6 +248,7 @@ impl KeyTree {
                         self.node_mut(leaf_id).parent = Some(fresh);
                         let displaced_size = self.node(leaf_id).size;
                         self.node_mut(fresh).size = displaced_size;
+                        fresh_from.insert(fresh, (displaced_ref, displaced_key));
                         fresh
                     }
                 },
@@ -255,7 +299,10 @@ impl KeyTree {
                 root.version = root.version.next();
                 root.key = new_key;
             }
-            return Ok(BatchEvent { marked: Vec::new(), joins: Vec::new(), departed });
+            return Ok((
+                BatchEvent { marked: Vec::new(), joins: Vec::new(), departed },
+                Vec::new(),
+            ));
         }
 
         // ---- 4. Mark: ancestor closure of every touched node. ----
@@ -279,8 +326,27 @@ impl KeyTree {
         }
         debug_assert_eq!(order.len(), marked_set.len());
         let mut new_keys: BTreeMap<NodeId, (KeyRef, SymmetricKey)> = BTreeMap::new();
+        let mut links: Vec<DerivedLink> = Vec::new();
         for &id in &order {
-            let new_key = source.generate_key(self.key_len);
+            let new_key = match mode {
+                NewKeyMode::Fresh => source.generate_key(self.key_len),
+                NewKeyMode::Derived(code) => {
+                    let (from_ref, from_key) = fresh_from.get(&id).cloned().unwrap_or_else(|| {
+                        let n = self.node(id);
+                        (KeyRef::new(n.label, n.version), n.key.clone())
+                    });
+                    let n = self.node(id);
+                    let new_ref = KeyRef::new(n.label, n.version.next());
+                    links.push(DerivedLink { new_ref, from: from_ref });
+                    crate::derive::derive_key(
+                        &from_key,
+                        code,
+                        n.label,
+                        new_ref.version,
+                        self.key_len,
+                    )
+                }
+            };
             let node = self.node_mut(id);
             node.version = node.version.next();
             node.key = new_key.clone();
@@ -329,7 +395,7 @@ impl KeyTree {
             })
             .collect();
 
-        Ok(BatchEvent { marked, joins, departed })
+        Ok((BatchEvent { marked, joins, departed }, links))
     }
 }
 
@@ -611,6 +677,66 @@ mod tests {
         let marked_refs: Vec<KeyRef> =
             ev.marked.iter().filter(|m| !m.children.is_empty()).map(|m| m.new_ref).collect();
         assert_eq!(runs, marked_refs, "marked nodes visited root-first, each in one run");
+    }
+
+    #[test]
+    fn derived_batch_matches_shipped_structure_and_is_recomputable() {
+        let (tree, mut src) = setup(3, 9);
+        let mut shipped = tree.clone();
+        let mut derived = tree.clone();
+        let pre_keys: BTreeMap<KeyLabel, SymmetricKey> = derived
+            .members()
+            .flat_map(|u| derived.keyset(u).unwrap())
+            .map(|(r, k)| (r.label, k))
+            .collect();
+        let joins = join_reqs(&mut src, &[100, 101, 102, 103]);
+        let code = [0x42u8; 16];
+        let sev = shipped.apply_batch(&joins, &[], &mut src.clone()).unwrap();
+        let (dev, links) = derived.apply_batch_derived(&joins, &mut src, &code).unwrap();
+        derived.check_invariants();
+        // Same joins → same structure → same marked set.
+        assert_eq!(sev.marked_labels(), dev.marked_labels());
+        assert_eq!(links.len(), dev.marked.len());
+        // Every link: new key = derive(from-key, code, label, new version),
+        // where from is either the node's own pre-batch key or a displaced
+        // leaf's individual key (both captured in pre_keys).
+        for (link, m) in links.iter().zip(&dev.marked) {
+            assert_eq!(link.new_ref, m.new_ref);
+            let from_key = pre_keys.get(&link.from.label).expect("derive-from key pre-existed");
+            let want = crate::derive::derive_key(
+                from_key,
+                &code,
+                link.new_ref.label,
+                link.new_ref.version,
+                8,
+            );
+            assert_eq!(m.new_key, want, "marked node {:?} not derivable", m.label);
+        }
+    }
+
+    #[test]
+    fn derived_batch_split_derives_from_displaced_leaf() {
+        // Degree 2, 4 members: more joiners than open slots forces splits.
+        let (mut tree, mut src) = setup(2, 4);
+        let pre = pre_keysets(&tree);
+        let leaf_keys: BTreeMap<UserId, (KeyRef, SymmetricKey)> =
+            tree.members().map(|u| (u, tree.keyset(u).unwrap()[0].clone())).collect();
+        let joins = join_reqs(&mut src, &[10, 11]);
+        let code = [3u8; 16];
+        let (ev, links) = tree.apply_batch_derived(&joins, &mut src, &code).unwrap();
+        tree.check_invariants();
+        assert_marking_sound(&ev, &pre, &tree);
+        // At least one link's derive-from is a displaced member's
+        // individual key (a label outside the marked set's own lineage).
+        let displaced_links: Vec<_> =
+            links.iter().filter(|l| leaf_keys.values().any(|(r, _)| *r == l.from)).collect();
+        assert!(!displaced_links.is_empty(), "split must derive from a displaced leaf");
+        for l in displaced_links {
+            let (_, ik) = leaf_keys.values().find(|(r, _)| *r == l.from).unwrap();
+            let m = ev.marked.iter().find(|m| m.new_ref == l.new_ref).unwrap();
+            let want = crate::derive::derive_key(ik, &code, l.new_ref.label, l.new_ref.version, 8);
+            assert_eq!(m.new_key, want);
+        }
     }
 
     proptest::proptest! {

@@ -50,6 +50,7 @@
 pub mod batch;
 pub mod complete;
 pub mod cost;
+pub mod derive;
 pub mod hybrid;
 pub mod ids;
 pub mod keygraph;
@@ -62,11 +63,13 @@ pub mod tree;
 /// Convenient re-exports of the types most callers need.
 pub mod prelude {
     pub use crate::batch::{BatchChild, BatchEvent, BatchJoin, MarkedNode};
+    pub use crate::derive::{derive_key, links_from_path, DerivedLink, DERIVATION_CODE_LEN};
     pub use crate::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
     pub use crate::keygraph::KeyGraph;
     pub use crate::rekey::{
-        build_join, build_leave, build_refresh, BundleCache, BundleSink, IvStream, KeyBundle,
-        KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput, Rekeyer, SealingSink, Strategy,
+        build_derived_join, build_join, build_leave, build_refresh, BundleCache, BundleSink,
+        IvStream, KeyBundle, KeyCipher, OpCounts, Recipients, RekeyMessage, RekeyOutput, Rekeyer,
+        SealingSink, Strategy,
     };
     pub use crate::star::StarGroup;
     pub use crate::tree::{

@@ -30,7 +30,8 @@ use kg_crypto::des::{Des, TripleDes};
 use kg_crypto::{BlockCipher, CryptoError, KeySource, SymmetricKey};
 use std::collections::BTreeMap;
 
-/// The three rekeying strategies.
+/// The rekeying strategies: the paper's three *shipped* strategies plus
+/// the client-*derived* extension (see [`crate::derive`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// One tailored message per user class (§3.3 "user-oriented").
@@ -39,21 +40,54 @@ pub enum Strategy {
     KeyOriented,
     /// One message for the whole group (Figures 7/9).
     GroupOriented,
+    /// Client-derived rekeying: joins and refreshes publish a derivation
+    /// code and members recompute changed keys locally
+    /// ([`crate::derive::derive_key`]); leaves fall back to the shipped
+    /// group-oriented construction (forward secrecy — see `DESIGN.md` §4g).
+    Derived,
 }
 
 impl Strategy {
-    /// All strategies, for sweeps.
+    /// The paper's three shipped strategies (Table 2 sweeps). The derived
+    /// extension is deliberately excluded: these sweeps validate the
+    /// paper's cost model, which derived rekeying side-steps.
     pub const ALL: [Strategy; 3] =
         [Strategy::UserOriented, Strategy::KeyOriented, Strategy::GroupOriented];
 
-    /// Short name used in reports ("user" / "key" / "group", as in the
-    /// paper's tables).
-    pub fn name(self) -> &'static str {
+    /// Every strategy including [`Strategy::Derived`], for sweeps that
+    /// compare shipped vs derived costs.
+    pub const EVERY: [Strategy; 4] =
+        [Strategy::UserOriented, Strategy::KeyOriented, Strategy::GroupOriented, Strategy::Derived];
+
+    /// Short name used in reports and spec files ("user" / "key" /
+    /// "group", as in the paper's tables, plus "derived").
+    pub fn as_str(self) -> &'static str {
         match self {
             Strategy::UserOriented => "user",
             Strategy::KeyOriented => "key",
             Strategy::GroupOriented => "group",
+            Strategy::Derived => "derived",
         }
+    }
+
+    /// Alias of [`Strategy::as_str`] (the historical accessor name).
+    pub fn name(self) -> &'static str {
+        self.as_str()
+    }
+
+    /// The strategy rekey *messages* are constructed under: derived mode
+    /// ships its leave (and mixed-batch) traffic group-oriented.
+    pub fn shipped_fallback(self) -> Strategy {
+        match self {
+            Strategy::Derived => Strategy::GroupOriented,
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -65,6 +99,7 @@ impl std::str::FromStr for Strategy {
             "user" | "user-oriented" => Ok(Strategy::UserOriented),
             "key" | "key-oriented" => Ok(Strategy::KeyOriented),
             "group" | "group-oriented" => Ok(Strategy::GroupOriented),
+            "derived" | "client-derived" => Ok(Strategy::Derived),
             other => Err(format!("unknown strategy {other:?}")),
         }
     }
@@ -163,10 +198,37 @@ pub enum KeyCipher {
     TripleDesCbc,
 }
 
+impl std::fmt::Display for KeyCipher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for KeyCipher {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "des-cbc" => Ok(KeyCipher::DesCbc),
+            "3des-cbc" => Ok(KeyCipher::TripleDesCbc),
+            other => Err(format!("unknown cipher: {other:?}")),
+        }
+    }
+}
+
 impl KeyCipher {
     /// The paper's configuration.
     pub fn des_cbc() -> Self {
         KeyCipher::DesCbc
+    }
+
+    /// Stable spec-file name for this cipher (the string
+    /// [`KeyCipher::from_str`] accepts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KeyCipher::DesCbc => "des-cbc",
+            KeyCipher::TripleDesCbc => "3des-cbc",
+        }
     }
 
     /// Bytes of key material each encryption key must supply.
@@ -450,8 +512,11 @@ pub fn build_join(sink: &mut dyn BundleSink, ev: &JoinEvent, strategy: Strategy)
                 });
             }
         }
-        Strategy::GroupOriented => {
-            // One multicast with every {K'_i}_{K_i}.
+        Strategy::GroupOriented | Strategy::Derived => {
+            // One multicast with every {K'_i}_{K_i}. A derived-mode server
+            // never calls this for a join (it publishes a code instead —
+            // [`build_derived_join`]); the arm is the documented shipped
+            // fallback so generic sweeps over every strategy stay total.
             let bundles: Vec<KeyBundle> = path
                 .iter()
                 .map(|p| {
@@ -483,6 +548,26 @@ pub fn build_refresh(sink: &mut dyn BundleSink, path: &PathNode) -> RekeyOutput 
     let b = sink.bundle(&mut ops, path.old_ref, &path.old_key, &t);
     RekeyOutput {
         messages: vec![RekeyMessage { recipients: Recipients::Group, bundles: vec![b] }],
+        ops,
+    }
+}
+
+/// Construct the rekey messages for a *derived* join: current members
+/// recompute the changed path keys from the published code
+/// ([`crate::derive::derive_key`]), so the only ciphertext the server
+/// seals is the joiner's unicast — its full new path under its individual
+/// key. One seal regardless of tree height; the O(log n) work moved to
+/// the members, one HMAC per held-and-changed key each.
+///
+/// `keys_generated` counts 0: the path keys were derived, not drawn from
+/// the DRBG (the joiner's individual key is accounted by the caller).
+pub fn build_derived_join(sink: &mut dyn BundleSink, ev: &JoinEvent) -> RekeyOutput {
+    let mut ops = OpCounts::default();
+    let joiner_targets: Vec<(KeyRef, &SymmetricKey)> =
+        ev.path.iter().map(|p| (p.new_ref, &p.new_key)).collect();
+    let b = sink.bundle(&mut ops, ev.leaf_ref, &ev.leaf_key, &joiner_targets);
+    RekeyOutput {
+        messages: vec![RekeyMessage { recipients: Recipients::User(ev.user), bundles: vec![b] }],
         ops,
     }
 }
@@ -553,9 +638,12 @@ pub fn build_leave(sink: &mut dyn BundleSink, ev: &LeaveEvent, strategy: Strateg
                 }
             }
         }
-        Strategy::GroupOriented => {
+        Strategy::GroupOriented | Strategy::Derived => {
             // L_i = {K'_i} under each child key of x_i; children on the
-            // path use their *new* keys.
+            // path use their *new* keys. Derived mode ships its leaves
+            // exactly like this (forward secrecy: a departed member holds
+            // the old path keys, so nothing on the evicted path may be
+            // *derivable* — see `DESIGN.md` §4g), hence the shared arm.
             let mut bundles = Vec::new();
             for (i, sibs) in ev.siblings.iter().enumerate().take(j + 1) {
                 for sib in sibs {
@@ -617,6 +705,13 @@ impl<'a> Rekeyer<'a> {
     pub fn refresh(&mut self, path: &PathNode) -> RekeyOutput {
         let mut sink = SealingSink::new(self.cipher, &mut *self.ivs);
         build_refresh(&mut sink, path)
+    }
+
+    /// Construct the rekey messages for a derived join: only the joiner's
+    /// unicast is sealed (members derive from the published code).
+    pub fn join_derived(&mut self, ev: &JoinEvent) -> RekeyOutput {
+        let mut sink = SealingSink::new(self.cipher, &mut *self.ivs);
+        build_derived_join(&mut sink, ev)
     }
 
     /// Crate-internal bundle constructor for strategy extensions (the §7

@@ -361,6 +361,35 @@ impl KeyTree {
         individual_key: SymmetricKey,
         source: &mut dyn KeySource,
     ) -> Result<JoinEvent, TreeError> {
+        self.join_inner(u, individual_key, source, NewKeyMode::Fresh)
+    }
+
+    /// Admit `u` deriving the changed path keys from `code` instead of
+    /// drawing them from `source` — the [`crate::rekey::Strategy::Derived`]
+    /// join. Each changed node's replacement is
+    /// [`crate::derive::derive_key`]`(old, code, label, new_version)`, where
+    /// `old` is the key the event reports as `old_key` (for a node freshly
+    /// created by a leaf split, the displaced member's individual key — the
+    /// one key its sole previous holder can derive from). `source` still
+    /// supplies the structural leaf allocation, so shipped and derived
+    /// joins consume the DRBG identically per node allocated.
+    pub fn join_derived(
+        &mut self,
+        u: UserId,
+        individual_key: SymmetricKey,
+        source: &mut dyn KeySource,
+        code: &[u8],
+    ) -> Result<JoinEvent, TreeError> {
+        self.join_inner(u, individual_key, source, NewKeyMode::Derived(code))
+    }
+
+    fn join_inner(
+        &mut self,
+        u: UserId,
+        individual_key: SymmetricKey,
+        source: &mut dyn KeySource,
+        mode: NewKeyMode<'_>,
+    ) -> Result<JoinEvent, TreeError> {
         if self.users.contains_key(&u) {
             return Err(TreeError::AlreadyMember(u));
         }
@@ -429,7 +458,19 @@ impl KeyTree {
                     (KeyRef::new(n.label, n.version), n.key.clone())
                 }
             };
-            let new_key = source.generate_key(self.key_len);
+            let new_key = match mode {
+                NewKeyMode::Fresh => source.generate_key(self.key_len),
+                NewKeyMode::Derived(code) => {
+                    let n = self.node(id);
+                    crate::derive::derive_key(
+                        &old_key,
+                        code,
+                        n.label,
+                        n.version.next(),
+                        self.key_len,
+                    )
+                }
+            };
             let node = self.node_mut(id);
             node.version = node.version.next();
             node.key = new_key.clone();
@@ -561,11 +602,26 @@ impl KeyTree {
     /// the old root key (under which the new one may be encrypted for the
     /// current membership) and the new root key.
     pub fn refresh_group_key(&mut self, source: &mut dyn KeySource) -> PathNode {
+        let new_key = source.generate_key(self.key_len);
+        self.install_root_key(new_key)
+    }
+
+    /// Replace the group key by derivation from `code` — the
+    /// [`crate::rekey::Strategy::Derived`] refresh. Every current member
+    /// holds the old root key, so everyone (and only the current
+    /// membership) can recompute the new one; nothing is shipped.
+    pub fn refresh_group_key_derived(&mut self, code: &[u8]) -> PathNode {
+        let n = self.node(self.root);
+        let new_key =
+            crate::derive::derive_key(&n.key, code, n.label, n.version.next(), self.key_len);
+        self.install_root_key(new_key)
+    }
+
+    fn install_root_key(&mut self, new_key: SymmetricKey) -> PathNode {
         let (old_ref, old_key) = {
             let n = self.node(self.root);
             (KeyRef::new(n.label, n.version), n.key.clone())
         };
-        let new_key = source.generate_key(self.key_len);
         let root = self.node_mut(self.root);
         root.version = root.version.next();
         root.key = new_key.clone();
@@ -745,6 +801,14 @@ impl KeyTree {
 pub(crate) enum JoinSlot {
     Interior(NodeId),
     SplitLeaf(NodeId),
+}
+
+/// How a mutation obtains replacement keys for changed path nodes:
+/// drawn fresh from the DRBG (the paper's shipped strategies) or derived
+/// from each node's old key and a published code (`Strategy::Derived`).
+pub(crate) enum NewKeyMode<'a> {
+    Fresh,
+    Derived(&'a [u8]),
 }
 
 #[cfg(test)]
@@ -1105,6 +1169,61 @@ mod tests {
             tree.check_invariants();
         }
         assert_eq!(tree.user_count(), present.len());
+    }
+
+    #[test]
+    fn derived_join_keys_recomputable_from_old_keys() {
+        // Every changed key equals derive_key(old, code, label, new_version)
+        // — exactly what a member holding `old` computes from the code.
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=8 {
+            join(&mut tree, &mut src, i);
+        }
+        let code = [0x5Au8; 16];
+        let ik = src.generate_key(8);
+        let ev = tree.join_derived(UserId(9), ik, &mut src, &code).unwrap();
+        tree.check_invariants();
+        for p in &ev.path {
+            let want = crate::derive::derive_key(&p.old_key, &code, p.label, p.new_ref.version, 8);
+            assert_eq!(p.new_key, want);
+        }
+        // And the tree really installed them.
+        let (gk_ref, gk) = tree.group_key();
+        assert_eq!(gk_ref, ev.path[0].new_ref);
+        assert_eq!(gk, ev.path[0].new_key);
+    }
+
+    #[test]
+    fn derived_split_join_derives_fresh_node_from_displaced_leaf() {
+        let (mut tree, mut src) = setup(2);
+        join(&mut tree, &mut src, 1);
+        join(&mut tree, &mut src, 2);
+        let code = [7u8; 16];
+        let ik = src.generate_key(8);
+        let ev = tree.join_derived(UserId(3), ik, &mut src, &code).unwrap();
+        tree.check_invariants();
+        assert!(ev.displaced.is_some());
+        // The displaced member's (unchanged) individual key is the
+        // derive-from source for the freshly split node.
+        let jp = ev.path.last().unwrap();
+        let w_leaf_key = tree.keyset(ev.displaced.unwrap()).unwrap()[0].1.clone();
+        let want = crate::derive::derive_key(&w_leaf_key, &code, jp.label, jp.new_ref.version, 8);
+        assert_eq!(jp.new_key, want);
+    }
+
+    #[test]
+    fn derived_refresh_recomputable_from_old_root() {
+        let (mut tree, mut src) = setup(3);
+        for i in 1..=5 {
+            join(&mut tree, &mut src, i);
+        }
+        let (_, old_root) = tree.group_key();
+        let code = [9u8; 16];
+        let p = tree.refresh_group_key_derived(&code);
+        tree.check_invariants();
+        let want = crate::derive::derive_key(&old_root, &code, p.label, p.new_ref.version, 8);
+        assert_eq!(p.new_key, want);
+        assert_eq!(tree.group_key().1, p.new_key);
     }
 
     proptest::proptest! {

@@ -42,7 +42,36 @@ pub enum HashAlg {
     Sha256,
 }
 
+impl std::fmt::Display for HashAlg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for HashAlg {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "md5" => Ok(HashAlg::Md5),
+            "sha1" => Ok(HashAlg::Sha1),
+            "sha256" => Ok(HashAlg::Sha256),
+            other => Err(format!("unknown digest: {other:?}")),
+        }
+    }
+}
+
 impl HashAlg {
+    /// Stable spec-file name for this digest (the string
+    /// [`HashAlg::from_str`] accepts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HashAlg::Md5 => "md5",
+            HashAlg::Sha1 => "sha1",
+            HashAlg::Sha256 => "sha256",
+        }
+    }
+
     fn prefix(self) -> &'static [u8] {
         match self {
             HashAlg::Md5 => MD5_PREFIX,

@@ -199,6 +199,14 @@ impl<'a> ParRekeyer<'a> {
         self.run(|sink| build_join(sink, ev, strategy))
     }
 
+    /// Parallel counterpart of `Rekeyer::join_derived`. A derived join
+    /// seals exactly one bundle (the joiner's unicast), which is always
+    /// below the inline threshold — the pool never engages, and the
+    /// output is byte-identical at every worker count by construction.
+    pub fn join_derived(&mut self, ev: &JoinEvent) -> RekeyOutput {
+        self.run(|sink| kg_core::rekey::build_derived_join(sink, ev))
+    }
+
     /// Parallel counterpart of `Rekeyer::leave`.
     pub fn leave(&mut self, ev: &LeaveEvent, strategy: Strategy) -> RekeyOutput {
         self.run(|sink| build_leave(sink, ev, strategy))

@@ -63,6 +63,17 @@ pub enum WalOp {
     },
     /// Group-key refresh (key-version bump, no membership change).
     Refresh,
+    /// Immediate join under `strategy = derived` (client-derived
+    /// rekeying). Distinct from [`WalOp::Join`] because the derived path
+    /// consumes the key-generation DRBG differently (individual key plus
+    /// a derivation code instead of fresh path keys), so replaying under
+    /// the wrong strategy would silently regenerate a different key
+    /// stream — the distinct tag lets recovery fail fast on a
+    /// configuration flip instead.
+    DerivedJoin(UserId),
+    /// Group-key refresh under `strategy = derived` (root key derived
+    /// from a published code, not drawn from the DRBG).
+    DerivedRefresh,
 }
 
 impl WalOp {
@@ -76,6 +87,8 @@ impl WalOp {
             WalOp::EnqueueLeave(_) => "enqueue_leave",
             WalOp::Flush { .. } => "flush",
             WalOp::Refresh => "refresh",
+            WalOp::DerivedJoin(_) => "derived_join",
+            WalOp::DerivedRefresh => "derived_refresh",
         }
     }
 
@@ -102,6 +115,11 @@ impl WalOp {
                 out.put_u64(*now_ms);
             }
             WalOp::Refresh => out.put_u8(5),
+            WalOp::DerivedJoin(u) => {
+                out.put_u8(6);
+                out.put_u64(u.0);
+            }
+            WalOp::DerivedRefresh => out.put_u8(7),
         }
     }
 
@@ -119,6 +137,11 @@ impl WalOp {
                 }
             }
             5 => WalOp::Refresh,
+            6 => {
+                let v = get_u64(buf).map_err(|_| PersistError::Corrupt("wal op body"))?;
+                WalOp::DerivedJoin(UserId(v))
+            }
+            7 => WalOp::DerivedRefresh,
             _ => return Err(PersistError::Corrupt("wal op tag")),
         };
         Ok(op)
@@ -285,6 +308,19 @@ mod tests {
             ]
         );
         assert_eq!(contents.ops[2].1, digest(3));
+    }
+
+    #[test]
+    fn derived_ops_roundtrip() {
+        let mut file = encode_header(1, 7);
+        file.extend(encode_record(&WalOp::DerivedJoin(UserId(9)), &digest(5)));
+        file.extend(encode_record(&WalOp::DerivedRefresh, &digest(6)));
+        let contents = read_wal(&file).unwrap();
+        let ops: Vec<WalOp> = contents.ops.iter().map(|(op, _)| *op).collect();
+        assert_eq!(ops, vec![WalOp::DerivedJoin(UserId(9)), WalOp::DerivedRefresh]);
+        assert!(!contents.torn_tail);
+        assert_eq!(WalOp::DerivedJoin(UserId(9)).name(), "derived_join");
+        assert_eq!(WalOp::DerivedRefresh.name(), "derived_refresh");
     }
 
     #[test]

@@ -36,6 +36,40 @@ impl RekeyPolicy {
             }
         }
     }
+
+    /// Stable spec-file name for this policy's mode (the string
+    /// [`RekeyPolicy::from_str`] accepts); the batch knobs travel as
+    /// separate spec keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RekeyPolicy::Immediate => "immediate",
+            RekeyPolicy::Batched { .. } => "batched",
+        }
+    }
+}
+
+impl fmt::Display for RekeyPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for RekeyPolicy {
+    type Err = ConfigError;
+
+    /// Parses the mode keyword alone; `"batched"` takes the default
+    /// [`BatchPolicy`] knobs (a spec file overrides them with the
+    /// `batch-*` keys, a builder with [`ServerConfigBuilder::batched`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "immediate" => Ok(RekeyPolicy::Immediate),
+            "batched" => {
+                let d = BatchPolicy::default();
+                Ok(RekeyPolicy::Batched { interval_ms: d.interval_ms, max_pending: d.max_pending })
+            }
+            other => Err(ConfigError::BadValue { key: "rekey", value: other.to_string() }),
+        }
+    }
 }
 
 /// Parallel rekey-construction settings.
@@ -106,6 +140,23 @@ impl AuthPolicy {
     pub fn needs_signature_key(self) -> bool {
         matches!(self, AuthPolicy::SignEach | AuthPolicy::SignBatch)
     }
+
+    /// Stable spec-file name for this policy (the string
+    /// [`AuthPolicy::from_str`] accepts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AuthPolicy::None => "none",
+            AuthPolicy::Digest => "digest",
+            AuthPolicy::SignEach => "sign-each",
+            AuthPolicy::SignBatch => "sign-batch",
+        }
+    }
+}
+
+impl fmt::Display for AuthPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl std::str::FromStr for AuthPolicy {
@@ -123,7 +174,7 @@ impl std::str::FromStr for AuthPolicy {
 }
 
 /// Group key server configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Key tree degree `d` (the paper's optimum is 4).
     pub degree: usize,
@@ -175,13 +226,19 @@ pub enum ConfigError {
     BadLine(String),
     /// Unknown configuration key.
     UnknownKey(String),
-    /// Unparseable value for a known key.
+    /// Unparseable or out-of-range value for a known key.
     BadValue {
         /// The key whose value failed to parse.
         key: &'static str,
         /// The offending value.
         value: String,
     },
+}
+
+impl ConfigError {
+    fn bad(key: &'static str, value: impl ToString) -> Self {
+        ConfigError::BadValue { key, value: value.to_string() }
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -204,7 +261,7 @@ impl ServerConfig {
     /// ```text
     /// # comment
     /// degree   = 4
-    /// strategy = group        # user | key | group
+    /// strategy = group        # user | key | group | derived
     /// cipher   = des-cbc      # des-cbc | 3des-cbc
     /// digest   = md5          # md5 | sha1 | sha256
     /// auth     = sign-batch   # none | digest | sign-each | sign-batch
@@ -233,108 +290,52 @@ impl ServerConfig {
             let (key, value) = (key.trim(), value.trim());
             match key {
                 "degree" => {
-                    cfg.degree = value.parse().map_err(|_| ConfigError::BadValue {
-                        key: "degree",
-                        value: value.to_string(),
-                    })?;
-                    if cfg.degree < 2 {
-                        return Err(ConfigError::BadValue {
-                            key: "degree",
-                            value: value.to_string(),
-                        });
-                    }
+                    cfg.degree = value.parse().map_err(|_| ConfigError::bad("degree", value))?;
                 }
                 "strategy" => {
-                    cfg.strategy = value.parse().map_err(|_| ConfigError::BadValue {
-                        key: "strategy",
-                        value: value.to_string(),
-                    })?;
+                    cfg.strategy =
+                        value.parse().map_err(|_| ConfigError::bad("strategy", value))?;
                 }
                 "cipher" => {
-                    cfg.cipher = match value {
-                        "des-cbc" => KeyCipher::DesCbc,
-                        "3des-cbc" => KeyCipher::TripleDesCbc,
-                        _ => {
-                            return Err(ConfigError::BadValue {
-                                key: "cipher",
-                                value: value.to_string(),
-                            })
-                        }
-                    };
+                    cfg.cipher = value.parse().map_err(|_| ConfigError::bad("cipher", value))?;
                 }
                 "digest" => {
-                    cfg.digest = match value {
-                        "md5" => HashAlg::Md5,
-                        "sha1" => HashAlg::Sha1,
-                        "sha256" => HashAlg::Sha256,
-                        _ => {
-                            return Err(ConfigError::BadValue {
-                                key: "digest",
-                                value: value.to_string(),
-                            })
-                        }
-                    };
+                    cfg.digest = value.parse().map_err(|_| ConfigError::bad("digest", value))?;
                 }
                 "auth" => cfg.auth = value.parse()?,
                 "rsa-bits" => {
-                    cfg.rsa_bits = value.parse().map_err(|_| ConfigError::BadValue {
-                        key: "rsa-bits",
-                        value: value.to_string(),
-                    })?;
+                    cfg.rsa_bits =
+                        value.parse().map_err(|_| ConfigError::bad("rsa-bits", value))?;
                 }
                 "seed" => {
-                    cfg.seed = value.parse().map_err(|_| ConfigError::BadValue {
-                        key: "seed",
-                        value: value.to_string(),
-                    })?;
+                    cfg.seed = value.parse().map_err(|_| ConfigError::bad("seed", value))?;
                 }
                 "rekey" => {
-                    batched = match value {
-                        "immediate" => false,
-                        "batched" => true,
-                        _ => {
-                            return Err(ConfigError::BadValue {
-                                key: "rekey",
-                                value: value.to_string(),
-                            })
-                        }
-                    };
+                    batched = matches!(value.parse::<RekeyPolicy>()?, RekeyPolicy::Batched { .. });
                 }
                 "batch-interval-ms" => {
-                    batch.interval_ms = value.parse().map_err(|_| ConfigError::BadValue {
-                        key: "batch-interval-ms",
-                        value: value.to_string(),
-                    })?;
-                }
-                "workers" => {
-                    cfg.parallel.workers = value.parse().map_err(|_| ConfigError::BadValue {
-                        key: "workers",
-                        value: value.to_string(),
-                    })?;
-                    if cfg.parallel.workers == 0 {
-                        // 0 would mean "no thread runs the rekey at all";
-                        // the sequential path is workers = 1.
-                        return Err(ConfigError::BadValue {
-                            key: "workers",
-                            value: value.to_string(),
-                        });
+                    batch.interval_ms =
+                        value.parse().map_err(|_| ConfigError::bad("batch-interval-ms", value))?;
+                    if batch.interval_ms == 0 {
+                        // A zero interval would flush on every tick and
+                        // starve the batching the knob exists to buy.
+                        return Err(ConfigError::bad("batch-interval-ms", value));
                     }
                 }
+                "workers" => {
+                    cfg.parallel.workers =
+                        value.parse().map_err(|_| ConfigError::bad("workers", value))?;
+                }
                 "stats-record-cap" => {
-                    cfg.stats_record_cap = Some(value.parse().map_err(|_| {
-                        ConfigError::BadValue { key: "stats-record-cap", value: value.to_string() }
-                    })?);
+                    cfg.stats_record_cap = Some(
+                        value.parse().map_err(|_| ConfigError::bad("stats-record-cap", value))?,
+                    );
                 }
                 "batch-max-pending" => {
-                    batch.max_pending = value.parse().map_err(|_| ConfigError::BadValue {
-                        key: "batch-max-pending",
-                        value: value.to_string(),
-                    })?;
+                    batch.max_pending =
+                        value.parse().map_err(|_| ConfigError::bad("batch-max-pending", value))?;
                     if batch.max_pending == 0 {
-                        return Err(ConfigError::BadValue {
-                            key: "batch-max-pending",
-                            value: value.to_string(),
-                        });
+                        return Err(ConfigError::bad("batch-max-pending", value));
                     }
                 }
                 other => return Err(ConfigError::UnknownKey(other.to_string())),
@@ -346,12 +347,172 @@ impl ServerConfig {
                 max_pending: batch.max_pending,
             };
         }
+        cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// Check the range invariants every construction path shares
+    /// ([`Self::from_spec`] and [`ServerConfigBuilder::build`]):
+    /// `degree >= 2` (a degree-1 "tree" is a chain with no fanout),
+    /// `workers >= 1` (0 would mean no thread runs the rekey at all),
+    /// `rsa-bits >= 512` and even (the modulus is built from two
+    /// half-size primes; odd or tiny sizes cannot), and batched-mode
+    /// knobs `>= 1` (a zero interval or depth would flush every tick).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.degree < 2 {
+            return Err(ConfigError::bad("degree", self.degree));
+        }
+        if self.parallel.workers == 0 {
+            return Err(ConfigError::bad("workers", self.parallel.workers));
+        }
+        if self.rsa_bits < 512 || !self.rsa_bits.is_multiple_of(2) {
+            return Err(ConfigError::bad("rsa-bits", self.rsa_bits));
+        }
+        if let RekeyPolicy::Batched { interval_ms, max_pending } = self.rekey {
+            if interval_ms == 0 {
+                return Err(ConfigError::bad("batch-interval-ms", interval_ms));
+            }
+            if max_pending == 0 {
+                return Err(ConfigError::bad("batch-max-pending", max_pending));
+            }
+        }
+        Ok(())
+    }
+
+    /// Start building a configuration from the paper-canonical defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder { cfg: ServerConfig::default() }
+    }
+
+    /// Emit this configuration as a spec file [`Self::from_spec`] parses
+    /// back to an equal value. Every spec-representable knob is written
+    /// out explicitly (defaults included), so the emitted text is also a
+    /// complete record of the run's configuration for experiment logs.
+    /// `parallel.clamp_to_hardware` has no spec key and is not emitted;
+    /// it only departs from its default in-process (benchmarks).
+    pub fn to_spec(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "degree   = {}", self.degree);
+        let _ = writeln!(s, "strategy = {}", self.strategy);
+        let _ = writeln!(s, "cipher   = {}", self.cipher);
+        let _ = writeln!(s, "digest   = {}", self.digest);
+        let _ = writeln!(s, "auth     = {}", self.auth);
+        let _ = writeln!(s, "rsa-bits = {}", self.rsa_bits);
+        let _ = writeln!(s, "seed     = {}", self.seed);
+        let _ = writeln!(s, "rekey    = {}", self.rekey);
+        if let RekeyPolicy::Batched { interval_ms, max_pending } = self.rekey {
+            let _ = writeln!(s, "batch-interval-ms = {interval_ms}");
+            let _ = writeln!(s, "batch-max-pending = {max_pending}");
+        }
+        let _ = writeln!(s, "workers  = {}", self.parallel.workers);
+        if let Some(cap) = self.stats_record_cap {
+            let _ = writeln!(s, "stats-record-cap  = {cap}");
+        }
+        s
     }
 
     /// Symmetric key length implied by the cipher.
     pub fn key_len(&self) -> usize {
         self.cipher.key_len()
+    }
+}
+
+/// Builder for [`ServerConfig`] with typed setters — the programmatic
+/// twin of the spec file. Starts from [`ServerConfig::default`] (the
+/// paper's canonical configuration) and checks the same invariants as
+/// [`ServerConfig::from_spec`] at [`build`](ServerConfigBuilder::build)
+/// time, so a config that only exists in code cannot silently hold
+/// values a spec file would reject.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Key tree degree `d`.
+    pub fn degree(mut self, degree: usize) -> Self {
+        self.cfg.degree = degree;
+        self
+    }
+
+    /// Rekeying strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Symmetric cipher for key encryption.
+    pub fn cipher(mut self, cipher: KeyCipher) -> Self {
+        self.cfg.cipher = cipher;
+        self
+    }
+
+    /// Digest algorithm for integrity/signing.
+    pub fn digest(mut self, digest: HashAlg) -> Self {
+        self.cfg.digest = digest;
+        self
+    }
+
+    /// Authentication policy for rekey messages.
+    pub fn auth(mut self, auth: AuthPolicy) -> Self {
+        self.cfg.auth = auth;
+        self
+    }
+
+    /// RSA modulus size in bits.
+    pub fn rsa_bits(mut self, bits: usize) -> Self {
+        self.cfg.rsa_bits = bits;
+        self
+    }
+
+    /// Seed for deterministic key generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Rekey on every join/leave (the default).
+    pub fn immediate(mut self) -> Self {
+        self.cfg.rekey = RekeyPolicy::Immediate;
+        self
+    }
+
+    /// Queue requests and rekey once per `interval_ms` interval, or as
+    /// soon as `max_pending` requests are queued.
+    pub fn batched(mut self, interval_ms: u64, max_pending: usize) -> Self {
+        self.cfg.rekey = RekeyPolicy::Batched { interval_ms, max_pending };
+        self
+    }
+
+    /// Set the rekey policy directly (for policies carried in variables).
+    pub fn rekey(mut self, rekey: RekeyPolicy) -> Self {
+        self.cfg.rekey = rekey;
+        self
+    }
+
+    /// Rekey-construction worker threads (1 = sequential).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.parallel.workers = workers;
+        self
+    }
+
+    /// Whether to clamp `workers` to the hardware's parallelism.
+    pub fn clamp_to_hardware(mut self, clamp: bool) -> Self {
+        self.cfg.parallel.clamp_to_hardware = clamp;
+        self
+    }
+
+    /// Cap on retained per-op stat records (`None` = keep all).
+    pub fn stats_record_cap(mut self, cap: Option<usize>) -> Self {
+        self.cfg.stats_record_cap = cap;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -485,6 +646,197 @@ mod tests {
             ServerConfig::from_spec("digest = crc32"),
             Err(ConfigError::BadValue { key: "digest", .. })
         ));
+    }
+
+    #[test]
+    fn enum_spec_names_roundtrip() {
+        for c in [KeyCipher::DesCbc, KeyCipher::TripleDesCbc] {
+            assert_eq!(c.as_str().parse::<KeyCipher>().unwrap(), c);
+            assert_eq!(c.to_string(), c.as_str());
+        }
+        for h in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256] {
+            assert_eq!(h.as_str().parse::<HashAlg>().unwrap(), h);
+            assert_eq!(h.to_string(), h.as_str());
+        }
+        for a in [AuthPolicy::None, AuthPolicy::Digest, AuthPolicy::SignEach, AuthPolicy::SignBatch]
+        {
+            assert_eq!(a.as_str().parse::<AuthPolicy>().unwrap(), a);
+            assert_eq!(a.to_string(), a.as_str());
+        }
+        assert_eq!("immediate".parse::<RekeyPolicy>().unwrap(), RekeyPolicy::Immediate);
+        assert!(matches!("batched".parse::<RekeyPolicy>().unwrap(), RekeyPolicy::Batched { .. }));
+        let p = RekeyPolicy::Batched { interval_ms: 7, max_pending: 3 };
+        assert_eq!(p.as_str(), "batched");
+        assert_eq!(p.to_string(), "batched");
+        assert!("des".parse::<KeyCipher>().is_err());
+        assert!("crc32".parse::<HashAlg>().is_err());
+        assert!("sometimes".parse::<RekeyPolicy>().is_err());
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let c = ServerConfig::builder()
+            .degree(8)
+            .strategy(Strategy::Derived)
+            .cipher(KeyCipher::TripleDesCbc)
+            .digest(HashAlg::Sha256)
+            .auth(AuthPolicy::SignBatch)
+            .rsa_bits(1024)
+            .seed(99)
+            .batched(250, 16)
+            .workers(4)
+            .stats_record_cap(Some(128))
+            .build()
+            .unwrap();
+        assert_eq!(c.strategy, Strategy::Derived);
+        assert_eq!(c.rekey, RekeyPolicy::Batched { interval_ms: 250, max_pending: 16 });
+        assert_eq!(c.stats_record_cap, Some(128));
+
+        assert_eq!(ServerConfig::builder().build().unwrap(), ServerConfig::default());
+        assert_eq!(
+            ServerConfig::builder().batched(10, 5).immediate().build().unwrap().rekey,
+            RekeyPolicy::Immediate
+        );
+        assert!(matches!(
+            ServerConfig::builder().degree(1).build(),
+            Err(ConfigError::BadValue { key: "degree", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::builder().workers(0).build(),
+            Err(ConfigError::BadValue { key: "workers", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::builder().batched(0, 16).build(),
+            Err(ConfigError::BadValue { key: "batch-interval-ms", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::builder().batched(100, 0).build(),
+            Err(ConfigError::BadValue { key: "batch-max-pending", .. })
+        ));
+    }
+
+    #[test]
+    fn rsa_bits_must_be_even_and_at_least_512() {
+        assert!(matches!(
+            ServerConfig::from_spec("rsa-bits = 256"),
+            Err(ConfigError::BadValue { key: "rsa-bits", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("rsa-bits = 513"),
+            Err(ConfigError::BadValue { key: "rsa-bits", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::builder().rsa_bits(0).build(),
+            Err(ConfigError::BadValue { key: "rsa-bits", .. })
+        ));
+        assert!(ServerConfig::from_spec("rsa-bits = 512").is_ok());
+        assert!(ServerConfig::from_spec("rsa-bits = 1024").is_ok());
+    }
+
+    #[test]
+    fn zero_batch_interval_is_rejected() {
+        assert!(matches!(
+            ServerConfig::from_spec("batch-interval-ms = 0"),
+            Err(ConfigError::BadValue { key: "batch-interval-ms", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("rekey = batched\nbatch-interval-ms = 0"),
+            Err(ConfigError::BadValue { key: "batch-interval-ms", .. })
+        ));
+    }
+
+    #[test]
+    fn derived_strategy_parses_from_spec() {
+        let c = ServerConfig::from_spec("strategy = derived").unwrap();
+        assert_eq!(c.strategy, Strategy::Derived);
+        let c = ServerConfig::from_spec("strategy = client-derived").unwrap();
+        assert_eq!(c.strategy, Strategy::Derived);
+    }
+
+    #[test]
+    fn to_spec_roundtrips_defaults_and_batched() {
+        for cfg in [
+            ServerConfig::default(),
+            ServerConfig::builder()
+                .degree(16)
+                .strategy(Strategy::Derived)
+                .cipher(KeyCipher::TripleDesCbc)
+                .digest(HashAlg::Sha1)
+                .auth(AuthPolicy::SignEach)
+                .rsa_bits(768)
+                .seed(123)
+                .batched(50, 9)
+                .workers(3)
+                .stats_record_cap(Some(7))
+                .build()
+                .unwrap(),
+        ] {
+            let reparsed = ServerConfig::from_spec(&cfg.to_spec()).unwrap();
+            assert_eq!(reparsed, cfg, "spec:\n{}", cfg.to_spec());
+        }
+    }
+
+    #[test]
+    fn every_config_error_variant_is_reachable() {
+        assert!(matches!(ServerConfig::from_spec("no equals sign"), Err(ConfigError::BadLine(_))));
+        assert!(matches!(ServerConfig::from_spec("mystery = 1"), Err(ConfigError::UnknownKey(_))));
+        assert!(matches!(
+            ServerConfig::from_spec("seed = entropy"),
+            Err(ConfigError::BadValue { key: "seed", .. })
+        ));
+        assert!(matches!(
+            ServerConfig::from_spec("stats-record-cap = lots"),
+            Err(ConfigError::BadValue { key: "stats-record-cap", .. })
+        ));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn to_spec_from_spec_roundtrip(
+                degree in 2usize..32,
+                strategy_ix in 0usize..4,
+                cipher_ix in 0usize..2,
+                digest_ix in 0usize..3,
+                auth_ix in 0usize..4,
+                rsa_halfwords in 256usize..1024,
+                seed in any::<u64>(),
+                batched in any::<bool>(),
+                interval_ms in 1u64..100_000,
+                max_pending in 1usize..10_000,
+                workers in 1usize..64,
+                cap_set in any::<bool>(),
+                cap_val in 0usize..100_000,
+            ) {
+                let cap = cap_set.then_some(cap_val);
+                let strategy = kg_core::rekey::Strategy::EVERY[strategy_ix];
+                let cipher = [KeyCipher::DesCbc, KeyCipher::TripleDesCbc][cipher_ix];
+                let digest = [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256][digest_ix];
+                let auth = [
+                    AuthPolicy::None,
+                    AuthPolicy::Digest,
+                    AuthPolicy::SignEach,
+                    AuthPolicy::SignBatch,
+                ][auth_ix];
+                let mut b = ServerConfig::builder()
+                    .degree(degree)
+                    .strategy(strategy)
+                    .cipher(cipher)
+                    .digest(digest)
+                    .auth(auth)
+                    .rsa_bits(rsa_halfwords * 2)
+                    .seed(seed)
+                    .workers(workers)
+                    .stats_record_cap(cap);
+                b = if batched { b.batched(interval_ms, max_pending) } else { b.immediate() };
+                let cfg = b.build().unwrap();
+                let reparsed = ServerConfig::from_spec(&cfg.to_spec()).unwrap();
+                prop_assert_eq!(reparsed, cfg);
+            }
+        }
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub use config::{AuthPolicy, ConfigError, ParallelConfig, RekeyPolicy, ServerCon
 pub use stats::{Aggregate, OpRecord, ServerStats};
 
 use kg_batch::BatchScheduler;
+use kg_core::derive::{links_from_path, DerivedLink, DERIVATION_CODE_LEN};
 use kg_core::ids::{KeyLabel, UserId};
 use kg_core::merkle;
-use kg_core::rekey::RekeyMessage;
+use kg_core::rekey::{Recipients, RekeyMessage, Strategy};
 use kg_core::serial;
 use kg_core::tree::{KeyTree, TreeError};
 use kg_crypto::drbg::HmacDrbg;
@@ -55,7 +56,7 @@ use kg_persist::{
     AclSnapshot, PersistConfig, PersistError, Persistence, SchedulerSnapshot, Snapshot, StatRecord,
     WalOp,
 };
-use kg_wire::{AuthTag, BatchRekeyPacket, OpKind, RekeyPacket};
+use kg_wire::{AuthTag, BatchRekeyPacket, DerivedRekeyPacket, OpKind, RekeyPacket};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -192,14 +193,39 @@ pub struct ProcessedOp {
     /// Sequence number assigned to this operation.
     pub seq: u64,
     /// Fully authenticated rekey packets, ready to encode and send.
+    /// Empty under `strategy = derived` (see [`ProcessedOp::derived`]).
     pub packets: Vec<RekeyPacket>,
+    /// Derived-mode packets: at most one [`DerivedRekeyPacket`] carrying
+    /// the interval's derivation code, the changed-key worklist, and any
+    /// shipped bundles (the joiner unicast; whole leave payloads). Empty
+    /// under the shipped strategies.
+    pub derived: Vec<DerivedRekeyPacket>,
     /// Encoded form of each packet (computed inside the timed section, as
-    /// the paper's processing time includes message construction).
+    /// the paper's processing time includes message construction). Aligns
+    /// with whichever of `packets`/`derived` is populated.
     pub encoded: Vec<Vec<u8>>,
     /// For joins: the individual key handed to the new member by the
     /// authentication exchange, plus its leaf label and the path labels
     /// (root-first) for the join-ack.
     pub join_grant: Option<JoinGrant>,
+}
+
+impl ProcessedOp {
+    /// Every frame to send, paired with its recipients. Shipped packets
+    /// go to their message's recipients; a derived packet is one group
+    /// multicast (its sealed bundles are only decryptable by their
+    /// intended holders, so widening delivery leaks nothing).
+    pub fn frames(&self) -> Vec<(Recipients, &[u8])> {
+        if self.derived.is_empty() {
+            self.packets
+                .iter()
+                .zip(&self.encoded)
+                .map(|(p, bytes)| (p.message.recipients.clone(), bytes.as_slice()))
+                .collect()
+        } else {
+            self.encoded.iter().map(|bytes| (Recipients::Group, bytes.as_slice())).collect()
+        }
+    }
 }
 
 /// The data a joining member receives out-of-band (via the authenticated
@@ -221,15 +247,38 @@ pub struct JoinGrant {
 pub struct ProcessedBatch {
     /// Interval sequence number carried by every packet.
     pub interval: u64,
-    /// Fully authenticated batch rekey packets, ready to send.
+    /// Fully authenticated batch rekey packets, ready to send. Empty
+    /// under `strategy = derived` (see [`ProcessedBatch::derived`]).
     pub packets: Vec<BatchRekeyPacket>,
-    /// Encoded form of each packet.
+    /// Derived-mode packets: at most one [`DerivedRekeyPacket`] for the
+    /// interval (code + worklist + joiner unicasts for a pure-join
+    /// interval; shipped bundles with an empty worklist when the
+    /// interval contained leaves). Empty under the shipped strategies.
+    pub derived: Vec<DerivedRekeyPacket>,
+    /// Encoded form of each packet. Aligns with whichever of
+    /// `packets`/`derived` is populated.
     pub encoded: Vec<Vec<u8>>,
     /// One grant per user admitted this interval (the out-of-band
     /// authentication-exchange payload, as for immediate joins).
     pub grants: Vec<JoinGrant>,
     /// Users removed this interval (excludes leave-then-rejoin pairs).
     pub departed: Vec<UserId>,
+}
+
+impl ProcessedBatch {
+    /// Every frame to send, paired with its recipients (see
+    /// [`ProcessedOp::frames`]).
+    pub fn frames(&self) -> Vec<(Recipients, &[u8])> {
+        if self.derived.is_empty() {
+            self.packets
+                .iter()
+                .zip(&self.encoded)
+                .map(|(p, bytes)| (p.message.recipients.clone(), bytes.as_slice()))
+                .collect()
+        } else {
+            self.encoded.iter().map(|bytes| (Recipients::Group, bytes.as_slice())).collect()
+        }
+    }
 }
 
 /// The prototype group key server.
@@ -587,13 +636,26 @@ impl GroupKeyServer {
     /// Re-apply one logged op through the normal handlers. Persistence is
     /// detached during recovery, so nothing is re-logged.
     fn replay(&mut self, op: &WalOp) -> Result<(), RequestError> {
+        // Derived and shipped ops consume the key DRBG differently, so a
+        // WAL written under one strategy class replayed under the other
+        // would silently regenerate a different key stream. The distinct
+        // record tags turn that configuration flip into a hard error.
+        let derived = self.config.strategy == Strategy::Derived;
         match op {
-            WalOp::Join(u) => self.handle_join(*u).map(drop),
+            WalOp::Join(_) | WalOp::Refresh if derived => Err(RequestError::Internal(
+                "wal records a shipped-strategy op but the server strategy is derived",
+            )),
+            WalOp::DerivedJoin(_) | WalOp::DerivedRefresh if !derived => {
+                Err(RequestError::Internal(
+                    "wal records a derived op but the server strategy is not derived",
+                ))
+            }
+            WalOp::Join(u) | WalOp::DerivedJoin(u) => self.handle_join(*u).map(drop),
             WalOp::Leave(u) => self.handle_leave(*u).map(drop),
             WalOp::EnqueueJoin(u) => self.enqueue_join(*u),
             WalOp::EnqueueLeave(u) => self.enqueue_leave(*u),
             WalOp::Flush { now_ms } => self.flush(*now_ms).map(drop),
-            WalOp::Refresh => self.refresh_group_key().map(drop),
+            WalOp::Refresh | WalOp::DerivedRefresh => self.refresh_group_key().map(drop),
         }
     }
 
@@ -748,6 +810,9 @@ impl GroupKeyServer {
             return Err(RequestError::Tree(TreeError::AlreadyMember(user)));
         }
         let individual_key = self.keygen.generate_key(self.config.key_len());
+        if self.config.strategy == Strategy::Derived {
+            return self.handle_join_derived(user, individual_key);
+        }
 
         let _op_span = self.obs.span("op.join");
         let start = Instant::now();
@@ -791,6 +856,78 @@ impl GroupKeyServer {
         Ok(ProcessedOp {
             seq,
             packets,
+            derived: Vec::new(),
+            encoded,
+            join_grant: Some(JoinGrant {
+                user,
+                individual_key,
+                leaf_label: event.leaf_label,
+                path_labels: event.path.iter().map(|p| p.label).collect(),
+            }),
+        })
+    }
+
+    /// [`Self::handle_join`] under `strategy = derived`: the server draws
+    /// a derivation code, rotates the joiner's path by *deriving* each
+    /// changed key from its predecessor (`HMAC(old, code ‖ ref)`), and
+    /// publishes one [`DerivedRekeyPacket`] — the code, the changed-key
+    /// worklist, and the joiner's sealed unicast. Current members
+    /// recompute the new keys locally; the only ciphertext the server
+    /// seals is the joiner's bundle, so the per-join sealing cost is O(1)
+    /// in the group size (the paper's O(log n) encryption work moves to
+    /// the members as one HMAC per held-and-changed key).
+    fn handle_join_derived(
+        &mut self,
+        user: UserId,
+        individual_key: SymmetricKey,
+    ) -> Result<ProcessedOp, RequestError> {
+        let _op_span = self.obs.span("op.join");
+        let start = Instant::now();
+        // Drawn after the individual key, so replay under the same seed
+        // reproduces the identical code stream.
+        let code = self.keygen.generate(DERIVATION_CODE_LEN);
+        let event = {
+            let _s = self.obs.span("tree");
+            self.tree.join_derived(user, individual_key.clone(), &mut self.keygen, &code)?
+        };
+        let out = {
+            let _s = self.obs.span("encrypt");
+            let mut rekeyer =
+                ParRekeyer::new(self.config.cipher, &mut self.ivs, self.pool.as_ref());
+            rekeyer.join_derived(&event)
+        };
+        let changed = links_from_path(&event.path);
+        let seq = self.next_seq();
+        let (derived, encoded, signatures) =
+            self.authenticate_and_encode_derived(seq, OpKind::Join, code, changed, out.messages);
+        let proc_ns = start.elapsed().as_nanos() as u64;
+        self.metrics.req_join.inc();
+        self.metrics.encryptions.add(out.ops.key_encryptions);
+        self.metrics.signatures.add(signatures);
+        self.metrics.cache_hits.add(out.ops.cache_hits);
+        self.metrics.cache_misses.add(out.ops.cache_misses);
+        self.ledger.join.record(
+            out.ops.key_encryptions,
+            encoded.len() as u64,
+            encoded.iter().map(|e| e.len() as u64).sum(),
+            out.ops.keys_generated,
+            out.ops.cache_hits,
+        );
+        self.obs.event(ObsEvent::Join { user: user.0 });
+
+        self.stats.push(OpRecord {
+            kind: OpKind::Join,
+            requests: 1,
+            msg_sizes: encoded.iter().map(|e| e.len() as u32).collect(),
+            proc_ns,
+            encryptions: out.ops.key_encryptions,
+            signatures,
+        });
+        self.log_op(WalOp::DerivedJoin(user))?;
+        Ok(ProcessedOp {
+            seq,
+            packets: Vec::new(),
+            derived,
             encoded,
             join_grant: Some(JoinGrant {
                 user,
@@ -816,11 +953,28 @@ impl GroupKeyServer {
             let _s = self.obs.span("encrypt");
             let mut rekeyer =
                 ParRekeyer::new(self.config.cipher, &mut self.ivs, self.pool.as_ref());
-            rekeyer.leave(&event, self.config.strategy)
+            // Forward secrecy forbids deriving post-leave keys from
+            // pre-leave ones, so derived mode ships a leave's fresh keys
+            // exactly like its shipped fallback — wrapped in a derived
+            // packet (empty code/worklist) so clients see one format and
+            // one monotonic interval counter.
+            rekeyer.leave(&event, self.config.strategy.shipped_fallback())
         };
         let seq = self.next_seq();
-        let (packets, encoded, signatures) =
-            self.authenticate_and_encode(seq, OpKind::Leave, out.messages);
+        let (packets, derived, encoded, signatures) = if self.config.strategy == Strategy::Derived {
+            let (derived, encoded, signatures) = self.authenticate_and_encode_derived(
+                seq,
+                OpKind::Leave,
+                Vec::new(),
+                Vec::new(),
+                out.messages,
+            );
+            (Vec::new(), derived, encoded, signatures)
+        } else {
+            let (packets, encoded, signatures) =
+                self.authenticate_and_encode(seq, OpKind::Leave, out.messages);
+            (packets, Vec::new(), encoded, signatures)
+        };
         let proc_ns = start.elapsed().as_nanos() as u64;
         self.metrics.req_leave.inc();
         self.metrics.encryptions.add(out.ops.key_encryptions);
@@ -845,7 +999,7 @@ impl GroupKeyServer {
             signatures,
         });
         self.log_op(WalOp::Leave(user))?;
-        Ok(ProcessedOp { seq, packets, encoded, join_grant: None })
+        Ok(ProcessedOp { seq, packets, derived, encoded, join_grant: None })
     }
 
     /// Rotate the group key without any membership change: bump the root
@@ -854,6 +1008,9 @@ impl GroupKeyServer {
     /// to fence off any group key that may have leaked with the dead
     /// process.
     pub fn refresh_group_key(&mut self) -> Result<ProcessedOp, RequestError> {
+        if self.config.strategy == Strategy::Derived {
+            return self.refresh_group_key_derived();
+        }
         let _op_span = self.obs.span("op.refresh");
         let start = Instant::now();
         let path = self.tree.refresh_group_key(&mut self.keygen);
@@ -893,7 +1050,55 @@ impl GroupKeyServer {
             signatures,
         });
         self.log_op(WalOp::Refresh)?;
-        Ok(ProcessedOp { seq, packets, encoded, join_grant: None })
+        Ok(ProcessedOp { seq, packets, derived: Vec::new(), encoded, join_grant: None })
+    }
+
+    /// [`Self::refresh_group_key`] under `strategy = derived`: the new
+    /// root key is derived from the old one and a published code, so the
+    /// packet carries zero ciphertext — just the code and a one-entry
+    /// worklist. Members pay one HMAC each; the server seals nothing.
+    fn refresh_group_key_derived(&mut self) -> Result<ProcessedOp, RequestError> {
+        let _op_span = self.obs.span("op.refresh");
+        let start = Instant::now();
+        let code = self.keygen.generate(DERIVATION_CODE_LEN);
+        let path = {
+            let _s = self.obs.span("tree");
+            self.tree.refresh_group_key_derived(&code)
+        };
+        let (code, changed) = if self.tree.user_count() == 0 {
+            // The rotation happened (and consumed one code draw, keeping
+            // replay deterministic), but there is nobody to tell.
+            (Vec::new(), Vec::new())
+        } else {
+            (code, links_from_path(std::slice::from_ref(&path)))
+        };
+        let seq = self.next_seq();
+        let (derived, encoded, signatures) =
+            self.authenticate_and_encode_derived(seq, OpKind::Refresh, code, changed, Vec::new());
+        let proc_ns = start.elapsed().as_nanos() as u64;
+        self.metrics.req_refresh.inc();
+        self.metrics.signatures.add(signatures);
+        // Nothing sealed, nothing drawn from the key DRBG: the root was
+        // derived, and the group recomputes it from the code.
+        self.ledger.refresh.record(
+            0,
+            encoded.len() as u64,
+            encoded.iter().map(|e| e.len() as u64).sum(),
+            0,
+            0,
+        );
+        self.obs.event(ObsEvent::Refresh);
+
+        self.stats.push(OpRecord {
+            kind: OpKind::Refresh,
+            requests: 0,
+            msg_sizes: encoded.iter().map(|e| e.len() as u32).collect(),
+            proc_ns,
+            encryptions: 0,
+            signatures,
+        });
+        self.log_op(WalOp::DerivedRefresh)?;
+        Ok(ProcessedOp { seq, packets: Vec::new(), derived, encoded, join_grant: None })
     }
 
     /// Whether this server batches rekeys.
@@ -1010,26 +1215,58 @@ impl GroupKeyServer {
     ) -> Result<ProcessedBatch, RequestError> {
         let n_joins = pending.joins.len() as u32;
         let n_leaves = pending.leaves.len() as u32;
+        let derived_mode = self.config.strategy == Strategy::Derived;
+        // Forward secrecy: only a leave-free interval may derive its new
+        // keys from the old ones. Any interval containing a leave ships
+        // fresh keys via the shipped fallback strategy instead.
+        let pure_join = pending.leaves.is_empty();
         let _op_span = self.obs.span("op.batch");
         let start = Instant::now();
-        let ev = {
+        let (ev, changed, code) = {
             let _s = self.obs.span("tree");
-            self.tree.apply_batch(&pending.joins, &pending.leaves, &mut self.keygen)?
+            if derived_mode && pure_join {
+                let code = self.keygen.generate(DERIVATION_CODE_LEN);
+                let (ev, links) =
+                    self.tree.apply_batch_derived(&pending.joins, &mut self.keygen, &code)?;
+                (ev, links, code)
+            } else {
+                let ev =
+                    self.tree.apply_batch(&pending.joins, &pending.leaves, &mut self.keygen)?;
+                (ev, Vec::new(), Vec::new())
+            }
         };
         let out = {
             let _s = self.obs.span("encrypt");
             let mut rekeyer =
                 ParRekeyer::new(self.config.cipher, &mut self.ivs, self.pool.as_ref());
-            rekeyer.batch(&ev, self.config.strategy)
+            let strategy = if pure_join {
+                self.config.strategy
+            } else {
+                self.config.strategy.shipped_fallback()
+            };
+            rekeyer.batch(&ev, strategy)
         };
         let timestamp_ms = self.next_seq(); // keep the logical clock shared
-        let (packets, encoded, signatures) = self.authenticate_and_encode_batch(
-            pending.interval,
-            timestamp_ms,
-            n_joins,
-            n_leaves,
-            out.messages,
-        );
+        let (packets, derived, encoded, signatures) = if derived_mode {
+            let (derived, encoded, signatures) = self.authenticate_and_encode_derived_at(
+                timestamp_ms,
+                pending.interval,
+                OpKind::Batch,
+                code,
+                changed,
+                out.messages,
+            );
+            (Vec::new(), derived, encoded, signatures)
+        } else {
+            let (packets, encoded, signatures) = self.authenticate_and_encode_batch(
+                pending.interval,
+                timestamp_ms,
+                n_joins,
+                n_leaves,
+                out.messages,
+            );
+            (packets, Vec::new(), encoded, signatures)
+        };
         let proc_ns = start.elapsed().as_nanos() as u64;
         self.metrics.req_batch.inc();
         self.metrics.encryptions.add(out.ops.key_encryptions);
@@ -1066,7 +1303,14 @@ impl GroupKeyServer {
         // rejoined in the same interval; the server view keeps only true
         // departures (a rejoiner keeps its endpoint and gets a new grant).
         let departed = ev.departed.into_iter().filter(|&u| !self.tree.is_member(u)).collect();
-        Ok(ProcessedBatch { interval: pending.interval, packets, encoded, grants, departed })
+        Ok(ProcessedBatch {
+            interval: pending.interval,
+            packets,
+            derived,
+            encoded,
+            grants,
+            departed,
+        })
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -1211,6 +1455,63 @@ impl GroupKeyServer {
         let _encode_span = self.obs.span("encode");
         let encoded: Vec<Vec<u8>> = packets.iter().map(|p| p.encode()).collect();
         (packets, encoded, signatures)
+    }
+
+    /// [`Self::authenticate_and_encode`] for an immediate derived op: the
+    /// interval counter is the shared logical clock, offset so that it
+    /// starts at 1 like batch interval numbering (clients treat an equal
+    /// interval as idempotent redelivery, so 0 would alias their initial
+    /// state).
+    fn authenticate_and_encode_derived(
+        &mut self,
+        seq: u64,
+        op: OpKind,
+        code: Vec<u8>,
+        changed: Vec<DerivedLink>,
+        messages: Vec<RekeyMessage>,
+    ) -> (Vec<DerivedRekeyPacket>, Vec<Vec<u8>>, u64) {
+        self.authenticate_and_encode_derived_at(seq, seq + 1, op, code, changed, messages)
+    }
+
+    /// Build, authenticate, and encode the operation's single
+    /// [`DerivedRekeyPacket`]. An operation with nothing to say (no code,
+    /// no worklist, no bundles — e.g. the last member leaving) emits no
+    /// packet at all, matching the shipped strategies.
+    fn authenticate_and_encode_derived_at(
+        &mut self,
+        seq: u64,
+        interval: u64,
+        op: OpKind,
+        code: Vec<u8>,
+        changed: Vec<DerivedLink>,
+        messages: Vec<RekeyMessage>,
+    ) -> (Vec<DerivedRekeyPacket>, Vec<Vec<u8>>, u64) {
+        if code.is_empty() && changed.is_empty() && messages.is_empty() {
+            return (Vec::new(), Vec::new(), 0);
+        }
+        let mut packet = DerivedRekeyPacket {
+            seq,
+            interval,
+            op,
+            timestamp_ms: seq, // deterministic logical timestamp
+            code,
+            changed,
+            messages,
+            auth: AuthTag::None,
+        };
+        let sign_span = self.obs.span("sign");
+        let signatures = if matches!(self.config.auth, AuthPolicy::None) {
+            0
+        } else {
+            let bodies = vec![packet.encode_body()];
+            let (tags, signatures) = self.compute_auth_tags(&bodies);
+            packet.auth = tags.into_iter().next().expect("one body, one tag");
+            signatures
+        };
+        drop(sign_span);
+        let _encode_span = self.obs.span("encode");
+        let encoded = vec![packet.encode()];
+        (vec![packet], encoded, signatures)
     }
 }
 
@@ -1612,6 +1913,128 @@ mod tests {
         }
     }
 
+    // ---- derived strategy -----------------------------------------------
+
+    #[test]
+    fn derived_join_publishes_code_at_constant_cost() {
+        let mut s = server(AuthPolicy::None, Strategy::Derived);
+        populate(&mut s, 64);
+        let before = s.stats().records().len();
+        let op = s.handle_join(UserId(100)).unwrap();
+        assert!(op.packets.is_empty(), "derived ops never ship RekeyPackets");
+        assert_eq!(op.derived.len(), 1);
+        let p = &op.derived[0];
+        assert_eq!(p.op, kg_wire::OpKind::Join);
+        assert_eq!(p.code.len(), kg_core::derive::DERIVATION_CODE_LEN);
+        assert!(!p.changed.is_empty(), "join must publish derivation links");
+        assert_eq!(p.messages.len(), 1, "only the joiner's unicast is sealed");
+        assert!(op.join_grant.is_some());
+        // O(1) bundles sealed: only the joiner's unicast, whose cost is the
+        // path keys it packs. A shipped group-oriented join additionally
+        // seals the whole path for the group multicast, doubling this.
+        let rec = &s.stats().records()[before];
+        assert_eq!(rec.encryptions, p.changed.len() as u64);
+        // Everything multicasts: the joiner is subscribed before dispatch
+        // and its bundle is sealed under a key only it holds.
+        for (to, _) in op.frames() {
+            assert_eq!(to, Recipients::Group);
+        }
+        assert_eq!(op.frames().len(), op.encoded.len());
+    }
+
+    #[test]
+    fn derived_leave_ships_keys_for_forward_secrecy() {
+        let mut s = server(AuthPolicy::None, Strategy::Derived);
+        populate(&mut s, 16);
+        let op = s.handle_leave(UserId(5)).unwrap();
+        assert!(op.packets.is_empty());
+        assert_eq!(op.derived.len(), 1);
+        let p = &op.derived[0];
+        assert_eq!(p.op, kg_wire::OpKind::Leave);
+        // Derivation from keys the departed member held would leak the new
+        // keys to them; a leave publishes no code and ships everything.
+        assert!(p.code.is_empty());
+        assert!(p.changed.is_empty());
+        assert!(!p.messages.is_empty(), "replacement keys must be shipped");
+        assert!(!s.is_member(UserId(5)));
+    }
+
+    #[test]
+    fn derived_refresh_is_ciphertext_free() {
+        let mut s = server(AuthPolicy::None, Strategy::Derived);
+        populate(&mut s, 16);
+        let before = s.stats().records().len();
+        let op = s.refresh_group_key().unwrap();
+        assert_eq!(op.derived.len(), 1);
+        let p = &op.derived[0];
+        assert_eq!(p.op, kg_wire::OpKind::Refresh);
+        assert_eq!(p.code.len(), kg_core::derive::DERIVATION_CODE_LEN);
+        assert_eq!(p.changed.len(), 1, "refresh rotates only the group key");
+        assert!(p.messages.is_empty(), "no ciphertext: every member derives");
+        assert_eq!(s.stats().records()[before].encryptions, 0);
+    }
+
+    #[test]
+    fn derived_intervals_are_strictly_monotonic() {
+        let mut s = server(AuthPolicy::None, Strategy::Derived);
+        let mut last = 0;
+        for i in 0..8 {
+            let op = s.handle_join(UserId(i)).unwrap();
+            let p = &op.derived[0];
+            assert!(p.interval > last, "intervals must advance past {last}");
+            last = p.interval;
+        }
+        let op = s.refresh_group_key().unwrap();
+        assert!(op.derived[0].interval > last);
+    }
+
+    #[test]
+    fn derived_packets_carry_auth_tags() {
+        let mut s = server(AuthPolicy::Digest, Strategy::Derived);
+        populate(&mut s, 4);
+        let op = s.handle_join(UserId(50)).unwrap();
+        assert!(!matches!(op.derived[0].auth, kg_wire::AuthTag::None));
+        let mut s = server(AuthPolicy::SignEach, Strategy::Derived);
+        populate(&mut s, 4);
+        let op = s.refresh_group_key().unwrap();
+        assert!(matches!(op.derived[0].auth, kg_wire::AuthTag::Signed { .. }));
+    }
+
+    #[test]
+    fn derived_batch_pure_join_publishes_code() {
+        let config = ServerConfig {
+            strategy: Strategy::Derived,
+            rekey: RekeyPolicy::Batched { interval_ms: 100, max_pending: 1024 },
+            rsa_bits: 512,
+            ..ServerConfig::default()
+        };
+        let mut s = GroupKeyServer::new(config, AccessControl::AllowAll);
+        for i in 0..8 {
+            s.enqueue_join(UserId(i)).unwrap();
+        }
+        let batch = s.flush(100).unwrap().unwrap();
+        assert!(batch.packets.is_empty());
+        assert_eq!(batch.derived.len(), 1);
+        let p = &batch.derived[0];
+        assert_eq!(p.op, kg_wire::OpKind::Batch);
+        assert!(!p.code.is_empty());
+        assert!(!p.changed.is_empty());
+        assert_eq!(p.messages.len(), 8, "one sealed unicast per joiner");
+        for (to, _) in batch.frames() {
+            assert_eq!(to, Recipients::Group);
+        }
+
+        // An interval containing any leave falls back to shipping keys.
+        s.enqueue_join(UserId(100)).unwrap();
+        s.enqueue_leave(UserId(3)).unwrap();
+        let batch = s.flush(200).unwrap().unwrap();
+        assert_eq!(batch.derived.len(), 1);
+        let p = &batch.derived[0];
+        assert!(p.code.is_empty(), "leave intervals must not publish a code");
+        assert!(p.changed.is_empty());
+        assert!(!p.messages.is_empty());
+    }
+
     // ---- crash recovery -------------------------------------------------
 
     fn scratch_dir() -> PathBuf {
@@ -1718,6 +2141,88 @@ mod tests {
             "queued joiner gets the key generated before the crash"
         );
         assert_eq!(serial::root_digest(r.tree()), serial::root_digest(control.tree()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn derived_server_recovers_identically() {
+        let dir = scratch_dir();
+        let config =
+            ServerConfig { strategy: Strategy::Derived, rsa_bits: 512, ..ServerConfig::default() };
+        let mut control = GroupKeyServer::new(config.clone(), AccessControl::AllowAll);
+        let mut s = GroupKeyServer::with_persistence(
+            config.clone(),
+            AccessControl::AllowAll,
+            &dir,
+            persist_config(),
+        )
+        .unwrap();
+        for i in 0..20 {
+            s.handle_join(UserId(i)).unwrap();
+            control.handle_join(UserId(i)).unwrap();
+        }
+        s.refresh_group_key().unwrap();
+        control.refresh_group_key().unwrap();
+        s.handle_leave(UserId(3)).unwrap();
+        control.handle_leave(UserId(3)).unwrap();
+        let digest_at_crash = serial::root_digest(s.tree());
+        drop(s);
+
+        let mut r =
+            GroupKeyServer::recover(config, AccessControl::AllowAll, &dir, persist_config())
+                .unwrap();
+        assert_eq!(serial::root_digest(r.tree()), digest_at_crash);
+        // The derivation-code draws are part of the deterministic key
+        // stream: post-recovery packets must be byte-identical, codes
+        // included, to a server that never crashed.
+        let a = r.handle_join(UserId(100)).unwrap();
+        let b = control.handle_join(UserId(100)).unwrap();
+        assert_eq!(a.encoded, b.encoded);
+        assert_eq!(a.derived[0].code, b.derived[0].code);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Derived and shipped strategies consume the key-generation stream
+    /// differently, so recovering a derived WAL under a shipped config
+    /// (or vice versa) would silently rebuild the wrong keys. Both
+    /// directions must fail fast instead.
+    #[test]
+    fn recovery_rejects_strategy_flip() {
+        let dir = scratch_dir();
+        let config =
+            ServerConfig { strategy: Strategy::Derived, rsa_bits: 512, ..ServerConfig::default() };
+        let mut s = GroupKeyServer::with_persistence(
+            config.clone(),
+            AccessControl::AllowAll,
+            &dir,
+            persist_config(),
+        )
+        .unwrap();
+        s.handle_join(UserId(1)).unwrap();
+        drop(s);
+        let flipped = ServerConfig { strategy: Strategy::GroupOriented, ..config };
+        assert!(matches!(
+            GroupKeyServer::recover(flipped, AccessControl::AllowAll, &dir, persist_config()),
+            Err(RecoverError::Replay(RequestError::Internal(_)))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let dir = scratch_dir();
+        let config = ServerConfig { rsa_bits: 512, ..ServerConfig::default() };
+        let mut s = GroupKeyServer::with_persistence(
+            config.clone(),
+            AccessControl::AllowAll,
+            &dir,
+            persist_config(),
+        )
+        .unwrap();
+        s.handle_join(UserId(1)).unwrap();
+        drop(s);
+        let flipped = ServerConfig { strategy: Strategy::Derived, ..config };
+        assert!(matches!(
+            GroupKeyServer::recover(flipped, AccessControl::AllowAll, &dir, persist_config()),
+            Err(RecoverError::Replay(RequestError::Internal(_)))
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

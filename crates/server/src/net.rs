@@ -300,8 +300,8 @@ impl NetServer {
             net.send_unicast(self.endpoint, ep, Bytes::from(ack));
             events.push(ServerEvent::Joined(grant.clone()));
         }
-        for (p, bytes) in batch.packets.iter().zip(&batch.encoded) {
-            self.send_to_recipients(net, &p.message.recipients, bytes);
+        for (recipients, bytes) in batch.frames() {
+            self.send_to_recipients(net, &recipients, bytes);
         }
         events.push(ServerEvent::Flushed {
             interval: batch.interval,
@@ -343,7 +343,7 @@ impl NetServer {
                 }
                 .encode();
                 net.send_unicast(self.endpoint, from, Bytes::from(ack));
-                self.dispatch(net, &op.packets, &op.encoded);
+                self.dispatch(net, &op);
                 ServerEvent::Joined(grant)
             }
         }
@@ -387,21 +387,17 @@ impl NetServer {
                 }
                 let ack = ControlMessage::LeaveGranted { user }.encode();
                 net.send_unicast(self.endpoint, from, Bytes::from(ack));
-                self.dispatch(net, &op.packets, &op.encoded);
+                self.dispatch(net, &op);
                 ServerEvent::Left(user)
             }
         }
     }
 
-    /// Resolve recipients and send each encoded rekey packet.
-    fn dispatch<T: Transport>(
-        &mut self,
-        net: &mut T,
-        packets: &[kg_wire::RekeyPacket],
-        encoded: &[Vec<u8>],
-    ) {
-        for (p, bytes) in packets.iter().zip(encoded) {
-            self.send_to_recipients(net, &p.message.recipients, bytes);
+    /// Resolve recipients and send each of the operation's frames
+    /// (shipped rekey packets, or the derived-mode group multicast).
+    fn dispatch<T: Transport>(&mut self, net: &mut T, op: &crate::ProcessedOp) {
+        for (recipients, bytes) in op.frames() {
+            self.send_to_recipients(net, &recipients, bytes);
         }
     }
 

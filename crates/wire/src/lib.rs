@@ -22,7 +22,10 @@ pub mod telemetry;
 pub use cluster::{
     ClusterBody, ClusterEnvelope, GroupId, ShardId, CLUSTER_MAGIC, CLUSTER_VERSION, ROUTER_SHARD,
 };
-pub use message::{AuthTag, BatchRekeyPacket, ControlMessage, OpKind, RekeyPacket, BATCH_MAGIC};
+pub use message::{
+    AuthTag, BatchRekeyPacket, ControlMessage, DerivedRekeyPacket, OpKind, RekeyPacket,
+    BATCH_MAGIC, DERIVED_MAGIC, DERIVED_VERSION,
+};
 pub use telemetry::TelemetrySnapshot;
 
 use std::fmt;

@@ -236,6 +236,155 @@ impl BatchRekeyPacket {
     }
 }
 
+/// First byte of every encoded [`DerivedRekeyPacket`]. Distinct from
+/// [`BATCH_MAGIC`] (`0xB5`), the cluster envelope magic (`0xC7`), every
+/// [`ControlMessage`] tag (≤ 5), and the leading byte of any realistic
+/// legacy [`RekeyPacket`] (the high byte of its `u64` sequence number).
+pub const DERIVED_MAGIC: u8 = 0xD6;
+
+/// Version byte following [`DERIVED_MAGIC`]. Decoding fails closed on any
+/// other value, so the format can evolve without silent misparses.
+pub const DERIVED_VERSION: u8 = 1;
+
+/// A `Strategy::Derived` rekey operation, as delivered to clients.
+///
+/// One packet per operation (join / leave / refresh / batched interval),
+/// multicast to the whole group. It carries up to three things:
+///
+/// * `code` + `changed` — the derivation work list: members holding the
+///   key at `changed[i].from` recompute the key at `changed[i].new_ref`
+///   via `derive_key(held, code, label, new_version)`. Empty for leaves.
+/// * `messages` — shipped ciphertext bundles for whoever *cannot* derive:
+///   the joiner's path unicast under its individual key and, for leaves,
+///   the group-oriented fallback bundles (forward secrecy — a departed
+///   member could run the public derivation too, so evicted-path keys
+///   must be fresh and shipped).
+///
+/// `interval` totally orders derived operations; clients apply each
+/// packet atomically and reject anything older than what they already
+/// applied, mirroring [`BatchRekeyPacket`]'s staleness rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedRekeyPacket {
+    /// Server-assigned sequence number of the triggering operation.
+    pub seq: u64,
+    /// Derivation interval (monotonically increasing, 1-based; equals
+    /// `seq` in immediate mode, the batch interval in batched mode).
+    pub interval: u64,
+    /// What triggered the rekey.
+    pub op: OpKind,
+    /// Server timestamp (logical, as in [`RekeyPacket`]).
+    pub timestamp_ms: u64,
+    /// Derivation code for this operation (empty when nothing is derived).
+    pub code: Vec<u8>,
+    /// Derivation work list, root-first.
+    pub changed: Vec<kg_core::derive::DerivedLink>,
+    /// Shipped bundles for recipients that cannot derive.
+    pub messages: Vec<RekeyMessage>,
+    /// Integrity/authenticity tag.
+    pub auth: AuthTag,
+}
+
+impl DerivedRekeyPacket {
+    /// Whether `bytes` looks like an encoded derived rekey packet.
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.first() == Some(&DERIVED_MAGIC)
+    }
+
+    /// Serialize the *body* (everything the digest/signature covers).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.put_u8(DERIVED_MAGIC);
+        out.put_u8(DERIVED_VERSION);
+        out.put_u64(self.seq);
+        out.put_u64(self.interval);
+        out.put_u8(match self.op {
+            OpKind::Join => 0,
+            OpKind::Leave => 1,
+            OpKind::Batch => 2,
+            OpKind::Refresh => 3,
+        });
+        out.put_u64(self.timestamp_ms);
+        put_bytes(&mut out, &self.code);
+        out.put_u32(self.changed.len() as u32);
+        for link in &self.changed {
+            encode_keyref(&mut out, &link.new_ref);
+            encode_keyref(&mut out, &link.from);
+        }
+        out.put_u32(self.messages.len() as u32);
+        for m in &self.messages {
+            encode_recipients(&mut out, &m.recipients);
+            out.put_u32(m.bundles.len() as u32);
+            for b in &m.bundles {
+                encode_bundle(&mut out, b);
+            }
+        }
+        out
+    }
+
+    /// Serialize body + auth tag (the full datagram payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.encode_body();
+        encode_auth(&mut out, &self.auth);
+        out
+    }
+
+    /// Total wire length.
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decode a packet, returning it with the length of its body prefix.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let mut buf = bytes;
+        match get_u8(&mut buf)? {
+            DERIVED_MAGIC => {}
+            t => return Err(WireError::BadTag { context: "derived magic", tag: t }),
+        }
+        match get_u8(&mut buf)? {
+            DERIVED_VERSION => {}
+            t => return Err(WireError::BadTag { context: "derived version", tag: t }),
+        }
+        let seq = get_u64(&mut buf)?;
+        let interval = get_u64(&mut buf)?;
+        let op = match get_u8(&mut buf)? {
+            0 => OpKind::Join,
+            1 => OpKind::Leave,
+            2 => OpKind::Batch,
+            3 => OpKind::Refresh,
+            t => return Err(WireError::BadTag { context: "op kind", tag: t }),
+        };
+        let timestamp_ms = get_u64(&mut buf)?;
+        let code = get_bytes(&mut buf)?;
+        let n = get_count(&mut buf)?;
+        let mut changed = Vec::with_capacity(n);
+        for _ in 0..n {
+            let new_ref = decode_keyref(&mut buf)?;
+            let from = decode_keyref(&mut buf)?;
+            changed.push(kg_core::derive::DerivedLink { new_ref, from });
+        }
+        let nm = get_count(&mut buf)?;
+        let mut messages = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            let recipients = decode_recipients(&mut buf)?;
+            let nb = get_count(&mut buf)?;
+            let mut bundles = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                bundles.push(decode_bundle(&mut buf)?);
+            }
+            messages.push(RekeyMessage { recipients, bundles });
+        }
+        let body_len = bytes.len() - buf.len();
+        let auth = decode_auth(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireError::TrailingBytes(buf.len()));
+        }
+        Ok((
+            DerivedRekeyPacket { seq, interval, op, timestamp_ms, code, changed, messages, auth },
+            body_len,
+        ))
+    }
+}
+
 /// Control-plane messages between clients and the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlMessage {
@@ -584,6 +733,138 @@ mod tests {
         assert!(matches!(BatchRekeyPacket::decode(&extended), Err(WireError::TrailingBytes(1))));
     }
 
+    fn sample_derived_packet(auth: AuthTag) -> DerivedRekeyPacket {
+        DerivedRekeyPacket {
+            seq: 31,
+            interval: 12,
+            op: OpKind::Join,
+            timestamp_ms: 555,
+            code: vec![0xC0; 16],
+            changed: vec![
+                kg_core::derive::DerivedLink {
+                    new_ref: KeyRef::new(KeyLabel(0), KeyVersion(4)),
+                    from: KeyRef::new(KeyLabel(0), KeyVersion(3)),
+                },
+                kg_core::derive::DerivedLink {
+                    new_ref: KeyRef::new(KeyLabel(3), KeyVersion(1)),
+                    from: KeyRef::new(KeyLabel(17), KeyVersion(0)),
+                },
+            ],
+            messages: vec![
+                RekeyMessage {
+                    recipients: Recipients::User(UserId(7)),
+                    bundles: vec![sample_bundle()],
+                },
+                RekeyMessage {
+                    recipients: Recipients::Group,
+                    bundles: vec![sample_bundle(), sample_bundle()],
+                },
+            ],
+            auth,
+        }
+    }
+
+    #[test]
+    fn derived_roundtrip_all_auth_variants() {
+        let variants = [
+            AuthTag::None,
+            AuthTag::Digest(vec![0x11; 16]),
+            AuthTag::Signed { signature: vec![0x22; 64] },
+            AuthTag::MerkleSigned {
+                root_signature: vec![0x33; 64],
+                path: AuthPath { index: 1, siblings: vec![(Side::Left, vec![0x44; 16])] },
+            },
+        ];
+        for auth in variants {
+            let pkt = sample_derived_packet(auth);
+            let bytes = pkt.encode();
+            assert!(DerivedRekeyPacket::sniff(&bytes));
+            let (decoded, body_len) = DerivedRekeyPacket::decode(&bytes).unwrap();
+            assert_eq!(decoded, pkt);
+            assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+            assert_eq!(pkt.wire_len(), bytes.len());
+        }
+    }
+
+    #[test]
+    fn derived_empty_worklist_roundtrips() {
+        // A derived-mode leave: no code, no links, only shipped bundles.
+        let pkt = DerivedRekeyPacket {
+            seq: 8,
+            interval: 8,
+            op: OpKind::Leave,
+            timestamp_ms: 1,
+            code: Vec::new(),
+            changed: Vec::new(),
+            messages: vec![RekeyMessage {
+                recipients: Recipients::Group,
+                bundles: vec![sample_bundle()],
+            }],
+            auth: AuthTag::None,
+        };
+        let (decoded, _) = DerivedRekeyPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn derived_magic_is_checked() {
+        let mut bytes = sample_derived_packet(AuthTag::None).encode();
+        bytes[0] = 0x00;
+        assert!(!DerivedRekeyPacket::sniff(&bytes));
+        assert!(matches!(
+            DerivedRekeyPacket::decode(&bytes),
+            Err(WireError::BadTag { context: "derived magic", .. })
+        ));
+    }
+
+    #[test]
+    fn derived_unknown_version_fails_closed() {
+        let mut bytes = sample_derived_packet(AuthTag::None).encode();
+        assert_eq!(bytes[1], DERIVED_VERSION);
+        for v in [0u8, 2, 7, 255] {
+            bytes[1] = v;
+            assert!(
+                matches!(
+                    DerivedRekeyPacket::decode(&bytes),
+                    Err(WireError::BadTag { context: "derived version", tag }) if tag == v
+                ),
+                "version {v} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_packets_are_not_other_formats() {
+        let bytes = sample_derived_packet(AuthTag::None).encode();
+        assert!(ControlMessage::decode(&bytes).is_err());
+        assert!(!BatchRekeyPacket::sniff(&bytes));
+        assert!(BatchRekeyPacket::decode(&bytes).is_err());
+        // And the other magics don't sniff as derived.
+        assert!(!DerivedRekeyPacket::sniff(&sample_batch_packet(AuthTag::None).encode()));
+    }
+
+    #[test]
+    fn derived_truncation_and_trailing_rejected() {
+        let bytes = sample_derived_packet(AuthTag::Digest(vec![0; 16])).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                DerivedRekeyPacket::decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(DerivedRekeyPacket::decode(&extended), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn derived_body_excludes_auth() {
+        let p1 = sample_derived_packet(AuthTag::None);
+        let p2 = sample_derived_packet(AuthTag::Signed { signature: vec![9; 64] });
+        assert_eq!(p1.encode_body(), p2.encode_body());
+        assert_ne!(p1.encode(), p2.encode());
+    }
+
     #[test]
     fn op_kind_batch_roundtrips_in_legacy_packet() {
         let mut pkt = sample_packet(AuthTag::None);
@@ -693,6 +974,48 @@ mod tests {
         #[test]
         fn garbage_never_misparses(data in proptest::collection::vec(0u8.., 0..128)) {
             if let Ok((pkt, _)) = RekeyPacket::decode(&data) {
+                proptest::prop_assert_eq!(pkt.encode(), data);
+            }
+        }
+
+        #[test]
+        fn derived_roundtrip_random(
+            seq: u64,
+            interval: u64,
+            codelen in 0usize..32,
+            nlinks in 0usize..6,
+            nmsgs in 0usize..3,
+        ) {
+            let changed: Vec<kg_core::derive::DerivedLink> = (0..nlinks)
+                .map(|i| kg_core::derive::DerivedLink {
+                    new_ref: KeyRef::new(KeyLabel(i as u64), KeyVersion(interval % 7 + 1)),
+                    from: KeyRef::new(KeyLabel(i as u64), KeyVersion(interval % 7)),
+                })
+                .collect();
+            let messages: Vec<RekeyMessage> = (0..nmsgs)
+                .map(|i| RekeyMessage {
+                    recipients: Recipients::User(UserId(i as u64)),
+                    bundles: vec![sample_bundle()],
+                })
+                .collect();
+            let pkt = DerivedRekeyPacket {
+                seq,
+                interval,
+                op: OpKind::Refresh,
+                timestamp_ms: seq ^ interval,
+                code: vec![0xEE; codelen],
+                changed,
+                messages,
+                auth: AuthTag::None,
+            };
+            let (decoded, _) = DerivedRekeyPacket::decode(&pkt.encode()).unwrap();
+            proptest::prop_assert_eq!(decoded, pkt);
+        }
+
+        /// Garbage bytes never misparse as a derived packet either.
+        #[test]
+        fn derived_garbage_never_misparses(data in proptest::collection::vec(0u8.., 0..128)) {
+            if let Ok((pkt, _)) = DerivedRekeyPacket::decode(&data) {
                 proptest::prop_assert_eq!(pkt.encode(), data);
             }
         }

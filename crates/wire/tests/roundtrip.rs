@@ -8,13 +8,14 @@
 //! [`RekeyPacket`], every `AuthTag` for [`BatchRekeyPacket`], and every
 //! [`ControlMessage`] variant.
 
+use kg_core::derive::DerivedLink;
 use kg_core::ids::{KeyLabel, KeyRef, KeyVersion, UserId};
 use kg_core::merkle::{AuthPath, Side};
 use kg_core::rekey::{KeyBundle, Recipients, RekeyMessage};
 use kg_obs::{HistogramSnapshot, TraceContext, TraceSpan};
 use kg_wire::{
-    AuthTag, BatchRekeyPacket, ClusterBody, ClusterEnvelope, ControlMessage, GroupId, OpKind,
-    RekeyPacket, ShardId, TelemetrySnapshot,
+    AuthTag, BatchRekeyPacket, ClusterBody, ClusterEnvelope, ControlMessage, DerivedRekeyPacket,
+    GroupId, OpKind, RekeyPacket, ShardId, TelemetrySnapshot,
 };
 
 const ALL_OPS: [OpKind; 4] = [OpKind::Join, OpKind::Leave, OpKind::Batch, OpKind::Refresh];
@@ -97,6 +98,40 @@ fn all_batch_packets() -> Vec<BatchRekeyPacket> {
         .collect()
 }
 
+/// Every derived-packet shape: 4 ops × 4 auths, with the derivation work
+/// list and shipped-message list sizes varying so the empty cases (a pure
+/// leave with no code, a pure refresh with no bundles) are covered.
+fn all_derived_packets() -> Vec<DerivedRekeyPacket> {
+    let mut packets = Vec::new();
+    for (i, op) in ALL_OPS.into_iter().enumerate() {
+        for (k, auth) in all_auth_tags().into_iter().enumerate() {
+            let nlinks = (i + k) % 3;
+            let nmsgs = (i + k + 1) % 3;
+            packets.push(DerivedRekeyPacket {
+                seq: (i * 10 + k) as u64,
+                interval: 1 + k as u64,
+                op,
+                timestamp_ms: 2_000 + i as u64,
+                code: if nlinks == 0 { Vec::new() } else { vec![0xD7; 16] },
+                changed: (0..nlinks)
+                    .map(|l| DerivedLink {
+                        new_ref: KeyRef::new(KeyLabel(l as u64), KeyVersion(2)),
+                        from: KeyRef::new(KeyLabel(l as u64), KeyVersion(1)),
+                    })
+                    .collect(),
+                messages: (0..nmsgs)
+                    .map(|m| RekeyMessage {
+                        recipients: all_recipients()[m].clone(),
+                        bundles: (0..m).map(|b| bundle(b as u64)).collect(),
+                    })
+                    .collect(),
+                auth,
+            });
+        }
+    }
+    packets
+}
+
 fn all_control_messages() -> Vec<ControlMessage> {
     vec![
         ControlMessage::JoinRequest { user: UserId(1) },
@@ -132,6 +167,20 @@ fn every_batch_packet_variant_roundtrips() {
         assert!(BatchRekeyPacket::sniff(&bytes));
         assert_eq!(bytes.len(), pkt.wire_len(), "{pkt:?}");
         let (decoded, body_len) = BatchRekeyPacket::decode(&bytes).expect("valid encoding");
+        assert_eq!(decoded, pkt);
+        assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+    }
+}
+
+#[test]
+fn every_derived_packet_variant_roundtrips() {
+    let packets = all_derived_packets();
+    assert_eq!(packets.len(), 16, "4 ops x 4 auths");
+    for pkt in packets {
+        let bytes = pkt.encode();
+        assert!(DerivedRekeyPacket::sniff(&bytes));
+        assert_eq!(bytes.len(), pkt.wire_len(), "{pkt:?}");
+        let (decoded, body_len) = DerivedRekeyPacket::decode(&bytes).expect("valid encoding");
         assert_eq!(decoded, pkt);
         assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
     }
@@ -266,6 +315,12 @@ fn truncation_always_errors_never_panics() {
             assert!(BatchRekeyPacket::decode(&bytes[..cut]).is_err(), "cut {cut} of {pkt:?}");
         }
     }
+    for pkt in all_derived_packets() {
+        let bytes = pkt.encode();
+        for cut in 0..bytes.len() {
+            assert!(DerivedRekeyPacket::decode(&bytes[..cut]).is_err(), "cut {cut} of {pkt:?}");
+        }
+    }
     for msg in all_control_messages() {
         let bytes = msg.encode();
         for cut in 0..bytes.len() {
@@ -308,6 +363,16 @@ fn bit_flips_never_misparse_or_panic() {
             let mut flipped = bytes.clone();
             flipped[pos / 8] ^= 1 << (pos % 8);
             if let Ok((decoded, _)) = BatchRekeyPacket::decode(&flipped) {
+                assert_eq!(decoded.encode(), flipped, "bit {pos} of {pkt:?}");
+            }
+        }
+    }
+    for pkt in all_derived_packets() {
+        let bytes = pkt.encode();
+        for pos in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[pos / 8] ^= 1 << (pos % 8);
+            if let Ok((decoded, _)) = DerivedRekeyPacket::decode(&flipped) {
                 assert_eq!(decoded.encode(), flipped, "bit {pos} of {pkt:?}");
             }
         }
@@ -459,6 +524,21 @@ fn fuzz_batch_packet(f: &mut Fuzz) -> BatchRekeyPacket {
     }
 }
 
+fn fuzz_derived_packet(f: &mut Fuzz) -> DerivedRekeyPacket {
+    DerivedRekeyPacket {
+        seq: f.value(),
+        interval: f.value(),
+        op: ALL_OPS[f.below(4) as usize],
+        timestamp_ms: f.value(),
+        code: f.bytes(32),
+        changed: (0..f.below(8))
+            .map(|_| DerivedLink { new_ref: fuzz_key_ref(f), from: fuzz_key_ref(f) })
+            .collect(),
+        messages: (0..f.below(4)).map(|_| fuzz_message(f)).collect(),
+        auth: fuzz_auth(f),
+    }
+}
+
 fn fuzz_control_message(f: &mut Fuzz) -> ControlMessage {
     match f.below(6) {
         0 => ControlMessage::JoinRequest { user: UserId(f.value()) },
@@ -577,6 +657,11 @@ proptest::proptest! {
             let (again, _) = BatchRekeyPacket::decode(&pkt.encode()).expect("re-decode");
             proptest::prop_assert_eq!(again, pkt);
         }
+        if let Ok((pkt, _)) = DerivedRekeyPacket::decode(&data) {
+            proptest::prop_assert_eq!(pkt.encode(), data.clone());
+            let (again, _) = DerivedRekeyPacket::decode(&pkt.encode()).expect("re-decode");
+            proptest::prop_assert_eq!(again, pkt);
+        }
         if let Ok(msg) = ControlMessage::decode(&data) {
             proptest::prop_assert_eq!(msg.encode(), data.clone());
             let again = ControlMessage::decode(&msg.encode()).expect("re-decode");
@@ -611,6 +696,15 @@ proptest::proptest! {
         proptest::prop_assert_eq!(decoded, pkt.clone());
         proptest::prop_assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
 
+        let pkt = fuzz_derived_packet(f);
+        let bytes = pkt.encode();
+        proptest::prop_assert!(DerivedRekeyPacket::sniff(&bytes));
+        proptest::prop_assert_eq!(bytes.len(), pkt.wire_len());
+        let (decoded, body_len) =
+            DerivedRekeyPacket::decode(&bytes).expect("valid derived encoding");
+        proptest::prop_assert_eq!(decoded, pkt.clone());
+        proptest::prop_assert_eq!(&bytes[..body_len], pkt.encode_body().as_slice());
+
         let msg = fuzz_control_message(f);
         let decoded = ControlMessage::decode(&msg.encode()).expect("valid control encoding");
         proptest::prop_assert_eq!(decoded, msg);
@@ -631,7 +725,8 @@ proptest::proptest! {
     fn mutated_valid_frames_never_misparse(seed in 0u64..) {
         let f = &mut Fuzz::new(seed);
         let mut frames = vec![fuzz_rekey_packet(f).encode(), fuzz_batch_packet(f).encode(),
-            fuzz_control_message(f).encode(), fuzz_cluster_envelope(f).encode()];
+            fuzz_derived_packet(f).encode(), fuzz_control_message(f).encode(),
+            fuzz_cluster_envelope(f).encode()];
         for bytes in &mut frames {
             match f.below(3) {
                 // Overwrite a random window with garbage.
@@ -661,6 +756,9 @@ proptest::proptest! {
                 proptest::prop_assert_eq!(pkt.encode(), bytes.clone());
             }
             if let Ok((pkt, _)) = BatchRekeyPacket::decode(bytes) {
+                proptest::prop_assert_eq!(pkt.encode(), bytes.clone());
+            }
+            if let Ok((pkt, _)) = DerivedRekeyPacket::decode(bytes) {
                 proptest::prop_assert_eq!(pkt.encode(), bytes.clone());
             }
             if let Ok(msg) = ControlMessage::decode(bytes) {

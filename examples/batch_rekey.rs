@@ -15,7 +15,7 @@ use keygraphs::core::ids::UserId;
 use keygraphs::core::rekey::KeyCipher;
 use keygraphs::net::{NetConfig, SimNetwork};
 use keygraphs::server::net::{NetServer, ServerEvent};
-use keygraphs::server::{AccessControl, GroupKeyServer, RekeyPolicy, ServerConfig};
+use keygraphs::server::{AccessControl, GroupKeyServer, ServerConfig};
 
 /// Advance the simulation to `now_ms`: deliver datagrams, tick the server
 /// (queueing requests and flushing the interval when due), pump clients.
@@ -56,11 +56,8 @@ fn main() {
     println!("== Batch rekeying over the simulated network ==\n");
 
     let mut net = SimNetwork::new(NetConfig::default());
-    let config = ServerConfig {
-        // Flush every 100 ms, or sooner if 32 requests pile up.
-        rekey: RekeyPolicy::Batched { interval_ms: 100, max_pending: 32 },
-        ..ServerConfig::default()
-    };
+    // Flush every 100 ms, or sooner if 32 requests pile up.
+    let config = ServerConfig::builder().batched(100, 32).build().unwrap();
     let server = GroupKeyServer::new(config, AccessControl::AllowAll);
     let mut ns = NetServer::new(server, &mut net);
     let mut fleet = ClientFleet::new(KeyCipher::des_cbc(), VerifyPolicy::Opportunistic);

@@ -20,7 +20,7 @@ use keygraphs::net::{EndpointId, Transport, UdpTransport};
 use keygraphs::obs::{Obs, ObsConfig};
 use keygraphs::persist::PersistConfig;
 use keygraphs::server::net::leave_authenticator;
-use keygraphs::server::{AccessControl, RekeyPolicy, ServerConfig};
+use keygraphs::server::{AccessControl, ServerConfig};
 use keygraphs::wire::{
     ClusterBody, ClusterEnvelope, ControlMessage, GroupId, ShardId, ROUTER_SHARD,
 };
@@ -76,10 +76,7 @@ fn main() {
     for (s, mut net) in node_nets.drain(..).enumerate() {
         let config = NodeConfig {
             shard: ShardId(s as u16),
-            template: ServerConfig {
-                rekey: RekeyPolicy::Batched { interval_ms: 50, max_pending: 1024 },
-                ..ServerConfig::default()
-            },
+            template: ServerConfig::builder().batched(50, 1024).build().unwrap(),
             acl: AccessControl::AllowAll,
             persist_root: Some(root.join(format!("shard-{s}"))),
             persist: PersistConfig::default(),
@@ -205,10 +202,7 @@ fn main() {
         let shard = node.shard();
         let config = NodeConfig {
             shard,
-            template: ServerConfig {
-                rekey: RekeyPolicy::Batched { interval_ms: 50, max_pending: 1024 },
-                ..ServerConfig::default()
-            },
+            template: ServerConfig::builder().batched(50, 1024).build().unwrap(),
             acl: AccessControl::AllowAll,
             persist_root: Some(root.join(format!("shard-{}", shard.0))),
             persist: PersistConfig::default(),

@@ -14,7 +14,7 @@
 use keygraphs::core::ids::UserId;
 use keygraphs::core::serial::root_digest;
 use keygraphs::persist::{FsyncPolicy, PersistConfig};
-use keygraphs::server::{AccessControl, GroupKeyServer, RekeyPolicy, ServerConfig};
+use keygraphs::server::{AccessControl, GroupKeyServer, ServerConfig};
 
 fn hex8(d: &[u8; 32]) -> String {
     d[..8].iter().map(|b| format!("{b:02x}")).collect()
@@ -24,10 +24,7 @@ fn main() {
     println!("== Crash recovery with a write-ahead log ==\n");
 
     let dir = std::env::temp_dir().join(format!("kg-example-crash-{}", std::process::id()));
-    let config = ServerConfig {
-        rekey: RekeyPolicy::Batched { interval_ms: 100, max_pending: 32 },
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::builder().batched(100, 32).build().unwrap();
     let persist = PersistConfig {
         fsync: FsyncPolicy::EveryRecord,
         snapshot_every_ops: 16,

@@ -26,7 +26,7 @@ fn main() {
     let n = 1024u64;
 
     // --- Key-graph side -------------------------------------------------
-    let config = ServerConfig { strategy: Strategy::GroupOriented, ..ServerConfig::default() };
+    let config = ServerConfig::builder().strategy(Strategy::GroupOriented).build().unwrap();
     let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
     for i in 0..n {
         server.handle_join(UserId(i)).unwrap();

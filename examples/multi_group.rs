@@ -26,11 +26,11 @@ fn main() {
     // Group A (video): users 1..=6. Group B (chat): users 4..=9.
     // Users 4, 5, 6 are in both.
     let mut video = GroupKeyServer::new(
-        ServerConfig { seed: 1, ..ServerConfig::default() },
+        ServerConfig::builder().seed(1).build().unwrap(),
         AccessControl::AllowAll,
     );
     let mut chat = GroupKeyServer::new(
-        ServerConfig { seed: 2, ..ServerConfig::default() },
+        ServerConfig::builder().seed(2).build().unwrap(),
         AccessControl::AllowAll,
     );
     for i in 1..=6u64 {

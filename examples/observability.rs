@@ -22,7 +22,7 @@ fn main() {
     println!("== Observing a key server's life: join, leave, crash, recover ==\n");
 
     let dir = std::env::temp_dir().join(format!("kg-example-obs-{}", std::process::id()));
-    let config = ServerConfig { auth: AuthPolicy::SignBatch, ..ServerConfig::default() };
+    let config = ServerConfig::builder().auth(AuthPolicy::SignBatch).build().unwrap();
     let persist = PersistConfig {
         fsync: FsyncPolicy::EveryRecord,
         snapshot_every_ops: u64::MAX,

@@ -33,7 +33,7 @@ fn air(server: &GroupKeyServer, name: &'static str, content: &str) -> Program {
 
 fn main() {
     println!("== pay-per-view churn scenario ==\n");
-    let config = ServerConfig { strategy: Strategy::GroupOriented, ..ServerConfig::default() };
+    let config = ServerConfig::builder().strategy(Strategy::GroupOriented).build().unwrap();
     let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
 
     // Season setup: 500 initial subscribers.

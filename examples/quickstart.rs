@@ -14,7 +14,7 @@ fn main() {
 
     for strategy in Strategy::ALL {
         println!("--- strategy: {} ---", strategy.name());
-        let config = ServerConfig { strategy, ..ServerConfig::default() };
+        let config = ServerConfig::builder().strategy(strategy).build().unwrap();
         let mut server = GroupKeyServer::new(config, AccessControl::AllowAll);
 
         // Nine members join (the paper's Figure 5 tree at d=4 would be

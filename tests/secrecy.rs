@@ -54,7 +54,9 @@ impl World {
         for bytes in encoded {
             self.traffic.push(bytes.clone());
             for c in self.clients.values_mut() {
-                c.process_rekey(bytes).unwrap();
+                // Magic-dispatched: shipped strategies send RekeyPackets,
+                // the derived strategy DerivedRekeyPackets.
+                c.process_packet(bytes).unwrap();
             }
         }
     }
@@ -81,7 +83,7 @@ impl World {
             let mut replay = ghost.clone();
             let mut installed = 0;
             for bytes in &self.traffic {
-                if let Ok(s) = replay.process_rekey(bytes) {
+                if let Ok(s) = replay.process_packet(bytes) {
                     installed += s.keys_installed;
                 }
             }
@@ -132,6 +134,15 @@ proptest! {
     fn group_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
         churn(Strategy::GroupOriented, &ops);
     }
+
+    /// Client-derived rekeying: joins/refreshes publish derivation codes
+    /// instead of shipping keys, yet departed members still cannot reach
+    /// the live group key (leaves ship fresh keys their stale keyset
+    /// cannot decrypt, and later codes derive from those).
+    #[test]
+    fn derived_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        churn(Strategy::Derived, &ops);
+    }
 }
 
 /// Batched-rekeying analogue of [`World`]: requests queue on the server
@@ -180,7 +191,7 @@ impl BatchWorld {
         for bytes in &batch.encoded {
             self.traffic.push(bytes.clone());
             for c in self.clients.values_mut() {
-                c.process_batch_rekey(bytes).unwrap();
+                c.process_packet(bytes).unwrap();
             }
         }
     }
@@ -204,7 +215,7 @@ impl BatchWorld {
             }
             let mut replay = ghost.clone();
             for bytes in &self.traffic {
-                let _ = replay.process_batch_rekey(bytes);
+                let _ = replay.process_packet(bytes);
             }
             if let Some((_, k)) = replay.group_key() {
                 assert_ne!(k, gk, "{u} recovered the live group key by replay");
@@ -278,6 +289,11 @@ proptest! {
     fn batched_group_oriented_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
         batched_churn(Strategy::GroupOriented, &ops);
     }
+
+    #[test]
+    fn batched_derived_secrecy(ops in proptest::collection::vec((0u8..2, 0u64..24), 1..40)) {
+        batched_churn(Strategy::Derived, &ops);
+    }
 }
 
 #[test]
@@ -285,7 +301,7 @@ fn batched_interval_departures_learn_no_new_key() {
     // All users leaving in one interval: none of the interval's marked
     // (replaced) keys is recoverable by any of them, even pooling the
     // interval's entire traffic.
-    for strategy in Strategy::ALL {
+    for strategy in Strategy::EVERY {
         let mut w = BatchWorld::new(strategy, 77);
         for i in 0..16u64 {
             w.server.enqueue_join(UserId(i)).unwrap();
@@ -307,7 +323,7 @@ fn batched_interval_departures_learn_no_new_key() {
             // interval counter accepts it), several times for a fixed point.
             for _ in 0..3 {
                 for bytes in &w.traffic[pre_traffic..] {
-                    let _ = replay.process_batch_rekey(bytes);
+                    let _ = replay.process_packet(bytes);
                 }
             }
             for (_, k) in replay.keyset() {
@@ -319,7 +335,7 @@ fn batched_interval_departures_learn_no_new_key() {
 
 #[test]
 fn batched_backward_secrecy_joiner_cannot_read_history() {
-    for strategy in Strategy::ALL {
+    for strategy in Strategy::EVERY {
         let mut w = BatchWorld::new(strategy, 55);
         for i in 0..12u64 {
             w.server.enqueue_join(UserId(i)).unwrap();
@@ -334,7 +350,7 @@ fn batched_backward_secrecy_joiner_cannot_read_history() {
         w.assert_completeness();
         let mut newcomer = w.clients.get(&UserId(200)).unwrap().clone();
         for bytes in w.traffic.clone() {
-            let _ = newcomer.process_batch_rekey(&bytes);
+            let _ = newcomer.process_packet(&bytes);
         }
         for (_, k) in newcomer.keyset() {
             assert_ne!(k, old_gk, "{strategy:?}: joiner holds the previous group key");
@@ -347,7 +363,7 @@ fn batched_backward_secrecy_joiner_cannot_read_history() {
 
 #[test]
 fn backward_secrecy_newcomer_cannot_read_history() {
-    for strategy in Strategy::ALL {
+    for strategy in Strategy::EVERY {
         let mut w = World::new(strategy, 99);
         for i in 0..9u64 {
             w.join(UserId(i));
@@ -368,7 +384,7 @@ fn backward_secrecy_newcomer_cannot_read_history() {
         }
         let mut replayer = newcomer;
         for bytes in w.traffic.clone() {
-            let _ = replayer.process_rekey(&bytes);
+            let _ = replayer.process_packet(&bytes);
         }
         for (_, k) in replayer.keyset() {
             if let Ok(pt) = KeyCipher::des_cbc().decrypt(&k, &[0u8; 8], &secret) {
@@ -428,5 +444,80 @@ fn two_departures_cannot_collude() {
         if let Some((_, k)) = ghost.group_key() {
             assert_ne!(k, gk, "collusion recovered the group key");
         }
+    }
+}
+
+/// The ghost attack on client-derived rekeying: a departed member keeps
+/// every key it ever held *and* the full wiretap — every derivation code
+/// and every (from → new) link the server ever published. Closing that
+/// keyset under the published derivation relation (and, more generously,
+/// applying every code to every held key for every published target ref)
+/// must never produce a key the server currently holds. This is the
+/// forward-secrecy argument for why leaves ship instead of derive: the
+/// closure below WOULD reach the post-leave keys if they were derived
+/// from keys on the evicted path.
+#[test]
+fn departed_member_derivation_closure_reaches_no_live_key() {
+    use keygraphs::core::derive::derive_key;
+    use keygraphs::core::ids::KeyRef;
+    use keygraphs::wire::DerivedRekeyPacket;
+
+    let mut w = World::new(Strategy::Derived, 31);
+    for i in 0..16u64 {
+        w.join(UserId(i));
+    }
+    let victim = UserId(5);
+    let held: Vec<(KeyRef, _)> = w.server.tree().keyset(victim).unwrap();
+    w.leave(victim);
+    // Post-leave churn: joins and a refresh, each publishing a code.
+    for i in 100..104u64 {
+        w.join(UserId(i));
+    }
+    let op = w.server.refresh_group_key().unwrap();
+    w.deliver(&op.encoded);
+
+    // The wiretap, as the ghost sees it: every (code, links) publication.
+    let published: Vec<(Vec<u8>, Vec<keygraphs::core::derive::DerivedLink>)> = w
+        .traffic
+        .iter()
+        .filter(|b| DerivedRekeyPacket::sniff(b))
+        .map(|b| {
+            let (p, _) = DerivedRekeyPacket::decode(b).expect("wiretapped packet decodes");
+            (p.code, p.changed)
+        })
+        .filter(|(code, _)| !code.is_empty())
+        .collect();
+    assert!(published.len() >= 5, "the churn published codes to attack with");
+    let targets: BTreeSet<KeyRef> =
+        published.iter().flat_map(|(_, links)| links.iter().map(|l| l.new_ref)).collect();
+
+    // Close the ghost's keyset under derivation: every held key × every
+    // published code × every published target ref, to a (bounded) fixed
+    // point. Two rounds cover every chain the wiretap could express.
+    let mut arsenal: BTreeSet<Vec<u8>> = held.iter().map(|(_, k)| k.material().to_vec()).collect();
+    for _ in 0..2 {
+        let snapshot: Vec<Vec<u8>> = arsenal.iter().cloned().collect();
+        for material in &snapshot {
+            let old = keygraphs::crypto::SymmetricKey::from_bytes(material);
+            for (code, _) in &published {
+                for r in &targets {
+                    let d = derive_key(&old, code, r.label, r.version, material.len());
+                    arsenal.insert(d.material().to_vec());
+                }
+            }
+        }
+    }
+
+    // Every key the server currently holds, over all members' paths.
+    let live: BTreeSet<Vec<u8>> = w
+        .clients
+        .keys()
+        .flat_map(|&u| w.server.tree().keyset(u).expect("member keyset"))
+        .map(|(_, k)| k.material().to_vec())
+        .collect();
+    let (_, gk) = w.server.tree().group_key();
+    assert!(live.contains(gk.material()), "sanity: the live set covers the group key");
+    for k in &live {
+        assert!(!arsenal.contains(k), "ghost derived a live key");
     }
 }
